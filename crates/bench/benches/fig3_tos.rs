@@ -1,0 +1,41 @@
+//! Fig. 3 reproduction: ToS dataset, Q1–Q10, unoptimized vs optimized
+//! execution time. The paper reports an average 3.44× speedup, with the
+//! notable exception that Q1's plans are identical (no keyframes inside
+//! the clipped range → no smart cut).
+
+use v2v_bench::{geomean, measure, paper, print_header, secs, setup_tos, Arm, QueryId};
+
+fn main() {
+    let ds = setup_tos();
+    print_header("Fig. 3", "V2V synthesis performance on the ToS-like dataset");
+    println!();
+    println!(
+        "{:<6} {:>10} {:>10} {:>9}  {:>12}",
+        "query", "unopt (s)", "opt (s)", "speedup", "output"
+    );
+    let mut ratios = Vec::new();
+    for q in QueryId::all() {
+        let unopt = measure(&ds, q, Arm::Unoptimized);
+        let opt = measure(&ds, q, Arm::Optimized);
+        let ratio = unopt.mean.as_secs_f64() / opt.mean.as_secs_f64().max(1e-9);
+        ratios.push(ratio);
+        println!(
+            "{:<6} {:>10} {:>10} {:>8.2}x  {:>9} KiB",
+            q.label(),
+            secs(unopt.mean),
+            secs(opt.mean),
+            ratio,
+            opt.output_bytes / 1024,
+        );
+    }
+    println!();
+    println!(
+        "average speedup (geomean): {:.2}x   | paper reports {:.2}x",
+        geomean(&ratios),
+        paper::TOS_AVG_SPEEDUP
+    );
+    println!(
+        "Q1 expectation: plans identical (speedup ≈ 1.0x) — measured {:.2}x",
+        ratios[0]
+    );
+}

@@ -1,0 +1,77 @@
+//! SVC rate–distortion table: quantizer vs bitrate vs PSNR.
+//!
+//! Not a paper figure — this characterizes the codec substrate so the
+//! evaluation's byte counts are interpretable (e.g. why the Q6 output
+//! size tracks the source bitrate, and what `quantizer = 2` costs in
+//! fidelity).
+
+use v2v_codec::{CodecParams, Decoder, Encoder};
+use v2v_datasets::{kabr_sim, render_frame, tos_sim, Scale};
+use v2v_time::Rational;
+
+fn table(name: &str, spec: &v2v_datasets::DatasetSpec) {
+    println!();
+    println!(
+        "{name}: {}x{} @ {} fps, GOP {} frames, 2s sample",
+        spec.width,
+        spec.height,
+        spec.fps,
+        spec.gop_frames()
+    );
+    println!(
+        "{:<6} {:>12} {:>12} {:>10}",
+        "q", "bytes/s", "bits/px", "PSNR (dB)"
+    );
+    let n = (2 * spec.fps) as u64;
+    let frames: Vec<_> = (0..n).map(|i| render_frame(spec, i)).collect();
+    for q in [0u8, 1, 2, 4, 8, 16] {
+        let params = CodecParams::new(spec.codec_params().frame_ty, spec.gop_frames(), q);
+        let mut enc = Encoder::new(params);
+        let mut dec = Decoder::new(params);
+        let mut bytes = 0u64;
+        let mut psnr_acc = 0.0f64;
+        let mut finite = 0usize;
+        for (i, f) in frames.iter().enumerate() {
+            let pkt = enc
+                .encode(f, Rational::new(i as i64, spec.fps))
+                .expect("encode");
+            bytes += pkt.size() as u64;
+            let back = dec.decode(&pkt).expect("decode");
+            match f.psnr(&back) {
+                Some(v) if v.is_finite() => {
+                    psnr_acc += v;
+                    finite += 1;
+                }
+                _ => {}
+            }
+        }
+        let bytes_per_s = bytes / 2;
+        let bits_per_px =
+            (bytes * 8) as f64 / (n as f64 * f64::from(spec.width) * f64::from(spec.height));
+        let psnr = if finite == 0 {
+            f64::INFINITY
+        } else {
+            psnr_acc / finite as f64
+        };
+        println!(
+            "{:<6} {:>12} {:>12.3} {:>10}",
+            q,
+            bytes_per_s,
+            bits_per_px,
+            if psnr.is_infinite() {
+                "exact".to_string()
+            } else {
+                format!("{psnr:.1}")
+            },
+        );
+    }
+}
+
+fn main() {
+    println!("== SVC rate–distortion characterization ==");
+    table("tos_sim", &tos_sim(Scale::Bench, 2));
+    table("kabr_sim", &kabr_sim(Scale::Bench, 2));
+    println!();
+    println!("q=0 is exactly lossless (the frame-exactness test substrate);");
+    println!("the benchmarks run at q=2.");
+}

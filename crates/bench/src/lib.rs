@@ -1,0 +1,487 @@
+//! The V2V evaluation harness (paper §V).
+//!
+//! Provides the benchmark query suite, dataset setup with on-disk
+//! caching, and the measurement protocol (N runs, first discarded,
+//! mean reported — the paper's "averages of 5 runs were measured after
+//! discarding an initial run").
+//!
+//! Scaling: the paper ran 3840×2160/3840×1714 sources on a 48-vCPU Xeon.
+//! This harness defaults to 320×180 sources, 5 s short inputs (as the
+//! paper) and 30 s "long" inputs (the paper used 60 s). Environment
+//! overrides:
+//!
+//! * `V2V_BENCH_RUNS` — measured runs per cell (default 2, +1 discarded);
+//! * `V2V_BENCH_LONG_SECS` — long-input seconds (default 30, paper 60);
+//! * `V2V_BENCH_SCALE` — `test` / `bench` / `full` source resolution.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use v2v_container::VideoStream;
+use v2v_core::{EngineConfig, V2vEngine};
+use v2v_data::DataArray;
+use v2v_datasets::{
+    detections, generate, kabr_sim, tos_sim, DatasetSpec, DetectionProfile, Scale,
+};
+use v2v_exec::Catalog;
+use v2v_frame::FrameType;
+use v2v_spec::builder::{blur, bounding_box, grid4};
+use v2v_spec::{OutputSettings, RenderExpr, Spec, SpecBuilder};
+use v2v_time::{r, Rational};
+
+/// A prepared benchmark dataset: stream + detections + naming.
+pub struct BenchDataset {
+    /// "tos" or "kabr".
+    pub name: &'static str,
+    /// Generator parameters.
+    pub spec: DatasetSpec,
+    /// The encoded source stream.
+    pub stream: Arc<VideoStream>,
+    /// Per-frame detections with the dataset's density profile.
+    pub detections: DataArray,
+}
+
+/// Number of measured runs per cell.
+pub fn bench_runs() -> usize {
+    std::env::var("V2V_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+/// Long-input ("1-minute" class) duration in seconds.
+pub fn long_secs() -> i64 {
+    std::env::var("V2V_BENCH_LONG_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30)
+}
+
+/// Source scale.
+pub fn bench_scale() -> Scale {
+    match std::env::var("V2V_BENCH_SCALE").as_deref() {
+        Ok("test") => Scale::Test,
+        Ok("full") => Scale::Full,
+        _ => Scale::Bench,
+    }
+}
+
+fn cache_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("v2v_bench_cache");
+    std::fs::create_dir_all(&dir).expect("cache dir is creatable");
+    dir
+}
+
+fn cached_stream(spec: &DatasetSpec) -> VideoStream {
+    let path = cache_dir().join(format!(
+        "{}_{}x{}_{}s_q{}.svc",
+        spec.name, spec.width, spec.height, spec.duration_s, spec.quantizer
+    ));
+    if path.exists() {
+        if let Ok(s) = v2v_container::read_svc(&path) {
+            if s.len() as u64 == spec.n_frames() {
+                return s;
+            }
+        }
+    }
+    let s = generate(spec);
+    let _ = v2v_container::write_svc(&s, &path);
+    s
+}
+
+/// Seconds of source footage the suite needs for the given long-input
+/// duration (4 spliced long segments + offsets).
+fn source_secs(long: i64) -> i64 {
+    4 * long + 60
+}
+
+/// Prepares the ToS-like dataset (cached).
+pub fn setup_tos() -> BenchDataset {
+    let spec = tos_sim(bench_scale(), source_secs(long_secs()));
+    let stream = Arc::new(cached_stream(&spec));
+    let dets = detections(&spec, DetectionProfile::tos(), "actor");
+    BenchDataset {
+        name: "tos",
+        spec,
+        stream,
+        detections: dets,
+    }
+}
+
+/// Prepares the KABR-like dataset (cached).
+pub fn setup_kabr() -> BenchDataset {
+    let spec = kabr_sim(bench_scale(), source_secs(long_secs()));
+    let stream = Arc::new(cached_stream(&spec));
+    let dets = detections(&spec, DetectionProfile::kabr(), "zebra");
+    BenchDataset {
+        name: "kabr",
+        spec,
+        stream,
+        detections: dets,
+    }
+}
+
+/// Output settings matched to a dataset (source-rate grid so pure clips
+/// can stream-copy, like the paper's outputs that inherit source bytes).
+pub fn output_for(ds: &BenchDataset) -> OutputSettings {
+    OutputSettings {
+        frame_ty: FrameType::yuv420p(ds.spec.width, ds.spec.height),
+        frame_dur: ds.spec.frame_dur(),
+        gop_size: ds.spec.fps as u32,
+        quantizer: ds.spec.quantizer,
+    }
+}
+
+/// The paper's benchmark queries. `Qn` for n in 1..=5 with 5 s inputs and
+/// 6..=10 with long inputs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryId {
+    /// Clip a segment.
+    Q1,
+    /// Clip 4 segments, splice.
+    Q2,
+    /// Clip 4 segments, 2×2 grid.
+    Q3,
+    /// Clip + Gaussian blur.
+    Q4,
+    /// Clip + bounding boxes + class annotations (data join).
+    Q5,
+    /// Q1 with a long input.
+    Q6,
+    /// Q2 with long inputs.
+    Q7,
+    /// Q3 with long inputs.
+    Q8,
+    /// Q4 with a long input.
+    Q9,
+    /// Q5 with a long input.
+    Q10,
+}
+
+impl QueryId {
+    /// All ten queries in order.
+    pub fn all() -> [QueryId; 10] {
+        use QueryId::*;
+        [Q1, Q2, Q3, Q4, Q5, Q6, Q7, Q8, Q9, Q10]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        use QueryId::*;
+        match self {
+            Q1 => "Q1",
+            Q2 => "Q2",
+            Q3 => "Q3",
+            Q4 => "Q4",
+            Q5 => "Q5",
+            Q6 => "Q6",
+            Q7 => "Q7",
+            Q8 => "Q8",
+            Q9 => "Q9",
+            Q10 => "Q10",
+        }
+    }
+
+    /// Input segment length for this query.
+    pub fn input_secs(self) -> i64 {
+        use QueryId::*;
+        match self {
+            Q1 | Q2 | Q3 | Q4 | Q5 => 5,
+            _ => long_secs(),
+        }
+    }
+
+    /// `true` for the data-join queries (Q5/Q10).
+    pub fn joins_data(self) -> bool {
+        matches!(self, QueryId::Q5 | QueryId::Q10)
+    }
+}
+
+/// Segment start offsets (seconds). Chosen mid-GOP (x.5) so smart cuts
+/// are exercised: with ToS's 10 s GOPs a 5 s clip from 12.5 s contains
+/// no keyframe (the paper's "identical plans" Q1 case), while KABR's
+/// 1 s GOPs always offer one.
+fn offsets(len: i64) -> [Rational; 4] {
+    [
+        r(25, 2),                  // 12.5
+        r(25, 2) + r(len + 2, 1),  // after first segment
+        r(25, 2) + r(2 * (len + 2), 1),
+        r(25, 2) + r(3 * (len + 2), 1),
+    ]
+}
+
+/// Builds the spec for a query against a dataset.
+pub fn build_query(ds: &BenchDataset, q: QueryId) -> Spec {
+    let len = q.input_secs();
+    let secs = Rational::from_int(len);
+    let off = offsets(len);
+    let out = output_for(ds);
+    use QueryId::*;
+    match q {
+        Q1 | Q6 => SpecBuilder::new(out)
+            .video("src", "src.svc")
+            .append_clip("src", off[0], secs)
+            .build(),
+        Q2 | Q7 => {
+            let mut b = SpecBuilder::new(out).video("src", "src.svc");
+            for o in off {
+                b = b.append_clip("src", o, secs);
+            }
+            b.build()
+        }
+        Q3 | Q8 => SpecBuilder::new(out)
+            .video("src", "src.svc")
+            .append_with(secs, move |out_start| {
+                let cell = |o: Rational| RenderExpr::FrameRef {
+                    video: "src".into(),
+                    time: v2v_time::AffineTimeMap::shift(o - out_start),
+                };
+                grid4(cell(off[0]), cell(off[1]), cell(off[2]), cell(off[3]))
+            })
+            .build(),
+        Q4 | Q9 => SpecBuilder::new(out)
+            .video("src", "src.svc")
+            .append_filtered("src", off[0], secs, |e| blur(e, 1.2))
+            .build(),
+        Q5 | Q10 => SpecBuilder::new(out)
+            .video("src", "src.svc")
+            .data_array("dets", "catalog")
+            .append_filtered("src", off[0], secs, |e| bounding_box(e, "dets"))
+            .build(),
+    }
+}
+
+/// An execution arm for measurement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Arm {
+    /// Naive operator-at-a-time execution of the unoptimized plan.
+    Unoptimized,
+    /// Full V2V pipeline (dde + optimizer + parallel execution).
+    Optimized,
+    /// Optimizer without data-dependent rewrites.
+    NoDde,
+    /// Optimizer without smart cuts.
+    NoSmartCut,
+    /// Optimizer without stream copy (and hence no smart cut).
+    NoStreamCopy,
+    /// Optimizer without temporal sharding; serial execution.
+    NoShardSerial,
+}
+
+impl Arm {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Arm::Unoptimized => "unopt",
+            Arm::Optimized => "opt",
+            Arm::NoDde => "opt-dde",
+            Arm::NoSmartCut => "opt-smartcut",
+            Arm::NoStreamCopy => "opt-copy",
+            Arm::NoShardSerial => "opt-shard",
+        }
+    }
+
+    fn config(self) -> EngineConfig {
+        let mut cfg = EngineConfig::default();
+        match self {
+            Arm::Unoptimized | Arm::Optimized => {}
+            Arm::NoDde => cfg.data_rewrites = false,
+            Arm::NoSmartCut => cfg.optimizer.smart_cut = false,
+            Arm::NoStreamCopy => {
+                cfg.optimizer.stream_copy = false;
+                cfg.optimizer.smart_cut = false;
+            }
+            Arm::NoShardSerial => {
+                cfg.optimizer.shard = false;
+                cfg.exec.parallel = false;
+            }
+        }
+        cfg
+    }
+}
+
+/// Builds an engine with the dataset bound under the names the query
+/// specs use.
+pub fn engine_for(ds: &BenchDataset, arm: Arm) -> V2vEngine {
+    let mut catalog = Catalog::new();
+    catalog.add_video_arc("src", ds.stream.clone());
+    catalog.add_array("dets", ds.detections.clone());
+    V2vEngine::new(catalog).with_config(arm.config())
+}
+
+/// One measured cell: mean wall time over the measured runs plus the
+/// output size of the last run.
+pub struct Measurement {
+    /// Mean wall-clock duration.
+    pub mean: Duration,
+    /// Output stream size in bytes.
+    pub output_bytes: u64,
+    /// Output frame count.
+    pub output_frames: usize,
+}
+
+/// Runs one `(query, arm)` cell with the paper's protocol.
+pub fn measure(ds: &BenchDataset, q: QueryId, arm: Arm) -> Measurement {
+    let spec = build_query(ds, q);
+    let runs = bench_runs();
+    let mut engine = engine_for(ds, arm);
+    let mut total = Duration::ZERO;
+    let mut output_bytes = 0;
+    let mut output_frames = 0;
+    for i in 0..=runs {
+        let started = Instant::now();
+        let report = match arm {
+            Arm::Unoptimized => engine.run_unoptimized(&spec),
+            _ => engine.run(&spec),
+        }
+        .unwrap_or_else(|e| panic!("{} {} {}: {e}", ds.name, q.label(), arm.label()));
+        let elapsed = started.elapsed();
+        if i > 0 {
+            total += elapsed;
+        }
+        output_bytes = report.output.byte_size();
+        output_frames = report.output.len();
+    }
+    Measurement {
+        mean: total / runs as u32,
+        output_bytes,
+        output_frames,
+    }
+}
+
+/// Formats a duration in seconds with millisecond precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Prints the standard harness header.
+pub fn print_header(figure: &str, what: &str) {
+    println!();
+    println!("== {figure}: {what} ==");
+    println!(
+        "   (scale {:?}, long inputs {}s, {} measured runs, {} cpu(s); paper: 3840x2160-class sources, 60s, 5 runs, 48 vCPUs)",
+        bench_scale(),
+        long_secs(),
+        bench_runs(),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+}
+
+/// Geometric mean of speedups.
+pub fn geomean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return f64::NAN;
+    }
+    (ratios.iter().map(|v| v.ln()).sum::<f64>() / ratios.len() as f64).exp()
+}
+
+/// Reference values the paper states in prose, for side-by-side printing.
+pub mod paper {
+    /// Average optimized-vs-unoptimized speedup on ToS (Fig. 3).
+    pub const TOS_AVG_SPEEDUP: f64 = 3.44;
+    /// Average optimized-vs-unoptimized speedup on KABR (Fig. 4).
+    pub const KABR_AVG_SPEEDUP: f64 = 5.07;
+    /// Q6 on KABR: 69 s → 4.3 s.
+    pub const KABR_Q6_SPEEDUP: f64 = 16.0;
+    /// Average speedup vs the Python+OpenCV baseline on the data-join
+    /// queries (Fig. 5).
+    pub const OPENCV_AVG_SPEEDUP: f64 = 4.4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset(name: &'static str, kabr: bool) -> BenchDataset {
+        let spec = if kabr {
+            kabr_sim(Scale::Test, 50)
+        } else {
+            tos_sim(Scale::Test, 50)
+        };
+        let stream = Arc::new(generate(&spec));
+        let dets = detections(
+            &spec,
+            if kabr {
+                DetectionProfile::kabr()
+            } else {
+                DetectionProfile::tos()
+            },
+            "obj",
+        );
+        BenchDataset {
+            name,
+            spec,
+            stream,
+            detections: dets,
+        }
+    }
+
+    #[test]
+    fn all_short_queries_run_on_both_datasets() {
+        for kabr in [false, true] {
+            let ds = tiny_dataset("t", kabr);
+            for q in [QueryId::Q1, QueryId::Q2, QueryId::Q3, QueryId::Q4, QueryId::Q5] {
+                let spec = build_query(&ds, q);
+                let mut opt = engine_for(&ds, Arm::Optimized);
+                let r1 = opt.run(&spec).unwrap();
+                let mut unopt = engine_for(&ds, Arm::Unoptimized);
+                let r2 = unopt.run_unoptimized(&spec).unwrap();
+                assert_eq!(r1.output.len(), r2.output.len(), "{q:?} kabr={kabr}");
+                assert!(!r1.output.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn q1_smart_cut_fires_on_kabr_not_tos() {
+        // The paper's flagship observation.
+        let tos = tiny_dataset("tos", false);
+        let spec = build_query(&tos, QueryId::Q1);
+        let mut engine = engine_for(&tos, Arm::Optimized);
+        engine.bind(&spec).unwrap();
+        let (s, _) = engine.specialize(&spec);
+        let (plan, _) = engine.plan(&s).unwrap();
+        assert_eq!(plan.stats.smart_cuts, 0, "ToS 10s GOPs leave no keyframe");
+        assert_eq!(plan.stats.frames_copied, 0);
+
+        let kabr = tiny_dataset("kabr", true);
+        let spec = build_query(&kabr, QueryId::Q1);
+        let mut engine = engine_for(&kabr, Arm::Optimized);
+        engine.bind(&spec).unwrap();
+        let (s, _) = engine.specialize(&spec);
+        let (plan, _) = engine.plan(&s).unwrap();
+        assert_eq!(plan.stats.smart_cuts, 1, "KABR 1s GOPs enable the cut");
+        assert!(plan.stats.frames_copied > 0);
+    }
+
+    #[test]
+    fn q5_dde_copies_more_on_kabr() {
+        let kabr = tiny_dataset("kabr", true);
+        let spec = build_query(&kabr, QueryId::Q5);
+        let mut with = engine_for(&kabr, Arm::Optimized);
+        let r_with = with.run(&spec).unwrap();
+        let mut without = engine_for(&kabr, Arm::NoDde);
+        let r_without = without.run(&spec).unwrap();
+        assert!(r_with.stats.packets_copied > 0, "sparse zebras → copies");
+        assert_eq!(r_without.stats.packets_copied, 0);
+        // Identical output content either way (lossy encode settings are
+        // identical; compare frame count + decoded equality via markers is
+        // covered in integration tests).
+        assert_eq!(r_with.output.len(), r_without.output.len());
+
+        let tos = tiny_dataset("tos", false);
+        let spec = build_query(&tos, QueryId::Q5);
+        let mut engine = engine_for(&tos, Arm::Optimized);
+        let r_tos = engine.run(&spec).unwrap();
+        assert!(
+            r_tos.stats.packets_copied < r_with.stats.packets_copied,
+            "dense ToS detections defeat the rewrite"
+        );
+    }
+
+    #[test]
+    fn geomean_sane() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!(geomean(&[]).is_nan());
+    }
+}

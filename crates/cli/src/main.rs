@@ -1,0 +1,280 @@
+//! `v2v` — run serialized JSON synthesis specs from the command line.
+//!
+//! The paper (§IV-D): "our executable binary reads serialized JSON
+//! specs". Subcommands:
+//!
+//! ```text
+//! v2v run <spec.json> -o <out.svc> [--no-optimize] [--no-dde] [--serial]
+//! v2v explain <spec.json>             print unoptimized + optimized plans
+//! v2v check <spec.json>               static checks and per-video needs
+//! v2v info <video.svc>                stream facts (frames, GOPs, bytes)
+//! v2v frame <video.svc> <t> -o still.ppm    export one frame as PPM
+//! ```
+//!
+//! Video locators in the spec are `.svc` paths; data-array locators are
+//! JSON annotation paths or `sql:` queries against a database loaded
+//! with `--db <tables.json>`:
+//!
+//! ```json
+//! {"tables": [{"name": "video_objects",
+//!              "columns": ["video", "model", "timestamp", "frame_objects"],
+//!              "rows": [["a", "yolov5m", [1, 30], []], ...]}]}
+//! ```
+//!
+//! Cell values use the annotation conventions: numbers, strings, `[num,
+//! den]` pairs are *not* auto-promoted to rationals except in columns
+//! named `timestamp`, and arrays of `{x, y, w, h}` objects become boxes.
+
+use std::process::ExitCode;
+use v2v_core::{EngineConfig, V2vEngine};
+use v2v_exec::Catalog;
+use v2v_spec::Spec;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial]\n  v2v explain <spec.json> [--db tables.json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]"
+    );
+    ExitCode::from(2)
+}
+
+/// Loads a relational database from a JSON fixture (see module docs).
+fn load_database(path: &str) -> Result<v2v_data::Database, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let root: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let tables = root
+        .get("tables")
+        .and_then(|t| t.as_array())
+        .ok_or_else(|| format!("{path}: expected {{\"tables\": [...]}}"))?;
+    let mut db = v2v_data::Database::new();
+    for t in tables {
+        let name = t
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| format!("{path}: table missing 'name'"))?;
+        let columns: Vec<String> = t
+            .get("columns")
+            .and_then(|c| c.as_array())
+            .ok_or_else(|| format!("{path}: table '{name}' missing 'columns'"))?
+            .iter()
+            .map(|c| c.as_str().unwrap_or_default().to_string())
+            .collect();
+        let mut table = v2v_data::Table::new(name, columns.clone());
+        for row in t
+            .get("rows")
+            .and_then(|r| r.as_array())
+            .ok_or_else(|| format!("{path}: table '{name}' missing 'rows'"))?
+        {
+            let cells = row
+                .as_array()
+                .ok_or_else(|| format!("{path}: row in '{name}' is not an array"))?;
+            if cells.len() != columns.len() {
+                return Err(format!(
+                    "{path}: row arity {} != {} columns in '{name}'",
+                    cells.len(),
+                    columns.len()
+                ));
+            }
+            let values = cells
+                .iter()
+                .zip(&columns)
+                .map(|(cell, col)| {
+                    // Timestamp columns read `[num, den]` / numbers as
+                    // exact rationals; everything else uses the
+                    // annotation conventions.
+                    if col == "timestamp" {
+                        if let Some(pair) = cell.as_array().filter(|p| p.len() == 2) {
+                            if let (Some(n), Some(d)) = (pair[0].as_i64(), pair[1].as_i64()) {
+                                if let Ok(r) = v2v_time::Rational::checked_new(n, d) {
+                                    return v2v_data::Value::Rational(r);
+                                }
+                            }
+                        }
+                        if let Some(i) = cell.as_i64() {
+                            return v2v_data::Value::Rational(v2v_time::Rational::from_int(i));
+                        }
+                    }
+                    v2v_data::Value::from_json(cell)
+                })
+                .collect();
+            table.push_row(values);
+        }
+        db.add_table(table);
+    }
+    Ok(db)
+}
+
+fn load_spec(path: &str) -> Result<Spec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Spec::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        "info" => cmd_info(&args[1..]),
+        "frame" => cmd_frame(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("v2v: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut spec_path = None;
+    let mut out_path = "out.svc".to_string();
+    let mut db_path = None;
+    let mut config = EngineConfig::default();
+    let mut optimize = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--output" => {
+                i += 1;
+                out_path = args
+                    .get(i)
+                    .ok_or("missing value after -o")?
+                    .clone();
+            }
+            "--db" => {
+                i += 1;
+                db_path = Some(args.get(i).ok_or("missing value after --db")?.clone());
+            }
+            "--no-optimize" => optimize = false,
+            "--no-dde" => config.data_rewrites = false,
+            "--serial" => config.exec.parallel = false,
+            other if spec_path.is_none() => spec_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+    let spec_path = spec_path.ok_or("missing spec path")?;
+    let spec = load_spec(&spec_path)?;
+    let mut engine = V2vEngine::new(Catalog::new()).with_config(config);
+    if let Some(db_path) = db_path {
+        engine = engine.with_database(load_database(&db_path)?);
+    }
+    let report = if optimize {
+        engine.run(&spec)
+    } else {
+        engine.run_unoptimized(&spec)
+    }
+    .map_err(|e| e.to_string())?;
+    v2v_container::write_svc(&report.output, &out_path).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out_path}: {} frames, {} bytes in {:.3}s",
+        report.output.len(),
+        report.output.byte_size(),
+        report.wall.as_secs_f64()
+    );
+    println!(
+        "stats: decoded {} encoded {} copied {} packets ({} bytes); dde rewrites {}",
+        report.stats.frames_decoded,
+        report.stats.frames_encoded,
+        report.stats.packets_copied,
+        report.stats.bytes_copied,
+        report.dde_rewrites
+    );
+    for w in &report.check.warnings {
+        println!("warning: {w}");
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let spec_path = args.first().ok_or("missing spec path")?;
+    let spec = load_spec(spec_path)?;
+    let mut engine = V2vEngine::new(Catalog::new());
+    if let (Some(flag), Some(path)) = (args.get(1), args.get(2)) {
+        if flag == "--db" {
+            engine = engine.with_database(load_database(path)?);
+        }
+    }
+    let (unopt, opt) = engine.explain(&spec).map_err(|e| e.to_string())?;
+    println!("--- unoptimized logical plan ---");
+    print!("{unopt}");
+    println!("--- optimized physical plan ---");
+    print!("{opt}");
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let spec_path = args.first().ok_or("missing spec path")?;
+    let spec = load_spec(spec_path)?;
+    let mut engine = V2vEngine::new(Catalog::new());
+    engine.bind(&spec).map_err(|e| e.to_string())?;
+    println!("--- spec (paper notation) ---");
+    print!("{}", v2v_spec::to_dsl_string(&spec));
+    println!();
+    match v2v_spec::check_spec(&spec, &engine.catalog().source_infos()) {
+        Ok(report) => {
+            println!("spec OK");
+            for (video, req) in &report.required {
+                println!("  {video}: requires {} frames ({req})", req.count());
+            }
+            for w in &report.warnings {
+                println!("  warning: {w}");
+            }
+            Ok(())
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("  error: {e}");
+            }
+            Err(format!("{} check error(s)", errors.len()))
+        }
+    }
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing video path")?;
+    let s = v2v_container::read_svc(path).map_err(|e| e.to_string())?;
+    let p = s.params();
+    println!("{path}:");
+    println!("  frames     : {}", s.len());
+    println!("  frame type : {}", p.frame_ty);
+    println!("  fps        : {}", s.frame_dur().recip());
+    println!("  gop        : {} frames (quantizer {})", p.gop_size, p.quantizer);
+    println!("  keyframes  : {}", s.keyframe_indices().len());
+    println!("  bytes      : {}", s.byte_size());
+    println!(
+        "  duration   : {:.2}s from {}",
+        (s.frame_dur() * v2v_time::Rational::from_int(s.len() as i64)).to_f64(),
+        s.start()
+    );
+    Ok(())
+}
+
+fn cmd_frame(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing video path")?;
+    let t: v2v_time::Rational = args
+        .get(1)
+        .ok_or("missing timestamp (seconds or n/d)")?
+        .parse()
+        .map_err(|e| format!("bad timestamp: {e}"))?;
+    let out_path = match (args.get(2).map(String::as_str), args.get(3)) {
+        (Some("-o"), Some(p)) => p.clone(),
+        (None, _) => "frame.ppm".to_string(),
+        other => return Err(format!("unexpected arguments {other:?}")),
+    };
+    let stream = v2v_container::read_svc(path).map_err(|e| e.to_string())?;
+    let (frame, decoded) = stream.decode_frame_at(t).map_err(|e| e.to_string())?;
+    v2v_frame::ppm::write_ppm(&frame, &out_path).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out_path}: frame at {t} ({}x{}, {decoded} packets decoded)",
+        frame.width(),
+        frame.height()
+    );
+    Ok(())
+}

@@ -1,0 +1,242 @@
+//! Bitstream primitives: LEB128 varints, zigzag signed coding, and
+//! (run, value) residual coding shared by the intra and inter coders.
+
+use crate::CodecError;
+
+/// Encodes `v` as a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Zigzag-maps a signed value to unsigned.
+#[inline]
+pub fn zigzag(v: i32) -> u64 {
+    ((v << 1) ^ (v >> 31)) as u32 as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i32 {
+    let v = v as u32;
+    ((v >> 1) as i32) ^ -((v & 1) as i32)
+}
+
+/// A cursor over packet payload bytes.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads one byte.
+    pub fn byte(&mut self) -> Result<u8, CodecError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| CodecError::Corrupt("unexpected end of packet".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `n` bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Corrupt("truncated byte run".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 {
+                return Err(CodecError::Corrupt("varint overflow".into()));
+            }
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Writes residuals with (zero-run, nonzero-value) coding.
+///
+/// Stream layout: repeated `(run: varint, value: zigzag varint)` pairs,
+/// where `run` counts zero residuals preceding `value`; a final
+/// trailing run of zeros is implied by the residual count.
+pub struct RunCoder {
+    run: u64,
+}
+
+impl Default for RunCoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunCoder {
+    /// A fresh coder.
+    pub fn new() -> RunCoder {
+        RunCoder { run: 0 }
+    }
+
+    /// Adds one residual.
+    #[inline]
+    pub fn push(&mut self, out: &mut Vec<u8>, residual: i32) {
+        if residual == 0 {
+            self.run += 1;
+        } else {
+            put_varint(out, self.run);
+            put_varint(out, zigzag(residual));
+            self.run = 0;
+        }
+    }
+
+    /// Flushes; any trailing zero run is implicit.
+    pub fn finish(self, _out: &mut Vec<u8>) {}
+}
+
+/// Reads residuals produced by [`RunCoder`]. Yields exactly `count`
+/// residuals then stops.
+pub struct RunDecoder<'a, 'b> {
+    reader: &'b mut Reader<'a>,
+    pending_zeroes: u64,
+    pending_value: Option<i32>,
+    remaining: u64,
+}
+
+impl<'a, 'b> RunDecoder<'a, 'b> {
+    /// Starts decoding `count` residuals from `reader`.
+    pub fn new(reader: &'b mut Reader<'a>, count: u64) -> RunDecoder<'a, 'b> {
+        RunDecoder {
+            reader,
+            pending_zeroes: 0,
+            pending_value: None,
+            remaining: count,
+        }
+    }
+
+    /// Next residual.
+    #[inline]
+    pub fn next_residual(&mut self) -> Result<i32, CodecError> {
+        if self.remaining == 0 {
+            return Err(CodecError::Corrupt("residual overrun".into()));
+        }
+        self.remaining -= 1;
+        if self.pending_zeroes > 0 {
+            self.pending_zeroes -= 1;
+            return Ok(0);
+        }
+        if let Some(v) = self.pending_value.take() {
+            return Ok(v);
+        }
+        if self.reader.remaining() == 0 {
+            // Implicit trailing zeros.
+            return Ok(0);
+        }
+        let run = self.reader.varint()?;
+        let value = unzigzag(self.reader.varint()?);
+        if run > 0 {
+            self.pending_zeroes = run - 1;
+            self.pending_value = Some(value);
+            Ok(0)
+        } else {
+            Ok(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut r = Reader::new(&buf);
+        for &v in &values {
+            assert_eq!(r.varint().unwrap(), v);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [-1000, -1, 0, 1, 7, i32::MAX, i32::MIN + 1] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes get small codes.
+        assert!(zigzag(-1) < 4);
+        assert!(zigzag(1) < 4);
+    }
+
+    #[test]
+    fn run_coding_round_trip() {
+        let residuals: Vec<i32> = vec![0, 0, 5, -3, 0, 0, 0, 7, 0, 0];
+        let mut buf = Vec::new();
+        let mut coder = RunCoder::new();
+        for &r in &residuals {
+            coder.push(&mut buf, r);
+        }
+        coder.finish(&mut buf);
+        let mut reader = Reader::new(&buf);
+        let mut dec = RunDecoder::new(&mut reader, residuals.len() as u64);
+        let got: Vec<i32> = (0..residuals.len())
+            .map(|_| dec.next_residual().unwrap())
+            .collect();
+        assert_eq!(got, residuals);
+    }
+
+    #[test]
+    fn all_zero_residuals_cost_nothing() {
+        let mut buf = Vec::new();
+        let mut coder = RunCoder::new();
+        for _ in 0..10_000 {
+            coder.push(&mut buf, 0);
+        }
+        coder.finish(&mut buf);
+        assert!(buf.is_empty(), "all-zero stream must be empty");
+        let mut reader = Reader::new(&buf);
+        let mut dec = RunDecoder::new(&mut reader, 10_000);
+        for _ in 0..10_000 {
+            assert_eq!(dec.next_residual().unwrap(), 0);
+        }
+        assert!(dec.next_residual().is_err(), "overrun must error");
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let buf = [0x80u8, 0x80];
+        let mut r = Reader::new(&buf);
+        assert!(r.varint().is_err());
+    }
+}

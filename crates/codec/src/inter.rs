@@ -1,0 +1,247 @@
+//! Inter (delta frame) plane coding: block skip + temporal DPCM.
+//!
+//! The plane is tiled into 16×16 blocks. Blocks whose samples all sit
+//! within a skip threshold of the reconstructed reference are *skipped*
+//! (copied from the reference at zero bitstream cost) — the property that
+//! makes static content nearly free and gives P-heavy GOPs their small
+//! size. Changed blocks carry quantized temporal residuals.
+
+use crate::bitstream::{Reader, RunCoder, RunDecoder};
+use crate::intra::quantize;
+use crate::params::Preset;
+use crate::CodecError;
+use v2v_frame::Plane;
+
+/// Side of a skip/code block.
+pub const BLOCK: usize = 16;
+
+/// Skip threshold: maximum per-sample deviation tolerated when reusing
+/// the reference block. Zero at `qstep == 1` keeps lossless mode exact.
+fn skip_threshold(qstep: i32, preset: Preset) -> i32 {
+    match preset {
+        Preset::Ultrafast => qstep - 1,
+        Preset::Medium => (qstep - 1) / 2,
+    }
+}
+
+fn block_grid(w: usize, h: usize) -> (usize, usize) {
+    (w.div_ceil(BLOCK), h.div_ceil(BLOCK))
+}
+
+/// Encodes one plane as an inter payload against `reference`; returns the
+/// reconstruction.
+pub fn encode_plane(
+    cur: &Plane,
+    reference: &Plane,
+    qstep: i32,
+    preset: Preset,
+    out: &mut Vec<u8>,
+) -> Plane {
+    debug_assert_eq!((cur.width(), cur.height()), (reference.width(), reference.height()));
+    let w = cur.width();
+    let h = cur.height();
+    let (bx_n, by_n) = block_grid(w, h);
+    let n_blocks = bx_n * by_n;
+    let thr = skip_threshold(qstep, preset);
+
+    // Pass 1: decide skip per block.
+    let mut coded = vec![false; n_blocks];
+    for by in 0..by_n {
+        for bx in 0..bx_n {
+            let x0 = bx * BLOCK;
+            let y0 = by * BLOCK;
+            let x1 = (x0 + BLOCK).min(w);
+            let y1 = (y0 + BLOCK).min(h);
+            'block: for y in y0..y1 {
+                let c = cur.row(y);
+                let r = reference.row(y);
+                for x in x0..x1 {
+                    if i32::from(c[x]).abs_diff(i32::from(r[x])) as i32 > thr {
+                        coded[by * bx_n + bx] = true;
+                        break 'block;
+                    }
+                }
+            }
+        }
+    }
+
+    // Bitmap of coded blocks.
+    let mut bitmap = vec![0u8; n_blocks.div_ceil(8)];
+    for (i, c) in coded.iter().enumerate() {
+        if *c {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out.extend_from_slice(&bitmap);
+
+    // Pass 2: residuals for coded blocks; build reconstruction.
+    let mut recon = reference.clone();
+    let mut coder = RunCoder::new();
+    for by in 0..by_n {
+        for bx in 0..bx_n {
+            if !coded[by * bx_n + bx] {
+                continue;
+            }
+            let x0 = bx * BLOCK;
+            let y0 = by * BLOCK;
+            let x1 = (x0 + BLOCK).min(w);
+            let y1 = (y0 + BLOCK).min(h);
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    let residual = i32::from(cur.get(x, y)) - i32::from(reference.get(x, y));
+                    let q = quantize(residual, qstep);
+                    coder.push(out, q);
+                    let v = (i32::from(reference.get(x, y)) + q * qstep).clamp(0, 255) as u8;
+                    recon.put(x, y, v);
+                }
+            }
+        }
+    }
+    coder.finish(out);
+    recon
+}
+
+/// Decodes an inter payload against `reference`.
+pub fn decode_plane(
+    reader: &mut Reader<'_>,
+    reference: &Plane,
+    qstep: i32,
+) -> Result<Plane, CodecError> {
+    let w = reference.width();
+    let h = reference.height();
+    let (bx_n, by_n) = block_grid(w, h);
+    let n_blocks = bx_n * by_n;
+    let bitmap = reader.bytes(n_blocks.div_ceil(8))?.to_vec();
+    let coded =
+        |i: usize| -> bool { bitmap[i / 8] & (1 << (i % 8)) != 0 };
+
+    // Count coded samples for the run decoder.
+    let mut total = 0u64;
+    for by in 0..by_n {
+        for bx in 0..bx_n {
+            if coded(by * bx_n + bx) {
+                let bw = (BLOCK).min(w - bx * BLOCK);
+                let bh = (BLOCK).min(h - by * BLOCK);
+                total += (bw * bh) as u64;
+            }
+        }
+    }
+
+    let mut recon = reference.clone();
+    let mut dec = RunDecoder::new(reader, total);
+    for by in 0..by_n {
+        for bx in 0..bx_n {
+            if !coded(by * bx_n + bx) {
+                continue;
+            }
+            let x0 = bx * BLOCK;
+            let y0 = by * BLOCK;
+            let x1 = (x0 + BLOCK).min(w);
+            let y1 = (y0 + BLOCK).min(h);
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    let q = dec.next_residual()?;
+                    let v = (i32::from(reference.get(x, y)) + q * qstep).clamp(0, 255) as u8;
+                    recon.put(x, y, v);
+                }
+            }
+        }
+    }
+    Ok(recon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_plane(w: usize, h: usize, seed: usize) -> Plane {
+        let mut p = Plane::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                p.put(x, y, ((x * 7 + y * 13 + seed * 31) % 251) as u8);
+            }
+        }
+        p
+    }
+
+    fn round_trip(cur: &Plane, reference: &Plane, qstep: i32, preset: Preset) -> (Plane, usize) {
+        let mut buf = Vec::new();
+        let recon = encode_plane(cur, reference, qstep, preset, &mut buf);
+        let size = buf.len();
+        let mut r = Reader::new(&buf);
+        let dec = decode_plane(&mut r, reference, qstep).unwrap();
+        assert_eq!(recon, dec);
+        (dec, size)
+    }
+
+    #[test]
+    fn identical_frame_costs_only_bitmap() {
+        let p = noisy_plane(64, 48, 0);
+        let (dec, size) = round_trip(&p, &p, 1, Preset::Ultrafast);
+        assert_eq!(dec, p);
+        let n_blocks: usize = 4 * 3;
+        assert_eq!(size, n_blocks.div_ceil(8));
+    }
+
+    #[test]
+    fn lossless_delta_round_trip() {
+        let a = noisy_plane(48, 48, 1);
+        let mut b = a.clone();
+        // Change one block's worth of pixels.
+        for y in 20..30 {
+            for x in 20..30 {
+                b.put(x, y, 255 - b.get(x, y));
+            }
+        }
+        let (dec, _) = round_trip(&b, &a, 1, Preset::Ultrafast);
+        assert_eq!(dec, b);
+    }
+
+    #[test]
+    fn only_changed_blocks_are_coded() {
+        let a = noisy_plane(64, 64, 2);
+        let mut b = a.clone();
+        b.put(0, 0, b.get(0, 0).wrapping_add(100));
+        let mut buf = Vec::new();
+        encode_plane(&b, &a, 1, Preset::Ultrafast, &mut buf);
+        // 16 blocks → 2 bitmap bytes; only block 0 coded → small payload.
+        assert!(buf.len() < 2 + 3 * 256, "payload too big: {}", buf.len());
+        assert_eq!(buf[0] & 1, 1, "block 0 must be coded");
+        assert_eq!(buf[0] & 2, 0, "block 1 must be skipped");
+    }
+
+    #[test]
+    fn quantized_error_bounded_by_qstep() {
+        let a = noisy_plane(32, 32, 3);
+        let b = noisy_plane(32, 32, 4);
+        for qstep in [2, 4, 8] {
+            let (dec, _) = round_trip(&b, &a, qstep, Preset::Ultrafast);
+            for (x, y) in dec.data().iter().zip(b.data()) {
+                assert!(u8::abs_diff(*x, *y) as i32 <= qstep);
+            }
+        }
+    }
+
+    #[test]
+    fn skip_threshold_scales_with_preset() {
+        assert_eq!(skip_threshold(1, Preset::Ultrafast), 0);
+        assert_eq!(skip_threshold(5, Preset::Ultrafast), 4);
+        assert_eq!(skip_threshold(5, Preset::Medium), 2);
+    }
+
+    #[test]
+    fn non_multiple_of_block_dims() {
+        let a = noisy_plane(37, 23, 5);
+        let b = noisy_plane(37, 23, 6);
+        let (dec, _) = round_trip(&b, &a, 1, Preset::Ultrafast);
+        assert_eq!(dec, b);
+    }
+
+    #[test]
+    fn truncated_bitmap_errors() {
+        let buf = [0u8; 1];
+        let reference = Plane::new(64, 64); // 16 blocks → needs 2 bytes
+        let mut r = Reader::new(&buf);
+        assert!(decode_plane(&mut r, &reference, 1).is_err());
+    }
+}

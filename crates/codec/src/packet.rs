@@ -1,0 +1,71 @@
+//! Compressed packets: one encoded frame each.
+
+use bytes::Bytes;
+use v2v_time::Rational;
+
+/// Kind of encoded frame a packet carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PacketKind {
+    /// Self-contained keyframe (decodable with no reference).
+    Intra,
+    /// Delta frame referencing the previous decoded frame.
+    Inter,
+}
+
+/// One compressed frame.
+///
+/// `data` is cheaply cloneable ([`Bytes`]): stream copy *is* a refcount
+/// bump plus an index entry, which is what makes it the "fastest class of
+/// video edits operating near the speed of a memory copy" (paper §IV-C).
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Presentation timestamp.
+    pub pts: Rational,
+    /// `true` for keyframes.
+    pub keyframe: bool,
+    /// Compressed payload.
+    pub data: Bytes,
+}
+
+impl Packet {
+    /// Builds a packet.
+    pub fn new(pts: Rational, keyframe: bool, data: Bytes) -> Packet {
+        Packet {
+            pts,
+            keyframe,
+            data,
+        }
+    }
+
+    /// Payload size in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns the same packet re-stamped at a new timestamp (stream copy
+    /// into an output at a shifted position).
+    pub fn retimed(&self, pts: Rational) -> Packet {
+        Packet {
+            pts,
+            keyframe: self.keyframe,
+            data: self.data.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_time::r;
+
+    #[test]
+    fn retime_shares_payload() {
+        let p = Packet::new(r(1, 30), true, Bytes::from(vec![1, 2, 3]));
+        let q = p.retimed(r(2, 30));
+        assert_eq!(q.pts, r(2, 30));
+        assert!(q.keyframe);
+        assert_eq!(q.size(), 3);
+        // Same underlying buffer (Bytes pointer equality via as_ptr).
+        assert_eq!(p.data.as_ptr(), q.data.as_ptr());
+    }
+}

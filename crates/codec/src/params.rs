@@ -1,0 +1,111 @@
+//! Codec configuration: stream parameters and encoder presets.
+
+use serde::{Deserialize, Serialize};
+use v2v_frame::FrameType;
+
+/// Encoder effort preset.
+///
+/// Mirrors the paper's benchmark environment ("the ultrafast encoding
+/// preset"): `Ultrafast` uses a fixed left predictor; `Medium` searches
+/// per row between the left and top predictors, spending more compute for
+/// a smaller bitstream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Preset {
+    /// Fastest: fixed spatial predictor, coarse skip detection.
+    #[default]
+    Ultrafast,
+    /// Slower: per-row predictor selection, tighter skip detection.
+    Medium,
+}
+
+/// Immutable parameters of an SVC stream.
+///
+/// Two streams can be spliced by stream copy only if their params are
+/// identical (the concat compatibility rule, paper §III-D "multiple
+/// compatible video streams in the same codec can be concatenated").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CodecParams {
+    /// Frame geometry and pixel format.
+    pub frame_ty: FrameType,
+    /// Keyframe interval in frames: every `gop_size`-th frame is an
+    /// I-frame. `1` means all-intra.
+    pub gop_size: u32,
+    /// Residual quantizer: `0` is lossless; larger values coarsen
+    /// residuals (step `quantizer + 1`) and shrink the bitstream.
+    pub quantizer: u8,
+    /// Encoder effort.
+    #[serde(default)]
+    pub preset: Preset,
+}
+
+impl CodecParams {
+    /// Convenience constructor with the default preset.
+    pub fn new(frame_ty: FrameType, gop_size: u32, quantizer: u8) -> CodecParams {
+        assert!(gop_size >= 1, "gop_size must be at least 1");
+        CodecParams {
+            frame_ty,
+            gop_size,
+            quantizer,
+            preset: Preset::Ultrafast,
+        }
+    }
+
+    /// Quantization step derived from the quantizer.
+    pub fn qstep(&self) -> i32 {
+        i32::from(self.quantizer) + 1
+    }
+
+    /// `true` if streams with these params can be spliced without
+    /// re-encoding. GOP size is an *encoder cadence* choice, not a
+    /// property of the bitstream (the decoder reacts to per-packet
+    /// keyframe flags), so it does not participate in compatibility.
+    pub fn compatible_with(&self, other: &CodecParams) -> bool {
+        self.frame_ty == other.frame_ty
+            && self.quantizer == other.quantizer
+            && self.preset == other.preset
+    }
+
+    /// `true` if frame `index` (0-based) is a keyframe position.
+    pub fn is_keyframe_index(&self, index: u64) -> bool {
+        index.is_multiple_of(u64::from(self.gop_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qstep_is_one_when_lossless() {
+        let p = CodecParams::new(FrameType::yuv420p(64, 64), 30, 0);
+        assert_eq!(p.qstep(), 1);
+        assert_eq!(CodecParams::new(FrameType::yuv420p(64, 64), 30, 4).qstep(), 5);
+    }
+
+    #[test]
+    fn keyframe_cadence() {
+        let p = CodecParams::new(FrameType::yuv420p(64, 64), 24, 0);
+        assert!(p.is_keyframe_index(0));
+        assert!(!p.is_keyframe_index(1));
+        assert!(p.is_keyframe_index(24));
+        assert!(p.is_keyframe_index(48));
+        let all_intra = CodecParams::new(FrameType::yuv420p(64, 64), 1, 0);
+        assert!(all_intra.is_keyframe_index(7));
+    }
+
+    #[test]
+    fn compatibility_is_exact_equality() {
+        let a = CodecParams::new(FrameType::yuv420p(64, 64), 24, 2);
+        let mut b = a;
+        assert!(a.compatible_with(&b));
+        b.quantizer = 3;
+        assert!(!a.compatible_with(&b));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_gop_rejected() {
+        CodecParams::new(FrameType::yuv420p(64, 64), 0, 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! The `.svc` on-disk container format.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic   4 bytes   "SVC1"
+//! hdr_len u32 LE    JSON header byte length
+//! header  JSON      {params, start, frame_dur, count}
+//! packets count ×   (u32 LE: len << 1 | keyframe, payload bytes)
+//! ```
+//!
+//! Timestamps are implied by the grid, so the packet table stores only
+//! lengths and keyframe flags — the keyframe index is rebuilt on load.
+
+use crate::stream::VideoStream;
+use crate::ContainerError;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+use v2v_codec::{CodecParams, Packet};
+use v2v_time::Rational;
+
+const MAGIC: &[u8; 4] = b"SVC1";
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    params: CodecParams,
+    start: Rational,
+    frame_dur: Rational,
+    count: u64,
+}
+
+/// Writes a stream to `path` in `.svc` format.
+pub fn write_svc(stream: &VideoStream, path: impl AsRef<Path>) -> Result<(), ContainerError> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let header = Header {
+        params: *stream.params(),
+        start: stream.start(),
+        frame_dur: stream.frame_dur(),
+        count: stream.len() as u64,
+    };
+    let hdr = serde_json::to_vec(&header)
+        .map_err(|e| ContainerError::BadFile(format!("header encode: {e}")))?;
+    f.write_all(MAGIC)?;
+    f.write_all(&(hdr.len() as u32).to_le_bytes())?;
+    f.write_all(&hdr)?;
+    for p in stream.packets() {
+        let tag = (p.size() as u32) << 1 | u32::from(p.keyframe);
+        f.write_all(&tag.to_le_bytes())?;
+        f.write_all(&p.data)?;
+    }
+    f.flush()?;
+    Ok(())
+}
+
+/// Reads a stream from an `.svc` file.
+pub fn read_svc(path: impl AsRef<Path>) -> Result<VideoStream, ContainerError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    f.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ContainerError::BadFile("bad magic".into()));
+    }
+    let mut len4 = [0u8; 4];
+    f.read_exact(&mut len4)?;
+    let hdr_len = u32::from_le_bytes(len4) as usize;
+    if hdr_len > 1 << 20 {
+        return Err(ContainerError::BadFile("oversized header".into()));
+    }
+    let mut hdr = vec![0u8; hdr_len];
+    f.read_exact(&mut hdr)?;
+    let header: Header = serde_json::from_slice(&hdr)
+        .map_err(|e| ContainerError::BadFile(format!("header decode: {e}")))?;
+    let mut packets = Vec::with_capacity(header.count as usize);
+    for k in 0..header.count {
+        f.read_exact(&mut len4)?;
+        let tag = u32::from_le_bytes(len4);
+        let keyframe = tag & 1 == 1;
+        let len = (tag >> 1) as usize;
+        let mut data = vec![0u8; len];
+        f.read_exact(&mut data)?;
+        let pts = header.start + header.frame_dur * Rational::from_int(k as i64);
+        packets.push(Packet::new(pts, keyframe, Bytes::from(data)));
+    }
+    VideoStream::new(header.params, header.start, header.frame_dur, packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::StreamWriter;
+    use v2v_frame::{Frame, FrameType};
+    use v2v_time::{r, Rational};
+
+    fn sample_stream() -> VideoStream {
+        let ty = FrameType::yuv420p(32, 32);
+        let params = CodecParams::new(ty, 3, 2);
+        let mut w = StreamWriter::new(params, r(5, 1), r(1, 24));
+        for i in 0..7 {
+            let mut f = Frame::black(ty);
+            for v in f.plane_mut(0).data_mut() {
+                *v = (i * 30 % 256) as u8;
+            }
+            w.push_frame(&f).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let s = sample_stream();
+        let dir = std::env::temp_dir().join("v2v_container_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.svc");
+        write_svc(&s, &path).unwrap();
+        let back = read_svc(&path).unwrap();
+        assert_eq!(back.len(), s.len());
+        assert_eq!(back.params(), s.params());
+        assert_eq!(back.start(), s.start());
+        assert_eq!(back.frame_dur(), s.frame_dur());
+        for (a, b) in s.packets().iter().zip(back.packets()) {
+            assert_eq!(a.pts, b.pts);
+            assert_eq!(a.keyframe, b.keyframe);
+            assert_eq!(a.data, b.data);
+        }
+        // Decodes identically.
+        let (fa, _) = s.decode_range(0, s.len()).unwrap();
+        let (fb, _) = back.decode_range(0, back.len()).unwrap();
+        assert_eq!(fa, fb);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let dir = std::env::temp_dir().join("v2v_container_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad_magic.svc");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        assert!(matches!(read_svc(&path), Err(ContainerError::BadFile(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let s = sample_stream();
+        let dir = std::env::temp_dir().join("v2v_container_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.svc");
+        write_svc(&s, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(read_svc(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        let ty = FrameType::gray8(16, 16);
+        let params = CodecParams::new(ty, 4, 0);
+        let w = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        let s = w.finish().unwrap();
+        let dir = std::env::temp_dir().join("v2v_container_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.svc");
+        write_svc(&s, &path).unwrap();
+        let back = read_svc(&path).unwrap();
+        assert!(back.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

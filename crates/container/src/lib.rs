@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! Indexed container for SVC video streams.
+//!
+//! Plays the role FFmpeg's demuxer/muxer + keyframe index play for the
+//! paper's execution engine:
+//!
+//! * [`VideoStream`] — an in-memory stream: codec parameters, a uniform
+//!   timestamp grid (`start + k · frame_dur`), and the compressed packets
+//!   with their keyframe index;
+//! * GOP-aware access — `keyframe_at_or_before`, `next_keyframe_at_or_after`,
+//!   [`VideoStream::decode_frame_at`] (seek to keyframe, roll forward) and
+//!   [`VideoStream::decode_range`];
+//! * packet-level **stream copy** — [`VideoStream::copy_packet_range`]
+//!   clones compressed packets without touching raster data (the paper's
+//!   "fastest class of video edits");
+//! * [`StreamWriter`] — encodes frames and/or splices copied packets into
+//!   a new stream, enforcing the keyframe-first splice rule;
+//! * [`mod@file`] — a versioned on-disk format (`.svc`) with a JSON header
+//!   and length-prefixed packet table.
+
+pub mod file;
+pub mod stream;
+pub mod writer;
+
+pub use file::{read_svc, write_svc};
+pub use stream::VideoStream;
+pub use writer::StreamWriter;
+
+use v2v_time::Rational;
+
+/// Errors raised by container operations.
+#[derive(Debug, thiserror::Error)]
+pub enum ContainerError {
+    /// Codec-level failure while (de)coding packets.
+    #[error("codec error: {0}")]
+    Codec(#[from] v2v_codec::CodecError),
+    /// The requested instant is not on the stream's grid.
+    #[error("timestamp {0} is not a frame instant of this stream")]
+    NotOnGrid(Rational),
+    /// Attempted to splice streams with incompatible parameters.
+    #[error("streams have incompatible codec parameters")]
+    Incompatible,
+    /// A spliced segment must begin with a keyframe.
+    #[error("spliced packet range must start at a keyframe")]
+    SpliceNotKeyframe,
+    /// Packets must be appended in presentation order.
+    #[error("packet timestamps must be strictly increasing on the grid")]
+    OutOfOrder,
+    /// Malformed or unsupported file contents.
+    #[error("invalid container file: {0}")]
+    BadFile(String),
+    /// Underlying I/O failure.
+    #[error("i/o error: {0}")]
+    Io(#[from] std::io::Error),
+}

@@ -1,0 +1,381 @@
+//! In-memory video streams with keyframe indexes.
+
+use crate::ContainerError;
+use v2v_codec::{CodecParams, Decoder, Packet};
+use v2v_frame::Frame;
+use v2v_time::{Rational, TimeRange, TimeSet};
+
+/// An indexed, immutable video stream.
+///
+/// Frames sit on a uniform grid `start + k · frame_dur`; packet `k` holds
+/// frame `k`. The keyframe flags form the index that seeks and smart cuts
+/// consult.
+#[derive(Clone)]
+pub struct VideoStream {
+    params: CodecParams,
+    start: Rational,
+    frame_dur: Rational,
+    packets: Vec<Packet>,
+}
+
+impl VideoStream {
+    /// Assembles a stream from parts, validating the splice invariants:
+    /// the first packet must be a keyframe and timestamps must follow the
+    /// grid.
+    pub fn new(
+        params: CodecParams,
+        start: Rational,
+        frame_dur: Rational,
+        packets: Vec<Packet>,
+    ) -> Result<VideoStream, ContainerError> {
+        assert!(frame_dur.is_positive(), "frame duration must be positive");
+        if let Some(first) = packets.first() {
+            if !first.keyframe {
+                return Err(ContainerError::SpliceNotKeyframe);
+            }
+        }
+        for (k, p) in packets.iter().enumerate() {
+            let expect = start + frame_dur * Rational::from_int(k as i64);
+            if p.pts != expect {
+                return Err(ContainerError::OutOfOrder);
+            }
+        }
+        Ok(VideoStream {
+            params,
+            start,
+            frame_dur,
+            packets,
+        })
+    }
+
+    /// The stream's codec parameters.
+    pub fn params(&self) -> &CodecParams {
+        &self.params
+    }
+
+    /// First frame instant.
+    pub fn start(&self) -> Rational {
+        self.start
+    }
+
+    /// Frame duration (1 / fps).
+    pub fn frame_dur(&self) -> Rational {
+        self.frame_dur
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// `true` when the stream holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// All packets, in order.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Total compressed size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.packets.iter().map(|p| p.size() as u64).sum()
+    }
+
+    /// The set of instants this stream can serve — what the V2V checker
+    /// compares spec requirements against.
+    pub fn available(&self) -> TimeSet {
+        TimeSet::from_range(TimeRange::from_parts(
+            self.start,
+            self.frame_dur,
+            self.packets.len() as u64,
+        ))
+    }
+
+    /// The grid range of this stream.
+    pub fn range(&self) -> TimeRange {
+        TimeRange::from_parts(self.start, self.frame_dur, self.packets.len() as u64)
+    }
+
+    /// Frame index of instant `t`, if it is on the grid.
+    pub fn index_of(&self, t: Rational) -> Option<usize> {
+        self.range().index_of(t).map(|k| k as usize)
+    }
+
+    /// Instant of frame `k`.
+    pub fn pts_of(&self, k: usize) -> Option<Rational> {
+        self.range().at(k as u64)
+    }
+
+    /// Index of the last keyframe at or before frame `k`.
+    pub fn keyframe_at_or_before(&self, k: usize) -> Option<usize> {
+        let k = k.min(self.packets.len().saturating_sub(1));
+        (0..=k).rev().find(|&i| self.packets[i].keyframe)
+    }
+
+    /// Index of the first keyframe at or after frame `k`.
+    pub fn next_keyframe_at_or_after(&self, k: usize) -> Option<usize> {
+        (k..self.packets.len()).find(|&i| self.packets[i].keyframe)
+    }
+
+    /// All keyframe indices.
+    pub fn keyframe_indices(&self) -> Vec<usize> {
+        self.packets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.keyframe.then_some(i))
+            .collect()
+    }
+
+    /// Clones the compressed packets for frames `[from, to)` *without any
+    /// decode*, re-stamped onto a new grid starting at `new_start`.
+    ///
+    /// The range must start at a keyframe (stream-copy legality; the smart
+    /// cut aligns to this). Cost: O(packets) refcount bumps.
+    pub fn copy_packet_range(
+        &self,
+        from: usize,
+        to: usize,
+        new_start: Rational,
+    ) -> Result<Vec<Packet>, ContainerError> {
+        let to = to.min(self.packets.len());
+        if from >= to {
+            return Ok(Vec::new());
+        }
+        if !self.packets[from].keyframe {
+            return Err(ContainerError::SpliceNotKeyframe);
+        }
+        Ok(self.packets[from..to]
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                p.retimed(new_start + self.frame_dur * Rational::from_int(i as i64))
+            })
+            .collect())
+    }
+
+    /// Decodes the single frame at instant `t` (seeks to the preceding
+    /// keyframe and rolls forward). Returns the frame and the number of
+    /// packets that had to be decoded to produce it.
+    pub fn decode_frame_at(&self, t: Rational) -> Result<(Frame, usize), ContainerError> {
+        let k = self
+            .index_of(t)
+            .ok_or(ContainerError::NotOnGrid(t))?;
+        let kf = self
+            .keyframe_at_or_before(k)
+            .expect("stream starts with a keyframe");
+        let mut dec = Decoder::new(self.params);
+        let mut frame = None;
+        for p in &self.packets[kf..=k] {
+            frame = Some(dec.decode(p)?);
+        }
+        Ok((frame.expect("at least one packet decoded"), k - kf + 1))
+    }
+
+    /// Decodes frames `[from, to)` sequentially (one keyframe seek, then a
+    /// linear roll). Returns frames and the total packets decoded.
+    pub fn decode_range(
+        &self,
+        from: usize,
+        to: usize,
+    ) -> Result<(Vec<Frame>, usize), ContainerError> {
+        let to = to.min(self.packets.len());
+        if from >= to {
+            return Ok((Vec::new(), 0));
+        }
+        let kf = self
+            .keyframe_at_or_before(from)
+            .expect("stream starts with a keyframe");
+        let mut dec = Decoder::new(self.params);
+        let mut out = Vec::with_capacity(to - from);
+        let mut decoded = 0usize;
+        for (i, p) in self.packets[kf..to].iter().enumerate() {
+            let f = dec.decode(p)?;
+            decoded += 1;
+            if kf + i >= from {
+                out.push(f);
+            }
+        }
+        Ok((out, decoded))
+    }
+
+    /// Concatenates compatible streams by stream copy. Each input begins
+    /// with a keyframe (invariant), so decode state is self-contained at
+    /// every splice point.
+    pub fn concat(streams: &[&VideoStream]) -> Result<VideoStream, ContainerError> {
+        let first = streams.first().ok_or(ContainerError::Incompatible)?;
+        for s in streams {
+            if !s.params.compatible_with(&first.params) || s.frame_dur != first.frame_dur {
+                return Err(ContainerError::Incompatible);
+            }
+        }
+        let mut packets = Vec::with_capacity(streams.iter().map(|s| s.len()).sum());
+        let mut k = 0i64;
+        for s in streams {
+            for p in &s.packets {
+                packets.push(p.retimed(first.start + first.frame_dur * Rational::from_int(k)));
+                k += 1;
+            }
+        }
+        VideoStream::new(first.params, first.start, first.frame_dur, packets)
+    }
+}
+
+impl std::fmt::Debug for VideoStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "VideoStream({} frames @ {} from {}, {} bytes)",
+            self.len(),
+            self.frame_dur,
+            self.start,
+            self.byte_size()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::StreamWriter;
+    use v2v_frame::FrameType;
+    use v2v_time::r;
+
+    pub(crate) fn test_stream(n: usize, gop: u32) -> VideoStream {
+        let ty = FrameType::gray8(32, 32);
+        let params = CodecParams::new(ty, gop, 0);
+        let mut w = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        for i in 0..n {
+            let mut f = Frame::black(ty);
+            for v in f.plane_mut(0).data_mut() {
+                *v = (i * 10 % 256) as u8;
+            }
+            f.plane_mut(0).put(i % 32, 0, 255);
+            w.push_frame(&f).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn available_matches_grid() {
+        let s = test_stream(10, 4);
+        assert_eq!(s.len(), 10);
+        let a = s.available();
+        assert_eq!(a.count(), 10);
+        assert!(a.contains(r(3, 30)));
+        assert!(!a.contains(r(10, 30)));
+        assert_eq!(s.index_of(r(5, 30)), Some(5));
+        assert_eq!(s.index_of(r(1, 60)), None);
+        assert_eq!(s.pts_of(5), Some(r(5, 30)));
+    }
+
+    #[test]
+    fn keyframe_lookups() {
+        let s = test_stream(10, 4); // keys at 0, 4, 8
+        assert_eq!(s.keyframe_indices(), vec![0, 4, 8]);
+        assert_eq!(s.keyframe_at_or_before(0), Some(0));
+        assert_eq!(s.keyframe_at_or_before(3), Some(0));
+        assert_eq!(s.keyframe_at_or_before(4), Some(4));
+        assert_eq!(s.keyframe_at_or_before(7), Some(4));
+        assert_eq!(s.next_keyframe_at_or_after(1), Some(4));
+        assert_eq!(s.next_keyframe_at_or_after(8), Some(8));
+        assert_eq!(s.next_keyframe_at_or_after(9), None);
+    }
+
+    #[test]
+    fn decode_frame_counts_gop_cost() {
+        let s = test_stream(10, 4);
+        let (_, cost0) = s.decode_frame_at(r(0, 30)).unwrap();
+        assert_eq!(cost0, 1);
+        let (_, cost3) = s.decode_frame_at(r(3, 30)).unwrap();
+        assert_eq!(cost3, 4, "mid-GOP decode rolls from the keyframe");
+        let (_, cost4) = s.decode_frame_at(r(4, 30)).unwrap();
+        assert_eq!(cost4, 1);
+    }
+
+    #[test]
+    fn decode_range_rolls_once() {
+        let s = test_stream(12, 4);
+        let (frames, decoded) = s.decode_range(2, 7).unwrap();
+        assert_eq!(frames.len(), 5);
+        // Rolls from keyframe 0 through frame 6: 7 packets.
+        assert_eq!(decoded, 7);
+        // Frames are the right ones: marker pixel positions advance.
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.plane(0).get((2 + i) % 32, 0), 255);
+        }
+    }
+
+    #[test]
+    fn copy_range_requires_keyframe() {
+        let s = test_stream(10, 4);
+        assert!(s.copy_packet_range(1, 5, Rational::ZERO).is_err());
+        let copied = s.copy_packet_range(4, 8, Rational::ZERO).unwrap();
+        assert_eq!(copied.len(), 4);
+        assert!(copied[0].keyframe);
+        assert_eq!(copied[1].pts, r(1, 30));
+        // Payloads are shared, not duplicated.
+        assert_eq!(copied[0].data.as_ptr(), s.packets()[4].data.as_ptr());
+    }
+
+    #[test]
+    fn concat_compatible_streams() {
+        let a = test_stream(5, 4);
+        let b = test_stream(6, 4);
+        let c = VideoStream::concat(&[&a, &b]).unwrap();
+        assert_eq!(c.len(), 11);
+        // Decodes across the splice (frame 5 is b's frame 0).
+        let (f, _) = c.decode_frame_at(r(5, 30)).unwrap();
+        let (g, _) = b.decode_frame_at(r(0, 30)).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_params() {
+        let a = test_stream(5, 4);
+        let ty = FrameType::gray8(32, 32);
+        let params = CodecParams::new(ty, 4, 3); // different quantizer
+        let mut w = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        w.push_frame(&Frame::black(ty)).unwrap();
+        let b = w.finish().unwrap();
+        assert!(matches!(
+            VideoStream::concat(&[&a, &b]),
+            Err(ContainerError::Incompatible)
+        ));
+        // A differing GOP cadence alone stays compatible: GOP size is an
+        // encoder choice, not a bitstream property.
+        let params = CodecParams::new(ty, 8, 0);
+        let mut w = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        w.push_frame(&Frame::black(ty)).unwrap();
+        let c = w.finish().unwrap();
+        assert!(VideoStream::concat(&[&a, &c]).is_ok());
+    }
+
+    #[test]
+    fn new_validates_grid_and_keyframe() {
+        let s = test_stream(6, 3);
+        // Non-keyframe head.
+        let tail: Vec<Packet> = s.packets()[1..3].to_vec();
+        assert!(matches!(
+            VideoStream::new(*s.params(), r(1, 30), r(1, 30), tail),
+            Err(ContainerError::SpliceNotKeyframe)
+        ));
+        // Off-grid timestamps.
+        let mut pkts: Vec<Packet> = s.packets()[0..2].to_vec();
+        pkts[1] = pkts[1].retimed(r(5, 30));
+        assert!(matches!(
+            VideoStream::new(*s.params(), Rational::ZERO, r(1, 30), pkts),
+            Err(ContainerError::OutOfOrder)
+        ));
+    }
+
+    #[test]
+    fn off_grid_decode_errors() {
+        let s = test_stream(5, 4);
+        assert!(matches!(
+            s.decode_frame_at(r(1, 7)),
+            Err(ContainerError::NotOnGrid(_))
+        ));
+    }
+}

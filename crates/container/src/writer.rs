@@ -1,0 +1,185 @@
+//! Stream assembly: encoding frames and splicing copied packets.
+
+use crate::stream::VideoStream;
+use crate::ContainerError;
+use v2v_codec::{CodecParams, Encoder, Packet};
+use v2v_frame::Frame;
+use v2v_time::Rational;
+
+/// Builds a [`VideoStream`] by encoding frames, splicing stream-copied
+/// packets, or both — the output-side abstraction of the execution
+/// engine.
+///
+/// Splicing a packet run after encoded frames (or vice versa) is legal
+/// only when the run starts with a keyframe; the writer re-stamps all
+/// timestamps onto its own output grid and forces a keyframe on the first
+/// encoded frame after any splice.
+pub struct StreamWriter {
+    params: CodecParams,
+    start: Rational,
+    frame_dur: Rational,
+    encoder: Encoder,
+    packets: Vec<Packet>,
+    frames_encoded: u64,
+    packets_copied: u64,
+    bytes_copied: u64,
+}
+
+impl StreamWriter {
+    /// A writer producing a stream on the grid `start + k · frame_dur`.
+    pub fn new(params: CodecParams, start: Rational, frame_dur: Rational) -> StreamWriter {
+        StreamWriter {
+            params,
+            start,
+            frame_dur,
+            encoder: Encoder::new(params),
+            packets: Vec::new(),
+            frames_encoded: 0,
+            packets_copied: 0,
+            bytes_copied: 0,
+        }
+    }
+
+    fn next_pts(&self) -> Rational {
+        self.start + self.frame_dur * Rational::from_int(self.packets.len() as i64)
+    }
+
+    /// Encodes `frame` as the next output frame.
+    pub fn push_frame(&mut self, frame: &Frame) -> Result<(), ContainerError> {
+        let pts = self.next_pts();
+        let packet = self.encoder.encode(frame, pts)?;
+        self.packets.push(packet);
+        self.frames_encoded += 1;
+        Ok(())
+    }
+
+    /// Splices a run of compressed packets (from `VideoStream::
+    /// copy_packet_range` on a compatible stream). The run must start
+    /// with a keyframe.
+    pub fn push_copied(&mut self, packets: &[Packet]) -> Result<(), ContainerError> {
+        if packets.is_empty() {
+            return Ok(());
+        }
+        if !packets[0].keyframe {
+            return Err(ContainerError::SpliceNotKeyframe);
+        }
+        for p in packets {
+            let pts = self.next_pts();
+            self.bytes_copied += p.size() as u64;
+            self.packets_copied += 1;
+            self.packets.push(p.retimed(pts));
+        }
+        // Any subsequent encoded frame must restart its own GOP: the
+        // copied packets displaced the encoder's reference.
+        self.encoder.reset();
+        Ok(())
+    }
+
+    /// Frames that went through the encoder.
+    pub fn frames_encoded(&self) -> u64 {
+        self.frames_encoded
+    }
+
+    /// Packets that were spliced by copy.
+    pub fn packets_copied(&self) -> u64 {
+        self.packets_copied
+    }
+
+    /// Compressed bytes that were spliced by copy.
+    pub fn bytes_copied(&self) -> u64 {
+        self.bytes_copied
+    }
+
+    /// Frames written so far (encoded + copied).
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Finalizes the stream.
+    pub fn finish(self) -> Result<VideoStream, ContainerError> {
+        VideoStream::new(self.params, self.start, self.frame_dur, self.packets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_frame::FrameType;
+    use v2v_time::r;
+
+    fn frame(ty: FrameType, i: usize) -> Frame {
+        let mut f = Frame::black(ty);
+        for v in f.plane_mut(0).data_mut() {
+            *v = (i * 16 % 256) as u8;
+        }
+        f
+    }
+
+    #[test]
+    fn encode_then_copy_then_encode() {
+        let ty = FrameType::gray8(32, 32);
+        let params = CodecParams::new(ty, 4, 0);
+
+        // A source stream to copy from.
+        let mut sw = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        for i in 0..8 {
+            sw.push_frame(&frame(ty, i)).unwrap();
+        }
+        let src = sw.finish().unwrap();
+
+        let mut w = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        w.push_frame(&frame(ty, 100)).unwrap();
+        let run = src.copy_packet_range(4, 8, Rational::ZERO).unwrap();
+        w.push_copied(&run).unwrap();
+        w.push_frame(&frame(ty, 101)).unwrap();
+        assert_eq!(w.frames_encoded(), 2);
+        assert_eq!(w.packets_copied(), 4);
+        let out = w.finish().unwrap();
+        assert_eq!(out.len(), 6);
+        // The frame after the splice restarted the GOP.
+        assert!(out.packets()[5].keyframe);
+        // Everything decodes end to end.
+        let (frames, _) = out.decode_range(0, 6).unwrap();
+        assert_eq!(frames.len(), 6);
+        assert_eq!(frames[0], frame(ty, 100));
+        assert_eq!(frames[1], frame(ty, 4));
+        assert_eq!(frames[5], frame(ty, 101));
+    }
+
+    #[test]
+    fn splice_requires_keyframe_head() {
+        let ty = FrameType::gray8(32, 32);
+        let params = CodecParams::new(ty, 4, 0);
+        let mut sw = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        for i in 0..8 {
+            sw.push_frame(&frame(ty, i)).unwrap();
+        }
+        let src = sw.finish().unwrap();
+        let mut w = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        // Hand-built non-keyframe run bypassing copy_packet_range's check.
+        let bad: Vec<_> = src.packets()[1..3].to_vec();
+        assert!(matches!(
+            w.push_copied(&bad),
+            Err(ContainerError::SpliceNotKeyframe)
+        ));
+        assert!(w.push_copied(&[]).is_ok());
+    }
+
+    #[test]
+    fn output_grid_is_continuous() {
+        let ty = FrameType::gray8(32, 32);
+        let params = CodecParams::new(ty, 2, 0);
+        let mut w = StreamWriter::new(params, r(10, 1), r(1, 24));
+        for i in 0..5 {
+            w.push_frame(&frame(ty, i)).unwrap();
+        }
+        let s = w.finish().unwrap();
+        assert_eq!(s.start(), r(10, 1));
+        assert_eq!(s.packets()[3].pts, r(10, 1) + r(3, 24));
+    }
+}

@@ -1,0 +1,475 @@
+//! The data-dependent rewriter (paper §IV-C).
+//!
+//! "We use a two-pass execution method: the first is data-only, and the
+//! second is the full execution. The first data-only pass applies
+//! rewrites to the spec based on the data referenced by the spec. Each
+//! operator is associated with a new *data-dependent equivalence*
+//! function, denoted as `f_dde`. This function only takes non-frame
+//! 'relational data' parameters and returns an equivalent expression."
+//!
+//! The rewriter walks the render expression with its evaluation domain,
+//! evaluates every data-dependent operator's `f_dde` at each instant, and
+//! partitions the domain by outcome: instants where the operator reduces
+//! to a pass-through of one frame argument become match arms around that
+//! argument. The rewritten spec is equivalent to the input *on the
+//! referenced data*, and exposes identity spans the optimizer can turn
+//! into stream copies.
+
+use std::collections::BTreeMap;
+use v2v_data::{DataArray, Value};
+use v2v_spec::{Arg, DataExpr, RenderExpr, Spec, TransformOp};
+use v2v_time::{Rational, TimeSet};
+
+/// Outcome of one operator's `f_dde` at one instant.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Outcome {
+    /// The operator must run.
+    Keep,
+    /// The operator is equivalent to its `i`-th *frame* argument.
+    PassThrough(usize),
+}
+
+/// `f_dde` table: evaluates an operator's data-dependent equivalence on
+/// the data argument values (in signature order, frames excluded).
+///
+/// Returns `None` for operators with no data-dependent equivalence.
+fn f_dde(op: TransformOp, data: &[Value]) -> Option<Outcome> {
+    use TransformOp as Op;
+    let num = |v: &Value| v.as_f64();
+    match op {
+        // IfThenElse_dde(c, x, y) = x if c, y if ¬c (NULL → else).
+        Op::IfThenElse => Some(match data[0].as_bool() {
+            Some(true) => Outcome::PassThrough(0),
+            _ => Outcome::PassThrough(1),
+        }),
+        // BoundingBox_dde(x, b) = x iff |b| = 0; Highlight likewise.
+        Op::BoundingBox | Op::Highlight => Some(match data[0].as_boxes() {
+            Some([]) => Outcome::PassThrough(0),
+            Some(_) => Outcome::Keep,
+            None => Outcome::PassThrough(0), // non-boxes data: nothing to draw
+        }),
+        // Empty text draws nothing.
+        Op::TextOverlay => Some(match &data[0] {
+            Value::Null => Outcome::PassThrough(0),
+            Value::Str(s) if s.is_empty() => Outcome::PassThrough(0),
+            _ => Outcome::Keep,
+        }),
+        // Degenerate numeric parameters reduce to identity.
+        Op::Blur | Op::Sharpen => Some(match num(&data[0]) {
+            Some(v) if v <= 0.0 => Outcome::PassThrough(0),
+            Some(_) => Outcome::Keep,
+            None => Outcome::PassThrough(0),
+        }),
+        Op::Zoom => Some(match num(&data[0]) {
+            Some(v) if v <= 1.0 => Outcome::PassThrough(0),
+            Some(_) => Outcome::Keep,
+            None => Outcome::PassThrough(0),
+        }),
+        Op::FadeToBlack => Some(match num(&data[0]) {
+            Some(v) if v <= 0.0 => Outcome::PassThrough(0),
+            Some(_) => Outcome::Keep,
+            None => Outcome::PassThrough(0),
+        }),
+        // Crossfade endpoints select one side outright.
+        Op::Crossfade => Some(match num(&data[0]) {
+            Some(v) if v <= 0.0 => Outcome::PassThrough(0),
+            Some(v) if v >= 1.0 => Outcome::PassThrough(1),
+            Some(_) => Outcome::Keep,
+            None => Outcome::PassThrough(0),
+        }),
+        // Fully transparent overlays vanish.
+        Op::OverlayAt => Some(match num(&data[3]) {
+            Some(v) if v <= 0.0 => Outcome::PassThrough(0),
+            Some(_) => Outcome::Keep,
+            None => Outcome::Keep,
+        }),
+        _ => None,
+    }
+}
+
+/// `true` if [`f_dde`] defines an equivalence for this operator.
+fn has_dde(op: TransformOp) -> bool {
+    use TransformOp as Op;
+    matches!(
+        op,
+        Op::IfThenElse
+            | Op::BoundingBox
+            | Op::Highlight
+            | Op::TextOverlay
+            | Op::Blur
+            | Op::Sharpen
+            | Op::Zoom
+            | Op::FadeToBlack
+            | Op::Crossfade
+            | Op::OverlayAt
+    )
+}
+
+/// Rewrites a spec's render expression against bound data arrays.
+///
+/// Returns the specialized spec and the number of operator sites that
+/// were rewritten (0 means the spec came back unchanged). Applies every
+/// profitable split (`min_run = 1`); engines should prefer
+/// [`rewrite_spec_with_min_run`] with a GOP-derived threshold.
+pub fn rewrite_spec(spec: &Spec, arrays: &BTreeMap<String, DataArray>) -> (Spec, usize) {
+    rewrite_spec_with_min_run(spec, arrays, 1)
+}
+
+/// Like [`rewrite_spec`], but pass-through spans shorter than `min_run`
+/// consecutive output frames are left in place.
+///
+/// A rewrite only pays off when the identity span it exposes is long
+/// enough for the optimizer to stream-copy (roughly a GOP); splitting a
+/// dense timeline at every isolated object-free frame fragments the plan
+/// into single-frame segments that each restart a GOP — strictly worse
+/// than running the operator. This is the rewriter's benefit heuristic,
+/// mirroring a cost-based optimizer declining an unprofitable rewrite.
+pub fn rewrite_spec_with_min_run(
+    spec: &Spec,
+    arrays: &BTreeMap<String, DataArray>,
+    min_run: u64,
+) -> (Spec, usize) {
+    let mut ctx = RewriteCtx {
+        arrays,
+        step: spec.output.frame_dur,
+        min_run: min_run.max(1),
+        rewrites: 0,
+    };
+    let render = rewrite(&spec.render, &spec.time_domain, &mut ctx);
+    (
+        Spec {
+            render,
+            ..spec.clone()
+        },
+        ctx.rewrites,
+    )
+}
+
+struct RewriteCtx<'a> {
+    arrays: &'a BTreeMap<String, DataArray>,
+    step: Rational,
+    min_run: u64,
+    rewrites: usize,
+}
+
+/// Splits a sorted instant list into maximal runs contiguous at `step`,
+/// returning `(kept_runs_concatenated, spilled_short_run_instants)`.
+fn filter_short_runs(
+    instants: Vec<Rational>,
+    step: Rational,
+    min_run: u64,
+) -> (Vec<Rational>, Vec<Rational>) {
+    if min_run <= 1 {
+        return (instants, Vec::new());
+    }
+    let mut kept = Vec::with_capacity(instants.len());
+    let mut spilled = Vec::new();
+    let mut run: Vec<Rational> = Vec::new();
+    let flush = |run: &mut Vec<Rational>, kept: &mut Vec<Rational>, spilled: &mut Vec<Rational>| {
+        if run.len() as u64 >= min_run {
+            kept.append(run);
+        } else {
+            spilled.append(run);
+        }
+    };
+    for t in instants {
+        if let Some(&last) = run.last() {
+            if t - last != step {
+                flush(&mut run, &mut kept, &mut spilled);
+            }
+        }
+        run.push(t);
+    }
+    flush(&mut run, &mut kept, &mut spilled);
+    (kept, spilled)
+}
+
+fn rewrite(expr: &RenderExpr, domain: &TimeSet, ctx: &mut RewriteCtx<'_>) -> RenderExpr {
+    if domain.is_empty() {
+        return expr.clone();
+    }
+    match expr {
+        RenderExpr::FrameRef { .. } => expr.clone(),
+        RenderExpr::Match { arms } => {
+            let mut remaining = domain.clone();
+            let new_arms = arms
+                .iter()
+                .map(|arm| {
+                    let covered = remaining.intersect(&arm.when);
+                    remaining = remaining.difference(&covered);
+                    v2v_spec::expr::MatchArm {
+                        when: arm.when.clone(),
+                        expr: rewrite(&arm.expr, &covered, ctx),
+                    }
+                })
+                .collect();
+            RenderExpr::Match { arms: new_arms }
+        }
+        RenderExpr::Transform { op, args } => {
+            // Rewrite frame arguments first (inner-to-outer pass).
+            let args: Vec<Arg> = args
+                .iter()
+                .map(|a| match a {
+                    Arg::Frame(e) => Arg::Frame(rewrite(e, domain, ctx)),
+                    Arg::Data(d) => Arg::Data(d.clone()),
+                })
+                .collect();
+            let data_exprs: Vec<&DataExpr> = args
+                .iter()
+                .filter_map(|a| a.as_data())
+                .collect();
+            if !has_dde(*op) || data_exprs.is_empty() {
+                return RenderExpr::Transform { op: *op, args };
+            }
+            // Evaluate f_dde at every instant of the domain and partition.
+            let mut partitions: BTreeMap<Outcome, Vec<Rational>> = BTreeMap::new();
+            for t in domain.iter() {
+                let values: Vec<Value> =
+                    data_exprs.iter().map(|d| d.eval(t, ctx.arrays)).collect();
+                let outcome = f_dde(*op, &values).expect("op checked above");
+                partitions.entry(outcome).or_default().push(t);
+            }
+            // Benefit heuristic: pass-through spans shorter than min_run
+            // frames stay with the operator.
+            if partitions.len() > 1 && ctx.min_run > 1 {
+                let mut spill_to_keep: Vec<Rational> = Vec::new();
+                for (outcome, instants) in std::mem::take(&mut partitions) {
+                    match outcome {
+                        Outcome::Keep => {
+                            partitions.entry(Outcome::Keep).or_default().extend(instants)
+                        }
+                        Outcome::PassThrough(_) => {
+                            let (kept, spilled) =
+                                filter_short_runs(instants, ctx.step, ctx.min_run);
+                            if !kept.is_empty() {
+                                partitions.entry(outcome).or_default().extend(kept);
+                            }
+                            spill_to_keep.extend(spilled);
+                        }
+                    }
+                }
+                if !spill_to_keep.is_empty() {
+                    partitions
+                        .entry(Outcome::Keep)
+                        .or_default()
+                        .extend(spill_to_keep);
+                }
+                if let Some(keep) = partitions.get_mut(&Outcome::Keep) {
+                    keep.sort();
+                }
+            }
+            if partitions.len() == 1 {
+                let (outcome, _) = partitions.into_iter().next().expect("one partition");
+                return match outcome {
+                    Outcome::Keep => RenderExpr::Transform { op: *op, args },
+                    Outcome::PassThrough(i) => {
+                        ctx.rewrites += 1;
+                        frame_arg(&args, i)
+                    }
+                };
+            }
+            ctx.rewrites += 1;
+            let arms = partitions
+                .into_iter()
+                .map(|(outcome, instants)| {
+                    let when = TimeSet::from_instants(instants);
+                    let expr = match outcome {
+                        Outcome::Keep => RenderExpr::Transform {
+                            op: *op,
+                            args: args.clone(),
+                        },
+                        Outcome::PassThrough(i) => frame_arg(&args, i),
+                    };
+                    (when, expr)
+                })
+                .collect();
+            RenderExpr::matching(arms)
+        }
+    }
+}
+
+/// The `i`-th frame argument of an argument list.
+fn frame_arg(args: &[Arg], i: usize) -> RenderExpr {
+    args.iter()
+        .filter_map(|a| a.as_frame())
+        .nth(i)
+        .expect("f_dde references an existing frame argument")
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_frame::{BoxCoord, FrameType};
+    use v2v_spec::builder::{bounding_box, if_then_else};
+    use v2v_spec::{OutputSettings, SpecBuilder};
+    use v2v_time::{r, TimeRange};
+
+    fn output() -> OutputSettings {
+        OutputSettings::new(FrameType::yuv420p(64, 64), 30)
+    }
+
+    fn instants(n: i64) -> TimeSet {
+        TimeSet::from_range(TimeRange::from_parts(r(0, 1), r(1, 1), n as u64))
+    }
+
+    /// The paper's worked example: a = [3, 6, 8],
+    /// Render(t) = IfThenElse(a[t] < 5, vid1[t], vid2[t])
+    /// rewrites to match t { {0} => vid1[t], {1, 2} => vid2[t] }.
+    #[test]
+    fn paper_if_then_else_example() {
+        let spec = v2v_spec::Spec {
+            time_domain: instants(3),
+            render: if_then_else(
+                DataExpr::lt(DataExpr::array("a"), DataExpr::constant(5i64)),
+                RenderExpr::video("vid1"),
+                RenderExpr::video("vid2"),
+            ),
+            videos: [
+                ("vid1".to_string(), "v1.svc".to_string()),
+                ("vid2".to_string(), "v2.svc".to_string()),
+            ]
+            .into(),
+            data_arrays: [("a".to_string(), "a.json".to_string())].into(),
+            output: OutputSettings {
+                frame_dur: r(1, 1),
+                ..output()
+            },
+        };
+        let arrays: BTreeMap<String, DataArray> = [(
+            "a".to_string(),
+            DataArray::from_pairs([
+                (r(0, 1), Value::Int(3)),
+                (r(1, 1), Value::Int(6)),
+                (r(2, 1), Value::Int(8)),
+            ]),
+        )]
+        .into();
+        let (rewritten, n) = rewrite_spec(&spec, &arrays);
+        assert_eq!(n, 1);
+        let RenderExpr::Match { arms } = &rewritten.render else {
+            panic!("expected a match, got {:?}", rewritten.render);
+        };
+        assert_eq!(arms.len(), 2);
+        // PassThrough(0) = vid1 covers {0}; PassThrough(1) = vid2 covers {1, 2}.
+        let vid1_arm = arms
+            .iter()
+            .find(|a| matches!(&a.expr, RenderExpr::FrameRef { video, .. } if video == "vid1"))
+            .expect("vid1 arm");
+        assert!(vid1_arm.when.set_eq(&TimeSet::singleton(r(0, 1))));
+        let vid2_arm = arms
+            .iter()
+            .find(|a| matches!(&a.expr, RenderExpr::FrameRef { video, .. } if video == "vid2"))
+            .expect("vid2 arm");
+        assert_eq!(vid2_arm.when.count(), 2);
+    }
+
+    #[test]
+    fn bounding_box_empty_spans_become_identity() {
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .data_array("bb", "bb.json")
+            .append_filtered("a", r(0, 1), r(1, 1), |e| bounding_box(e, "bb"))
+            .build();
+        // Boxes only on frames 10..20 of 30.
+        let mut bb = DataArray::new();
+        for i in 10..20 {
+            bb.insert(
+                r(i, 30),
+                Value::Boxes(vec![BoxCoord::new(0.1, 0.1, 0.2, 0.2, "z")]),
+            );
+        }
+        let arrays: BTreeMap<String, DataArray> = [("bb".to_string(), bb)].into();
+        let (rewritten, n) = rewrite_spec(&spec, &arrays);
+        assert_eq!(n, 1);
+        let RenderExpr::Match { arms } = &rewritten.render else {
+            panic!("expected match");
+        };
+        assert_eq!(arms.len(), 2);
+        // Identity arm covers 20 instants, boxed arm covers 10.
+        let identity_arm = arms
+            .iter()
+            .find(|a| matches!(a.expr, RenderExpr::FrameRef { .. }))
+            .expect("identity arm");
+        assert_eq!(identity_arm.when.count(), 20);
+    }
+
+    #[test]
+    fn all_empty_boxes_collapse_without_match() {
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .data_array("bb", "bb.json")
+            .append_filtered("a", r(0, 1), r(1, 1), |e| bounding_box(e, "bb"))
+            .build();
+        let arrays: BTreeMap<String, DataArray> = [("bb".to_string(), DataArray::new())].into();
+        let (rewritten, n) = rewrite_spec(&spec, &arrays);
+        assert_eq!(n, 1);
+        assert!(
+            matches!(rewritten.render, RenderExpr::FrameRef { .. }),
+            "BoundingBox over no objects is the identity: {:?}",
+            rewritten.render
+        );
+    }
+
+    #[test]
+    fn dense_boxes_leave_spec_unchanged() {
+        // The paper's ToS observation: objects on nearly every frame →
+        // data rewrites cannot help.
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .data_array("bb", "bb.json")
+            .append_filtered("a", r(0, 1), r(1, 1), |e| bounding_box(e, "bb"))
+            .build();
+        let mut bb = DataArray::new();
+        for i in 0..30 {
+            bb.insert(
+                r(i, 30),
+                Value::Boxes(vec![BoxCoord::new(0.1, 0.1, 0.2, 0.2, "z")]),
+            );
+        }
+        let arrays: BTreeMap<String, DataArray> = [("bb".to_string(), bb)].into();
+        let (rewritten, n) = rewrite_spec(&spec, &arrays);
+        assert_eq!(n, 0);
+        assert_eq!(rewritten.render, spec.render);
+    }
+
+    #[test]
+    fn non_data_ops_untouched() {
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_filtered("a", r(0, 1), r(1, 1), |e| {
+                v2v_spec::builder::grid4(e.clone(), e.clone(), e.clone(), e)
+            })
+            .build();
+        let (rewritten, n) = rewrite_spec(&spec, &BTreeMap::new());
+        assert_eq!(n, 0);
+        assert_eq!(rewritten.render, spec.render);
+    }
+
+    #[test]
+    fn constant_blur_sigma_zero_elides() {
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_filtered("a", r(0, 1), r(1, 1), |e| v2v_spec::builder::blur(e, 0.0))
+            .build();
+        let (rewritten, n) = rewrite_spec(&spec, &BTreeMap::new());
+        assert_eq!(n, 1);
+        assert!(matches!(rewritten.render, RenderExpr::FrameRef { .. }));
+    }
+
+    #[test]
+    fn nested_rewrites_compose() {
+        // Blur(BoundingBox(x, empty), 0) collapses all the way to x.
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .data_array("bb", "bb.json")
+            .append_filtered("a", r(0, 1), r(1, 1), |e| {
+                v2v_spec::builder::blur(bounding_box(e, "bb"), 0.0)
+            })
+            .build();
+        let arrays: BTreeMap<String, DataArray> = [("bb".to_string(), DataArray::new())].into();
+        let (rewritten, n) = rewrite_spec(&spec, &arrays);
+        assert_eq!(n, 2);
+        assert!(matches!(rewritten.render, RenderExpr::FrameRef { .. }));
+    }
+}

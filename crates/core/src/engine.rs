@@ -1,0 +1,497 @@
+//! The embeddable V2V engine.
+
+use crate::EngineError;
+use std::time::Duration;
+use v2v_container::VideoStream;
+use v2v_data::{Database, Query};
+use v2v_exec::{
+    execute, execute_naive, execute_streaming, Catalog, ExecOptions, ExecStats, StreamingStats,
+};
+use v2v_plan::{
+    explain_logical, explain_physical, lower_spec, optimize, OptimizerConfig, PhysicalPlan,
+    PlanStats,
+};
+use v2v_spec::{check_spec_with_udfs, CheckReport, Spec};
+
+/// Engine configuration: which parts of the V2V optimization story run.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Plan-level rewrites (stream copy, smart cut, sharding).
+    pub optimizer: OptimizerConfig,
+    /// Runtime options (parallel segment execution).
+    pub exec: ExecOptions,
+    /// Apply data-dependent rewrites before planning (§IV-C).
+    pub data_rewrites: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            optimizer: OptimizerConfig::default(),
+            exec: ExecOptions::default(),
+            data_rewrites: true,
+        }
+    }
+}
+
+/// Everything a run produces besides the video itself.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The synthesized video.
+    pub output: VideoStream,
+    /// Static-check results (per-video requirements, warnings).
+    pub check: CheckReport,
+    /// Execution cost accounting.
+    pub stats: ExecStats,
+    /// Optimizer bookkeeping (empty for unoptimized runs).
+    pub plan_stats: PlanStats,
+    /// Operator sites specialized by the data-dependent rewriter.
+    pub dde_rewrites: usize,
+    /// Wall-clock execution time (excludes planning).
+    pub wall: Duration,
+}
+
+/// The V2V engine: binds data, rewrites, checks, plans, and executes
+/// specs against a catalog (and an optional relational database for
+/// `sql:` data-array locators).
+pub struct V2vEngine {
+    catalog: Catalog,
+    database: Database,
+    config: EngineConfig,
+}
+
+impl V2vEngine {
+    /// An engine over a catalog with default configuration.
+    pub fn new(catalog: Catalog) -> V2vEngine {
+        V2vEngine {
+            catalog,
+            database: Database::new(),
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Attaches a relational database for `sql:` locators.
+    pub fn with_database(mut self, database: Database) -> V2vEngine {
+        self.database = database;
+        self
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: EngineConfig) -> V2vEngine {
+        self.config = config;
+        self
+    }
+
+    /// The bound catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (bind more sources).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Resolves the spec's locators into the catalog:
+    ///
+    /// * data arrays — `sql:<query>` runs against the attached database;
+    ///   other locators are JSON annotation paths; names already bound in
+    ///   the catalog win over both;
+    /// * videos — names already bound win; otherwise the locator is read
+    ///   as an `.svc` file.
+    pub fn bind(&mut self, spec: &Spec) -> Result<(), EngineError> {
+        let windows = spec.array_windows();
+        for (name, locator) in &spec.data_arrays {
+            if self.catalog.arrays().contains_key(name) {
+                continue;
+            }
+            let array = if let Some(sql) = locator.strip_prefix("sql:") {
+                // Bounded materialization (§IV-B): pull only the time
+                // window the spec actually reads, trading storage for
+                // compute at fine grain.
+                Query::parse(sql)
+                    .and_then(|q| match windows.get(name) {
+                        Some((lo, hi)) => v2v_data::materialize_bounded(
+                            &q,
+                            &self.database,
+                            "timestamp",
+                            *lo,
+                            *hi,
+                        ),
+                        None => q.materialize(&self.database),
+                    })
+                    .map_err(|source| EngineError::Bind {
+                        name: name.clone(),
+                        source,
+                    })?
+            } else {
+                v2v_data::json::load_annotations(locator).map_err(|source| {
+                    EngineError::Bind {
+                        name: name.clone(),
+                        source,
+                    }
+                })?
+            };
+            self.catalog.add_array(name.clone(), array);
+        }
+        for (name, locator) in &spec.videos {
+            if self.catalog.video(name).is_some() {
+                continue;
+            }
+            let stream =
+                v2v_container::read_svc(locator).map_err(|e| EngineError::VideoBind {
+                    name: name.clone(),
+                    locator: locator.clone(),
+                    reason: e.to_string(),
+                })?;
+            self.catalog.add_video(name.clone(), stream);
+        }
+        Ok(())
+    }
+
+    /// Applies the data-dependent rewriter (pass 1 of the two-pass
+    /// execution), returning the specialized spec. Pass-through spans
+    /// shorter than half an output GOP are not split — too short to
+    /// enable a stream copy, they would only fragment the plan.
+    pub fn specialize(&self, spec: &Spec) -> (Spec, usize) {
+        if self.config.data_rewrites {
+            let min_run = u64::from(spec.output.gop_size / 2).max(1);
+            crate::dde::rewrite_spec_with_min_run(spec, self.catalog.arrays(), min_run)
+        } else {
+            (spec.clone(), 0)
+        }
+    }
+
+    /// Checks, plans, and optimizes a (bound, specialized) spec.
+    pub fn plan(&self, spec: &Spec) -> Result<(PhysicalPlan, CheckReport), EngineError> {
+        let check =
+            check_spec_with_udfs(spec, &self.catalog.source_infos(), self.catalog.udf_registry())
+                .map_err(EngineError::Check)?;
+        let logical = lower_spec(spec)?;
+        let physical = optimize(&logical, &self.catalog.plan_context(), &self.config.optimizer)?;
+        Ok((physical, check))
+    }
+
+    /// Full pipeline: bind → specialize → check → plan → execute.
+    pub fn run(&mut self, spec: &Spec) -> Result<RunReport, EngineError> {
+        self.bind(spec)?;
+        let (specialized, dde_rewrites) = self.specialize(spec);
+        let (physical, check) = self.plan(&specialized)?;
+        let (output, stats, wall) = execute(&physical, &self.catalog, &self.config.exec)?;
+        Ok(RunReport {
+            output,
+            check,
+            stats,
+            plan_stats: physical.stats,
+            dde_rewrites,
+            wall,
+        })
+    }
+
+    /// Full pipeline with on-demand streaming delivery: packets reach
+    /// `sink` in presentation order as segments complete, so playback
+    /// can begin long before synthesis finishes (paper §I: "begin
+    /// playback within seconds").
+    pub fn run_streaming(
+        &mut self,
+        spec: &Spec,
+        sink: impl FnMut(&v2v_codec::Packet),
+    ) -> Result<(RunReport, StreamingStats), EngineError> {
+        self.bind(spec)?;
+        let (specialized, dde_rewrites) = self.specialize(spec);
+        let (physical, check) = self.plan(&specialized)?;
+        let (output, streaming) = execute_streaming(&physical, &self.catalog, sink)?;
+        Ok((
+            RunReport {
+                output,
+                check,
+                stats: streaming.exec,
+                plan_stats: physical.stats,
+                dde_rewrites,
+                wall: streaming.total,
+            },
+            streaming,
+        ))
+    }
+
+    /// Runs a spec and binds its output video back into the catalog under
+    /// `name` — the closed query algebra (§I: "a single video as a final
+    /// output … allows for a closed query algebra, enabling users to
+    /// express complex compound query operations"). Subsequent specs can
+    /// reference `name` like any source.
+    pub fn run_into_catalog(
+        &mut self,
+        name: impl Into<String>,
+        spec: &Spec,
+    ) -> Result<RunReport, EngineError> {
+        let report = self.run(spec)?;
+        self.catalog.add_video(name.into(), report.output.clone());
+        Ok(report)
+    }
+
+    /// Runs the unoptimized plan (naive operator-at-a-time execution, no
+    /// data rewrites) — the baseline arm of the paper's evaluation.
+    pub fn run_unoptimized(&mut self, spec: &Spec) -> Result<RunReport, EngineError> {
+        self.bind(spec)?;
+        let check =
+            check_spec_with_udfs(spec, &self.catalog.source_infos(), self.catalog.udf_registry())
+                .map_err(EngineError::Check)?;
+        let logical = lower_spec(spec)?;
+        let (output, stats, wall) = execute_naive(&logical, &self.catalog)?;
+        Ok(RunReport {
+            output,
+            check,
+            stats,
+            plan_stats: PlanStats::default(),
+            dde_rewrites: 0,
+            wall,
+        })
+    }
+
+    /// Explains both plans for a spec: `(unoptimized, optimized)` — the
+    /// Fig. 2 pair.
+    pub fn explain(&mut self, spec: &Spec) -> Result<(String, String), EngineError> {
+        self.bind(spec)?;
+        let (specialized, _) = self.specialize(spec);
+        let logical_unopt = lower_spec(spec)?;
+        let (physical, _) = self.plan(&specialized)?;
+        Ok((explain_logical(&logical_unopt), explain_physical(&physical)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_codec::CodecParams;
+    use v2v_container::StreamWriter;
+    use v2v_data::{Table, Value};
+    use v2v_frame::{marker, BoxCoord, Frame, FrameType};
+    use v2v_spec::builder::bounding_box;
+    use v2v_spec::{OutputSettings, SpecBuilder};
+    use v2v_time::{r, Rational};
+
+    fn marked_stream(n: usize, gop: u32) -> VideoStream {
+        let ty = FrameType::gray8(64, 32);
+        let params = CodecParams::new(ty, gop, 0);
+        let mut w = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        for i in 0..n {
+            let mut f = Frame::black(ty);
+            marker::embed(&mut f, i as u32);
+            w.push_frame(&f).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn output() -> OutputSettings {
+        OutputSettings {
+            frame_ty: FrameType::gray8(64, 32),
+            frame_dur: r(1, 30),
+            gop_size: 30,
+            quantizer: 0,
+        }
+    }
+
+    fn engine_with_video() -> V2vEngine {
+        let mut catalog = Catalog::new();
+        catalog.add_video("a", marked_stream(120, 30));
+        V2vEngine::new(catalog)
+    }
+
+    #[test]
+    fn end_to_end_run_and_baseline_agree() {
+        let mut engine = engine_with_video();
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_clip("a", r(1, 1), r(2, 1))
+            .build();
+        let opt = engine.run(&spec).unwrap();
+        let unopt = engine.run_unoptimized(&spec).unwrap();
+        assert_eq!(opt.output.len(), 60);
+        assert_eq!(unopt.output.len(), 60);
+        let (fa, _) = opt.output.decode_range(0, 60).unwrap();
+        let (fb, _) = unopt.output.decode_range(0, 60).unwrap();
+        assert_eq!(fa, fb);
+        assert!(opt.stats.packets_copied > 0);
+        // The naive arm still paid a full decode+encode for the clip
+        // (its only copies are the final concat splice of its own
+        // intermediates).
+        assert_eq!(unopt.stats.frames_encoded, 60);
+        assert_eq!(opt.stats.frames_encoded, 0);
+    }
+
+    #[test]
+    fn dde_plus_optimizer_stream_copies_boxless_spans() {
+        // Sparse detections: boxes only on frames 30..60 of a 120-frame
+        // clip. After dde + optimization, the box-free spans stream-copy.
+        let mut engine = engine_with_video();
+        let mut bb = v2v_data::DataArray::new();
+        for i in 30..60 {
+            bb.insert(
+                r(i, 30),
+                Value::Boxes(vec![BoxCoord::new(0.2, 0.2, 0.3, 0.3, "z")]),
+            );
+        }
+        engine.catalog_mut().add_array("bb", bb);
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .data_array("bb", "catalog")
+            .append_filtered("a", r(0, 1), r(4, 1), |e| bounding_box(e, "bb"))
+            .build();
+        let report = engine.run(&spec).unwrap();
+        assert_eq!(report.dde_rewrites, 1);
+        assert!(
+            report.stats.packets_copied >= 60,
+            "box-free GOPs must copy: {:?}",
+            report.stats
+        );
+        // And compare against dde-off: everything renders.
+        let mut engine_off = engine_with_video();
+        engine_off.catalog_mut().add_array("bb", {
+            let mut bb = v2v_data::DataArray::new();
+            for i in 30..60 {
+                bb.insert(
+                    r(i, 30),
+                    Value::Boxes(vec![BoxCoord::new(0.2, 0.2, 0.3, 0.3, "z")]),
+                );
+            }
+            bb
+        });
+        let cfg = EngineConfig {
+            data_rewrites: false,
+            ..Default::default()
+        };
+        let mut engine_off = V2vEngine {
+            catalog: engine_off.catalog.clone(),
+            database: Database::new(),
+            config: cfg,
+        };
+        let report_off = engine_off.run(&spec).unwrap();
+        assert_eq!(report_off.stats.packets_copied, 0);
+        // Same frames either way.
+        let (fa, _) = report.output.decode_range(0, report.output.len()).unwrap();
+        let (fb, _) = report_off
+            .output
+            .decode_range(0, report_off.output.len())
+            .unwrap();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn sql_locator_binds_from_database() {
+        let mut t = Table::new(
+            "video_objects",
+            vec![
+                "video".into(),
+                "model".into(),
+                "timestamp".into(),
+                "frame_objects".into(),
+            ],
+        );
+        for i in 0..30 {
+            t.push_row(vec![
+                Value::from("a"),
+                Value::from("yolov5m"),
+                Value::Rational(r(i, 30)),
+                Value::Boxes(vec![]),
+            ]);
+        }
+        let mut db = Database::new();
+        db.add_table(t);
+        let mut catalog = Catalog::new();
+        catalog.add_video("a", marked_stream(60, 30));
+        let mut engine = V2vEngine::new(catalog).with_database(db);
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .data_array(
+                "bb",
+                "sql:SELECT timestamp, frame_objects FROM video_objects \
+                 WHERE video = 'a' AND model = 'yolov5m'",
+            )
+            .append_filtered("a", r(0, 1), r(1, 1), |e| bounding_box(e, "bb"))
+            .build();
+        let report = engine.run(&spec).unwrap();
+        // All rows have empty boxes → dde collapses to a pure clip →
+        // everything copies.
+        assert!(report.dde_rewrites >= 1);
+        assert_eq!(report.stats.frames_encoded, 0);
+    }
+
+    #[test]
+    fn bad_sql_locator_reports_bind_error() {
+        let mut engine = engine_with_video();
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .data_array("bb", "sql:SELEKT nope")
+            .append_filtered("a", r(0, 1), r(1, 1), |e| bounding_box(e, "bb"))
+            .build();
+        assert!(matches!(
+            engine.run(&spec),
+            Err(EngineError::Bind { .. })
+        ));
+    }
+
+    #[test]
+    fn check_failure_surfaces() {
+        let mut engine = engine_with_video();
+        // Clip past the end of the 4-second source.
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_clip("a", r(3, 1), r(5, 1))
+            .build();
+        assert!(matches!(engine.run(&spec), Err(EngineError::Check(_))));
+    }
+
+    #[test]
+    fn explain_produces_both_plans() {
+        let mut engine = engine_with_video();
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_clip("a", r(1, 1), r(2, 1))
+            .build();
+        let (unopt, opt) = engine.explain(&spec).unwrap();
+        assert!(unopt.contains("Clip"));
+        assert!(opt.contains("StreamCopy"));
+    }
+
+    #[test]
+    fn sql_binding_is_time_bounded() {
+        // The table spans 4 s; the spec reads only [0, 1) s: bind must
+        // materialize the window, not the whole query (§IV-B bounded
+        // materialization).
+        let mut t = Table::new(
+            "video_objects",
+            vec![
+                "video".into(),
+                "model".into(),
+                "timestamp".into(),
+                "frame_objects".into(),
+            ],
+        );
+        for i in 0..120 {
+            t.push_row(vec![
+                Value::from("a"),
+                Value::from("yolov5m"),
+                Value::Rational(r(i, 30)),
+                Value::Boxes(vec![]),
+            ]);
+        }
+        let mut db = Database::new();
+        db.add_table(t);
+        let mut catalog = Catalog::new();
+        catalog.add_video("a", marked_stream(120, 30));
+        let mut engine = V2vEngine::new(catalog).with_database(db);
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .data_array(
+                "bb",
+                "sql:SELECT timestamp, frame_objects FROM video_objects WHERE video = 'a'",
+            )
+            .append_filtered("a", r(0, 1), r(1, 1), |e| bounding_box(e, "bb"))
+            .build();
+        engine.bind(&spec).unwrap();
+        let bound = &engine.catalog().arrays()["bb"];
+        assert_eq!(bound.len(), 30, "only the read window materializes");
+        assert!(bound.contains(r(29, 30)));
+        assert!(!bound.contains(r(30, 30)));
+    }
+}

@@ -1,0 +1,161 @@
+//! Time-indexed data arrays: the paper's `data_arrays` spec inputs.
+
+use crate::value::Value;
+use std::collections::BTreeMap;
+use v2v_time::{Rational, TimeSet};
+
+/// A rational-time-indexed array of values, referenced from specs as
+/// `name[t]`.
+///
+/// Lookups at absent instants return [`Value::Null`] — the relational
+/// convention for "no row at this timestamp" (e.g. no detections ran, as
+/// opposed to an empty detection list).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DataArray {
+    entries: BTreeMap<Rational, Value>,
+}
+
+/// The shared NULL returned for absent instants.
+static NULL: Value = Value::Null;
+
+impl DataArray {
+    /// An empty array.
+    pub fn new() -> DataArray {
+        DataArray::default()
+    }
+
+    /// Builds from `(time, value)` pairs; later duplicates win.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Rational, Value)>) -> DataArray {
+        DataArray {
+            entries: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Inserts or replaces the value at `t`.
+    pub fn insert(&mut self, t: Rational, v: Value) {
+        self.entries.insert(t, v);
+    }
+
+    /// The value at exactly `t`, or `Null` when absent.
+    pub fn get(&self, t: Rational) -> &Value {
+        self.entries.get(&t).unwrap_or(&NULL)
+    }
+
+    /// The value at the greatest instant `<= t` (sample-and-hold lookup,
+    /// useful when data is sampled coarser than the video grid).
+    pub fn get_at_or_before(&self, t: Rational) -> &Value {
+        self.entries
+            .range(..=t)
+            .next_back()
+            .map(|(_, v)| v)
+            .unwrap_or(&NULL)
+    }
+
+    /// `true` if a value exists at exactly `t`.
+    pub fn contains(&self, t: Rational) -> bool {
+        self.entries.contains_key(&t)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the array holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(time, value)` in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (Rational, &Value)> {
+        self.entries.iter().map(|(t, v)| (*t, v))
+    }
+
+    /// The instants at which entries exist.
+    pub fn instants(&self) -> impl Iterator<Item = Rational> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// The entry domain as a [`TimeSet`].
+    pub fn domain(&self) -> TimeSet {
+        TimeSet::from_instants(self.entries.keys().copied())
+    }
+
+    /// Restricts to entries with `lo <= t < hi` (bounded materialization).
+    pub fn slice(&self, lo: Rational, hi: Rational) -> DataArray {
+        DataArray {
+            entries: self
+                .entries
+                .range(lo..hi)
+                .map(|(t, v)| (*t, v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Merges another array over this one (other wins on conflicts).
+    pub fn merge(&mut self, other: &DataArray) {
+        for (t, v) in &other.entries {
+            self.entries.insert(*t, v.clone());
+        }
+    }
+}
+
+impl FromIterator<(Rational, Value)> for DataArray {
+    fn from_iter<T: IntoIterator<Item = (Rational, Value)>>(iter: T) -> Self {
+        DataArray::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_time::r;
+
+    #[test]
+    fn exact_lookup_and_null_default() {
+        let mut a = DataArray::new();
+        a.insert(r(1, 30), Value::Int(5));
+        assert_eq!(a.get(r(1, 30)), &Value::Int(5));
+        assert_eq!(a.get(r(2, 30)), &Value::Null);
+        assert!(a.contains(r(1, 30)));
+        assert!(!a.contains(r(2, 30)));
+    }
+
+    #[test]
+    fn sample_and_hold() {
+        let a = DataArray::from_pairs([
+            (r(0, 1), Value::Int(1)),
+            (r(1, 1), Value::Int(2)),
+        ]);
+        assert_eq!(a.get_at_or_before(r(1, 2)), &Value::Int(1));
+        assert_eq!(a.get_at_or_before(r(1, 1)), &Value::Int(2));
+        assert_eq!(a.get_at_or_before(r(5, 1)), &Value::Int(2));
+        assert_eq!(a.get_at_or_before(r(-1, 1)), &Value::Null);
+    }
+
+    #[test]
+    fn slice_bounds_are_half_open() {
+        let a = DataArray::from_pairs((0..10).map(|i| (r(i, 1), Value::Int(i))));
+        let s = a.slice(r(3, 1), r(7, 1));
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(r(3, 1)));
+        assert!(!s.contains(r(7, 1)));
+    }
+
+    #[test]
+    fn domain_is_exact() {
+        let a = DataArray::from_pairs([(r(0, 1), Value::Int(0)), (r(1, 2), Value::Int(1))]);
+        let d = a.domain();
+        assert_eq!(d.count(), 2);
+        assert!(d.contains(r(1, 2)));
+    }
+
+    #[test]
+    fn merge_prefers_other() {
+        let mut a = DataArray::from_pairs([(r(0, 1), Value::Int(1))]);
+        let b = DataArray::from_pairs([(r(0, 1), Value::Int(9)), (r(1, 1), Value::Int(2))]);
+        a.merge(&b);
+        assert_eq!(a.get(r(0, 1)), &Value::Int(9));
+        assert_eq!(a.len(), 2);
+    }
+}

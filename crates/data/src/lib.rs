@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! Relational data substrate for V2V.
+//!
+//! Video synthesis "must enable joining relational data with video data"
+//! (paper §IV-B). This crate supplies the data side of that join:
+//!
+//! * [`Value`] — the scalar model (including rational timestamps and
+//!   bounding-box lists, the two types the paper's examples join on);
+//! * [`DataArray`] — the paper's *data array*: a rational-time-indexed
+//!   array referenced from specs as `vid1_bb[t]`;
+//! * [`json`] — loaders for JSON annotation files (`annot1.json` in the
+//!   paper's example spec), in both sparse and dense layouts;
+//! * [`Database`] / [`sql`] — an in-memory relational store and a small
+//!   SQL subset (`SELECT … FROM … WHERE … [ORDER BY] [LIMIT]`), so specs
+//!   can define data arrays with queries like the paper's
+//!   `SELECT timestamp, frame_objects FROM video_objects WHERE …`;
+//! * bounded materialization — queries can be materialized "in portions
+//!   by bounding the time" ([`sql::materialize_bounded`]).
+
+pub mod array;
+pub mod json;
+pub mod sql;
+pub mod table;
+pub mod value;
+
+pub use array::DataArray;
+pub use sql::{materialize_bounded, AggFunc, Query, SelectItem};
+pub use table::{Database, Table};
+pub use value::Value;
+
+/// Errors raised by the data layer.
+#[derive(Debug, thiserror::Error)]
+pub enum DataError {
+    /// JSON parse or shape error while loading annotations.
+    #[error("invalid annotation JSON: {0}")]
+    BadJson(String),
+    /// SQL text failed to parse.
+    #[error("SQL parse error: {0}")]
+    SqlParse(String),
+    /// Query referenced a missing table or column.
+    #[error("unknown {kind} '{name}'")]
+    Unknown {
+        /// "table" or "column".
+        kind: &'static str,
+        /// The missing identifier.
+        name: String,
+    },
+    /// Query evaluation hit an incompatible comparison.
+    #[error("cannot compare {0} with {1}")]
+    BadComparison(String, String),
+    /// Underlying I/O failure.
+    #[error("i/o error: {0}")]
+    Io(#[from] std::io::Error),
+}

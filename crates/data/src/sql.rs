@@ -1,0 +1,994 @@
+//! A small SQL subset for defining spec data arrays.
+//!
+//! Supports exactly the query shape the paper's example uses (§IV-B):
+//!
+//! ```sql
+//! SELECT timestamp, frame_objects
+//! FROM video_objects
+//! WHERE video = 'kabr_cam2' AND model = 'yolov5m'
+//!   AND timestamp BETWEEN 0 AND 60
+//! ORDER BY timestamp
+//! LIMIT 1000;
+//! ```
+//!
+//! … plus the analytics shape from the paper's introduction ("how many
+//! videos contained object X per day?"):
+//!
+//! ```sql
+//! SELECT video, count(*) FROM video_objects
+//! WHERE model = 'yolov5m' GROUP BY video;
+//! ```
+//!
+//! Grammar: `SELECT items FROM ident [WHERE pred {AND pred}]
+//! [GROUP BY ident] [ORDER BY ident [ASC|DESC]] [LIMIT n]`, where an
+//! item is a column or `COUNT|SUM|MIN|MAX|AVG(col)` / `COUNT(*)`;
+//! predicates are `col (=|!=|<>|<|<=|>|>=) literal` and
+//! `col BETWEEN lit AND lit`. Literals: single/double-quoted strings,
+//! integers, floats, rationals (`n/d`), `TRUE`, `FALSE`, `NULL`.
+
+use crate::array::DataArray;
+use crate::table::Database;
+use crate::value::Value;
+use crate::DataError;
+use std::cmp::Ordering;
+use v2v_time::Rational;
+
+/// Comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, ord: Option<Ordering>) -> bool {
+        match (self, ord) {
+            (CmpOp::Eq, Some(Ordering::Equal)) => true,
+            (CmpOp::Ne, Some(o)) => o != Ordering::Equal,
+            (CmpOp::Lt, Some(Ordering::Less)) => true,
+            (CmpOp::Le, Some(Ordering::Less | Ordering::Equal)) => true,
+            (CmpOp::Gt, Some(Ordering::Greater)) => true,
+            (CmpOp::Ge, Some(Ordering::Greater | Ordering::Equal)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A WHERE predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Predicate {
+    /// `col op literal`
+    Compare {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        value: Value,
+    },
+    /// `col BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Column name.
+        column: String,
+        /// Lower bound.
+        lo: Value,
+        /// Upper bound.
+        hi: Value,
+    },
+}
+
+/// An aggregate function.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggFunc {
+    /// `COUNT(col)` / `COUNT(*)`.
+    Count,
+    /// `SUM(col)` (numeric).
+    Sum,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+    /// `AVG(col)` (numeric).
+    Avg,
+}
+
+impl AggFunc {
+    fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// One SELECT item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// A plain column reference.
+    Column(String),
+    /// An aggregate over a column (`None` = `*`, COUNT only).
+    Aggregate {
+        /// The function.
+        func: AggFunc,
+        /// Aggregated column; `None` means `*`.
+        arg: Option<String>,
+    },
+}
+
+impl SelectItem {
+    fn label(&self) -> String {
+        match self {
+            SelectItem::Column(c) => c.clone(),
+            SelectItem::Aggregate { func, arg } => {
+                format!("{}({})", func.name(), arg.as_deref().unwrap_or("*"))
+            }
+        }
+    }
+}
+
+/// A parsed query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// Projected items (`None` = `*`).
+    pub columns: Option<Vec<SelectItem>>,
+    /// Source table.
+    pub table: String,
+    /// Conjunctive predicates.
+    pub predicates: Vec<Predicate>,
+    /// Optional grouping column (aggregation queries).
+    pub group_by: Option<String>,
+    /// Optional ordering column and direction (`true` = ascending).
+    pub order_by: Option<(String, bool)>,
+    /// Optional row limit.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// Parses SQL text.
+    pub fn parse(sql: &str) -> Result<Query, DataError> {
+        Parser::new(sql)?.query()
+    }
+
+    /// Executes against a database, returning projected column names and
+    /// rows. Aggregation queries (any aggregate item, optionally with
+    /// `GROUP BY`) return one row per group.
+    pub fn execute(&self, db: &Database) -> Result<(Vec<String>, Vec<Vec<Value>>), DataError> {
+        let table = db.table(&self.table)?;
+        // Resolve predicate columns once.
+        let preds: Vec<(usize, &Predicate)> = self
+            .predicates
+            .iter()
+            .map(|p| {
+                let col = match p {
+                    Predicate::Compare { column, .. } | Predicate::Between { column, .. } => column,
+                };
+                table.column_index(col).map(|i| (i, p))
+            })
+            .collect::<Result<_, _>>()?;
+        let filtered: Vec<&Vec<Value>> = table
+            .rows()
+            .iter()
+            .filter(|row| {
+                preds.iter().all(|(i, p)| {
+                    let cell = &row[*i];
+                    match p {
+                        Predicate::Compare { op, value, .. } => op.eval(cell.compare(value)),
+                        Predicate::Between { lo, hi, .. } => {
+                            CmpOp::Ge.eval(cell.compare(lo)) && CmpOp::Le.eval(cell.compare(hi))
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let has_aggregate = self
+            .columns
+            .as_ref()
+            .is_some_and(|items| items.iter().any(|i| matches!(i, SelectItem::Aggregate { .. })));
+
+        let (cols, mut rows) = if has_aggregate || self.group_by.is_some() {
+            self.execute_grouped(table, &filtered)?
+        } else {
+            // Plain projection.
+            let proj: Vec<(String, usize)> = match &self.columns {
+                None => table
+                    .columns()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (c.clone(), i))
+                    .collect(),
+                Some(items) => items
+                    .iter()
+                    .map(|item| match item {
+                        SelectItem::Column(c) => {
+                            table.column_index(c).map(|i| (c.clone(), i))
+                        }
+                        SelectItem::Aggregate { .. } => unreachable!("handled above"),
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            let rows = filtered
+                .iter()
+                .map(|row| proj.iter().map(|(_, i)| row[*i].clone()).collect())
+                .collect();
+            (proj.into_iter().map(|(n, _)| n).collect::<Vec<_>>(), rows)
+        };
+
+        if let Some((col, asc)) = &self.order_by {
+            let sort_idx = cols
+                .iter()
+                .position(|name| name == col)
+                .ok_or_else(|| DataError::Unknown {
+                    kind: "column",
+                    name: col.clone(),
+                })?;
+            rows.sort_by(|a: &Vec<Value>, b: &Vec<Value>| {
+                let ord = a[sort_idx]
+                    .compare(&b[sort_idx])
+                    .unwrap_or(Ordering::Equal);
+                if *asc {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+        }
+        if let Some(n) = self.limit {
+            rows.truncate(n);
+        }
+        Ok((cols, rows))
+    }
+
+    /// Grouped/aggregated execution.
+    fn execute_grouped(
+        &self,
+        table: &crate::table::Table,
+        filtered: &[&Vec<Value>],
+    ) -> Result<(Vec<String>, Vec<Vec<Value>>), DataError> {
+        let items = self.columns.as_ref().ok_or_else(|| {
+            DataError::SqlParse("aggregation requires an explicit select list".into())
+        })?;
+        // Validate: plain columns must be the GROUP BY column.
+        for item in items {
+            if let SelectItem::Column(c) = item {
+                if self.group_by.as_deref() != Some(c.as_str()) {
+                    return Err(DataError::SqlParse(format!(
+                        "column '{c}' must appear in GROUP BY"
+                    )));
+                }
+            }
+        }
+        let group_idx = self
+            .group_by
+            .as_ref()
+            .map(|c| table.column_index(c))
+            .transpose()?;
+        // Resolve aggregate argument columns.
+        let arg_idx: Vec<Option<usize>> = items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Aggregate { arg: Some(c), .. } => {
+                    table.column_index(c).map(Some)
+                }
+                _ => Ok(None),
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Group preserving first-seen order (display-friendly, and stable
+        // for per-day style buckets).
+        let mut order: Vec<Value> = Vec::new();
+        let mut groups: Vec<Vec<&Vec<Value>>> = Vec::new();
+        for row in filtered {
+            let key = group_idx.map(|i| row[i].clone()).unwrap_or(Value::Null);
+            let slot = order.iter().position(|k| k == &key);
+            match slot {
+                Some(i) => groups[i].push(row),
+                None => {
+                    order.push(key);
+                    groups.push(vec![row]);
+                }
+            }
+        }
+        if group_idx.is_none() && groups.is_empty() {
+            // Global aggregate over zero rows still yields one row.
+            order.push(Value::Null);
+            groups.push(Vec::new());
+        }
+
+        let cols: Vec<String> = items.iter().map(|i| i.label()).collect();
+        let mut rows = Vec::with_capacity(groups.len());
+        for (key, group) in order.into_iter().zip(groups) {
+            let mut row = Vec::with_capacity(items.len());
+            for (item, arg) in items.iter().zip(&arg_idx) {
+                match item {
+                    SelectItem::Column(_) => row.push(key.clone()),
+                    SelectItem::Aggregate { func, .. } => {
+                        row.push(aggregate(*func, *arg, &group));
+                    }
+                }
+            }
+            rows.push(row);
+        }
+        Ok((cols, rows))
+    }
+
+    /// Executes and shapes the result into a [`DataArray`]: the first
+    /// projected column must hold rational timestamps, the second the
+    /// values (the paper's "tuple of a rational timestamp and a scalar
+    /// element").
+    pub fn materialize(&self, db: &Database) -> Result<DataArray, DataError> {
+        let (cols, rows) = self.execute(db)?;
+        if cols.len() < 2 {
+            return Err(DataError::SqlParse(
+                "materializing a data array needs (timestamp, value) columns".into(),
+            ));
+        }
+        let mut out = DataArray::new();
+        for row in rows {
+            let t = row[0].as_rational().ok_or_else(|| {
+                DataError::BadComparison(row[0].type_name().into(), "rational timestamp".into())
+            })?;
+            out.insert(t, row[1].clone());
+        }
+        Ok(out)
+    }
+}
+
+/// Materializes a query restricted to `lo <= timestamp <= hi` — the
+/// paper's "materialized in portions by bounding the time", giving
+/// "fine-grained control between storage and compute".
+pub fn materialize_bounded(
+    query: &Query,
+    db: &Database,
+    time_column: &str,
+    lo: Rational,
+    hi: Rational,
+) -> Result<DataArray, DataError> {
+    let mut bounded = query.clone();
+    bounded.predicates.push(Predicate::Between {
+        column: time_column.to_string(),
+        lo: Value::Rational(lo),
+        hi: Value::Rational(hi),
+    });
+    bounded.materialize(db)
+}
+
+/// Computes one aggregate over a group (NULLs are skipped, SQL-style;
+/// `COUNT(*)` counts rows).
+fn aggregate(func: AggFunc, arg: Option<usize>, group: &[&Vec<Value>]) -> Value {
+    match func {
+        AggFunc::Count => match arg {
+            None => Value::Int(group.len() as i64),
+            Some(i) => Value::Int(
+                group.iter().filter(|row| !row[i].is_null()).count() as i64
+            ),
+        },
+        AggFunc::Sum | AggFunc::Avg => {
+            let i = arg.expect("parser requires a column for SUM/AVG");
+            let mut sum = 0.0f64;
+            let mut n = 0usize;
+            let mut exact = v2v_time::Rational::ZERO;
+            let mut all_exact = true;
+            for row in group {
+                let v = &row[i];
+                if v.is_null() {
+                    continue;
+                }
+                match v.as_rational() {
+                    Some(rv) if all_exact => match exact.checked_add(rv) {
+                        Ok(e) => exact = e,
+                        Err(_) => all_exact = false,
+                    },
+                    _ => all_exact = false,
+                }
+                match v.as_f64() {
+                    Some(f) => {
+                        sum += f;
+                        n += 1;
+                    }
+                    None => return Value::Null,
+                }
+            }
+            if n == 0 {
+                return Value::Null;
+            }
+            match func {
+                AggFunc::Sum if all_exact => Value::Rational(exact),
+                AggFunc::Sum => Value::Float(sum),
+                _ => Value::Float(sum / n as f64),
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let i = arg.expect("parser requires a column for MIN/MAX");
+            let mut best: Option<&Value> = None;
+            for row in group {
+                let v = &row[i];
+                if v.is_null() {
+                    continue;
+                }
+                best = match best {
+                    None => Some(v),
+                    Some(b) => match v.compare(b) {
+                        Some(Ordering::Less) if func == AggFunc::Min => Some(v),
+                        Some(Ordering::Greater) if func == AggFunc::Max => Some(v),
+                        _ => Some(b),
+                    },
+                };
+            }
+            best.cloned().unwrap_or(Value::Null)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexer / parser
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Number(Value),
+    Symbol(String),
+    Star,
+    Comma,
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+fn lex(sql: &str) -> Result<Vec<Token>, DataError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ';' => i += 1,
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != quote {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(DataError::SqlParse("unterminated string literal".into()));
+                }
+                i += 1;
+                out.push(Token::Str(s));
+            }
+            '=' | '(' | ')' => {
+                out.push(Token::Symbol(c.to_string()));
+                i += 1;
+            }
+            '<' | '>' | '!' => {
+                let mut s = c.to_string();
+                if i + 1 < chars.len() && (chars[i + 1] == '=' || (c == '<' && chars[i + 1] == '>'))
+                {
+                    s.push(chars[i + 1]);
+                    i += 1;
+                }
+                out.push(Token::Symbol(s));
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let start = i;
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == '/')
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let v = if text.contains('/') {
+                    Value::Rational(
+                        text.parse()
+                            .map_err(|e| DataError::SqlParse(format!("bad rational: {e}")))?,
+                    )
+                } else if text.contains('.') {
+                    Value::Float(
+                        text.parse()
+                            .map_err(|_| DataError::SqlParse(format!("bad float: {text}")))?,
+                    )
+                } else {
+                    Value::Int(
+                        text.parse()
+                            .map_err(|_| DataError::SqlParse(format!("bad int: {text}")))?,
+                    )
+                };
+                out.push(Token::Number(v));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(DataError::SqlParse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Parser, DataError> {
+        Ok(Parser {
+            tokens: lex(sql)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), DataError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            Err(DataError::SqlParse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DataError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(DataError::SqlParse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, DataError> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Number(v)) => Ok(v),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            other => Err(DataError::SqlParse(format!(
+                "expected literal, found {other:?}"
+            ))),
+        }
+    }
+
+    /// `ident` or `AGG(ident|*)`.
+    fn select_item(&mut self) -> Result<SelectItem, DataError> {
+        let name = self.ident()?;
+        let func = match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "avg" => Some(AggFunc::Avg),
+            _ => None,
+        };
+        if let Some(func) = func {
+            if matches!(self.peek(), Some(Token::Symbol(s)) if s == "(") {
+                self.pos += 1;
+                let arg = if matches!(self.peek(), Some(Token::Star)) {
+                    self.pos += 1;
+                    if func != AggFunc::Count {
+                        return Err(DataError::SqlParse(format!(
+                            "{}(*) is only valid for COUNT",
+                            func.name()
+                        )));
+                    }
+                    None
+                } else {
+                    Some(self.ident()?)
+                };
+                match self.next() {
+                    Some(Token::Symbol(s)) if s == ")" => {}
+                    other => {
+                        return Err(DataError::SqlParse(format!(
+                            "expected ')', found {other:?}"
+                        )));
+                    }
+                }
+                return Ok(SelectItem::Aggregate { func, arg });
+            }
+        }
+        Ok(SelectItem::Column(name))
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, DataError> {
+        let column = self.ident()?;
+        if self.keyword("between") {
+            let lo = self.literal()?;
+            self.expect_keyword("and")?;
+            let hi = self.literal()?;
+            return Ok(Predicate::Between { column, lo, hi });
+        }
+        let op = match self.next() {
+            Some(Token::Symbol(s)) => match s.as_str() {
+                "=" => CmpOp::Eq,
+                "!=" | "<>" => CmpOp::Ne,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                other => {
+                    return Err(DataError::SqlParse(format!("unknown operator {other}")));
+                }
+            },
+            other => {
+                return Err(DataError::SqlParse(format!(
+                    "expected operator, found {other:?}"
+                )));
+            }
+        };
+        let value = self.literal()?;
+        Ok(Predicate::Compare { column, op, value })
+    }
+
+    fn query(&mut self) -> Result<Query, DataError> {
+        self.expect_keyword("select")?;
+        let columns = if matches!(self.peek(), Some(Token::Star)) {
+            self.pos += 1;
+            None
+        } else {
+            let mut cols = vec![self.select_item()?];
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                cols.push(self.select_item()?);
+            }
+            Some(cols)
+        };
+        self.expect_keyword("from")?;
+        let table = self.ident()?;
+        let mut predicates = Vec::new();
+        if self.keyword("where") {
+            predicates.push(self.predicate()?);
+            while self.keyword("and") {
+                predicates.push(self.predicate()?);
+            }
+        }
+        let mut group_by = None;
+        if self.keyword("group") {
+            self.expect_keyword("by")?;
+            group_by = Some(self.ident()?);
+        }
+        let mut order_by = None;
+        if self.keyword("order") {
+            self.expect_keyword("by")?;
+            let col = self.ident()?;
+            let asc = if self.keyword("desc") {
+                false
+            } else {
+                self.keyword("asc");
+                true
+            };
+            order_by = Some((col, asc));
+        }
+        let mut limit = None;
+        if self.keyword("limit") {
+            match self.next() {
+                Some(Token::Number(Value::Int(n))) if n >= 0 => limit = Some(n as usize),
+                other => {
+                    return Err(DataError::SqlParse(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )));
+                }
+            }
+        }
+        if self.pos != self.tokens.len() {
+            return Err(DataError::SqlParse(format!(
+                "trailing tokens after query: {:?}",
+                self.peek()
+            )));
+        }
+        Ok(Query {
+            columns,
+            table,
+            predicates,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+    use v2v_time::r;
+
+    fn objects_db() -> Database {
+        let mut t = Table::new(
+            "video_objects",
+            vec![
+                "video".into(),
+                "model".into(),
+                "timestamp".into(),
+                "frame_objects".into(),
+            ],
+        );
+        for i in 0..10 {
+            t.push_row(vec![
+                Value::from(if i % 2 == 0 { "a.mp4" } else { "b.mp4" }),
+                Value::from("yolov5m"),
+                Value::Rational(r(i, 30)),
+                Value::Int(i),
+            ]);
+        }
+        let mut db = Database::new();
+        db.add_table(t);
+        db
+    }
+
+    #[test]
+    fn parse_paper_query() {
+        let q = Query::parse(
+            "SELECT timestamp, frame_objects FROM video_objects \
+             WHERE video = 'a.mp4' AND model = \"yolov5m\";",
+        )
+        .unwrap();
+        assert_eq!(
+            q.columns,
+            Some(vec![
+                SelectItem::Column("timestamp".into()),
+                SelectItem::Column("frame_objects".into())
+            ])
+        );
+        assert_eq!(q.table, "video_objects");
+        assert_eq!(q.predicates.len(), 2);
+    }
+
+    #[test]
+    fn execute_filters_and_projects() {
+        let db = objects_db();
+        let q = Query::parse(
+            "SELECT timestamp, frame_objects FROM video_objects WHERE video = 'a.mp4'",
+        )
+        .unwrap();
+        let (cols, rows) = q.execute(&db).unwrap();
+        assert_eq!(cols, vec!["timestamp", "frame_objects"]);
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn between_order_limit() {
+        let db = objects_db();
+        let q = Query::parse(
+            "SELECT timestamp, frame_objects FROM video_objects \
+             WHERE timestamp BETWEEN 1/30 AND 8/30 \
+             ORDER BY timestamp DESC LIMIT 3",
+        )
+        .unwrap();
+        let (_, rows) = q.execute(&db).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][0], Value::Rational(r(8, 30)));
+        assert_eq!(rows[2][0], Value::Rational(r(6, 30)));
+    }
+
+    #[test]
+    fn select_star() {
+        let db = objects_db();
+        let q = Query::parse("SELECT * FROM video_objects LIMIT 1").unwrap();
+        let (cols, rows) = q.execute(&db).unwrap();
+        assert_eq!(cols.len(), 4);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn materialize_builds_data_array() {
+        let db = objects_db();
+        let q = Query::parse(
+            "SELECT timestamp, frame_objects FROM video_objects WHERE video = 'b.mp4'",
+        )
+        .unwrap();
+        let a = q.materialize(&db).unwrap();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.get(r(1, 30)), &Value::Int(1));
+        assert_eq!(a.get(r(2, 30)), &Value::Null); // b.mp4 has odd rows only
+    }
+
+    #[test]
+    fn materialize_bounded_restricts_time() {
+        let db = objects_db();
+        let q = Query::parse("SELECT timestamp, frame_objects FROM video_objects").unwrap();
+        let a = materialize_bounded(&q, &db, "timestamp", r(2, 30), r(5, 30)).unwrap();
+        assert_eq!(a.len(), 4); // 2/30 .. 5/30 inclusive
+        assert!(a.contains(r(5, 30)));
+        assert!(!a.contains(r(6, 30)));
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let db = objects_db();
+        let q = Query::parse(
+            "SELECT timestamp, frame_objects FROM video_objects WHERE frame_objects >= 8",
+        )
+        .unwrap();
+        let (_, rows) = q.execute(&db).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Query::parse("SELEKT x FROM t").is_err());
+        assert!(Query::parse("SELECT x FROM t WHERE").is_err());
+        assert!(Query::parse("SELECT x FROM t WHERE a = 'unterminated").is_err());
+        assert!(Query::parse("SELECT x FROM t LIMIT banana").is_err());
+        assert!(Query::parse("SELECT x FROM t extra junk").is_err());
+        assert!(Query::parse("SELECT x FROM t WHERE a ~ 1").is_err());
+    }
+
+    #[test]
+    fn unknown_table_and_column() {
+        let db = objects_db();
+        assert!(Query::parse("SELECT x FROM nope")
+            .unwrap()
+            .execute(&db)
+            .is_err());
+        assert!(Query::parse("SELECT nope FROM video_objects")
+            .unwrap()
+            .execute(&db)
+            .is_err());
+    }
+
+    #[test]
+    fn null_never_matches() {
+        let mut db = Database::new();
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push_row(vec![Value::Null]);
+        t.push_row(vec![Value::Int(1)]);
+        db.add_table(t);
+        let q = Query::parse("SELECT a FROM t WHERE a = 1").unwrap();
+        let (_, rows) = q.execute(&db).unwrap();
+        assert_eq!(rows.len(), 1);
+        let q = Query::parse("SELECT a FROM t WHERE a != 1").unwrap();
+        let (_, rows) = q.execute(&db).unwrap();
+        assert_eq!(rows.len(), 0, "NULL != 1 is not TRUE in SQL semantics");
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let db = objects_db();
+        let q = Query::parse(
+            "SELECT count(*), min(timestamp), max(timestamp), avg(frame_objects) \
+             FROM video_objects",
+        )
+        .unwrap();
+        let (cols, rows) = q.execute(&db).unwrap();
+        assert_eq!(cols, vec!["count(*)", "min(timestamp)", "max(timestamp)", "avg(frame_objects)"]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(10));
+        assert_eq!(rows[0][1], Value::Rational(r(0, 30)));
+        assert_eq!(rows[0][2], Value::Rational(r(9, 30)));
+        assert_eq!(rows[0][3], Value::Float(4.5));
+    }
+
+    #[test]
+    fn group_by_counts_per_video() {
+        // The paper's intro analytics: how many detections per video?
+        let db = objects_db();
+        let q = Query::parse(
+            "SELECT video, count(*) FROM video_objects GROUP BY video ORDER BY video",
+        )
+        .unwrap();
+        let (cols, rows) = q.execute(&db).unwrap();
+        assert_eq!(cols, vec!["video", "count(*)"]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![Value::from("a.mp4"), Value::Int(5)]);
+        assert_eq!(rows[1], vec![Value::from("b.mp4"), Value::Int(5)]);
+    }
+
+    #[test]
+    fn sum_is_exact_over_rationals() {
+        let db = objects_db();
+        let q = Query::parse("SELECT sum(timestamp) FROM video_objects").unwrap();
+        let (_, rows) = q.execute(&db).unwrap();
+        // 0/30 + 1/30 + … + 9/30 = 45/30 = 3/2.
+        assert_eq!(rows[0][0], Value::Rational(r(3, 2)));
+    }
+
+    #[test]
+    fn aggregates_skip_nulls_and_empty_is_null() {
+        let mut db = Database::new();
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push_row(vec![Value::Null]);
+        t.push_row(vec![Value::Int(4)]);
+        db.add_table(t);
+        let q = Query::parse("SELECT count(a), sum(a), count(*) FROM t").unwrap();
+        let (_, rows) = q.execute(&db).unwrap();
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Rational(r(4, 1)), Value::Int(2)]);
+        // Empty filter result: aggregates still produce one row.
+        let q = Query::parse("SELECT count(*), max(a) FROM t WHERE a > 100").unwrap();
+        let (_, rows) = q.execute(&db).unwrap();
+        assert_eq!(rows[0], vec![Value::Int(0), Value::Null]);
+    }
+
+    #[test]
+    fn aggregation_errors() {
+        let db = objects_db();
+        // Non-grouped column in an aggregate query.
+        let q = Query::parse("SELECT video, count(*) FROM video_objects").unwrap();
+        assert!(q.execute(&db).is_err());
+        // sum(*) is invalid.
+        assert!(Query::parse("SELECT sum(*) FROM t").is_err());
+        // Unclosed parenthesis.
+        assert!(Query::parse("SELECT count(x FROM t").is_err());
+    }
+
+    #[test]
+    fn aggregate_named_column_still_selectable() {
+        // A table can legitimately have a column named `count`; without
+        // parentheses it parses as a plain column.
+        let mut db = Database::new();
+        let mut t = Table::new("t", vec!["count".into()]);
+        t.push_row(vec![Value::Int(7)]);
+        db.add_table(t);
+        let q = Query::parse("SELECT count FROM t").unwrap();
+        let (cols, rows) = q.execute(&db).unwrap();
+        assert_eq!(cols, vec!["count"]);
+        assert_eq!(rows[0][0], Value::Int(7));
+    }
+
+    #[test]
+    fn group_by_order_preserves_first_seen() {
+        let db = objects_db();
+        let q = Query::parse(
+            "SELECT video, min(timestamp) FROM video_objects GROUP BY video",
+        )
+        .unwrap();
+        let (_, rows) = q.execute(&db).unwrap();
+        // a.mp4 appears first in the table.
+        assert_eq!(rows[0][0], Value::from("a.mp4"));
+        assert_eq!(rows[0][1], Value::Rational(r(0, 30)));
+        assert_eq!(rows[1][1], Value::Rational(r(1, 30)));
+    }
+}

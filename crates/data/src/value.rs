@@ -1,0 +1,320 @@
+//! The scalar value model joined with video data.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use v2v_frame::BoxCoord;
+use v2v_time::Rational;
+
+/// A relational value.
+///
+/// The paper's data joins revolve around "a tuple of a rational timestamp
+/// and a scalar element"; `Rational` is therefore a first-class variant,
+/// as is `Boxes` (the `List⟨BoxCoord⟩` fed to `BoundingBox`).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Value {
+    /// SQL NULL / missing.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Exact rational (timestamps).
+    Rational(Rational),
+    /// UTF-8 string.
+    Str(String),
+    /// Object bounding boxes for one frame.
+    Boxes(Vec<BoxCoord>),
+    /// Generic list.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// `true` if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Boolean view (`Bool` only).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer view (`Int`, or integral `Rational`).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Rational(r) if r.is_integer() => Some(r.num()),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (`Int`, `Float`, `Rational` — lossy for display/compare).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Rational(r) => Some(r.to_f64()),
+            _ => None,
+        }
+    }
+
+    /// Exact rational view (`Rational`, `Int`).
+    pub fn as_rational(&self) -> Option<Rational> {
+        match self {
+            Value::Rational(r) => Some(*r),
+            Value::Int(i) => Some(Rational::from_int(*i)),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bounding-box view. `Null` reads as the empty list (the common
+    /// "no detections on this frame" encoding).
+    pub fn as_boxes(&self) -> Option<&[BoxCoord]> {
+        match self {
+            Value::Boxes(b) => Some(b),
+            Value::Null => Some(&[]),
+            _ => None,
+        }
+    }
+
+    /// The type name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Rational(_) => "rational",
+            Value::Str(_) => "string",
+            Value::Boxes(_) => "boxes",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// SQL-style comparison: numerics compare cross-type, strings compare
+    /// lexicographically, NULL compares to nothing.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            // Exact path for rational/int pairs.
+            (a, b) => match (a.as_rational(), b.as_rational()) {
+                (Some(x), Some(y)) => Some(x.cmp(&y)),
+                _ => match (a.as_f64(), b.as_f64()) {
+                    (Some(x), Some(y)) => x.partial_cmp(&y),
+                    _ => None,
+                },
+            },
+        }
+    }
+
+    /// Serializes with the plain-JSON annotation conventions — the exact
+    /// inverse of [`Value::from_json`]. Scalars map to JSON scalars,
+    /// `Boxes` to arrays of `{x, y, w, h, …}` objects (the empty list
+    /// uses the tagged form to stay distinguishable from `List`), and
+    /// `Rational` uses the tagged form to stay exact.
+    pub fn to_json(&self) -> serde_json::Value {
+        match self {
+            Value::Null => serde_json::Value::Null,
+            Value::Bool(b) => serde_json::Value::Bool(*b),
+            Value::Int(i) => serde_json::json!(i),
+            Value::Float(f) => serde_json::json!(f),
+            Value::Str(s) => serde_json::Value::String(s.clone()),
+            // Tagged forms parse back through from_json's object fallback.
+            Value::Rational(_) => serde_json::to_value(self).expect("serializable"),
+            Value::Boxes(b) if b.is_empty() => {
+                serde_json::to_value(self).expect("serializable")
+            }
+            Value::Boxes(b) => serde_json::to_value(b).expect("serializable"),
+            Value::List(items) => {
+                serde_json::Value::Array(items.iter().map(Value::to_json).collect())
+            }
+        }
+    }
+
+    /// Converts a `serde_json::Value` with the conventions V2V annotation
+    /// files use: arrays of `{x, y, w, h, …}` objects become `Boxes`,
+    /// two-element integer arrays under a `"rational"` key are produced by
+    /// the explicit enum encoding, numbers become `Int`/`Float`.
+    pub fn from_json(v: &serde_json::Value) -> Value {
+        match v {
+            serde_json::Value::Null => Value::Null,
+            serde_json::Value::Bool(b) => Value::Bool(*b),
+            serde_json::Value::Number(n) => {
+                if let Some(i) = n.as_i64() {
+                    Value::Int(i)
+                } else {
+                    Value::Float(n.as_f64().unwrap_or(f64::NAN))
+                }
+            }
+            serde_json::Value::String(s) => Value::Str(s.clone()),
+            serde_json::Value::Array(items) => {
+                if !items.is_empty()
+                    && items.iter().all(|it| {
+                        it.as_object()
+                            .is_some_and(|o| ["x", "y", "w", "h"].iter().all(|k| o.contains_key(*k)))
+                    })
+                {
+                    let boxes = items
+                        .iter()
+                        .filter_map(|it| serde_json::from_value(it.clone()).ok())
+                        .collect();
+                    Value::Boxes(boxes)
+                } else {
+                    Value::List(items.iter().map(Value::from_json).collect())
+                }
+            }
+            serde_json::Value::Object(_) => {
+                // Fall back to the tagged enum encoding.
+                serde_json::from_value(v.clone()).unwrap_or(Value::Null)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Rational(r) => write!(f, "{r}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Boxes(b) => write!(f, "[{} boxes]", b.len()),
+            Value::List(l) => write!(f, "[{} items]", l.len()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<Rational> for Value {
+    fn from(v: Rational) -> Value {
+        Value::Rational(v)
+    }
+}
+
+impl From<Vec<BoxCoord>> for Value {
+    fn from(v: Vec<BoxCoord>) -> Value {
+        Value::Boxes(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_time::r;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Rational(r(10, 2)).as_int(), Some(5));
+        assert_eq!(Value::Rational(r(1, 2)).as_int(), None);
+        assert_eq!(Value::Int(5).as_rational(), Some(r(5, 1)));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Null.as_boxes(), Some(&[][..]));
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn comparison_cross_type_numeric() {
+        assert_eq!(
+            Value::Int(1).compare(&Value::Rational(r(3, 2))),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(1.5).compare(&Value::Int(1)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Rational(r(1, 3)).compare(&Value::Rational(r(2, 6))),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Str("a".into()).compare(&Value::Int(1)), None);
+        assert_eq!(
+            Value::Str("a".into()).compare(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn from_json_detects_boxes() {
+        let js: serde_json::Value = serde_json::json!([
+            {"x": 0.1, "y": 0.2, "w": 0.3, "h": 0.4, "label": "zebra"},
+            {"x": 0.5, "y": 0.5, "w": 0.1, "h": 0.1}
+        ]);
+        let v = Value::from_json(&js);
+        let boxes = v.as_boxes().unwrap();
+        assert_eq!(boxes.len(), 2);
+        assert_eq!(boxes[0].label, "zebra");
+    }
+
+    #[test]
+    fn from_json_plain_types() {
+        assert_eq!(Value::from_json(&serde_json::json!(null)), Value::Null);
+        assert_eq!(Value::from_json(&serde_json::json!(3)), Value::Int(3));
+        assert_eq!(Value::from_json(&serde_json::json!(1.5)), Value::Float(1.5));
+        assert_eq!(
+            Value::from_json(&serde_json::json!([1, 2])),
+            Value::List(vec![Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(
+            Value::from_json(&serde_json::json!("hi")),
+            Value::Str("hi".into())
+        );
+    }
+
+    #[test]
+    fn serde_round_trip_tagged() {
+        let v = Value::Rational(r(30000, 1001));
+        let js = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&js).unwrap();
+        assert_eq!(v, back);
+    }
+}

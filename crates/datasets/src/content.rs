@@ -1,0 +1,267 @@
+//! Video content synthesis.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use v2v_codec::CodecParams;
+use v2v_container::{StreamWriter, VideoStream};
+use v2v_frame::{marker, Frame, FrameType, Plane};
+use v2v_time::Rational;
+
+/// What kind of footage to synthesize.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ContentProfile {
+    /// Film-like: hard scene cuts every `scene_len_s` seconds, textured
+    /// backgrounds, several fast-moving blobs (`motion` of them).
+    Film {
+        /// Seconds per scene.
+        scene_len_s: i64,
+        /// Number of moving foreground blobs.
+        motion: u32,
+    },
+    /// Drone-like: one continuous slowly panning landscape.
+    Drone {
+        /// Horizontal pan speed in pixels per second.
+        pan_px_per_s: i64,
+    },
+}
+
+/// Full description of a synthetic dataset video.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Dataset name (used for caching and table rows).
+    pub name: String,
+    /// Frame width.
+    pub width: u32,
+    /// Frame height.
+    pub height: u32,
+    /// Frames per second.
+    pub fps: i64,
+    /// Length in seconds.
+    pub duration_s: i64,
+    /// Keyframe interval in seconds.
+    pub gop_s: Rational,
+    /// Encoder quantizer.
+    pub quantizer: u8,
+    /// Content RNG seed.
+    pub seed: u64,
+    /// Footage profile.
+    pub content: ContentProfile,
+}
+
+impl DatasetSpec {
+    /// Total frame count.
+    pub fn n_frames(&self) -> u64 {
+        (self.duration_s * self.fps) as u64
+    }
+
+    /// GOP size in frames.
+    pub fn gop_frames(&self) -> u32 {
+        (self.gop_s * Rational::from_int(self.fps))
+            .to_f64()
+            .round()
+            .max(1.0) as u32
+    }
+
+    /// Frame duration.
+    pub fn frame_dur(&self) -> Rational {
+        Rational::new(1, self.fps)
+    }
+
+    /// The stream's codec parameters.
+    pub fn codec_params(&self) -> CodecParams {
+        CodecParams::new(
+            FrameType::yuv420p(self.width, self.height),
+            self.gop_frames(),
+            self.quantizer,
+        )
+    }
+}
+
+/// Deterministic per-scene texture parameters.
+struct SceneParams {
+    base: u8,
+    freq_x: usize,
+    freq_y: usize,
+    blob_seeds: Vec<(f32, f32, f32, f32)>, // x, y, vx, vy (normalized)
+}
+
+fn scene_params(rng: &mut SmallRng, motion: u32) -> SceneParams {
+    SceneParams {
+        base: rng.gen_range(40..180),
+        freq_x: rng.gen_range(2..9),
+        freq_y: rng.gen_range(2..9),
+        blob_seeds: (0..motion)
+            .map(|_| {
+                (
+                    rng.gen_range(0.1..0.9),
+                    rng.gen_range(0.1..0.9),
+                    rng.gen_range(-0.2..0.2f32),
+                    rng.gen_range(-0.2..0.2f32),
+                )
+            })
+            .collect(),
+    }
+}
+
+fn paint_texture(p: &mut Plane, base: u8, fx: usize, fy: usize, shift: usize) {
+    let h = p.height();
+    for y in 0..h {
+        let row = p.row_mut(y);
+        for (x, v) in row.iter_mut().enumerate() {
+            let sx = (x + shift) * fx / 16;
+            let sy = y * fy / 16;
+            let tex = ((sx ^ sy) & 63) as i32 + (((x + shift) * fy + y * fx) % 29) as i32;
+            *v = (i32::from(base) + tex - 45).clamp(0, 255) as u8;
+        }
+    }
+}
+
+fn paint_blob(f: &mut Frame, cx: f32, cy: f32, radius: f32, luma: u8) {
+    let w = f.width() as f32;
+    let h = f.height() as f32;
+    let r = radius * h;
+    let (px, py) = (cx * w, cy * h);
+    let x0 = ((px - r).max(0.0)) as usize;
+    let x1 = ((px + r).min(w - 1.0)) as usize;
+    let y0 = ((py - r).max(0.0)) as usize;
+    let y1 = ((py + r).min(h - 1.0)) as usize;
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            let dx = x as f32 - px;
+            let dy = y as f32 - py;
+            if dx * dx + dy * dy <= r * r {
+                f.plane_mut(0).put(x, y, luma);
+            }
+        }
+    }
+}
+
+/// Renders source frame `i` of the dataset (before encoding).
+///
+/// Exposed so tests can compare decoded output against ground truth.
+pub fn render_frame(spec: &DatasetSpec, i: u64) -> Frame {
+    let ty = FrameType::yuv420p(spec.width, spec.height);
+    let mut f = Frame::black(ty);
+    match spec.content {
+        ContentProfile::Film {
+            scene_len_s,
+            motion,
+        } => {
+            let scene_frames = (scene_len_s * spec.fps) as u64;
+            let scene = i / scene_frames.max(1);
+            let within = (i % scene_frames.max(1)) as f32 / spec.fps as f32;
+            let mut rng = SmallRng::seed_from_u64(spec.seed ^ (scene + 1).wrapping_mul(0x9E37));
+            let params = scene_params(&mut rng, motion);
+            paint_texture(
+                f.plane_mut(0),
+                params.base,
+                params.freq_x,
+                params.freq_y,
+                (i % scene_frames.max(1)) as usize / 2,
+            );
+            // Mild chroma tint per scene.
+            let tint = 118 + (scene % 5) as u8 * 5;
+            for v in f.plane_mut(1).data_mut() {
+                *v = tint;
+            }
+            for (bx, by, vx, vy) in &params.blob_seeds {
+                let cx = (bx + vx * within).rem_euclid(1.0);
+                let cy = (by + vy * within).rem_euclid(1.0);
+                paint_blob(&mut f, cx, cy, 0.08, 235);
+            }
+        }
+        ContentProfile::Drone { pan_px_per_s } => {
+            let mut rng = SmallRng::seed_from_u64(spec.seed);
+            let params = scene_params(&mut rng, 0);
+            let shift = (i as i64 * pan_px_per_s / spec.fps) as usize;
+            paint_texture(f.plane_mut(0), params.base, params.freq_x, params.freq_y, shift);
+            // Savanna-ish chroma.
+            for v in f.plane_mut(1).data_mut() {
+                *v = 116;
+            }
+            for v in f.plane_mut(2).data_mut() {
+                *v = 138;
+            }
+        }
+    }
+    marker::embed(&mut f, i as u32);
+    f
+}
+
+/// Generates and encodes the dataset video.
+pub fn generate(spec: &DatasetSpec) -> VideoStream {
+    let params = spec.codec_params();
+    let mut w = StreamWriter::new(params, Rational::ZERO, spec.frame_dur());
+    for i in 0..spec.n_frames() {
+        let f = render_frame(spec, i);
+        w.push_frame(&f).expect("generated frames match params");
+    }
+    w.finish().expect("generated stream is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{kabr_sim, tos_sim, Scale};
+
+    #[test]
+    fn generated_stream_matches_spec() {
+        let spec = kabr_sim(Scale::Test, 2);
+        let s = generate(&spec);
+        assert_eq!(s.len(), 60);
+        assert_eq!(s.params().gop_size, 30);
+        assert_eq!(s.keyframe_indices(), vec![0, 30]);
+    }
+
+    #[test]
+    fn markers_survive_encoding() {
+        let spec = kabr_sim(Scale::Test, 1);
+        let s = generate(&spec);
+        let (frames, _) = s.decode_range(0, s.len()).unwrap();
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(marker::read(f), Some(i as u32), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn tos_has_sparse_keyframes() {
+        let spec = tos_sim(Scale::Test, 20);
+        let s = generate(&spec);
+        // 20 s at 24 fps with a 10 s GOP: keyframes at 0 and 240.
+        assert_eq!(s.keyframe_indices(), vec![0, 240]);
+    }
+
+    #[test]
+    fn film_scene_cuts_change_content() {
+        let spec = tos_sim(Scale::Test, 7);
+        // Frames either side of the 3 s scene cut differ drastically.
+        let before = render_frame(&spec, 71);
+        let after = render_frame(&spec, 72);
+        let diff = before.mean_abs_diff(&after).unwrap();
+        assert!(diff > 8.0, "scene cut too subtle: {diff}");
+        // Within a scene, consecutive frames are similar.
+        let a = render_frame(&spec, 10);
+        let b = render_frame(&spec, 11);
+        let within = a.mean_abs_diff(&b).unwrap();
+        assert!(within < diff, "within-scene motion exceeds scene cut");
+    }
+
+    #[test]
+    fn drone_pan_is_gradual() {
+        let spec = kabr_sim(Scale::Test, 2);
+        let a = render_frame(&spec, 0);
+        let b = render_frame(&spec, 1);
+        let c = render_frame(&spec, 45);
+        let step = a.mean_abs_diff(&b).unwrap();
+        let far = a.mean_abs_diff(&c).unwrap();
+        assert!(step < far, "pan should accumulate: {step} vs {far}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = kabr_sim(Scale::Test, 1);
+        let a = render_frame(&spec, 17);
+        let b = render_frame(&spec, 17);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,250 @@
+//! Synthetic object-detection tracks.
+//!
+//! The paper's data-join experiments consume *cached model results* from
+//! a table (`video_objects`, model `yolov5m`). Running a real detector is
+//! orthogonal to V2V's contribution; what matters to the evaluation is
+//! the *density profile*: "the ToS dataset has objects on nearly every
+//! frame, whereas the KABR dataset only occasionally has a zebra caught
+//! by the object detector". These generators reproduce those profiles
+//! with deterministic tracks.
+
+use crate::content::DatasetSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use v2v_data::{DataArray, Table, Value};
+use v2v_frame::BoxCoord;
+use v2v_time::Rational;
+
+/// Detection density profile.
+#[derive(Clone, Copy, Debug)]
+pub enum DetectionProfile {
+    /// Objects on nearly every frame (`coverage` ≈ 0.95): the ToS case.
+    Dense {
+        /// Fraction of frames with at least one object.
+        coverage: f64,
+        /// Maximum simultaneous objects.
+        max_objects: u32,
+    },
+    /// Occasional sightings in contiguous episodes: the KABR case.
+    Sparse {
+        /// Fraction of the timeline covered by episodes (≈ 0.15).
+        coverage: f64,
+        /// Mean episode length in seconds.
+        episode_s: f64,
+    },
+}
+
+impl DetectionProfile {
+    /// The ToS-like profile.
+    pub fn tos() -> DetectionProfile {
+        DetectionProfile::Dense {
+            coverage: 0.95,
+            max_objects: 3,
+        }
+    }
+
+    /// The KABR-like profile.
+    pub fn kabr() -> DetectionProfile {
+        DetectionProfile::Sparse {
+            coverage: 0.15,
+            episode_s: 3.0,
+        }
+    }
+}
+
+fn track_box(rng: &mut SmallRng, label: &str, phase: f64) -> BoxCoord {
+    let w = rng.gen_range(0.06..0.18);
+    let h = rng.gen_range(0.06..0.18);
+    let cx = (rng.gen_range(0.15..0.85) + phase * 0.1).rem_euclid(1.0 - w);
+    let cy = rng.gen_range(0.15..0.8_f64).min(1.0 - h);
+    let mut b = BoxCoord::new(cx as f32, cy as f32, w as f32, h as f32, label);
+    b.confidence = rng.gen_range(0.55..0.99);
+    b
+}
+
+/// Generates per-frame detections for a dataset video.
+///
+/// Every frame of the video gets an entry (possibly an empty box list),
+/// mirroring a detector that ran on every frame — the shape the paper's
+/// `BoundingBox_dde` optimization needs to observe `|b| = 0` spans.
+pub fn detections(spec: &DatasetSpec, profile: DetectionProfile, label: &str) -> DataArray {
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0xDE7EC7);
+    let mut out = DataArray::new();
+    let n = spec.n_frames();
+    let dur = spec.frame_dur();
+    match profile {
+        DetectionProfile::Dense {
+            coverage,
+            max_objects,
+        } => {
+            for i in 0..n {
+                let t = dur * Rational::from_int(i as i64);
+                let boxes = if rng.gen_bool(coverage) {
+                    let k = rng.gen_range(1..=max_objects);
+                    (0..k)
+                        .map(|j| {
+                            track_box(
+                                &mut rng,
+                                &format!("{label}_{j}"),
+                                i as f64 / spec.fps as f64,
+                            )
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                out.insert(t, Value::Boxes(boxes));
+            }
+        }
+        DetectionProfile::Sparse {
+            coverage,
+            episode_s,
+        } => {
+            // Lay out alternating gap/episode spans until the timeline is
+            // full, targeting the requested coverage.
+            let episode_frames = (episode_s * spec.fps as f64).max(1.0) as u64;
+            let gap_frames =
+                ((episode_s * (1.0 - coverage) / coverage.max(0.01)) * spec.fps as f64) as u64;
+            let mut i = 0u64;
+            let mut visible = false;
+            let mut span_left = gap_frames / 2;
+            while i < n {
+                if span_left == 0 {
+                    visible = !visible;
+                    span_left = if visible {
+                        rng.gen_range(episode_frames / 2..=episode_frames * 3 / 2).max(1)
+                    } else {
+                        rng.gen_range(gap_frames / 2..=gap_frames * 3 / 2).max(1)
+                    };
+                }
+                let t = dur * Rational::from_int(i as i64);
+                let boxes = if visible {
+                    vec![track_box(
+                        &mut rng,
+                        label,
+                        i as f64 / spec.fps as f64,
+                    )]
+                } else {
+                    Vec::new()
+                };
+                out.insert(t, Value::Boxes(boxes));
+                span_left -= 1;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Builds the paper's `video_objects(video, model, timestamp,
+/// frame_objects)` table from one or more generated detection arrays.
+pub fn detections_table(entries: &[(&str, &DataArray)]) -> Table {
+    let mut t = Table::new(
+        "video_objects",
+        vec![
+            "video".into(),
+            "model".into(),
+            "timestamp".into(),
+            "frame_objects".into(),
+        ],
+    );
+    for (video, array) in entries {
+        for (ts, v) in array.iter() {
+            t.push_row(vec![
+                Value::from(*video),
+                Value::from("yolov5m"),
+                Value::Rational(ts),
+                v.clone(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fraction of frames with at least one detection.
+pub fn coverage_of(array: &DataArray) -> f64 {
+    if array.is_empty() {
+        return 0.0;
+    }
+    let with = array
+        .iter()
+        .filter(|(_, v)| v.as_boxes().map(|b| !b.is_empty()).unwrap_or(false))
+        .count();
+    with as f64 / array.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{kabr_sim, tos_sim, Scale};
+
+    #[test]
+    fn dense_profile_covers_nearly_all_frames() {
+        let spec = tos_sim(Scale::Test, 10);
+        let d = detections(&spec, DetectionProfile::tos(), "actor");
+        assert_eq!(d.len() as u64, spec.n_frames());
+        let cov = coverage_of(&d);
+        assert!(cov > 0.88, "ToS coverage too low: {cov}");
+    }
+
+    #[test]
+    fn sparse_profile_is_episodic() {
+        let spec = kabr_sim(Scale::Test, 60);
+        let d = detections(&spec, DetectionProfile::kabr(), "zebra");
+        assert_eq!(d.len() as u64, spec.n_frames());
+        let cov = coverage_of(&d);
+        assert!(
+            (0.05..0.40).contains(&cov),
+            "KABR coverage out of band: {cov}"
+        );
+        // Episodes are contiguous: count visible→hidden transitions; far
+        // fewer than visible frames.
+        let flags: Vec<bool> = d
+            .iter()
+            .map(|(_, v)| v.as_boxes().map(|b| !b.is_empty()).unwrap_or(false))
+            .collect();
+        let transitions = flags.windows(2).filter(|w| w[0] != w[1]).count();
+        let visible = flags.iter().filter(|&&f| f).count();
+        assert!(transitions * 10 < visible * 2, "episodes too fragmented");
+    }
+
+    #[test]
+    fn table_shape_matches_paper_query() {
+        let spec = kabr_sim(Scale::Test, 2);
+        let d = detections(&spec, DetectionProfile::kabr(), "zebra");
+        let t = detections_table(&[("kabr_cam1", &d)]);
+        assert_eq!(t.columns(), ["video", "model", "timestamp", "frame_objects"]);
+        assert_eq!(t.len() as u64, spec.n_frames());
+        // The paper's SQL runs against it.
+        let mut db = v2v_data::Database::new();
+        db.add_table(t);
+        let q = v2v_data::Query::parse(
+            "SELECT timestamp, frame_objects FROM video_objects \
+             WHERE video = 'kabr_cam1' AND model = 'yolov5m'",
+        )
+        .unwrap();
+        let arr = q.materialize(&db).unwrap();
+        assert_eq!(arr.len() as u64, spec.n_frames());
+    }
+
+    #[test]
+    fn detections_are_deterministic() {
+        let spec = kabr_sim(Scale::Test, 3);
+        let a = detections(&spec, DetectionProfile::kabr(), "zebra");
+        let b = detections(&spec, DetectionProfile::kabr(), "zebra");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn boxes_are_normalized() {
+        let spec = tos_sim(Scale::Test, 3);
+        let d = detections(&spec, DetectionProfile::tos(), "actor");
+        for (_, v) in d.iter() {
+            for b in v.as_boxes().unwrap() {
+                assert!(b.x >= 0.0 && b.x + b.w <= 1.05);
+                assert!(b.y >= 0.0 && b.y + b.h <= 1.05);
+                assert!(b.confidence > 0.0 && b.confidence <= 1.0);
+            }
+        }
+    }
+}

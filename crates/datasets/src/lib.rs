@@ -1,0 +1,103 @@
+#![warn(missing_docs)]
+
+//! Synthetic evaluation datasets (paper §V "Datasets").
+//!
+//! The paper evaluates on two collections whose *structural properties*
+//! drive every experimental observation:
+//!
+//! * **ToS** (Tears of Steel): 24 fps film, few keyframes over short
+//!   clips (no smart cut for Q1), hard scene cuts, and detected objects
+//!   on *nearly every frame* (data rewrites cannot help);
+//! * **KABR**: 4K drone wildlife footage, a keyframe every second (smart
+//!   cuts apply everywhere), slow global pan, and only *occasional*
+//!   zebras caught by the detector (data rewrites collapse most of the
+//!   timeline to stream copies).
+//!
+//! [`tos_sim`] and [`kabr_sim`] reproduce those properties at
+//! configurable scale. Every generated frame carries a
+//! [`v2v_frame::marker`] stamp of its index — the paper's "overlay frame
+//! information to verify each operation was frame-exact" — and
+//! [`detections()`] generates matching object tracks with each dataset's
+//! density profile.
+
+pub mod content;
+pub mod detections;
+
+pub use content::{generate, render_frame, ContentProfile, DatasetSpec};
+pub use detections::{detections, detections_table, DetectionProfile};
+
+use v2v_time::Rational;
+
+/// Scale presets: trade fidelity for bench wall-time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Tiny streams for unit/integration tests (128×72).
+    Test,
+    /// Bench scale (320×180) — the default for the figure harnesses.
+    Bench,
+    /// Larger scale (640×360) for longer-running sweeps.
+    Full,
+}
+
+impl Scale {
+    /// Frame dimensions at this scale.
+    pub fn dims(self) -> (u32, u32) {
+        match self {
+            Scale::Test => (128, 72),
+            Scale::Bench => (320, 180),
+            Scale::Full => (640, 360),
+        }
+    }
+}
+
+/// ToS-like dataset: 24 fps, 10-second GOPs (sparse keyframes), scene
+/// cuts, dense detections.
+pub fn tos_sim(scale: Scale, duration_s: i64) -> DatasetSpec {
+    let (w, h) = scale.dims();
+    DatasetSpec {
+        name: "tos_sim".into(),
+        width: w,
+        height: h,
+        fps: 24,
+        duration_s,
+        gop_s: Rational::from_int(10),
+        quantizer: 2,
+        seed: 0x705_0001,
+        content: ContentProfile::Film {
+            scene_len_s: 3,
+            motion: 3,
+        },
+    }
+}
+
+/// KABR-like dataset: 30 fps, 1-second GOPs (keyframe every second, as
+/// the paper observed), slow drone pan, sparse detections.
+pub fn kabr_sim(scale: Scale, duration_s: i64) -> DatasetSpec {
+    let (w, h) = scale.dims();
+    DatasetSpec {
+        name: "kabr_sim".into(),
+        width: w,
+        height: h,
+        fps: 30,
+        duration_s,
+        gop_s: Rational::ONE,
+        quantizer: 2,
+        seed: 0x4B41_4252, // "KABR"
+        content: ContentProfile::Drone { pan_px_per_s: 12 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_structure() {
+        let tos = tos_sim(Scale::Test, 4);
+        assert_eq!(tos.fps, 24);
+        assert_eq!(tos.gop_frames(), 240);
+        let kabr = kabr_sim(Scale::Test, 4);
+        assert_eq!(kabr.fps, 30);
+        assert_eq!(kabr.gop_frames(), 30);
+    }
+}

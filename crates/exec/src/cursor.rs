@@ -1,0 +1,166 @@
+//! GOP-aware sequential source cursors.
+//!
+//! A render segment reads its inputs mostly in forward order; the cursor
+//! keeps decoder state so consecutive reads cost one packet each, seeks
+//! (backward jumps or gaps) re-enter at the preceding keyframe — the
+//! same access pattern an FFmpeg-based engine gets from its demuxer.
+
+use crate::ExecError;
+use v2v_codec::Decoder;
+use v2v_container::VideoStream;
+use v2v_frame::Frame;
+
+/// A stateful forward reader over one stream.
+pub struct SourceCursor<'a> {
+    stream: &'a VideoStream,
+    decoder: Decoder,
+    /// Index the decoder state corresponds to (last decoded), if any.
+    at: Option<u64>,
+    /// Last decoded frame (served for repeated reads of the same index).
+    current: Option<Frame>,
+    /// Packets decoded through this cursor.
+    pub frames_decoded: u64,
+}
+
+impl<'a> SourceCursor<'a> {
+    /// A cursor at the start of `stream`.
+    pub fn new(stream: &'a VideoStream) -> SourceCursor<'a> {
+        SourceCursor {
+            stream,
+            decoder: Decoder::new(*stream.params()),
+            at: None,
+            current: None,
+            frames_decoded: 0,
+        }
+    }
+
+    /// Decodes (or re-serves) frame `idx`.
+    pub fn frame_at(&mut self, idx: u64) -> Result<Frame, ExecError> {
+        if idx >= self.stream.len() as u64 {
+            return Err(ExecError::MissingFrame {
+                video: String::new(),
+                at: self
+                    .stream
+                    .pts_of(self.stream.len().saturating_sub(1))
+                    .unwrap_or_default(),
+            });
+        }
+        if self.at == Some(idx) {
+            if let Some(f) = &self.current {
+                return Ok(f.clone());
+            }
+        }
+        // Choose the roll start: continue forward, or reseek to the
+        // keyframe at/before idx when behind/too far ahead.
+        let from = match self.at {
+            Some(at) if at < idx => at + 1,
+            _ => {
+                self.decoder.reset();
+                self.stream
+                    .keyframe_at_or_before(idx as usize)
+                    .expect("streams start with a keyframe") as u64
+            }
+        };
+        // If continuing forward would cross a keyframe anyway, entering at
+        // that keyframe is never slower.
+        let from = match self.stream.keyframe_at_or_before(idx as usize) {
+            Some(kf) if (kf as u64) > from => {
+                self.decoder.reset();
+                kf as u64
+            }
+            _ => from,
+        };
+        let mut frame = None;
+        for i in from..=idx {
+            let pkt = &self.stream.packets()[i as usize];
+            frame = Some(self.decoder.decode(pkt)?);
+            self.frames_decoded += 1;
+        }
+        let frame = frame.expect("at least one packet decoded");
+        self.at = Some(idx);
+        self.current = Some(frame.clone());
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_codec::CodecParams;
+    use v2v_container::StreamWriter;
+    use v2v_frame::FrameType;
+    use v2v_time::{r, Rational};
+
+    fn stream(n: usize, gop: u32) -> VideoStream {
+        let ty = FrameType::gray8(32, 32);
+        let params = CodecParams::new(ty, gop, 0);
+        let mut w = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        for i in 0..n {
+            let mut f = Frame::black(ty);
+            f.plane_mut(0).put(i % 32, 0, 255);
+            w.push_frame(&f).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn sequential_reads_cost_one_packet_each() {
+        let s = stream(12, 4);
+        let mut c = SourceCursor::new(&s);
+        c.frame_at(0).unwrap();
+        assert_eq!(c.frames_decoded, 1);
+        for i in 1..12 {
+            c.frame_at(i).unwrap();
+        }
+        assert_eq!(c.frames_decoded, 12);
+    }
+
+    #[test]
+    fn cold_mid_gop_read_rolls_from_keyframe() {
+        let s = stream(12, 4);
+        let mut c = SourceCursor::new(&s);
+        let f = c.frame_at(6).unwrap();
+        assert_eq!(c.frames_decoded, 3); // 4, 5, 6
+        assert_eq!(f.plane(0).get(6, 0), 255);
+    }
+
+    #[test]
+    fn repeated_read_is_free() {
+        let s = stream(12, 4);
+        let mut c = SourceCursor::new(&s);
+        c.frame_at(5).unwrap();
+        let n = c.frames_decoded;
+        c.frame_at(5).unwrap();
+        assert_eq!(c.frames_decoded, n);
+    }
+
+    #[test]
+    fn backward_seek_reenters_at_keyframe() {
+        let s = stream(12, 4);
+        let mut c = SourceCursor::new(&s);
+        c.frame_at(10).unwrap();
+        let before = c.frames_decoded;
+        let f = c.frame_at(2).unwrap();
+        assert_eq!(c.frames_decoded - before, 3); // 0, 1, 2
+        assert_eq!(f.plane(0).get(2, 0), 255);
+    }
+
+    #[test]
+    fn forward_jump_across_keyframe_skips_roll() {
+        let s = stream(32, 4);
+        let mut c = SourceCursor::new(&s);
+        c.frame_at(0).unwrap();
+        let before = c.frames_decoded;
+        // Jump to 30: nearest keyframe is 28 → decode 28, 29, 30 (not 29
+        // intermediate frames).
+        c.frame_at(30).unwrap();
+        assert_eq!(c.frames_decoded - before, 3);
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let s = stream(5, 4);
+        let mut c = SourceCursor::new(&s);
+        assert!(c.frame_at(5).is_err());
+    }
+}

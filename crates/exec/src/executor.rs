@@ -1,0 +1,338 @@
+//! The optimized physical-plan executor.
+//!
+//! Segments have no dependencies on each other (each render segment
+//! starts its own GOP; copies are self-contained), so the engine
+//! evaluates them in parallel with rayon and splices the resulting packet
+//! runs in output order — "we use the dependency graph to execute
+//! operators in parallel as an additional optimization at runtime"
+//! (§IV-A).
+
+use crate::apply::apply_program;
+use crate::catalog::Catalog;
+use crate::cursor::SourceCursor;
+use crate::ExecError;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+use v2v_codec::{Encoder, Packet};
+use v2v_container::{StreamWriter, VideoStream};
+use v2v_frame::ops::conform;
+use v2v_plan::{PhysicalPlan, SegPlan, Segment};
+use v2v_time::Rational;
+
+/// Execution options.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Evaluate segments in parallel (the runtime half of the paper's
+    /// optimization story). Disable for the ablation benches.
+    pub parallel: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { parallel: true }
+    }
+}
+
+/// Cost accounting for one execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Source/intermediate packets decoded.
+    pub frames_decoded: u64,
+    /// Frames pushed through an encoder.
+    pub frames_encoded: u64,
+    /// Packets spliced by stream copy.
+    pub packets_copied: u64,
+    /// Compressed bytes spliced by stream copy.
+    pub bytes_copied: u64,
+    /// Segments executed.
+    pub segments: u64,
+}
+
+impl ExecStats {
+    fn merge(mut self, other: ExecStats) -> ExecStats {
+        self.frames_decoded += other.frames_decoded;
+        self.frames_encoded += other.frames_encoded;
+        self.packets_copied += other.packets_copied;
+        self.bytes_copied += other.bytes_copied;
+        self.segments += other.segments;
+        self
+    }
+}
+
+/// Executes a physical plan against a catalog.
+///
+/// Returns the output stream, the accumulated stats, and the wall time.
+pub fn execute(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+) -> Result<(VideoStream, ExecStats, Duration), ExecError> {
+    let started = Instant::now();
+    let run = |seg: &Segment| -> Result<(Vec<Packet>, ExecStats), ExecError> {
+        execute_segment_packets(plan, seg, catalog)
+    };
+    let results: Vec<Result<(Vec<Packet>, ExecStats), ExecError>> = if opts.parallel {
+        plan.segments.par_iter().map(run).collect()
+    } else {
+        plan.segments.iter().map(run).collect()
+    };
+
+    let mut writer = StreamWriter::new(plan.out_params, Rational::ZERO, plan.frame_dur);
+    let mut stats = ExecStats::default();
+    for r in results {
+        let (packets, seg_stats) = r?;
+        writer.push_copied(&packets)?;
+        stats = stats.merge(seg_stats);
+    }
+    let out = writer.finish()?;
+    Ok((out, stats, started.elapsed()))
+}
+
+/// Produces one segment's packets (shared by the batch and streaming
+/// executors).
+pub(crate) fn execute_segment_packets(
+    plan: &PhysicalPlan,
+    seg: &Segment,
+    catalog: &Catalog,
+) -> Result<(Vec<Packet>, ExecStats), ExecError> {
+    let mut stats = ExecStats {
+        segments: 1,
+        ..Default::default()
+    };
+    match &seg.plan {
+        SegPlan::StreamCopy {
+            video,
+            src_from,
+            src_to,
+        } => {
+            let stream = catalog
+                .video(video)
+                .ok_or_else(|| ExecError::UnknownVideo(video.clone()))?;
+            let packets = stream.copy_packet_range(
+                *src_from as usize,
+                *src_to as usize,
+                Rational::ZERO,
+            )?;
+            stats.packets_copied = packets.len() as u64;
+            stats.bytes_copied = packets.iter().map(|p| p.size() as u64).sum();
+            Ok((packets, stats))
+        }
+        SegPlan::Render { program, inputs } => {
+            // One forward cursor per input slot.
+            let mut cursors: Vec<(SourceCursor<'_>, &v2v_plan::InputClip)> = inputs
+                .iter()
+                .map(|clip| {
+                    catalog
+                        .video(&clip.video)
+                        .map(|s| (SourceCursor::new(s), clip))
+                        .ok_or_else(|| ExecError::UnknownVideo(clip.video.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            let mut encoder = Encoder::new(plan.out_params);
+            let out_ty = plan.out_params.frame_ty;
+            let mut packets = Vec::with_capacity(seg.count as usize);
+            let mut frames = Vec::with_capacity(inputs.len());
+            for i in 0..seg.count {
+                let t = plan.instant_of(seg.out_start + i);
+                frames.clear();
+                for (cursor, clip) in &mut cursors {
+                    let src_t = clip.time.apply(t);
+                    let stream = catalog.video(&clip.video).expect("resolved above");
+                    let idx = stream.index_of(src_t).ok_or_else(|| {
+                        ExecError::MissingFrame {
+                            video: clip.video.clone(),
+                            at: src_t,
+                        }
+                    })?;
+                    let frame = cursor.frame_at(idx as u64).map_err(|e| match e {
+                        ExecError::MissingFrame { at, .. } => ExecError::MissingFrame {
+                            video: clip.video.clone(),
+                            at,
+                        },
+                        other => other,
+                    })?;
+                    frames.push(conform(&frame, out_ty));
+                }
+                let out = apply_program(program, t, &frames, catalog.arrays(), catalog)?;
+                let out = conform(&out, out_ty);
+                let pts = plan.frame_dur * Rational::from_int(i as i64);
+                packets.push(encoder.encode(&out, pts)?);
+                stats.frames_encoded += 1;
+            }
+            stats.frames_decoded = cursors.iter().map(|(c, _)| c.frames_decoded).sum();
+            Ok((packets, stats))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_codec::CodecParams;
+    use v2v_frame::{marker, Frame, FrameType};
+    use v2v_plan::{lower_spec, optimize, OptimizerConfig};
+    use v2v_spec::builder::blur;
+    use v2v_spec::{OutputSettings, SpecBuilder};
+    use v2v_time::r;
+
+    /// A lossless test stream whose frames carry index markers.
+    fn marked_stream(n: usize, gop: u32) -> VideoStream {
+        let ty = FrameType::gray8(64, 32);
+        let params = CodecParams::new(ty, gop, 0);
+        let mut w = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        for i in 0..n {
+            let mut f = Frame::black(ty);
+            marker::embed(&mut f, i as u32);
+            w.push_frame(&f).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn output() -> OutputSettings {
+        OutputSettings {
+            frame_ty: FrameType::gray8(64, 32),
+            frame_dur: r(1, 30),
+            gop_size: 30,
+            quantizer: 0,
+        }
+    }
+
+    fn run(
+        spec: &v2v_spec::Spec,
+        catalog: &Catalog,
+        cfg: &OptimizerConfig,
+    ) -> (VideoStream, ExecStats) {
+        let logical = lower_spec(spec).unwrap();
+        let phys = optimize(&logical, &catalog.plan_context(), cfg).unwrap();
+        let (out, stats, _) = execute(&phys, catalog, &ExecOptions::default()).unwrap();
+        (out, stats)
+    }
+
+    #[test]
+    fn clip_is_frame_exact_via_copy() {
+        let mut catalog = Catalog::new();
+        catalog.add_video("a", marked_stream(120, 30));
+        // Clip [30/30, 90/30): starts on keyframe 30 → pure copy.
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_clip("a", r(1, 1), r(2, 1))
+            .build();
+        let (out, stats) = run(&spec, &catalog, &OptimizerConfig::default());
+        assert_eq!(out.len(), 60);
+        assert_eq!(stats.packets_copied, 60);
+        assert_eq!(stats.frames_encoded, 0);
+        let (frames, _) = out.decode_range(0, 60).unwrap();
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(marker::read(f), Some(30 + i as u32), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn smart_cut_is_frame_exact() {
+        let mut catalog = Catalog::new();
+        catalog.add_video("a", marked_stream(120, 30));
+        // Clip starting mid-GOP at frame 15.
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_clip("a", r(1, 2), r(2, 1))
+            .build();
+        let (out, stats) = run(&spec, &catalog, &OptimizerConfig::default());
+        assert_eq!(out.len(), 60);
+        assert!(stats.packets_copied >= 45, "middle copied");
+        assert_eq!(stats.frames_encoded, 15, "head re-encoded");
+        let (frames, _) = out.decode_range(0, 60).unwrap();
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(marker::read(f), Some(15 + i as u32), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn optimized_equals_unsharded_render() {
+        // A filtered clip rendered with and without sharding/parallelism
+        // must produce identical frames (q=0).
+        let mut catalog = Catalog::new();
+        catalog.add_video("a", marked_stream(150, 30));
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_filtered("a", r(0, 1), r(4, 1), |e| blur(e, 1.0))
+            .build();
+        let (sharded, s1) = run(&spec, &catalog, &OptimizerConfig::default());
+        let (plain, s2) = run(&spec, &catalog, &OptimizerConfig::fusion_only());
+        assert!(s1.segments > s2.segments, "sharding must split segments");
+        let (fa, _) = sharded.decode_range(0, sharded.len()).unwrap();
+        let (fb, _) = plain.decode_range(0, plain.len()).unwrap();
+        assert_eq!(fa.len(), fb.len());
+        for (i, (a, b)) in fa.iter().zip(&fb).enumerate() {
+            assert_eq!(a, b, "frame {i} differs between sharded and plain");
+        }
+    }
+
+    #[test]
+    fn splice_of_two_sources() {
+        let mut catalog = Catalog::new();
+        catalog.add_video("a", marked_stream(60, 30));
+        catalog.add_video("b", marked_stream(60, 30));
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .video("b", "b.svc")
+            .append_clip("a", r(0, 1), r(1, 1))
+            .append_clip("b", r(1, 1), r(1, 1))
+            .build();
+        let (out, _) = run(&spec, &catalog, &OptimizerConfig::default());
+        assert_eq!(out.len(), 60);
+        let (frames, _) = out.decode_range(0, 60).unwrap();
+        assert_eq!(marker::read(&frames[0]), Some(0));
+        assert_eq!(marker::read(&frames[29]), Some(29));
+        assert_eq!(marker::read(&frames[30]), Some(30)); // b's frame 30
+        assert_eq!(marker::read(&frames[59]), Some(59));
+    }
+
+    #[test]
+    fn missing_video_errors() {
+        let catalog = Catalog::new();
+        let plan = PhysicalPlan {
+            segments: vec![Segment {
+                out_start: 0,
+                count: 1,
+                plan: SegPlan::StreamCopy {
+                    video: "ghost".into(),
+                    src_from: 0,
+                    src_to: 1,
+                },
+            }],
+            out_params: CodecParams::new(FrameType::gray8(64, 32), 30, 0),
+            frame_dur: r(1, 30),
+            domain_start: Rational::ZERO,
+            n_frames: 1,
+            stats: Default::default(),
+        };
+        assert!(matches!(
+            execute(&plan, &catalog, &ExecOptions::default()),
+            Err(ExecError::UnknownVideo(_))
+        ));
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mut catalog = Catalog::new();
+        catalog.add_video("a", marked_stream(150, 30));
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_filtered("a", r(0, 1), r(4, 1), |e| blur(e, 0.8))
+            .build();
+        let logical = lower_spec(&spec).unwrap();
+        let phys = optimize(
+            &logical,
+            &catalog.plan_context(),
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        let (par, _, _) =
+            execute(&phys, &catalog, &ExecOptions { parallel: true }).unwrap();
+        let (ser, _, _) =
+            execute(&phys, &catalog, &ExecOptions { parallel: false }).unwrap();
+        let (fa, _) = par.decode_range(0, par.len()).unwrap();
+        let (fb, _) = ser.decode_range(0, ser.len()).unwrap();
+        assert_eq!(fa, fb);
+    }
+}

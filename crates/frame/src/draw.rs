@@ -1,0 +1,182 @@
+//! Drawing primitives over frames: rectangles, lines, and bitmap text.
+//!
+//! All primitives operate natively on each supported pixel format. For
+//! `yuv420p` the colour is converted once and chroma writes are applied at
+//! half resolution; clipping is implicit (out-of-frame pixels are ignored).
+
+use crate::font;
+use crate::format::PixelFormat;
+use crate::frame::Frame;
+use crate::ops::Rgb;
+
+/// Per-format pixel write of an RGB colour.
+#[inline]
+fn put_rgb(frame: &mut Frame, x: usize, y: usize, color: Rgb) {
+    if x >= frame.width() || y >= frame.height() {
+        return;
+    }
+    match frame.ty().format {
+        PixelFormat::Rgb24 => {
+            let row = frame.plane_mut(0).row_mut(y);
+            row[x * 3] = color.r;
+            row[x * 3 + 1] = color.g;
+            row[x * 3 + 2] = color.b;
+        }
+        PixelFormat::Gray8 => {
+            frame.plane_mut(0).put(x, y, color.luma());
+        }
+        PixelFormat::Yuv420p => {
+            let (yy, u, v) = color.to_yuv(frame.ty().color);
+            frame.plane_mut(0).put(x, y, yy);
+            frame.plane_mut(1).put(x / 2, y / 2, u);
+            frame.plane_mut(2).put(x / 2, y / 2, v);
+        }
+    }
+}
+
+/// Fills the axis-aligned rectangle `[x, x+w) × [y, y+h)` (clipped).
+pub fn fill_rect(frame: &mut Frame, x: i64, y: i64, w: u32, h: u32, color: Rgb) {
+    let x0 = x.max(0) as usize;
+    let y0 = y.max(0) as usize;
+    let x1 = ((x + i64::from(w)).max(0) as usize).min(frame.width());
+    let y1 = ((y + i64::from(h)).max(0) as usize).min(frame.height());
+    for py in y0..y1 {
+        for px in x0..x1 {
+            put_rgb(frame, px, py, color);
+        }
+    }
+}
+
+/// Draws a rectangle outline of the given stroke thickness (clipped).
+pub fn rect_outline(frame: &mut Frame, x: i64, y: i64, w: u32, h: u32, stroke: u32, color: Rgb) {
+    let s = stroke.max(1);
+    // Top and bottom bars.
+    fill_rect(frame, x, y, w, s, color);
+    fill_rect(frame, x, y + i64::from(h) - i64::from(s), w, s, color);
+    // Left and right bars.
+    fill_rect(frame, x, y, s, h, color);
+    fill_rect(frame, x + i64::from(w) - i64::from(s), y, s, h, color);
+}
+
+/// Draws a line with Bresenham's algorithm (clipped).
+pub fn line(frame: &mut Frame, x0: i64, y0: i64, x1: i64, y1: i64, color: Rgb) {
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let (mut x, mut y) = (x0, y0);
+    loop {
+        if x >= 0 && y >= 0 {
+            put_rgb(frame, x as usize, y as usize, color);
+        }
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y += sy;
+        }
+    }
+}
+
+/// Renders `text` with the built-in 5×7 font at integer `scale`.
+pub fn text(frame: &mut Frame, x: i64, y: i64, s: &str, scale: u32, color: Rgb) {
+    let scale = scale.max(1) as i64;
+    let mut cx = x;
+    for c in s.chars() {
+        let g = font::glyph(c);
+        for (gy, row) in g.iter().enumerate() {
+            for gx in 0..font::GLYPH_W {
+                if row & (1 << (font::GLYPH_W - 1 - gx)) != 0 {
+                    let px = cx + (gx as i64) * scale;
+                    let py = y + (gy as i64) * scale;
+                    for oy in 0..scale {
+                        for ox in 0..scale {
+                            let fx = px + ox;
+                            let fy = py + oy;
+                            if fx >= 0 && fy >= 0 {
+                                put_rgb(frame, fx as usize, fy as usize, color);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cx += (font::ADVANCE as i64) * scale;
+    }
+}
+
+/// Renders `text` over a filled background pad for legibility.
+pub fn label(frame: &mut Frame, x: i64, y: i64, s: &str, scale: u32, fg: Rgb, bg: Rgb) {
+    let scale_u = scale.max(1) as usize;
+    let w = font::text_width(s, scale_u) as u32 + 4;
+    let h = font::text_height(scale_u) as u32 + 4;
+    fill_rect(frame, x - 2, y - 2, w, h, bg);
+    text(frame, x, y, s, scale, fg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::FrameType;
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut f = Frame::black(FrameType::gray8(8, 8));
+        fill_rect(&mut f, -2, -2, 4, 4, Rgb::WHITE);
+        assert_eq!(f.plane(0).get(0, 0), 255);
+        assert_eq!(f.plane(0).get(1, 1), 255);
+        assert_eq!(f.plane(0).get(2, 2), 0);
+        fill_rect(&mut f, 7, 7, 10, 10, Rgb::WHITE);
+        assert_eq!(f.plane(0).get(7, 7), 255);
+    }
+
+    #[test]
+    fn outline_leaves_interior() {
+        let mut f = Frame::black(FrameType::gray8(16, 16));
+        rect_outline(&mut f, 2, 2, 10, 10, 1, Rgb::WHITE);
+        assert_eq!(f.plane(0).get(2, 2), 255);
+        assert_eq!(f.plane(0).get(11, 11), 255);
+        assert_eq!(f.plane(0).get(6, 6), 0);
+    }
+
+    #[test]
+    fn line_endpoints() {
+        let mut f = Frame::black(FrameType::gray8(8, 8));
+        line(&mut f, 0, 0, 7, 7, Rgb::WHITE);
+        assert_eq!(f.plane(0).get(0, 0), 255);
+        assert_eq!(f.plane(0).get(7, 7), 255);
+        assert_eq!(f.plane(0).get(3, 3), 255);
+    }
+
+    #[test]
+    fn text_renders_pixels() {
+        let mut f = Frame::black(FrameType::gray8(32, 10));
+        text(&mut f, 0, 0, "V2", 1, Rgb::WHITE);
+        let lit: usize = f.plane(0).data().iter().filter(|&&v| v == 255).count();
+        assert!(lit > 10, "text should light pixels, got {lit}");
+    }
+
+    #[test]
+    fn yuv_draw_writes_chroma() {
+        let mut f = Frame::black(FrameType::yuv420p(8, 8));
+        fill_rect(&mut f, 0, 0, 4, 4, Rgb::new(255, 0, 0));
+        // Red has strong V chroma.
+        assert!(f.plane(2).get(0, 0) > 180);
+        assert_eq!(f.plane(2).get(3, 3), 128); // untouched area stays neutral
+    }
+
+    #[test]
+    fn label_draws_background() {
+        let mut f = Frame::black(FrameType::gray8(64, 16));
+        label(&mut f, 4, 4, "A", 1, Rgb::BLACK, Rgb::WHITE);
+        // Background pad reaches beyond the glyph box.
+        assert_eq!(f.plane(0).get(2, 2), 255);
+    }
+}

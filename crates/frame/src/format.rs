@@ -1,0 +1,196 @@
+//! Static frame types: pixel formats, colour spaces, and dimensions.
+//!
+//! Spec type checking (paper §III-B) verifies that every transformation
+//! receives frames of the type it expects — e.g. a `Grid` of four inputs
+//! requires agreeing formats — before any pixel is decoded. `FrameType`
+//! is that static type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Pixel memory layout of a frame.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PixelFormat {
+    /// Planar YUV with 2×2 chroma subsampling: the codec-native format.
+    Yuv420p,
+    /// Interleaved 8-bit RGB.
+    Rgb24,
+    /// Single 8-bit luma plane.
+    Gray8,
+}
+
+impl PixelFormat {
+    /// Number of planes in this layout.
+    pub fn plane_count(self) -> usize {
+        match self {
+            PixelFormat::Yuv420p => 3,
+            PixelFormat::Rgb24 => 1,
+            PixelFormat::Gray8 => 1,
+        }
+    }
+
+    /// Dimensions of plane `idx` for a `width × height` frame.
+    ///
+    /// # Panics
+    /// Panics if `idx >= plane_count()`.
+    pub fn plane_dims(self, idx: usize, width: usize, height: usize) -> (usize, usize) {
+        match (self, idx) {
+            (PixelFormat::Yuv420p, 0) => (width, height),
+            (PixelFormat::Yuv420p, 1) | (PixelFormat::Yuv420p, 2) => {
+                (width.div_ceil(2), height.div_ceil(2))
+            }
+            (PixelFormat::Rgb24, 0) => (width * 3, height),
+            (PixelFormat::Gray8, 0) => (width, height),
+            _ => panic!("plane index {idx} out of range for {self:?}"),
+        }
+    }
+
+    /// Total bytes of raster data for a `width × height` frame.
+    pub fn frame_bytes(self, width: usize, height: usize) -> usize {
+        (0..self.plane_count())
+            .map(|i| {
+                let (w, h) = self.plane_dims(i, width, height);
+                w * h
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for PixelFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PixelFormat::Yuv420p => "yuv420p",
+            PixelFormat::Rgb24 => "rgb24",
+            PixelFormat::Gray8 => "gray8",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Colour space tag. Purely a typing concern: conversions interpret YUV
+/// data using the tagged matrix.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ColorSpace {
+    /// ITU-R BT.709 (HD video; the paper's example frame type).
+    #[default]
+    Bt709,
+    /// ITU-R BT.601 (SD video).
+    Bt601,
+}
+
+/// The static type of a frame: what the spec checker reasons about.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct FrameType {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Pixel layout.
+    pub format: PixelFormat,
+    /// Colour space tag.
+    #[serde(default)]
+    pub color: ColorSpace,
+}
+
+impl FrameType {
+    /// A `yuv420p` BT.709 frame type — the common case.
+    pub fn yuv420p(width: u32, height: u32) -> FrameType {
+        FrameType {
+            width,
+            height,
+            format: PixelFormat::Yuv420p,
+            color: ColorSpace::Bt709,
+        }
+    }
+
+    /// An `rgb24` frame type.
+    pub fn rgb24(width: u32, height: u32) -> FrameType {
+        FrameType {
+            width,
+            height,
+            format: PixelFormat::Rgb24,
+            color: ColorSpace::Bt709,
+        }
+    }
+
+    /// A single-plane grayscale frame type.
+    pub fn gray8(width: u32, height: u32) -> FrameType {
+        FrameType {
+            width,
+            height,
+            format: PixelFormat::Gray8,
+            color: ColorSpace::Bt709,
+        }
+    }
+
+    /// Total raster bytes for a frame of this type.
+    pub fn frame_bytes(&self) -> usize {
+        self.format
+            .frame_bytes(self.width as usize, self.height as usize)
+    }
+
+    /// Same geometry, different format.
+    pub fn with_format(self, format: PixelFormat) -> FrameType {
+        FrameType { format, ..self }
+    }
+
+    /// Same format, different geometry.
+    pub fn with_size(self, width: u32, height: u32) -> FrameType {
+        FrameType {
+            width,
+            height,
+            ..self
+        }
+    }
+}
+
+impl fmt::Display for FrameType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} {} {:?}", self.width, self.height, self.format, self.color)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_dims_yuv420p() {
+        let f = PixelFormat::Yuv420p;
+        assert_eq!(f.plane_dims(0, 1920, 1080), (1920, 1080));
+        assert_eq!(f.plane_dims(1, 1920, 1080), (960, 540));
+        assert_eq!(f.plane_dims(2, 1919, 1079), (960, 540));
+        assert_eq!(f.frame_bytes(1920, 1080), 1920 * 1080 * 3 / 2);
+    }
+
+    #[test]
+    fn plane_dims_rgb_and_gray() {
+        assert_eq!(PixelFormat::Rgb24.plane_dims(0, 10, 4), (30, 4));
+        assert_eq!(PixelFormat::Rgb24.frame_bytes(10, 4), 120);
+        assert_eq!(PixelFormat::Gray8.frame_bytes(10, 4), 40);
+    }
+
+    #[test]
+    #[should_panic]
+    fn plane_index_out_of_range_panics() {
+        PixelFormat::Gray8.plane_dims(1, 4, 4);
+    }
+
+    #[test]
+    fn frame_type_display() {
+        let t = FrameType::yuv420p(1920, 1080);
+        assert_eq!(t.to_string(), "1920x1080 yuv420p Bt709");
+    }
+
+    #[test]
+    fn frame_type_builders() {
+        let t = FrameType::yuv420p(64, 32)
+            .with_size(128, 64)
+            .with_format(PixelFormat::Gray8);
+        assert_eq!(t.width, 128);
+        assert_eq!(t.format, PixelFormat::Gray8);
+        assert_eq!(t.frame_bytes(), 128 * 64);
+    }
+}

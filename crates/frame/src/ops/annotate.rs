@@ -1,0 +1,167 @@
+//! Object annotation: bounding boxes with class labels.
+//!
+//! Implements the paper's `BoundingBox(Frame, List⟨BoxCoord⟩)` transform.
+//! With an empty list the function is the identity — the property the
+//! data-dependent rewriter exploits to stream-copy object-free GOPs.
+
+use super::{BoxCoord, Rgb};
+use crate::draw;
+use crate::frame::Frame;
+
+/// Palette cycled per box so overlapping detections stay distinguishable.
+const PALETTE: [Rgb; 5] = [
+    Rgb::RED,
+    Rgb::GREEN,
+    Rgb::YELLOW,
+    Rgb::new(80, 140, 255),
+    Rgb::new(240, 120, 240),
+];
+
+/// Draws each box outline plus its label (and confidence when < 1.0).
+///
+/// Returns the input unchanged when `boxes` is empty (identity — see
+/// `BoundingBox_dde` in the paper §IV-C).
+pub fn draw_bounding_boxes(src: &Frame, boxes: &[BoxCoord]) -> Frame {
+    if boxes.is_empty() {
+        return src.clone();
+    }
+    let mut out = src.clone();
+    let stroke = (src.width() / 320).max(1) as u32;
+    let scale = (src.width() / 320).max(1) as u32;
+    for (i, b) in boxes.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let (x, y, w, h) = b.to_pixels(src.width(), src.height());
+        draw::rect_outline(&mut out, x, y, w, h, stroke, color);
+        if !b.label.is_empty() {
+            let text = if b.confidence < 1.0 {
+                format!("{} {}%", b.label, (b.confidence * 100.0).round() as u32)
+            } else {
+                b.label.clone()
+            };
+            let ty = y - i64::from(scale) * 9;
+            draw::label(&mut out, x, ty.max(0), &text, scale, Rgb::BLACK, color);
+        }
+    }
+    out
+}
+
+/// Highlights detected objects by dimming everything outside their
+/// regions (the paper's "highlight an object" filter). `dim` in `[0, 1]`
+/// is how dark the surroundings get; box outlines are drawn on top.
+///
+/// With an empty list this is the identity, like [`draw_bounding_boxes`]
+/// — the same `f_dde` opportunity applies.
+pub fn highlight_regions(src: &Frame, boxes: &[BoxCoord], dim: f32) -> Frame {
+    if boxes.is_empty() {
+        return src.clone();
+    }
+    let dim = dim.clamp(0.0, 1.0);
+    let keep = ((1.0 - dim) * 256.0) as u16;
+    let mut out = src.clone();
+    let w = src.width();
+    let h = src.height();
+    // Mask of kept pixels.
+    let mut mask = vec![false; w * h];
+    for b in boxes {
+        let (x, y, bw, bh) = b.to_pixels(w, h);
+        let x0 = x.max(0) as usize;
+        let y0 = y.max(0) as usize;
+        let x1 = ((x + i64::from(bw)).max(0) as usize).min(w);
+        let y1 = ((y + i64::from(bh)).max(0) as usize).min(h);
+        for my in y0..y1 {
+            for mx in x0..x1 {
+                mask[my * w + mx] = true;
+            }
+        }
+    }
+    // Dim the luma (first plane) outside the mask; RGB dims all channels.
+    let unit = if src.ty().format == crate::format::PixelFormat::Rgb24 {
+        3
+    } else {
+        1
+    };
+    let plane = out.plane_mut(0);
+    for y in 0..h {
+        let row = plane.row_mut(y);
+        for x in 0..w {
+            if !mask[y * w + x] {
+                for c in 0..unit {
+                    let v = u16::from(row[x * unit + c]);
+                    row[x * unit + c] = ((v * keep) >> 8) as u8;
+                }
+            }
+        }
+    }
+    draw_bounding_boxes(&out, boxes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::FrameType;
+
+    #[test]
+    fn empty_boxes_is_identity() {
+        let f = Frame::black(FrameType::yuv420p(32, 32));
+        let out = draw_bounding_boxes(&f, &[]);
+        assert_eq!(out, f);
+    }
+
+    #[test]
+    fn boxes_modify_pixels() {
+        let f = Frame::black(FrameType::gray8(64, 64));
+        let boxes = vec![BoxCoord::new(0.25, 0.25, 0.5, 0.5, "zebra")];
+        let out = draw_bounding_boxes(&f, &boxes);
+        assert_ne!(out, f);
+        // The outline passes through (16, 16).
+        assert_ne!(out.plane(0).get(16, 16), 0);
+        // Interior is untouched.
+        assert_eq!(out.plane(0).get(32, 32), 0);
+    }
+
+    #[test]
+    fn label_with_confidence_renders() {
+        let f = Frame::black(FrameType::gray8(128, 64));
+        let mut b = BoxCoord::new(0.2, 0.4, 0.4, 0.4, "car");
+        b.confidence = 0.87;
+        let out = draw_bounding_boxes(&f, &[b]);
+        let lit = out.plane(0).data().iter().filter(|&&v| v > 0).count();
+        assert!(lit > 50, "label + box should light many pixels");
+    }
+
+    #[test]
+    fn multiple_boxes_use_distinct_colors() {
+        let f = Frame::black(FrameType::rgb24(64, 64));
+        let boxes = vec![
+            BoxCoord::new(0.0, 0.0, 0.3, 0.3, ""),
+            BoxCoord::new(0.6, 0.6, 0.3, 0.3, ""),
+        ];
+        let out = draw_bounding_boxes(&f, &boxes);
+        let c1 = out.rgb_at(0, 0);
+        let c2 = out.rgb_at(38, 38);
+        assert_ne!(c1, (0, 0, 0));
+        assert_ne!(c2, (0, 0, 0));
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn highlight_dims_outside_only() {
+        let mut f = Frame::black(FrameType::gray8(64, 64));
+        for v in f.plane_mut(0).data_mut() {
+            *v = 200;
+        }
+        let boxes = vec![BoxCoord::new(0.25, 0.25, 0.5, 0.5, "")];
+        let out = highlight_regions(&f, &boxes, 0.5);
+        // Inside the box (away from the outline) stays bright.
+        assert_eq!(out.plane(0).get(32, 32), 200);
+        // Outside is dimmed to roughly half.
+        let outside = out.plane(0).get(2, 2);
+        assert!((90..=110).contains(&outside), "got {outside}");
+    }
+
+    #[test]
+    fn highlight_empty_is_identity() {
+        let f = Frame::black(FrameType::yuv420p(32, 32));
+        assert_eq!(highlight_regions(&f, &[], 0.7), f);
+    }
+}

@@ -1,0 +1,215 @@
+//! Colour kernels: brightness/contrast, grading, grayscale, invert.
+
+use crate::format::PixelFormat;
+use crate::frame::Frame;
+
+/// Adjusts brightness (additive, in `[-255, 255]`) and contrast
+/// (multiplicative around mid-gray, `1.0` = unchanged).
+///
+/// For YUV frames only the luma plane is touched; chroma is preserved.
+pub fn brightness_contrast(src: &Frame, brightness: f32, contrast: f32) -> Frame {
+    let mut out = src.clone();
+    let lut: Vec<u8> = (0..256)
+        .map(|v| {
+            let x = v as f32;
+            ((x - 128.0) * contrast + 128.0 + brightness)
+                .round()
+                .clamp(0.0, 255.0) as u8
+        })
+        .collect();
+    match src.ty().format {
+        PixelFormat::Yuv420p | PixelFormat::Gray8 => {
+            for v in out.plane_mut(0).data_mut() {
+                *v = lut[*v as usize];
+            }
+        }
+        PixelFormat::Rgb24 => {
+            for v in out.plane_mut(0).data_mut() {
+                *v = lut[*v as usize];
+            }
+        }
+    }
+    out
+}
+
+/// Simple colour grade: gamma on luma plus a saturation multiplier.
+///
+/// `gamma = 1.0, saturation = 1.0` is the identity. Saturation scales
+/// chroma distance from neutral (YUV) or from the per-pixel gray (RGB).
+pub fn color_grade(src: &Frame, gamma: f32, saturation: f32) -> Frame {
+    let mut out = src.clone();
+    let inv_g = if gamma > 0.0 { 1.0 / gamma } else { 1.0 };
+    let lut: Vec<u8> = (0..256)
+        .map(|v| {
+            let x = v as f32 / 255.0;
+            (x.powf(inv_g) * 255.0).round().clamp(0.0, 255.0) as u8
+        })
+        .collect();
+    match src.ty().format {
+        PixelFormat::Gray8 => {
+            for v in out.plane_mut(0).data_mut() {
+                *v = lut[*v as usize];
+            }
+        }
+        PixelFormat::Yuv420p => {
+            for v in out.plane_mut(0).data_mut() {
+                *v = lut[*v as usize];
+            }
+            for pi in 1..3 {
+                for v in out.plane_mut(pi).data_mut() {
+                    let centered = f32::from(*v) - 128.0;
+                    *v = (centered * saturation + 128.0).round().clamp(0.0, 255.0) as u8;
+                }
+            }
+        }
+        PixelFormat::Rgb24 => {
+            let w = src.width();
+            for y in 0..src.height() {
+                let row = out.plane_mut(0).row_mut(y);
+                for x in 0..w {
+                    let r = f32::from(row[x * 3]);
+                    let g = f32::from(row[x * 3 + 1]);
+                    let b = f32::from(row[x * 3 + 2]);
+                    let gray = 0.2126 * r + 0.7152 * g + 0.0722 * b;
+                    for (c, v) in [r, g, b].into_iter().enumerate() {
+                        let sat = gray + (v - gray) * saturation;
+                        let graded = lut[sat.round().clamp(0.0, 255.0) as usize];
+                        row[x * 3 + c] = graded;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Removes chroma, producing a gray image in the same format.
+pub fn grayscale(src: &Frame) -> Frame {
+    match src.ty().format {
+        PixelFormat::Gray8 => src.clone(),
+        PixelFormat::Yuv420p => {
+            let mut out = src.clone();
+            for pi in 1..3 {
+                for v in out.plane_mut(pi).data_mut() {
+                    *v = 128;
+                }
+            }
+            out
+        }
+        PixelFormat::Rgb24 => {
+            let mut out = src.clone();
+            let w = src.width();
+            for y in 0..src.height() {
+                let row = out.plane_mut(0).row_mut(y);
+                for x in 0..w {
+                    let r = f32::from(row[x * 3]);
+                    let g = f32::from(row[x * 3 + 1]);
+                    let b = f32::from(row[x * 3 + 2]);
+                    let gray = (0.2126 * r + 0.7152 * g + 0.0722 * b).round() as u8;
+                    row[x * 3] = gray;
+                    row[x * 3 + 1] = gray;
+                    row[x * 3 + 2] = gray;
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Photographic negative.
+pub fn invert(src: &Frame) -> Frame {
+    let mut out = src.clone();
+    match src.ty().format {
+        PixelFormat::Rgb24 | PixelFormat::Gray8 => {
+            for v in out.plane_mut(0).data_mut() {
+                *v = 255 - *v;
+            }
+        }
+        PixelFormat::Yuv420p => {
+            for v in out.plane_mut(0).data_mut() {
+                *v = 255 - *v;
+            }
+            // Chroma inverts around neutral.
+            for pi in 1..3 {
+                for v in out.plane_mut(pi).data_mut() {
+                    *v = (256i16 - i16::from(*v)).clamp(0, 255) as u8;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::FrameType;
+    use crate::frame::Frame;
+
+    #[test]
+    fn identity_parameters_are_noops() {
+        let mut f = Frame::black(FrameType::gray8(4, 4));
+        f.plane_mut(0).put(1, 1, 99);
+        assert_eq!(brightness_contrast(&f, 0.0, 1.0), f);
+        assert_eq!(color_grade(&f, 1.0, 1.0), f);
+    }
+
+    #[test]
+    fn brightness_shifts_up() {
+        let f = Frame::black(FrameType::gray8(4, 4));
+        let b = brightness_contrast(&f, 50.0, 1.0);
+        assert!(b.plane(0).data().iter().all(|&v| v == 50));
+    }
+
+    #[test]
+    fn contrast_pivots_mid_gray() {
+        let mut f = Frame::black(FrameType::gray8(2, 1));
+        f.plane_mut(0).put(0, 0, 128);
+        f.plane_mut(0).put(1, 0, 192);
+        let c = brightness_contrast(&f, 0.0, 2.0);
+        assert_eq!(c.plane(0).get(0, 0), 128);
+        assert_eq!(c.plane(0).get(1, 0), 255);
+    }
+
+    #[test]
+    fn gamma_brightens_midtones() {
+        let mut f = Frame::black(FrameType::gray8(1, 1));
+        f.plane_mut(0).put(0, 0, 64);
+        let g = color_grade(&f, 2.2, 1.0);
+        assert!(g.plane(0).get(0, 0) > 64);
+        // Extremes are fixed points.
+        let mut x = Frame::black(FrameType::gray8(1, 1));
+        x.plane_mut(0).put(0, 0, 255);
+        assert_eq!(color_grade(&x, 2.2, 1.0).plane(0).get(0, 0), 255);
+    }
+
+    #[test]
+    fn desaturate_yuv_moves_chroma_to_neutral() {
+        let mut f = Frame::black(FrameType::yuv420p(4, 4));
+        f.plane_mut(2).put(0, 0, 220);
+        let g = color_grade(&f, 1.0, 0.0);
+        assert_eq!(g.plane(2).get(0, 0), 128);
+        let gs = grayscale(&f);
+        assert_eq!(gs.plane(2).get(0, 0), 128);
+    }
+
+    #[test]
+    fn rgb_grayscale_equalizes_channels() {
+        let mut f = Frame::black(FrameType::rgb24(2, 1));
+        f.plane_mut(0).row_mut(0)[..3].copy_from_slice(&[200, 20, 90]);
+        let g = grayscale(&f);
+        let (r, gr, b) = g.rgb_at(0, 0);
+        assert_eq!(r, gr);
+        assert_eq!(gr, b);
+    }
+
+    #[test]
+    fn invert_involution() {
+        let mut f = Frame::black(FrameType::yuv420p(4, 4));
+        f.plane_mut(0).put(1, 1, 40);
+        f.plane_mut(1).put(0, 0, 100);
+        let twice = invert(&invert(&f));
+        // Luma is an exact involution; chroma may clip at 0 by one step.
+        assert_eq!(twice.plane(0), f.plane(0));
+    }
+}

@@ -1,0 +1,190 @@
+//! The raster filter kernel library behind the V2V `Filter` operator.
+//!
+//! Each kernel is a pure function `&Frame → Frame` (or in-place
+//! `&mut Frame`), mirroring the paper's model of transformations as
+//! functions `Transform(Frame, …) → Frame`. Kernels are format-aware: they
+//! run natively on `yuv420p` (the codec format) without bouncing through
+//! RGB, except where colour math requires it.
+
+pub mod annotate;
+pub mod background;
+pub mod blur;
+pub mod color;
+pub mod compose;
+pub mod scale;
+pub mod stabilize;
+pub mod transition;
+
+pub use annotate::{draw_bounding_boxes, highlight_regions};
+pub use background::replace_background;
+pub use blur::{box_blur, edge_detect, gaussian_blur, median_denoise, sharpen};
+pub use color::{brightness_contrast, color_grade, grayscale, invert};
+pub use compose::{grid, overlay, picture_in_picture};
+pub use scale::{conform, crop, resize_bilinear, zoom, zoom_at};
+pub use stabilize::stabilize_crop;
+pub use transition::{crossfade, fade_to_black};
+
+use crate::format::ColorSpace;
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit RGB colour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Rgb {
+    /// Red.
+    pub r: u8,
+    /// Green.
+    pub g: u8,
+    /// Blue.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Pure white.
+    pub const WHITE: Rgb = Rgb::new(255, 255, 255);
+    /// Pure black.
+    pub const BLACK: Rgb = Rgb::new(0, 0, 0);
+    /// Annotation red.
+    pub const RED: Rgb = Rgb::new(230, 40, 40);
+    /// Annotation green.
+    pub const GREEN: Rgb = Rgb::new(40, 200, 80);
+    /// Annotation yellow.
+    pub const YELLOW: Rgb = Rgb::new(240, 220, 60);
+
+    /// Builds a colour from components.
+    pub const fn new(r: u8, g: u8, b: u8) -> Rgb {
+        Rgb { r, g, b }
+    }
+
+    /// Perceptual luma (BT.709 weights).
+    pub fn luma(self) -> u8 {
+        let v = (218 * u32::from(self.r) + 732 * u32::from(self.g) + 74 * u32::from(self.b) + 512)
+            >> 10;
+        v.min(255) as u8
+    }
+
+    /// Converts to a YUV triple under the given colour space.
+    pub fn to_yuv(self, cs: ColorSpace) -> (u8, u8, u8) {
+        let (kr, kg, kb) = match cs {
+            ColorSpace::Bt709 => (218i32, 732, 74),
+            ColorSpace::Bt601 => (306, 601, 117),
+        };
+        let r = i32::from(self.r);
+        let g = i32::from(self.g);
+        let b = i32::from(self.b);
+        let y = (kr * r + kg * g + kb * b + 512) >> 10;
+        let u = ((b - y) * 512 / (1024 - kb)) + 128;
+        let v = ((r - y) * 512 / (1024 - kr)) + 128;
+        (
+            y.clamp(0, 255) as u8,
+            u.clamp(0, 255) as u8,
+            v.clamp(0, 255) as u8,
+        )
+    }
+
+    /// Squared distance to another colour in RGB space.
+    pub fn dist_sq(self, other: Rgb) -> u32 {
+        let dr = i32::from(self.r) - i32::from(other.r);
+        let dg = i32::from(self.g) - i32::from(other.g);
+        let db = i32::from(self.b) - i32::from(other.b);
+        (dr * dr + dg * dg + db * db) as u32
+    }
+}
+
+/// A detected-object bounding box with resolution-independent coordinates
+/// in `[0, 1]` — the element type of `List⟨BoxCoord⟩` in the paper's
+/// `BoundingBox(Frame, List⟨BoxCoord⟩)` operator.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct BoxCoord {
+    /// Left edge, normalized.
+    pub x: f32,
+    /// Top edge, normalized.
+    pub y: f32,
+    /// Width, normalized.
+    pub w: f32,
+    /// Height, normalized.
+    pub h: f32,
+    /// Class / identity label drawn next to the box.
+    #[serde(default)]
+    pub label: String,
+    /// Detector confidence in `[0, 1]`.
+    #[serde(default)]
+    pub confidence: f32,
+}
+
+impl BoxCoord {
+    /// A labelled box.
+    pub fn new(x: f32, y: f32, w: f32, h: f32, label: impl Into<String>) -> BoxCoord {
+        BoxCoord {
+            x,
+            y,
+            w,
+            h,
+            label: label.into(),
+            confidence: 1.0,
+        }
+    }
+
+    /// Pixel-space rectangle for a `width × height` frame.
+    pub fn to_pixels(&self, width: usize, height: usize) -> (i64, i64, u32, u32) {
+        let x = (self.x * width as f32).round() as i64;
+        let y = (self.y * height as f32).round() as i64;
+        let w = (self.w * width as f32).round().max(1.0) as u32;
+        let h = (self.h * height as f32).round().max(1.0) as u32;
+        (x, y, w, h)
+    }
+}
+
+/// Grid composition shape.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct GridLayout {
+    /// Number of columns.
+    pub cols: u32,
+    /// Number of rows.
+    pub rows: u32,
+}
+
+impl GridLayout {
+    /// The paper's `2×2` grid.
+    pub const QUAD: GridLayout = GridLayout { cols: 2, rows: 2 };
+
+    /// Total number of cells.
+    pub fn cells(&self) -> usize {
+        (self.cols * self.rows) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luma_weights() {
+        assert_eq!(Rgb::WHITE.luma(), 255);
+        assert_eq!(Rgb::BLACK.luma(), 0);
+        assert!(Rgb::new(0, 255, 0).luma() > Rgb::new(255, 0, 0).luma());
+    }
+
+    #[test]
+    fn box_to_pixels() {
+        let b = BoxCoord::new(0.25, 0.5, 0.5, 0.25, "zebra");
+        assert_eq!(b.to_pixels(100, 100), (25, 50, 50, 25));
+        // Degenerate boxes keep at least one pixel.
+        let tiny = BoxCoord::new(0.0, 0.0, 0.0001, 0.0001, "");
+        let (_, _, w, h) = tiny.to_pixels(100, 100);
+        assert_eq!((w, h), (1, 1));
+    }
+
+    #[test]
+    fn grid_cells() {
+        assert_eq!(GridLayout::QUAD.cells(), 4);
+        assert_eq!(GridLayout { cols: 3, rows: 2 }.cells(), 6);
+    }
+
+    #[test]
+    fn boxcoord_defaults() {
+        let b = BoxCoord::new(0.1, 0.2, 0.3, 0.4, "car");
+        assert_eq!(b.label, "car");
+        assert_eq!(b.confidence, 1.0);
+        assert_eq!(Rgb::new(10, 20, 30).dist_sq(Rgb::new(13, 16, 30)), 25);
+    }
+}

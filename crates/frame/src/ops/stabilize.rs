@@ -1,0 +1,89 @@
+//! Stabilization by compensated cropping.
+//!
+//! Real stabilizers estimate motion; in a synthesis pipeline the motion
+//! offsets typically arrive as *data* (a data array of per-frame jitter,
+//! e.g. from drone telemetry or a tracker). `stabilize_crop` applies the
+//! inverse offset inside a safety margin, producing a steady output at a
+//! slightly reduced field of view.
+
+use super::scale::{crop, resize_bilinear};
+use crate::frame::Frame;
+
+/// Shifts the view by `(-dx, -dy)` pixels within a `margin` border
+/// (fractional, e.g. `0.1` = 10 % crop) and scales back to full size.
+///
+/// `dx`/`dy` are the measured jitter of this frame relative to the
+/// reference; offsets beyond the margin are clamped.
+pub fn stabilize_crop(src: &Frame, dx: f32, dy: f32, margin: f32) -> Frame {
+    let margin = margin.clamp(0.0, 0.4);
+    let w = src.width() as f32;
+    let h = src.height() as f32;
+    let mx = w * margin;
+    let my = h * margin;
+    let cw = (w - 2.0 * mx).max(2.0);
+    let chh = (h - 2.0 * my).max(2.0);
+    let x = (mx + dx).clamp(0.0, w - cw);
+    let y = (my + dy).clamp(0.0, h - chh);
+    let c = crop(src, x as u32, y as u32, cw as u32, chh as u32);
+    resize_bilinear(&c, src.width() as u32, src.height() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::FrameType;
+
+    /// A frame with a bright pixel at (x, y).
+    fn dot(x: usize, y: usize) -> Frame {
+        let mut f = Frame::black(FrameType::gray8(40, 40));
+        f.plane_mut(0).put(x, y, 255);
+        f
+    }
+
+    fn brightest(f: &Frame) -> (usize, usize) {
+        let p = f.plane(0);
+        let mut best = (0, 0, 0u8);
+        for y in 0..p.height() {
+            for x in 0..p.width() {
+                if p.get(x, y) > best.2 {
+                    best = (x, y, p.get(x, y));
+                }
+            }
+        }
+        (best.0, best.1)
+    }
+
+    #[test]
+    fn zero_jitter_keeps_subject_centered() {
+        let f = dot(20, 20);
+        let s = stabilize_crop(&f, 0.0, 0.0, 0.1);
+        let (x, y) = brightest(&s);
+        assert!(x.abs_diff(20) <= 2 && y.abs_diff(20) <= 2);
+    }
+
+    #[test]
+    fn jitter_is_compensated() {
+        // Subject drifted +3px right; stabilizer should bring it back to
+        // roughly where the unjittered subject appears.
+        let steady = stabilize_crop(&dot(20, 20), 0.0, 0.0, 0.1);
+        let comp = stabilize_crop(&dot(23, 20), 3.0, 0.0, 0.1);
+        let (sx, sy) = brightest(&steady);
+        let (cx, cy) = brightest(&comp);
+        assert!(sx.abs_diff(cx) <= 2, "x: {sx} vs {cx}");
+        assert!(sy.abs_diff(cy) <= 2);
+    }
+
+    #[test]
+    fn oversized_offsets_clamp() {
+        let f = dot(20, 20);
+        let s = stabilize_crop(&f, 500.0, -500.0, 0.1);
+        assert_eq!((s.width(), s.height()), (40, 40));
+    }
+
+    #[test]
+    fn output_size_is_preserved() {
+        let f = dot(10, 10);
+        let s = stabilize_crop(&f, 1.5, -2.5, 0.2);
+        assert_eq!(s.ty(), f.ty());
+    }
+}

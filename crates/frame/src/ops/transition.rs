@@ -1,0 +1,91 @@
+//! Animated transitions: crossfades and fades.
+//!
+//! Transitions are time-parameterized transforms — the spec passes the
+//! current frame time to compute `alpha`, matching the paper's note that a
+//! transformation may take "some combination of frames, data, and time
+//! (e.g., for an animated transition)".
+
+use crate::frame::Frame;
+
+/// Blends `a` into `b`: `alpha = 0` gives `a`, `alpha = 1` gives `b`.
+///
+/// # Panics
+/// Panics if the frame types differ (the checker rules this out for
+/// well-typed specs).
+pub fn crossfade(a: &Frame, b: &Frame, alpha: f32) -> Frame {
+    assert_eq!(a.ty(), b.ty(), "crossfade requires matching frame types");
+    let alpha = alpha.clamp(0.0, 1.0);
+    if alpha == 0.0 {
+        return a.clone();
+    }
+    if alpha == 1.0 {
+        return b.clone();
+    }
+    let wa = ((1.0 - alpha) * 256.0).round() as u32;
+    let wb = 256 - wa;
+    let mut out = a.clone();
+    for (pi, plane) in out.planes_mut().iter_mut().enumerate() {
+        let pb = b.plane(pi);
+        for (i, v) in plane.data_mut().iter_mut().enumerate() {
+            *v = ((u32::from(*v) * wa + u32::from(pb.data()[i]) * wb + 128) >> 8) as u8;
+        }
+    }
+    out
+}
+
+/// Fades toward black: `alpha = 0` is the identity, `alpha = 1` is black.
+pub fn fade_to_black(src: &Frame, alpha: f32) -> Frame {
+    let black = Frame::black(src.ty());
+    crossfade(src, &black, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::FrameType;
+
+    fn solid(luma: u8) -> Frame {
+        let mut f = Frame::black(FrameType::gray8(4, 4));
+        for v in f.plane_mut(0).data_mut() {
+            *v = luma;
+        }
+        f
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        let a = solid(10);
+        let b = solid(200);
+        assert_eq!(crossfade(&a, &b, 0.0), a);
+        assert_eq!(crossfade(&a, &b, 1.0), b);
+        assert_eq!(crossfade(&a, &b, -3.0), a);
+        assert_eq!(crossfade(&a, &b, 7.0), b);
+    }
+
+    #[test]
+    fn midpoint_blends() {
+        let a = solid(0);
+        let b = solid(200);
+        let m = crossfade(&a, &b, 0.5);
+        let v = m.plane(0).get(0, 0);
+        assert!((98..=102).contains(&v), "expected ~100, got {v}");
+    }
+
+    #[test]
+    fn fade_darkens_monotonically() {
+        let f = solid(180);
+        let q = fade_to_black(&f, 0.25).plane(0).get(0, 0);
+        let h = fade_to_black(&f, 0.5).plane(0).get(0, 0);
+        let t = fade_to_black(&f, 0.75).plane(0).get(0, 0);
+        assert!(q > h && h > t);
+        assert_eq!(fade_to_black(&f, 1.0).plane(0).get(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn type_mismatch_panics() {
+        let a = Frame::black(FrameType::gray8(4, 4));
+        let b = Frame::black(FrameType::gray8(8, 8));
+        crossfade(&a, &b, 0.5);
+    }
+}

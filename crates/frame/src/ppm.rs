@@ -1,0 +1,114 @@
+//! PPM (P6) image export/import for frames.
+//!
+//! The lowest-common-denominator raster format: viewable everywhere,
+//! dependency-free, and exact for 8-bit RGB. Used by the CLI's `frame`
+//! subcommand to pull inspectable stills out of `.svc` streams, and by
+//! tests as a golden-image escape hatch.
+
+use crate::format::FrameType;
+use crate::frame::{Frame, FrameError, Plane};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Writes a frame as binary PPM (P6), converting to RGB as needed.
+pub fn write_ppm(frame: &Frame, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let rgb = frame.to_rgb24();
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(out, "P6\n{} {}\n255\n", rgb.width(), rgb.height())?;
+    for y in 0..rgb.height() {
+        out.write_all(rgb.plane(0).row(y))?;
+    }
+    out.flush()
+}
+
+/// Reads a binary PPM (P6) into an RGB frame.
+pub fn read_ppm(path: impl AsRef<Path>) -> Result<Frame, FrameError> {
+    let file = std::fs::File::open(path).map_err(|_| FrameError::BufferSize {
+        got: 0,
+        want: 0,
+    })?;
+    let mut reader = std::io::BufReader::new(file);
+    // Read three whitespace-separated tokens after the magic, skipping
+    // comment lines.
+    let mut tokens: Vec<String> = Vec::new();
+    let mut line = String::new();
+    while tokens.len() < 4 {
+        line.clear();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            return Err(FrameError::BufferSize { got: 0, want: 4 });
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        tokens.extend(trimmed.split_whitespace().map(str::to_string));
+    }
+    if tokens[0] != "P6" {
+        return Err(FrameError::BufferSize { got: 0, want: 0 });
+    }
+    let w: usize = tokens[1].parse().map_err(|_| FrameError::BufferSize {
+        got: 0,
+        want: 0,
+    })?;
+    let h: usize = tokens[2].parse().map_err(|_| FrameError::BufferSize {
+        got: 0,
+        want: 0,
+    })?;
+    let mut data = vec![0u8; w * h * 3];
+    std::io::Read::read_exact(&mut reader, &mut data).map_err(|_| FrameError::BufferSize {
+        got: 0,
+        want: w * h * 3,
+    })?;
+    Frame::from_planes(
+        FrameType::rgb24(w as u32, h as u32),
+        vec![Plane::from_vec(w * 3, h, data)?],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("v2v_ppm_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn rgb_round_trip_is_exact() {
+        let ty = FrameType::rgb24(16, 9);
+        let mut f = Frame::black(ty);
+        for y in 0..9 {
+            let row = f.plane_mut(0).row_mut(y);
+            for x in 0..16 {
+                row[x * 3] = (x * 16) as u8;
+                row[x * 3 + 1] = (y * 28) as u8;
+                row[x * 3 + 2] = ((x + y) * 9) as u8;
+            }
+        }
+        let path = tmp("round.ppm");
+        write_ppm(&f, &path).unwrap();
+        let back = read_ppm(&path).unwrap();
+        assert_eq!(back, f);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn yuv_frames_convert_on_write() {
+        let f = Frame::black(FrameType::yuv420p(8, 8));
+        let path = tmp("yuv.ppm");
+        write_ppm(&f, &path).unwrap();
+        let back = read_ppm(&path).unwrap();
+        assert_eq!((back.width(), back.height()), (8, 8));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let path = tmp("garbage.ppm");
+        std::fs::write(&path, b"P3\n2 2\n255\nnot binary").unwrap();
+        assert!(read_ppm(&path).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

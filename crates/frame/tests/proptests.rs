@@ -1,0 +1,174 @@
+//! Property-based tests for frame kernels: type preservation, bounds,
+//! and idempotence/identity laws over random frame content.
+
+use proptest::prelude::*;
+use v2v_frame::ops::{
+    brightness_contrast, box_blur, crossfade, crop, draw_bounding_boxes, edge_detect,
+    fade_to_black, gaussian_blur, grayscale, grid, invert, median_denoise, resize_bilinear,
+    sharpen, zoom, GridLayout,
+};
+use v2v_frame::{BoxCoord, Frame, FrameType, PixelFormat};
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (
+        8u32..48,
+        8u32..48,
+        0usize..3,
+        prop::collection::vec(any::<u8>(), 32..128),
+    )
+        .prop_map(|(w, h, fmt, noise)| {
+            let (w, h) = ((w & !1).max(8), (h & !1).max(8));
+            let ty = match fmt {
+                0 => FrameType::yuv420p(w, h),
+                1 => FrameType::rgb24(w, h),
+                _ => FrameType::gray8(w, h),
+            };
+            let mut f = Frame::black(ty);
+            for pi in 0..ty.format.plane_count() {
+                let p = f.plane_mut(pi);
+                let width = p.width();
+                for y in 0..p.height() {
+                    for x in 0..width {
+                        let v = noise[(x * 7 + y * 13 + pi * 31) % noise.len()];
+                        p.put(x, y, v);
+                    }
+                }
+            }
+            f
+        })
+}
+
+fn boxes_strategy() -> impl Strategy<Value = Vec<BoxCoord>> {
+    prop::collection::vec(
+        (0.0f32..0.8, 0.0f32..0.8, 0.01f32..0.2, 0.01f32..0.2).prop_map(|(x, y, w, h)| {
+            BoxCoord::new(x, y, w, h, "obj")
+        }),
+        0..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kernels_preserve_frame_type(f in frame_strategy()) {
+        let ty = f.ty();
+        prop_assert_eq!(gaussian_blur(&f, 1.0).ty(), ty);
+        prop_assert_eq!(box_blur(&f, 1).ty(), ty);
+        prop_assert_eq!(sharpen(&f, 0.5).ty(), ty);
+        prop_assert_eq!(median_denoise(&f).ty(), ty);
+        prop_assert_eq!(edge_detect(&f).ty(), ty);
+        prop_assert_eq!(grayscale(&f).ty(), ty);
+        prop_assert_eq!(invert(&f).ty(), ty);
+        prop_assert_eq!(brightness_contrast(&f, 10.0, 1.1).ty(), ty);
+        prop_assert_eq!(zoom(&f, 1.7).ty(), ty);
+        prop_assert_eq!(fade_to_black(&f, 0.3).ty(), ty);
+    }
+
+    #[test]
+    fn invert_is_involutive_on_luma(f in frame_strategy()) {
+        let twice = invert(&invert(&f));
+        prop_assert_eq!(twice.plane(0), f.plane(0));
+    }
+
+    #[test]
+    fn identity_parameters_are_identities(f in frame_strategy()) {
+        prop_assert_eq!(gaussian_blur(&f, 0.0), f.clone());
+        prop_assert_eq!(zoom(&f, 1.0), f.clone());
+        prop_assert_eq!(fade_to_black(&f, 0.0), f.clone());
+        prop_assert_eq!(draw_bounding_boxes(&f, &[]), f.clone());
+        prop_assert_eq!(brightness_contrast(&f, 0.0, 1.0), f.clone());
+        prop_assert_eq!(crossfade(&f, &f, 0.5), f.clone());
+    }
+
+    #[test]
+    fn crossfade_stays_within_input_bounds(
+        f in frame_strategy(),
+        alpha in 0.0f32..1.0,
+        delta in 1u8..80,
+    ) {
+        let mut g = f.clone();
+        for v in g.plane_mut(0).data_mut() {
+            *v = v.saturating_add(delta);
+        }
+        let mix = crossfade(&f, &g, alpha);
+        for ((a, b), m) in f
+            .plane(0)
+            .data()
+            .iter()
+            .zip(g.plane(0).data())
+            .zip(mix.plane(0).data())
+        {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(m >= lo && m <= hi, "blend {m} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn resize_round_trip_dims(f in frame_strategy(), w2 in 8u32..40, h2 in 8u32..40) {
+        let (w2, h2) = ((w2 & !1).max(8), (h2 & !1).max(8));
+        let r = resize_bilinear(&f, w2, h2);
+        prop_assert_eq!((r.width(), r.height()), (w2 as usize, h2 as usize));
+        prop_assert_eq!(r.ty().format, f.ty().format);
+        let back = resize_bilinear(&r, f.width() as u32, f.height() as u32);
+        prop_assert_eq!(back.ty(), f.ty());
+    }
+
+    #[test]
+    fn crop_within_bounds(f in frame_strategy(), x in 0u32..16, y in 0u32..16, w in 2u32..32, h in 2u32..32) {
+        let c = crop(&f, x, y, w, h);
+        prop_assert!(c.width() <= f.width());
+        prop_assert!(c.height() <= f.height());
+        prop_assert!(c.width() >= 1 && c.height() >= 1);
+    }
+
+    #[test]
+    fn bounding_boxes_touch_only_annulus(f in frame_strategy(), boxes in boxes_strategy()) {
+        // Drawing never panics and keeps the type; with boxes it differs
+        // from the input iff boxes is non-empty (almost surely).
+        let out = draw_bounding_boxes(&f, &boxes);
+        prop_assert_eq!(out.ty(), f.ty());
+        if boxes.is_empty() {
+            prop_assert_eq!(out, f);
+        }
+    }
+
+    #[test]
+    fn grid_type_follows_output(f in frame_strategy()) {
+        let out_ty = FrameType::yuv420p(64, 64);
+        let g = grid(
+            &[f.clone(), f.clone(), f.clone(), f],
+            GridLayout::QUAD,
+            out_ty,
+        );
+        prop_assert_eq!(g.ty(), out_ty);
+    }
+
+    #[test]
+    fn conversions_round_trip_types(f in frame_strategy()) {
+        let yuv = f.to_yuv420p();
+        prop_assert_eq!(yuv.ty().format, PixelFormat::Yuv420p);
+        prop_assert_eq!((yuv.width(), yuv.height()), (f.width(), f.height()));
+        let rgb = f.to_rgb24();
+        prop_assert_eq!(rgb.ty().format, PixelFormat::Rgb24);
+        // Convergence: repeated yuv↔rgb round trips settle. One trip may
+        // clamp out-of-gamut noise and average chroma across luma edges
+        // (inherent 4:2:0 loss); the second trip must change far less.
+        let r1 = f.to_rgb24();
+        let r2 = r1.to_yuv420p().to_rgb24();
+        let r3 = r2.to_yuv420p().to_rgb24();
+        let psnr = r2.psnr(&r3).unwrap();
+        prop_assert!(psnr > 28.0 || psnr.is_infinite(), "not converging: {psnr}");
+    }
+
+    #[test]
+    fn marker_survives_bounded_noise(value in any::<u32>(), noise in 0u8..9) {
+        let mut f = Frame::black(FrameType::gray8(64, 32));
+        v2v_frame::marker::embed(&mut f, value);
+        for (i, v) in f.plane_mut(0).data_mut().iter_mut().enumerate() {
+            let d = (i % (2 * noise as usize + 1)) as i16 - i16::from(noise);
+            *v = (i16::from(*v) + d).clamp(0, 255) as u8;
+        }
+        prop_assert_eq!(v2v_frame::marker::read(&f), Some(value));
+    }
+}

@@ -1,0 +1,109 @@
+//! Source metadata the optimizer consults at plan time.
+//!
+//! The paper's optimizer decides stream copies and smart cuts from
+//! container-level facts — codec parameters and the keyframe index —
+//! without touching raster data. [`SourceMeta`] is exactly that view of
+//! a source; [`PlanContext`] is the catalog of them.
+
+use std::collections::BTreeMap;
+use v2v_codec::CodecParams;
+use v2v_time::{Rational, TimeRange};
+
+/// Container-level facts about one video source.
+#[derive(Clone, Debug)]
+pub struct SourceMeta {
+    /// Codec parameters (stream-copy compatibility is equality).
+    pub params: CodecParams,
+    /// First frame instant.
+    pub start: Rational,
+    /// Frame duration.
+    pub frame_dur: Rational,
+    /// Frame count.
+    pub count: u64,
+    /// Sorted keyframe frame-indices.
+    pub keyframes: Vec<u64>,
+}
+
+impl SourceMeta {
+    /// The source's frame grid.
+    pub fn range(&self) -> TimeRange {
+        TimeRange::from_parts(self.start, self.frame_dur, self.count)
+    }
+
+    /// Frame index of instant `t`, if on the grid.
+    pub fn index_of(&self, t: Rational) -> Option<u64> {
+        self.range().index_of(t)
+    }
+
+    /// `true` if frame `k` is a keyframe.
+    pub fn is_keyframe(&self, k: u64) -> bool {
+        self.keyframes.binary_search(&k).is_ok()
+    }
+
+    /// First keyframe index in `[from, to)`, if any.
+    pub fn first_keyframe_in(&self, from: u64, to: u64) -> Option<u64> {
+        let i = self.keyframes.partition_point(|&k| k < from);
+        self.keyframes.get(i).copied().filter(|&k| k < to)
+    }
+}
+
+/// The optimizer's source catalog plus output stream facts.
+#[derive(Clone, Debug, Default)]
+pub struct PlanContext {
+    /// Video name → metadata.
+    pub sources: BTreeMap<String, SourceMeta>,
+}
+
+impl PlanContext {
+    /// An empty context.
+    pub fn new() -> PlanContext {
+        PlanContext::default()
+    }
+
+    /// Adds a source.
+    pub fn with_source(mut self, name: impl Into<String>, meta: SourceMeta) -> PlanContext {
+        self.sources.insert(name.into(), meta);
+        self
+    }
+
+    /// Looks up a source.
+    pub fn source(&self, name: &str) -> Option<&SourceMeta> {
+        self.sources.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_frame::FrameType;
+    use v2v_time::r;
+
+    fn meta() -> SourceMeta {
+        SourceMeta {
+            params: CodecParams::new(FrameType::yuv420p(64, 64), 4, 0),
+            start: Rational::ZERO,
+            frame_dur: r(1, 30),
+            count: 20,
+            keyframes: vec![0, 4, 8, 12, 16],
+        }
+    }
+
+    #[test]
+    fn keyframe_queries() {
+        let m = meta();
+        assert!(m.is_keyframe(8));
+        assert!(!m.is_keyframe(9));
+        assert_eq!(m.first_keyframe_in(1, 20), Some(4));
+        assert_eq!(m.first_keyframe_in(5, 8), None);
+        assert_eq!(m.first_keyframe_in(5, 9), Some(8));
+        assert_eq!(m.first_keyframe_in(17, 20), None);
+    }
+
+    #[test]
+    fn grid_queries() {
+        let m = meta();
+        assert_eq!(m.index_of(r(5, 30)), Some(5));
+        assert_eq!(m.index_of(r(1, 7)), None);
+        assert_eq!(m.range().count(), 20);
+    }
+}

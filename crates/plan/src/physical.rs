@@ -1,0 +1,206 @@
+//! Physical plans: what the execution engine runs.
+
+use crate::program::{FrameProgram, InputClip};
+use serde::{Deserialize, Serialize};
+use v2v_codec::CodecParams;
+use v2v_time::Rational;
+
+/// How one output segment is produced.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SegPlan {
+    /// Fused decode → transform → encode pass (clip pulled into the
+    /// filter; no intermediate stream).
+    Render {
+        /// The per-frame program.
+        program: FrameProgram,
+        /// Source bindings for the program's input slots.
+        inputs: Vec<InputClip>,
+    },
+    /// Copy compressed packets `[src_from, src_to)` of `video` directly
+    /// into the output — no raster work at all.
+    StreamCopy {
+        /// The source video.
+        video: String,
+        /// First source frame index (always a keyframe).
+        src_from: u64,
+        /// One past the last source frame index.
+        src_to: u64,
+    },
+}
+
+impl SegPlan {
+    /// `true` for stream-copy segments.
+    pub fn is_copy(&self) -> bool {
+        matches!(self, SegPlan::StreamCopy { .. })
+    }
+}
+
+/// One physical output segment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Segment {
+    /// First output frame index.
+    pub out_start: u64,
+    /// Number of output frames.
+    pub count: u64,
+    /// Production strategy.
+    pub plan: SegPlan,
+}
+
+/// Optimizer bookkeeping: what fired where (consumed by tests, explain,
+/// and the ablation benches).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanStats {
+    /// Output frames produced by fused rendering.
+    pub frames_rendered: u64,
+    /// Output frames produced by stream copy.
+    pub frames_copied: u64,
+    /// Render segments (after sharding).
+    pub render_segments: u64,
+    /// Stream-copy segments.
+    pub copy_segments: u64,
+    /// Smart cuts applied (clip split into re-encoded head + copied rest).
+    pub smart_cuts: u64,
+    /// Filter pairs merged by operator merging.
+    pub merged_filters: u64,
+    /// Identity transforms elided.
+    pub elided_identities: u64,
+    /// Extra segments introduced by temporal sharding.
+    pub shards: u64,
+}
+
+/// A complete physical plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhysicalPlan {
+    /// Ordered segments covering `0..n_frames`.
+    pub segments: Vec<Segment>,
+    /// Resolved output stream parameters. Pure clip/splice plans inherit
+    /// the source parameters (enabling copies); rendering plans use the
+    /// spec's output settings.
+    pub out_params: CodecParams,
+    /// Output frame duration.
+    pub frame_dur: Rational,
+    /// Domain instant of output frame 0 (program/data expressions are
+    /// evaluated at domain instants).
+    pub domain_start: Rational,
+    /// Total output frames.
+    pub n_frames: u64,
+    /// What the optimizer did.
+    pub stats: PlanStats,
+}
+
+impl PhysicalPlan {
+    /// Domain instant of output frame `i`.
+    pub fn instant_of(&self, i: u64) -> Rational {
+        self.domain_start + self.frame_dur * Rational::from_int(i as i64)
+    }
+
+    /// Fraction of output frames served by stream copy.
+    pub fn copy_fraction(&self) -> f64 {
+        if self.n_frames == 0 {
+            return 0.0;
+        }
+        self.stats.frames_copied as f64 / self.n_frames as f64
+    }
+
+    /// Validates structural invariants (contiguous coverage, copy
+    /// lengths). Used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut expect = 0u64;
+        for s in &self.segments {
+            if s.out_start != expect {
+                return Err(format!(
+                    "segment gap: expected out_start {expect}, got {}",
+                    s.out_start
+                ));
+            }
+            if s.count == 0 {
+                return Err("empty segment".into());
+            }
+            if let SegPlan::StreamCopy {
+                src_from, src_to, ..
+            } = &s.plan
+            {
+                if src_to - src_from != s.count {
+                    return Err("copy length mismatch".into());
+                }
+            }
+            expect += s.count;
+        }
+        if expect != self.n_frames {
+            return Err(format!(
+                "plan covers {expect} frames, output needs {}",
+                self.n_frames
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_frame::FrameType;
+    use v2v_time::r;
+
+    fn params() -> CodecParams {
+        CodecParams::new(FrameType::yuv420p(64, 64), 30, 0)
+    }
+
+    #[test]
+    fn validation_catches_gaps() {
+        let plan = PhysicalPlan {
+            segments: vec![Segment {
+                out_start: 5,
+                count: 5,
+                plan: SegPlan::StreamCopy {
+                    video: "a".into(),
+                    src_from: 0,
+                    src_to: 5,
+                },
+            }],
+            out_params: params(),
+            frame_dur: r(1, 30),
+            domain_start: Rational::ZERO,
+            n_frames: 10,
+            stats: PlanStats::default(),
+        };
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_copy_length_mismatch() {
+        let plan = PhysicalPlan {
+            segments: vec![Segment {
+                out_start: 0,
+                count: 10,
+                plan: SegPlan::StreamCopy {
+                    video: "a".into(),
+                    src_from: 0,
+                    src_to: 5,
+                },
+            }],
+            out_params: params(),
+            frame_dur: r(1, 30),
+            domain_start: Rational::ZERO,
+            n_frames: 10,
+            stats: PlanStats::default(),
+        };
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn copy_fraction() {
+        let plan = PhysicalPlan {
+            segments: vec![],
+            out_params: params(),
+            frame_dur: r(1, 30),
+            domain_start: Rational::ZERO,
+            n_frames: 0,
+            stats: PlanStats {
+                frames_copied: 30,
+                ..Default::default()
+            },
+        };
+        assert_eq!(plan.copy_fraction(), 0.0); // n_frames == 0 guard
+    }
+}

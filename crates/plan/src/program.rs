@@ -1,0 +1,245 @@
+//! Frame programs: compiled per-frame transformation chains.
+//!
+//! A [`FrameProgram`] is a [`v2v_spec::RenderExpr`] with match arms
+//! resolved away and frame references replaced by *input slots*. One
+//! program plus its [`InputClip`] bindings describes everything a fused
+//! render pass needs per output frame.
+
+use serde::{Deserialize, Serialize};
+use v2v_spec::{DataExpr, TransformOp};
+use v2v_time::AffineTimeMap;
+
+/// A source binding for one program input slot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InputClip {
+    /// Video name (resolved by the execution catalog).
+    pub video: String,
+    /// Maps an output-domain instant to the source instant.
+    pub time: AffineTimeMap,
+}
+
+/// A per-frame program argument.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ProgArg {
+    /// A frame-valued sub-program.
+    Frame(FrameProgram),
+    /// A data expression, evaluated at the output instant.
+    Data(DataExpr),
+}
+
+/// A compiled per-frame expression.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FrameProgram {
+    /// The frame of input slot `n` at this instant.
+    Input(usize),
+    /// A transformation over sub-programs and data.
+    Op {
+        /// The operator.
+        op: TransformOp,
+        /// Arguments in signature order.
+        args: Vec<ProgArg>,
+    },
+}
+
+impl FrameProgram {
+    /// `true` if the program is exactly `Input(_)` — a pure clip,
+    /// eligible for stream copy.
+    pub fn is_pure_input(&self) -> bool {
+        matches!(self, FrameProgram::Input(_))
+    }
+
+    /// `true` if the program is `Identity(Input(_))` or `Input(_)`.
+    pub fn is_identity_of_input(&self) -> bool {
+        match self {
+            FrameProgram::Input(_) => true,
+            FrameProgram::Op { op, args } => {
+                *op == TransformOp::Identity
+                    && matches!(args.first(), Some(ProgArg::Frame(f)) if f.is_identity_of_input())
+            }
+        }
+    }
+
+    /// Highest input slot referenced plus one (the needed input count).
+    pub fn input_count(&self) -> usize {
+        match self {
+            FrameProgram::Input(n) => n + 1,
+            FrameProgram::Op { args, .. } => args
+                .iter()
+                .map(|a| match a {
+                    ProgArg::Frame(f) => f.input_count(),
+                    ProgArg::Data(_) => 0,
+                })
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Number of operator applications (plan-size metric).
+    pub fn op_count(&self) -> usize {
+        match self {
+            FrameProgram::Input(_) => 0,
+            FrameProgram::Op { args, .. } => {
+                1 + args
+                    .iter()
+                    .map(|a| match a {
+                        ProgArg::Frame(f) => f.op_count(),
+                        ProgArg::Data(_) => 0,
+                    })
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Shifts every input slot by `delta` (used when splicing input
+    /// lists during operator merging).
+    pub fn shift_inputs(&self, delta: usize) -> FrameProgram {
+        match self {
+            FrameProgram::Input(n) => FrameProgram::Input(n + delta),
+            FrameProgram::Op { op, args } => FrameProgram::Op {
+                op: *op,
+                args: args
+                    .iter()
+                    .map(|a| match a {
+                        ProgArg::Frame(f) => ProgArg::Frame(f.shift_inputs(delta)),
+                        ProgArg::Data(d) => ProgArg::Data(d.clone()),
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Replaces every `Input(slot)` with `replacement` (whose own input
+    /// slots are already final). Other slots are remapped via `remap`.
+    pub fn substitute(
+        &self,
+        slot: usize,
+        replacement: &FrameProgram,
+        remap: &dyn Fn(usize) -> usize,
+    ) -> FrameProgram {
+        match self {
+            FrameProgram::Input(n) => {
+                if *n == slot {
+                    replacement.clone()
+                } else {
+                    FrameProgram::Input(remap(*n))
+                }
+            }
+            FrameProgram::Op { op, args } => FrameProgram::Op {
+                op: *op,
+                args: args
+                    .iter()
+                    .map(|a| match a {
+                        ProgArg::Frame(f) => {
+                            ProgArg::Frame(f.substitute(slot, replacement, remap))
+                        }
+                        ProgArg::Data(d) => ProgArg::Data(d.clone()),
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Compact one-line rendering for explain output.
+    pub fn describe(&self) -> String {
+        match self {
+            FrameProgram::Input(n) => format!("in{n}"),
+            FrameProgram::Op { op, args } => {
+                let parts: Vec<String> = args
+                    .iter()
+                    .map(|a| match a {
+                        ProgArg::Frame(f) => f.describe(),
+                        ProgArg::Data(_) => "·".to_string(),
+                    })
+                    .collect();
+                format!("{op:?}({})", parts.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(op: TransformOp, args: Vec<ProgArg>) -> FrameProgram {
+        FrameProgram::Op { op, args }
+    }
+
+    #[test]
+    fn purity_checks() {
+        assert!(FrameProgram::Input(0).is_pure_input());
+        let ident = op(
+            TransformOp::Identity,
+            vec![ProgArg::Frame(FrameProgram::Input(0))],
+        );
+        assert!(!ident.is_pure_input());
+        assert!(ident.is_identity_of_input());
+        let blur = op(
+            TransformOp::Blur,
+            vec![
+                ProgArg::Frame(FrameProgram::Input(0)),
+                ProgArg::Data(DataExpr::constant(1.0f64)),
+            ],
+        );
+        assert!(!blur.is_identity_of_input());
+    }
+
+    #[test]
+    fn input_count_and_op_count() {
+        let g = op(
+            TransformOp::Grid,
+            (0..4)
+                .map(|i| ProgArg::Frame(FrameProgram::Input(i)))
+                .collect(),
+        );
+        assert_eq!(g.input_count(), 4);
+        assert_eq!(g.op_count(), 1);
+        let nested = op(
+            TransformOp::Blur,
+            vec![
+                ProgArg::Frame(g.clone()),
+                ProgArg::Data(DataExpr::constant(1.0f64)),
+            ],
+        );
+        assert_eq!(nested.op_count(), 2);
+        assert_eq!(nested.input_count(), 4);
+    }
+
+    #[test]
+    fn substitution_splices_programs() {
+        // outer = Blur(in0); replace in0 with Zoom(in0) → Blur(Zoom(in0)).
+        let outer = op(
+            TransformOp::Blur,
+            vec![
+                ProgArg::Frame(FrameProgram::Input(0)),
+                ProgArg::Data(DataExpr::constant(1.0f64)),
+            ],
+        );
+        let inner = op(
+            TransformOp::Zoom,
+            vec![
+                ProgArg::Frame(FrameProgram::Input(0)),
+                ProgArg::Data(DataExpr::constant(2.0f64)),
+            ],
+        );
+        let merged = outer.substitute(0, &inner, &|n| n);
+        assert_eq!(merged.op_count(), 2);
+        assert_eq!(merged.describe(), "Blur(Zoom(in0, ·), ·)");
+    }
+
+    #[test]
+    fn shift_inputs_renumbers() {
+        let g = op(
+            TransformOp::Crossfade,
+            vec![
+                ProgArg::Frame(FrameProgram::Input(0)),
+                ProgArg::Frame(FrameProgram::Input(1)),
+                ProgArg::Data(DataExpr::constant(0.5f64)),
+            ],
+        );
+        let shifted = g.shift_inputs(3);
+        assert_eq!(shifted.input_count(), 5);
+    }
+}

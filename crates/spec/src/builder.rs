@@ -1,0 +1,332 @@
+//! Ergonomic spec construction for Rust callers.
+//!
+//! The JSON form is the interchange format; examples, benchmarks, and
+//! embedding VDBMSs construct specs through [`SpecBuilder`] and the
+//! expression helpers here instead.
+
+use crate::expr::{Arg, DataExpr, RenderExpr};
+use crate::ops::TransformOp;
+use crate::spec::{OutputSettings, Spec};
+use std::collections::BTreeMap;
+use v2v_time::{AffineTimeMap, Rational, TimeRange, TimeSet};
+
+/// Builds a spec as a timeline of appended segments.
+///
+/// Each `append_*` call places a segment at the current output cursor;
+/// the builder derives the time domain, match arms, and source time
+/// shifts. The segment length is given in seconds and snapped to whole
+/// output frames.
+pub struct SpecBuilder {
+    output: OutputSettings,
+    videos: BTreeMap<String, String>,
+    data_arrays: BTreeMap<String, String>,
+    arms: Vec<(TimeSet, RenderExpr)>,
+    cursor: Rational,
+}
+
+impl SpecBuilder {
+    /// Starts an empty timeline.
+    pub fn new(output: OutputSettings) -> SpecBuilder {
+        SpecBuilder {
+            output,
+            videos: BTreeMap::new(),
+            data_arrays: BTreeMap::new(),
+            arms: Vec::new(),
+            cursor: Rational::ZERO,
+        }
+    }
+
+    /// Registers a video source.
+    pub fn video(mut self, name: impl Into<String>, locator: impl Into<String>) -> SpecBuilder {
+        self.videos.insert(name.into(), locator.into());
+        self
+    }
+
+    /// Registers a data array source.
+    pub fn data_array(
+        mut self,
+        name: impl Into<String>,
+        locator: impl Into<String>,
+    ) -> SpecBuilder {
+        self.data_arrays.insert(name.into(), locator.into());
+        self
+    }
+
+    /// Current output cursor (end of the last appended segment).
+    pub fn cursor(&self) -> Rational {
+        self.cursor
+    }
+
+    /// Number of whole output frames in `seconds`.
+    fn frames_in(&self, seconds: Rational) -> u64 {
+        seconds.div_floor(self.output.frame_dur).max(0) as u64
+    }
+
+    /// Appends `seconds` of output rendered by `expr`; `expr` receives
+    /// the segment's output start time so it can compute source shifts.
+    pub fn append_with(
+        mut self,
+        seconds: Rational,
+        expr: impl FnOnce(Rational) -> RenderExpr,
+    ) -> SpecBuilder {
+        let count = self.frames_in(seconds);
+        if count == 0 {
+            return self;
+        }
+        let when = TimeSet::from_range(TimeRange::from_parts(
+            self.cursor,
+            self.output.frame_dur,
+            count,
+        ));
+        let start = self.cursor;
+        self.arms.push((when, expr(start)));
+        self.cursor = self.cursor + self.output.frame_dur * Rational::from_int(count as i64);
+        self
+    }
+
+    /// Appends a plain clip: `seconds` of `video` starting at source time
+    /// `src_start`.
+    pub fn append_clip(
+        self,
+        video: impl Into<String>,
+        src_start: Rational,
+        seconds: Rational,
+    ) -> SpecBuilder {
+        let video = video.into();
+        self.append_with(seconds, |out_start| RenderExpr::FrameRef {
+            video,
+            time: AffineTimeMap::shift(src_start - out_start),
+        })
+    }
+
+    /// Appends `seconds` of a transformed clip: `f` receives the source
+    /// frame reference for the segment.
+    pub fn append_filtered(
+        self,
+        video: impl Into<String>,
+        src_start: Rational,
+        seconds: Rational,
+        f: impl FnOnce(RenderExpr) -> RenderExpr,
+    ) -> SpecBuilder {
+        let video = video.into();
+        self.append_with(seconds, |out_start| {
+            f(RenderExpr::FrameRef {
+                video,
+                time: AffineTimeMap::shift(src_start - out_start),
+            })
+        })
+    }
+
+    /// Finalizes the spec.
+    pub fn build(self) -> Spec {
+        let time_domain = self
+            .arms
+            .iter()
+            .fold(TimeSet::empty(), |acc, (when, _)| acc.union(when));
+        let render = if self.arms.len() == 1 {
+            self.arms.into_iter().next().expect("one arm").1
+        } else {
+            RenderExpr::matching(self.arms)
+        };
+        Spec {
+            time_domain,
+            render,
+            videos: self.videos,
+            data_arrays: self.data_arrays,
+            output: self.output,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Expression helpers
+// ---------------------------------------------------------------------
+
+/// `Grid(a, b, c, d)` — the paper's 2×2 composition.
+pub fn grid4(a: RenderExpr, b: RenderExpr, c: RenderExpr, d: RenderExpr) -> RenderExpr {
+    RenderExpr::transform(
+        TransformOp::Grid,
+        vec![Arg::Frame(a), Arg::Frame(b), Arg::Frame(c), Arg::Frame(d)],
+    )
+}
+
+/// `Blur(e, sigma)`.
+pub fn blur(e: RenderExpr, sigma: f64) -> RenderExpr {
+    RenderExpr::transform(
+        TransformOp::Blur,
+        vec![Arg::Frame(e), Arg::Data(DataExpr::constant(sigma))],
+    )
+}
+
+/// `Zoom(e, factor)`.
+pub fn zoom(e: RenderExpr, factor: f64) -> RenderExpr {
+    RenderExpr::transform(
+        TransformOp::Zoom,
+        vec![Arg::Frame(e), Arg::Data(DataExpr::constant(factor))],
+    )
+}
+
+/// `BoundingBox(e, array[t])`.
+pub fn bounding_box(e: RenderExpr, array: impl Into<String>) -> RenderExpr {
+    RenderExpr::transform(
+        TransformOp::BoundingBox,
+        vec![Arg::Frame(e), Arg::Data(DataExpr::array(array))],
+    )
+}
+
+/// `Highlight(e, array[t], dim)`.
+pub fn highlight(e: RenderExpr, array: impl Into<String>, dim: f64) -> RenderExpr {
+    RenderExpr::transform(
+        TransformOp::Highlight,
+        vec![
+            Arg::Frame(e),
+            Arg::Data(DataExpr::array(array)),
+            Arg::Data(DataExpr::constant(dim)),
+        ],
+    )
+}
+
+/// `IfThenElse(cond, a, b)`.
+pub fn if_then_else(cond: DataExpr, a: RenderExpr, b: RenderExpr) -> RenderExpr {
+    RenderExpr::transform(
+        TransformOp::IfThenElse,
+        vec![Arg::Data(cond), Arg::Frame(a), Arg::Frame(b)],
+    )
+}
+
+/// `TextOverlay(e, text, x, y)` with a constant string.
+pub fn text_overlay(e: RenderExpr, text: impl Into<String>, x: f64, y: f64) -> RenderExpr {
+    RenderExpr::transform(
+        TransformOp::TextOverlay,
+        vec![
+            Arg::Frame(e),
+            Arg::Data(DataExpr::constant(text.into())),
+            Arg::Data(DataExpr::constant(x)),
+            Arg::Data(DataExpr::constant(y)),
+        ],
+    )
+}
+
+/// `TextOverlay(e, expr, x, y)` with a data-driven string.
+pub fn text_overlay_expr(e: RenderExpr, text: DataExpr, x: f64, y: f64) -> RenderExpr {
+    RenderExpr::transform(
+        TransformOp::TextOverlay,
+        vec![
+            Arg::Frame(e),
+            Arg::Data(text),
+            Arg::Data(DataExpr::constant(x)),
+            Arg::Data(DataExpr::constant(y)),
+        ],
+    )
+}
+
+/// `Grayscale(e)`.
+pub fn grayscale(e: RenderExpr) -> RenderExpr {
+    RenderExpr::transform(TransformOp::Grayscale, vec![Arg::Frame(e)])
+}
+
+/// `Crossfade(a, b, alpha)`.
+pub fn crossfade(a: RenderExpr, b: RenderExpr, alpha: DataExpr) -> RenderExpr {
+    RenderExpr::transform(
+        TransformOp::Crossfade,
+        vec![Arg::Frame(a), Arg::Frame(b), Arg::Data(alpha)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_frame::FrameType;
+    use v2v_time::r;
+
+    fn output() -> OutputSettings {
+        OutputSettings::new(FrameType::yuv420p(64, 64), 30)
+    }
+
+    #[test]
+    fn timeline_cursor_advances() {
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .video("b", "b.svc")
+            .append_clip("a", r(10, 1), r(5, 1))
+            .append_clip("b", r(0, 1), r(5, 1))
+            .build();
+        assert_eq!(spec.time_domain.count(), 300);
+        assert_eq!(spec.time_domain.min(), Some(r(0, 1)));
+        assert_eq!(spec.time_domain.max(), Some(r(299, 30)));
+        match &spec.render {
+            RenderExpr::Match { arms } => {
+                assert_eq!(arms.len(), 2);
+                // Second arm shows b from 0 while output time is 5..10:
+                // shift is -5.
+                match &arms[1].expr {
+                    RenderExpr::FrameRef { video, time } => {
+                        assert_eq!(video, "b");
+                        assert_eq!(time.offset(), r(-5, 1));
+                    }
+                    other => panic!("unexpected expr {other:?}"),
+                }
+            }
+            other => panic!("expected match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_segment_unwraps_match() {
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_clip("a", r(0, 1), r(1, 1))
+            .build();
+        assert!(matches!(spec.render, RenderExpr::FrameRef { .. }));
+    }
+
+    #[test]
+    fn filtered_segment_wraps_ref() {
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_filtered("a", r(2, 1), r(1, 1), |e| blur(e, 1.5))
+            .build();
+        match &spec.render {
+            RenderExpr::Transform { op, args } => {
+                assert_eq!(*op, TransformOp::Blur);
+                assert!(matches!(args[0], Arg::Frame(RenderExpr::FrameRef { .. })));
+            }
+            other => panic!("expected transform, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_segment_is_skipped() {
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_clip("a", r(0, 1), r(0, 1))
+            .append_clip("a", r(0, 1), r(1, 100)) // below one frame
+            .append_clip("a", r(0, 1), r(1, 1))
+            .build();
+        assert_eq!(spec.time_domain.count(), 30);
+    }
+
+    #[test]
+    fn builder_spec_passes_checker() {
+        use crate::check::{check_spec, SourceInfo};
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .data_array("bb", "bb.json")
+            .append_filtered("a", r(0, 1), r(2, 1), |e| bounding_box(e, "bb"))
+            .build();
+        let sources = [(
+            "a".to_string(),
+            SourceInfo {
+                frame_ty: FrameType::yuv420p(64, 64),
+                available: TimeSet::from_range(v2v_time::TimeRange::new(
+                    r(0, 1),
+                    r(10, 1),
+                    r(1, 30),
+                )),
+            },
+        )]
+        .into();
+        let report = check_spec(&spec, &sources).unwrap();
+        assert_eq!(report.required["a"].count(), 60);
+    }
+}

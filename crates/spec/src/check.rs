@@ -1,0 +1,420 @@
+//! Static property checks (paper §III-B).
+//!
+//! "Such a definition … allows static property checks via typing. For
+//! this example spec, our system would identify that vid1 must be a
+//! superset of Range(0, 300, 1/30). The spec is correct if each
+//! dependency is a subset of the ranges available in the source videos."
+//!
+//! [`check_spec`] walks the render expression with the *current domain*
+//! (the instants at which the enclosing context can evaluate it), pushes
+//! that domain through affine frame references, and accumulates per-video
+//! requirements. It also enforces match totality, transform signatures,
+//! and name resolution.
+
+use crate::expr::{Arg, DataExpr, RenderExpr};
+use crate::ops::{ArgKind, TransformOp};
+use crate::spec::Spec;
+use crate::udf::UdfRegistry;
+use crate::SpecError;
+use std::collections::BTreeMap;
+use v2v_frame::FrameType;
+use v2v_time::TimeSet;
+
+/// What the checker knows about one bindable video source.
+#[derive(Clone, Debug)]
+pub struct SourceInfo {
+    /// The source's frame type.
+    pub frame_ty: FrameType,
+    /// Instants the source can serve.
+    pub available: TimeSet,
+}
+
+/// Result of a successful check.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Exact instants each video must serve — the dependency analysis
+    /// output the optimizer's `Clip` lowering consumes.
+    pub required: BTreeMap<String, TimeSet>,
+    /// Non-fatal observations (e.g. arms that can never match).
+    pub warnings: Vec<String>,
+}
+
+struct Checker<'a> {
+    spec: &'a Spec,
+    udfs: &'a UdfRegistry,
+    report: CheckReport,
+    errors: Vec<SpecError>,
+}
+
+/// Checks a spec against the available sources.
+///
+/// Returns the per-video requirements on success; the full error list on
+/// failure (all errors are collected, not just the first).
+pub fn check_spec(
+    spec: &Spec,
+    sources: &BTreeMap<String, SourceInfo>,
+) -> Result<CheckReport, Vec<SpecError>> {
+    static EMPTY: std::sync::OnceLock<UdfRegistry> = std::sync::OnceLock::new();
+    check_spec_with_udfs(spec, sources, EMPTY.get_or_init(UdfRegistry::new))
+}
+
+/// [`check_spec`] with user-defined transformation signatures available
+/// for resolution (paper §III-C: "More transformations can be added
+/// through UDFs").
+pub fn check_spec_with_udfs(
+    spec: &Spec,
+    sources: &BTreeMap<String, SourceInfo>,
+    udfs: &UdfRegistry,
+) -> Result<CheckReport, Vec<SpecError>> {
+    let mut c = Checker {
+        spec,
+        udfs,
+        report: CheckReport::default(),
+        errors: Vec::new(),
+    };
+    if spec.time_domain.is_empty() {
+        c.errors.push(SpecError::EmptyDomain);
+    }
+    c.walk(&spec.render, spec.time_domain.clone());
+    // Range containment per video.
+    for (video, required) in &c.report.required {
+        match sources.get(video) {
+            None => {
+                // Already reported as UnknownVideo during the walk if the
+                // name is missing from spec.videos; report here when the
+                // spec mentions it but the catalog cannot serve it.
+                if spec.videos.contains_key(video) {
+                    c.errors.push(SpecError::UnknownVideo(video.clone()));
+                }
+            }
+            Some(info) => {
+                let missing = required.difference(&info.available);
+                if !missing.is_empty() {
+                    c.errors.push(SpecError::RangeViolation {
+                        video: video.clone(),
+                        missing: missing.count(),
+                        first: missing.min().expect("non-empty set has a min"),
+                    });
+                }
+            }
+        }
+    }
+    if c.errors.is_empty() {
+        Ok(c.report)
+    } else {
+        Err(c.errors)
+    }
+}
+
+impl Checker<'_> {
+    fn walk(&mut self, expr: &RenderExpr, domain: TimeSet) {
+        if domain.is_empty() {
+            return;
+        }
+        match expr {
+            RenderExpr::FrameRef { video, time } => {
+                if !self.spec.videos.contains_key(video) {
+                    self.errors.push(SpecError::UnknownVideo(video.clone()));
+                    return;
+                }
+                let required = time.apply_set(&domain);
+                self.report
+                    .required
+                    .entry(video.clone())
+                    .and_modify(|s| *s = s.union(&required))
+                    .or_insert(required);
+            }
+            RenderExpr::Match { arms } => {
+                let mut remaining = domain.clone();
+                for (i, arm) in arms.iter().enumerate() {
+                    let covered = remaining.intersect(&arm.when);
+                    if covered.is_empty() && !domain.intersect(&arm.when).is_empty() {
+                        self.report.warnings.push(format!(
+                            "match arm {i} is shadowed by earlier arms"
+                        ));
+                    }
+                    if domain.intersect(&arm.when).is_empty() {
+                        self.report
+                            .warnings
+                            .push(format!("match arm {i} never matches the domain"));
+                    }
+                    self.walk(&arm.expr, covered.clone());
+                    remaining = remaining.difference(&covered);
+                }
+                if !remaining.is_empty() {
+                    self.errors.push(SpecError::IncompleteMatch {
+                        missing: remaining.count(),
+                        first: remaining.min().expect("non-empty set has a min"),
+                    });
+                }
+            }
+            RenderExpr::Transform { op, args } => {
+                let sig: &[ArgKind] = match op {
+                    TransformOp::Udf(id) => match self.udfs.get(*id) {
+                        Some(sig) => &sig.args,
+                        None => {
+                            self.errors.push(SpecError::UnknownUdf(*id));
+                            // Walk frame sub-expressions so their errors
+                            // surface despite the unknown signature.
+                            for arg in args {
+                                if let Arg::Frame(e) = arg {
+                                    self.walk(e, domain.clone());
+                                }
+                            }
+                            return;
+                        }
+                    },
+                    builtin => builtin.signature(),
+                };
+                if sig.len() != args.len() {
+                    self.errors.push(SpecError::Arity {
+                        op: *op,
+                        want: sig.len(),
+                        got: args.len(),
+                    });
+                }
+                for (i, (kind, arg)) in sig.iter().zip(args.iter()).enumerate() {
+                    match (kind, arg) {
+                        (ArgKind::Frame, Arg::Frame(e)) => self.walk(e, domain.clone()),
+                        (ArgKind::Data(want), Arg::Data(d)) => {
+                            self.check_data(d);
+                            let got = d.data_type();
+                            if !want.accepts(got) {
+                                self.errors.push(SpecError::ArgType {
+                                    op: *op,
+                                    index: i,
+                                    want: want.to_string(),
+                                    got: got.to_string(),
+                                });
+                            }
+                        }
+                        (want, got) => {
+                            self.errors.push(SpecError::ArgType {
+                                op: *op,
+                                index: i,
+                                want: want.to_string(),
+                                got: match got {
+                                    Arg::Frame(_) => "frame".to_string(),
+                                    Arg::Data(d) => format!("data:{}", d.data_type()),
+                                },
+                            });
+                            // Still walk frame sub-expressions so their
+                            // errors surface too.
+                            if let Arg::Frame(e) = got {
+                                self.walk(e, domain.clone());
+                            }
+                        }
+                    }
+                }
+                // Surplus args beyond the signature: walk frames anyway.
+                for arg in args.iter().skip(sig.len()) {
+                    if let Arg::Frame(e) = arg {
+                        self.walk(e, domain.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_data(&mut self, d: &DataExpr) {
+        let mut arrays = Vec::new();
+        d.referenced_arrays(&mut arrays);
+        for a in arrays {
+            if !self.spec.data_arrays.contains_key(&a) {
+                self.errors.push(SpecError::UnknownArray(a));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Arg, DataExpr, RenderExpr};
+    use crate::ops::TransformOp;
+    use crate::spec::OutputSettings;
+    use v2v_time::{r, AffineTimeMap, Rational, TimeRange};
+
+    fn domain(start: i64, end: i64) -> TimeSet {
+        TimeSet::from_range(TimeRange::new(r(start, 1), r(end, 1), r(1, 30)))
+    }
+
+    fn source(start: i64, end: i64) -> SourceInfo {
+        SourceInfo {
+            frame_ty: FrameType::yuv420p(64, 64),
+            available: domain(start, end),
+        }
+    }
+
+    fn base_spec(render: RenderExpr) -> Spec {
+        Spec {
+            time_domain: domain(0, 10),
+            render,
+            videos: [
+                ("vid1".to_string(), "a.svc".to_string()),
+                ("vid2".to_string(), "b.svc".to_string()),
+            ]
+            .into(),
+            data_arrays: [("bb".to_string(), "bb.json".to_string())].into(),
+            output: OutputSettings::new(FrameType::yuv420p(64, 64), 30),
+        }
+    }
+
+    #[test]
+    fn paper_dependency_example() {
+        // Render(t) = vid1[t] over Range(0,10): vid1 must cover it.
+        let spec = base_spec(RenderExpr::video("vid1"));
+        let sources = [("vid1".to_string(), source(0, 10))].into();
+        let report = check_spec(&spec, &sources).unwrap();
+        assert!(report.required["vid1"].set_eq(&domain(0, 10)));
+    }
+
+    #[test]
+    fn shifted_reference_shifts_requirement() {
+        // Render(t) = vid1[t + 100]: requirement is Range(100, 110).
+        let spec = base_spec(RenderExpr::video_shifted("vid1", r(100, 1)));
+        let sources = [("vid1".to_string(), source(0, 200))].into();
+        let report = check_spec(&spec, &sources).unwrap();
+        assert!(report.required["vid1"].set_eq(&domain(100, 110)));
+    }
+
+    #[test]
+    fn range_violation_detected() {
+        let spec = base_spec(RenderExpr::video("vid1"));
+        let sources = [("vid1".to_string(), source(0, 5))].into();
+        let errs = check_spec(&spec, &sources).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            SpecError::RangeViolation { ref video, missing, .. }
+                if video == "vid1" && missing == 150
+        ));
+    }
+
+    #[test]
+    fn match_totality_enforced() {
+        let spec = base_spec(RenderExpr::matching(vec![(
+            domain(0, 5),
+            RenderExpr::video("vid1"),
+        )]));
+        let sources = [("vid1".to_string(), source(0, 10))].into();
+        let errs = check_spec(&spec, &sources).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            SpecError::IncompleteMatch { missing: 150, first } if first == Rational::from_int(5)
+        ));
+    }
+
+    #[test]
+    fn match_arms_restrict_requirements() {
+        // vid1 only over [0,5), vid2 over [5,10): requirements split.
+        let spec = base_spec(RenderExpr::matching(vec![
+            (domain(0, 5), RenderExpr::video("vid1")),
+            (
+                domain(5, 10),
+                RenderExpr::FrameRef {
+                    video: "vid2".into(),
+                    time: AffineTimeMap::shift(r(-5, 1)),
+                },
+            ),
+        ]));
+        let sources = [
+            ("vid1".to_string(), source(0, 5)),
+            ("vid2".to_string(), source(0, 5)),
+        ]
+        .into();
+        let report = check_spec(&spec, &sources).unwrap();
+        assert!(report.required["vid1"].set_eq(&domain(0, 5)));
+        assert!(report.required["vid2"].set_eq(&domain(0, 5)));
+    }
+
+    #[test]
+    fn first_match_wins_overlap_warns() {
+        let spec = base_spec(RenderExpr::matching(vec![
+            (domain(0, 10), RenderExpr::video("vid1")),
+            (domain(3, 7), RenderExpr::video("vid2")),
+        ]));
+        let sources = [
+            ("vid1".to_string(), source(0, 10)),
+            ("vid2".to_string(), source(0, 10)),
+        ]
+        .into();
+        let report = check_spec(&spec, &sources).unwrap();
+        // vid2's arm is fully shadowed: no requirement, and a warning.
+        assert!(!report.required.contains_key("vid2"));
+        assert!(!report.warnings.is_empty());
+    }
+
+    #[test]
+    fn unknown_video_and_array() {
+        let spec = base_spec(RenderExpr::transform(
+            TransformOp::BoundingBox,
+            vec![
+                Arg::Frame(RenderExpr::video("ghost")),
+                Arg::Data(DataExpr::array("phantom")),
+            ],
+        ));
+        let sources = BTreeMap::new();
+        let errs = check_spec(&spec, &sources).unwrap_err();
+        assert!(errs.contains(&SpecError::UnknownVideo("ghost".into())));
+        assert!(errs.contains(&SpecError::UnknownArray("phantom".into())));
+    }
+
+    #[test]
+    fn arity_and_arg_kind_errors() {
+        let spec = base_spec(RenderExpr::transform(
+            TransformOp::Zoom,
+            vec![Arg::Frame(RenderExpr::video("vid1"))],
+        ));
+        let sources = [("vid1".to_string(), source(0, 10))].into();
+        let errs = check_spec(&spec, &sources).unwrap_err();
+        assert!(matches!(errs[0], SpecError::Arity { want: 2, got: 1, .. }));
+
+        let spec = base_spec(RenderExpr::transform(
+            TransformOp::Zoom,
+            vec![
+                Arg::Data(DataExpr::constant(1i64)),
+                Arg::Data(DataExpr::constant(1i64)),
+            ],
+        ));
+        let errs = check_spec(&spec, &sources).unwrap_err();
+        assert!(matches!(errs[0], SpecError::ArgType { index: 0, .. }));
+    }
+
+    #[test]
+    fn data_type_mismatch_flagged() {
+        // Blur's sigma must be numeric, not a string.
+        let spec = base_spec(RenderExpr::transform(
+            TransformOp::Blur,
+            vec![
+                Arg::Frame(RenderExpr::video("vid1")),
+                Arg::Data(DataExpr::constant("wat")),
+            ],
+        ));
+        let sources = [("vid1".to_string(), source(0, 10))].into();
+        let errs = check_spec(&spec, &sources).unwrap_err();
+        assert!(matches!(errs[0], SpecError::ArgType { index: 1, .. }));
+    }
+
+    #[test]
+    fn empty_domain_is_an_error() {
+        let mut spec = base_spec(RenderExpr::video("vid1"));
+        spec.time_domain = TimeSet::empty();
+        let sources = [("vid1".to_string(), source(0, 10))].into();
+        let errs = check_spec(&spec, &sources).unwrap_err();
+        assert!(errs.contains(&SpecError::EmptyDomain));
+    }
+
+    #[test]
+    fn nested_transforms_accumulate_requirements() {
+        // Grid of four shifted refs to the same video.
+        let args = (0..4)
+            .map(|i| Arg::Frame(RenderExpr::video_shifted("vid1", r(i * 20, 1))))
+            .collect();
+        let spec = base_spec(RenderExpr::transform(TransformOp::Grid, args));
+        let sources = [("vid1".to_string(), source(0, 100))].into();
+        let report = check_spec(&spec, &sources).unwrap();
+        let req = &report.required["vid1"];
+        assert_eq!(req.count(), 4 * 300);
+        assert!(req.contains(r(60, 1)));
+    }
+}

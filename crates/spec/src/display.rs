@@ -1,0 +1,246 @@
+//! Pretty-printing specs in the paper's DSL notation.
+//!
+//! Renders a [`Spec`] the way §III-B writes them:
+//!
+//! ```text
+//! TimeDomain = Range(0, 600, 1/30)
+//! Render(t) = match t {
+//!     t in Range(0, 300, 1/30) => vid1[t],
+//!     t in Range(300, 600, 1/30) => Grid(vid1[t + 13463/30], ...),
+//! }
+//! Spec = <TimeDomain, Render, videos: {"vid1": "video1.mp4"}>
+//! ```
+//!
+//! Used by the CLI's `check`/`explain` output and handy in debugging;
+//! parsing this notation back is *not* supported (JSON is the
+//! interchange format).
+
+use crate::expr::{Arg, ArithOp, CmpOp, DataExpr, RenderExpr};
+use crate::ops::TransformOp;
+use crate::spec::Spec;
+use std::fmt::Write;
+use v2v_time::TimeSet;
+
+/// Renders a whole spec in the paper's notation.
+pub fn to_dsl_string(spec: &Spec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TimeDomain = {}", time_set(&spec.time_domain));
+    let _ = write!(out, "Render(t) = ");
+    render_expr(&mut out, &spec.render, 0);
+    let _ = writeln!(out);
+    let videos: Vec<String> = spec
+        .videos
+        .iter()
+        .map(|(k, v)| format!("{k:?}: {v:?}"))
+        .collect();
+    let arrays: Vec<String> = spec
+        .data_arrays
+        .iter()
+        .map(|(k, v)| format!("{k:?}: {v:?}"))
+        .collect();
+    let _ = write!(out, "Spec = <TimeDomain, Render, videos: {{{}}}", videos.join(", "));
+    if !arrays.is_empty() {
+        let _ = write!(out, ", data_arrays: {{{}}}", arrays.join(", "));
+    }
+    let _ = writeln!(out, ">");
+    out
+}
+
+fn time_set(s: &TimeSet) -> String {
+    let parts: Vec<String> = s
+        .ranges()
+        .iter()
+        .map(|r| {
+            if r.count() == 1 {
+                format!("{{{}}}", r.start())
+            } else {
+                format!("Range({}, {}, {})", r.start(), r.end_exclusive(), r.step())
+            }
+        })
+        .collect();
+    if parts.is_empty() {
+        "∅".to_string()
+    } else {
+        parts.join(" ∪ ")
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn render_expr(out: &mut String, e: &RenderExpr, level: usize) {
+    match e {
+        RenderExpr::FrameRef { video, time } => {
+            let _ = write!(out, "{video}[{time}]");
+        }
+        RenderExpr::Match { arms } => {
+            out.push_str("match t {\n");
+            for arm in arms {
+                indent(out, level + 1);
+                let _ = write!(out, "t in {} => ", time_set(&arm.when));
+                render_expr(out, &arm.expr, level + 1);
+                out.push_str(",\n");
+            }
+            indent(out, level);
+            out.push('}');
+        }
+        RenderExpr::Transform { op, args } => {
+            let name = match op {
+                TransformOp::Udf(id) => format!("Udf#{id}"),
+                other => format!("{other:?}"),
+            };
+            let _ = write!(out, "{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match a {
+                    Arg::Frame(f) => render_expr(out, f, level),
+                    Arg::Data(d) => data_expr(out, d),
+                }
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn data_expr(out: &mut String, d: &DataExpr) {
+    match d {
+        DataExpr::Const(v) => {
+            let _ = write!(out, "{v}");
+        }
+        DataExpr::T => out.push('t'),
+        DataExpr::ArrayRef { array, time } => {
+            let _ = write!(out, "{array}[{time}]");
+        }
+        DataExpr::Cmp { op, lhs, rhs } => {
+            let sym = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            data_expr(out, lhs);
+            let _ = write!(out, " {sym} ");
+            data_expr(out, rhs);
+        }
+        DataExpr::Arith { op, lhs, rhs } => {
+            let sym = match op {
+                ArithOp::Add => "+",
+                ArithOp::Sub => "-",
+                ArithOp::Mul => "*",
+                ArithOp::Div => "/",
+            };
+            out.push('(');
+            data_expr(out, lhs);
+            let _ = write!(out, " {sym} ");
+            data_expr(out, rhs);
+            out.push(')');
+        }
+        DataExpr::Not(e) => {
+            out.push('¬');
+            data_expr(out, e);
+        }
+        DataExpr::And(a, b) => {
+            data_expr(out, a);
+            out.push_str(" ∧ ");
+            data_expr(out, b);
+        }
+        DataExpr::Or(a, b) => {
+            data_expr(out, a);
+            out.push_str(" ∨ ");
+            data_expr(out, b);
+        }
+        DataExpr::Len(e) => {
+            out.push('|');
+            data_expr(out, e);
+            out.push('|');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{bounding_box, if_then_else};
+    use crate::spec::OutputSettings;
+    use v2v_frame::FrameType;
+    use v2v_time::{r, TimeRange};
+
+    #[test]
+    fn renders_paper_example_shape() {
+        // The §IV-C worked example:
+        // Render(t) = IfThenElse(a[t] < 5, vid1[t], vid2[t]).
+        let domain = TimeSet::from_instants([r(0, 1), r(1, 1), r(2, 1)]);
+        let spec = Spec {
+            time_domain: domain,
+            render: if_then_else(
+                DataExpr::lt(DataExpr::array("a"), DataExpr::constant(5i64)),
+                RenderExpr::video("vid1"),
+                RenderExpr::video("vid2"),
+            ),
+            videos: [
+                ("vid1".to_string(), "v1.svc".to_string()),
+                ("vid2".to_string(), "v2.svc".to_string()),
+            ]
+            .into(),
+            data_arrays: [("a".to_string(), "a.json".to_string())].into(),
+            output: OutputSettings::new(FrameType::yuv420p(64, 64), 30),
+        };
+        let text = to_dsl_string(&spec);
+        assert!(text.contains("TimeDomain = Range(0, 3, 1)"), "{text}");
+        assert!(
+            text.contains("IfThenElse(a[t] < 5, vid1[t], vid2[t])"),
+            "{text}"
+        );
+        assert!(text.contains("data_arrays: {\"a\": \"a.json\"}"), "{text}");
+    }
+
+    #[test]
+    fn renders_match_arms() {
+        let lo = TimeSet::from_range(TimeRange::new(r(0, 1), r(1, 1), r(1, 30)));
+        let hi = TimeSet::from_range(TimeRange::new(r(1, 1), r(2, 1), r(1, 30)));
+        let spec = Spec {
+            time_domain: lo.union(&hi),
+            render: RenderExpr::matching(vec![
+                (lo, RenderExpr::video("a")),
+                (hi, RenderExpr::video_shifted("b", r(5, 1))),
+            ]),
+            videos: [
+                ("a".to_string(), "a.svc".to_string()),
+                ("b".to_string(), "b.svc".to_string()),
+            ]
+            .into(),
+            data_arrays: Default::default(),
+            output: OutputSettings::new(FrameType::yuv420p(64, 64), 30),
+        };
+        let text = to_dsl_string(&spec);
+        assert!(text.contains("match t {"), "{text}");
+        assert!(text.contains("t in Range(0, 1, 1/30) => a[t],"), "{text}");
+        assert!(text.contains("=> b[t + 5],"), "{text}");
+    }
+
+    #[test]
+    fn renders_udf_and_logic() {
+        let spec = Spec {
+            time_domain: TimeSet::singleton(r(0, 1)),
+            render: RenderExpr::transform(
+                TransformOp::Udf(7),
+                vec![
+                    Arg::Frame(bounding_box(RenderExpr::video("a"), "bb")),
+                    Arg::Data(DataExpr::non_empty(DataExpr::array("bb"))),
+                ],
+            ),
+            videos: [("a".to_string(), "a.svc".to_string())].into(),
+            data_arrays: [("bb".to_string(), "bb.json".to_string())].into(),
+            output: OutputSettings::new(FrameType::yuv420p(64, 64), 30),
+        };
+        let text = to_dsl_string(&spec);
+        assert!(text.contains("Udf#7(BoundingBox(a[t], bb[t]), |bb[t]| > 0)"), "{text}");
+    }
+}

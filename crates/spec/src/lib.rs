@@ -1,0 +1,104 @@
+#![warn(missing_docs)]
+
+//! The V2V declarative video editing DSL (paper §III).
+//!
+//! A video editing task is expressed as a [`Spec`]:
+//!
+//! ```text
+//! Spec = ⟨TimeDomain, Render, videos: {...}, data_arrays: {...}⟩
+//! ```
+//!
+//! `TimeDomain` is a set of rational instants; `Render(t)` is an
+//! expression — match arms over time sets, frame references `vid[a·t+b]`,
+//! and transformation calls — that defines the output frame at each
+//! instant. Transformations are typed functions over frames and data
+//! ([`TransformOp`] carries the signature table); data parameters are
+//! [`DataExpr`]s evaluated against the spec's data arrays.
+//!
+//! The crate provides:
+//!
+//! * the typed AST ([`Spec`], [`RenderExpr`], [`Arg`], [`DataExpr`]) with
+//!   JSON (de)serialization — "our executable binary reads serialized
+//!   JSON specs" (§IV-D);
+//! * [`check`] — the static property checks of §III-B: match totality,
+//!   signature arity/typing, and the dependency analysis proving every
+//!   `vid[...]` reference is a subset of the source's available range;
+//! * [`builder`] — an ergonomic Rust construction API used by the
+//!   examples and benchmarks.
+
+pub mod builder;
+pub mod check;
+pub mod display;
+pub mod expr;
+pub mod ops;
+pub mod spec;
+pub mod udf;
+
+pub use builder::SpecBuilder;
+pub use check::{check_spec, check_spec_with_udfs, CheckReport, SourceInfo};
+pub use display::to_dsl_string;
+pub use expr::{Arg, ArithOp, CmpOp, DataExpr, RenderExpr};
+pub use ops::{ArgKind, DataType, TransformOp};
+pub use spec::{OutputSettings, Spec};
+pub use udf::{UdfRegistry, UdfSignature};
+
+/// Errors raised by spec validation.
+#[derive(Debug, Clone, PartialEq, thiserror::Error)]
+pub enum SpecError {
+    /// A frame reference names a video absent from `videos`.
+    #[error("unknown video '{0}'")]
+    UnknownVideo(String),
+    /// A data expression names an array absent from `data_arrays`.
+    #[error("unknown data array '{0}'")]
+    UnknownArray(String),
+    /// A transform received the wrong number of arguments.
+    #[error("{op:?} expects {want} arguments, got {got}")]
+    Arity {
+        /// The transform.
+        op: TransformOp,
+        /// Expected argument count.
+        want: usize,
+        /// Supplied argument count.
+        got: usize,
+    },
+    /// A transform argument has the wrong kind (frame vs data) or data
+    /// type.
+    #[error("{op:?} argument {index}: expected {want}, got {got}")]
+    ArgType {
+        /// The transform.
+        op: TransformOp,
+        /// Zero-based argument index.
+        index: usize,
+        /// Expected kind/type.
+        want: String,
+        /// What the expression provides.
+        got: String,
+    },
+    /// The match arms do not cover the whole domain.
+    #[error("render expression does not cover {missing} instants of the time domain (first: {first})")]
+    IncompleteMatch {
+        /// Number of uncovered instants.
+        missing: u64,
+        /// First uncovered instant.
+        first: v2v_time::Rational,
+    },
+    /// A video is used outside its available range.
+    #[error("video '{video}' is referenced at {missing} instants outside its available range (first: {first})")]
+    RangeViolation {
+        /// The video.
+        video: String,
+        /// Number of out-of-range instants.
+        missing: u64,
+        /// First out-of-range instant.
+        first: v2v_time::Rational,
+    },
+    /// A spec used a UDF id absent from the registry.
+    #[error("unknown UDF #{0}")]
+    UnknownUdf(u16),
+    /// The spec's time domain is empty.
+    #[error("spec time domain is empty")]
+    EmptyDomain,
+    /// Serialized spec failed to parse.
+    #[error("spec JSON error: {0}")]
+    Json(String),
+}

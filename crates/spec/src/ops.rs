@@ -1,0 +1,269 @@
+//! The transformation vocabulary and its signature table.
+//!
+//! Paper §III-C: "Filter: Zoom, crop, stabilize, animated transitions,
+//! highlight an object, overlay text or graphics, color grading,
+//! blur/sharpen, edge detection, denoise, background replacement" plus
+//! the multi-frame `Grid` and the data-dependent `IfThenElse`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Type of a data argument.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// Numeric (int / float / rational).
+    Number,
+    /// String.
+    Str,
+    /// Bounding-box list.
+    Boxes,
+    /// Anything.
+    Any,
+}
+
+impl DataType {
+    /// `true` if a value of type `got` satisfies this expectation.
+    pub fn accepts(self, got: DataType) -> bool {
+        self == DataType::Any || got == DataType::Any || self == got
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Number => "number",
+            DataType::Str => "string",
+            DataType::Boxes => "boxes",
+            DataType::Any => "any",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Kind of a transform argument slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArgKind {
+    /// A frame-valued sub-expression.
+    Frame,
+    /// A data-valued expression of the given type.
+    Data(DataType),
+}
+
+impl fmt::Display for ArgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgKind::Frame => write!(f, "frame"),
+            ArgKind::Data(t) => write!(f, "data:{t}"),
+        }
+    }
+}
+
+/// A frame transformation: `Transform(args…) → Frame`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TransformOp {
+    /// `Identity(Frame)` — passes the frame through.
+    Identity,
+    /// `Zoom(Frame, factor)` — magnify around the centre.
+    Zoom,
+    /// `ZoomAt(Frame, factor, cx, cy)` — magnify around a point.
+    ZoomAt,
+    /// `Crop(Frame, x, y, w, h)` — normalized crop rectangle (output is
+    /// conformed back to the pipeline frame type downstream).
+    Crop,
+    /// `Overlay(Frame, image_path)` — composite an image at the
+    /// top-left.
+    Overlay,
+    /// `OverlayAt(Frame, image_path, x, y, alpha)` — positioned,
+    /// alpha-blended composite (normalized position, alpha 0–1).
+    OverlayAt,
+    /// `BoundingBox(Frame, List⟨BoxCoord⟩)` — draw detection boxes.
+    BoundingBox,
+    /// `TextOverlay(Frame, text, x, y)` — stamp annotation text.
+    TextOverlay,
+    /// `Grid(Frame, Frame, Frame, Frame)` — 2×2 composition.
+    Grid,
+    /// `Blur(Frame, sigma)` — Gaussian blur (the Q4/Q9 filter).
+    Blur,
+    /// `Sharpen(Frame, amount)` — unsharp masking.
+    Sharpen,
+    /// `Denoise(Frame)` — 3×3 median.
+    Denoise,
+    /// `EdgeDetect(Frame)` — Sobel magnitude.
+    EdgeDetect,
+    /// `Grayscale(Frame)` — drop chroma.
+    Grayscale,
+    /// `Invert(Frame)` — photographic negative.
+    Invert,
+    /// `Brightness(Frame, brightness, contrast)`.
+    Brightness,
+    /// `ColorGrade(Frame, gamma, saturation)`.
+    ColorGrade,
+    /// `IfThenElse(cond, Frame, Frame)` — data-driven branch (§IV-C).
+    IfThenElse,
+    /// `Crossfade(Frame, Frame, alpha)` — animated transition.
+    Crossfade,
+    /// `FadeToBlack(Frame, alpha)`.
+    FadeToBlack,
+    /// `Stabilize(Frame, dx, dy, margin)` — jitter-compensated crop.
+    Stabilize,
+    /// `PictureInPicture(Frame, Frame, x, y, scale)`.
+    PictureInPicture,
+    /// `Highlight(Frame, List⟨BoxCoord⟩, dim)` — dim everything outside
+    /// the detected objects ("highlight an object", §III-C).
+    Highlight,
+    /// A user-defined transformation; the signature lives in a
+    /// [`crate::udf::UdfRegistry`] and the kernel in the execution
+    /// catalog. Serialized as `{"udf": id}`.
+    Udf(u16),
+}
+
+impl TransformOp {
+    /// The argument signature.
+    pub fn signature(self) -> &'static [ArgKind] {
+        use ArgKind::{Data, Frame};
+        use DataType::*;
+        match self {
+            TransformOp::Identity => &[Frame],
+            TransformOp::Zoom => &[Frame, Data(Number)],
+            TransformOp::ZoomAt => &[Frame, Data(Number), Data(Number), Data(Number)],
+            TransformOp::Crop => &[
+                Frame,
+                Data(Number),
+                Data(Number),
+                Data(Number),
+                Data(Number),
+            ],
+            TransformOp::Overlay => &[Frame, Data(Str)],
+            TransformOp::OverlayAt => &[
+                Frame,
+                Data(Str),
+                Data(Number),
+                Data(Number),
+                Data(Number),
+            ],
+            TransformOp::BoundingBox => &[Frame, Data(Boxes)],
+            TransformOp::TextOverlay => &[Frame, Data(Str), Data(Number), Data(Number)],
+            TransformOp::Grid => &[Frame, Frame, Frame, Frame],
+            TransformOp::Blur => &[Frame, Data(Number)],
+            TransformOp::Sharpen => &[Frame, Data(Number)],
+            TransformOp::Denoise => &[Frame],
+            TransformOp::EdgeDetect => &[Frame],
+            TransformOp::Grayscale => &[Frame],
+            TransformOp::Invert => &[Frame],
+            TransformOp::Brightness => &[Frame, Data(Number), Data(Number)],
+            TransformOp::ColorGrade => &[Frame, Data(Number), Data(Number)],
+            TransformOp::IfThenElse => &[Data(Bool), Frame, Frame],
+            TransformOp::Crossfade => &[Frame, Frame, Data(Number)],
+            TransformOp::FadeToBlack => &[Frame, Data(Number)],
+            TransformOp::Stabilize => &[Frame, Data(Number), Data(Number), Data(Number)],
+            TransformOp::PictureInPicture => {
+                &[Frame, Frame, Data(Number), Data(Number), Data(Number)]
+            }
+            TransformOp::Highlight => &[Frame, Data(Boxes), Data(Number)],
+            // UDF signatures live in the registry; the checker resolves
+            // them via `check::check_spec_with_udfs`.
+            TransformOp::Udf(_) => &[],
+        }
+    }
+
+    /// Number of frame-valued arguments.
+    pub fn frame_arity(self) -> usize {
+        self.signature()
+            .iter()
+            .filter(|k| matches!(k, ArgKind::Frame))
+            .count()
+    }
+
+    /// `true` if the transform consults data arguments at all.
+    pub fn has_data_args(self) -> bool {
+        self.signature()
+            .iter()
+            .any(|k| matches!(k, ArgKind::Data(_)))
+    }
+
+    /// All *built-in* operators (UDFs excluded; for exhaustive tests and
+    /// documentation tables).
+    pub fn all() -> &'static [TransformOp] {
+        &[
+            TransformOp::Identity,
+            TransformOp::Zoom,
+            TransformOp::ZoomAt,
+            TransformOp::Crop,
+            TransformOp::Overlay,
+            TransformOp::OverlayAt,
+            TransformOp::BoundingBox,
+            TransformOp::TextOverlay,
+            TransformOp::Grid,
+            TransformOp::Blur,
+            TransformOp::Sharpen,
+            TransformOp::Denoise,
+            TransformOp::EdgeDetect,
+            TransformOp::Grayscale,
+            TransformOp::Invert,
+            TransformOp::Brightness,
+            TransformOp::ColorGrade,
+            TransformOp::IfThenElse,
+            TransformOp::Crossfade,
+            TransformOp::FadeToBlack,
+            TransformOp::Stabilize,
+            TransformOp::PictureInPicture,
+            TransformOp::Highlight,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_op_has_at_least_one_frame_arg_except_none() {
+        for op in TransformOp::all() {
+            assert!(
+                op.frame_arity() >= 1,
+                "{op:?} must consume at least one frame"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_is_four_frames() {
+        assert_eq!(TransformOp::Grid.frame_arity(), 4);
+        assert!(!TransformOp::Grid.has_data_args());
+    }
+
+    #[test]
+    fn if_then_else_signature() {
+        let sig = TransformOp::IfThenElse.signature();
+        assert_eq!(sig.len(), 3);
+        assert_eq!(sig[0], ArgKind::Data(DataType::Bool));
+        assert_eq!(TransformOp::IfThenElse.frame_arity(), 2);
+    }
+
+    #[test]
+    fn datatype_acceptance() {
+        assert!(DataType::Any.accepts(DataType::Boxes));
+        assert!(DataType::Number.accepts(DataType::Any));
+        assert!(DataType::Number.accepts(DataType::Number));
+        assert!(!DataType::Number.accepts(DataType::Str));
+    }
+
+    #[test]
+    fn serde_snake_case() {
+        let js = serde_json::to_string(&TransformOp::BoundingBox).unwrap();
+        assert_eq!(js, "\"bounding_box\"");
+        let back: TransformOp = serde_json::from_str("\"if_then_else\"").unwrap();
+        assert_eq!(back, TransformOp::IfThenElse);
+    }
+
+    #[test]
+    fn all_is_exhaustive_by_count() {
+        // Update when adding operators; keeps `all()` honest.
+        assert_eq!(TransformOp::all().len(), 23);
+    }
+}

@@ -1,0 +1,274 @@
+//! The top-level spec: `⟨TimeDomain, Render, videos, data_arrays⟩`.
+
+use crate::expr::RenderExpr;
+use crate::SpecError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use v2v_frame::FrameType;
+use v2v_time::{Rational, TimeSet};
+
+
+/// Output stream settings.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OutputSettings {
+    /// Output frame geometry/format (the paper's benchmarks use 1280×720).
+    pub frame_ty: FrameType,
+    /// Output frame duration (1 / fps).
+    pub frame_dur: Rational,
+    /// Output GOP size in frames.
+    pub gop_size: u32,
+    /// Output quantizer.
+    pub quantizer: u8,
+}
+
+impl OutputSettings {
+    /// 720p-like defaults at 30 fps with a 1-second GOP.
+    pub fn new(frame_ty: FrameType, fps: i64) -> OutputSettings {
+        OutputSettings {
+            frame_ty,
+            frame_dur: Rational::new(1, fps),
+            gop_size: fps as u32,
+            quantizer: 2,
+        }
+    }
+}
+
+/// A complete declarative video editing / synthesis task.
+///
+/// `videos` and `data_arrays` map names used in the render expression to
+/// *locators* (paths or logical identifiers); the engine's catalog
+/// resolves locators to actual streams and arrays at bind time, keeping
+/// the spec purely declarative and serializable.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Spec {
+    /// The output instants.
+    pub time_domain: TimeSet,
+    /// The per-instant frame definition.
+    pub render: RenderExpr,
+    /// Video name → locator.
+    #[serde(default)]
+    pub videos: BTreeMap<String, String>,
+    /// Data array name → locator (a JSON annotation path or `sql:` query).
+    #[serde(default)]
+    pub data_arrays: BTreeMap<String, String>,
+    /// Output stream settings.
+    pub output: OutputSettings,
+}
+
+impl Spec {
+    /// Serializes to pretty JSON (the CLI's interchange format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("specs are always serializable")
+    }
+
+    /// Parses a serialized spec.
+    pub fn from_json(text: &str) -> Result<Spec, SpecError> {
+        serde_json::from_str(text).map_err(|e| SpecError::Json(e.to_string()))
+    }
+
+    /// Videos referenced by the render expression (sorted, deduplicated).
+    pub fn referenced_videos(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        self.render.referenced_videos(&mut v);
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Data arrays referenced by the render expression (sorted,
+    /// deduplicated).
+    pub fn referenced_arrays(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        self.render.referenced_arrays(&mut v);
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// The time window `[min, max]` each data array is read over, with
+    /// the affine index maps applied to the spec's time domain. Drives
+    /// bounded materialization (paper §IV-B: "materialized in portions by
+    /// bounding the time").
+    pub fn array_windows(&self) -> BTreeMap<String, (Rational, Rational)> {
+        let mut out = BTreeMap::new();
+        if let (Some(lo), Some(hi)) = (self.time_domain.min(), self.time_domain.max()) {
+            collect_array_windows(&self.render, lo, hi, &mut out);
+        }
+        out
+    }
+}
+
+fn widen(
+    out: &mut BTreeMap<String, (Rational, Rational)>,
+    array: &str,
+    lo: Rational,
+    hi: Rational,
+) {
+    out.entry(array.to_string())
+        .and_modify(|(l, h)| {
+            *l = (*l).min(lo);
+            *h = (*h).max(hi);
+        })
+        .or_insert((lo, hi));
+}
+
+fn collect_data_windows(
+    d: &crate::expr::DataExpr,
+    lo: Rational,
+    hi: Rational,
+    out: &mut BTreeMap<String, (Rational, Rational)>,
+) {
+    use crate::expr::DataExpr as D;
+    match d {
+        D::Const(_) | D::T => {}
+        D::ArrayRef { array, time } => {
+            let a = time.apply(lo);
+            let b = time.apply(hi);
+            widen(out, array, a.min(b), a.max(b));
+        }
+        D::Cmp { lhs, rhs, .. } | D::Arith { lhs, rhs, .. } => {
+            collect_data_windows(lhs, lo, hi, out);
+            collect_data_windows(rhs, lo, hi, out);
+        }
+        D::And(a, b) | D::Or(a, b) => {
+            collect_data_windows(a, lo, hi, out);
+            collect_data_windows(b, lo, hi, out);
+        }
+        D::Not(e) | D::Len(e) => collect_data_windows(e, lo, hi, out),
+    }
+}
+
+fn collect_array_windows(
+    expr: &RenderExpr,
+    lo: Rational,
+    hi: Rational,
+    out: &mut BTreeMap<String, (Rational, Rational)>,
+) {
+    match expr {
+        RenderExpr::FrameRef { .. } => {}
+        RenderExpr::Match { arms } => {
+            for arm in arms {
+                // Conservative: use each arm's own bounds intersected with
+                // the enclosing window.
+                let (alo, ahi) = match (arm.when.min(), arm.when.max()) {
+                    (Some(a), Some(b)) => (a.max(lo), b.min(hi)),
+                    _ => continue,
+                };
+                if alo <= ahi {
+                    collect_array_windows(&arm.expr, alo, ahi, out);
+                }
+            }
+        }
+        RenderExpr::Transform { args, .. } => {
+            for a in args {
+                match a {
+                    crate::expr::Arg::Frame(e) => collect_array_windows(e, lo, hi, out),
+                    crate::expr::Arg::Data(d) => collect_data_windows(d, lo, hi, out),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Arg, DataExpr};
+    use crate::ops::TransformOp;
+    use v2v_time::{r, TimeRange};
+
+    fn sample() -> Spec {
+        let domain = TimeSet::from_range(TimeRange::new(r(0, 1), r(1, 1), r(1, 30)));
+        Spec {
+            time_domain: domain.clone(),
+            render: RenderExpr::matching(vec![(
+                domain,
+                RenderExpr::transform(
+                    TransformOp::BoundingBox,
+                    vec![
+                        Arg::Frame(RenderExpr::video("vid1")),
+                        Arg::Data(DataExpr::array("vid1_bb")),
+                    ],
+                ),
+            )]),
+            videos: [("vid1".to_string(), "video1.svc".to_string())].into(),
+            data_arrays: [("vid1_bb".to_string(), "annot1.json".to_string())].into(),
+            output: OutputSettings::new(FrameType::yuv420p(128, 72), 30),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = sample();
+        let js = s.to_json();
+        let back = Spec::from_json(&js).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn reference_queries() {
+        let s = sample();
+        assert_eq!(s.referenced_videos(), vec!["vid1"]);
+        assert_eq!(s.referenced_arrays(), vec!["vid1_bb"]);
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(matches!(Spec::from_json("{"), Err(SpecError::Json(_))));
+        assert!(Spec::from_json("{\"wrong\": true}").is_err());
+    }
+
+    #[test]
+    fn output_settings_defaults() {
+        let o = OutputSettings::new(FrameType::yuv420p(1280, 720), 24);
+        assert_eq!(o.frame_dur, r(1, 24));
+        assert_eq!(o.gop_size, 24);
+    }
+
+    #[test]
+    fn array_windows_identity_map() {
+        let s = sample();
+        let w = s.array_windows();
+        assert_eq!(w["vid1_bb"], (r(0, 1), r(29, 30)));
+    }
+
+    #[test]
+    fn array_windows_shifted_map() {
+        let mut s = sample();
+        s.render = RenderExpr::transform(
+            TransformOp::BoundingBox,
+            vec![
+                Arg::Frame(RenderExpr::video("vid1")),
+                Arg::Data(DataExpr::ArrayRef {
+                    array: "vid1_bb".into(),
+                    time: v2v_time::AffineTimeMap::shift(r(100, 1)),
+                }),
+            ],
+        );
+        let w = s.array_windows();
+        assert_eq!(w["vid1_bb"], (r(100, 1), r(100, 1) + r(29, 30)));
+    }
+
+    #[test]
+    fn array_windows_union_over_sites() {
+        let mut s = sample();
+        // Two references with different shifts widen the window.
+        s.render = RenderExpr::transform(
+            TransformOp::IfThenElse,
+            vec![
+                Arg::Data(DataExpr::lt(
+                    DataExpr::ArrayRef {
+                        array: "vid1_bb".into(),
+                        time: v2v_time::AffineTimeMap::shift(r(-10, 1)),
+                    },
+                    DataExpr::Len(Box::new(DataExpr::array("vid1_bb"))),
+                )),
+                Arg::Frame(RenderExpr::video("vid1")),
+                Arg::Frame(RenderExpr::video("vid1")),
+            ],
+        );
+        let w = s.array_windows();
+        assert_eq!(w["vid1_bb"].0, r(-10, 1));
+        assert_eq!(w["vid1_bb"].1, r(29, 30));
+    }
+}

@@ -1,0 +1,99 @@
+//! User-defined transformations (paper §III-C).
+//!
+//! "These frame transformations can be created by the V2V module or in
+//! user-defined functions (UDFs). … More transformations can be added
+//! through UDFs."
+//!
+//! A UDF occupies a numeric id in the spec (`TransformOp::Udf(id)`,
+//! serialized as `{"udf": id}`), keeping specs fully serializable. The
+//! [`UdfRegistry`] supplies the *signature* (name + argument kinds) the
+//! static checker needs; execution kernels are registered separately
+//! with the execution catalog, mirroring how the declarative layer never
+//! sees pixels.
+
+use crate::ops::ArgKind;
+use std::collections::BTreeMap;
+
+/// Static description of one UDF.
+#[derive(Clone, Debug)]
+pub struct UdfSignature {
+    /// Human-readable name (for errors and explain output).
+    pub name: String,
+    /// Argument kinds in call order (must include at least one frame).
+    pub args: Vec<ArgKind>,
+}
+
+/// Signature registry consulted by the checker.
+#[derive(Clone, Debug, Default)]
+pub struct UdfRegistry {
+    by_id: BTreeMap<u16, UdfSignature>,
+}
+
+impl UdfRegistry {
+    /// An empty registry.
+    pub fn new() -> UdfRegistry {
+        UdfRegistry::default()
+    }
+
+    /// Registers (or replaces) a UDF signature.
+    ///
+    /// # Panics
+    /// Panics if the signature has no frame argument: a transformation
+    /// must return a frame derived from at least one input frame.
+    pub fn register(
+        &mut self,
+        id: u16,
+        name: impl Into<String>,
+        args: Vec<ArgKind>,
+    ) -> &mut UdfRegistry {
+        assert!(
+            args.iter().any(|a| matches!(a, ArgKind::Frame)),
+            "UDF must take at least one frame argument"
+        );
+        self.by_id.insert(
+            id,
+            UdfSignature {
+                name: name.into(),
+                args,
+            },
+        );
+        self
+    }
+
+    /// Looks up a signature.
+    pub fn get(&self, id: u16) -> Option<&UdfSignature> {
+        self.by_id.get(&id)
+    }
+
+    /// All registered ids.
+    pub fn ids(&self) -> impl Iterator<Item = u16> + '_ {
+        self.by_id.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::DataType;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = UdfRegistry::new();
+        reg.register(
+            7,
+            "sepia",
+            vec![ArgKind::Frame, ArgKind::Data(DataType::Number)],
+        );
+        let sig = reg.get(7).unwrap();
+        assert_eq!(sig.name, "sepia");
+        assert_eq!(sig.args.len(), 2);
+        assert!(reg.get(8).is_none());
+        assert_eq!(reg.ids().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn frameless_udf_rejected() {
+        UdfRegistry::new().register(1, "bad", vec![ArgKind::Data(DataType::Number)]);
+    }
+}

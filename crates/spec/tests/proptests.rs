@@ -1,0 +1,153 @@
+//! Property-based tests for the DSL: arbitrary well-formed expressions
+//! survive JSON round trips, and the checker's dependency analysis is
+//! consistent with brute-force evaluation of the time maps.
+
+use proptest::prelude::*;
+use v2v_spec::{Arg, DataExpr, OutputSettings, RenderExpr, Spec, TransformOp};
+use v2v_time::{r, AffineTimeMap, Rational, TimeRange, TimeSet};
+
+/// Offsets on the 1/30 grid with integer scales: affine images of the
+/// output grid stay on the grid, so a wide 1/30 availability window can
+/// serve every requirement.
+fn affine() -> impl Strategy<Value = AffineTimeMap> {
+    (1i64..4, -3600i64..3600).prop_map(|(scale, off30)| {
+        AffineTimeMap::new(Rational::from_int(scale), Rational::new(off30, 30))
+    })
+}
+
+fn leaf() -> impl Strategy<Value = RenderExpr> {
+    ("[ab]", affine()).prop_map(|(video, time)| RenderExpr::FrameRef { video, time })
+}
+
+fn expr() -> impl Strategy<Value = RenderExpr> {
+    leaf().prop_recursive(3, 12, 4, |inner| {
+        prop_oneof![
+            // Unary transform with a numeric parameter.
+            (inner.clone(), -5.0f64..5.0).prop_map(|(e, v)| RenderExpr::transform(
+                TransformOp::Blur,
+                vec![Arg::Frame(e), Arg::Data(DataExpr::constant(v.abs()))],
+            )),
+            // Binary transform.
+            (inner.clone(), inner.clone(), 0.0f64..1.0).prop_map(|(a, b, alpha)| {
+                RenderExpr::transform(
+                    TransformOp::Crossfade,
+                    vec![
+                        Arg::Frame(a),
+                        Arg::Frame(b),
+                        Arg::Data(DataExpr::constant(alpha)),
+                    ],
+                )
+            }),
+            // Match over a split of a small window.
+            (inner.clone(), inner, 1i64..30).prop_map(|(a, b, cut)| {
+                let lo = TimeSet::from_range(TimeRange::new(r(0, 1), r(cut, 30), r(1, 30)));
+                let hi = TimeSet::from_range(TimeRange::new(r(cut, 30), r(30, 30), r(1, 30)));
+                RenderExpr::matching(vec![(lo, a), (hi, b)])
+            }),
+        ]
+    })
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    expr().prop_map(|render| {
+        let output = OutputSettings::new(v2v_frame::FrameType::yuv420p(64, 64), 30);
+        Spec {
+            time_domain: TimeSet::from_range(TimeRange::new(r(0, 1), r(1, 1), r(1, 30))),
+            render,
+            videos: [
+                ("a".to_string(), "a.svc".to_string()),
+                ("b".to_string(), "b.svc".to_string()),
+            ]
+            .into(),
+            data_arrays: Default::default(),
+            output,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn spec_json_round_trip(spec in spec_strategy()) {
+        let js = spec.to_json();
+        let back = Spec::from_json(&js).unwrap();
+        prop_assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn checker_requirements_match_brute_force(spec in spec_strategy()) {
+        use std::collections::BTreeMap;
+        use v2v_spec::check::{check_spec, SourceInfo};
+        // Sources covering everything any map could require.
+        let huge = TimeSet::from_range(TimeRange::new(r(-2000, 1), r(2000, 1), r(1, 30)));
+        let sources: BTreeMap<String, SourceInfo> = ["a", "b"]
+            .into_iter()
+            .map(|v| {
+                (
+                    v.to_string(),
+                    SourceInfo {
+                        frame_ty: v2v_frame::FrameType::yuv420p(64, 64),
+                        available: huge.clone(),
+                    },
+                )
+            })
+            .collect();
+        match check_spec(&spec, &sources) {
+            Ok(report) => {
+                // Brute force: evaluate the expression structure at every
+                // instant and record which (video, src_t) pairs are read.
+                let mut needed: BTreeMap<String, Vec<Rational>> = BTreeMap::new();
+                for t in spec.time_domain.iter() {
+                    brute(&spec.render, t, &mut needed);
+                }
+                for (video, instants) in needed {
+                    let req = report
+                        .required
+                        .get(&video)
+                        .unwrap_or_else(|| panic!("missing requirement for {video}"));
+                    for src_t in instants {
+                        prop_assert!(
+                            req.contains(src_t),
+                            "checker missed {video}[{src_t}]"
+                        );
+                    }
+                }
+            }
+            Err(errors) => {
+                // The only acceptable failure with total sources is an
+                // off-grid range issue; our generator never creates one.
+                prop_assert!(false, "checker rejected valid spec: {errors:?}");
+            }
+        }
+    }
+}
+
+/// Records every frame read `expr` performs at instant `t` under
+/// first-match-wins semantics.
+fn brute(
+    expr: &RenderExpr,
+    t: Rational,
+    out: &mut std::collections::BTreeMap<String, Vec<Rational>>,
+) {
+    match expr {
+        RenderExpr::FrameRef { video, time } => {
+            out.entry(video.clone()).or_default().push(time.apply(t));
+        }
+        RenderExpr::Match { arms } => {
+            for arm in arms {
+                if arm.when.contains(t) {
+                    brute(&arm.expr, t, out);
+                    return;
+                }
+            }
+        }
+        RenderExpr::Transform { args, .. } => {
+            for a in args {
+                if let Arg::Frame(e) = a {
+                    brute(e, t, out);
+                }
+            }
+        }
+    }
+}

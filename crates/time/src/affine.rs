@@ -1,0 +1,216 @@
+//! Affine time maps `f(t) = scale·t + offset`.
+//!
+//! Spec expressions index videos as `vid[t + 13463/30]` or, with retiming,
+//! `vid[2·t]`. Dependency analysis pushes a match arm's time domain through
+//! these maps to compute the exact set of source instants a spec requires.
+
+use crate::range::TimeRange;
+use crate::rational::Rational;
+use crate::set::TimeSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// `f(t) = scale·t + offset` with `scale != 0`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AffineTimeMap {
+    scale: Rational,
+    offset: Rational,
+}
+
+impl Default for AffineTimeMap {
+    fn default() -> Self {
+        AffineTimeMap::IDENTITY
+    }
+}
+
+impl AffineTimeMap {
+    /// The identity map `t ↦ t`.
+    pub const IDENTITY: AffineTimeMap = AffineTimeMap {
+        scale: Rational::ONE,
+        offset: Rational::ZERO,
+    };
+
+    /// Builds `t ↦ scale·t + offset`.
+    ///
+    /// # Panics
+    /// Panics if `scale == 0` (a constant map is not a valid retiming).
+    pub fn new(scale: Rational, offset: Rational) -> AffineTimeMap {
+        assert!(!scale.is_zero(), "affine time map requires scale != 0");
+        AffineTimeMap { scale, offset }
+    }
+
+    /// Pure shift `t ↦ t + offset` (the common `vid[t + c]` form).
+    pub fn shift(offset: Rational) -> AffineTimeMap {
+        AffineTimeMap::new(Rational::ONE, offset)
+    }
+
+    /// Pure retime `t ↦ scale·t` (speed-up / slow-down).
+    pub fn retime(scale: Rational) -> AffineTimeMap {
+        AffineTimeMap::new(scale, Rational::ZERO)
+    }
+
+    /// The scale component.
+    pub fn scale(&self) -> Rational {
+        self.scale
+    }
+
+    /// The offset component.
+    pub fn offset(&self) -> Rational {
+        self.offset
+    }
+
+    /// `true` for the identity map.
+    pub fn is_identity(&self) -> bool {
+        *self == AffineTimeMap::IDENTITY
+    }
+
+    /// `true` if the map is a pure shift (scale == 1).
+    pub fn is_shift(&self) -> bool {
+        self.scale == Rational::ONE
+    }
+
+    /// Applies the map to a single instant.
+    pub fn apply(&self, t: Rational) -> Rational {
+        self.scale * t + self.offset
+    }
+
+    /// The inverse map `t ↦ (t - offset) / scale`.
+    pub fn inverse(&self) -> AffineTimeMap {
+        let inv_scale = self.scale.recip();
+        AffineTimeMap::new(inv_scale, -(self.offset / self.scale))
+    }
+
+    /// Composition: `(self ∘ other)(t) = self(other(t))`.
+    pub fn compose(&self, other: &AffineTimeMap) -> AffineTimeMap {
+        AffineTimeMap::new(
+            self.scale * other.scale,
+            self.scale * other.offset + self.offset,
+        )
+    }
+
+    /// Image of a range under the map (still an arithmetic progression).
+    pub fn apply_range(&self, r: &TimeRange) -> TimeRange {
+        if r.is_empty() {
+            return TimeRange::EMPTY;
+        }
+        if r.count() == 1 {
+            return TimeRange::singleton(self.apply(r.start()));
+        }
+        if self.scale.is_positive() {
+            TimeRange::from_parts(self.apply(r.start()), self.scale * r.step(), r.count())
+        } else {
+            // Negative scale reverses direction; re-anchor on the image of
+            // the last element.
+            TimeRange::from_parts(
+                self.apply(r.last().unwrap()),
+                (-self.scale) * r.step(),
+                r.count(),
+            )
+        }
+    }
+
+    /// Image of a whole set under the map.
+    pub fn apply_set(&self, s: &TimeSet) -> TimeSet {
+        TimeSet::from_ranges(s.ranges().iter().map(|r| self.apply_range(r)))
+    }
+}
+
+impl fmt::Debug for AffineTimeMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for AffineTimeMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_identity() {
+            return write!(f, "t");
+        }
+        if self.scale == Rational::ONE {
+            if self.offset.is_negative() {
+                write!(f, "t - {}", -self.offset)
+            } else {
+                write!(f, "t + {}", self.offset)
+            }
+        } else if self.offset.is_zero() {
+            write!(f, "{}·t", self.scale)
+        } else if self.offset.is_negative() {
+            write!(f, "{}·t - {}", self.scale, -self.offset)
+        } else {
+            write!(f, "{}·t + {}", self.scale, self.offset)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::r;
+
+    #[test]
+    fn apply_and_inverse_round_trip() {
+        let m = AffineTimeMap::new(r(2, 1), r(-3, 2));
+        let t = r(7, 5);
+        assert_eq!(m.inverse().apply(m.apply(t)), t);
+        assert!(m.compose(&m.inverse()).is_identity());
+        assert!(m.inverse().compose(&m).is_identity());
+    }
+
+    #[test]
+    fn shift_maps_preserve_step() {
+        let m = AffineTimeMap::shift(r(13463, 30));
+        let d = TimeRange::new(r(300, 1), r(600, 1), r(1, 30));
+        let img = m.apply_range(&d);
+        assert_eq!(img.step(), r(1, 30));
+        assert_eq!(img.count(), d.count());
+        assert_eq!(img.first(), Some(r(300, 1) + r(13463, 30)));
+    }
+
+    #[test]
+    fn retime_scales_step() {
+        let m = AffineTimeMap::retime(r(2, 1));
+        let d = TimeRange::new(r(0, 1), r(5, 1), r(1, 30));
+        let img = m.apply_range(&d);
+        assert_eq!(img.step(), r(1, 15));
+        assert_eq!(img.end_exclusive(), r(10, 1));
+    }
+
+    #[test]
+    fn negative_scale_reverses() {
+        let m = AffineTimeMap::new(r(-1, 1), r(10, 1)); // t ↦ 10 - t
+        let d = TimeRange::new(r(0, 1), r(3, 1), r(1, 1)); // {0,1,2}
+        let img = m.apply_range(&d);
+        let vals: Vec<_> = img.iter().collect();
+        assert_eq!(vals, vec![r(8, 1), r(9, 1), r(10, 1)]);
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let a = AffineTimeMap::new(r(2, 1), r(1, 1));
+        let b = AffineTimeMap::new(r(1, 3), r(-2, 1));
+        let t = r(9, 4);
+        assert_eq!(a.compose(&b).apply(t), a.apply(b.apply(t)));
+    }
+
+    #[test]
+    fn apply_set_preserves_count() {
+        let s = TimeSet::from_ranges(vec![
+            TimeRange::new(r(0, 1), r(2, 1), r(1, 2)),
+            TimeRange::new(r(5, 1), r(6, 1), r(1, 4)),
+        ]);
+        let m = AffineTimeMap::shift(r(100, 1));
+        let img = m.apply_set(&s);
+        assert_eq!(img.count(), s.count());
+        for t in s.iter() {
+            assert!(img.contains(t + r(100, 1)));
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AffineTimeMap::IDENTITY.to_string(), "t");
+        assert_eq!(AffineTimeMap::shift(r(5, 1)).to_string(), "t + 5");
+        assert_eq!(AffineTimeMap::shift(r(-5, 1)).to_string(), "t - 5");
+        assert_eq!(AffineTimeMap::retime(r(2, 1)).to_string(), "2·t");
+    }
+}

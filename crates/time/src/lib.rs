@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Exact rational time arithmetic and time-set algebra for V2V.
+//!
+//! Video timestamps are rational numbers: many common frame rates
+//! (29.97 = 30000/1001, 24000/1001, …) have no finite decimal
+//! representation, so V2V — like the multimedia ecosystem at large —
+//! indexes frames by exact rationals.
+//!
+//! The crate provides three layers:
+//!
+//! * [`Rational`] — a normalized `i64/i64` rational with exact, overflow
+//!   checked arithmetic and a total order.
+//! * [`TimeRange`] — the paper's `Range(start, end, step)`: a set of evenly
+//!   spaced rational instants over a half-open interval.
+//! * [`TimeSet`] — a normalized union of ranges with the set algebra
+//!   (membership, union, intersection, difference, subset) the V2V static
+//!   checker and optimizer are built on.
+//!
+//! An [`AffineTimeMap`] (`a·t + b`) models the time indexing expressions
+//! that appear in specs (`vid1[t + 13463/30]`), and is used to push time
+//! domains through frame references during dependency analysis.
+
+pub mod affine;
+pub mod range;
+pub mod rational;
+pub mod set;
+
+pub use affine::AffineTimeMap;
+pub use range::TimeRange;
+pub use rational::{r, ParseRationalError, Rational, RationalError};
+pub use set::TimeSet;
+
+/// Convenience constructor mirroring the paper's `Range(start, end, step)`
+/// notation. `start`/`end` are in seconds; `step` is typically `1/fps`.
+pub fn range<S, E, P>(start: S, end: E, step: P) -> TimeRange
+where
+    S: Into<Rational>,
+    E: Into<Rational>,
+    P: Into<Rational>,
+{
+    TimeRange::new(start.into(), end.into(), step.into())
+}

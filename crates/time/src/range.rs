@@ -1,0 +1,567 @@
+//! Evenly spaced rational time ranges: the paper's `Range(start, end, step)`.
+//!
+//! A [`TimeRange`] is a finite arithmetic progression of rational instants
+//! `{start + k·step | 0 <= k < count}`. Intersection and difference of two
+//! ranges are computed *exactly* on the grids (via a CRT-style solve over
+//! the integer lattice), which is what lets the V2V checker prove
+//! `required ⊆ available` statically instead of sampling.
+
+use crate::rational::Rational;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A finite arithmetic progression of rational timestamps.
+///
+/// Invariants (enforced by all constructors):
+/// * `step > 0` whenever `count > 1`;
+/// * `count == 1` ⇒ `step == 1` (canonical singleton);
+/// * `count == 0` ⇒ `start == 0, step == 1` (canonical empty range).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(try_from = "TimeRangeRepr", into = "TimeRangeRepr")]
+pub struct TimeRange {
+    start: Rational,
+    step: Rational,
+    count: u64,
+}
+
+/// Wire representation: `{"start": r, "step": r, "count": n}`.
+#[derive(Serialize, Deserialize)]
+struct TimeRangeRepr {
+    start: Rational,
+    step: Rational,
+    count: u64,
+}
+
+impl TryFrom<TimeRangeRepr> for TimeRange {
+    type Error = String;
+    fn try_from(r: TimeRangeRepr) -> Result<Self, Self::Error> {
+        if r.count > 1 && !r.step.is_positive() {
+            return Err("TimeRange step must be positive".into());
+        }
+        Ok(TimeRange::from_parts(r.start, r.step, r.count))
+    }
+}
+
+impl From<TimeRange> for TimeRangeRepr {
+    fn from(r: TimeRange) -> Self {
+        TimeRangeRepr {
+            start: r.start,
+            step: r.step,
+            count: r.count,
+        }
+    }
+}
+
+impl TimeRange {
+    /// The canonical empty range.
+    pub const EMPTY: TimeRange = TimeRange {
+        start: Rational::ZERO,
+        step: Rational::ONE,
+        count: 0,
+    };
+
+    /// The paper's `Range(start, end, step)`: instants `start + k·step`
+    /// strictly below `end`.
+    ///
+    /// # Panics
+    /// Panics if `step <= 0` and the interval is non-degenerate.
+    pub fn new(start: Rational, end: Rational, step: Rational) -> TimeRange {
+        if end <= start {
+            return TimeRange::EMPTY;
+        }
+        assert!(
+            step.is_positive(),
+            "Range(start, end, step) requires step > 0"
+        );
+        let count = (end - start).div_ceil(step).max(0) as u64;
+        Self::from_parts(start, step, count)
+    }
+
+    /// Constructs from `(start, step, count)`, normalizing degenerate cases.
+    pub fn from_parts(start: Rational, step: Rational, count: u64) -> TimeRange {
+        match count {
+            0 => TimeRange::EMPTY,
+            1 => TimeRange {
+                start,
+                step: Rational::ONE,
+                count: 1,
+            },
+            _ => {
+                assert!(step.is_positive(), "TimeRange step must be positive");
+                TimeRange { start, step, count }
+            }
+        }
+    }
+
+    /// A range containing exactly one instant.
+    pub fn singleton(t: Rational) -> TimeRange {
+        TimeRange::from_parts(t, Rational::ONE, 1)
+    }
+
+    /// First instant (inclusive). `None` when empty.
+    pub fn first(&self) -> Option<Rational> {
+        (self.count > 0).then_some(self.start)
+    }
+
+    /// Last instant (inclusive). `None` when empty.
+    pub fn last(&self) -> Option<Rational> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.start + self.step * Rational::from_int(self.count as i64 - 1))
+        }
+    }
+
+    /// Exclusive upper bound: the instant one step past `last`.
+    pub fn end_exclusive(&self) -> Rational {
+        self.start + self.step * Rational::from_int(self.count as i64)
+    }
+
+    /// The start instant (meaningless when empty).
+    pub fn start(&self) -> Rational {
+        self.start
+    }
+
+    /// The grid step.
+    pub fn step(&self) -> Rational {
+        self.step
+    }
+
+    /// Number of instants in the range.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if the range contains no instants.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The instant at index `k`, if `k < count`.
+    pub fn at(&self, k: u64) -> Option<Rational> {
+        (k < self.count).then(|| self.start + self.step * Rational::from_int(k as i64))
+    }
+
+    /// Membership test (exact).
+    pub fn contains(&self, t: Rational) -> bool {
+        if self.count == 0 || t < self.start {
+            return false;
+        }
+        if self.count == 1 {
+            return t == self.start;
+        }
+        let k = (t - self.start).div_floor(self.step);
+        k >= 0 && (k as u64) < self.count && self.at(k as u64) == Some(t)
+    }
+
+    /// Index of instant `t` within the range, if present.
+    pub fn index_of(&self, t: Rational) -> Option<u64> {
+        if self.count == 0 || t < self.start {
+            return None;
+        }
+        if self.count == 1 {
+            return (t == self.start).then_some(0);
+        }
+        let k = (t - self.start).div_floor(self.step);
+        if k >= 0 && (k as u64) < self.count && self.at(k as u64) == Some(t) {
+            Some(k as u64)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over all instants. Bounded by `count`.
+    pub fn iter(&self) -> impl Iterator<Item = Rational> + '_ {
+        (0..self.count).map(move |k| self.start + self.step * Rational::from_int(k as i64))
+    }
+
+    /// A sub-range of indices `[from, to)` of this range.
+    pub fn slice(&self, from: u64, to: u64) -> TimeRange {
+        let to = to.min(self.count);
+        if from >= to {
+            return TimeRange::EMPTY;
+        }
+        TimeRange::from_parts(
+            self.start + self.step * Rational::from_int(from as i64),
+            self.step,
+            to - from,
+        )
+    }
+
+    /// Exact intersection of two arithmetic progressions.
+    ///
+    /// The result (when non-empty) lies on both grids; its step is the least
+    /// common multiple of the input steps (restricted to the overlap
+    /// window). Singleton inputs are handled as membership probes.
+    pub fn intersect(&self, other: &TimeRange) -> TimeRange {
+        if self.count == 0 || other.count == 0 {
+            return TimeRange::EMPTY;
+        }
+        if self.count == 1 {
+            return if other.contains(self.start) {
+                *self
+            } else {
+                TimeRange::EMPTY
+            };
+        }
+        if other.count == 1 {
+            return if self.contains(other.start) {
+                *other
+            } else {
+                TimeRange::EMPTY
+            };
+        }
+        // Scale everything to a common integer lattice L = lcm of the four
+        // denominators; work in i128 to avoid overflow.
+        let dens = [
+            self.start.den(),
+            self.step.den(),
+            other.start.den(),
+            other.step.den(),
+        ];
+        let mut l: i128 = 1;
+        for d in dens {
+            l = lcm_i128(l, d as i128);
+        }
+        let a0 = scale(self.start, l);
+        let s0 = scale(self.step, l);
+        let a1 = scale(other.start, l);
+        let s1 = scale(other.step, l);
+
+        // Solve a0 + k*s0 = a1 + j*s1 for integers k, j >= 0.
+        // k*s0 ≡ (a1 - a0) (mod s1).
+        let (g, x, _) = ext_gcd(s0, s1);
+        let diff = a1 - a0;
+        if diff.rem_euclid(g) != 0 {
+            return TimeRange::EMPTY;
+        }
+        let s1g = s1 / g;
+        // k ≡ x * (diff / g) (mod s1/g)
+        let k0 = mul_mod(x, diff / g, s1g);
+        // The merged progression has period lcm(s0, s1) on the lattice.
+        let period = s0 / g * s1;
+        // First candidate instant on both grids at index k0 of self.
+        // Clamp k into [k_min, k_max] where both ranges cover the value.
+        let self_last = a0 + s0 * (self.count as i128 - 1);
+        let other_last = a1 + s1 * (other.count as i128 - 1);
+        let lo = a0.max(a1);
+        let hi = self_last.min(other_last);
+        if lo > hi {
+            return TimeRange::EMPTY;
+        }
+        let v0 = a0 + s0 * k0; // smallest common value with k in [0, s1g)
+        // Advance/retreat v0 to the first common value >= lo.
+        let first = if v0 >= lo {
+            v0 - ((v0 - lo) / period) * period
+        } else {
+            v0 + ((lo - v0 + period - 1) / period) * period
+        };
+        if first > hi {
+            return TimeRange::EMPTY;
+        }
+        let count = ((hi - first) / period + 1) as u64;
+        let start = unscale(first, l);
+        let step = unscale(period, l);
+        TimeRange::from_parts(start, step, count)
+    }
+
+    /// Exact set difference `self \ other`, returned as disjoint ranges.
+    ///
+    /// At most `ratio + 2` ranges are produced, where `ratio` is the step
+    /// ratio between the common grid and this range's grid.
+    pub fn subtract(&self, other: &TimeRange) -> Vec<TimeRange> {
+        let cut = self.intersect(other);
+        if cut.is_empty() {
+            return if self.is_empty() { vec![] } else { vec![*self] };
+        }
+        if self.count == 1 {
+            // The only instant was removed.
+            return vec![];
+        }
+        // `cut` lies on self's grid: express as indices {i0 + k*m}.
+        let i0 = self
+            .index_of(cut.start)
+            .expect("intersection start must lie on grid");
+        if cut.count == 1 {
+            // One instant removed: split into head and tail.
+            let mut out = Vec::new();
+            if i0 > 0 {
+                out.push(self.slice(0, i0));
+            }
+            if i0 + 1 < self.count {
+                out.push(self.slice(i0 + 1, self.count));
+            }
+            return out;
+        }
+        let m = {
+            let ratio = cut.step() / self.step;
+            debug_assert!(ratio.is_integer(), "intersection stride must be integral");
+            ratio.num() as u64
+        };
+        let removed_last = i0 + m * (cut.count - 1);
+        let mut out = Vec::new();
+        // Head: indices [0, i0).
+        if i0 > 0 {
+            out.push(self.slice(0, i0));
+        }
+        if m > 1 {
+            // Between removed instants: residue classes r = 1..m relative
+            // to i0, striding by m, while staying <= removed_last + (m-1)
+            // and < count.
+            for rclass in 1..m {
+                let first_idx = i0 + rclass;
+                if first_idx >= self.count {
+                    break;
+                }
+                // Largest index in this class not exceeding the gap region:
+                // indices first_idx, first_idx + m, ... that are < count and
+                // <= removed_last + m - 1 (anything beyond the last removed
+                // instant's stride belongs to the tail).
+                let cap = (removed_last + m).min(self.count);
+                let n = (cap - first_idx).div_ceil(m);
+                if n == 0 {
+                    continue;
+                }
+                let start = self.at(first_idx).unwrap();
+                out.push(TimeRange::from_parts(
+                    start,
+                    self.step * Rational::from_int(m as i64),
+                    n,
+                ));
+            }
+        }
+        // Tail: indices (removed_last, count) not covered by residue logic
+        // when m == 1, plus anything past removed_last + m - 1 when m > 1.
+        let tail_from = if m > 1 { removed_last + m } else { removed_last + 1 };
+        if tail_from < self.count {
+            out.push(self.slice(tail_from, self.count));
+        }
+        out.retain(|r| !r.is_empty());
+        out
+    }
+
+    /// `true` if every instant of `self` is contained in `other`.
+    pub fn is_subset_of(&self, other: &TimeRange) -> bool {
+        self.intersect(other).count() == self.count
+    }
+}
+
+fn scale(r: Rational, l: i128) -> i128 {
+    r.num() as i128 * (l / r.den() as i128)
+}
+
+fn unscale(v: i128, l: i128) -> Rational {
+    // v / l as a rational; both fit i64 after normalization for the
+    // timestamp magnitudes V2V works with.
+    let g = gcd_i128(v.unsigned_abs(), l.unsigned_abs()).max(1) as i128;
+    Rational::new((v / g) as i64, (l / g) as i64)
+}
+
+fn gcd_i128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn lcm_i128(a: i128, b: i128) -> i128 {
+    a / gcd_i128(a.unsigned_abs(), b.unsigned_abs()) as i128 * b
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a·x + b·y = g`.
+fn ext_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = ext_gcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// `(a * b) mod m`, normalized into `[0, m)`.
+fn mul_mod(a: i128, b: i128, m: i128) -> i128 {
+    debug_assert!(m > 0);
+    let a = a.rem_euclid(m);
+    let b = b.rem_euclid(m);
+    (a * b).rem_euclid(m)
+}
+
+impl fmt::Debug for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "Range(∅)")
+        } else if self.count == 1 {
+            write!(f, "{{{}}}", self.start)
+        } else {
+            write!(
+                f,
+                "Range({}, {}, {})×{}",
+                self.start,
+                self.end_exclusive(),
+                self.step,
+                self.count
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::r;
+
+    fn rng(start: (i64, i64), end: (i64, i64), step: (i64, i64)) -> TimeRange {
+        TimeRange::new(
+            r(start.0, start.1),
+            r(end.0, end.1),
+            r(step.0, step.1),
+        )
+    }
+
+    #[test]
+    fn range_count_matches_paper_notation() {
+        // Range(0, 600, 1/30) — a 10-minute 30fps domain — has 18000 frames.
+        let d = rng((0, 1), (600, 1), (1, 30));
+        assert_eq!(d.count(), 18000);
+        assert_eq!(d.first(), Some(r(0, 1)));
+        assert_eq!(d.last(), Some(r(17999, 30)));
+        assert_eq!(d.end_exclusive(), r(600, 1));
+    }
+
+    #[test]
+    fn empty_and_singleton_normalization() {
+        assert!(rng((5, 1), (5, 1), (1, 30)).is_empty());
+        assert!(rng((5, 1), (4, 1), (1, 30)).is_empty());
+        let s = TimeRange::singleton(r(3, 2));
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.step(), Rational::ONE);
+        assert_eq!(
+            TimeRange::from_parts(r(3, 2), r(1, 7), 1),
+            TimeRange::singleton(r(3, 2))
+        );
+    }
+
+    #[test]
+    fn membership_and_index() {
+        let d = rng((1, 2), (5, 1), (1, 4));
+        assert!(d.contains(r(1, 2)));
+        assert!(d.contains(r(3, 4)));
+        assert!(d.contains(r(19, 4)));
+        assert!(!d.contains(r(5, 1)));
+        assert!(!d.contains(r(2, 3)));
+        assert!(!d.contains(r(1, 4)));
+        assert_eq!(d.index_of(r(3, 4)), Some(1));
+        assert_eq!(d.index_of(r(2, 3)), None);
+    }
+
+    #[test]
+    fn iteration_is_exact() {
+        let d = rng((0, 1), (1, 1), (1, 3));
+        let v: Vec<_> = d.iter().collect();
+        assert_eq!(v, vec![r(0, 1), r(1, 3), r(2, 3)]);
+    }
+
+    #[test]
+    fn intersect_same_grid() {
+        let a = rng((0, 1), (10, 1), (1, 30));
+        let b = rng((2, 1), (4, 1), (1, 30));
+        let c = a.intersect(&b);
+        assert_eq!(c, b);
+        assert!(b.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn intersect_offset_grids_disjoint() {
+        let a = rng((0, 1), (10, 1), (1, 30));
+        // Offset by half a frame: grids never meet.
+        let b = TimeRange::new(r(1, 60), r(10, 1), r(1, 30));
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn intersect_different_steps() {
+        // 30 fps grid ∩ 24 fps grid = 6 Hz grid (every 1/6 s).
+        let a = rng((0, 1), (10, 1), (1, 30));
+        let b = rng((0, 1), (10, 1), (1, 24));
+        let c = a.intersect(&b);
+        assert_eq!(c.step(), r(1, 6));
+        assert_eq!(c.first(), Some(r(0, 1)));
+        assert_eq!(c.count(), 60);
+        for t in c.iter().take(10) {
+            assert!(a.contains(t) && b.contains(t));
+        }
+    }
+
+    #[test]
+    fn intersect_with_singleton() {
+        let a = rng((0, 1), (10, 1), (1, 30));
+        assert_eq!(
+            a.intersect(&TimeRange::singleton(r(1, 3))),
+            TimeRange::singleton(r(1, 3))
+        );
+        assert!(a.intersect(&TimeRange::singleton(r(1, 7))).is_empty());
+    }
+
+    #[test]
+    fn subtract_interior_window() {
+        let a = rng((0, 1), (10, 1), (1, 1)); // {0..9}
+        let b = rng((3, 1), (6, 1), (1, 1)); // {3,4,5}
+        let parts = a.subtract(&b);
+        let mut left: Vec<Rational> = parts.iter().flat_map(|p| p.iter()).collect();
+        left.sort();
+        let expect: Vec<Rational> = [0, 1, 2, 6, 7, 8, 9]
+            .iter()
+            .map(|&v| r(v, 1))
+            .collect();
+        assert_eq!(left, expect);
+    }
+
+    #[test]
+    fn subtract_strided() {
+        let a = rng((0, 1), (10, 1), (1, 1)); // {0..9}
+        let b = TimeRange::from_parts(r(1, 1), r(3, 1), 3); // {1,4,7}
+        let parts = a.subtract(&b);
+        let mut left: Vec<Rational> = parts.iter().flat_map(|p| p.iter()).collect();
+        left.sort();
+        let expect: Vec<Rational> = [0, 2, 3, 5, 6, 8, 9]
+            .iter()
+            .map(|&v| r(v, 1))
+            .collect();
+        assert_eq!(left, expect);
+        // Total count is preserved.
+        let n: u64 = parts.iter().map(|p| p.count()).sum();
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn subtract_disjoint_returns_self() {
+        let a = rng((0, 1), (5, 1), (1, 1));
+        let b = rng((7, 1), (9, 1), (1, 1));
+        assert_eq!(a.subtract(&b), vec![a]);
+    }
+
+    #[test]
+    fn subtract_everything() {
+        let a = rng((0, 1), (5, 1), (1, 1));
+        assert!(a.subtract(&a).is_empty());
+    }
+
+    #[test]
+    fn slice_behaviour() {
+        let a = rng((0, 1), (1, 1), (1, 10));
+        let s = a.slice(2, 5);
+        assert_eq!(s.first(), Some(r(1, 5)));
+        assert_eq!(s.count(), 3);
+        assert!(a.slice(5, 5).is_empty());
+        assert_eq!(a.slice(8, 100).count(), 2);
+    }
+}

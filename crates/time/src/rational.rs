@@ -1,0 +1,515 @@
+//! Normalized `i64/i64` rational numbers with exact arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::str::FromStr;
+
+/// Errors produced by rational arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum RationalError {
+    /// A denominator of zero was supplied or produced.
+    #[error("rational with zero denominator")]
+    ZeroDenominator,
+    /// The result does not fit in `i64/i64` after normalization.
+    #[error("rational arithmetic overflow")]
+    Overflow,
+}
+
+/// Error from parsing a rational out of a string.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum ParseRationalError {
+    /// The numerator or denominator was not an integer.
+    #[error("invalid integer component in rational literal: {0}")]
+    InvalidInt(String),
+    /// The denominator was zero.
+    #[error("rational literal with zero denominator")]
+    ZeroDenominator,
+}
+
+/// An exact rational number, always stored normalized: `den > 0` and
+/// `gcd(|num|, den) == 1`.
+///
+/// `Rational` is the timestamp type throughout V2V. All arithmetic is exact;
+/// intermediate products are computed in `i128` and arithmetic panics on the
+/// (astronomically unlikely for timestamps) case of a post-normalization
+/// overflow — use the `checked_*` variants where untrusted inputs flow in.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(try_from = "RationalRepr", into = "RationalRepr")]
+pub struct Rational {
+    num: i64,
+    den: i64,
+}
+
+/// Serde wire representation: `[num, den]`.
+#[derive(Serialize, Deserialize)]
+struct RationalRepr(i64, i64);
+
+impl TryFrom<RationalRepr> for Rational {
+    type Error = RationalError;
+    fn try_from(r: RationalRepr) -> Result<Self, Self::Error> {
+        Rational::checked_new(r.0, r.1)
+    }
+}
+
+impl From<Rational> for RationalRepr {
+    fn from(r: Rational) -> Self {
+        RationalRepr(r.num, r.den)
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a rational `num/den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `den == 0` or normalization overflows (`num == i64::MIN`
+    /// with `den == -1`-style edge cases).
+    pub fn new(num: i64, den: i64) -> Rational {
+        Self::checked_new(num, den).expect("invalid rational")
+    }
+
+    /// Creates a rational, returning an error on a zero denominator or
+    /// overflow during normalization.
+    pub fn checked_new(num: i64, den: i64) -> Result<Rational, RationalError> {
+        if den == 0 {
+            return Err(RationalError::ZeroDenominator);
+        }
+        let mut n = num as i128;
+        let mut d = den as i128;
+        if d < 0 {
+            n = -n;
+            d = -d;
+        }
+        let g = gcd(n.unsigned_abs() as u64, d as u64).max(1) as i128;
+        n /= g;
+        d /= g;
+        let num = i64::try_from(n).map_err(|_| RationalError::Overflow)?;
+        let den = i64::try_from(d).map_err(|_| RationalError::Overflow)?;
+        Ok(Rational { num, den })
+    }
+
+    /// Creates a rational from an integer number of seconds.
+    pub const fn from_int(v: i64) -> Rational {
+        Rational { num: v, den: 1 }
+    }
+
+    /// The normalized numerator.
+    pub const fn num(self) -> i64 {
+        self.num
+    }
+
+    /// The normalized denominator (always positive).
+    pub const fn den(self) -> i64 {
+        self.den
+    }
+
+    /// `true` if this rational equals zero.
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` if strictly positive.
+    pub const fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// `true` if strictly negative.
+    pub const fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// `true` if this rational is an integer.
+    pub const fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// The value as an `f64` (lossy; for display and cost models only).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Floor to the nearest integer at or below.
+    pub fn floor(self) -> i64 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling to the nearest integer at or above.
+    pub fn ceil(self) -> i64 {
+        -(-self).floor()
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if `self` is zero.
+    pub fn recip(self) -> Rational {
+        Rational::new(self.den, self.num)
+    }
+
+    fn combine(
+        self,
+        rhs: Rational,
+        f: impl FnOnce(i128, i128, i128, i128) -> (i128, i128),
+    ) -> Result<Rational, RationalError> {
+        let (n, d) = f(
+            self.num as i128,
+            self.den as i128,
+            rhs.num as i128,
+            rhs.den as i128,
+        );
+        if d == 0 {
+            return Err(RationalError::ZeroDenominator);
+        }
+        let (mut n, mut d) = if d < 0 { (-n, -d) } else { (n, d) };
+        let g = {
+            // i128 gcd via u128 magnitudes.
+            let mut a = n.unsigned_abs();
+            let mut b = d.unsigned_abs();
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a.max(1)
+        };
+        n /= g as i128;
+        d /= g as i128;
+        Ok(Rational {
+            num: i64::try_from(n).map_err(|_| RationalError::Overflow)?,
+            den: i64::try_from(d).map_err(|_| RationalError::Overflow)?,
+        })
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Rational) -> Result<Rational, RationalError> {
+        self.combine(rhs, |an, ad, bn, bd| (an * bd + bn * ad, ad * bd))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Rational) -> Result<Rational, RationalError> {
+        self.combine(rhs, |an, ad, bn, bd| (an * bd - bn * ad, ad * bd))
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(self, rhs: Rational) -> Result<Rational, RationalError> {
+        self.combine(rhs, |an, ad, bn, bd| (an * bn, ad * bd))
+    }
+
+    /// Checked division.
+    pub fn checked_div(self, rhs: Rational) -> Result<Rational, RationalError> {
+        if rhs.is_zero() {
+            return Err(RationalError::ZeroDenominator);
+        }
+        self.combine(rhs, |an, ad, bn, bd| (an * bd, ad * bn))
+    }
+
+    /// Euclidean division: the largest integer `k` with `k·rhs <= self`
+    /// (for positive `rhs`). Used to snap timestamps onto sampling grids.
+    ///
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    pub fn div_floor(self, rhs: Rational) -> i64 {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        // self / rhs = (an * bd) / (ad * bn); floor of that quotient.
+        let n = self.num as i128 * rhs.den as i128;
+        let d = self.den as i128 * rhs.num as i128;
+        let q = n.div_euclid(d);
+        i64::try_from(q).expect("rational div_floor overflow")
+    }
+
+    /// The smallest integer `k` with `k·rhs >= self` (for positive `rhs`).
+    pub fn div_ceil(self, rhs: Rational) -> i64 {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        let n = self.num as i128 * rhs.den as i128;
+        let d = self.den as i128 * rhs.num as i128;
+        let q = n.div_euclid(d) + if n.rem_euclid(d) != 0 { 1 } else { 0 };
+        i64::try_from(q).expect("rational div_ceil overflow")
+    }
+
+    /// `true` if `self` is an integer multiple of `step` away from `base`.
+    pub fn is_on_grid(self, base: Rational, step: Rational) -> bool {
+        if step.is_zero() {
+            return self == base;
+        }
+        let delta = self - base;
+        let n = delta.num as i128 * step.den as i128;
+        let d = delta.den as i128 * step.num as i128;
+        n % d == 0
+    }
+
+    /// Minimum of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(v: i32) -> Self {
+        Rational::from_int(v as i64)
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(v: u32) -> Self {
+        Rational::from_int(v as i64)
+    }
+}
+
+impl From<(i64, i64)> for Rational {
+    fn from((n, d): (i64, i64)) -> Self {
+        Rational::new(n, d)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        self.checked_add(rhs).expect("rational add overflow")
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self.checked_sub(rhs).expect("rational sub overflow")
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        self.checked_mul(rhs).expect("rational mul overflow")
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self.checked_div(rhs).expect("rational div by zero or overflow")
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let lhs = self.num as i128 * other.den as i128;
+        let rhs = other.num as i128 * self.den as i128;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"n"` or `"n/d"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (n, d) = match s.split_once('/') {
+            Some((n, d)) => (
+                n.trim()
+                    .parse::<i64>()
+                    .map_err(|_| ParseRationalError::InvalidInt(n.to_string()))?,
+                d.trim()
+                    .parse::<i64>()
+                    .map_err(|_| ParseRationalError::InvalidInt(d.to_string()))?,
+            ),
+            None => (
+                s.trim()
+                    .parse::<i64>()
+                    .map_err(|_| ParseRationalError::InvalidInt(s.to_string()))?,
+                1,
+            ),
+        };
+        Rational::checked_new(n, d).map_err(|_| ParseRationalError::ZeroDenominator)
+    }
+}
+
+/// Shorthand constructor used pervasively in tests and examples.
+pub fn r(num: i64, den: i64) -> Rational {
+    Rational::new(num, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_on_construction() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 5), Rational::ZERO);
+        assert_eq!(Rational::new(0, -5).den(), 1);
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert_eq!(
+            Rational::checked_new(1, 0),
+            Err(RationalError::ZeroDenominator)
+        );
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = r(1, 3);
+        let b = r(1, 6);
+        assert_eq!(a + b, r(1, 2));
+        assert_eq!(a - b, r(1, 6));
+        assert_eq!(a * b, r(1, 18));
+        assert_eq!(a / b, r(2, 1));
+        assert_eq!(-a, r(-1, 3));
+    }
+
+    #[test]
+    fn ntsc_framerate_is_exact() {
+        // 29.97 fps == 30000/1001; 1001 frames span exactly 1001/29.97 s.
+        let step = r(1001, 30000);
+        let mut t = Rational::ZERO;
+        for _ in 0..30000 {
+            t = t + step;
+        }
+        assert_eq!(t, r(1001, 1));
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(r(1, 3) < r(34, 100));
+        assert!(r(1, 3) > r(33, 100));
+        assert_eq!(r(2, 6).cmp(&r(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), 3);
+        assert_eq!(r(7, 2).ceil(), 4);
+        assert_eq!(r(-7, 2).floor(), -4);
+        assert_eq!(r(-7, 2).ceil(), -3);
+        assert_eq!(r(4, 1).floor(), 4);
+        assert_eq!(r(4, 1).ceil(), 4);
+    }
+
+    #[test]
+    fn div_floor_and_ceil() {
+        let step = r(1, 30);
+        assert_eq!(r(1, 2).div_floor(step), 15);
+        assert_eq!(r(1, 2).div_ceil(step), 15);
+        assert_eq!(r(101, 200).div_floor(step), 15);
+        assert_eq!(r(101, 200).div_ceil(step), 16);
+        assert_eq!(r(-1, 60).div_floor(step), -1);
+    }
+
+    #[test]
+    fn grid_membership() {
+        let step = r(1, 30);
+        assert!(r(10, 30).is_on_grid(Rational::ZERO, step));
+        assert!(!r(1, 45).is_on_grid(Rational::ZERO, step));
+        assert!(r(1, 45).is_on_grid(r(1, 45), step));
+        assert!(r(1, 45).is_on_grid(r(1, 45), Rational::ZERO));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for s in ["3", "-3", "1/2", "-7/3", " 30000 / 1001 "] {
+            let v: Rational = s.parse().unwrap();
+            let back: Rational = v.to_string().parse().unwrap();
+            assert_eq!(v, back);
+        }
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("x".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = r(30000, 1001);
+        let js = serde_json::to_string(&v).unwrap();
+        assert_eq!(js, "[30000,1001]");
+        let back: Rational = serde_json::from_str(&js).unwrap();
+        assert_eq!(v, back);
+        assert!(serde_json::from_str::<Rational>("[1,0]").is_err());
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(r(1, 2).min(r(1, 3)), r(1, 3));
+        assert_eq!(r(1, 2).max(r(1, 3)), r(1, 2));
+    }
+}

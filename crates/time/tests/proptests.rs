@@ -1,0 +1,163 @@
+//! Property-based tests for rational arithmetic and time-set algebra.
+//!
+//! The set operations are validated against brute-force enumeration of the
+//! underlying instants, which is exact for the small ranges generated here.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use v2v_time::{AffineTimeMap, Rational, TimeRange, TimeSet};
+
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-60i64..60, 1i64..12).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+fn pos_rational() -> impl Strategy<Value = Rational> {
+    (1i64..12, 1i64..12).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+fn small_range() -> impl Strategy<Value = TimeRange> {
+    (small_rational(), pos_rational(), 0u64..12)
+        .prop_map(|(start, step, count)| TimeRange::from_parts(start, step, count))
+}
+
+fn small_set() -> impl Strategy<Value = TimeSet> {
+    prop::collection::vec(small_range(), 0..4).prop_map(TimeSet::from_ranges)
+}
+
+fn enumerate(s: &TimeSet) -> BTreeSet<Rational> {
+    s.iter().collect()
+}
+
+fn enumerate_range(r: &TimeRange) -> BTreeSet<Rational> {
+    r.iter().collect()
+}
+
+proptest! {
+    #[test]
+    fn rational_add_commutative(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn rational_mul_distributes(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rational_normalized(a in small_rational(), b in small_rational()) {
+        let s = a + b;
+        // Normalization invariant: den > 0, gcd == 1.
+        prop_assert!(s.den() > 0);
+        let g = {
+            let (mut x, mut y) = (s.num().unsigned_abs(), s.den().unsigned_abs());
+            while y != 0 { let t = x % y; x = y; y = t; }
+            x
+        };
+        prop_assert!(s.num() == 0 || g == 1);
+    }
+
+    #[test]
+    fn rational_order_consistent_with_sub(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a < b, (a - b).is_negative());
+        prop_assert_eq!(a == b, (a - b).is_zero());
+    }
+
+    #[test]
+    fn rational_div_floor_matches_f64(a in small_rational(), b in pos_rational()) {
+        let k = a.div_floor(b);
+        prop_assert!(Rational::from_int(k) * b <= a);
+        prop_assert!(Rational::from_int(k + 1) * b > a);
+    }
+
+    #[test]
+    fn range_membership_matches_enumeration(r in small_range(), t in small_rational()) {
+        prop_assert_eq!(r.contains(t), enumerate_range(&r).contains(&t));
+    }
+
+    #[test]
+    fn range_intersect_matches_enumeration(a in small_range(), b in small_range()) {
+        let got = enumerate_range(&a.intersect(&b));
+        let want: BTreeSet<_> = enumerate_range(&a)
+            .intersection(&enumerate_range(&b))
+            .copied()
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_subtract_matches_enumeration(a in small_range(), b in small_range()) {
+        let parts = a.subtract(&b);
+        let mut got = BTreeSet::new();
+        let mut total = 0u64;
+        for p in &parts {
+            total += p.count();
+            got.extend(enumerate_range(p));
+        }
+        let want: BTreeSet<_> = enumerate_range(&a)
+            .difference(&enumerate_range(&b))
+            .copied()
+            .collect();
+        prop_assert_eq!(&got, &want);
+        // Parts are disjoint: counts add up exactly.
+        prop_assert_eq!(total as usize, want.len());
+    }
+
+    #[test]
+    fn set_union_matches_enumeration(a in small_set(), b in small_set()) {
+        let got = enumerate(&a.union(&b));
+        let want: BTreeSet<_> = enumerate(&a).union(&enumerate(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(a.union(&b).count() as usize,
+            enumerate(&a).union(&enumerate(&b)).count());
+    }
+
+    #[test]
+    fn set_intersect_matches_enumeration(a in small_set(), b in small_set()) {
+        let got = enumerate(&a.intersect(&b));
+        let want: BTreeSet<_> = enumerate(&a).intersection(&enumerate(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn set_difference_matches_enumeration(a in small_set(), b in small_set()) {
+        let got = enumerate(&a.difference(&b));
+        let want: BTreeSet<_> = enumerate(&a).difference(&enumerate(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn set_subset_consistent(a in small_set(), b in small_set()) {
+        let u = a.union(&b);
+        prop_assert!(a.is_subset_of(&u));
+        prop_assert!(b.is_subset_of(&u));
+        prop_assert!(a.intersect(&b).is_subset_of(&a));
+        prop_assert_eq!(a.is_subset_of(&b), enumerate(&a).is_subset(&enumerate(&b)));
+    }
+
+    #[test]
+    fn set_iter_sorted(a in small_set()) {
+        let v: Vec<_> = a.iter().collect();
+        let mut sorted = v.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(v, sorted);
+    }
+
+    #[test]
+    fn set_split_partition(a in small_set(), t in small_rational()) {
+        let (lo, hi) = a.split_at(t);
+        prop_assert!(lo.max().is_none_or(|m| m < t));
+        prop_assert!(hi.min().is_none_or(|m| m >= t));
+        prop_assert_eq!(lo.count() + hi.count(), a.count());
+        prop_assert!(lo.union(&hi).set_eq(&a));
+    }
+
+    #[test]
+    fn affine_roundtrip_set(a in small_set(), scale in pos_rational(), offset in small_rational()) {
+        let m = AffineTimeMap::new(scale, offset);
+        let img = m.apply_set(&a);
+        prop_assert_eq!(img.count(), a.count());
+        let back = m.inverse().apply_set(&img);
+        prop_assert!(back.set_eq(&a));
+    }
+}

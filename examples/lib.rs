@@ -1,0 +1,46 @@
+//! Shared helpers for the V2V examples: demo dataset setup with on-disk
+//! caching so repeated runs start instantly.
+
+use std::path::PathBuf;
+use v2v_container::VideoStream;
+use v2v_datasets::{generate, DatasetSpec};
+
+/// Cache directory for example assets.
+pub fn example_cache() -> PathBuf {
+    let dir = std::env::temp_dir().join("v2v_example_cache");
+    std::fs::create_dir_all(&dir).expect("cache dir is creatable");
+    dir
+}
+
+/// Generates (or loads from cache) a dataset video.
+pub fn cached_video(spec: &DatasetSpec, tag: &str) -> VideoStream {
+    let path = example_cache().join(format!(
+        "{tag}_{}_{}x{}_{}s.svc",
+        spec.name, spec.width, spec.height, spec.duration_s
+    ));
+    if path.exists() {
+        if let Ok(s) = v2v_container::read_svc(&path) {
+            if s.len() as u64 == spec.n_frames() {
+                return s;
+            }
+        }
+    }
+    println!("generating {tag} ({}s of {})...", spec.duration_s, spec.name);
+    let s = generate(spec);
+    let _ = v2v_container::write_svc(&s, &path);
+    s
+}
+
+/// Pretty-prints a run report.
+pub fn print_report(label: &str, report: &v2v_core::RunReport) {
+    println!(
+        "{label}: {} frames / {} KiB in {:.3}s  (decoded {}, encoded {}, copied {} packets, dde {})",
+        report.output.len(),
+        report.output.byte_size() / 1024,
+        report.wall.as_secs_f64(),
+        report.stats.frames_decoded,
+        report.stats.frames_encoded,
+        report.stats.packets_copied,
+        report.dde_rewrites,
+    );
+}

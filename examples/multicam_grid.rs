@@ -1,0 +1,82 @@
+//! "Show me the event from multiple cameras as a 2×2 grid with object
+//! overlays" (paper §I, *Video Synthesis*).
+//!
+//! Four synchronized cameras (four synthetic drone streams with distinct
+//! seeds) are composed into a labelled quad view over the event window,
+//! with per-camera bounding boxes drawn before composition.
+//!
+//! ```text
+//! cargo run --release -p v2v-examples --bin multicam_grid
+//! ```
+
+use v2v_core::V2vEngine;
+use v2v_datasets::{detections, kabr_sim, DetectionProfile, Scale};
+use v2v_examples::{cached_video, example_cache, print_report};
+use v2v_exec::Catalog;
+use v2v_frame::FrameType;
+use v2v_spec::builder::{bounding_box, grid4, text_overlay};
+use v2v_spec::{OutputSettings, RenderExpr, SpecBuilder};
+use v2v_time::{r, AffineTimeMap, Rational};
+
+fn main() {
+    // Four cameras recording the same event.
+    let mut catalog = Catalog::new();
+    let mut base = kabr_sim(Scale::Test, 30);
+    for cam in 0..4u64 {
+        base.seed = 0x4B41_4252 + cam * 7919;
+        base.name = format!("cam{cam}");
+        let video = cached_video(&base, &format!("multicam{cam}"));
+        catalog.add_video(format!("cam{cam}"), video);
+        let dets = detections(&base, DetectionProfile::kabr(), "zebra");
+        catalog.add_array(format!("cam{cam}_bb"), dets);
+    }
+
+    // The event: t = 8 s .. 16 s, shown simultaneously in quadrants.
+    let output = OutputSettings {
+        frame_ty: FrameType::yuv420p(base.width, base.height),
+        frame_dur: base.frame_dur(),
+        gop_size: base.fps as u32,
+        quantizer: base.quantizer,
+    };
+    let event_start = r(8, 1);
+    let event_len = Rational::from_int(8);
+    let spec = SpecBuilder::new(output)
+        .video("cam0", "cam0.svc")
+        .video("cam1", "cam1.svc")
+        .video("cam2", "cam2.svc")
+        .video("cam3", "cam3.svc")
+        .data_array("cam0_bb", "catalog")
+        .data_array("cam1_bb", "catalog")
+        .data_array("cam2_bb", "catalog")
+        .data_array("cam3_bb", "catalog")
+        .append_with(event_len, move |out_start| {
+            let cell = |cam: usize| {
+                let reference = RenderExpr::FrameRef {
+                    video: format!("cam{cam}"),
+                    time: AffineTimeMap::shift(event_start - out_start),
+                };
+                let boxed = bounding_box(reference, format!("cam{cam}_bb"));
+                text_overlay(boxed, format!("CAM {cam}"), 0.04, 0.06)
+            };
+            grid4(cell(0), cell(1), cell(2), cell(3))
+        })
+        .build();
+
+    let mut engine = V2vEngine::new(catalog);
+    let (unopt, opt) = engine.explain(&spec).expect("plans");
+    println!("--- unoptimized (12 operators feed the grid) ---\n{unopt}");
+    println!("--- optimized (one fused render per shard) ---\n{opt}");
+
+    let report = engine.run(&spec).expect("synthesis");
+    print_report("multicam grid", &report);
+    let baseline = engine.run_unoptimized(&spec).expect("baseline");
+    print_report("unoptimized  ", &baseline);
+    println!(
+        "speedup: {:.2}x",
+        baseline.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-9)
+    );
+
+    let out = example_cache().join("multicam_grid.svc");
+    v2v_container::write_svc(&report.output, &out).expect("write output");
+    println!("wrote {}", out.display());
+}

@@ -1,0 +1,67 @@
+//! Quickstart: declare an edit, run it optimized, inspect the plans.
+//!
+//! Builds a 10-second highlight (two clips spliced, the second blurred),
+//! prints the unoptimized and optimized plans (the paper's Fig. 2 view),
+//! executes both arms, and writes the result plus the serialized JSON
+//! spec next to it.
+//!
+//! ```text
+//! cargo run --release -p v2v-examples --bin quickstart
+//! ```
+
+use v2v_core::V2vEngine;
+use v2v_datasets::{kabr_sim, Scale};
+use v2v_examples::{cached_video, example_cache, print_report};
+use v2v_exec::Catalog;
+use v2v_frame::FrameType;
+use v2v_spec::builder::blur;
+use v2v_spec::{OutputSettings, SpecBuilder};
+use v2v_time::{r, Rational};
+
+fn main() {
+    // 1. A source video (synthetic drone footage; any .svc stream works).
+    let dataset = kabr_sim(Scale::Test, 40);
+    let video = cached_video(&dataset, "quickstart");
+
+    // 2. Declare the edit: Spec = ⟨TimeDomain, Render, videos⟩.
+    //    The builder derives the time domain and match arms.
+    let output = OutputSettings {
+        frame_ty: FrameType::yuv420p(dataset.width, dataset.height),
+        frame_dur: dataset.frame_dur(),
+        gop_size: dataset.fps as u32,
+        quantizer: dataset.quantizer,
+    };
+    let spec = SpecBuilder::new(output)
+        .video("drone", "drone.svc")
+        // 5 s from t=10.5 s (mid-GOP: watch the smart cut appear)...
+        .append_clip("drone", r(21, 2), Rational::from_int(5))
+        // ...then 5 s from t=30 s with a blur.
+        .append_filtered("drone", r(30, 1), Rational::from_int(5), |e| blur(e, 1.5))
+        .build();
+
+    // 3. Bind sources and look at what the optimizer does.
+    let mut catalog = Catalog::new();
+    catalog.add_video("drone", video);
+    let mut engine = V2vEngine::new(catalog);
+    let (unopt_plan, opt_plan) = engine.explain(&spec).expect("plans");
+    println!("--- unoptimized plan ---\n{unopt_plan}");
+    println!("--- optimized plan ---\n{opt_plan}");
+
+    // 4. Execute both arms.
+    let report = engine.run(&spec).expect("optimized run");
+    print_report("optimized  ", &report);
+    let baseline = engine.run_unoptimized(&spec).expect("unoptimized run");
+    print_report("unoptimized", &baseline);
+    println!(
+        "speedup: {:.2}x",
+        baseline.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-9)
+    );
+
+    // 5. Persist the artifacts.
+    let out = example_cache().join("quickstart_result.svc");
+    v2v_container::write_svc(&report.output, &out).expect("write output");
+    let spec_path = example_cache().join("quickstart_spec.json");
+    std::fs::write(&spec_path, spec.to_json()).expect("write spec");
+    println!("wrote {} and {}", out.display(), spec_path.display());
+    println!("try: cargo run -p v2v-cli --bin v2v -- info {}", out.display());
+}

@@ -1,0 +1,98 @@
+//! The paper's motivating example: *"Show me all the times zebras
+//! exhibited social behavior and overlay their IDs and the behavior
+//! type."*
+//!
+//! A VDBMS would answer the relational half of that query and hand V2V a
+//! relation of events. Here the detector results live in the
+//! `video_objects` table; we derive behavior episodes from it, turn the
+//! rows into a montage spec with the [`v2v_core::facade`] helpers
+//! (bounding boxes + burned-in labels + zoom), and synthesize one
+//! easy-to-watch result video.
+//!
+//! ```text
+//! cargo run --release -p v2v-examples --bin zebra_supercut
+//! ```
+
+use v2v_core::{montage_spec, MontageOptions, MontageSegment, V2vEngine};
+use v2v_data::{Database, Query};
+use v2v_datasets::{detections, detections_table, kabr_sim, DetectionProfile, Scale};
+use v2v_examples::{cached_video, example_cache, print_report};
+use v2v_exec::Catalog;
+use v2v_frame::FrameType;
+use v2v_spec::OutputSettings;
+use v2v_time::Rational;
+
+fn main() {
+    // Source footage + cached detector output.
+    let dataset = kabr_sim(Scale::Test, 120);
+    let video = cached_video(&dataset, "zebra");
+    let dets = detections(&dataset, DetectionProfile::kabr(), "zebra");
+
+    // The VDBMS side: detections live in a relational table.
+    let mut db = Database::new();
+    db.add_table(detections_table(&[("kabr_cam1", &dets)]));
+
+    // Find behavior episodes: contiguous runs of frames with detections.
+    // (A real VDBMS would run its behavior model; the scan below stands
+    // in for `SELECT ... FROM behaviors WHERE type = 'social'`.)
+    let rows = Query::parse(
+        "SELECT timestamp, frame_objects FROM video_objects \
+         WHERE video = 'kabr_cam1' AND model = 'yolov5m' ORDER BY timestamp",
+    )
+    .unwrap()
+    .materialize(&db)
+    .unwrap();
+    let frame_dur = dataset.frame_dur();
+    let mut episodes: Vec<(Rational, Rational)> = Vec::new(); // (start, end)
+    let mut current: Option<(Rational, Rational)> = None;
+    for (t, v) in rows.iter() {
+        let visible = v.as_boxes().map(|b| !b.is_empty()).unwrap_or(false);
+        match (&mut current, visible) {
+            (None, true) => current = Some((t, t + frame_dur)),
+            (Some((_, end)), true) => *end = t + frame_dur,
+            (Some(ep), false) => {
+                episodes.push(*ep);
+                current = None;
+            }
+            (None, false) => {}
+        }
+    }
+    if let Some(ep) = current {
+        episodes.push(ep);
+    }
+    // Keep episodes of at least a second, at most the first six.
+    episodes.retain(|(s, e)| (*e - *s) >= Rational::ONE);
+    episodes.truncate(6);
+    println!("found {} social-behavior episodes", episodes.len());
+
+    // The V2V side: rows → montage spec with IDs + behavior labels.
+    let segments: Vec<MontageSegment> = episodes
+        .iter()
+        .enumerate()
+        .map(|(i, (start, end))| {
+            MontageSegment::clip("kabr_cam1", *start, *end - *start)
+                .with_label(format!("ZEBRA {} SOCIAL", i + 1))
+                .with_boxes("kabr_cam1_bb")
+        })
+        .collect();
+    let mut options = MontageOptions::new(OutputSettings {
+        frame_ty: FrameType::yuv420p(dataset.width, dataset.height),
+        frame_dur,
+        gop_size: dataset.fps as u32,
+        quantizer: dataset.quantizer,
+    });
+    options.zoom = 1.3; // "zoom into the correct spot"
+    let spec = montage_spec(&segments, &options);
+
+    // Bind and run.
+    let mut catalog = Catalog::new();
+    catalog.add_video("kabr_cam1", video);
+    catalog.add_array("kabr_cam1_bb", rows);
+    let mut engine = V2vEngine::new(catalog).with_database(db);
+    let report = engine.run(&spec).expect("synthesis");
+    print_report("zebra supercut", &report);
+
+    let out = example_cache().join("zebra_supercut.svc");
+    v2v_container::write_svc(&report.output, &out).expect("write output");
+    println!("wrote {}", out.display());
+}

@@ -1,0 +1,228 @@
+//! End-to-end CLI tests: drive the `v2v` binary over on-disk artifacts.
+//!
+//! Skips silently when the binary has not been built (e.g. `cargo test
+//! -p v2v-integration-tests` without a prior workspace build).
+
+use std::path::PathBuf;
+use std::process::Command;
+use v2v_integration_tests::{marked_output, marked_stream};
+use v2v_spec::SpecBuilder;
+use v2v_time::{r, Rational};
+
+fn v2v_binary() -> Option<PathBuf> {
+    // target/{debug,release}/v2v next to this test binary's directory.
+    let mut dir = std::env::current_exe().ok()?;
+    dir.pop(); // test binary name
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let candidate = dir.join("v2v");
+    candidate.exists().then_some(candidate)
+}
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join("v2v_cli_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Writes a video + a spec referencing it by absolute path; returns the
+/// spec path and expected frame count.
+fn fixture(tag: &str) -> (PathBuf, usize) {
+    let dir = workdir();
+    let video_path = dir.join(format!("{tag}_src.svc"));
+    v2v_container::write_svc(&marked_stream(120, 30), &video_path).unwrap();
+    let spec = SpecBuilder::new(marked_output())
+        .video("src", video_path.to_string_lossy())
+        .append_clip("src", r(1, 1), Rational::from_int(2))
+        .build();
+    let spec_path = dir.join(format!("{tag}_spec.json"));
+    std::fs::write(&spec_path, spec.to_json()).unwrap();
+    (spec_path, 60)
+}
+
+#[test]
+fn cli_run_and_info() {
+    let Some(bin) = v2v_binary() else {
+        eprintln!("skipping: v2v binary not built");
+        return;
+    };
+    let (spec_path, frames) = fixture("run");
+    let out_path = workdir().join("run_out.svc");
+    let output = Command::new(&bin)
+        .args(["run", spec_path.to_str().unwrap(), "-o", out_path.to_str().unwrap()])
+        .output()
+        .expect("spawn v2v run");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains(&format!("{frames} frames")), "{stdout}");
+
+    let result = v2v_container::read_svc(&out_path).unwrap();
+    assert_eq!(result.len(), frames);
+
+    let info = Command::new(&bin)
+        .args(["info", out_path.to_str().unwrap()])
+        .output()
+        .expect("spawn v2v info");
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("frames     : 60"), "{text}");
+}
+
+#[test]
+fn cli_explain_and_check() {
+    let Some(bin) = v2v_binary() else {
+        eprintln!("skipping: v2v binary not built");
+        return;
+    };
+    let (spec_path, _) = fixture("explain");
+    let explain = Command::new(&bin)
+        .args(["explain", spec_path.to_str().unwrap()])
+        .output()
+        .expect("spawn v2v explain");
+    assert!(explain.status.success());
+    let text = String::from_utf8_lossy(&explain.stdout);
+    assert!(text.contains("unoptimized logical plan"), "{text}");
+    assert!(text.contains("StreamCopy") || text.contains("Render"), "{text}");
+
+    let check = Command::new(&bin)
+        .args(["check", spec_path.to_str().unwrap()])
+        .output()
+        .expect("spawn v2v check");
+    assert!(check.status.success());
+    assert!(String::from_utf8_lossy(&check.stdout).contains("spec OK"));
+}
+
+#[test]
+fn cli_rejects_bad_input() {
+    let Some(bin) = v2v_binary() else {
+        eprintln!("skipping: v2v binary not built");
+        return;
+    };
+    let bad = Command::new(&bin)
+        .args(["run", "/nonexistent/spec.json"])
+        .output()
+        .expect("spawn v2v run");
+    assert!(!bad.status.success());
+
+    let nonsense = Command::new(&bin)
+        .args(["frobnicate"])
+        .output()
+        .expect("spawn v2v");
+    assert!(!nonsense.status.success());
+}
+
+#[test]
+fn cli_run_with_sql_database() {
+    let Some(bin) = v2v_binary() else {
+        eprintln!("skipping: v2v binary not built");
+        return;
+    };
+    let dir = workdir();
+    let video_path = dir.join("db_src.svc");
+    v2v_container::write_svc(&marked_stream(120, 30), &video_path).unwrap();
+
+    // Detection table: boxes only in the first half-second.
+    let rows: Vec<serde_json::Value> = (0..60)
+        .map(|i| {
+            let boxes = if i < 15 {
+                serde_json::json!([{"x": 0.3, "y": 0.6, "w": 0.2, "h": 0.2, "label": "zebra"}])
+            } else {
+                serde_json::json!([])
+            };
+            serde_json::json!(["cam", "yolov5m", [i, 30], boxes])
+        })
+        .collect();
+    let db = serde_json::json!({
+        "tables": [{
+            "name": "video_objects",
+            "columns": ["video", "model", "timestamp", "frame_objects"],
+            "rows": rows,
+        }]
+    });
+    let db_path = dir.join("tables.json");
+    std::fs::write(&db_path, serde_json::to_string(&db).unwrap()).unwrap();
+
+    let spec = SpecBuilder::new(marked_output())
+        .video("src", video_path.to_string_lossy())
+        .data_array(
+            "dets",
+            "sql:SELECT timestamp, frame_objects FROM video_objects WHERE video = 'cam'",
+        )
+        .append_filtered("src", r(0, 1), Rational::from_int(2), |e| {
+            v2v_spec::builder::bounding_box(e, "dets")
+        })
+        .build();
+    let spec_path = dir.join("db_spec.json");
+    std::fs::write(&spec_path, spec.to_json()).unwrap();
+
+    let out_path = dir.join("db_out.svc");
+    let output = Command::new(&bin)
+        .args([
+            "run",
+            spec_path.to_str().unwrap(),
+            "--db",
+            db_path.to_str().unwrap(),
+            "-o",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn v2v run --db");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("dde rewrites 1"), "{stdout}");
+    let result = v2v_container::read_svc(&out_path).unwrap();
+    assert_eq!(result.len(), 60);
+
+    // Without --db, the sql: locator cannot bind.
+    let no_db = Command::new(&bin)
+        .args(["run", spec_path.to_str().unwrap()])
+        .output()
+        .expect("spawn v2v run");
+    assert!(!no_db.status.success());
+}
+
+#[test]
+fn cli_frame_export() {
+    let Some(bin) = v2v_binary() else {
+        eprintln!("skipping: v2v binary not built");
+        return;
+    };
+    let dir = workdir();
+    let video_path = dir.join("frame_src.svc");
+    v2v_container::write_svc(&marked_stream(60, 30), &video_path).unwrap();
+    let still = dir.join("still.ppm");
+    let output = Command::new(&bin)
+        .args([
+            "frame",
+            video_path.to_str().unwrap(),
+            "7/30",
+            "-o",
+            still.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn v2v frame");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let img = v2v_frame::ppm::read_ppm(&still).unwrap();
+    assert_eq!((img.width(), img.height()), (64, 32));
+    // The exported still shows source frame 7.
+    assert_eq!(v2v_frame::marker::read(&img.to_yuv420p()), Some(7));
+    // Off-grid timestamps error.
+    let bad = Command::new(&bin)
+        .args(["frame", video_path.to_str().unwrap(), "1/7"])
+        .output()
+        .expect("spawn v2v frame");
+    assert!(!bad.status.success());
+}
