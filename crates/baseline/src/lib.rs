@@ -153,8 +153,7 @@ mod tests {
         let mut spec = kabr_sim(Scale::Test, 1);
         spec.quantizer = 0;
         let stream = generate(&spec);
-        let (out, _) =
-            run_script(&stream, 10, 20, ScriptOp::Copy, spec.codec_params()).unwrap();
+        let (out, _) = run_script(&stream, 10, 20, ScriptOp::Copy, spec.codec_params()).unwrap();
         let (frames, _) = out.decode_range(0, out.len()).unwrap();
         for (i, f) in frames.iter().enumerate() {
             assert_eq!(marker::read(f), Some(10 + i as u32), "frame {i}");

@@ -13,7 +13,13 @@ fn main() {
         "{:<6} {:<14} {:>10} {:>18}",
         "query", "arm", "time (s)", "vs full opt"
     );
-    for q in [QueryId::Q3, QueryId::Q6, QueryId::Q8, QueryId::Q9, QueryId::Q10] {
+    for q in [
+        QueryId::Q3,
+        QueryId::Q6,
+        QueryId::Q8,
+        QueryId::Q9,
+        QueryId::Q10,
+    ] {
         let full = measure(&ds, q, Arm::Optimized);
         println!(
             "{:<6} {:<14} {:>10} {:>17}",

@@ -7,7 +7,10 @@ use v2v_bench::{geomean, measure, paper, print_header, secs, setup_tos, Arm, Que
 
 fn main() {
     let ds = setup_tos();
-    print_header("Fig. 3", "V2V synthesis performance on the ToS-like dataset");
+    print_header(
+        "Fig. 3",
+        "V2V synthesis performance on the ToS-like dataset",
+    );
     println!();
     println!(
         "{:<6} {:>10} {:>10} {:>9}  {:>12}",

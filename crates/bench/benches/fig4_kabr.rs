@@ -45,5 +45,8 @@ fn main() {
         q6,
         paper::KABR_Q6_SPEEDUP
     );
-    println!("Q1 expectation: smart cut applies (unlike ToS) — measured {:.2}x", ratios[0]);
+    println!(
+        "Q1 expectation: smart cut applies (unlike ToS) — measured {:.2}x",
+        ratios[0]
+    );
 }

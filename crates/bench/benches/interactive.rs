@@ -29,8 +29,8 @@ fn main() {
         let (specialized, _) = engine.specialize(&spec);
         let (plan, _) = engine.plan(&specialized).expect("plan");
         let mut delivered = 0u64;
-        let (_, stats) = execute_streaming(&plan, engine.catalog(), |_| delivered += 1)
-            .expect("streaming run");
+        let (_, stats) =
+            execute_streaming(&plan, engine.catalog(), |_| delivered += 1).expect("streaming run");
         let unopt = measure(&ds, q, Arm::Unoptimized);
         println!(
             "{:<6} {:>14} {:>14} {:>14}",

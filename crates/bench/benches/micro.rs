@@ -86,6 +86,121 @@ fn bench_codec(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_kernel(c: &mut Criterion) {
+    use v2v_codec::bitstream::Reader;
+    use v2v_codec::{inter, intra, Preset};
+    use v2v_frame::Plane;
+
+    // Luma planes of two adjacent synthetic frames: `intra` codes the
+    // current plane standalone, `inter` codes it against the previous
+    // reconstruction (here: the previous source plane — fidelity is
+    // irrelevant to throughput).
+    let spec = kabr_sim(Scale::Bench, 2);
+    let plane = render_frame(&spec, 8).plane(0).clone();
+    let reference = render_frame(&spec, 7).plane(0).clone();
+    let pixels = (plane.width() * plane.height()) as u64;
+    let qstep = 2;
+
+    let mut g = c.benchmark_group("kernel");
+    g.throughput(Throughput::Elements(pixels));
+    g.bench_function("intra_encode_320x180", |b| {
+        let mut out = Vec::new();
+        let mut recon = Plane::new(plane.width(), plane.height());
+        b.iter(|| {
+            out.clear();
+            intra::encode_plane_into(
+                black_box(&plane),
+                qstep,
+                Preset::Medium,
+                &mut out,
+                &mut recon,
+            );
+            black_box(out.len());
+        });
+    });
+    let mut intra_payload = Vec::new();
+    intra::encode_plane(&plane, qstep, Preset::Medium, &mut intra_payload);
+    g.bench_function("intra_decode_320x180", |b| {
+        let mut recon = Plane::new(plane.width(), plane.height());
+        b.iter(|| {
+            let mut rd = Reader::new(black_box(&intra_payload));
+            intra::decode_plane_into(&mut rd, qstep, Preset::Medium, &mut recon).unwrap();
+            black_box(recon.data()[0]);
+        });
+    });
+    g.bench_function("inter_encode_320x180", |b| {
+        let mut out = Vec::new();
+        let mut recon = Plane::new(plane.width(), plane.height());
+        b.iter(|| {
+            out.clear();
+            inter::encode_plane_into(
+                black_box(&plane),
+                black_box(&reference),
+                qstep,
+                Preset::Medium,
+                &mut out,
+                &mut recon,
+            );
+            black_box(out.len());
+        });
+    });
+    let mut inter_payload = Vec::new();
+    inter::encode_plane(
+        &plane,
+        &reference,
+        qstep,
+        Preset::Medium,
+        &mut inter_payload,
+    );
+    g.bench_function("inter_decode_320x180", |b| {
+        let mut recon = Plane::new(plane.width(), plane.height());
+        b.iter(|| {
+            let mut rd = Reader::new(black_box(&inter_payload));
+            inter::decode_plane_into(&mut rd, black_box(&reference), qstep, &mut recon).unwrap();
+            black_box(recon.data()[0]);
+        });
+    });
+    g.finish();
+}
+
+fn bench_gop_cache(c: &mut Criterion) {
+    use v2v_exec::{GopCache, SourceCursor};
+
+    // Sequential scan of a 2 s stream: the cold path decodes every
+    // packet; the warm path serves whole GOPs as refcount bumps out of a
+    // pre-populated shared cache (the steady state of grid queries where
+    // several cells read the same source).
+    let stream = v2v_datasets::generate(&kabr_sim(Scale::Bench, 2));
+    let n = stream.len() as u64;
+
+    let mut g = c.benchmark_group("gop_cache");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("cold_decode_2s", |b| {
+        b.iter(|| {
+            let mut cur = SourceCursor::new(&stream, "src");
+            for i in 0..n {
+                black_box(cur.frame_at(i).unwrap());
+            }
+        });
+    });
+    let cache = GopCache::new(4096);
+    {
+        let mut warm = SourceCursor::new(&stream, "src").with_cache(&cache);
+        for i in 0..n {
+            warm.frame_at(i).unwrap();
+        }
+    }
+    g.bench_function("warm_cache_2s", |b| {
+        b.iter(|| {
+            let mut cur = SourceCursor::new(&stream, "src").with_cache(&cache);
+            for i in 0..n {
+                black_box(cur.frame_at(i).unwrap());
+            }
+        });
+    });
+    g.finish();
+}
+
 fn bench_planning(c: &mut Criterion) {
     // Planning latency on a 60 s annotated query: the paper's claim is
     // that optimization is cheap next to execution.
@@ -104,7 +219,9 @@ fn bench_planning(c: &mut Criterion) {
     let spec = SpecBuilder::new(output)
         .video("src", "src.svc")
         .data_array("dets", "catalog")
-        .append_filtered("src", r(1, 1), r(60, 1), |e| blur(bounding_box(e, "dets"), 1.0))
+        .append_filtered("src", r(1, 1), r(60, 1), |e| {
+            blur(bounding_box(e, "dets"), 1.0)
+        })
         .build();
     let ctx = catalog.plan_context();
 
@@ -135,6 +252,6 @@ fn bench_planning(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_rational, bench_timeset, bench_codec, bench_planning
+    targets = bench_rational, bench_timeset, bench_codec, bench_kernel, bench_gop_cache, bench_planning
 }
 criterion_main!(benches);

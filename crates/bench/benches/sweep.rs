@@ -7,11 +7,11 @@
 //! grows only with packet count). The filtered variant shows both arms
 //! growing linearly with fused rendering keeping a constant-factor lead.
 
+use std::time::{Duration, Instant};
 use v2v_bench::{bench_runs, engine_for, output_for, secs, setup_kabr, Arm, BenchDataset};
 use v2v_spec::builder::blur;
 use v2v_spec::{Spec, SpecBuilder};
 use v2v_time::{r, Rational};
-use std::time::{Duration, Instant};
 
 fn clip_spec(ds: &BenchDataset, secs_len: i64) -> Spec {
     SpecBuilder::new(output_for(ds))

@@ -20,9 +20,7 @@ use std::time::{Duration, Instant};
 use v2v_container::VideoStream;
 use v2v_core::{EngineConfig, V2vEngine};
 use v2v_data::DataArray;
-use v2v_datasets::{
-    detections, generate, kabr_sim, tos_sim, DatasetSpec, DetectionProfile, Scale,
-};
+use v2v_datasets::{detections, generate, kabr_sim, tos_sim, DatasetSpec, DetectionProfile, Scale};
 use v2v_exec::Catalog;
 use v2v_frame::FrameType;
 use v2v_spec::builder::{blur, bounding_box, grid4};
@@ -203,8 +201,8 @@ impl QueryId {
 /// 1 s GOPs always offer one.
 fn offsets(len: i64) -> [Rational; 4] {
     [
-        r(25, 2),                  // 12.5
-        r(25, 2) + r(len + 2, 1),  // after first segment
+        r(25, 2),                 // 12.5
+        r(25, 2) + r(len + 2, 1), // after first segment
         r(25, 2) + r(2 * (len + 2), 1),
         r(25, 2) + r(3 * (len + 2), 1),
     ]
@@ -249,6 +247,29 @@ pub fn build_query(ds: &BenchDataset, q: QueryId) -> Spec {
             .append_filtered("src", off[0], secs, |e| bounding_box(e, "dets"))
             .build(),
     }
+}
+
+/// A grid query the paper's suite does not include: four cells showing
+/// the *same* footage one frame apart (an instant-replay mosaic). All
+/// four cursors read overlapping source GOPs — the best case for the
+/// shared decoded-GOP cache, which Q3/Q8's disjoint cells barely touch.
+pub fn build_replay_grid(ds: &BenchDataset, len_secs: i64) -> Spec {
+    let out = output_for(ds);
+    let secs = Rational::from_int(len_secs);
+    let base = r(25, 2);
+    let step = ds.spec.frame_dur();
+    SpecBuilder::new(out)
+        .video("src", "src.svc")
+        .append_with(secs, move |out_start| {
+            let cell = |k: i64| RenderExpr::FrameRef {
+                video: "src".into(),
+                time: v2v_time::AffineTimeMap::shift(
+                    base + step * Rational::from_int(k) - out_start,
+                ),
+            };
+            grid4(cell(0), cell(1), cell(2), cell(3))
+        })
+        .build()
 }
 
 /// An execution arm for measurement.
@@ -303,10 +324,16 @@ impl Arm {
 /// Builds an engine with the dataset bound under the names the query
 /// specs use.
 pub fn engine_for(ds: &BenchDataset, arm: Arm) -> V2vEngine {
+    engine_with(ds, arm.config())
+}
+
+/// [`engine_for`] with an explicit config, for ablation harnesses that
+/// toggle knobs no [`Arm`] covers (e.g. the decoded-GOP cache size).
+pub fn engine_with(ds: &BenchDataset, config: EngineConfig) -> V2vEngine {
     let mut catalog = Catalog::new();
     catalog.add_video_arc("src", ds.stream.clone());
     catalog.add_array("dets", ds.detections.clone());
-    V2vEngine::new(catalog).with_config(arm.config())
+    V2vEngine::new(catalog).with_config(config)
 }
 
 /// One measured cell: mean wall time over the measured runs plus the
@@ -420,7 +447,13 @@ mod tests {
     fn all_short_queries_run_on_both_datasets() {
         for kabr in [false, true] {
             let ds = tiny_dataset("t", kabr);
-            for q in [QueryId::Q1, QueryId::Q2, QueryId::Q3, QueryId::Q4, QueryId::Q5] {
+            for q in [
+                QueryId::Q1,
+                QueryId::Q2,
+                QueryId::Q3,
+                QueryId::Q4,
+                QueryId::Q5,
+            ] {
                 let spec = build_query(&ds, q);
                 let mut opt = engine_for(&ds, Arm::Optimized);
                 let r1 = opt.run(&spec).unwrap();

@@ -142,10 +142,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         match args[i].as_str() {
             "-o" | "--output" => {
                 i += 1;
-                out_path = args
-                    .get(i)
-                    .ok_or("missing value after -o")?
-                    .clone();
+                out_path = args.get(i).ok_or("missing value after -o")?.clone();
             }
             "--db" => {
                 i += 1;
@@ -179,11 +176,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         report.wall.as_secs_f64()
     );
     println!(
-        "stats: decoded {} encoded {} copied {} packets ({} bytes); dde rewrites {}",
+        "stats: decoded {} encoded {} copied {} packets ({} bytes); gop cache {}/{} hits; dde rewrites {}",
         report.stats.frames_decoded,
         report.stats.frames_encoded,
         report.stats.packets_copied,
         report.stats.bytes_copied,
+        report.stats.gop_cache_hits,
+        report.stats.gop_cache_hits + report.stats.gop_cache_misses,
         report.dde_rewrites
     );
     for w in &report.check.warnings {
@@ -245,7 +244,10 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("  frames     : {}", s.len());
     println!("  frame type : {}", p.frame_ty);
     println!("  fps        : {}", s.frame_dur().recip());
-    println!("  gop        : {} frames (quantizer {})", p.gop_size, p.quantizer);
+    println!(
+        "  gop        : {} frames (quantizer {})",
+        p.gop_size, p.quantizer
+    );
     println!("  keyframes  : {}", s.keyframe_indices().len());
     println!("  bytes      : {}", s.byte_size());
     println!(

@@ -169,6 +169,54 @@ impl<'a, 'b> RunDecoder<'a, 'b> {
             Ok(value)
         }
     }
+
+    /// Fills `out` with the next `out.len()` residuals.
+    ///
+    /// Equivalent to calling [`RunDecoder::next_residual`] once per slot,
+    /// but zero runs land as bulk `fill(0)` over sub-slices instead of
+    /// one branchy call per sample — the fast path for the run-coded
+    /// streams this codec produces.
+    pub fn next_residuals(&mut self, out: &mut [i32]) -> Result<(), CodecError> {
+        let mut i = 0usize;
+        while i < out.len() {
+            if self.remaining == 0 {
+                return Err(CodecError::Corrupt("residual overrun".into()));
+            }
+            if self.pending_zeroes > 0 {
+                let n = (self.pending_zeroes.min(self.remaining) as usize).min(out.len() - i);
+                out[i..i + n].fill(0);
+                self.pending_zeroes -= n as u64;
+                self.remaining -= n as u64;
+                i += n;
+                continue;
+            }
+            if let Some(v) = self.pending_value.take() {
+                out[i] = v;
+                i += 1;
+                self.remaining -= 1;
+                continue;
+            }
+            if self.reader.remaining() == 0 {
+                // Implicit trailing zeros up to the residual count.
+                let n = (self.remaining as usize).min(out.len() - i);
+                out[i..i + n].fill(0);
+                self.remaining -= n as u64;
+                i += n;
+                continue;
+            }
+            let run = self.reader.varint()?;
+            let value = unzigzag(self.reader.varint()?);
+            if run > 0 {
+                self.pending_zeroes = run;
+                self.pending_value = Some(value);
+            } else {
+                out[i] = value;
+                i += 1;
+                self.remaining -= 1;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

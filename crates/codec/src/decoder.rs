@@ -5,7 +5,8 @@ use crate::encoder::packet_kind;
 use crate::packet::{Packet, PacketKind};
 use crate::params::CodecParams;
 use crate::{inter, intra, CodecError};
-use v2v_frame::{Frame, Plane};
+use std::sync::Arc;
+use v2v_frame::{Frame, FramePool};
 
 /// Stateful decoder for one SVC stream.
 ///
@@ -13,18 +14,33 @@ use v2v_frame::{Frame, Plane};
 /// previously decoded frame. To decode an arbitrary frame mid-GOP, seek
 /// to the preceding keyframe and decode forward — the cost the V2V smart
 /// cut avoids for all but the first and last GOP of a clip.
+///
+/// Decoded frames come out behind [`Arc`] (see [`Decoder::decode_shared`])
+/// and their buffers are drawn from a [`FramePool`]: the decoder holds its
+/// reference as another `Arc` clone of the emitted frame, so the steady
+/// state does zero raster copies per frame, and a frame whose consumers
+/// have all dropped it is reclaimed into the pool when the reference
+/// rolls forward.
 pub struct Decoder {
     params: CodecParams,
-    reference: Option<Frame>,
+    reference: Option<Arc<Frame>>,
+    pool: FramePool,
     frames_out: u64,
 }
 
 impl Decoder {
-    /// Creates a decoder for the given stream parameters.
+    /// Creates a decoder for the given stream parameters with its own
+    /// private frame pool.
     pub fn new(params: CodecParams) -> Decoder {
+        Decoder::with_pool(params, FramePool::new())
+    }
+
+    /// Creates a decoder drawing frame buffers from a shared pool.
+    pub fn with_pool(params: CodecParams, pool: FramePool) -> Decoder {
         Decoder {
             params,
             reference: None,
+            pool,
             frames_out: 0,
         }
     }
@@ -34,6 +50,11 @@ impl Decoder {
         &self.params
     }
 
+    /// The pool frame buffers are drawn from.
+    pub fn pool(&self) -> &FramePool {
+        &self.pool
+    }
+
     /// Frames decoded so far.
     pub fn frames_out(&self) -> u64 {
         self.frames_out
@@ -41,11 +62,44 @@ impl Decoder {
 
     /// Drops the reference (e.g. before seeking to another keyframe).
     pub fn reset(&mut self) {
-        self.reference = None;
+        if let Some(old) = self.reference.take() {
+            self.pool.release_shared(old);
+        }
     }
 
-    /// Decodes one packet into a frame.
+    /// Decodes one packet into a shared frame.
+    ///
+    /// This is the zero-copy path: the returned `Arc` is the same
+    /// allocation the decoder keeps as its prediction reference, so no
+    /// raster data is duplicated per frame.
+    pub fn decode_shared(&mut self, packet: &Packet) -> Result<Arc<Frame>, CodecError> {
+        let mut frame = self.pool.acquire(self.params.frame_ty);
+        match self.decode_into(packet, &mut frame) {
+            Ok(()) => {
+                let frame = Arc::new(frame);
+                if let Some(old) = self.reference.replace(frame.clone()) {
+                    self.pool.release_shared(old);
+                }
+                self.frames_out += 1;
+                Ok(frame)
+            }
+            Err(e) => {
+                self.pool.release(frame);
+                Err(e)
+            }
+        }
+    }
+
+    /// Decodes one packet into an owned frame.
+    ///
+    /// Convenience wrapper over [`Decoder::decode_shared`] that deep-copies
+    /// the result; prefer the shared form on hot paths.
     pub fn decode(&mut self, packet: &Packet) -> Result<Frame, CodecError> {
+        self.decode_shared(packet).map(|f| (*f).clone())
+    }
+
+    /// Decodes the packet payload into `frame`, overwriting every sample.
+    fn decode_into(&self, packet: &Packet, frame: &mut Frame) -> Result<(), CodecError> {
         let kind = packet_kind(&packet.data)?;
         if packet.keyframe != (kind == PacketKind::Intra) {
             return Err(CodecError::Corrupt(
@@ -55,33 +109,34 @@ impl Decoder {
         let ty = self.params.frame_ty;
         let qstep = self.params.qstep();
         let mut reader = Reader::new(&packet.data[1..]);
-        let mut planes: Vec<Plane> = Vec::with_capacity(ty.format.plane_count());
         for pi in 0..ty.format.plane_count() {
-            let (w, h) = ty
-                .format
-                .plane_dims(pi, ty.width as usize, ty.height as usize);
             let len = reader.varint()? as usize;
             let payload = reader.bytes(len)?;
             let mut plane_reader = Reader::new(payload);
-            let plane = match kind {
+            match kind {
                 PacketKind::Intra => {
-                    intra::decode_plane(&mut plane_reader, w, h, qstep, self.params.preset)?
+                    intra::decode_plane_into(
+                        &mut plane_reader,
+                        qstep,
+                        self.params.preset,
+                        frame.plane_mut(pi),
+                    )?;
                 }
                 PacketKind::Inter => {
                     let reference = self
                         .reference
                         .as_ref()
                         .ok_or(CodecError::MissingReference)?;
-                    inter::decode_plane(&mut plane_reader, reference.plane(pi), qstep)?
+                    inter::decode_plane_into(
+                        &mut plane_reader,
+                        reference.plane(pi),
+                        qstep,
+                        frame.plane_mut(pi),
+                    )?;
                 }
-            };
-            planes.push(plane);
+            }
         }
-        let frame = Frame::from_planes(ty, planes)
-            .map_err(|e| CodecError::Corrupt(format!("decoded planes invalid: {e}")))?;
-        self.reference = Some(frame.clone());
-        self.frames_out += 1;
-        Ok(frame)
+        Ok(())
     }
 }
 
@@ -97,7 +152,8 @@ mod tests {
         let w = f.width();
         for y in 0..f.height() {
             for x in 0..w {
-                f.plane_mut(0).put(x, y, (((x + i * 3) * 5 + y) % 256) as u8);
+                f.plane_mut(0)
+                    .put(x, y, (((x + i * 3) * 5 + y) % 256) as u8);
             }
         }
         f
@@ -208,5 +264,46 @@ mod tests {
         let mut enc2 = Encoder::new(params);
         let p = enc2.encode(&last.unwrap(), r(100, 30)).unwrap();
         assert!(p.keyframe); // fresh encoder starts with a keyframe
+    }
+
+    #[test]
+    fn pooled_decode_matches_unpooled() {
+        // A decoder recycling buffers through a shared pool must produce
+        // byte-identical frames to a fresh one.
+        let ty = FrameType::yuv420p(48, 32);
+        let params = CodecParams::new(ty, 4, 3);
+        let mut enc = Encoder::new(params);
+        let packets: Vec<_> = (0..10)
+            .map(|i| enc.encode(&moving_frame(ty, i), r(i as i64, 30)).unwrap())
+            .collect();
+
+        let pool = FramePool::new();
+        let mut pooled = Decoder::with_pool(params, pool.clone());
+        let mut plain = Decoder::new(params);
+        for p in &packets {
+            let a = pooled.decode_shared(p).unwrap();
+            let b = plain.decode(p).unwrap();
+            assert_eq!(*a, b);
+            // Dropping `a` here leaves the pooled decoder's reference as
+            // the only owner, so the next roll recycles the buffer.
+        }
+        assert!(
+            pool.pooled() > 0,
+            "dropped frames must return to the pool as the reference rolls"
+        );
+    }
+
+    #[test]
+    fn reset_releases_reference_to_pool() {
+        let ty = FrameType::gray8(32, 32);
+        let params = CodecParams::new(ty, 4, 0);
+        let mut enc = Encoder::new(params);
+        let p = enc.encode(&moving_frame(ty, 0), r(0, 30)).unwrap();
+        let pool = FramePool::new();
+        let mut dec = Decoder::with_pool(params, pool.clone());
+        drop(dec.decode_shared(&p).unwrap());
+        assert_eq!(pool.pooled(), 0, "reference still pins the buffer");
+        dec.reset();
+        assert_eq!(pool.pooled(), 1, "reset must reclaim the sole owner");
     }
 }

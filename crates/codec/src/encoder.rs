@@ -5,7 +5,7 @@ use crate::packet::{Packet, PacketKind};
 use crate::params::CodecParams;
 use crate::{inter, intra, CodecError};
 use bytes::Bytes;
-use v2v_frame::Frame;
+use v2v_frame::{Frame, FramePool};
 use v2v_time::Rational;
 
 /// Bitstream magic for intra packets.
@@ -22,18 +22,29 @@ pub struct Encoder {
     frame_index: u64,
     force_key: bool,
     reference: Option<Frame>,
+    pool: FramePool,
+    scratch: Vec<u8>,
     bytes_out: u64,
     frames_in: u64,
 }
 
 impl Encoder {
-    /// Creates an encoder for the given stream parameters.
+    /// Creates an encoder for the given stream parameters with its own
+    /// private frame pool.
     pub fn new(params: CodecParams) -> Encoder {
+        Encoder::with_pool(params, FramePool::new())
+    }
+
+    /// Creates an encoder drawing reconstruction buffers from a shared
+    /// pool.
+    pub fn with_pool(params: CodecParams, pool: FramePool) -> Encoder {
         Encoder {
             params,
             frame_index: 0,
             force_key: true,
             reference: None,
+            pool,
+            scratch: Vec::new(),
             bytes_out: 0,
             frames_in: 0,
         }
@@ -85,27 +96,41 @@ impl Encoder {
             PacketKind::Intra => MAGIC_INTRA,
             PacketKind::Inter => MAGIC_INTER,
         });
-        let mut recon_planes = Vec::with_capacity(frame.planes().len());
+        // The reconstruction lands in a pooled frame; the per-plane
+        // bitstream goes through a persistent scratch buffer, so the
+        // steady state allocates nothing per frame.
+        let mut recon = self.pool.acquire(frame.ty());
         for (pi, plane) in frame.planes().iter().enumerate() {
-            let mut plane_buf = Vec::new();
-            let recon = match kind {
-                PacketKind::Intra => intra::encode_plane(plane, qstep, preset, &mut plane_buf),
+            self.scratch.clear();
+            match kind {
+                PacketKind::Intra => intra::encode_plane_into(
+                    plane,
+                    qstep,
+                    preset,
+                    &mut self.scratch,
+                    recon.plane_mut(pi),
+                ),
                 PacketKind::Inter => {
                     let reference = self
                         .reference
                         .as_ref()
                         .expect("inter frame always has a reference");
-                    inter::encode_plane(plane, reference.plane(pi), qstep, preset, &mut plane_buf)
+                    inter::encode_plane_into(
+                        plane,
+                        reference.plane(pi),
+                        qstep,
+                        preset,
+                        &mut self.scratch,
+                        recon.plane_mut(pi),
+                    );
                 }
-            };
-            put_varint(&mut payload, plane_buf.len() as u64);
-            payload.extend_from_slice(&plane_buf);
-            recon_planes.push(recon);
+            }
+            put_varint(&mut payload, self.scratch.len() as u64);
+            payload.extend_from_slice(&self.scratch);
         }
-        self.reference = Some(
-            Frame::from_planes(frame.ty(), recon_planes)
-                .expect("reconstruction preserves frame type"),
-        );
+        if let Some(old) = self.reference.replace(recon) {
+            self.pool.release(old);
+        }
         self.frame_index += 1;
         self.frames_in += 1;
         self.bytes_out += payload.len() as u64;
@@ -116,7 +141,9 @@ impl Encoder {
     pub fn reset(&mut self) {
         self.frame_index = 0;
         self.force_key = true;
-        self.reference = None;
+        if let Some(old) = self.reference.take() {
+            self.pool.release(old);
+        }
     }
 }
 

@@ -3,6 +3,15 @@
 //! Prediction is closed-loop (from *reconstructed* neighbours), so encoder
 //! and decoder stay bit-identical at any quantizer and there is no spatial
 //! drift.
+//!
+//! The kernels iterate over row slices: top-predicted rows are
+//! data-parallel (every prediction reads the previous reconstructed
+//! row), so their quantize + reconstruct sweep is branch-free and
+//! autovectorizable, with entropy coding as a separate pass over a
+//! scratch row. Left-predicted rows carry a loop dependence (each pixel
+//! predicts from the one just reconstructed) and stay serial, but still
+//! run over row slices instead of per-pixel accessors. The original
+//! per-pixel implementation survives as the [`tests`] oracle.
 
 use crate::bitstream::{Reader, RunCoder, RunDecoder};
 use crate::params::Preset;
@@ -21,8 +30,18 @@ pub(crate) fn quantize(r: i32, qstep: i32) -> i32 {
     }
 }
 
+/// Branch-free [`quantize`] for vector sweeps (`qstep > 1` only): the
+/// sign is folded in arithmetically instead of branched on.
+#[inline]
+pub(crate) fn quantize_bf(r: i32, qstep: i32, half: i32) -> i32 {
+    let s = r >> 31;
+    let a = (r ^ s) - s;
+    let q = (a + half) / qstep;
+    (q ^ s) - s
+}
+
 /// Per-row spatial predictor.
-#[derive(Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum RowMode {
     /// Predict from the reconstructed left neighbour.
     Left,
@@ -30,52 +49,28 @@ enum RowMode {
     Top,
 }
 
-#[inline]
-fn predict(recon: &Plane, x: usize, y: usize, mode: RowMode) -> i32 {
-    match mode {
-        RowMode::Left => {
-            if x > 0 {
-                i32::from(recon.get(x - 1, y))
-            } else if y > 0 {
-                i32::from(recon.get(x, y - 1))
-            } else {
-                128
-            }
-        }
-        RowMode::Top => {
-            if y > 0 {
-                i32::from(recon.get(x, y - 1))
-            } else if x > 0 {
-                i32::from(recon.get(x - 1, y))
-            } else {
-                128
-            }
-        }
-    }
-}
-
 /// Chooses a predictor for row `y` by comparing SADs on the *source*
 /// pixels (a deterministic heuristic; the choice is carried in the
 /// bitstream so the decoder never repeats it).
 fn choose_mode(plane: &Plane, y: usize) -> RowMode {
-    let w = plane.width();
-    let mut sad_left = 0u64;
-    let mut sad_top = 0u64;
-    for x in 0..w {
-        let v = i32::from(plane.get(x, y));
-        let left = if x > 0 {
-            i32::from(plane.get(x - 1, y))
-        } else {
-            128
-        };
-        let top = if y > 0 {
-            i32::from(plane.get(x, y - 1))
-        } else {
-            128
-        };
-        sad_left += v.abs_diff(left) as u64;
-        sad_top += v.abs_diff(top) as u64;
+    let row = plane.row(y);
+    let w = row.len();
+    if w == 0 {
+        return RowMode::Left;
     }
+    let mut sad_left = u64::from(row[0].abs_diff(128));
+    for x in 1..w {
+        sad_left += u64::from(row[x].abs_diff(row[x - 1]));
+    }
+    let sad_top: u64 = if y > 0 {
+        let prev = plane.row(y - 1);
+        row.iter()
+            .zip(prev)
+            .map(|(a, b)| u64::from(a.abs_diff(*b)))
+            .sum()
+    } else {
+        row.iter().map(|&v| u64::from(v.abs_diff(128))).sum()
+    };
     if sad_top < sad_left {
         RowMode::Top
     } else {
@@ -83,10 +78,7 @@ fn choose_mode(plane: &Plane, y: usize) -> RowMode {
     }
 }
 
-/// Encodes one plane as an intra payload; returns the reconstruction the
-/// decoder will produce.
-pub fn encode_plane(plane: &Plane, qstep: i32, preset: Preset, out: &mut Vec<u8>) -> Plane {
-    let w = plane.width();
+fn pick_modes(plane: &Plane, preset: Preset, out: &mut Vec<u8>) -> Vec<RowMode> {
     let h = plane.height();
     let mut modes = vec![RowMode::Left; h];
     if preset == Preset::Medium {
@@ -102,20 +94,74 @@ pub fn encode_plane(plane: &Plane, qstep: i32, preset: Preset, out: &mut Vec<u8>
         }
         out.extend_from_slice(&bitmap);
     }
-    let mut recon = Plane::new(w, h);
+    modes
+}
+
+/// Encodes one plane as an intra payload; returns the reconstruction the
+/// decoder will produce.
+pub fn encode_plane(plane: &Plane, qstep: i32, preset: Preset, out: &mut Vec<u8>) -> Plane {
+    let mut recon = Plane::new(plane.width(), plane.height());
+    encode_plane_into(plane, qstep, preset, out, &mut recon);
+    recon
+}
+
+/// [`encode_plane`] writing the reconstruction into an existing plane
+/// (every sample is overwritten), so pooled buffers avoid a fresh
+/// allocation per frame.
+pub fn encode_plane_into(
+    plane: &Plane,
+    qstep: i32,
+    preset: Preset,
+    out: &mut Vec<u8>,
+    recon: &mut Plane,
+) {
+    let w = plane.width();
+    let h = plane.height();
+    debug_assert_eq!((recon.width(), recon.height()), (w, h));
+    let modes = pick_modes(plane, preset, out);
+    let half = qstep / 2;
     let mut coder = RunCoder::new();
+    let mut qrow = vec![0i32; w];
     for (y, &mode) in modes.iter().enumerate() {
-        for x in 0..w {
-            let pred = predict(&recon, x, y, mode);
-            let residual = i32::from(plane.get(x, y)) - pred;
-            let q = quantize(residual, qstep);
-            coder.push(out, q);
-            let value = (pred + q * qstep).clamp(0, 255) as u8;
-            recon.put(x, y, value);
+        let src = plane.row(y);
+        if mode == RowMode::Top && y > 0 {
+            let (prev, rec) = recon.row_pair_mut(y);
+            if qstep == 1 {
+                for x in 0..w {
+                    qrow[x] = i32::from(src[x]) - i32::from(prev[x]);
+                    rec[x] = src[x];
+                }
+            } else {
+                for x in 0..w {
+                    let pred = i32::from(prev[x]);
+                    let q = quantize_bf(i32::from(src[x]) - pred, qstep, half);
+                    qrow[x] = q;
+                    rec[x] = (pred + q * qstep).clamp(0, 255) as u8;
+                }
+            }
+            for &q in &qrow {
+                coder.push(out, q);
+            }
+        } else {
+            // Serial DPCM chain: pixel x predicts from the value just
+            // reconstructed at x-1 (row 0 of either mode, and every
+            // left-predicted row).
+            let (mut pred, rec) = if y > 0 {
+                let (prev, rec) = recon.row_pair_mut(y);
+                (i32::from(prev[0]), rec)
+            } else {
+                (128, recon.row_mut(0))
+            };
+            for x in 0..w {
+                let q = quantize(i32::from(src[x]) - pred, qstep);
+                coder.push(out, q);
+                let v = (pred + q * qstep).clamp(0, 255) as u8;
+                rec[x] = v;
+                pred = i32::from(v);
+            }
         }
     }
     coder.finish(out);
-    recon
 }
 
 /// Decodes an intra payload into a plane.
@@ -126,6 +172,21 @@ pub fn decode_plane(
     qstep: i32,
     preset: Preset,
 ) -> Result<Plane, CodecError> {
+    let mut recon = Plane::new(width, height);
+    decode_plane_into(reader, qstep, preset, &mut recon)?;
+    Ok(recon)
+}
+
+/// [`decode_plane`] writing into an existing plane of the target
+/// dimensions (every sample is overwritten).
+pub fn decode_plane_into(
+    reader: &mut Reader<'_>,
+    qstep: i32,
+    preset: Preset,
+    recon: &mut Plane,
+) -> Result<(), CodecError> {
+    let width = recon.width();
+    let height = recon.height();
     let mut modes = vec![RowMode::Left; height];
     if preset == Preset::Medium {
         let bitmap = reader.bytes(height.div_ceil(8))?.to_vec();
@@ -135,22 +196,154 @@ pub fn decode_plane(
             }
         }
     }
-    let mut recon = Plane::new(width, height);
     let mut dec = RunDecoder::new(reader, (width * height) as u64);
+    let mut qrow = vec![0i32; width];
     for (y, &mode) in modes.iter().enumerate() {
-        for x in 0..width {
-            let pred = predict(&recon, x, y, mode);
-            let q = dec.next_residual()?;
-            let value = (pred + q * qstep).clamp(0, 255) as u8;
-            recon.put(x, y, value);
+        if mode == RowMode::Top && y > 0 {
+            dec.next_residuals(&mut qrow)?;
+            let (prev, rec) = recon.row_pair_mut(y);
+            for x in 0..width {
+                rec[x] = (i32::from(prev[x]) + qrow[x] * qstep).clamp(0, 255) as u8;
+            }
+        } else {
+            let (mut pred, rec) = if y > 0 {
+                let (prev, rec) = recon.row_pair_mut(y);
+                (i32::from(prev[0]), rec)
+            } else {
+                (128, recon.row_mut(y))
+            };
+            for r in rec.iter_mut().take(width) {
+                let q = dec.next_residual()?;
+                let v = (pred + q * qstep).clamp(0, 255) as u8;
+                *r = v;
+                pred = i32::from(v);
+            }
         }
     }
-    Ok(recon)
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// The original per-pixel implementation, kept verbatim as the
+    /// bit-exactness oracle for the row-sliced kernels above.
+    mod scalar {
+        use super::super::*;
+
+        #[inline]
+        fn predict(recon: &Plane, x: usize, y: usize, mode: RowMode) -> i32 {
+            match mode {
+                RowMode::Left => {
+                    if x > 0 {
+                        i32::from(recon.get(x - 1, y))
+                    } else if y > 0 {
+                        i32::from(recon.get(x, y - 1))
+                    } else {
+                        128
+                    }
+                }
+                RowMode::Top => {
+                    if y > 0 {
+                        i32::from(recon.get(x, y - 1))
+                    } else if x > 0 {
+                        i32::from(recon.get(x - 1, y))
+                    } else {
+                        128
+                    }
+                }
+            }
+        }
+
+        fn choose_mode(plane: &Plane, y: usize) -> RowMode {
+            let w = plane.width();
+            let mut sad_left = 0u64;
+            let mut sad_top = 0u64;
+            for x in 0..w {
+                let v = i32::from(plane.get(x, y));
+                let left = if x > 0 {
+                    i32::from(plane.get(x - 1, y))
+                } else {
+                    128
+                };
+                let top = if y > 0 {
+                    i32::from(plane.get(x, y - 1))
+                } else {
+                    128
+                };
+                sad_left += v.abs_diff(left) as u64;
+                sad_top += v.abs_diff(top) as u64;
+            }
+            if sad_top < sad_left {
+                RowMode::Top
+            } else {
+                RowMode::Left
+            }
+        }
+
+        pub fn encode_plane(plane: &Plane, qstep: i32, preset: Preset, out: &mut Vec<u8>) -> Plane {
+            let w = plane.width();
+            let h = plane.height();
+            let mut modes = vec![RowMode::Left; h];
+            if preset == Preset::Medium {
+                for (y, m) in modes.iter_mut().enumerate() {
+                    *m = choose_mode(plane, y);
+                }
+                let mut bitmap = vec![0u8; h.div_ceil(8)];
+                for (y, m) in modes.iter().enumerate() {
+                    if *m == RowMode::Top {
+                        bitmap[y / 8] |= 1 << (y % 8);
+                    }
+                }
+                out.extend_from_slice(&bitmap);
+            }
+            let mut recon = Plane::new(w, h);
+            let mut coder = RunCoder::new();
+            for (y, &mode) in modes.iter().enumerate() {
+                for x in 0..w {
+                    let pred = predict(&recon, x, y, mode);
+                    let residual = i32::from(plane.get(x, y)) - pred;
+                    let q = quantize(residual, qstep);
+                    coder.push(out, q);
+                    let value = (pred + q * qstep).clamp(0, 255) as u8;
+                    recon.put(x, y, value);
+                }
+            }
+            coder.finish(out);
+            recon
+        }
+
+        pub fn decode_plane(
+            reader: &mut Reader<'_>,
+            width: usize,
+            height: usize,
+            qstep: i32,
+            preset: Preset,
+        ) -> Result<Plane, CodecError> {
+            let mut modes = vec![RowMode::Left; height];
+            if preset == Preset::Medium {
+                let bitmap = reader.bytes(height.div_ceil(8))?.to_vec();
+                for (y, m) in modes.iter_mut().enumerate() {
+                    if bitmap[y / 8] & (1 << (y % 8)) != 0 {
+                        *m = RowMode::Top;
+                    }
+                }
+            }
+            let mut recon = Plane::new(width, height);
+            let mut dec = RunDecoder::new(reader, (width * height) as u64);
+            for (y, &mode) in modes.iter().enumerate() {
+                for x in 0..width {
+                    let pred = predict(&recon, x, y, mode);
+                    let q = dec.next_residual()?;
+                    let value = (pred + q * qstep).clamp(0, 255) as u8;
+                    recon.put(x, y, value);
+                }
+            }
+            Ok(recon)
+        }
+    }
 
     fn gradient_plane(w: usize, h: usize) -> Plane {
         let mut p = Plane::new(w, h);
@@ -217,9 +410,15 @@ mod tests {
         // Dense nonzero residuals cost (run, value) pairs — bounded by
         // 2 bytes per sample, and quantization recovers the win.
         let (_, gsize) = round_trip(&g, 1, Preset::Ultrafast);
-        assert!(gsize <= 2 * 64 * 64 + 16, "gradient blew the bound: {gsize}");
+        assert!(
+            gsize <= 2 * 64 * 64 + 16,
+            "gradient blew the bound: {gsize}"
+        );
         let (_, gq) = round_trip(&g, 5, Preset::Ultrafast);
-        assert!(gq < gsize, "quantized gradient must shrink: {gq} vs {gsize}");
+        assert!(
+            gq < gsize,
+            "quantized gradient must shrink: {gq} vs {gsize}"
+        );
     }
 
     #[test]
@@ -234,7 +433,10 @@ mod tests {
         }
         let (_, fast) = round_trip(&p, 1, Preset::Ultrafast);
         let (_, medium) = round_trip(&p, 1, Preset::Medium);
-        assert!(medium < fast, "medium {medium} should beat ultrafast {fast}");
+        assert!(
+            medium < fast,
+            "medium {medium} should beat ultrafast {fast}"
+        );
     }
 
     #[test]
@@ -248,6 +450,15 @@ mod tests {
     }
 
     #[test]
+    fn quantize_bf_matches_quantize() {
+        for q in [2, 3, 4, 5, 8, 13] {
+            for r in -600..=600 {
+                assert_eq!(quantize_bf(r, q, q / 2), quantize(r, q), "r={r} q={q}");
+            }
+        }
+    }
+
+    #[test]
     fn truncated_payload_errors() {
         let p = gradient_plane(16, 16);
         let mut buf = Vec::new();
@@ -258,6 +469,44 @@ mod tests {
             let cut = &buf[..buf.len() / 2];
             let mut r = Reader::new(cut);
             let _ = decode_plane(&mut r, 16, 16, 1, Preset::Ultrafast);
+        }
+    }
+
+    fn arb_plane() -> impl Strategy<Value = Plane> {
+        // Dimensions and a max-size sample buffer (no flat_map needed:
+        // the buffer is truncated to w*h).
+        (
+            1usize..48,
+            1usize..48,
+            proptest::collection::vec(any::<u8>(), 48 * 48),
+        )
+            .prop_map(|(w, h, data)| Plane::from_vec(w, h, data[..w * h].to_vec()).unwrap())
+    }
+
+    proptest! {
+        /// The vectorized encoder emits the exact bytes and
+        /// reconstruction of the per-pixel oracle, for every plane,
+        /// quantizer, and preset.
+        #[test]
+        fn vectorized_encode_matches_scalar(
+            p in arb_plane(),
+            qstep in prop_oneof![Just(1i32), Just(2), Just(3), Just(5), Just(8), Just(13)],
+            medium in any::<bool>(),
+        ) {
+            let preset = if medium { Preset::Medium } else { Preset::Ultrafast };
+            let mut fast_buf = Vec::new();
+            let fast_recon = encode_plane(&p, qstep, preset, &mut fast_buf);
+            let mut ref_buf = Vec::new();
+            let ref_recon = scalar::encode_plane(&p, qstep, preset, &mut ref_buf);
+            prop_assert_eq!(&fast_buf, &ref_buf);
+            prop_assert_eq!(fast_recon, ref_recon);
+
+            let mut r = Reader::new(&fast_buf);
+            let fast_dec = decode_plane(&mut r, p.width(), p.height(), qstep, preset).unwrap();
+            let mut r = Reader::new(&ref_buf);
+            let ref_dec =
+                scalar::decode_plane(&mut r, p.width(), p.height(), qstep, preset).unwrap();
+            prop_assert_eq!(fast_dec, ref_dec);
         }
     }
 }

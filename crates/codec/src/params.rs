@@ -80,7 +80,10 @@ mod tests {
     fn qstep_is_one_when_lossless() {
         let p = CodecParams::new(FrameType::yuv420p(64, 64), 30, 0);
         assert_eq!(p.qstep(), 1);
-        assert_eq!(CodecParams::new(FrameType::yuv420p(64, 64), 30, 4).qstep(), 5);
+        assert_eq!(
+            CodecParams::new(FrameType::yuv420p(64, 64), 30, 4).qstep(),
+            5
+        );
     }
 
     #[test]

@@ -149,9 +149,7 @@ impl VideoStream {
         Ok(self.packets[from..to]
             .iter()
             .enumerate()
-            .map(|(i, p)| {
-                p.retimed(new_start + self.frame_dur * Rational::from_int(i as i64))
-            })
+            .map(|(i, p)| p.retimed(new_start + self.frame_dur * Rational::from_int(i as i64)))
             .collect())
     }
 
@@ -159,9 +157,7 @@ impl VideoStream {
     /// keyframe and rolls forward). Returns the frame and the number of
     /// packets that had to be decoded to produce it.
     pub fn decode_frame_at(&self, t: Rational) -> Result<(Frame, usize), ContainerError> {
-        let k = self
-            .index_of(t)
-            .ok_or(ContainerError::NotOnGrid(t))?;
+        let k = self.index_of(t).ok_or(ContainerError::NotOnGrid(t))?;
         let kf = self
             .keyframe_at_or_before(k)
             .expect("stream starts with a keyframe");

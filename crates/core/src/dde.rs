@@ -214,18 +214,14 @@ fn rewrite(expr: &RenderExpr, domain: &TimeSet, ctx: &mut RewriteCtx<'_>) -> Ren
                     Arg::Data(d) => Arg::Data(d.clone()),
                 })
                 .collect();
-            let data_exprs: Vec<&DataExpr> = args
-                .iter()
-                .filter_map(|a| a.as_data())
-                .collect();
+            let data_exprs: Vec<&DataExpr> = args.iter().filter_map(|a| a.as_data()).collect();
             if !has_dde(*op) || data_exprs.is_empty() {
                 return RenderExpr::Transform { op: *op, args };
             }
             // Evaluate f_dde at every instant of the domain and partition.
             let mut partitions: BTreeMap<Outcome, Vec<Rational>> = BTreeMap::new();
             for t in domain.iter() {
-                let values: Vec<Value> =
-                    data_exprs.iter().map(|d| d.eval(t, ctx.arrays)).collect();
+                let values: Vec<Value> = data_exprs.iter().map(|d| d.eval(t, ctx.arrays)).collect();
                 let outcome = f_dde(*op, &values).expect("op checked above");
                 partitions.entry(outcome).or_default().push(t);
             }
@@ -235,9 +231,10 @@ fn rewrite(expr: &RenderExpr, domain: &TimeSet, ctx: &mut RewriteCtx<'_>) -> Ren
                 let mut spill_to_keep: Vec<Rational> = Vec::new();
                 for (outcome, instants) in std::mem::take(&mut partitions) {
                     match outcome {
-                        Outcome::Keep => {
-                            partitions.entry(Outcome::Keep).or_default().extend(instants)
-                        }
+                        Outcome::Keep => partitions
+                            .entry(Outcome::Keep)
+                            .or_default()
+                            .extend(instants),
                         Outcome::PassThrough(_) => {
                             let (kept, spilled) =
                                 filter_short_runs(instants, ctx.step, ctx.min_run);

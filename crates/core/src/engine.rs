@@ -18,7 +18,8 @@ use v2v_spec::{check_spec_with_udfs, CheckReport, Spec};
 pub struct EngineConfig {
     /// Plan-level rewrites (stream copy, smart cut, sharding).
     pub optimizer: OptimizerConfig,
-    /// Runtime options (parallel segment execution).
+    /// Runtime options (parallel segment execution, shared decoded-GOP
+    /// cache size via `gop_cache_frames`).
     pub exec: ExecOptions,
     /// Apply data-dependent rewrites before planning (§IV-C).
     pub data_rewrites: bool,
@@ -111,13 +112,9 @@ impl V2vEngine {
                 // compute at fine grain.
                 Query::parse(sql)
                     .and_then(|q| match windows.get(name) {
-                        Some((lo, hi)) => v2v_data::materialize_bounded(
-                            &q,
-                            &self.database,
-                            "timestamp",
-                            *lo,
-                            *hi,
-                        ),
+                        Some((lo, hi)) => {
+                            v2v_data::materialize_bounded(&q, &self.database, "timestamp", *lo, *hi)
+                        }
                         None => q.materialize(&self.database),
                     })
                     .map_err(|source| EngineError::Bind {
@@ -125,11 +122,9 @@ impl V2vEngine {
                         source,
                     })?
             } else {
-                v2v_data::json::load_annotations(locator).map_err(|source| {
-                    EngineError::Bind {
-                        name: name.clone(),
-                        source,
-                    }
+                v2v_data::json::load_annotations(locator).map_err(|source| EngineError::Bind {
+                    name: name.clone(),
+                    source,
                 })?
             };
             self.catalog.add_array(name.clone(), array);
@@ -138,12 +133,11 @@ impl V2vEngine {
             if self.catalog.video(name).is_some() {
                 continue;
             }
-            let stream =
-                v2v_container::read_svc(locator).map_err(|e| EngineError::VideoBind {
-                    name: name.clone(),
-                    locator: locator.clone(),
-                    reason: e.to_string(),
-                })?;
+            let stream = v2v_container::read_svc(locator).map_err(|e| EngineError::VideoBind {
+                name: name.clone(),
+                locator: locator.clone(),
+                reason: e.to_string(),
+            })?;
             self.catalog.add_video(name.clone(), stream);
         }
         Ok(())
@@ -164,11 +158,18 @@ impl V2vEngine {
 
     /// Checks, plans, and optimizes a (bound, specialized) spec.
     pub fn plan(&self, spec: &Spec) -> Result<(PhysicalPlan, CheckReport), EngineError> {
-        let check =
-            check_spec_with_udfs(spec, &self.catalog.source_infos(), self.catalog.udf_registry())
-                .map_err(EngineError::Check)?;
+        let check = check_spec_with_udfs(
+            spec,
+            &self.catalog.source_infos(),
+            self.catalog.udf_registry(),
+        )
+        .map_err(EngineError::Check)?;
         let logical = lower_spec(spec)?;
-        let physical = optimize(&logical, &self.catalog.plan_context(), &self.config.optimizer)?;
+        let physical = optimize(
+            &logical,
+            &self.catalog.plan_context(),
+            &self.config.optimizer,
+        )?;
         Ok((physical, check))
     }
 
@@ -233,9 +234,12 @@ impl V2vEngine {
     /// data rewrites) — the baseline arm of the paper's evaluation.
     pub fn run_unoptimized(&mut self, spec: &Spec) -> Result<RunReport, EngineError> {
         self.bind(spec)?;
-        let check =
-            check_spec_with_udfs(spec, &self.catalog.source_infos(), self.catalog.udf_registry())
-                .map_err(EngineError::Check)?;
+        let check = check_spec_with_udfs(
+            spec,
+            &self.catalog.source_infos(),
+            self.catalog.udf_registry(),
+        )
+        .map_err(EngineError::Check)?;
         let logical = lower_spec(spec)?;
         let (output, stats, wall) = execute_naive(&logical, &self.catalog)?;
         Ok(RunReport {
@@ -424,10 +428,7 @@ mod tests {
             .data_array("bb", "sql:SELEKT nope")
             .append_filtered("a", r(0, 1), r(1, 1), |e| bounding_box(e, "bb"))
             .build();
-        assert!(matches!(
-            engine.run(&spec),
-            Err(EngineError::Bind { .. })
-        ));
+        assert!(matches!(engine.run(&spec), Err(EngineError::Bind { .. })));
     }
 
     #[test]

@@ -191,9 +191,9 @@ mod tests {
             match e {
                 RenderExpr::Transform { op, args } => {
                     *op == v2v_spec::TransformOp::Highlight
-                        || args.iter().any(|a| {
-                            a.as_frame().map(has_highlight).unwrap_or(false)
-                        })
+                        || args
+                            .iter()
+                            .any(|a| a.as_frame().map(has_highlight).unwrap_or(false))
                 }
                 RenderExpr::Match { arms } => arms.iter().any(|a| has_highlight(&a.expr)),
                 RenderExpr::FrameRef { .. } => false,

@@ -123,10 +123,7 @@ mod tests {
 
     #[test]
     fn sample_and_hold() {
-        let a = DataArray::from_pairs([
-            (r(0, 1), Value::Int(1)),
-            (r(1, 1), Value::Int(2)),
-        ]);
+        let a = DataArray::from_pairs([(r(0, 1), Value::Int(1)), (r(1, 1), Value::Int(2))]);
         assert_eq!(a.get_at_or_before(r(1, 2)), &Value::Int(1));
         assert_eq!(a.get_at_or_before(r(1, 1)), &Value::Int(2));
         assert_eq!(a.get_at_or_before(r(5, 1)), &Value::Int(2));

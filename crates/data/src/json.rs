@@ -151,10 +151,8 @@ mod tests {
 
     #[test]
     fn dense_layout_parses() {
-        let a = parse_annotations(
-            r#"{"start": [0, 1], "step": [1, 2], "values": [1, 2, 3]}"#,
-        )
-        .unwrap();
+        let a =
+            parse_annotations(r#"{"start": [0, 1], "step": [1, 2], "values": [1, 2, 3]}"#).unwrap();
         assert_eq!(a.len(), 3);
         assert_eq!(a.get(r(1, 2)), &Value::Int(2));
         assert_eq!(a.get(r(1, 1)), &Value::Int(3));
@@ -182,10 +180,8 @@ mod tests {
 
     #[test]
     fn round_trip_through_text() {
-        let a = DataArray::from_pairs([
-            (r(0, 1), Value::Int(1)),
-            (r(1, 30), Value::Str("x".into())),
-        ]);
+        let a =
+            DataArray::from_pairs([(r(0, 1), Value::Int(1)), (r(1, 30), Value::Str("x".into()))]);
         let text = to_annotation_json(&a);
         let back = parse_annotations(&text).unwrap();
         assert_eq!(back.get(r(0, 1)), &Value::Int(1));

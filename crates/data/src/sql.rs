@@ -194,10 +194,11 @@ impl Query {
             })
             .collect();
 
-        let has_aggregate = self
-            .columns
-            .as_ref()
-            .is_some_and(|items| items.iter().any(|i| matches!(i, SelectItem::Aggregate { .. })));
+        let has_aggregate = self.columns.as_ref().is_some_and(|items| {
+            items
+                .iter()
+                .any(|i| matches!(i, SelectItem::Aggregate { .. }))
+        });
 
         let (cols, mut rows) = if has_aggregate || self.group_by.is_some() {
             self.execute_grouped(table, &filtered)?
@@ -213,9 +214,7 @@ impl Query {
                 Some(items) => items
                     .iter()
                     .map(|item| match item {
-                        SelectItem::Column(c) => {
-                            table.column_index(c).map(|i| (c.clone(), i))
-                        }
+                        SelectItem::Column(c) => table.column_index(c).map(|i| (c.clone(), i)),
                         SelectItem::Aggregate { .. } => unreachable!("handled above"),
                     })
                     .collect::<Result<_, _>>()?,
@@ -228,17 +227,15 @@ impl Query {
         };
 
         if let Some((col, asc)) = &self.order_by {
-            let sort_idx = cols
-                .iter()
-                .position(|name| name == col)
-                .ok_or_else(|| DataError::Unknown {
-                    kind: "column",
-                    name: col.clone(),
-                })?;
+            let sort_idx =
+                cols.iter()
+                    .position(|name| name == col)
+                    .ok_or_else(|| DataError::Unknown {
+                        kind: "column",
+                        name: col.clone(),
+                    })?;
             rows.sort_by(|a: &Vec<Value>, b: &Vec<Value>| {
-                let ord = a[sort_idx]
-                    .compare(&b[sort_idx])
-                    .unwrap_or(Ordering::Equal);
+                let ord = a[sort_idx].compare(&b[sort_idx]).unwrap_or(Ordering::Equal);
                 if *asc {
                     ord
                 } else {
@@ -280,9 +277,7 @@ impl Query {
         let arg_idx: Vec<Option<usize>> = items
             .iter()
             .map(|item| match item {
-                SelectItem::Aggregate { arg: Some(c), .. } => {
-                    table.column_index(c).map(Some)
-                }
+                SelectItem::Aggregate { arg: Some(c), .. } => table.column_index(c).map(Some),
                 _ => Ok(None),
             })
             .collect::<Result<_, _>>()?;
@@ -372,9 +367,7 @@ fn aggregate(func: AggFunc, arg: Option<usize>, group: &[&Vec<Value>]) -> Value 
     match func {
         AggFunc::Count => match arg {
             None => Value::Int(group.len() as i64),
-            Some(i) => Value::Int(
-                group.iter().filter(|row| !row[i].is_null()).count() as i64
-            ),
+            Some(i) => Value::Int(group.iter().filter(|row| !row[i].is_null()).count() as i64),
         },
         AggFunc::Sum | AggFunc::Avg => {
             let i = arg.expect("parser requires a column for SUM/AVG");
@@ -532,7 +525,9 @@ fn lex(sql: &str) -> Result<Vec<Token>, DataError> {
                 out.push(Token::Ident(chars[start..i].iter().collect()));
             }
             other => {
-                return Err(DataError::SqlParse(format!("unexpected character '{other}'")));
+                return Err(DataError::SqlParse(format!(
+                    "unexpected character '{other}'"
+                )));
             }
         }
     }
@@ -904,7 +899,15 @@ mod tests {
         )
         .unwrap();
         let (cols, rows) = q.execute(&db).unwrap();
-        assert_eq!(cols, vec!["count(*)", "min(timestamp)", "max(timestamp)", "avg(frame_objects)"]);
+        assert_eq!(
+            cols,
+            vec![
+                "count(*)",
+                "min(timestamp)",
+                "max(timestamp)",
+                "avg(frame_objects)"
+            ]
+        );
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0], Value::Int(10));
         assert_eq!(rows[0][1], Value::Rational(r(0, 30)));
@@ -916,10 +919,9 @@ mod tests {
     fn group_by_counts_per_video() {
         // The paper's intro analytics: how many detections per video?
         let db = objects_db();
-        let q = Query::parse(
-            "SELECT video, count(*) FROM video_objects GROUP BY video ORDER BY video",
-        )
-        .unwrap();
+        let q =
+            Query::parse("SELECT video, count(*) FROM video_objects GROUP BY video ORDER BY video")
+                .unwrap();
         let (cols, rows) = q.execute(&db).unwrap();
         assert_eq!(cols, vec!["video", "count(*)"]);
         assert_eq!(rows.len(), 2);
@@ -945,7 +947,10 @@ mod tests {
         db.add_table(t);
         let q = Query::parse("SELECT count(a), sum(a), count(*) FROM t").unwrap();
         let (_, rows) = q.execute(&db).unwrap();
-        assert_eq!(rows[0], vec![Value::Int(1), Value::Rational(r(4, 1)), Value::Int(2)]);
+        assert_eq!(
+            rows[0],
+            vec![Value::Int(1), Value::Rational(r(4, 1)), Value::Int(2)]
+        );
         // Empty filter result: aggregates still produce one row.
         let q = Query::parse("SELECT count(*), max(a) FROM t WHERE a > 100").unwrap();
         let (_, rows) = q.execute(&db).unwrap();
@@ -981,10 +986,8 @@ mod tests {
     #[test]
     fn group_by_order_preserves_first_seen() {
         let db = objects_db();
-        let q = Query::parse(
-            "SELECT video, min(timestamp) FROM video_objects GROUP BY video",
-        )
-        .unwrap();
+        let q =
+            Query::parse("SELECT video, min(timestamp) FROM video_objects GROUP BY video").unwrap();
         let (_, rows) = q.execute(&db).unwrap();
         // a.mp4 appears first in the table.
         assert_eq!(rows[0][0], Value::from("a.mp4"));

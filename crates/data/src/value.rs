@@ -138,9 +138,7 @@ impl Value {
             Value::Str(s) => serde_json::Value::String(s.clone()),
             // Tagged forms parse back through from_json's object fallback.
             Value::Rational(_) => serde_json::to_value(self).expect("serializable"),
-            Value::Boxes(b) if b.is_empty() => {
-                serde_json::to_value(self).expect("serializable")
-            }
+            Value::Boxes(b) if b.is_empty() => serde_json::to_value(self).expect("serializable"),
             Value::Boxes(b) => serde_json::to_value(b).expect("serializable"),
             Value::List(items) => {
                 serde_json::Value::Array(items.iter().map(Value::to_json).collect())
@@ -167,8 +165,9 @@ impl Value {
             serde_json::Value::Array(items) => {
                 if !items.is_empty()
                     && items.iter().all(|it| {
-                        it.as_object()
-                            .is_some_and(|o| ["x", "y", "w", "h"].iter().all(|k| o.contains_key(*k)))
+                        it.as_object().is_some_and(|o| {
+                            ["x", "y", "w", "h"].iter().all(|k| o.contains_key(*k))
+                        })
                     })
                 {
                     let boxes = items

@@ -10,8 +10,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         Just(Value::Null),
         any::<bool>().prop_map(Value::Bool),
         (-1000i64..1000).prop_map(Value::Int),
-        (-100i64..100, 1i64..50)
-            .prop_map(|(n, d)| Value::Rational(Rational::new(n, d))),
+        (-100i64..100, 1i64..50).prop_map(|(n, d)| Value::Rational(Rational::new(n, d))),
         "[a-z]{0,8}".prop_map(Value::Str),
     ]
 }

@@ -174,7 +174,13 @@ pub fn render_frame(spec: &DatasetSpec, i: u64) -> Frame {
             let mut rng = SmallRng::seed_from_u64(spec.seed);
             let params = scene_params(&mut rng, 0);
             let shift = (i as i64 * pan_px_per_s / spec.fps) as usize;
-            paint_texture(f.plane_mut(0), params.base, params.freq_x, params.freq_y, shift);
+            paint_texture(
+                f.plane_mut(0),
+                params.base,
+                params.freq_x,
+                params.freq_y,
+                shift,
+            );
             // Savanna-ish chroma.
             for v in f.plane_mut(1).data_mut() {
                 *v = 116;

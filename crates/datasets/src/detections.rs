@@ -112,18 +112,15 @@ pub fn detections(spec: &DatasetSpec, profile: DetectionProfile, label: &str) ->
                 if span_left == 0 {
                     visible = !visible;
                     span_left = if visible {
-                        rng.gen_range(episode_frames / 2..=episode_frames * 3 / 2).max(1)
+                        rng.gen_range(episode_frames / 2..=episode_frames * 3 / 2)
+                            .max(1)
                     } else {
                         rng.gen_range(gap_frames / 2..=gap_frames * 3 / 2).max(1)
                     };
                 }
                 let t = dur * Rational::from_int(i as i64);
                 let boxes = if visible {
-                    vec![track_box(
-                        &mut rng,
-                        label,
-                        i as f64 / spec.fps as f64,
-                    )]
+                    vec![track_box(&mut rng, label, i as f64 / spec.fps as f64)]
                 } else {
                     Vec::new()
                 };
@@ -213,7 +210,10 @@ mod tests {
         let spec = kabr_sim(Scale::Test, 2);
         let d = detections(&spec, DetectionProfile::kabr(), "zebra");
         let t = detections_table(&[("kabr_cam1", &d)]);
-        assert_eq!(t.columns(), ["video", "model", "timestamp", "frame_objects"]);
+        assert_eq!(
+            t.columns(),
+            ["video", "model", "timestamp", "frame_objects"]
+        );
         assert_eq!(t.len() as u64, spec.n_frames());
         // The paper's SQL runs against it.
         let mut db = v2v_data::Database::new();

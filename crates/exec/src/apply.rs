@@ -87,21 +87,19 @@ fn string(op: TransformOp, index: usize, v: &Value) -> Result<&str, ExecError> {
 pub fn apply_program(
     program: &FrameProgram,
     t: Rational,
-    inputs: &[Frame],
+    inputs: &[Arc<Frame>],
     arrays: &BTreeMap<String, DataArray>,
     images: &dyn ImageSource,
 ) -> Result<Frame, ExecError> {
     match program {
-        FrameProgram::Input(n) => Ok(inputs[*n].clone()),
+        FrameProgram::Input(n) => Ok(inputs[*n].as_ref().clone()),
         FrameProgram::Op { op, args } => {
             // Evaluate arguments in signature order.
             let mut frames: Vec<Frame> = Vec::new();
             let mut data: Vec<Value> = Vec::new();
             for a in args {
                 match a {
-                    ProgArg::Frame(f) => {
-                        frames.push(apply_program(f, t, inputs, arrays, images)?)
-                    }
+                    ProgArg::Frame(f) => frames.push(apply_program(f, t, inputs, arrays, images)?),
                     ProgArg::Data(d) => data.push(d.eval(t, arrays)),
                 }
             }
@@ -268,16 +266,16 @@ fn apply_op(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use v2v_spec::DataExpr;
     use v2v_frame::FrameType;
+    use v2v_spec::DataExpr;
     use v2v_time::r;
 
-    fn solid(luma: u8) -> Frame {
+    fn solid(luma: u8) -> Arc<Frame> {
         let mut f = Frame::black(FrameType::gray8(64, 64));
         for v in f.plane_mut(0).data_mut() {
             *v = luma;
         }
-        f
+        Arc::new(f)
     }
 
     fn prog(op: TransformOp, args: Vec<ProgArg>) -> FrameProgram {
@@ -308,10 +306,7 @@ mod tests {
         let p = prog(
             TransformOp::IfThenElse,
             vec![
-                ProgArg::Data(DataExpr::lt(
-                    DataExpr::array("a"),
-                    DataExpr::constant(5i64),
-                )),
+                ProgArg::Data(DataExpr::lt(DataExpr::array("a"), DataExpr::constant(5i64))),
                 ProgArg::Frame(FrameProgram::Input(0)),
                 ProgArg::Frame(FrameProgram::Input(1)),
             ],
@@ -338,8 +333,15 @@ mod tests {
             ],
         );
         let input = solid(50);
-        let out = apply_program(&p, r(0, 1), std::slice::from_ref(&input), &arrays, &NoImages).unwrap();
-        assert_eq!(out, input);
+        let out = apply_program(
+            &p,
+            r(0, 1),
+            std::slice::from_ref(&input),
+            &arrays,
+            &NoImages,
+        )
+        .unwrap();
+        assert_eq!(out, *input);
     }
 
     #[test]
@@ -410,8 +412,14 @@ mod tests {
             ],
         );
         let input = solid(7);
-        let out = apply_program(&p, r(0, 1), std::slice::from_ref(&input), &BTreeMap::new(), &NoImages)
-            .unwrap();
-        assert_eq!(out, input);
+        let out = apply_program(
+            &p,
+            r(0, 1),
+            std::slice::from_ref(&input),
+            &BTreeMap::new(),
+            &NoImages,
+        )
+        .unwrap();
+        assert_eq!(out, *input);
     }
 }

@@ -195,16 +195,14 @@ mod tests {
         let mut c = Catalog::new();
         c.add_video("a", stream(3));
         c.add_array("bb", DataArray::new());
-        let spec = v2v_spec::SpecBuilder::new(v2v_spec::OutputSettings::new(
-            FrameType::gray8(32, 32),
-            30,
-        ))
-        .video("a", "a.svc")
-        .data_array("bb", "bb.json")
-        .append_filtered("a", r(0, 1), r(1, 10), |e| {
-            v2v_spec::builder::bounding_box(e, "bb")
-        })
-        .build();
+        let spec =
+            v2v_spec::SpecBuilder::new(v2v_spec::OutputSettings::new(FrameType::gray8(32, 32), 30))
+                .video("a", "a.svc")
+                .data_array("bb", "bb.json")
+                .append_filtered("a", r(0, 1), r(1, 10), |e| {
+                    v2v_spec::builder::bounding_box(e, "bb")
+                })
+                .build();
         assert!(c.covers(&spec));
         let mut missing = Catalog::new();
         missing.add_video("a", stream(3));

@@ -4,8 +4,16 @@
 //! keeps decoder state so consecutive reads cost one packet each, seeks
 //! (backward jumps or gaps) re-enter at the preceding keyframe — the
 //! same access pattern an FFmpeg-based engine gets from its demuxer.
+//!
+//! When attached to a [`GopCache`], the cursor decodes whole GOPs and
+//! shares them through the cache, so concurrent segments reading the
+//! same source ranges (grid cells, splice neighbours) decode each GOP
+//! once. Frames come out behind [`Arc`] either way: the decoder's
+//! zero-copy path means a served frame is never deep-copied.
 
+use crate::gop_cache::{GopCache, GopFrames};
 use crate::ExecError;
+use std::sync::Arc;
 use v2v_codec::Decoder;
 use v2v_container::VideoStream;
 use v2v_frame::Frame;
@@ -13,37 +21,62 @@ use v2v_frame::Frame;
 /// A stateful forward reader over one stream.
 pub struct SourceCursor<'a> {
     stream: &'a VideoStream,
+    /// Catalog name of the stream, for error reporting and cache keys.
+    video: String,
     decoder: Decoder,
+    cache: Option<&'a GopCache>,
+    /// The GOP currently borrowed from the cache: (keyframe index, frames).
+    gop: Option<(u64, GopFrames)>,
     /// Index the decoder state corresponds to (last decoded), if any.
     at: Option<u64>,
     /// Last decoded frame (served for repeated reads of the same index).
-    current: Option<Frame>,
+    current: Option<Arc<Frame>>,
     /// Packets decoded through this cursor.
     pub frames_decoded: u64,
 }
 
 impl<'a> SourceCursor<'a> {
-    /// A cursor at the start of `stream`.
-    pub fn new(stream: &'a VideoStream) -> SourceCursor<'a> {
+    /// A cursor at the start of `stream`. `video` is the stream's
+    /// catalog name, carried into `MissingFrame` errors and cache keys.
+    pub fn new(stream: &'a VideoStream, video: impl Into<String>) -> SourceCursor<'a> {
         SourceCursor {
             stream,
+            video: video.into(),
             decoder: Decoder::new(*stream.params()),
+            cache: None,
+            gop: None,
             at: None,
             current: None,
             frames_decoded: 0,
         }
     }
 
+    /// Attaches a shared GOP cache (ignored when the cache is disabled).
+    pub fn with_cache(mut self, cache: &'a GopCache) -> SourceCursor<'a> {
+        if cache.enabled() {
+            self.cache = Some(cache);
+        }
+        self
+    }
+
+    /// The underlying stream.
+    pub fn stream(&self) -> &'a VideoStream {
+        self.stream
+    }
+
     /// Decodes (or re-serves) frame `idx`.
-    pub fn frame_at(&mut self, idx: u64) -> Result<Frame, ExecError> {
+    pub fn frame_at(&mut self, idx: u64) -> Result<Arc<Frame>, ExecError> {
         if idx >= self.stream.len() as u64 {
             return Err(ExecError::MissingFrame {
-                video: String::new(),
+                video: self.video.clone(),
                 at: self
                     .stream
                     .pts_of(self.stream.len().saturating_sub(1))
                     .unwrap_or_default(),
             });
+        }
+        if let Some(cache) = self.cache {
+            return self.frame_from_cache(cache, idx);
         }
         if self.at == Some(idx) {
             if let Some(f) = &self.current {
@@ -73,13 +106,51 @@ impl<'a> SourceCursor<'a> {
         let mut frame = None;
         for i in from..=idx {
             let pkt = &self.stream.packets()[i as usize];
-            frame = Some(self.decoder.decode(pkt)?);
+            frame = Some(self.decoder.decode_shared(pkt)?);
             self.frames_decoded += 1;
         }
         let frame = frame.expect("at least one packet decoded");
         self.at = Some(idx);
         self.current = Some(frame.clone());
         Ok(frame)
+    }
+
+    /// Serves `idx` through the shared GOP cache: the containing GOP is
+    /// decoded in full on a miss and memoized for other cursors.
+    fn frame_from_cache(&mut self, cache: &GopCache, idx: u64) -> Result<Arc<Frame>, ExecError> {
+        let kf = self
+            .stream
+            .keyframe_at_or_before(idx as usize)
+            .expect("streams start with a keyframe") as u64;
+        if self.gop.as_ref().map(|(k, _)| *k) != Some(kf) {
+            let frames = match cache.get(&self.video, kf) {
+                Some(frames) => frames,
+                None => {
+                    let frames = self.decode_gop(kf)?;
+                    cache.insert(&self.video, kf, frames.clone());
+                    frames
+                }
+            };
+            self.gop = Some((kf, frames));
+        }
+        let (_, frames) = self.gop.as_ref().expect("gop just installed");
+        Ok(frames[(idx - kf) as usize].clone())
+    }
+
+    /// Decodes the whole GOP whose keyframe is at `kf`.
+    fn decode_gop(&mut self, kf: u64) -> Result<GopFrames, ExecError> {
+        let end = self
+            .stream
+            .next_keyframe_at_or_after(kf as usize + 1)
+            .unwrap_or(self.stream.len()) as u64;
+        let mut frames = Vec::with_capacity((end - kf) as usize);
+        self.decoder.reset();
+        for i in kf..end {
+            let pkt = &self.stream.packets()[i as usize];
+            frames.push(self.decoder.decode_shared(pkt)?);
+            self.frames_decoded += 1;
+        }
+        Ok(Arc::new(frames))
     }
 }
 
@@ -106,7 +177,7 @@ mod tests {
     #[test]
     fn sequential_reads_cost_one_packet_each() {
         let s = stream(12, 4);
-        let mut c = SourceCursor::new(&s);
+        let mut c = SourceCursor::new(&s, "s");
         c.frame_at(0).unwrap();
         assert_eq!(c.frames_decoded, 1);
         for i in 1..12 {
@@ -118,7 +189,7 @@ mod tests {
     #[test]
     fn cold_mid_gop_read_rolls_from_keyframe() {
         let s = stream(12, 4);
-        let mut c = SourceCursor::new(&s);
+        let mut c = SourceCursor::new(&s, "s");
         let f = c.frame_at(6).unwrap();
         assert_eq!(c.frames_decoded, 3); // 4, 5, 6
         assert_eq!(f.plane(0).get(6, 0), 255);
@@ -127,7 +198,7 @@ mod tests {
     #[test]
     fn repeated_read_is_free() {
         let s = stream(12, 4);
-        let mut c = SourceCursor::new(&s);
+        let mut c = SourceCursor::new(&s, "s");
         c.frame_at(5).unwrap();
         let n = c.frames_decoded;
         c.frame_at(5).unwrap();
@@ -137,7 +208,7 @@ mod tests {
     #[test]
     fn backward_seek_reenters_at_keyframe() {
         let s = stream(12, 4);
-        let mut c = SourceCursor::new(&s);
+        let mut c = SourceCursor::new(&s, "s");
         c.frame_at(10).unwrap();
         let before = c.frames_decoded;
         let f = c.frame_at(2).unwrap();
@@ -148,7 +219,7 @@ mod tests {
     #[test]
     fn forward_jump_across_keyframe_skips_roll() {
         let s = stream(32, 4);
-        let mut c = SourceCursor::new(&s);
+        let mut c = SourceCursor::new(&s, "s");
         c.frame_at(0).unwrap();
         let before = c.frames_decoded;
         // Jump to 30: nearest keyframe is 28 → decode 28, 29, 30 (not 29
@@ -160,7 +231,50 @@ mod tests {
     #[test]
     fn out_of_range_errors() {
         let s = stream(5, 4);
-        let mut c = SourceCursor::new(&s);
-        assert!(c.frame_at(5).is_err());
+        let mut c = SourceCursor::new(&s, "clip-a");
+        let err = c.frame_at(5).unwrap_err();
+        match err {
+            ExecError::MissingFrame { video, .. } => assert_eq!(video, "clip-a"),
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cached_cursors_share_decoded_gops() {
+        let s = stream(12, 4);
+        let cache = GopCache::new(64);
+        let mut a = SourceCursor::new(&s, "s").with_cache(&cache);
+        let mut b = SourceCursor::new(&s, "s").with_cache(&cache);
+        for i in 0..12 {
+            a.frame_at(i).unwrap();
+        }
+        assert_eq!(a.frames_decoded, 12);
+        for i in 0..12 {
+            b.frame_at(i).unwrap();
+        }
+        assert_eq!(b.frames_decoded, 0, "second cursor must hit the cache");
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn cached_and_uncached_frames_agree() {
+        let s = stream(12, 4);
+        let cache = GopCache::new(64);
+        let mut cached = SourceCursor::new(&s, "s").with_cache(&cache);
+        let mut plain = SourceCursor::new(&s, "s");
+        for i in [6u64, 2, 11, 0, 7] {
+            assert_eq!(*cached.frame_at(i).unwrap(), *plain.frame_at(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn disabled_cache_is_ignored() {
+        let s = stream(8, 4);
+        let cache = GopCache::new(0);
+        let mut c = SourceCursor::new(&s, "s").with_cache(&cache);
+        c.frame_at(3).unwrap();
+        assert_eq!(cache.hits() + cache.misses(), 0);
+        assert_eq!(c.frames_decoded, 4, "falls back to sequential rolling");
     }
 }

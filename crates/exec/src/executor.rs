@@ -10,12 +10,15 @@
 use crate::apply::apply_program;
 use crate::catalog::Catalog;
 use crate::cursor::SourceCursor;
+use crate::gop_cache::GopCache;
 use crate::ExecError;
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use v2v_codec::{Encoder, Packet};
 use v2v_container::{StreamWriter, VideoStream};
-use v2v_frame::ops::conform;
+use v2v_frame::ops::{conform, conform_shared};
+use v2v_frame::Frame;
 use v2v_plan::{PhysicalPlan, SegPlan, Segment};
 use v2v_time::Rational;
 
@@ -25,11 +28,24 @@ pub struct ExecOptions {
     /// Evaluate segments in parallel (the runtime half of the paper's
     /// optimization story). Disable for the ablation benches.
     pub parallel: bool,
+    /// Capacity of the shared decoded-GOP cache, in frames. Segments
+    /// reading the same source ranges (grid cells, splice neighbours)
+    /// decode each GOP once and share it. `0` disables the cache.
+    ///
+    /// The default must comfortably hold several *whole* GOPs or LRU
+    /// eviction defeats reuse: a movie-style 10 s GOP at 24 fps is 240
+    /// frames, and a 2×2 grid keeps four of those in flight plus one
+    /// incoming, so anything under ~1700 thrashes on such sources (the default leaves
+    /// headroom above that working set).
+    pub gop_cache_frames: usize,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { parallel: true }
+        ExecOptions {
+            parallel: true,
+            gop_cache_frames: 4096,
+        }
     }
 }
 
@@ -46,6 +62,10 @@ pub struct ExecStats {
     pub bytes_copied: u64,
     /// Segments executed.
     pub segments: u64,
+    /// GOP lookups served from the shared decoded-GOP cache.
+    pub gop_cache_hits: u64,
+    /// GOP lookups that had to decode.
+    pub gop_cache_misses: u64,
 }
 
 impl ExecStats {
@@ -55,6 +75,8 @@ impl ExecStats {
         self.packets_copied += other.packets_copied;
         self.bytes_copied += other.bytes_copied;
         self.segments += other.segments;
+        self.gop_cache_hits += other.gop_cache_hits;
+        self.gop_cache_misses += other.gop_cache_misses;
         self
     }
 }
@@ -68,8 +90,9 @@ pub fn execute(
     opts: &ExecOptions,
 ) -> Result<(VideoStream, ExecStats, Duration), ExecError> {
     let started = Instant::now();
+    let cache = GopCache::new(opts.gop_cache_frames);
     let run = |seg: &Segment| -> Result<(Vec<Packet>, ExecStats), ExecError> {
-        execute_segment_packets(plan, seg, catalog)
+        execute_segment_packets(plan, seg, catalog, Some(&cache))
     };
     let results: Vec<Result<(Vec<Packet>, ExecStats), ExecError>> = if opts.parallel {
         plan.segments.par_iter().map(run).collect()
@@ -84,6 +107,10 @@ pub fn execute(
         writer.push_copied(&packets)?;
         stats = stats.merge(seg_stats);
     }
+    // Cache traffic is accounted once per run (the cache is shared, not
+    // per-segment).
+    stats.gop_cache_hits = cache.hits();
+    stats.gop_cache_misses = cache.misses();
     let out = writer.finish()?;
     Ok((out, stats, started.elapsed()))
 }
@@ -94,6 +121,7 @@ pub(crate) fn execute_segment_packets(
     plan: &PhysicalPlan,
     seg: &Segment,
     catalog: &Catalog,
+    cache: Option<&GopCache>,
 ) -> Result<(Vec<Packet>, ExecStats), ExecError> {
     let mut stats = ExecStats {
         segments: 1,
@@ -108,50 +136,50 @@ pub(crate) fn execute_segment_packets(
             let stream = catalog
                 .video(video)
                 .ok_or_else(|| ExecError::UnknownVideo(video.clone()))?;
-            let packets = stream.copy_packet_range(
-                *src_from as usize,
-                *src_to as usize,
-                Rational::ZERO,
-            )?;
+            let packets =
+                stream.copy_packet_range(*src_from as usize, *src_to as usize, Rational::ZERO)?;
             stats.packets_copied = packets.len() as u64;
             stats.bytes_copied = packets.iter().map(|p| p.size() as u64).sum();
             Ok((packets, stats))
         }
         SegPlan::Render { program, inputs } => {
-            // One forward cursor per input slot.
+            // One forward cursor per input slot, each carrying its
+            // stream's catalog identity and (optionally) the shared GOP
+            // cache.
             let mut cursors: Vec<(SourceCursor<'_>, &v2v_plan::InputClip)> = inputs
                 .iter()
                 .map(|clip| {
                     catalog
                         .video(&clip.video)
-                        .map(|s| (SourceCursor::new(s), clip))
+                        .map(|s| {
+                            let mut cursor = SourceCursor::new(s, clip.video.clone());
+                            if let Some(cache) = cache {
+                                cursor = cursor.with_cache(cache);
+                            }
+                            (cursor, clip)
+                        })
                         .ok_or_else(|| ExecError::UnknownVideo(clip.video.clone()))
                 })
                 .collect::<Result<_, _>>()?;
             let mut encoder = Encoder::new(plan.out_params);
             let out_ty = plan.out_params.frame_ty;
             let mut packets = Vec::with_capacity(seg.count as usize);
-            let mut frames = Vec::with_capacity(inputs.len());
+            let mut frames: Vec<Arc<Frame>> = Vec::with_capacity(inputs.len());
             for i in 0..seg.count {
                 let t = plan.instant_of(seg.out_start + i);
                 frames.clear();
                 for (cursor, clip) in &mut cursors {
                     let src_t = clip.time.apply(t);
-                    let stream = catalog.video(&clip.video).expect("resolved above");
-                    let idx = stream.index_of(src_t).ok_or_else(|| {
-                        ExecError::MissingFrame {
-                            video: clip.video.clone(),
-                            at: src_t,
-                        }
-                    })?;
-                    let frame = cursor.frame_at(idx as u64).map_err(|e| match e {
-                        ExecError::MissingFrame { at, .. } => ExecError::MissingFrame {
-                            video: clip.video.clone(),
-                            at,
-                        },
-                        other => other,
-                    })?;
-                    frames.push(conform(&frame, out_ty));
+                    let idx =
+                        cursor
+                            .stream()
+                            .index_of(src_t)
+                            .ok_or_else(|| ExecError::MissingFrame {
+                                video: clip.video.clone(),
+                                at: src_t,
+                            })?;
+                    let frame = cursor.frame_at(idx as u64)?;
+                    frames.push(conform_shared(&frame, out_ty));
                 }
                 let out = apply_program(program, t, &frames, catalog.arrays(), catalog)?;
                 let out = conform(&out, out_ty);
@@ -313,6 +341,57 @@ mod tests {
     }
 
     #[test]
+    fn grid_query_shares_gops_through_cache() {
+        // A 2×2 grid of four time-shifted views of one source: the four
+        // cursors read overlapping GOPs, so all but the first lookup of
+        // each GOP must come from the shared cache.
+        use v2v_spec::builder::grid4;
+        use v2v_spec::RenderExpr;
+        let mut catalog = Catalog::new();
+        catalog.add_video("a", marked_stream(120, 30));
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_with(r(1, 1), |_| {
+                grid4(
+                    RenderExpr::video("a"),
+                    RenderExpr::video_shifted("a", r(1, 30)),
+                    RenderExpr::video_shifted("a", r(2, 30)),
+                    RenderExpr::video_shifted("a", r(3, 30)),
+                )
+            })
+            .build();
+        let logical = lower_spec(&spec).unwrap();
+        let phys = optimize(
+            &logical,
+            &catalog.plan_context(),
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        let (out, stats, _) = execute(&phys, &catalog, &ExecOptions::default()).unwrap();
+        assert_eq!(out.len(), 30);
+        assert!(
+            stats.gop_cache_hits > 0,
+            "grid inputs must share decoded GOPs: {stats:?}"
+        );
+
+        // Disabling the cache must not change the output.
+        let (out_nc, stats_nc, _) = execute(
+            &phys,
+            &catalog,
+            &ExecOptions {
+                gop_cache_frames: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(stats_nc.gop_cache_hits, 0);
+        assert_eq!(stats_nc.gop_cache_misses, 0);
+        let (fa, _) = out.decode_range(0, out.len()).unwrap();
+        let (fb, _) = out_nc.decode_range(0, out_nc.len()).unwrap();
+        assert_eq!(fa, fb, "cache on/off must be byte-identical");
+    }
+
+    #[test]
     fn serial_and_parallel_agree() {
         let mut catalog = Catalog::new();
         catalog.add_video("a", marked_stream(150, 30));
@@ -327,10 +406,24 @@ mod tests {
             &OptimizerConfig::default(),
         )
         .unwrap();
-        let (par, _, _) =
-            execute(&phys, &catalog, &ExecOptions { parallel: true }).unwrap();
-        let (ser, _, _) =
-            execute(&phys, &catalog, &ExecOptions { parallel: false }).unwrap();
+        let (par, _, _) = execute(
+            &phys,
+            &catalog,
+            &ExecOptions {
+                parallel: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (ser, _, _) = execute(
+            &phys,
+            &catalog,
+            &ExecOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let (fa, _) = par.decode_range(0, par.len()).unwrap();
         let (fb, _) = ser.decode_range(0, ser.len()).unwrap();
         assert_eq!(fa, fb);

@@ -1,0 +1,199 @@
+//! A shared cache of decoded GOPs.
+//!
+//! Grid and splice plans read the *same* source ranges from several
+//! render segments: a 2×2 grid decodes each input once per cell, and
+//! parallel segments of one clip re-roll the boundary GOPs. The cache
+//! memoizes whole decoded GOPs behind [`Arc`], keyed by
+//! `(video, keyframe index)`, so concurrent [`SourceCursor`]s decode each
+//! GOP once and share the frames without copying.
+//!
+//! [`SourceCursor`]: crate::SourceCursor
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use v2v_frame::Frame;
+
+/// One decoded GOP: frames in presentation order starting at the
+/// keyframe, each shared.
+pub type GopFrames = Arc<Vec<Arc<Frame>>>;
+
+struct Entry {
+    frames: GopFrames,
+    /// Last-touch stamp for LRU eviction.
+    stamp: u64,
+}
+
+struct Inner {
+    map: HashMap<(String, u64), Entry>,
+    total_frames: usize,
+    next_stamp: u64,
+}
+
+/// A thread-safe LRU cache of decoded GOPs, bounded by total frame count.
+///
+/// A capacity of `0` disables the cache (cursors fall back to private
+/// sequential decoding).
+pub struct GopCache {
+    inner: Mutex<Inner>,
+    capacity_frames: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for GopCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GopCache")
+            .field("capacity_frames", &self.capacity_frames)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl GopCache {
+    /// A cache holding at most `capacity_frames` decoded frames.
+    pub fn new(capacity_frames: usize) -> GopCache {
+        GopCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                total_frames: 0,
+                next_stamp: 0,
+            }),
+            capacity_frames,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the cache can hold anything at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity_frames > 0
+    }
+
+    /// Looks up the GOP starting at keyframe index `gop` of `video`,
+    /// refreshing its LRU stamp. Counts a hit or miss.
+    pub fn get(&self, video: &str, gop: u64) -> Option<GopFrames> {
+        let mut inner = self.inner.lock().expect("gop cache poisoned");
+        inner.next_stamp += 1;
+        let stamp = inner.next_stamp;
+        match inner.map.get_mut(&(video.to_owned(), gop)) {
+            Some(e) => {
+                e.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.frames.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a decoded GOP, evicting least-recently-used entries while
+    /// the total frame count exceeds capacity (the new entry itself is
+    /// never evicted by its own insertion).
+    pub fn insert(&self, video: &str, gop: u64, frames: GopFrames) {
+        let mut inner = self.inner.lock().expect("gop cache poisoned");
+        inner.next_stamp += 1;
+        let stamp = inner.next_stamp;
+        let key = (video.to_owned(), gop);
+        let added = frames.len();
+        if let Some(old) = inner.map.insert(key.clone(), Entry { frames, stamp }) {
+            inner.total_frames -= old.frames.len();
+        }
+        inner.total_frames += added;
+        while inner.total_frames > self.capacity_frames && inner.map.len() > 1 {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+                .expect("more than one entry");
+            let evicted = inner.map.remove(&victim).expect("victim present");
+            inner.total_frames -= evicted.frames.len();
+        }
+    }
+
+    /// GOP lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// GOP lookups that required a decode.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Decoded frames currently held.
+    pub fn frames_held(&self) -> usize {
+        self.inner.lock().expect("gop cache poisoned").total_frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_frame::FrameType;
+
+    fn gop(n: usize) -> GopFrames {
+        Arc::new(
+            (0..n)
+                .map(|_| Arc::new(Frame::black(FrameType::gray8(8, 8))))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let c = GopCache::new(100);
+        assert!(c.get("a", 0).is_none());
+        c.insert("a", 0, gop(4));
+        assert!(c.get("a", 0).is_some());
+        assert!(c.get("a", 4).is_none());
+        assert!(c.get("b", 0).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 3);
+    }
+
+    #[test]
+    fn lru_eviction_bounded_by_frames() {
+        let c = GopCache::new(10);
+        c.insert("v", 0, gop(4));
+        c.insert("v", 4, gop(4));
+        c.insert("v", 8, gop(4)); // 12 frames > 10 → evict LRU ("v", 0)
+        assert!(c.frames_held() <= 10);
+        assert!(c.get("v", 0).is_none(), "oldest GOP must be evicted");
+        assert!(c.get("v", 8).is_some());
+    }
+
+    #[test]
+    fn touch_refreshes_lru_order() {
+        let c = GopCache::new(10);
+        c.insert("v", 0, gop(4));
+        c.insert("v", 4, gop(4));
+        assert!(c.get("v", 0).is_some()); // refresh GOP 0
+        c.insert("v", 8, gop(4)); // now GOP 4 is the LRU victim
+        assert!(c.get("v", 0).is_some());
+        assert!(c.get("v", 4).is_none());
+    }
+
+    #[test]
+    fn oversized_gop_still_usable() {
+        // A single GOP larger than capacity is kept (the cursor needs it)
+        // but evicted as soon as a second entry lands.
+        let c = GopCache::new(2);
+        c.insert("v", 0, gop(5));
+        assert!(c.get("v", 0).is_some());
+        c.insert("v", 5, gop(5));
+        assert!(c.get("v", 0).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let c = GopCache::new(0);
+        assert!(!c.enabled());
+        assert!(GopCache::new(1).enabled());
+    }
+}

@@ -22,12 +22,15 @@ pub mod apply;
 pub mod catalog;
 pub mod cursor;
 pub mod executor;
+pub mod gop_cache;
 pub mod naive;
 pub mod streaming;
 
 pub use apply::{apply_program, UdfKernel};
 pub use catalog::Catalog;
+pub use cursor::SourceCursor;
 pub use executor::{execute, ExecOptions, ExecStats};
+pub use gop_cache::{GopCache, GopFrames};
 pub use naive::execute_naive;
 pub use streaming::{execute_streaming, StreamingStats};
 

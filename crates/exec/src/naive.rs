@@ -65,7 +65,7 @@ fn materialize(
             let stream = catalog
                 .video(video)
                 .ok_or_else(|| ExecError::UnknownVideo(video.clone()))?;
-            let mut cursor = SourceCursor::new(stream);
+            let mut cursor = SourceCursor::new(stream, video.clone());
             let mut w = StreamWriter::new(out_params, Rational::ZERO, plan.frame_dur);
             for i in 0..seg.count {
                 let t = plan.instant_of(seg.out_start + i);
@@ -90,8 +90,10 @@ fn materialize(
                 .iter()
                 .map(|n| materialize(plan, seg, n, catalog, out_params, stats))
                 .collect::<Result<_, _>>()?;
-            let mut cursors: Vec<SourceCursor<'_>> =
-                materialized.iter().map(SourceCursor::new).collect();
+            let mut cursors: Vec<SourceCursor<'_>> = materialized
+                .iter()
+                .map(|s| SourceCursor::new(s, "intermediate"))
+                .collect();
             let mut w = StreamWriter::new(out_params, Rational::ZERO, plan.frame_dur);
             let mut frames = Vec::with_capacity(cursors.len());
             for i in 0..seg.count {

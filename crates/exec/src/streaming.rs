@@ -16,7 +16,8 @@
 //! interactive claim is quantified in the benches.
 
 use crate::catalog::Catalog;
-use crate::executor::{execute_segment_packets, ExecStats};
+use crate::executor::{execute_segment_packets, ExecOptions, ExecStats};
+use crate::gop_cache::GopCache;
 use crate::ExecError;
 use crossbeam::channel;
 use std::time::{Duration, Instant};
@@ -49,51 +50,59 @@ pub fn execute_streaming(
 ) -> Result<(VideoStream, StreamingStats), ExecError> {
     let started = Instant::now();
     let n = plan.segments.len();
+    let cache = GopCache::new(ExecOptions::default().gop_cache_frames);
     let (tx, rx) = channel::unbounded::<(usize, Result<(Vec<Packet>, ExecStats), ExecError>)>();
 
     // Fan the segments out to the rayon pool; the driver closure runs in
     // place on this thread (so the non-Send sink is fine) and delivers
     // results in order as they arrive.
-    rayon::in_place_scope(|scope| -> Result<(VideoStream, StreamingStats), ExecError> {
-        for (i, seg) in plan.segments.iter().enumerate() {
-            let tx = tx.clone();
-            scope.spawn(move |_| {
-                let result = execute_segment_packets(plan, seg, catalog);
-                // Receiver outlives the scope; a send failure only means
-                // the driver already bailed on an earlier error.
-                let _ = tx.send((i, result));
-            });
-        }
-        drop(tx);
-
-        let mut pending: Vec<Option<(Vec<Packet>, ExecStats)>> = (0..n).map(|_| None).collect();
-        let mut next = 0usize;
-        let mut writer = StreamWriter::new(plan.out_params, Rational::ZERO, plan.frame_dur);
-        let mut stats = StreamingStats::default();
-        let mut first_sent = false;
-        while next < n {
-            let (i, result) = rx.recv().expect("workers outlive the channel");
-            pending[i] = Some(result?);
-            while next < n {
-                let Some((packets, seg_stats)) = pending[next].take() else {
-                    break;
-                };
-                for p in &packets {
-                    if !first_sent {
-                        stats.time_to_first_packet = started.elapsed();
-                        first_sent = true;
-                    }
-                    sink(p);
-                }
-                writer.push_copied(&packets)?;
-                merge(&mut stats.exec, seg_stats);
-                next += 1;
+    rayon::in_place_scope(
+        |scope| -> Result<(VideoStream, StreamingStats), ExecError> {
+            for (i, seg) in plan.segments.iter().enumerate() {
+                let tx = tx.clone();
+                let cache = &cache;
+                scope.spawn(move |_| {
+                    let result = execute_segment_packets(plan, seg, catalog, Some(cache));
+                    // Receiver outlives the scope; a send failure only means
+                    // the driver already bailed on an earlier error.
+                    let _ = tx.send((i, result));
+                });
             }
-        }
-        let out = writer.finish()?;
-        stats.total = started.elapsed();
-        Ok((out, stats))
-    })
+            drop(tx);
+
+            let mut pending: Vec<Option<(Vec<Packet>, ExecStats)>> = (0..n).map(|_| None).collect();
+            let mut next = 0usize;
+            let mut writer = StreamWriter::new(plan.out_params, Rational::ZERO, plan.frame_dur);
+            let mut stats = StreamingStats::default();
+            let mut first_sent = false;
+            while next < n {
+                let (i, result) = rx.recv().expect("workers outlive the channel");
+                pending[i] = Some(result?);
+                while next < n {
+                    let Some((packets, seg_stats)) = pending[next].take() else {
+                        break;
+                    };
+                    for p in &packets {
+                        if !first_sent {
+                            stats.time_to_first_packet = started.elapsed();
+                            first_sent = true;
+                        }
+                        sink(p);
+                    }
+                    writer.push_copied(&packets)?;
+                    merge(&mut stats.exec, seg_stats);
+                    next += 1;
+                }
+            }
+            let out = writer.finish()?;
+            // Cache traffic is accounted once per run (the cache is shared,
+            // not per-segment).
+            stats.exec.gop_cache_hits = cache.hits();
+            stats.exec.gop_cache_misses = cache.misses();
+            stats.total = started.elapsed();
+            Ok((out, stats))
+        },
+    )
 }
 
 fn merge(into: &mut ExecStats, other: ExecStats) {
@@ -155,8 +164,7 @@ mod tests {
         )
         .unwrap();
         let mut sink_count = 0usize;
-        let (streamed, stats) =
-            execute_streaming(&plan, &catalog, |_| sink_count += 1).unwrap();
+        let (streamed, stats) = execute_streaming(&plan, &catalog, |_| sink_count += 1).unwrap();
         let (batch, _, _) = execute(&plan, &catalog, &ExecOptions::default()).unwrap();
         assert_eq!(sink_count, streamed.len());
         assert_eq!(streamed.len(), batch.len());

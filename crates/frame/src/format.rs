@@ -148,7 +148,11 @@ impl FrameType {
 
 impl fmt::Display for FrameType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{} {} {:?}", self.width, self.height, self.format, self.color)
+        write!(
+            f,
+            "{}x{} {} {:?}",
+            self.width, self.height, self.format, self.color
+        )
     }
 }
 

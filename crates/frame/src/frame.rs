@@ -119,6 +119,22 @@ impl Plane {
         &mut self.data[y * self.width..(y + 1) * self.width]
     }
 
+    /// Row `y - 1` immutably together with row `y` mutably — the access
+    /// pattern of closed-loop DPCM passes that predict each row from the
+    /// previous reconstructed row.
+    ///
+    /// # Panics
+    /// Panics when `y == 0` or `y >= height`.
+    #[inline]
+    pub fn row_pair_mut(&mut self, y: usize) -> (&[u8], &mut [u8]) {
+        assert!(
+            y > 0 && y < self.height,
+            "row_pair_mut needs 0 < y < height"
+        );
+        let (above, below) = self.data.split_at_mut(y * self.width);
+        (&above[(y - 1) * self.width..], &mut below[..self.width])
+    }
+
     /// Bilinear sample at fractional coordinates (in sample units).
     pub fn sample_bilinear(&self, fx: f32, fy: f32) -> u8 {
         let x0 = fx.floor() as isize;

@@ -36,7 +36,11 @@ pub fn embed(frame: &mut Frame, value: u32) {
         frame.width() >= MIN_WIDTH && frame.height() >= MIN_HEIGHT,
         "frame too small for a marker: need {MIN_WIDTH}x{MIN_HEIGHT}"
     );
-    let rgb_unit = if frame.ty().format == PixelFormat::Rgb24 { 3 } else { 1 };
+    let rgb_unit = if frame.ty().format == PixelFormat::Rgb24 {
+        3
+    } else {
+        1
+    };
     let is_yuv = frame.ty().format == PixelFormat::Yuv420p;
     for bit in 0..32 {
         let set = value & (1 << (31 - bit)) != 0;
@@ -75,7 +79,11 @@ pub fn read(frame: &Frame) -> Option<u32> {
     if frame.width() < MIN_WIDTH || frame.height() < MIN_HEIGHT {
         return None;
     }
-    let rgb_unit = if frame.ty().format == PixelFormat::Rgb24 { 3 } else { 1 };
+    let rgb_unit = if frame.ty().format == PixelFormat::Rgb24 {
+        3
+    } else {
+        1
+    };
     let mut value = 0u32;
     let mut ambiguous = 0;
     for bit in 0..32 {

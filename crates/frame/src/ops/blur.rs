@@ -47,8 +47,8 @@ fn convolve_separable(plane: &Plane, format: PixelFormat, idx: usize, kernel: &[
             for c in 0..ch {
                 let mut acc = 0f32;
                 for (ki, kv) in kernel.iter().enumerate() {
-                    let sx = (x as isize + ki as isize - radius as isize)
-                        .clamp(0, pw as isize - 1) as usize;
+                    let sx = (x as isize + ki as isize - radius as isize).clamp(0, pw as isize - 1)
+                        as usize;
                     acc += f32::from(row[sx * ch + c]) * kv;
                 }
                 tmp[y * plane.width() + x * ch + c] = acc;
@@ -62,8 +62,8 @@ fn convolve_separable(plane: &Plane, format: PixelFormat, idx: usize, kernel: &[
             for c in 0..ch {
                 let mut acc = 0f32;
                 for (ki, kv) in kernel.iter().enumerate() {
-                    let sy = (y as isize + ki as isize - radius as isize)
-                        .clamp(0, h as isize - 1) as usize;
+                    let sy = (y as isize + ki as isize - radius as isize).clamp(0, h as isize - 1)
+                        as usize;
                     acc += tmp[sy * plane.width() + x * ch + c] * kv;
                 }
                 out.row_mut(y)[x * ch + c] = acc.round().clamp(0.0, 255.0) as u8;

@@ -23,7 +23,12 @@ pub fn grid(inputs: &[Frame], layout: GridLayout, out_ty: FrameType) -> Frame {
         let col = (i as u32) % layout.cols;
         let row = (i as u32) / layout.cols;
         let cell = conform(input, cell_ty);
-        blit(&mut out, &cell, (col * cell_w) as usize, (row * cell_h) as usize);
+        blit(
+            &mut out,
+            &cell,
+            (col * cell_w) as usize,
+            (row * cell_h) as usize,
+        );
     }
     out
 }
@@ -51,11 +56,7 @@ pub fn blit(dst: &mut Frame, src: &Frame, x: usize, y: usize) {
         };
         let src_p = src.plane(pi).clone();
         let dst_p = dst.plane_mut(pi);
-        let copy_w = src_p
-            .width()
-            .min(dst_p.width().saturating_sub(px * unit))
-            / unit
-            * unit;
+        let copy_w = src_p.width().min(dst_p.width().saturating_sub(px * unit)) / unit * unit;
         let src_px_w = src_p.width();
         for row in 0..src_p.height() {
             let dy = py + row;
@@ -130,7 +131,13 @@ pub fn overlay(base: &Frame, image: &Frame, x: usize, y: usize, alpha: u8) -> Fr
 
 /// Scales `inset` to `scale` (a fraction of the base width) and overlays
 /// it at a normalized position — a picture-in-picture composite.
-pub fn picture_in_picture(base: &Frame, inset: &Frame, pos_x: f32, pos_y: f32, scale: f32) -> Frame {
+pub fn picture_in_picture(
+    base: &Frame,
+    inset: &Frame,
+    pos_x: f32,
+    pos_y: f32,
+    scale: f32,
+) -> Frame {
     let w = ((base.width() as f32 * scale).max(2.0)) as u32;
     let aspect = inset.height() as f32 / inset.width() as f32;
     let h = ((f32::from(w as u16) * aspect).max(2.0)) as u32;
@@ -155,12 +162,7 @@ mod tests {
     #[test]
     fn quad_grid_places_inputs() {
         let ty = FrameType::gray8(16, 16);
-        let inputs = vec![
-            solid(ty, 10),
-            solid(ty, 20),
-            solid(ty, 30),
-            solid(ty, 40),
-        ];
+        let inputs = vec![solid(ty, 10), solid(ty, 20), solid(ty, 30), solid(ty, 40)];
         let out = grid(&inputs, GridLayout::QUAD, FrameType::gray8(32, 32));
         assert_eq!(out.plane(0).get(4, 4), 10);
         assert_eq!(out.plane(0).get(20, 4), 20);
@@ -171,7 +173,11 @@ mod tests {
     #[test]
     fn grid_with_missing_inputs_leaves_black() {
         let ty = FrameType::gray8(8, 8);
-        let out = grid(&[solid(ty, 200)], GridLayout::QUAD, FrameType::gray8(16, 16));
+        let out = grid(
+            &[solid(ty, 200)],
+            GridLayout::QUAD,
+            FrameType::gray8(16, 16),
+        );
         assert_eq!(out.plane(0).get(2, 2), 200);
         assert_eq!(out.plane(0).get(12, 12), 0);
     }
@@ -187,11 +193,7 @@ mod tests {
     #[test]
     fn grid_yuv_conforms_format() {
         let input = solid(FrameType::gray8(8, 8), 50);
-        let out = grid(
-            &[input],
-            GridLayout::QUAD,
-            FrameType::yuv420p(16, 16),
-        );
+        let out = grid(&[input], GridLayout::QUAD, FrameType::yuv420p(16, 16));
         assert_eq!(out.ty().format, PixelFormat::Yuv420p);
         assert_eq!(out.plane(0).get(2, 2), 50);
     }

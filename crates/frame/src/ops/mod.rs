@@ -20,7 +20,7 @@ pub use background::replace_background;
 pub use blur::{box_blur, edge_detect, gaussian_blur, median_denoise, sharpen};
 pub use color::{brightness_contrast, color_grade, grayscale, invert};
 pub use compose::{grid, overlay, picture_in_picture};
-pub use scale::{conform, crop, resize_bilinear, zoom, zoom_at};
+pub use scale::{conform, conform_shared, crop, resize_bilinear, zoom, zoom_at};
 pub use stabilize::stabilize_crop;
 pub use transition::{crossfade, fade_to_black};
 

@@ -11,9 +11,7 @@ pub fn resize_bilinear(src: &Frame, out_w: u32, out_h: u32) -> Frame {
     let ty = src.ty().with_size(out_w, out_h);
     let mut planes = Vec::with_capacity(src.planes().len());
     for (i, p) in src.planes().iter().enumerate() {
-        let (pw, ph) = ty
-            .format
-            .plane_dims(i, out_w as usize, out_h as usize);
+        let (pw, ph) = ty.format.plane_dims(i, out_w as usize, out_h as usize);
         // RGB planes interleave 3 samples per pixel; resample per channel.
         if src.ty().format == PixelFormat::Rgb24 {
             let mut out = Plane::new(pw, ph);
@@ -137,6 +135,9 @@ pub fn zoom_at(src: &Frame, factor: f64, center_x: f32, center_y: f32) -> Frame 
 
 /// Scales a frame to fit a target type, converting format if needed.
 pub fn conform(src: &Frame, target: FrameType) -> Frame {
+    if src.ty() == target {
+        return src.clone();
+    }
     let mut f = src.clone();
     if (f.width(), f.height()) != (target.width as usize, target.height as usize) {
         f = resize_bilinear(&f, target.width, target.height);
@@ -149,6 +150,17 @@ pub fn conform(src: &Frame, target: FrameType) -> Frame {
             Frame::from_planes(target, vec![yuv.plane(0).clone()])
                 .expect("luma plane matches gray type")
         }
+    }
+}
+
+/// [`conform`] over shared frames: when `src` already has the target
+/// type the `Arc` is cloned (a refcount bump, no raster copy); otherwise
+/// the converted frame is wrapped in a fresh `Arc`.
+pub fn conform_shared(src: &std::sync::Arc<Frame>, target: FrameType) -> std::sync::Arc<Frame> {
+    if src.ty() == target {
+        src.clone()
+    } else {
+        std::sync::Arc::new(conform(src, target))
     }
 }
 

@@ -1,0 +1,129 @@
+//! Frame-buffer pooling: a thread-safe freelist of plane buffers.
+//!
+//! Decoding and encoding allocate one full set of plane buffers per
+//! frame; in a steady-state render segment those buffers all have the
+//! same [`FrameType`], so a freelist turns the per-frame allocation into
+//! a pop/push pair. The pool is keyed by frame type and shared by
+//! cloning (all clones drain and refill the same freelist).
+
+use crate::format::FrameType;
+use crate::frame::Frame;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Per-type cap on retained frames: enough for a decode/encode pipeline
+/// plus a few in flight, without letting a burst pin memory forever.
+const MAX_PER_TYPE: usize = 32;
+
+/// A thread-safe freelist of [`Frame`] buffers keyed by [`FrameType`].
+///
+/// [`FramePool::acquire`] returns a frame with the right plane layout
+/// but *unspecified contents* — callers must overwrite every sample
+/// (codec kernels do). [`FramePool::release`] returns a frame's buffers
+/// to the freelist for reuse.
+#[derive(Clone, Debug, Default)]
+pub struct FramePool {
+    inner: Arc<Mutex<HashMap<FrameType, Vec<Frame>>>>,
+}
+
+impl FramePool {
+    /// An empty pool.
+    pub fn new() -> FramePool {
+        FramePool::default()
+    }
+
+    /// A frame of type `ty` with unspecified contents: recycled from the
+    /// freelist when possible, freshly allocated otherwise.
+    pub fn acquire(&self, ty: FrameType) -> Frame {
+        let recycled = self
+            .inner
+            .lock()
+            .expect("frame pool lock")
+            .get_mut(&ty)
+            .and_then(Vec::pop);
+        recycled.unwrap_or_else(|| Frame::black(ty))
+    }
+
+    /// Returns `frame`'s buffers to the freelist.
+    pub fn release(&self, frame: Frame) {
+        let mut pools = self.inner.lock().expect("frame pool lock");
+        let list = pools.entry(frame.ty()).or_default();
+        if list.len() < MAX_PER_TYPE {
+            list.push(frame);
+        }
+    }
+
+    /// Returns a shared frame's buffers to the freelist if this is the
+    /// last reference; does nothing when the frame is still shared.
+    pub fn release_shared(&self, frame: Arc<Frame>) {
+        if let Some(f) = Arc::into_inner(frame) {
+            self.release(f);
+        }
+    }
+
+    /// Frames currently held in the freelist (all types).
+    pub fn pooled(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("frame pool lock")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_recycles_released_buffers() {
+        let pool = FramePool::new();
+        let ty = FrameType::yuv420p(32, 16);
+        let f = pool.acquire(ty);
+        assert_eq!(f.ty(), ty);
+        pool.release(f);
+        assert_eq!(pool.pooled(), 1);
+        let g = pool.acquire(ty);
+        assert_eq!(g.ty(), ty);
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn types_do_not_mix() {
+        let pool = FramePool::new();
+        pool.release(Frame::black(FrameType::gray8(8, 8)));
+        let f = pool.acquire(FrameType::gray8(16, 16));
+        assert_eq!(f.ty(), FrameType::gray8(16, 16));
+        assert_eq!(pool.pooled(), 1, "the 8x8 frame stays pooled");
+    }
+
+    #[test]
+    fn shared_release_requires_last_reference() {
+        let pool = FramePool::new();
+        let f = Arc::new(Frame::black(FrameType::gray8(8, 8)));
+        let extra = f.clone();
+        pool.release_shared(f);
+        assert_eq!(pool.pooled(), 0, "still shared: not pooled");
+        pool.release_shared(extra);
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_freelist() {
+        let pool = FramePool::new();
+        let clone = pool.clone();
+        clone.release(Frame::black(FrameType::gray8(4, 4)));
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn freelist_is_bounded() {
+        let pool = FramePool::new();
+        let ty = FrameType::gray8(2, 2);
+        for _ in 0..(MAX_PER_TYPE + 10) {
+            pool.release(Frame::black(ty));
+        }
+        assert_eq!(pool.pooled(), MAX_PER_TYPE);
+    }
+}

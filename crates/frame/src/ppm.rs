@@ -23,10 +23,7 @@ pub fn write_ppm(frame: &Frame, path: impl AsRef<Path>) -> std::io::Result<()> {
 
 /// Reads a binary PPM (P6) into an RGB frame.
 pub fn read_ppm(path: impl AsRef<Path>) -> Result<Frame, FrameError> {
-    let file = std::fs::File::open(path).map_err(|_| FrameError::BufferSize {
-        got: 0,
-        want: 0,
-    })?;
+    let file = std::fs::File::open(path).map_err(|_| FrameError::BufferSize { got: 0, want: 0 })?;
     let mut reader = std::io::BufReader::new(file);
     // Read three whitespace-separated tokens after the magic, skipping
     // comment lines.
@@ -46,14 +43,12 @@ pub fn read_ppm(path: impl AsRef<Path>) -> Result<Frame, FrameError> {
     if tokens[0] != "P6" {
         return Err(FrameError::BufferSize { got: 0, want: 0 });
     }
-    let w: usize = tokens[1].parse().map_err(|_| FrameError::BufferSize {
-        got: 0,
-        want: 0,
-    })?;
-    let h: usize = tokens[2].parse().map_err(|_| FrameError::BufferSize {
-        got: 0,
-        want: 0,
-    })?;
+    let w: usize = tokens[1]
+        .parse()
+        .map_err(|_| FrameError::BufferSize { got: 0, want: 0 })?;
+    let h: usize = tokens[2]
+        .parse()
+        .map_err(|_| FrameError::BufferSize { got: 0, want: 0 })?;
     let mut data = vec![0u8; w * h * 3];
     std::io::Read::read_exact(&mut reader, &mut data).map_err(|_| FrameError::BufferSize {
         got: 0,

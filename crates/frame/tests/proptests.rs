@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use v2v_frame::ops::{
-    brightness_contrast, box_blur, crossfade, crop, draw_bounding_boxes, edge_detect,
+    box_blur, brightness_contrast, crop, crossfade, draw_bounding_boxes, edge_detect,
     fade_to_black, gaussian_blur, grayscale, grid, invert, median_denoise, resize_bilinear,
     sharpen, zoom, GridLayout,
 };
@@ -40,9 +40,8 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
 
 fn boxes_strategy() -> impl Strategy<Value = Vec<BoxCoord>> {
     prop::collection::vec(
-        (0.0f32..0.8, 0.0f32..0.8, 0.01f32..0.2, 0.01f32..0.2).prop_map(|(x, y, w, h)| {
-            BoxCoord::new(x, y, w, h, "obj")
-        }),
+        (0.0f32..0.8, 0.0f32..0.8, 0.01f32..0.2, 0.01f32..0.2)
+            .prop_map(|(x, y, w, h)| BoxCoord::new(x, y, w, h, "obj")),
         0..4,
     )
 }

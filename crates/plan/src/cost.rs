@@ -105,8 +105,7 @@ pub fn estimate(plan: &PhysicalPlan, ctx: &PlanContext, model: &CostModel) -> Co
                     };
                     est.decode += (n + rollin) * pixels * model.decode_per_pixel;
                 }
-                est.transform +=
-                    n * out_pixels * op_count(program) as f64 * model.op_per_pixel;
+                est.transform += n * out_pixels * op_count(program) as f64 * model.op_per_pixel;
                 est.encode += n * out_pixels * model.encode_per_pixel;
             }
         }
@@ -189,19 +188,9 @@ mod tests {
         // Same plan; sparser keyframes → more roll-in decode cost.
         let model = CostModel::default();
         let (logical, dense_ctx) = setup(30);
-        let dense = optimize(
-            &logical,
-            &dense_ctx,
-            &OptimizerConfig::fusion_only(),
-        )
-        .unwrap();
+        let dense = optimize(&logical, &dense_ctx, &OptimizerConfig::fusion_only()).unwrap();
         let (logical2, sparse_ctx) = setup(150);
-        let sparse = optimize(
-            &logical2,
-            &sparse_ctx,
-            &OptimizerConfig::fusion_only(),
-        )
-        .unwrap();
+        let sparse = optimize(&logical2, &sparse_ctx, &OptimizerConfig::fusion_only()).unwrap();
         let d = estimate(&dense, &dense_ctx, &model);
         let s = estimate(&sparse, &sparse_ctx, &model);
         assert!(s.decode > d.decode, "{} vs {}", s.decode, d.decode);

@@ -40,7 +40,10 @@ fn explain_node(out: &mut String, node: &LogicalNode, prefix: &str, last: bool) 
     let branch = if last { "└─" } else { "├─" };
     match node {
         LogicalNode::Clip { video, time } => {
-            let _ = writeln!(out, "{prefix}{branch} Clip {video}[{time}]  (decode→encode)");
+            let _ = writeln!(
+                out,
+                "{prefix}{branch} Clip {video}[{time}]  (decode→encode)"
+            );
         }
         LogicalNode::Filter { program, inputs } => {
             let _ = writeln!(
@@ -109,8 +112,12 @@ pub fn explain_physical(plan: &PhysicalPlan) -> String {
     let _ = writeln!(
         out,
         "  stats: merged={} elided={} smart_cuts={} shards={} rendered={} copied={}",
-        s.merged_filters, s.elided_identities, s.smart_cuts, s.shards,
-        s.frames_rendered, s.frames_copied
+        s.merged_filters,
+        s.elided_identities,
+        s.smart_cuts,
+        s.shards,
+        s.frames_rendered,
+        s.frames_copied
     );
     out
 }
@@ -166,7 +173,10 @@ mod tests {
         let (plan, ctx) = setup();
         let phys = optimize(&plan, &ctx, &OptimizerConfig::default()).unwrap();
         let text = super::explain_physical(&phys);
-        assert!(text.contains("◆ StreamCopy"), "copy marker missing:\n{text}");
+        assert!(
+            text.contains("◆ StreamCopy"),
+            "copy marker missing:\n{text}"
+        );
         assert!(text.contains("Render"));
         assert!(text.contains("stats:"));
     }

@@ -46,7 +46,9 @@ pub use program::{FrameProgram, InputClip, ProgArg};
 #[derive(Debug, Clone, PartialEq, thiserror::Error)]
 pub enum PlanError {
     /// The spec's time domain is not a single uniform range.
-    #[error("time domain must be a single uniform range to define an output stream; got {0} ranges")]
+    #[error(
+        "time domain must be a single uniform range to define an output stream; got {0} ranges"
+    )]
     NonUniformDomain(usize),
     /// Domain step disagrees with the output frame duration.
     #[error("time domain step {domain} does not match output frame duration {output}")]

@@ -79,9 +79,7 @@ impl LogicalPlan {
         fn count(node: &LogicalNode) -> usize {
             match node {
                 LogicalNode::Clip { .. } => 1,
-                LogicalNode::Filter { inputs, .. } => {
-                    1 + inputs.iter().map(count).sum::<usize>()
-                }
+                LogicalNode::Filter { inputs, .. } => 1 + inputs.iter().map(count).sum::<usize>(),
                 LogicalNode::Concat { segments } => {
                     1 + segments.iter().map(|s| count(&s.node)).sum::<usize>()
                 }
@@ -453,7 +451,10 @@ mod tests {
             data_arrays: Default::default(),
             output: output(), // 30 fps
         };
-        assert!(matches!(lower_spec(&spec), Err(PlanError::StepMismatch { .. })));
+        assert!(matches!(
+            lower_spec(&spec),
+            Err(PlanError::StepMismatch { .. })
+        ));
     }
 
     #[test]

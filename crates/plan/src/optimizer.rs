@@ -8,7 +8,6 @@ use crate::PlanError;
 use v2v_codec::CodecParams;
 use v2v_spec::TransformOp;
 
-
 /// Which rewrite opportunities the optimizer may take.
 ///
 /// Clip-into-filter fusion and operator merging are structural to
@@ -78,10 +77,10 @@ pub fn optimize(
 
     // Pass 2: simplify each node (merge filters, elide identities).
     for seg in &mut segments {
-        seg.node = simplify(std::mem::replace(
-            &mut seg.node,
-            LogicalNode::Concat { segments: vec![] },
-        ), &mut stats);
+        seg.node = simplify(
+            std::mem::replace(&mut seg.node, LogicalNode::Concat { segments: vec![] }),
+            &mut stats,
+        );
     }
 
     // Resolve output stream parameters: pure splice plans keep the
@@ -96,7 +95,14 @@ pub fn optimize(
 
     // Pass 4: temporal sharding of long renders.
     if config.shard {
-        phys = shard(phys, plan, ctx, out_params.gop_size as u64, config, &mut stats);
+        phys = shard(
+            phys,
+            plan,
+            ctx,
+            out_params.gop_size as u64,
+            config,
+            &mut stats,
+        );
     }
 
     for s in &phys {
@@ -149,8 +155,7 @@ fn simplify(node: LogicalNode, stats: &mut PlanStats) -> LogicalNode {
                 .collect(),
         },
         LogicalNode::Filter { program, inputs } => {
-            let inputs: Vec<LogicalNode> =
-                inputs.into_iter().map(|n| simplify(n, stats)).collect();
+            let inputs: Vec<LogicalNode> = inputs.into_iter().map(|n| simplify(n, stats)).collect();
             // Identity elision.
             let program = elide_identity_ops(program, stats);
             if program.is_identity_of_input() && inputs.len() == 1 {
@@ -554,7 +559,11 @@ mod tests {
         assert_eq!(phys.segments.len(), 1);
         assert!(matches!(
             phys.segments[0].plan,
-            SegPlan::StreamCopy { src_from: 30, src_to: 90, .. }
+            SegPlan::StreamCopy {
+                src_from: 30,
+                src_to: 90,
+                ..
+            }
         ));
         assert_eq!(phys.stats.frames_copied, 60);
         assert_eq!(phys.stats.smart_cuts, 0);
@@ -571,14 +580,15 @@ mod tests {
         let phys = optimize(&plan, &ctx(300, 30), &OptimizerConfig::default()).unwrap();
         assert_eq!(phys.stats.smart_cuts, 1);
         assert_eq!(phys.segments.len(), 2);
-        assert!(matches!(
-            phys.segments[0].plan,
-            SegPlan::Render { .. }
-        ));
+        assert!(matches!(phys.segments[0].plan, SegPlan::Render { .. }));
         assert_eq!(phys.segments[0].count, 15, "head re-encodes to keyframe 30");
         assert!(matches!(
             phys.segments[1].plan,
-            SegPlan::StreamCopy { src_from: 30, src_to: 75, .. }
+            SegPlan::StreamCopy {
+                src_from: 30,
+                src_to: 75,
+                ..
+            }
         ));
     }
 
@@ -606,11 +616,7 @@ mod tests {
         let plan = lower_spec(&spec).unwrap();
         let phys = optimize(&plan, &ctx(300, 30), &OptimizerConfig::default()).unwrap();
         assert!(phys.stats.merged_filters >= 1);
-        let renders: Vec<_> = phys
-            .segments
-            .iter()
-            .filter(|s| !s.plan.is_copy())
-            .collect();
+        let renders: Vec<_> = phys.segments.iter().filter(|s| !s.plan.is_copy()).collect();
         assert!(!renders.is_empty());
         for s in renders {
             if let SegPlan::Render { program, inputs } = &s.plan {
@@ -732,7 +738,10 @@ mod tests {
             .build();
         let plan = lower_spec(&spec).unwrap();
         let phys = optimize(&plan, &ctx(300, 30), &OptimizerConfig::default()).unwrap();
-        assert!(phys.segments.len() > 1, "240 frames shard at 60-frame chunks");
+        assert!(
+            phys.segments.len() > 1,
+            "240 frames shard at 60-frame chunks"
+        );
         assert!(phys.stats.shards >= 3);
         assert_eq!(phys.validate(), Ok(()));
         // All shards share the program.
@@ -787,7 +796,11 @@ mod tests {
         assert!(matches!(phys.segments[0].plan, SegPlan::Render { .. }));
         assert!(matches!(
             phys.segments[1].plan,
-            SegPlan::StreamCopy { src_from: 30, src_to: 60, .. }
+            SegPlan::StreamCopy {
+                src_from: 30,
+                src_to: 60,
+                ..
+            }
         ));
         assert!(matches!(phys.segments[2].plan, SegPlan::Render { .. }));
         assert_eq!(phys.segments[2].count, 15);
@@ -797,7 +810,10 @@ mod tests {
         let default = optimize(
             &plan,
             &ctx(300, 30),
-            &OptimizerConfig { shard: false, ..Default::default() },
+            &OptimizerConfig {
+                shard: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(default.segments.len(), 2);

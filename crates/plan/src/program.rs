@@ -131,9 +131,7 @@ impl FrameProgram {
                 args: args
                     .iter()
                     .map(|a| match a {
-                        ProgArg::Frame(f) => {
-                            ProgArg::Frame(f.substitute(slot, replacement, remap))
-                        }
+                        ProgArg::Frame(f) => ProgArg::Frame(f.substitute(slot, replacement, remap)),
                         ProgArg::Data(d) => ProgArg::Data(d.clone()),
                     })
                     .collect(),

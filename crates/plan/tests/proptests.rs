@@ -65,9 +65,7 @@ fn build(segs: &[Seg]) -> v2v_spec::Spec {
                 b = b.append_clip("src", r(s as i64, 30), r(l as i64, 30));
             }
             Seg::Blur(s, l) => {
-                b = b.append_filtered("src", r(s as i64, 30), r(l as i64, 30), |e| {
-                    blur(e, 1.0)
-                });
+                b = b.append_filtered("src", r(s as i64, 30), r(l as i64, 30), |e| blur(e, 1.0));
             }
             Seg::Zoom(s, l) => {
                 b = b.append_filtered("src", r(s as i64, 30), r(l as i64, 30), |e| {
@@ -79,9 +77,7 @@ fn build(segs: &[Seg]) -> v2v_spec::Spec {
                 b = b.append_with(r(l as i64, 30), move |out_start| {
                     let cell = |off: i64| RenderExpr::FrameRef {
                         video: "src".into(),
-                        time: v2v_time::AffineTimeMap::shift(
-                            r(start + off, 30) - out_start,
-                        ),
+                        time: v2v_time::AffineTimeMap::shift(r(start + off, 30) - out_start),
                     };
                     grid4(cell(0), cell(60), cell(120), cell(180))
                 });

@@ -129,9 +129,9 @@ impl Checker<'_> {
                 for (i, arm) in arms.iter().enumerate() {
                     let covered = remaining.intersect(&arm.when);
                     if covered.is_empty() && !domain.intersect(&arm.when).is_empty() {
-                        self.report.warnings.push(format!(
-                            "match arm {i} is shadowed by earlier arms"
-                        ));
+                        self.report
+                            .warnings
+                            .push(format!("match arm {i} is shadowed by earlier arms"));
                     }
                     if domain.intersect(&arm.when).is_empty() {
                         self.report
@@ -367,7 +367,14 @@ mod tests {
         ));
         let sources = [("vid1".to_string(), source(0, 10))].into();
         let errs = check_spec(&spec, &sources).unwrap_err();
-        assert!(matches!(errs[0], SpecError::Arity { want: 2, got: 1, .. }));
+        assert!(matches!(
+            errs[0],
+            SpecError::Arity {
+                want: 2,
+                got: 1,
+                ..
+            }
+        ));
 
         let spec = base_spec(RenderExpr::transform(
             TransformOp::Zoom,

@@ -38,7 +38,11 @@ pub fn to_dsl_string(spec: &Spec) -> String {
         .iter()
         .map(|(k, v)| format!("{k:?}: {v:?}"))
         .collect();
-    let _ = write!(out, "Spec = <TimeDomain, Render, videos: {{{}}}", videos.join(", "));
+    let _ = write!(
+        out,
+        "Spec = <TimeDomain, Render, videos: {{{}}}",
+        videos.join(", ")
+    );
     if !arrays.is_empty() {
         let _ = write!(out, ", data_arrays: {{{}}}", arrays.join(", "));
     }
@@ -241,6 +245,9 @@ mod tests {
             output: OutputSettings::new(FrameType::yuv420p(64, 64), 30),
         };
         let text = to_dsl_string(&spec);
-        assert!(text.contains("Udf#7(BoundingBox(a[t], bb[t]), |bb[t]| > 0)"), "{text}");
+        assert!(
+            text.contains("Udf#7(BoundingBox(a[t], bb[t]), |bb[t]| > 0)"),
+            "{text}"
+        );
     }
 }

@@ -279,22 +279,19 @@ impl DataExpr {
                 Some(b) => Value::Bool(!b),
                 None => Value::Null,
             },
-            DataExpr::And(a, b) => match (
-                a.eval(t, arrays).as_bool(),
-                b.eval(t, arrays).as_bool(),
-            ) {
+            DataExpr::And(a, b) => match (a.eval(t, arrays).as_bool(), b.eval(t, arrays).as_bool())
+            {
                 (Some(x), Some(y)) => Value::Bool(x && y),
                 (Some(false), _) | (_, Some(false)) => Value::Bool(false),
                 _ => Value::Null,
             },
-            DataExpr::Or(a, b) => match (
-                a.eval(t, arrays).as_bool(),
-                b.eval(t, arrays).as_bool(),
-            ) {
-                (Some(x), Some(y)) => Value::Bool(x || y),
-                (Some(true), _) | (_, Some(true)) => Value::Bool(true),
-                _ => Value::Null,
-            },
+            DataExpr::Or(a, b) => {
+                match (a.eval(t, arrays).as_bool(), b.eval(t, arrays).as_bool()) {
+                    (Some(x), Some(y)) => Value::Bool(x || y),
+                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                }
+            }
             DataExpr::Len(e) => match e.eval(t, arrays) {
                 Value::Boxes(b) => Value::Int(b.len() as i64),
                 Value::List(l) => Value::Int(l.len() as i64),

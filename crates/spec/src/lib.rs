@@ -75,7 +75,9 @@ pub enum SpecError {
         got: String,
     },
     /// The match arms do not cover the whole domain.
-    #[error("render expression does not cover {missing} instants of the time domain (first: {first})")]
+    #[error(
+        "render expression does not cover {missing} instants of the time domain (first: {first})"
+    )]
     IncompleteMatch {
         /// Number of uncovered instants.
         missing: u64,

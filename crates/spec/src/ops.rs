@@ -139,13 +139,7 @@ impl TransformOp {
                 Data(Number),
             ],
             TransformOp::Overlay => &[Frame, Data(Str)],
-            TransformOp::OverlayAt => &[
-                Frame,
-                Data(Str),
-                Data(Number),
-                Data(Number),
-                Data(Number),
-            ],
+            TransformOp::OverlayAt => &[Frame, Data(Str), Data(Number), Data(Number), Data(Number)],
             TransformOp::BoundingBox => &[Frame, Data(Boxes)],
             TransformOp::TextOverlay => &[Frame, Data(Str), Data(Number), Data(Number)],
             TransformOp::Grid => &[Frame, Frame, Frame, Frame],

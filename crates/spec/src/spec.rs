@@ -7,7 +7,6 @@ use std::collections::BTreeMap;
 use v2v_frame::FrameType;
 use v2v_time::{Rational, TimeSet};
 
-
 /// Output stream settings.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct OutputSettings {

@@ -250,7 +250,7 @@ impl TimeRange {
             return TimeRange::EMPTY;
         }
         let v0 = a0 + s0 * k0; // smallest common value with k in [0, s1g)
-        // Advance/retreat v0 to the first common value >= lo.
+                               // Advance/retreat v0 to the first common value >= lo.
         let first = if v0 >= lo {
             v0 - ((v0 - lo) / period) * period
         } else {
@@ -332,7 +332,11 @@ impl TimeRange {
         }
         // Tail: indices (removed_last, count) not covered by residue logic
         // when m == 1, plus anything past removed_last + m - 1 when m > 1.
-        let tail_from = if m > 1 { removed_last + m } else { removed_last + 1 };
+        let tail_from = if m > 1 {
+            removed_last + m
+        } else {
+            removed_last + 1
+        };
         if tail_from < self.count {
             out.push(self.slice(tail_from, self.count));
         }
@@ -419,11 +423,7 @@ mod tests {
     use crate::rational::r;
 
     fn rng(start: (i64, i64), end: (i64, i64), step: (i64, i64)) -> TimeRange {
-        TimeRange::new(
-            r(start.0, start.1),
-            r(end.0, end.1),
-            r(step.0, step.1),
-        )
+        TimeRange::new(r(start.0, start.1), r(end.0, end.1), r(step.0, step.1))
     }
 
     #[test]
@@ -518,10 +518,7 @@ mod tests {
         let parts = a.subtract(&b);
         let mut left: Vec<Rational> = parts.iter().flat_map(|p| p.iter()).collect();
         left.sort();
-        let expect: Vec<Rational> = [0, 1, 2, 6, 7, 8, 9]
-            .iter()
-            .map(|&v| r(v, 1))
-            .collect();
+        let expect: Vec<Rational> = [0, 1, 2, 6, 7, 8, 9].iter().map(|&v| r(v, 1)).collect();
         assert_eq!(left, expect);
     }
 
@@ -532,10 +529,7 @@ mod tests {
         let parts = a.subtract(&b);
         let mut left: Vec<Rational> = parts.iter().flat_map(|p| p.iter()).collect();
         left.sort();
-        let expect: Vec<Rational> = [0, 2, 3, 5, 6, 8, 9]
-            .iter()
-            .map(|&v| r(v, 1))
-            .collect();
+        let expect: Vec<Rational> = [0, 2, 3, 5, 6, 8, 9].iter().map(|&v| r(v, 1)).collect();
         assert_eq!(left, expect);
         // Total count is preserved.
         let n: u64 = parts.iter().map(|p| p.count()).sum();

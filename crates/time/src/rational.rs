@@ -333,7 +333,8 @@ impl Mul for Rational {
 impl Div for Rational {
     type Output = Rational;
     fn div(self, rhs: Rational) -> Rational {
-        self.checked_div(rhs).expect("rational div by zero or overflow")
+        self.checked_div(rhs)
+            .expect("rational div by zero or overflow")
     }
 }
 

@@ -45,7 +45,9 @@ impl TimeSet {
     pub fn from_ranges(ranges: impl IntoIterator<Item = TimeRange>) -> TimeSet {
         let mut out = TimeSet::empty();
         for r in ranges {
-            out = out.union(&TimeSet { ranges: disjoint(r) });
+            out = out.union(&TimeSet {
+                ranges: disjoint(r),
+            });
         }
         out
     }
@@ -111,10 +113,7 @@ impl TimeSet {
         for r in &other.ranges {
             let mut pending = vec![*r];
             for mine in &self.ranges {
-                pending = pending
-                    .into_iter()
-                    .flat_map(|p| p.subtract(mine))
-                    .collect();
+                pending = pending.into_iter().flat_map(|p| p.subtract(mine)).collect();
                 if pending.is_empty() {
                     break;
                 }
@@ -236,13 +235,14 @@ fn try_merge(a: &TimeRange, b: &TimeRange) -> Option<TimeRange> {
     let gap = b.start() - a_last;
     match (a.count(), b.count()) {
         (1, 1) => Some(TimeRange::from_parts(a.start(), gap, 2)),
-        (1, _) => (gap == b.step())
-            .then(|| TimeRange::from_parts(a.start(), b.step(), b.count() + 1)),
-        (_, 1) => (gap == a.step())
-            .then(|| TimeRange::from_parts(a.start(), a.step(), a.count() + 1)),
-        _ => (a.step() == b.step() && gap == a.step()).then(|| {
-            TimeRange::from_parts(a.start(), a.step(), a.count() + b.count())
-        }),
+        (1, _) => {
+            (gap == b.step()).then(|| TimeRange::from_parts(a.start(), b.step(), b.count() + 1))
+        }
+        (_, 1) => {
+            (gap == a.step()).then(|| TimeRange::from_parts(a.start(), a.step(), a.count() + 1))
+        }
+        _ => (a.step() == b.step() && gap == a.step())
+            .then(|| TimeRange::from_parts(a.start(), a.step(), a.count() + b.count())),
     }
 }
 
@@ -383,10 +383,7 @@ mod tests {
     fn iter_is_sorted_across_ranges() {
         let s = TimeSet::from_ranges(vec![rng(0, 4, 2, 1), rng(1, 5, 2, 1)]);
         let v = enumerate(&s);
-        assert_eq!(
-            v,
-            vec![r(0, 1), r(1, 1), r(2, 1), r(3, 1)]
-        );
+        assert_eq!(v, vec![r(0, 1), r(1, 1), r(2, 1), r(3, 1)]);
     }
 
     #[test]

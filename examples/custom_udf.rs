@@ -18,7 +18,9 @@ use v2v_datasets::{kabr_sim, Scale};
 use v2v_examples::{cached_video, example_cache, print_report};
 use v2v_exec::Catalog;
 use v2v_frame::{Frame, FrameType};
-use v2v_spec::{Arg, ArgKind, DataExpr, DataType, OutputSettings, RenderExpr, SpecBuilder, TransformOp};
+use v2v_spec::{
+    Arg, ArgKind, DataExpr, DataType, OutputSettings, RenderExpr, SpecBuilder, TransformOp,
+};
 use v2v_time::{r, Rational};
 
 /// Our UDF id (any u16; ids are scoped to the catalog).

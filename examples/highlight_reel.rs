@@ -65,15 +65,9 @@ fn main() {
                         video: "film".into(),
                         // The incoming clip plays its *lead-in* during the
                         // fade: align its start to the segment end.
-                        time: AffineTimeMap::shift(
-                            next_start - (out_start + seg_len),
-                        ),
+                        time: AffineTimeMap::shift(next_start - (out_start + seg_len)),
                     };
-                    crossfade(
-                        current,
-                        incoming,
-                        ramp(out_start + seg_len - fade, fade),
-                    )
+                    crossfade(current, incoming, ramp(out_start + seg_len - fade, fade))
                 }
                 None => current,
             }

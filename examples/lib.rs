@@ -25,7 +25,10 @@ pub fn cached_video(spec: &DatasetSpec, tag: &str) -> VideoStream {
             }
         }
     }
-    println!("generating {tag} ({}s of {})...", spec.duration_s, spec.name);
+    println!(
+        "generating {tag} ({}s of {})...",
+        spec.duration_s, spec.name
+    );
     let s = generate(spec);
     let _ = v2v_container::write_svc(&s, &path);
     s

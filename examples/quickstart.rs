@@ -63,5 +63,8 @@ fn main() {
     let spec_path = example_cache().join("quickstart_spec.json");
     std::fs::write(&spec_path, spec.to_json()).expect("write spec");
     println!("wrote {} and {}", out.display(), spec_path.display());
-    println!("try: cargo run -p v2v-cli --bin v2v -- info {}", out.display());
+    println!(
+        "try: cargo run -p v2v-cli --bin v2v -- info {}",
+        out.display()
+    );
 }

@@ -58,7 +58,10 @@ fn main() {
             bounding_box(e, "dets")
         })
         .build();
-    println!("spec JSON (excerpt): {}...", &spec.to_json()[..300.min(spec.to_json().len())]);
+    println!(
+        "spec JSON (excerpt): {}...",
+        &spec.to_json()[..300.min(spec.to_json().len())]
+    );
 
     let mut catalog = Catalog::new();
     catalog.add_video("kabr_cam2", video);

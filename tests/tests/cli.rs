@@ -50,7 +50,12 @@ fn cli_run_and_info() {
     let (spec_path, frames) = fixture("run");
     let out_path = workdir().join("run_out.svc");
     let output = Command::new(&bin)
-        .args(["run", spec_path.to_str().unwrap(), "-o", out_path.to_str().unwrap()])
+        .args([
+            "run",
+            spec_path.to_str().unwrap(),
+            "-o",
+            out_path.to_str().unwrap(),
+        ])
         .output()
         .expect("spawn v2v run");
     assert!(
@@ -87,7 +92,10 @@ fn cli_explain_and_check() {
     assert!(explain.status.success());
     let text = String::from_utf8_lossy(&explain.stdout);
     assert!(text.contains("unoptimized logical plan"), "{text}");
-    assert!(text.contains("StreamCopy") || text.contains("Render"), "{text}");
+    assert!(
+        text.contains("StreamCopy") || text.contains("Render"),
+        "{text}"
+    );
 
     let check = Command::new(&bin)
         .args(["check", spec_path.to_str().unwrap()])

@@ -183,11 +183,8 @@ fn dde_interleaved_condition_stays_exact() {
 fn retimed_clip_double_speed() {
     // vid[2·t]: a 2-second output consuming 4 seconds of source.
     let mut e = engine();
-    let domain = v2v_time::TimeSet::from_range(v2v_time::TimeRange::new(
-        r(0, 1),
-        r(2, 1),
-        r(1, 30),
-    ));
+    let domain =
+        v2v_time::TimeSet::from_range(v2v_time::TimeRange::new(r(0, 1), r(2, 1), r(1, 30)));
     let spec = Spec {
         time_domain: domain,
         render: RenderExpr::FrameRef {
@@ -225,7 +222,10 @@ fn conservative_tail_smart_cut_stays_exact() {
         markers_of(&default.output),
         markers_of(&conservative.output)
     );
-    let (fa, _) = default.output.decode_range(0, default.output.len()).unwrap();
+    let (fa, _) = default
+        .output
+        .decode_range(0, default.output.len())
+        .unwrap();
     let (fb, _) = conservative
         .output
         .decode_range(0, conservative.output.len())
@@ -237,11 +237,8 @@ fn conservative_tail_smart_cut_stays_exact() {
 fn reverse_playback() {
     // vid[-t + c]: reversed playback through a negative-scale time map.
     let mut e = engine();
-    let domain = v2v_time::TimeSet::from_range(v2v_time::TimeRange::new(
-        r(0, 1),
-        r(2, 1),
-        r(1, 30),
-    ));
+    let domain =
+        v2v_time::TimeSet::from_range(v2v_time::TimeRange::new(r(0, 1), r(2, 1), r(1, 30)));
     let spec = Spec {
         time_domain: domain,
         render: RenderExpr::FrameRef {

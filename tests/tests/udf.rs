@@ -17,11 +17,7 @@ use v2v_time::{r, Rational};
 const SEPIA: u16 = 42;
 
 /// Brightness-shift kernel standing in for a real user transform.
-fn sepia_kernel(
-    _t: Rational,
-    frames: &[Frame],
-    data: &[Value],
-) -> Result<Frame, String> {
+fn sepia_kernel(_t: Rational, frames: &[Frame], data: &[Value]) -> Result<Frame, String> {
     let amount = data
         .first()
         .and_then(|v| v.as_f64())
@@ -80,7 +76,10 @@ fn udf_runs_in_both_executors() {
 fn udf_survives_json_round_trip() {
     let spec = udf_spec(25.0);
     let js = spec.to_json();
-    assert!(js.contains("\"udf\": 42") || js.contains("\"udf\":42"), "{js}");
+    assert!(
+        js.contains("\"udf\": 42") || js.contains("\"udf\":42"),
+        "{js}"
+    );
     let back = v2v_spec::Spec::from_json(&js).unwrap();
     assert_eq!(spec, back);
     let mut engine = V2vEngine::new(catalog_with_udf());

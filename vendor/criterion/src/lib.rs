@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Mirrors the subset of the criterion 0.5 API this workspace's benches
+//! use. Each benchmark is warmed up briefly, then timed over
+//! `sample_size` samples; median per-iteration time (and throughput,
+//! when configured) is printed in a criterion-like format. No plotting,
+//! no statistical regression analysis.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` sizes its batches. The stand-in always runs one
+/// routine call per measured batch, so variants only differ in name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units for reporting throughput alongside timing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the closure given to `bench_function`; runs and times the
+/// benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration duration, filled in by `iter`/`iter_batched`.
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive until after the
+    /// clock stops (criterion's drop-outside-measurement contract is
+    /// approximated by timing the call itself only).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: establish an iteration count that runs long enough
+        // per sample to be measurable.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            per_iter.push(start.elapsed() / iters as u32);
+        }
+        per_iter.sort();
+        self.measured = Some(per_iter[per_iter.len() / 2]);
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        // One warm-up call so first-touch effects don't land in sample 0.
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            per_iter.push(start.elapsed());
+            drop(std::hint::black_box(out));
+        }
+        per_iter.sort();
+        self.measured = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        run_one(name, self.sample_size, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Reports throughput (elements or bytes per second) for subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (report-flushing no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples,
+        measured: None,
+    };
+    f(&mut bencher);
+    match bencher.measured {
+        Some(t) => {
+            let mut line = format!("{name:<40} time: [{}]", format_duration(t));
+            if let Some(tp) = throughput {
+                let secs = t.as_secs_f64().max(1e-12);
+                match tp {
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!(" thrpt: [{}/s]", format_count(n as f64 / secs)));
+                    }
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!(" thrpt: [{}B/s]", format_count(n as f64 / secs)));
+                    }
+                }
+            }
+            println!("{line}");
+        }
+        None => println!("{name:<40} (no measurement recorded)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos() as f64;
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn format_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} K", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+/// Declares a benchmark group in either criterion form:
+/// `criterion_group!(name, target, ...)` or
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn formats_are_stable() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500.00 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(format_count(2_500_000.0), "2.500 M");
+    }
+}

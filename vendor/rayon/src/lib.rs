@@ -1,0 +1,200 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides real parallelism (scoped OS threads, one chunk per core)
+//! behind the tiny slice of the rayon API this workspace uses:
+//! `slice.par_iter().map(f).collect()` and `in_place_scope` + `spawn`.
+//! Order is preserved: chunk results are concatenated in input order.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to fan work out over.
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// `.par_iter()` on slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element reference type.
+    type Item: Send + 'a;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A minimal parallel iterator: `map` then `collect`.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type.
+    type Item: Send;
+
+    /// Runs the pipeline, producing items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects into any `FromIterator` container (e.g. `Vec<T>` or
+    /// `Result<Vec<T>, E>`).
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.run().into_iter().collect()
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    fn run(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+/// Result of [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let items = self.base.run();
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = threads().min(n);
+        if workers <= 1 {
+            let f = &self.f;
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &self.f;
+        let mut chunks: Vec<Vec<R>> = Vec::new();
+        // Move items into per-chunk queues, then process each queue on
+        // its own scoped thread; concatenating preserves input order.
+        let mut queues: Vec<Vec<I::Item>> = Vec::with_capacity(workers);
+        let mut iter = items.into_iter();
+        loop {
+            let q: Vec<I::Item> = iter.by_ref().take(chunk).collect();
+            if q.is_empty() {
+                break;
+            }
+            queues.push(q);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queues
+                .into_iter()
+                .map(|q| scope.spawn(move || q.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                chunks.push(h.join().expect("rayon stub worker panicked"));
+            }
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+/// A fork-join scope; mirrors `rayon::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `body` onto the scope. The closure receives the scope so
+    /// it can spawn further work (unused by this workspace).
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || body(&Scope { inner }));
+    }
+}
+
+/// Runs `f` with a scope whose spawned tasks all complete before this
+/// function returns, executing the closure on the calling thread.
+pub fn in_place_scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_result_short_circuits_value() {
+        let v: Vec<u64> = (0..10).collect();
+        let ok: Result<Vec<u64>, String> = v.par_iter().map(|x| Ok(*x)).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<u64>, String> = v
+            .par_iter()
+            .map(|x| if *x == 5 { Err("boom".to_string()) } else { Ok(*x) })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn scope_spawns_run() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let n = AtomicU32::new(0);
+        super::in_place_scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 8);
+    }
+}

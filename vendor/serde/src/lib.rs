@@ -1,0 +1,381 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde is a zero-copy visitor framework; this workspace only
+//! ever round-trips through JSON via derives (no hand-written impls, no
+//! generic `Serialize`/`Deserialize` bounds beyond the entry points in
+//! `serde_json`). That permits a drastically simpler miniserde-style
+//! design: the data model is a concrete JSON-shaped [`Content`] tree,
+//! `Serialize` renders into it, `Deserialize` reads out of it, and the
+//! derive macros generate those impls with externally-tagged enum
+//! representation — matching what real serde + serde_json produce for
+//! every type in this repository.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-shaped data model shared by the serde and serde_json
+/// stand-ins.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key-value pairs in insertion order; serde_json sorts on render.
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization error: a human-readable message, matching how this
+/// workspace consumes serde errors (Display only).
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Builds a [`DeError`]; used by generated code.
+pub fn de_error(msg: impl Into<String>) -> DeError {
+    DeError(msg.into())
+}
+
+/// A value that can render itself into the data model.
+pub trait Serialize {
+    /// Renders `self` as a [`Content`] tree.
+    fn serialize_content(&self) -> Content;
+}
+
+/// A value that can be read back out of the data model.
+pub trait Deserialize: Sized {
+    /// Reads a value from a [`Content`] tree.
+    fn deserialize_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Missing-field fallback used by derived struct impls: types that
+/// accept `null` (e.g. `Option`) default quietly; everything else
+/// reports the missing field.
+pub fn missing_field<T: Deserialize>(name: &str) -> Result<T, DeError> {
+    T::deserialize_content(&Content::Null)
+        .map_err(|_| de_error(format!("missing field `{name}`")))
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<bool, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(type_error("bool", other)),
+        }
+    }
+}
+
+fn type_error(want: &str, got: &Content) -> DeError {
+    let kind = match got {
+        Content::Null => "null",
+        Content::Bool(_) => "bool",
+        Content::I64(_) | Content::U64(_) => "integer",
+        Content::F64(_) => "float",
+        Content::Str(_) => "string",
+        Content::Seq(_) => "array",
+        Content::Map(_) => "object",
+    };
+    de_error(format!("invalid type: expected {want}, found {kind}"))
+}
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<$t, DeError> {
+                let v = match c {
+                    Content::I64(i) => *i,
+                    Content::U64(u) => i64::try_from(*u)
+                        .map_err(|_| de_error("integer out of range"))?,
+                    other => return Err(type_error("integer", other)),
+                };
+                <$t>::try_from(v).map_err(|_| de_error("integer out of range"))
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as u64;
+                match i64::try_from(v) {
+                    Ok(i) => Content::I64(i),
+                    Err(_) => Content::U64(v),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<$t, DeError> {
+                let v = match c {
+                    Content::I64(i) => u64::try_from(*i)
+                        .map_err(|_| de_error("expected unsigned integer"))?,
+                    Content::U64(u) => *u,
+                    other => return Err(type_error("integer", other)),
+                };
+                <$t>::try_from(v).map_err(|_| de_error("integer out of range"))
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(c: &Content) -> Result<f64, DeError> {
+        match c {
+            Content::F64(f) => Ok(*f),
+            Content::I64(i) => Ok(*i as f64),
+            Content::U64(u) => Ok(*u as f64),
+            other => Err(type_error("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(c: &Content) -> Result<f32, DeError> {
+        f64::deserialize_content(c).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<String, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(type_error("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_content(c: &Content) -> Result<char, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(type_error("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Option<T>, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Vec<T>, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            other => Err(type_error("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(c: &Content) -> Result<Box<T>, DeError> {
+        T::deserialize_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize_content(c: &Content) -> Result<std::sync::Arc<T>, DeError> {
+        T::deserialize_content(c).map(std::sync::Arc::new)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_content(c: &Content) -> Result<BTreeMap<String, V>, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+                .collect(),
+            other => Err(type_error("object", other)),
+        }
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
+    fn serialize_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn deserialize_content(c: &Content) -> Result<HashMap<String, V, S>, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+                .collect(),
+            other => Err(type_error("object", other)),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.serialize_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_content(c: &Content) -> Result<($($t,)+), DeError> {
+                match c {
+                    Content::Seq(items) => {
+                        let want = [$($n),+].len();
+                        if items.len() != want {
+                            return Err(de_error(format!(
+                                "expected array of {want} elements, found {}",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($t::deserialize_content(&items[$n])?,)+))
+                    }
+                    other => Err(type_error("array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::deserialize_content(&42i64.serialize_content()).unwrap(), 42);
+        let c = (1i64, 2i64).serialize_content();
+        assert_eq!(c, Content::Seq(vec![Content::I64(1), Content::I64(2)]));
+        let back: (i64, i64) = Deserialize::deserialize_content(&c).unwrap();
+        assert_eq!(back, (1, 2));
+    }
+
+    #[test]
+    fn option_null_handling() {
+        assert_eq!(Option::<i64>::deserialize_content(&Content::Null).unwrap(), None);
+        assert!(missing_field::<i64>("x").is_err());
+        assert_eq!(missing_field::<Option<i64>>("x").unwrap(), None);
+    }
+}

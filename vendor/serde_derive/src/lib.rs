@@ -1,0 +1,542 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Implemented with only the built-in `proc_macro` crate (no syn/quote
+//! offline). Generates impls of the simplified `serde::Serialize` /
+//! `serde::Deserialize` traits (a concrete JSON-shaped `Content` data
+//! model) with the same observable representation real serde +
+//! serde_json produce for the shapes this workspace uses:
+//!
+//! - named structs (field attr `#[serde(default)]`)
+//! - tuple structs (newtype = transparent, n-tuple = array)
+//! - enums, externally tagged (unit / newtype / tuple / struct
+//!   variants), honoring `#[serde(rename_all = "snake_case")]`
+//! - container attrs `from`, `try_from`, `into`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    rename_all: bool,
+    from: Option<String>,
+    try_from: Option<String>,
+    into: Option<String>,
+    shape: Shape,
+}
+
+/// Derives the stand-in `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c)
+        .parse()
+        .expect("serde stand-in generated invalid Rust (Serialize)")
+}
+
+/// Derives the stand-in `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c)
+        .parse()
+        .expect("serde stand-in generated invalid Rust (Deserialize)")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Parses `#[serde(...)]` attribute arguments into (key, value) pairs;
+/// bare idents get an empty value.
+fn parse_serde_attr(args: &TokenStream) -> Vec<(String, String)> {
+    let tokens: Vec<TokenTree> = args.clone().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        i += 1;
+        let mut value = String::new();
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            if let Some(TokenTree::Literal(l)) = tokens.get(i) {
+                value = l
+                    .to_string()
+                    .trim_matches('"')
+                    .replace("\\\"", "\"");
+                i += 1;
+            }
+        }
+        out.push((key, value));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Collects attributes at `i`, returning all `#[serde(...)]` key-value
+/// pairs found among them.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                (inner.first(), inner.get(1))
+            {
+                if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis {
+                    pairs.extend(parse_serde_attr(&args.stream()));
+                }
+            }
+        }
+        *i += 2;
+    }
+    pairs
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = take_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let mut rename_all = false;
+    let (mut from, mut try_from, mut into) = (None, None, None);
+    for (k, v) in &attrs {
+        match k.as_str() {
+            "rename_all" => {
+                assert_eq!(
+                    v.as_str(),
+                    "snake_case",
+                    "serde stand-in only supports rename_all = \"snake_case\""
+                );
+                rename_all = true;
+            }
+            "from" => from = Some(v.clone()),
+            "try_from" => try_from = Some(v.clone()),
+            "into" => into = Some(v.clone()),
+            _ => {}
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in does not support generic types");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("serde stand-in cannot derive for `{other}` items"),
+    };
+
+    Container {
+        name,
+        rename_all,
+        from,
+        try_from,
+        into,
+        shape,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            default: attrs.iter().any(|(k, _)| k == "default"),
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Advances past one type, stopping at a top-level comma
+/// (angle-bracket depth aware; parens/brackets arrive pre-grouped).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_tuple_fields(g.stream()) {
+                    1 => VariantKind::Tuple(1),
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// `CamelCase` → `snake_case` (serde's rename_all rule).
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn variant_key(c: &Container, v: &Variant) -> String {
+    if c.rename_all {
+        snake_case(&v.name)
+    } else {
+        v.name.clone()
+    }
+}
+
+fn field_key(c: &Container, f: &Field) -> String {
+    if c.rename_all {
+        snake_case(&f.name)
+    } else {
+        f.name.clone()
+    }
+}
+
+/// Serialize expression for a list of named fields bound to
+/// expressions like `&self.x` or `_x`.
+fn named_fields_ser(c: &Container, fields: &[Field], access: impl Fn(&Field) -> String) -> String {
+    let mut entries = String::new();
+    for f in fields {
+        entries.push_str(&format!(
+            "(::std::string::String::from(\"{key}\"), ::serde::Serialize::serialize_content({acc})),",
+            key = field_key(c, f),
+            acc = access(f)
+        ));
+    }
+    format!("::serde::Content::Map(::std::vec![{entries}])")
+}
+
+/// Deserialize expression building a struct literal body for named
+/// fields from a `__fields: &Vec<(String, Content)>` binding.
+fn named_fields_de(c: &Container, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        let fallback = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!("::serde::missing_field(\"{}\")?", field_key(c, f))
+        };
+        body.push_str(&format!(
+            "{name}: match __fields.iter().find(|(__k, _)| __k == \"{key}\") {{\n\
+             Some((_, __v)) => ::serde::Deserialize::deserialize_content(__v)?,\n\
+             None => {fallback},\n}},\n",
+            name = f.name,
+            key = field_key(c, f)
+        ));
+    }
+    body
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = if let Some(into) = &c.into {
+        format!(
+            "let __repr: {into} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::serialize_content(&__repr)"
+        )
+    } else {
+        match &c.shape {
+            Shape::UnitStruct => "::serde::Content::Null".to_string(),
+            Shape::TupleStruct(1) => {
+                "::serde::Serialize::serialize_content(&self.0)".to_string()
+            }
+            Shape::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::serialize_content(&self.{i})"))
+                    .collect();
+                format!("::serde::Content::Seq(::std::vec![{}])", items.join(","))
+            }
+            Shape::NamedStruct(fields) => {
+                named_fields_ser(c, fields, |f| format!("&self.{}", f.name))
+            }
+            Shape::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let key = variant_key(c, v);
+                    match &v.kind {
+                        VariantKind::Unit => arms.push_str(&format!(
+                            "{name}::{v} => ::serde::Content::Str(::std::string::String::from(\"{key}\")),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Tuple(1) => arms.push_str(&format!(
+                            "{name}::{v}(__f0) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{key}\"), \
+                             ::serde::Serialize::serialize_content(__f0))]),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_content({b})"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{v}({binds}) => ::serde::Content::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{key}\"), \
+                                 ::serde::Content::Seq(::std::vec![{items}]))]),\n",
+                                v = v.name,
+                                binds = binds.join(","),
+                                items = items.join(",")
+                            ));
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = named_fields_ser(c, fields, |f| f.name.clone());
+                            arms.push_str(&format!(
+                                "{name}::{v} {{ {binds} }} => ::serde::Content::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{key}\"), {inner})]),\n",
+                                v = v.name,
+                                binds = binds.join(",")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = if let Some(ty) = &c.try_from {
+        format!(
+            "let __repr: {ty} = ::serde::Deserialize::deserialize_content(__content)?;\n\
+             ::std::convert::TryFrom::try_from(__repr)\n\
+             .map_err(|__e| ::serde::de_error(::std::format!(\"{{}}\", __e)))"
+        )
+    } else if let Some(ty) = &c.from {
+        format!(
+            "let __repr: {ty} = ::serde::Deserialize::deserialize_content(__content)?;\n\
+             ::std::result::Result::Ok(::std::convert::From::from(__repr))"
+        )
+    } else {
+        match &c.shape {
+            Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+            Shape::TupleStruct(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_content(__content)?))"
+            ),
+            Shape::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize_content(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "match __content {{\n\
+                     ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                     ::std::result::Result::Ok({name}({items})),\n\
+                     _ => ::std::result::Result::Err(::serde::de_error(\
+                     \"expected an array of {n} elements for {name}\")),\n}}",
+                    items = items.join(",")
+                )
+            }
+            Shape::NamedStruct(fields) => {
+                let body = named_fields_de(c, fields);
+                format!(
+                    "match __content {{\n\
+                     ::serde::Content::Map(__fields) => ::std::result::Result::Ok({name} {{\n{body}}}),\n\
+                     _ => ::std::result::Result::Err(::serde::de_error(\
+                     \"expected an object for {name}\")),\n}}"
+                )
+            }
+            Shape::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut tagged_arms = String::new();
+                for v in variants {
+                    let key = variant_key(c, v);
+                    match &v.kind {
+                        VariantKind::Unit => unit_arms.push_str(&format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::deserialize_content(__v)?)),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize_content(&__items[{i}])?")
+                                })
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "\"{key}\" => match __v {{\n\
+                                 ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{v}({items})),\n\
+                                 _ => ::std::result::Result::Err(::serde::de_error(\
+                                 \"variant {key} expects an array of {n} elements\")),\n}},\n",
+                                v = v.name,
+                                items = items.join(",")
+                            ));
+                        }
+                        VariantKind::Named(fields) => {
+                            let body = named_fields_de(c, fields);
+                            tagged_arms.push_str(&format!(
+                                "\"{key}\" => match __v {{\n\
+                                 ::serde::Content::Map(__fields) => \
+                                 ::std::result::Result::Ok({name}::{v} {{\n{body}}}),\n\
+                                 _ => ::std::result::Result::Err(::serde::de_error(\
+                                 \"variant {key} expects an object\")),\n}},\n",
+                                v = v.name
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match __content {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::de_error(\
+                     ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n}},\n\
+                     ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__k, __v) = &__entries[0];\n\
+                     match __k.as_str() {{\n{tagged_arms}\
+                     __other => ::std::result::Result::Err(::serde::de_error(\
+                     ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n}}\n}},\n\
+                     _ => ::std::result::Result::Err(::serde::de_error(\
+                     \"expected a string or single-key object for enum {name}\")),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         #[allow(unused_variables, clippy::redundant_closure)]\n\
+         fn deserialize_content(__content: &::serde::Content) -> \
+         ::std::result::Result<{name}, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,880 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! A self-contained JSON tree (`Value`/`Number`/`Map`), recursive-descent
+//! parser, compact + pretty printers, the `json!` macro, and the
+//! `to_string`/`from_str`/`to_value`/`from_value` entry points — all
+//! bridged to the simplified serde stand-in through its JSON-shaped
+//! `Content` data model. Matches real serde_json's observable behaviour
+//! for this workspace: objects iterate in sorted key order (the default
+//! BTreeMap-backed `Map`), integral floats print with a trailing `.0`,
+//! and numbers parse to `i64` when possible.
+
+use serde::{Content, Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+mod macros;
+
+/// A JSON error (parse or data-shape mismatch).
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({:?})", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error::new(e.0)
+    }
+}
+
+/// A JSON number: integer when possible, float otherwise.
+#[derive(Clone, Copy, Debug)]
+pub struct Number {
+    n: N,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum N {
+    I(i64),
+    U(u64),
+    F(f64),
+}
+
+impl Number {
+    /// Integer value if this number is a (fitting) integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.n {
+            N::I(i) => Some(i),
+            N::U(u) => i64::try_from(u).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    /// Unsigned value if non-negative integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.n {
+            N::I(i) => u64::try_from(i).ok(),
+            N::U(u) => Some(u),
+            N::F(_) => None,
+        }
+    }
+
+    /// Lossy float view of any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.n {
+            N::I(i) => Some(i as f64),
+            N::U(u) => Some(u as f64),
+            N::F(f) => Some(f),
+        }
+    }
+
+    /// Whether the value is stored as a signed integer.
+    pub fn is_i64(&self) -> bool {
+        matches!(self.n, N::I(_))
+    }
+
+    /// Whether the value is stored as a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.n, N::F(_))
+    }
+
+    /// A float Number (finite input only).
+    pub fn from_f64(f: f64) -> Option<Number> {
+        f.is_finite().then_some(Number { n: N::F(f) })
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self.n, other.n) {
+            (N::F(a), N::F(b)) => a == b,
+            (N::F(_), _) | (_, N::F(_)) => false,
+            _ => self.as_i64() == other.as_i64() && self.as_u64() == other.as_u64(),
+        }
+    }
+}
+
+macro_rules! number_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(v: $t) -> Number { Number { n: N::I(v as i64) } }
+        }
+    )*};
+}
+number_from_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! number_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(v: $t) -> Number {
+                match i64::try_from(v as u64) {
+                    Ok(i) => Number { n: N::I(i) },
+                    Err(_) => Number { n: N::U(v as u64) },
+                }
+            }
+        }
+    )*};
+}
+number_from_unsigned!(u8, u16, u32, u64, usize);
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.n {
+            N::I(i) => write!(f, "{i}"),
+            N::U(u) => write!(f, "{u}"),
+            N::F(x) => f.write_str(&format_f64(x)),
+        }
+    }
+}
+
+/// serde_json (ryu) float formatting: integral finite floats keep a
+/// trailing `.0`; everything else uses the shortest round-trip form.
+fn format_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    if x == x.trunc() && x.abs() < 1e16 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+/// An ordered (sorted-key) JSON object, mirroring serde_json's default
+/// BTreeMap-backed `Map`.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Map<K: Ord = String, V = Value> {
+    map: BTreeMap<K, V>,
+}
+
+impl<K: Ord, V> Map<K, V> {
+    /// An empty map.
+    pub fn new() -> Map<K, V> {
+        Map {
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts a key-value pair, returning any previous value.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.map.insert(key, value)
+    }
+
+    /// Looks a key up.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.map.get(key)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.map.get_mut(key)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.map.contains_key(key)
+    }
+
+    /// Removes a key.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.map.remove(key)
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> std::collections::btree_map::Iter<'_, K, V> {
+        self.map.iter()
+    }
+
+    /// Iterates keys in order.
+    pub fn keys(&self) -> std::collections::btree_map::Keys<'_, K, V> {
+        self.map.keys()
+    }
+
+    /// Iterates values in key order.
+    pub fn values(&self) -> std::collections::btree_map::Values<'_, K, V> {
+        self.map.values()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl<K: Ord, V> IntoIterator for Map<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::collections::btree_map::IntoIter<K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.map.into_iter()
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a Map<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = std::collections::btree_map::Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.map.iter()
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for Map<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Map<K, V> {
+        Map {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A JSON document tree.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with sorted keys.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Object view.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Float view (any number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object-key lookup (None for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(m: Map<String, Value>) -> Value {
+        Value::Object(m)
+    }
+}
+
+macro_rules! value_from_number {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::from(v)) }
+        }
+    )*};
+}
+value_from_number!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Number::from_f64(v).map_or(Value::Null, Value::Number)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::from(f64::from(v))
+    }
+}
+
+// ----------------------------------------------------- serde bridge
+
+fn value_to_content(v: &Value) -> Content {
+    match v {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(*b),
+        Value::Number(n) => match n.n {
+            N::I(i) => Content::I64(i),
+            N::U(u) => Content::U64(u),
+            N::F(f) => Content::F64(f),
+        },
+        Value::String(s) => Content::Str(s.clone()),
+        Value::Array(items) => Content::Seq(items.iter().map(value_to_content).collect()),
+        Value::Object(map) => Content::Map(
+            map.iter()
+                .map(|(k, v)| (k.clone(), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+fn content_to_value(c: &Content) -> Value {
+    match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(*b),
+        Content::I64(i) => Value::Number(Number { n: N::I(*i) }),
+        Content::U64(u) => Value::Number(Number { n: N::U(*u) }),
+        Content::F64(f) => Value::Number(Number { n: N::F(*f) }),
+        Content::Str(s) => Value::String(s.clone()),
+        Content::Seq(items) => Value::Array(items.iter().map(content_to_value).collect()),
+        Content::Map(entries) => Value::Object(
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_content(&self) -> Content {
+        value_to_content(self)
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_content(c: &Content) -> Result<Value, serde::DeError> {
+        Ok(content_to_value(c))
+    }
+}
+
+// ----------------------------------------------------------- printing
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+// ------------------------------------------------------------ parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error<T>(&self, msg: &str) -> Result<T, Error> {
+        Err(Error::new(format!("{msg} at byte {}", self.pos)))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.error(what)
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Content::Null),
+            Some(b't') => self.parse_keyword("true", Content::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Content::Bool(false)),
+            Some(b'"') => Ok(Content::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => self.error("expected a JSON value"),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.error("invalid keyword")
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.error("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.eat(b'\\', "expected low surrogate")?;
+                                self.eat(b'u', "expected low surrogate")?;
+                                let lo = self.parse_hex4()?;
+                                let combined =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.error("invalid unicode escape"),
+                            }
+                            continue;
+                        }
+                        _ => return self.error("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return self.error("truncated unicode escape");
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("invalid unicode escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Content::I64(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Content::U64(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.eat(b'[', "expected array")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return self.error("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.eat(b'{', "expected object")?;
+        let mut entries: Vec<(String, Content)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':', "expected `:`")?;
+            let value = self.parse_value()?;
+            entries.retain(|(k, _)| *k != key);
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return self.error("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+fn parse_content(bytes: &[u8]) -> Result<Content, Error> {
+    let mut p = Parser { bytes, pos: 0 };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return p.error("trailing characters");
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------- entry points
+
+/// Serializes to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&content_to_value(&value.serialize_content()), &mut out);
+    Ok(out)
+}
+
+/// Serializes to human-readable two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&content_to_value(&value.serialize_content()), &mut out, 0);
+    Ok(out)
+}
+
+/// Serializes to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(content_to_value(&value.serialize_content()))
+}
+
+/// Parses JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    from_slice(s.as_bytes())
+}
+
+/// Parses JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let content = parse_content(bytes)?;
+    T::deserialize_content(&content).map_err(Error::from)
+}
+
+/// Converts a [`Value`] tree into any deserializable type.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::deserialize_content(&value_to_content(&value)).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_round_trip() {
+        let v: Value = from_str(r#"{"b":[1,2.5,"x"],"a":null,"c":true}"#).unwrap();
+        // Keys come back sorted (BTreeMap-backed map).
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":null,"b":[1,2.5,"x"],"c":true}"#);
+    }
+
+    #[test]
+    fn integral_floats_keep_point_zero() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&-0.125f64).unwrap(), "-0.125");
+        let v: Value = from_str("2.0").unwrap();
+        assert_eq!(v.as_f64(), Some(2.0));
+        assert_eq!(v.as_i64(), None);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let rows = vec![json!([1, 2]), json!([3, 4])];
+        let v = json!({
+            "name": "t",
+            "rows": rows,
+            "nested": {"k": [true, null, 1.5]},
+        });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"name":"t","nested":{"k":[true,null,1.5]},"rows":[[1,2],[3,4]]}"#
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v: Value = from_str(r#""a\nbA\"""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\nbA\""));
+        assert_eq!(to_string(&v).unwrap(), r#""a\nbA\"""#);
+    }
+
+    #[test]
+    fn pretty_matches_serde_json_layout() {
+        let v = json!({"a": [1], "b": {}});
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    1\n  ],\n  \"b\": {}\n}"
+        );
+    }
+}

@@ -1,0 +1,434 @@
+//! `#[derive(Error)]` for the offline thiserror stand-in.
+//!
+//! Parses enum definitions with only the built-in `proc_macro` crate (no
+//! syn/quote available offline) and generates `Display`,
+//! `std::error::Error`, and `From` impls. Supports the attribute forms
+//! this workspace uses:
+//!
+//! - `#[error("fmt with {0}, {named}, {debug:?}")]`
+//! - `#[error("fmt {}", expr_using(.0))]` (trailing args; `.0`/`.name`
+//!   refer to the variant's fields)
+//! - `#[error(transparent)]`
+//! - `#[from]` / `#[source]` on fields
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+#[derive(Clone)]
+struct Field {
+    /// Binding used in match arms: `_f0` for tuple fields, `_name` for
+    /// named fields.
+    binding: String,
+    /// Named-field name ("" for tuple fields).
+    name: String,
+    /// Type tokens, stringified.
+    ty: String,
+    has_from: bool,
+    has_source: bool,
+}
+
+struct Variant {
+    name: String,
+    /// None → unit, Some((named, fields)).
+    fields: Option<(bool, Vec<Field>)>,
+    /// Tokens inside `#[error(...)]`.
+    error_attr: Vec<TokenTree>,
+}
+
+/// Derives `Display`, `std::error::Error`, and `From` for an error enum.
+#[proc_macro_derive(Error, attributes(error, source, from, backtrace))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip container attributes and visibility, find `enum Name { ... }`.
+    skip_attrs_and_vis(&tokens, &mut i);
+    match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "enum" => i += 1,
+        other => panic!("thiserror stand-in supports enums only, found {other}"),
+    }
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => {
+            i += 1;
+            id.to_string()
+        }
+        other => panic!("expected enum name, found {other}"),
+    };
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("thiserror stand-in does not support generic enums");
+    }
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected enum body, found {other}"),
+    };
+
+    let variants = parse_variants(body);
+    let mut display_arms = String::new();
+    let mut source_arms = String::new();
+    let mut from_impls = String::new();
+
+    for v in &variants {
+        let pattern = arm_pattern(&name, v);
+        display_arms.push_str(&format!("{pattern} => {{ {} }}\n", display_body(v)));
+        source_arms.push_str(&format!("{pattern} => {{ {} }}\n", source_body(v)));
+        if let Some((named, fields)) = &v.fields {
+            for f in fields {
+                if f.has_from {
+                    let construct = if *named {
+                        format!("{name}::{} {{ {}: value }}", v.name, f.name)
+                    } else {
+                        format!("{name}::{}(value)", v.name)
+                    };
+                    from_impls.push_str(&format!(
+                        "impl ::std::convert::From<{ty}> for {name} {{\n\
+                         fn from(value: {ty}) -> {name} {{ {construct} }}\n}}\n",
+                        ty = f.ty
+                    ));
+                }
+            }
+        }
+    }
+
+    let out = format!(
+        "impl ::std::fmt::Display for {name} {{\n\
+         #[allow(unused_variables, clippy::used_underscore_binding)]\n\
+         fn fmt(&self, __formatter: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+         match self {{\n{display_arms}}}\n}}\n}}\n\
+         impl ::std::error::Error for {name} {{\n\
+         #[allow(unused_variables, clippy::match_single_binding)]\n\
+         fn source(&self) -> ::std::option::Option<&(dyn ::std::error::Error + 'static)> {{\n\
+         match self {{\n{source_arms}}}\n}}\n}}\n\
+         {from_impls}"
+    );
+    out.parse().expect("thiserror stand-in generated invalid Rust")
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + [...]
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collects the attributes at position `i`, returning `#[error(...)]`
+/// contents plus `from`/`source` flags found among them.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> (Vec<TokenTree>, bool, bool) {
+    let mut error_attr = Vec::new();
+    let (mut has_from, mut has_source) = (false, false);
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            match inner.first() {
+                Some(TokenTree::Ident(id)) if id.to_string() == "error" => {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        error_attr = args.stream().into_iter().collect();
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "from" && inner.len() == 1 => {
+                    has_from = true;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "source" && inner.len() == 1 => {
+                    has_source = true;
+                }
+                _ => {}
+            }
+        }
+        *i += 2;
+    }
+    (error_attr, has_from, has_source)
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (error_attr, _, _) = take_attrs(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => {
+                i += 1;
+                id.to_string()
+            }
+            other => panic!("expected variant name, found {other}"),
+        };
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Some((false, parse_fields(g.stream(), false)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some((true, parse_fields(g.stream(), true)))
+            }
+            _ => None,
+        };
+        // Trailing comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant {
+            name,
+            fields,
+            error_attr,
+        });
+    }
+    variants
+}
+
+fn parse_fields(stream: TokenStream, named: bool) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut index = 0;
+    while i < tokens.len() {
+        let (_, has_from, has_source) = take_attrs(&tokens, &mut i);
+        // Visibility (tuple fields may carry `pub`).
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let mut name = String::new();
+        if named {
+            name = tokens[i].to_string();
+            i += 2; // name ':'
+        }
+        // Type tokens until a top-level comma (angle-bracket aware).
+        // Multi-char puncts like `::` must stay adjacent when
+        // stringified, so spacing follows the token's own spacing.
+        let mut ty = String::new();
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            match &tokens[i] {
+                TokenTree::Punct(p) => {
+                    ty.push(p.as_char());
+                    if p.spacing() == Spacing::Alone {
+                        ty.push(' ');
+                    }
+                }
+                other => {
+                    ty.push_str(&other.to_string());
+                    ty.push(' ');
+                }
+            }
+            i += 1;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        let binding = if named {
+            format!("_{name}")
+        } else {
+            format!("_f{index}")
+        };
+        fields.push(Field {
+            binding,
+            name,
+            ty,
+            has_from,
+            has_source,
+        });
+        index += 1;
+    }
+    fields
+}
+
+fn arm_pattern(enum_name: &str, v: &Variant) -> String {
+    match &v.fields {
+        None => format!("{enum_name}::{}", v.name),
+        Some((true, fields)) => {
+            let binds: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, f.binding))
+                .collect();
+            format!("{enum_name}::{} {{ {} }}", v.name, binds.join(", "))
+        }
+        Some((false, fields)) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.binding.clone()).collect();
+            format!("{enum_name}::{}({})", v.name, binds.join(", "))
+        }
+    }
+}
+
+fn display_body(v: &Variant) -> String {
+    let fields: &[Field] = v.fields.as_ref().map(|(_, f)| f.as_slice()).unwrap_or(&[]);
+    if v.error_attr.len() == 1 {
+        if let TokenTree::Ident(id) = &v.error_attr[0] {
+            if id.to_string() == "transparent" {
+                let inner = &fields
+                    .first()
+                    .expect("#[error(transparent)] needs a field")
+                    .binding;
+                return format!("::std::fmt::Display::fmt({inner}, __formatter)");
+            }
+        }
+    }
+    let lit = match v.error_attr.first() {
+        Some(TokenTree::Literal(l)) => l.to_string(),
+        _ => panic!(
+            "variant {} needs #[error(\"...\")] or #[error(transparent)]",
+            v.name
+        ),
+    };
+    let fmt = rewrite_format_literal(&lit, fields);
+    // Remaining tokens (`, arg, arg`) pass through with `.0`/`.name`
+    // rewritten to the match bindings.
+    let rest: String = rewrite_field_accesses(&v.error_attr[1..], fields);
+    format!("write!(__formatter, {fmt}{rest})")
+}
+
+fn source_body(v: &Variant) -> String {
+    let fields: &[Field] = v.fields.as_ref().map(|(_, f)| f.as_slice()).unwrap_or(&[]);
+    let transparent = matches!(v.error_attr.first(),
+        Some(TokenTree::Ident(id)) if id.to_string() == "transparent");
+    for f in fields {
+        if transparent || f.has_from || f.has_source || f.name == "source" {
+            return format!(
+                "::std::option::Option::Some({} as &(dyn ::std::error::Error + 'static))",
+                f.binding
+            );
+        }
+    }
+    "::std::option::Option::None".to_string()
+}
+
+/// Rewrites `{0}` → `{_f0}` and `{name}` → `{_name}` in a (quoted)
+/// format-string literal, preserving format specs and `{{` escapes.
+fn rewrite_format_literal(lit: &str, fields: &[Field]) -> String {
+    let inner = lit
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("#[error] expects a plain string literal, got {lit}"));
+    let bytes: Vec<char> = inner.chars().collect();
+    let mut out = String::from("\"");
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '{' {
+            if bytes.get(i + 1) == Some(&'{') {
+                out.push_str("{{");
+                i += 2;
+                continue;
+            }
+            // Capture the name part up to ':' or '}'.
+            let mut j = i + 1;
+            let mut name = String::new();
+            while j < bytes.len() && bytes[j] != ':' && bytes[j] != '}' {
+                name.push(bytes[j]);
+                j += 1;
+            }
+            out.push('{');
+            out.push_str(&rewrite_arg_name(&name, fields));
+            // Copy the spec + closing brace verbatim.
+            while j < bytes.len() {
+                let d = bytes[j];
+                out.push(d);
+                j += 1;
+                if d == '}' {
+                    break;
+                }
+            }
+            i = j;
+        } else if c == '}' && bytes.get(i + 1) == Some(&'}') {
+            out.push_str("}}");
+            i += 2;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn rewrite_arg_name(name: &str, fields: &[Field]) -> String {
+    if name.is_empty() {
+        return String::new();
+    }
+    if name.chars().all(|c| c.is_ascii_digit()) {
+        return format!("_f{name}");
+    }
+    if fields.iter().any(|f| f.name == name) {
+        return format!("_{name}");
+    }
+    name.to_string()
+}
+
+/// Rewrites `.0` / `.name` shorthand field accesses in trailing
+/// `#[error]` arguments to the match-arm bindings.
+fn rewrite_field_accesses(tokens: &[TokenTree], fields: &[Field]) -> String {
+    let mut out = String::new();
+    let mut prev_is_expr = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '.' && !prev_is_expr => {
+                // `.0` or `.name` at expression start → binding.
+                match tokens.get(i + 1) {
+                    Some(TokenTree::Literal(l))
+                        if l.to_string().chars().all(|c| c.is_ascii_digit()) =>
+                    {
+                        out.push_str(&format!(" _f{l}"));
+                        i += 2;
+                        prev_is_expr = true;
+                        continue;
+                    }
+                    Some(TokenTree::Ident(id)) => {
+                        out.push_str(&format!(" _{id}"));
+                        i += 2;
+                        prev_is_expr = true;
+                        continue;
+                    }
+                    _ => {}
+                }
+                out.push('.');
+                i += 1;
+            }
+            TokenTree::Group(g) => {
+                let inner = rewrite_field_accesses(&g.stream().into_iter().collect::<Vec<_>>(), fields);
+                let (open, close) = match g.delimiter() {
+                    Delimiter::Parenthesis => ("(", ")"),
+                    Delimiter::Brace => ("{", "}"),
+                    Delimiter::Bracket => ("[", "]"),
+                    Delimiter::None => ("", ""),
+                };
+                out.push_str(open);
+                out.push_str(&inner);
+                out.push_str(close);
+                prev_is_expr = true;
+                i += 1;
+            }
+            TokenTree::Punct(p) => {
+                out.push(p.as_char());
+                prev_is_expr = false;
+                i += 1;
+            }
+            other => {
+                out.push(' ');
+                out.push_str(&other.to_string());
+                out.push(' ');
+                prev_is_expr = true;
+                i += 1;
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for the `thiserror` crate.
+//!
+//! Re-exports the `Error` derive macro, which generates `Display`,
+//! `std::error::Error`, and `From` impls for enum error types from
+//! `#[error("...")]`, `#[error(transparent)]`, `#[from]`, and
+//! `#[source]` attributes.
+
+pub use thiserror_impl::Error;
