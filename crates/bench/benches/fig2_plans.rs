@@ -27,15 +27,11 @@ fn main() {
         .build();
 
     let mut engine = engine_for(&ds, Arm::Optimized);
-    let (unopt, opt) = engine.explain(&spec).expect("plans for Fig. 2 spec");
+    let report = engine.explain(&spec).expect("plans for Fig. 2 spec");
 
     println!();
     println!("== Fig. 2: Unoptimized (top) and Optimized (bottom) Plans ==");
     println!("   (stream-copy operators marked ◆, the figure's grey diamonds)");
     println!();
-    println!("--- unoptimized logical plan ---");
-    print!("{unopt}");
-    println!();
-    println!("--- optimized physical plan ---");
-    print!("{opt}");
+    print!("{}", report.pretty());
 }

@@ -348,6 +348,12 @@ pub struct Measurement {
 }
 
 /// Runs one `(query, arm)` cell with the paper's protocol.
+///
+/// When `V2V_TRACE_OUT_DIR` is set (and the arm uses the optimized
+/// pipeline), one extra run per cell writes the same JSON trace
+/// artifact the CLI's `--trace` flag produces, named
+/// `<dataset>_<query>_<arm>.trace.json` — CI's bench-smoke step uploads
+/// these alongside the metrics-snapshot traces.
 pub fn measure(ds: &BenchDataset, q: QueryId, arm: Arm) -> Measurement {
     let spec = build_query(ds, q);
     let runs = bench_runs();
@@ -369,11 +375,44 @@ pub fn measure(ds: &BenchDataset, q: QueryId, arm: Arm) -> Measurement {
         output_bytes = report.output.byte_size();
         output_frames = report.output.len();
     }
+    if arm != Arm::Unoptimized {
+        if let Ok(dir) = std::env::var("V2V_TRACE_OUT_DIR") {
+            let trace = trace_query(ds, q, arm);
+            let path = PathBuf::from(dir).join(format!(
+                "{}_{}_{}.trace.json",
+                ds.name,
+                q.label(),
+                arm.label()
+            ));
+            if let Err(e) = std::fs::write(&path, trace.to_json()) {
+                eprintln!("warning: cannot write trace {}: {e}", path.display());
+            }
+        }
+    }
     Measurement {
         mean: total / runs as u32,
         output_bytes,
         output_frames,
     }
+}
+
+/// Runs one `(query, arm)` cell once through the traced pipeline and
+/// returns the observability artifact — the same JSON document the
+/// CLI's `--trace` flag writes.
+///
+/// # Panics
+/// On [`Arm::Unoptimized`]: the naive executor has no per-segment trace.
+pub fn trace_query(ds: &BenchDataset, q: QueryId, arm: Arm) -> v2v_core::RunTrace {
+    assert!(
+        arm != Arm::Unoptimized,
+        "the unoptimized arm has no trace; use an optimized arm"
+    );
+    let spec = build_query(ds, q);
+    let mut engine = engine_for(ds, arm);
+    let (_, trace) = engine
+        .run_traced(&spec)
+        .unwrap_or_else(|e| panic!("{} {} {}: {e}", ds.name, q.label(), arm.label()));
+    trace
 }
 
 /// Formats a duration in seconds with millisecond precision.
@@ -510,6 +549,16 @@ mod tests {
             r_tos.stats.packets_copied < r_with.stats.packets_copied,
             "dense ToS detections defeat the rewrite"
         );
+    }
+
+    #[test]
+    fn trace_query_emits_schema_stable_json() {
+        let ds = tiny_dataset("kabr", true);
+        let trace = trace_query(&ds, QueryId::Q1, Arm::Optimized);
+        assert!(trace.schema_version >= 1);
+        assert!(trace.exec.totals.segments > 0);
+        let back = v2v_core::RunTrace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(back, trace);
     }
 
     #[test]

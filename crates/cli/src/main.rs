@@ -5,11 +5,19 @@
 //!
 //! ```text
 //! v2v run <spec.json> -o <out.svc> [--no-optimize] [--no-dde] [--serial]
-//! v2v explain <spec.json>             print unoptimized + optimized plans
+//!         [--no-cache] [--trace trace.json]
+//! v2v explain <spec.json> [--analyze] [--json]   plans + rewrite trace;
+//!                                     --analyze also runs the query and
+//!                                     annotates measured per-operator metrics
 //! v2v check <spec.json>               static checks and per-video needs
 //! v2v info <video.svc>                stream facts (frames, GOPs, bytes)
 //! v2v frame <video.svc> <t> -o still.ppm    export one frame as PPM
 //! ```
+//!
+//! `--trace <path>` writes the run's observability artifact — rewrite
+//! trace, per-segment execution metrics, pipeline-stage spans, and a
+//! metrics snapshot — as one JSON document (the input to CI's
+//! metrics-snapshot job).
 //!
 //! Video locators in the spec are `.svc` paths; data-array locators are
 //! JSON annotation paths or `sql:` queries against a database loaded
@@ -32,7 +40,7 @@ use v2v_spec::Spec;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial]\n  v2v explain <spec.json> [--db tables.json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]"
+        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--no-cache] [--trace trace.json]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]"
     );
     ExitCode::from(2)
 }
@@ -135,6 +143,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut spec_path = None;
     let mut out_path = "out.svc".to_string();
     let mut db_path = None;
+    let mut trace_path: Option<String> = None;
     let mut config = EngineConfig::default();
     let mut optimize = true;
     let mut i = 0;
@@ -148,26 +157,38 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 i += 1;
                 db_path = Some(args.get(i).ok_or("missing value after --db")?.clone());
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).ok_or("missing value after --trace")?.clone());
+            }
             "--no-optimize" => optimize = false,
             "--no-dde" => config.data_rewrites = false,
             "--serial" => config.exec.parallel = false,
+            "--no-cache" => config.exec.gop_cache_frames = 0,
             other if spec_path.is_none() => spec_path = Some(other.to_string()),
             other => return Err(format!("unexpected argument '{other}'")),
         }
         i += 1;
     }
     let spec_path = spec_path.ok_or("missing spec path")?;
+    if trace_path.is_some() && !optimize {
+        return Err("--trace requires the optimized pipeline (drop --no-optimize)".into());
+    }
     let spec = load_spec(&spec_path)?;
+    let cache_enabled = config.exec.gop_cache_frames > 0;
     let mut engine = V2vEngine::new(Catalog::new()).with_config(config);
     if let Some(db_path) = db_path {
         engine = engine.with_database(load_database(&db_path)?);
     }
-    let report = if optimize {
-        engine.run(&spec)
+    let (report, trace) = if optimize {
+        let (report, trace) = engine.run_traced(&spec).map_err(|e| e.to_string())?;
+        (report, Some(trace))
     } else {
-        engine.run_unoptimized(&spec)
-    }
-    .map_err(|e| e.to_string())?;
+        (
+            engine.run_unoptimized(&spec).map_err(|e| e.to_string())?,
+            None,
+        )
+    };
     v2v_container::write_svc(&report.output, &out_path).map_err(|e| e.to_string())?;
     println!(
         "wrote {out_path}: {} frames, {} bytes in {:.3}s",
@@ -175,36 +196,80 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         report.output.byte_size(),
         report.wall.as_secs_f64()
     );
+    // The cache clause only appears when the cache exists: a disabled
+    // cache reporting "0/0 hits" reads like a run that never hit it.
+    let cache_clause = if cache_enabled {
+        format!(
+            "; gop cache {}/{} hits",
+            report.stats.gop_cache_hits,
+            report.stats.gop_cache_hits + report.stats.gop_cache_misses
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "stats: decoded {} encoded {} copied {} packets ({} bytes); gop cache {}/{} hits; dde rewrites {}",
+        "stats: decoded {} encoded {} copied {} packets ({} bytes){cache_clause}; dde rewrites {}",
         report.stats.frames_decoded,
         report.stats.frames_encoded,
         report.stats.packets_copied,
         report.stats.bytes_copied,
-        report.stats.gop_cache_hits,
-        report.stats.gop_cache_hits + report.stats.gop_cache_misses,
         report.dde_rewrites
     );
     for w in &report.check.warnings {
         println!("warning: {w}");
     }
+    if let Some(path) = trace_path {
+        let trace = trace.expect("traced run when --trace is set");
+        std::fs::write(&path, trace.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "trace: wrote {path} ({} rewrite event(s), {} segment(s))",
+            trace.rewrites.events.len(),
+            trace.exec.segments.len()
+        );
+    }
     Ok(())
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), String> {
-    let spec_path = args.first().ok_or("missing spec path")?;
-    let spec = load_spec(spec_path)?;
+    let mut spec_path = None;
+    let mut db_path = None;
+    let mut analyze = false;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--db" => {
+                i += 1;
+                db_path = Some(args.get(i).ok_or("missing value after --db")?.clone());
+            }
+            "--analyze" => analyze = true,
+            "--json" => json = true,
+            other if spec_path.is_none() => spec_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+    let spec_path = spec_path.ok_or("missing spec path")?;
+    let spec = load_spec(&spec_path)?;
     let mut engine = V2vEngine::new(Catalog::new());
-    if let (Some(flag), Some(path)) = (args.get(1), args.get(2)) {
-        if flag == "--db" {
-            engine = engine.with_database(load_database(path)?);
+    if let Some(db_path) = db_path {
+        engine = engine.with_database(load_database(&db_path)?);
+    }
+    if analyze {
+        let report = engine.explain_analyze(&spec).map_err(|e| e.to_string())?;
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.pretty());
+        }
+    } else {
+        let report = engine.explain(&spec).map_err(|e| e.to_string())?;
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.pretty());
         }
     }
-    let (unopt, opt) = engine.explain(&spec).map_err(|e| e.to_string())?;
-    println!("--- unoptimized logical plan ---");
-    print!("{unopt}");
-    println!("--- optimized physical plan ---");
-    print!("{opt}");
     Ok(())
 }
 

@@ -12,7 +12,7 @@
 //! coding quantizes a whole row segment into scratch before the serial
 //! entropy pass. Temporal prediction has no intra-row dependence, so
 //! every sweep autovectorizes. The original per-pixel implementation
-//! survives as the [`tests`] oracle.
+//! survives as the `tests` oracle.
 
 use crate::bitstream::{Reader, RunCoder, RunDecoder};
 use crate::intra::quantize_bf;

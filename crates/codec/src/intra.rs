@@ -11,7 +11,7 @@
 //! scratch row. Left-predicted rows carry a loop dependence (each pixel
 //! predicts from the one just reconstructed) and stay serial, but still
 //! run over row slices instead of per-pixel accessors. The original
-//! per-pixel implementation survives as the [`tests`] oracle.
+//! per-pixel implementation survives as the `tests` oracle.
 
 use crate::bitstream::{Reader, RunCoder, RunDecoder};
 use crate::params::Preset;

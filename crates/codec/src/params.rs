@@ -68,7 +68,7 @@ impl CodecParams {
 
     /// `true` if frame `index` (0-based) is a keyframe position.
     pub fn is_keyframe_index(&self, index: u64) -> bool {
-        index.is_multiple_of(u64::from(self.gop_size))
+        index % u64::from(self.gop_size) == 0
     }
 }
 

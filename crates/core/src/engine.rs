@@ -1,15 +1,18 @@
 //! The embeddable V2V engine.
 
+use crate::observe::{AnalyzeReport, ExplainReport, RunTrace};
 use crate::EngineError;
 use std::time::Duration;
 use v2v_container::VideoStream;
 use v2v_data::{Database, Query};
 use v2v_exec::{
-    execute, execute_naive, execute_streaming, Catalog, ExecOptions, ExecStats, StreamingStats,
+    execute_naive, execute_streaming_with, execute_traced, Catalog, ExecOptions, ExecStats,
+    StreamingStats,
 };
+use v2v_obs::SpanSink;
 use v2v_plan::{
-    explain_logical, explain_physical, lower_spec, optimize, OptimizerConfig, PhysicalPlan,
-    PlanStats,
+    explain_logical, explain_physical, lower_spec, optimize_traced, OptimizerConfig, PhysicalPlan,
+    PlanStats, PlanTrace,
 };
 use v2v_spec::{check_spec_with_udfs, CheckReport, Spec};
 
@@ -158,6 +161,16 @@ impl V2vEngine {
 
     /// Checks, plans, and optimizes a (bound, specialized) spec.
     pub fn plan(&self, spec: &Spec) -> Result<(PhysicalPlan, CheckReport), EngineError> {
+        let (physical, check, _) = self.plan_traced(spec)?;
+        Ok((physical, check))
+    }
+
+    /// [`plan`](V2vEngine::plan), also returning the optimizer's rewrite
+    /// trace (one event per rule application).
+    pub fn plan_traced(
+        &self,
+        spec: &Spec,
+    ) -> Result<(PhysicalPlan, CheckReport, PlanTrace), EngineError> {
         let check = check_spec_with_udfs(
             spec,
             &self.catalog.source_infos(),
@@ -165,28 +178,58 @@ impl V2vEngine {
         )
         .map_err(EngineError::Check)?;
         let logical = lower_spec(spec)?;
-        let physical = optimize(
+        let (physical, trace) = optimize_traced(
             &logical,
             &self.catalog.plan_context(),
             &self.config.optimizer,
         )?;
-        Ok((physical, check))
+        Ok((physical, check, trace))
     }
 
     /// Full pipeline: bind → specialize → check → plan → execute.
     pub fn run(&mut self, spec: &Spec) -> Result<RunReport, EngineError> {
+        let (report, _) = self.run_traced(spec)?;
+        Ok(report)
+    }
+
+    /// [`run`](V2vEngine::run), also returning the observability
+    /// artifact: rewrite trace, per-segment execution trace,
+    /// pipeline-stage spans, and a metrics snapshot, serializable as one
+    /// JSON document (the CLI's `--trace` flag).
+    pub fn run_traced(&mut self, spec: &Spec) -> Result<(RunReport, RunTrace), EngineError> {
+        let spans = SpanSink::new();
+        let timer = spans.start("bind");
         self.bind(spec)?;
+        timer.finish();
+        let timer = spans.start("specialize");
         let (specialized, dde_rewrites) = self.specialize(spec);
-        let (physical, check) = self.plan(&specialized)?;
-        let (output, stats, wall) = execute(&physical, &self.catalog, &self.config.exec)?;
-        Ok(RunReport {
+        timer.finish();
+        let timer = spans.start("plan");
+        let (physical, check, plan_trace) = self.plan_traced(&specialized)?;
+        timer
+            .attr("segments", physical.segments.len())
+            .attr("rewrites", plan_trace.events.len())
+            .finish();
+        let timer = spans.start("execute");
+        let (output, exec_trace, wall) =
+            execute_traced(&physical, &self.catalog, &self.config.exec)?;
+        timer.attr("frames", output.len()).finish();
+        let report = RunReport {
             output,
             check,
-            stats,
+            stats: exec_trace.totals,
             plan_stats: physical.stats,
             dde_rewrites,
             wall,
-        })
+        };
+        let trace = RunTrace::assemble(
+            dde_rewrites as u64,
+            physical.stats,
+            plan_trace,
+            exec_trace,
+            spans.take(),
+        );
+        Ok((report, trace))
     }
 
     /// Full pipeline with on-demand streaming delivery: packets reach
@@ -201,7 +244,11 @@ impl V2vEngine {
         self.bind(spec)?;
         let (specialized, dde_rewrites) = self.specialize(spec);
         let (physical, check) = self.plan(&specialized)?;
-        let (output, streaming) = execute_streaming(&physical, &self.catalog, sink)?;
+        // Streaming honors the same ExecOptions as batch runs (it used
+        // to silently fall back to the default GOP-cache size, making
+        // the two executors report different cache hit/miss counts).
+        let (output, streaming) =
+            execute_streaming_with(&physical, &self.catalog, &self.config.exec, sink)?;
         Ok((
             RunReport {
                 output,
@@ -252,14 +299,42 @@ impl V2vEngine {
         })
     }
 
-    /// Explains both plans for a spec: `(unoptimized, optimized)` — the
-    /// Fig. 2 pair.
-    pub fn explain(&mut self, spec: &Spec) -> Result<(String, String), EngineError> {
+    /// Explains a spec without executing it: both plan renderings (the
+    /// Fig. 2 pair) plus the optimizer's rewrite trace.
+    pub fn explain(&mut self, spec: &Spec) -> Result<ExplainReport, EngineError> {
         self.bind(spec)?;
-        let (specialized, _) = self.specialize(spec);
+        let (specialized, dde_rewrites) = self.specialize(spec);
         let logical_unopt = lower_spec(spec)?;
-        let (physical, _) = self.plan(&specialized)?;
-        Ok((explain_logical(&logical_unopt), explain_physical(&physical)))
+        let (physical, _, trace) = self.plan_traced(&specialized)?;
+        Ok(ExplainReport {
+            logical: explain_logical(&logical_unopt),
+            physical: explain_physical(&physical),
+            trace,
+            plan_stats: physical.stats,
+            dde_rewrites: dde_rewrites as u64,
+        })
+    }
+
+    /// `EXPLAIN ANALYZE`: plans *and runs* the spec, returning the plan
+    /// annotated with the measured per-operator execution metrics (the
+    /// output video is discarded).
+    pub fn explain_analyze(&mut self, spec: &Spec) -> Result<AnalyzeReport, EngineError> {
+        self.bind(spec)?;
+        let (specialized, dde_rewrites) = self.specialize(spec);
+        let logical_unopt = lower_spec(spec)?;
+        let (physical, _, trace) = self.plan_traced(&specialized)?;
+        let (output, exec_trace, _) = execute_traced(&physical, &self.catalog, &self.config.exec)?;
+        Ok(AnalyzeReport {
+            explain: ExplainReport {
+                logical: explain_logical(&logical_unopt),
+                physical: explain_physical(&physical),
+                trace,
+                plan_stats: physical.stats,
+                dde_rewrites: dde_rewrites as u64,
+            },
+            exec: exec_trace,
+            output_frames: output.len() as u64,
+        })
     }
 }
 
@@ -449,9 +524,52 @@ mod tests {
             .video("a", "a.svc")
             .append_clip("a", r(1, 1), r(2, 1))
             .build();
-        let (unopt, opt) = engine.explain(&spec).unwrap();
-        assert!(unopt.contains("Clip"));
-        assert!(opt.contains("StreamCopy"));
+        let report = engine.explain(&spec).unwrap();
+        assert!(report.logical.contains("Clip"));
+        assert!(report.physical.contains("StreamCopy"));
+        assert_eq!(report.trace.fired("stream_copy"), 1);
+        let text = report.pretty();
+        assert!(text.contains("unoptimized logical plan"));
+        assert!(text.contains("stream_copy"));
+    }
+
+    #[test]
+    fn explain_analyze_measures_the_run() {
+        let mut engine = engine_with_video();
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_clip("a", r(1, 1), r(2, 1))
+            .build();
+        let report = engine.explain_analyze(&spec).unwrap();
+        assert_eq!(report.output_frames, 60);
+        assert_eq!(report.stats().packets_copied, 60);
+        assert_eq!(report.stats().frames_encoded, 0);
+        assert_eq!(report.exec.segments.len(), 1);
+        assert_eq!(report.exec.segments[0].kind, "stream_copy");
+        assert!(report.pretty().contains("measured execution"));
+    }
+
+    #[test]
+    fn run_traced_artifact_matches_run() {
+        let mut engine = engine_with_video();
+        let spec = SpecBuilder::new(output())
+            .video("a", "a.svc")
+            .append_clip("a", r(1, 1), r(2, 1))
+            .build();
+        let (report, trace) = engine.run_traced(&spec).unwrap();
+        assert_eq!(trace.exec.totals, report.stats);
+        assert_eq!(trace.rewrites.fired("stream_copy"), 1);
+        assert_eq!(
+            trace.metrics.counter("exec.packets_copied"),
+            report.stats.packets_copied
+        );
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        for stage in ["bind", "specialize", "plan", "execute"] {
+            assert!(names.contains(&stage), "missing span {stage}: {names:?}");
+        }
+        // The artifact survives a JSON round trip unchanged.
+        let back = crate::observe::RunTrace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(back, trace);
     }
 
     #[test]

@@ -27,10 +27,12 @@
 pub mod dde;
 pub mod engine;
 pub mod facade;
+pub mod observe;
 
 pub use dde::rewrite_spec;
 pub use engine::{EngineConfig, RunReport, V2vEngine};
 pub use facade::{montage_spec, MontageOptions, MontageSegment};
+pub use observe::{AnalyzeReport, ExplainReport, RunTrace};
 
 fn format_check_errors(errors: &[v2v_spec::SpecError]) -> String {
     errors

@@ -33,6 +33,11 @@ pub struct SourceCursor<'a> {
     current: Option<Arc<Frame>>,
     /// Packets decoded through this cursor.
     pub frames_decoded: u64,
+    /// Compressed bytes fed to the decoder through this cursor.
+    pub bytes_decoded: u64,
+    /// Keyframe entries: every decoder reset (initial positioning,
+    /// backward jumps, forward jumps across a keyframe, GOP decodes).
+    pub seeks: u64,
 }
 
 impl<'a> SourceCursor<'a> {
@@ -48,6 +53,8 @@ impl<'a> SourceCursor<'a> {
             at: None,
             current: None,
             frames_decoded: 0,
+            bytes_decoded: 0,
+            seeks: 0,
         }
     }
 
@@ -89,16 +96,19 @@ impl<'a> SourceCursor<'a> {
             Some(at) if at < idx => at + 1,
             _ => {
                 self.decoder.reset();
+                self.seeks += 1;
                 self.stream
                     .keyframe_at_or_before(idx as usize)
                     .expect("streams start with a keyframe") as u64
             }
         };
         // If continuing forward would cross a keyframe anyway, entering at
-        // that keyframe is never slower.
+        // that keyframe is never slower. (Mutually exclusive with the
+        // reset above: a reseek already lands on this keyframe.)
         let from = match self.stream.keyframe_at_or_before(idx as usize) {
             Some(kf) if (kf as u64) > from => {
                 self.decoder.reset();
+                self.seeks += 1;
                 kf as u64
             }
             _ => from,
@@ -108,6 +118,7 @@ impl<'a> SourceCursor<'a> {
             let pkt = &self.stream.packets()[i as usize];
             frame = Some(self.decoder.decode_shared(pkt)?);
             self.frames_decoded += 1;
+            self.bytes_decoded += pkt.size() as u64;
         }
         let frame = frame.expect("at least one packet decoded");
         self.at = Some(idx);
@@ -145,10 +156,12 @@ impl<'a> SourceCursor<'a> {
             .unwrap_or(self.stream.len()) as u64;
         let mut frames = Vec::with_capacity((end - kf) as usize);
         self.decoder.reset();
+        self.seeks += 1;
         for i in kf..end {
             let pkt = &self.stream.packets()[i as usize];
             frames.push(self.decoder.decode_shared(pkt)?);
             self.frames_decoded += 1;
+            self.bytes_decoded += pkt.size() as u64;
         }
         Ok(Arc::new(frames))
     }

@@ -11,6 +11,7 @@ use crate::apply::apply_program;
 use crate::catalog::Catalog;
 use crate::cursor::SourceCursor;
 use crate::gop_cache::GopCache;
+use crate::trace::{ExecTrace, SegmentTrace};
 use crate::ExecError;
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -50,7 +51,7 @@ impl Default for ExecOptions {
 }
 
 /// Cost accounting for one execution.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ExecStats {
     /// Source/intermediate packets decoded.
     pub frames_decoded: u64,
@@ -60,6 +61,12 @@ pub struct ExecStats {
     pub packets_copied: u64,
     /// Compressed bytes spliced by stream copy.
     pub bytes_copied: u64,
+    /// Compressed bytes fed to decoders (the storage-read currency).
+    pub bytes_decoded: u64,
+    /// Compressed bytes produced by encoders.
+    pub bytes_encoded: u64,
+    /// Decoder keyframe entries (initial positioning and re-seeks).
+    pub seeks: u64,
     /// Segments executed.
     pub segments: u64,
     /// GOP lookups served from the shared decoded-GOP cache.
@@ -69,11 +76,18 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
-    fn merge(mut self, other: ExecStats) -> ExecStats {
+    /// Field-wise accumulation: counters add. Used by both the batch and
+    /// streaming executors so the two cannot drift (cache hit/miss totals
+    /// are overwritten from the shared cache once per run — per-segment
+    /// stats carry zeros there).
+    pub fn merge(mut self, other: ExecStats) -> ExecStats {
         self.frames_decoded += other.frames_decoded;
         self.frames_encoded += other.frames_encoded;
         self.packets_copied += other.packets_copied;
         self.bytes_copied += other.bytes_copied;
+        self.bytes_decoded += other.bytes_decoded;
+        self.bytes_encoded += other.bytes_encoded;
+        self.seeks += other.seeks;
         self.segments += other.segments;
         self.gop_cache_hits += other.gop_cache_hits;
         self.gop_cache_misses += other.gop_cache_misses;
@@ -84,35 +98,66 @@ impl ExecStats {
 /// Executes a physical plan against a catalog.
 ///
 /// Returns the output stream, the accumulated stats, and the wall time.
+/// Thin wrapper over [`execute_traced`] for callers that do not need the
+/// per-segment trace.
 pub fn execute(
     plan: &PhysicalPlan,
     catalog: &Catalog,
     opts: &ExecOptions,
 ) -> Result<(VideoStream, ExecStats, Duration), ExecError> {
+    let (out, trace, wall) = execute_traced(plan, catalog, opts)?;
+    Ok((out, trace.totals, wall))
+}
+
+/// Executes a physical plan, profiling every segment.
+///
+/// Returns the output stream, the [`ExecTrace`] (per-segment stats and
+/// wall times plus run totals), and the end-to-end wall time.
+pub fn execute_traced(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+) -> Result<(VideoStream, ExecTrace, Duration), ExecError> {
     let started = Instant::now();
     let cache = GopCache::new(opts.gop_cache_frames);
-    let run = |seg: &Segment| -> Result<(Vec<Packet>, ExecStats), ExecError> {
-        execute_segment_packets(plan, seg, catalog, Some(&cache))
+    let run = |seg: &Segment| -> Result<(Vec<Packet>, SegmentTrace), ExecError> {
+        let seg_started = Instant::now();
+        let (packets, stats) = execute_segment_packets(plan, seg, catalog, Some(&cache))?;
+        Ok((
+            packets,
+            SegmentTrace {
+                index: 0, // assigned in output order below
+                kind: seg.plan.kind_name().to_string(),
+                out_start: seg.out_start,
+                frames: seg.count,
+                stats,
+                wall_ns: seg_started.elapsed().as_nanos() as u64,
+            },
+        ))
     };
-    let results: Vec<Result<(Vec<Packet>, ExecStats), ExecError>> = if opts.parallel {
+    let results: Vec<Result<(Vec<Packet>, SegmentTrace), ExecError>> = if opts.parallel {
         plan.segments.par_iter().map(run).collect()
     } else {
         plan.segments.iter().map(run).collect()
     };
 
     let mut writer = StreamWriter::new(plan.out_params, Rational::ZERO, plan.frame_dur);
-    let mut stats = ExecStats::default();
-    for r in results {
-        let (packets, seg_stats) = r?;
+    let mut trace = ExecTrace::default();
+    for (i, r) in results.into_iter().enumerate() {
+        let (packets, mut seg_trace) = r?;
         writer.push_copied(&packets)?;
-        stats = stats.merge(seg_stats);
+        seg_trace.index = i as u64;
+        trace.totals = trace.totals.merge(seg_trace.stats);
+        trace.segments.push(seg_trace);
     }
     // Cache traffic is accounted once per run (the cache is shared, not
     // per-segment).
-    stats.gop_cache_hits = cache.hits();
-    stats.gop_cache_misses = cache.misses();
+    trace.totals.gop_cache_hits = cache.hits();
+    trace.totals.gop_cache_misses = cache.misses();
     let out = writer.finish()?;
-    Ok((out, stats, started.elapsed()))
+    let wall = started.elapsed();
+    trace.wall_ns = wall.as_nanos() as u64;
+    Ok((out, trace, wall))
 }
 
 /// Produces one segment's packets (shared by the batch and streaming
@@ -184,10 +229,14 @@ pub(crate) fn execute_segment_packets(
                 let out = apply_program(program, t, &frames, catalog.arrays(), catalog)?;
                 let out = conform(&out, out_ty);
                 let pts = plan.frame_dur * Rational::from_int(i as i64);
-                packets.push(encoder.encode(&out, pts)?);
+                let pkt = encoder.encode(&out, pts)?;
                 stats.frames_encoded += 1;
+                stats.bytes_encoded += pkt.size() as u64;
+                packets.push(pkt);
             }
             stats.frames_decoded = cursors.iter().map(|(c, _)| c.frames_decoded).sum();
+            stats.bytes_decoded = cursors.iter().map(|(c, _)| c.bytes_decoded).sum();
+            stats.seeks = cursors.iter().map(|(c, _)| c.seeks).sum();
             Ok((packets, stats))
         }
     }

@@ -25,14 +25,16 @@ pub mod executor;
 pub mod gop_cache;
 pub mod naive;
 pub mod streaming;
+pub mod trace;
 
 pub use apply::{apply_program, UdfKernel};
 pub use catalog::Catalog;
 pub use cursor::SourceCursor;
-pub use executor::{execute, ExecOptions, ExecStats};
+pub use executor::{execute, execute_traced, ExecOptions, ExecStats};
 pub use gop_cache::{GopCache, GopFrames};
 pub use naive::execute_naive;
-pub use streaming::{execute_streaming, StreamingStats};
+pub use streaming::{execute_streaming, execute_streaming_with, StreamingStats};
+pub use trace::{ExecTrace, SegmentTrace};
 
 /// Errors raised during execution.
 #[derive(Debug, thiserror::Error)]

@@ -46,11 +46,28 @@ pub struct StreamingStats {
 pub fn execute_streaming(
     plan: &PhysicalPlan,
     catalog: &Catalog,
+    sink: impl FnMut(&Packet),
+) -> Result<(VideoStream, StreamingStats), ExecError> {
+    execute_streaming_with(plan, catalog, &ExecOptions::default(), sink)
+}
+
+/// [`execute_streaming`] with explicit [`ExecOptions`].
+///
+/// Streaming runs honor the same options as batch runs — in particular
+/// `gop_cache_frames`, so a streaming execution reports the same cache
+/// hit/miss counts as a batch execution of the same plan (the two used
+/// to diverge when the engine was configured with a non-default cache
+/// size). `parallel` is ignored: streaming always overlaps segment
+/// rendering with ordered delivery.
+pub fn execute_streaming_with(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
     mut sink: impl FnMut(&Packet),
 ) -> Result<(VideoStream, StreamingStats), ExecError> {
     let started = Instant::now();
     let n = plan.segments.len();
-    let cache = GopCache::new(ExecOptions::default().gop_cache_frames);
+    let cache = GopCache::new(opts.gop_cache_frames);
     let (tx, rx) = channel::unbounded::<(usize, Result<(Vec<Packet>, ExecStats), ExecError>)>();
 
     // Fan the segments out to the rayon pool; the driver closure runs in
@@ -90,7 +107,7 @@ pub fn execute_streaming(
                         sink(p);
                     }
                     writer.push_copied(&packets)?;
-                    merge(&mut stats.exec, seg_stats);
+                    stats.exec = stats.exec.merge(seg_stats);
                     next += 1;
                 }
             }
@@ -103,14 +120,6 @@ pub fn execute_streaming(
             Ok((out, stats))
         },
     )
-}
-
-fn merge(into: &mut ExecStats, other: ExecStats) {
-    into.frames_decoded += other.frames_decoded;
-    into.frames_encoded += other.frames_encoded;
-    into.packets_copied += other.packets_copied;
-    into.bytes_copied += other.bytes_copied;
-    into.segments += other.segments;
 }
 
 #[cfg(test)]
@@ -220,6 +229,65 @@ mod tests {
             stats.time_to_first_packet,
             stats.total
         );
+    }
+
+    #[test]
+    fn streaming_and_batch_report_identical_gop_cache_counts() {
+        // Regression: streaming used to build a default-size cache no
+        // matter what the caller configured, so batch and streaming runs
+        // of the same plan under the same options reported different
+        // hit/miss counts. A single-segment render keeps cursor order
+        // deterministic so the counts are exactly comparable.
+        use v2v_spec::builder::grid4;
+        use v2v_spec::RenderExpr;
+        let mut catalog = Catalog::new();
+        catalog.add_video("src", marked_stream(120, 30));
+        let output = OutputSettings {
+            frame_ty: FrameType::gray8(64, 32),
+            frame_dur: r(1, 30),
+            gop_size: 30,
+            quantizer: 0,
+        };
+        let spec = SpecBuilder::new(output)
+            .video("src", "src.svc")
+            .append_with(r(1, 1), |_| {
+                grid4(
+                    RenderExpr::video("src"),
+                    RenderExpr::video_shifted("src", r(1, 30)),
+                    RenderExpr::video_shifted("src", r(2, 30)),
+                    RenderExpr::video_shifted("src", r(3, 30)),
+                )
+            })
+            .build();
+        let logical = lower_spec(&spec).unwrap();
+        let plan = optimize(
+            &logical,
+            &catalog.plan_context(),
+            &OptimizerConfig {
+                shard_min_frames: u64::MAX, // one render segment
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plan.segments.len(), 1, "test premise: single segment");
+        for cache_frames in [0usize, 512, 4096] {
+            let opts = ExecOptions {
+                gop_cache_frames: cache_frames,
+                parallel: false,
+            };
+            let (_, batch_stats, _) = execute(&plan, &catalog, &opts).unwrap();
+            let (_, streaming_stats) =
+                execute_streaming_with(&plan, &catalog, &opts, |_| {}).unwrap();
+            assert_eq!(
+                batch_stats.gop_cache_hits, streaming_stats.exec.gop_cache_hits,
+                "hits diverge at cache_frames={cache_frames}"
+            );
+            assert_eq!(
+                batch_stats.gop_cache_misses, streaming_stats.exec.gop_cache_misses,
+                "misses diverge at cache_frames={cache_frames}"
+            );
+            assert_eq!(batch_stats, streaming_stats.exec, "full stats diverge");
+        }
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! Counters, gauges, histograms, and the thread-safe registry.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonic counter. Increments are relaxed atomics: safe to bump
+/// from parallel segment workers, read once at trace-assembly time.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time value (e.g. frames currently held by a cache).
+/// Stores the latest `set` and the high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the current value, updating the high-water mark.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever set.
+    pub fn high_water(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets a [`Histogram`] keeps: bucket `i`
+/// counts values in `[2^i, 2^(i+1))` (bucket 0 also holds zero), which
+/// spans `u64` at nanosecond or byte granularity.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A lock-free histogram over power-of-two buckets, tracking count, sum,
+/// and max exactly (the buckets bound everything else).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Index of the bucket holding `v`.
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (63 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// A serializable snapshot (sparse: only non-empty buckets).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i as u32, n));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            buckets,
+        }
+    }
+}
+
+/// Frozen histogram state: exact count/sum/max plus the non-empty
+/// power-of-two buckets as `(bucket index, count)` pairs.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// `(bucket index, count)` for non-empty buckets, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another snapshot into this one (bucket-wise addition; max
+    /// of maxes). Lossless: merging snapshots equals snapshotting the
+    /// merged streams.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        let mut merged: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
+        for (i, n) in &other.buckets {
+            *merged.entry(*i).or_insert(0) += n;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+}
+
+/// One metric's frozen value inside a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge: `(current, high water)`.
+    Gauge(u64, u64),
+    /// A histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// A frozen, serializable view of a [`Registry`]: metric name → value,
+/// in sorted name order (stable JSON).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Metric values by name.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter total (0 when absent or a different kind).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Merges another snapshot: counters add, gauges keep the max high
+    /// water (current takes `other`'s), histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.metrics {
+            match (self.metrics.get_mut(name), value) {
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
+                (Some(MetricValue::Gauge(cur, hw)), MetricValue::Gauge(c, h)) => {
+                    *cur = *c;
+                    *hw = (*hw).max(*h);
+                }
+                (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => a.merge(b),
+                (_, v) => {
+                    self.metrics.insert(name.clone(), v.clone());
+                }
+            }
+        }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+
+    /// Parses a snapshot back from JSON.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A thread-safe name → metric map. Handles are `Arc`s: registration
+/// takes the lock once, recording is lock-free on the shared handle.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, creating it at zero on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric '{name}' is not a counter"),
+        }
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric '{name}' is not a gauge"),
+        }
+    }
+
+    /// The histogram named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric '{name}' is not a histogram"),
+        }
+    }
+
+    /// Freezes every metric into a serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock().expect("registry poisoned");
+        let metrics = m
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get(), g.high_water()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        MetricsSnapshot { metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.high_water(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_merge() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        let a = h.snapshot();
+        assert_eq!(a.count, 6);
+        assert_eq!(a.sum, 1010);
+        assert_eq!(a.max, 1000);
+        // 0,1 → bucket 0; 2,3 → bucket 1; 4 → bucket 2; 1000 → bucket 9.
+        assert_eq!(a.buckets, vec![(0, 2), (1, 2), (2, 1), (9, 1)]);
+
+        let h2 = Histogram::new();
+        h2.record(3);
+        h2.record(2000);
+        let mut merged = a.clone();
+        merged.merge(&h2.snapshot());
+        assert_eq!(merged.count, 8);
+        assert_eq!(merged.sum, 1010 + 2003);
+        assert_eq!(merged.max, 2000);
+        assert_eq!(
+            merged.buckets,
+            vec![(0, 2), (1, 3), (2, 1), (9, 1), (10, 1)]
+        );
+        assert!((merged.mean() - (3013.0 / 8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let r = Registry::new();
+        r.counter("frames_decoded").add(120);
+        r.gauge("cache_frames").set(64);
+        r.histogram("segment_wall_ns").record(1_500_000);
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("frames_decoded"), 120);
+        assert_eq!(back.counter("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_by_kind() {
+        let a = Registry::new();
+        a.counter("x").add(1);
+        a.gauge("g").set(10);
+        let b = Registry::new();
+        b.counter("x").add(2);
+        b.counter("y").add(5);
+        b.gauge("g").set(4);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.counter("x"), 3);
+        assert_eq!(s.counter("y"), 5);
+        assert_eq!(
+            s.metrics.get("g"),
+            Some(&MetricValue::Gauge(4, 10)),
+            "gauge keeps max high-water, takes other's current"
+        );
+    }
+
+    #[test]
+    fn concurrent_registry_updates() {
+        let r = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    let c = r.counter("shared");
+                    let h = r.histogram("hist");
+                    for i in 0..1000 {
+                        c.inc();
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("shared"), 8000);
+        match snap.metrics.get("hist") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 8000);
+                assert_eq!(h.max, 999);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge("m");
+        r.counter("m");
+    }
+}

@@ -1,0 +1,196 @@
+//! Scoped wall-clock spans.
+//!
+//! A [`SpanSink`] is a thread-safe log of completed [`SpanRecord`]s,
+//! all timed relative to the sink's creation so serialized traces carry
+//! small monotonic offsets instead of wall-clock timestamps. Spans are
+//! recorded either explicitly ([`SpanSink::record`]) or by the RAII
+//! [`SpanTimer`], which measures from construction to `finish`/drop.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"plan"`, `"segment"`).
+    pub name: String,
+    /// Start offset from the sink's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Key → value attributes (e.g. `("segment", "3")`), in recording
+    /// order.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// A thread-safe collector of completed spans sharing one epoch.
+#[derive(Debug)]
+pub struct SpanSink {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for SpanSink {
+    fn default() -> SpanSink {
+        SpanSink::new()
+    }
+}
+
+impl SpanSink {
+    /// An empty sink whose epoch is now.
+    pub fn new() -> SpanSink {
+        SpanSink {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Nanoseconds elapsed since the sink's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records a completed span.
+    pub fn record(&self, span: SpanRecord) {
+        self.spans.lock().expect("span sink poisoned").push(span);
+    }
+
+    /// Starts a timed span ending when the returned timer is finished
+    /// or dropped.
+    pub fn start(&self, name: impl Into<String>) -> SpanTimer<'_> {
+        SpanTimer {
+            sink: self,
+            name: name.into(),
+            start_ns: self.now_ns(),
+            started: Instant::now(),
+            attrs: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Drains the completed spans, sorted by start offset.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        let mut spans = std::mem::take(&mut *self.spans.lock().expect("span sink poisoned"));
+        spans.sort_by_key(|s| s.start_ns);
+        spans
+    }
+}
+
+/// RAII span: measures from [`SpanSink::start`] until [`finish`] or
+/// drop, then records into the sink.
+///
+/// [`finish`]: SpanTimer::finish
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    sink: &'a SpanSink,
+    name: String,
+    start_ns: u64,
+    started: Instant,
+    attrs: Vec<(String, String)>,
+    done: bool,
+}
+
+impl SpanTimer<'_> {
+    /// Attaches a key=value attribute.
+    pub fn attr(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.attrs.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Ends the span now and records it.
+    pub fn finish(mut self) {
+        self.flush();
+    }
+
+    fn flush(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.sink.record(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            start_ns: self.start_ns,
+            dur_ns: self.started.elapsed().as_nanos() as u64,
+            attrs: std::mem::take(&mut self.attrs),
+        });
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_records_on_finish_and_drop() {
+        let sink = SpanSink::new();
+        sink.start("a").attr("k", 7).finish();
+        {
+            let _t = sink.start("b");
+        }
+        let spans = sink.take();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "a");
+        assert_eq!(spans[0].attrs, vec![("k".to_string(), "7".to_string())]);
+        assert_eq!(spans[1].name, "b");
+        assert!(sink.take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn spans_sort_by_start_offset() {
+        let sink = SpanSink::new();
+        sink.record(SpanRecord {
+            name: "late".into(),
+            start_ns: 100,
+            dur_ns: 1,
+            attrs: vec![],
+        });
+        sink.record(SpanRecord {
+            name: "early".into(),
+            start_ns: 5,
+            dur_ns: 1,
+            attrs: vec![],
+        });
+        let spans = sink.take();
+        assert_eq!(spans[0].name, "early");
+        assert_eq!(spans[1].name, "late");
+    }
+
+    #[test]
+    fn record_json_round_trip() {
+        let rec = SpanRecord {
+            name: "segment".into(),
+            start_ns: 12,
+            dur_ns: 34,
+            attrs: vec![("i".into(), "0".into())],
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: SpanRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn concurrent_span_recording() {
+        let sink = std::sync::Arc::new(SpanSink::new());
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let sink = sink.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        sink.start("w").attr("t", i).finish();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(sink.take().len(), 400);
+    }
+}

@@ -33,14 +33,16 @@ pub mod meta;
 pub mod optimizer;
 pub mod physical;
 pub mod program;
+pub mod trace;
 
 pub use cost::{estimate, CostEstimate, CostModel};
 pub use explain::{explain_logical, explain_physical};
 pub use logical::{lower_spec, LogicalNode, LogicalPlan, LogicalSegment};
 pub use meta::{PlanContext, SourceMeta};
-pub use optimizer::{optimize, OptimizerConfig};
+pub use optimizer::{optimize, optimize_traced, OptimizerConfig};
 pub use physical::{PhysicalPlan, PlanStats, SegPlan, Segment};
 pub use program::{FrameProgram, InputClip, ProgArg};
+pub use trace::{PlanTrace, RewriteEvent};
 
 /// Errors raised during lowering and optimization.
 #[derive(Debug, Clone, PartialEq, thiserror::Error)]

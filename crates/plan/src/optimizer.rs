@@ -4,6 +4,7 @@ use crate::logical::{LogicalNode, LogicalPlan, LogicalSegment};
 use crate::meta::PlanContext;
 use crate::physical::{PhysicalPlan, PlanStats, SegPlan, Segment};
 use crate::program::{FrameProgram, InputClip, ProgArg};
+use crate::trace::PlanTrace;
 use crate::PlanError;
 use v2v_codec::CodecParams;
 use v2v_spec::TransformOp;
@@ -60,26 +61,46 @@ impl OptimizerConfig {
     }
 }
 
-/// Optimizes a logical plan into a physical plan.
+/// Optimizes a logical plan into a physical plan, discarding the
+/// rewrite trace. See [`optimize_traced`] for the traced variant.
 pub fn optimize(
     plan: &LogicalPlan,
     ctx: &PlanContext,
     config: &OptimizerConfig,
 ) -> Result<PhysicalPlan, PlanError> {
+    optimize_traced(plan, ctx, config).map(|(phys, _)| phys)
+}
+
+/// Optimizes a logical plan into a physical plan, recording one
+/// [`RewriteEvent`](crate::trace::RewriteEvent) per rewrite application
+/// (rule name, operator site, before/after node counts) into the
+/// returned [`PlanTrace`].
+pub fn optimize_traced(
+    plan: &LogicalPlan,
+    ctx: &PlanContext,
+    config: &OptimizerConfig,
+) -> Result<(PhysicalPlan, PlanTrace), PlanError> {
     let mut stats = PlanStats::default();
+    let mut trace = PlanTrace {
+        logical_nodes: plan.op_count() as u64,
+        ..Default::default()
+    };
 
     // Pass 1: flatten nested concats into the top-level segment list.
     let mut segments = Vec::new();
     for seg in &plan.segments {
-        flatten(seg, &mut segments);
+        flatten(seg, &mut segments, &mut trace);
     }
     segments.sort_by_key(|s| s.out_start);
 
     // Pass 2: simplify each node (merge filters, elide identities).
     for seg in &mut segments {
+        let out_start = seg.out_start;
         seg.node = simplify(
             std::mem::replace(&mut seg.node, LogicalNode::Concat { segments: vec![] }),
+            out_start,
             &mut stats,
+            &mut trace,
         );
     }
 
@@ -90,7 +111,9 @@ pub fn optimize(
     // Pass 3: physicalize with stream-copy / smart-cut decisions.
     let mut phys: Vec<Segment> = Vec::new();
     for seg in &segments {
-        physicalize(seg, plan, ctx, config, out_params, &mut phys, &mut stats)?;
+        physicalize(
+            seg, plan, ctx, config, out_params, &mut phys, &mut stats, &mut trace,
+        )?;
     }
 
     // Pass 4: temporal sharding of long renders.
@@ -102,6 +125,7 @@ pub fn optimize(
             out_params.gop_size as u64,
             config,
             &mut stats,
+            &mut trace,
         );
     }
 
@@ -118,6 +142,7 @@ pub fn optimize(
     stats.render_segments = phys.iter().filter(|s| !s.plan.is_copy()).count() as u64;
     stats.copy_segments = phys.iter().filter(|s| s.plan.is_copy()).count() as u64;
 
+    trace.physical_segments = phys.len() as u64;
     let out = PhysicalPlan {
         segments: phys,
         out_params,
@@ -127,14 +152,21 @@ pub fn optimize(
         stats,
     };
     debug_assert_eq!(out.validate(), Ok(()));
-    Ok(out)
+    Ok((out, trace))
 }
 
-fn flatten(seg: &LogicalSegment, out: &mut Vec<LogicalSegment>) {
+fn flatten(seg: &LogicalSegment, out: &mut Vec<LogicalSegment>, trace: &mut PlanTrace) {
     match &seg.node {
         LogicalNode::Concat { segments } => {
+            trace.record(
+                "concat_flatten",
+                seg.out_start,
+                format!("{} nested segment(s) hoisted", segments.len()),
+                1 + segments.len() as u64,
+                segments.len() as u64,
+            );
             for s in segments {
-                flatten(s, out);
+                flatten(s, out, trace);
             }
         }
         _ => out.push(seg.clone()),
@@ -142,48 +174,74 @@ fn flatten(seg: &LogicalSegment, out: &mut Vec<LogicalSegment>) {
 }
 
 /// Bottom-up simplification: operator merging and identity elision.
-fn simplify(node: LogicalNode, stats: &mut PlanStats) -> LogicalNode {
+fn simplify(
+    node: LogicalNode,
+    out_start: u64,
+    stats: &mut PlanStats,
+    trace: &mut PlanTrace,
+) -> LogicalNode {
     match node {
         LogicalNode::Clip { .. } => node,
         LogicalNode::Concat { segments } => LogicalNode::Concat {
             segments: segments
                 .into_iter()
-                .map(|s| LogicalSegment {
-                    node: simplify(s.node, stats),
-                    ..s
+                .map(|s| {
+                    let s_start = s.out_start;
+                    LogicalSegment {
+                        node: simplify(s.node, s_start, stats, trace),
+                        ..s
+                    }
                 })
                 .collect(),
         },
         LogicalNode::Filter { program, inputs } => {
-            let inputs: Vec<LogicalNode> = inputs.into_iter().map(|n| simplify(n, stats)).collect();
+            let inputs: Vec<LogicalNode> = inputs
+                .into_iter()
+                .map(|n| simplify(n, out_start, stats, trace))
+                .collect();
             // Identity elision.
-            let program = elide_identity_ops(program, stats);
+            let program = elide_identity_ops(program, out_start, stats, trace);
             if program.is_identity_of_input() && inputs.len() == 1 {
                 stats.elided_identities += 1;
+                trace.record("elide_identity", out_start, "identity filter removed", 2, 1);
                 return inputs.into_iter().next().expect("one input");
             }
             // Operator merging: inline any input that is itself a filter.
-            let (program, inputs) = merge_filter_inputs(program, inputs, stats);
+            let (program, inputs) = merge_filter_inputs(program, inputs, out_start, stats, trace);
             LogicalNode::Filter { program, inputs }
         }
     }
 }
 
 /// Removes `Identity` applications inside a program.
-fn elide_identity_ops(p: FrameProgram, stats: &mut PlanStats) -> FrameProgram {
+fn elide_identity_ops(
+    p: FrameProgram,
+    out_start: u64,
+    stats: &mut PlanStats,
+    trace: &mut PlanTrace,
+) -> FrameProgram {
     match p {
         FrameProgram::Input(_) => p,
         FrameProgram::Op { op, args } => {
             let args: Vec<ProgArg> = args
                 .into_iter()
                 .map(|a| match a {
-                    ProgArg::Frame(f) => ProgArg::Frame(elide_identity_ops(f, stats)),
+                    ProgArg::Frame(f) => {
+                        ProgArg::Frame(elide_identity_ops(f, out_start, stats, trace))
+                    }
                     d => d,
                 })
                 .collect();
             if op == TransformOp::Identity {
                 if let Some(ProgArg::Frame(f)) = args.into_iter().next() {
                     stats.elided_identities += 1;
+                    trace.record(
+                        "elide_identity",
+                        out_start,
+                        "identity op removed from program",
+                        2,
+                        1,
+                    );
                     return f;
                 }
                 unreachable!("identity always has one frame arg");
@@ -199,7 +257,9 @@ fn elide_identity_ops(p: FrameProgram, stats: &mut PlanStats) -> FrameProgram {
 fn merge_filter_inputs(
     mut program: FrameProgram,
     mut inputs: Vec<LogicalNode>,
+    out_start: u64,
     stats: &mut PlanStats,
+    trace: &mut PlanTrace,
 ) -> (FrameProgram, Vec<LogicalNode>) {
     loop {
         let Some(j) = inputs
@@ -216,6 +276,7 @@ fn merge_filter_inputs(
             unreachable!("position() found a filter");
         };
         let inner_len = inner_inputs.len();
+        let inner_desc = inner.describe();
         // New input list: [..j) ++ inner ++ [j..).
         let tail: Vec<LogicalNode> = inputs.split_off(j);
         inputs.extend(inner_inputs);
@@ -231,6 +292,13 @@ fn merge_filter_inputs(
             }
         });
         stats.merged_filters += 1;
+        trace.record(
+            "merge_filters",
+            out_start,
+            format!("inlined {inner_desc} into slot {j}"),
+            2,
+            1,
+        );
     }
 }
 
@@ -281,6 +349,7 @@ fn physicalize(
     out_params: CodecParams,
     out: &mut Vec<Segment>,
     stats: &mut PlanStats,
+    trace: &mut PlanTrace,
 ) -> Result<(), PlanError> {
     match &seg.node {
         LogicalNode::Concat { .. } => unreachable!("concats flattened in pass 1"),
@@ -351,6 +420,13 @@ fn physicalize(
                 });
             }
             if meta.is_keyframe(src_from) {
+                trace.record(
+                    "stream_copy",
+                    seg.out_start,
+                    format!("{video} #{src_from}..#{src_to} keyframe-aligned"),
+                    1,
+                    1,
+                );
                 out.push(Segment {
                     out_start: seg.out_start,
                     count: seg.count,
@@ -397,6 +473,7 @@ fn physicalize(
                             src_to: copy_to,
                         },
                     });
+                    let tail = src_to - copy_to;
                     if copy_to < src_to {
                         out.push(render(
                             seg.out_start + head + (copy_to - kf),
@@ -404,6 +481,21 @@ fn physicalize(
                         ));
                     }
                     stats.smart_cuts += 1;
+                    trace.record(
+                        "smart_cut",
+                        seg.out_start,
+                        format!(
+                            "{video} #{src_from}..#{src_to}: re-encode {head}-frame head, \
+                             copy #{kf}..#{copy_to}{}",
+                            if tail > 0 {
+                                format!(", re-encode {tail}-frame tail")
+                            } else {
+                                String::new()
+                            }
+                        ),
+                        1,
+                        if tail > 0 { 3 } else { 2 },
+                    );
                     return Ok(());
                 }
             }
@@ -415,6 +507,7 @@ fn physicalize(
 
 /// Splits long render segments at output-GOP multiples so the engine can
 /// encode them in parallel and splice the results.
+#[allow(clippy::too_many_arguments)]
 fn shard(
     segments: Vec<Segment>,
     plan: &LogicalPlan,
@@ -422,6 +515,7 @@ fn shard(
     gop: u64,
     config: &OptimizerConfig,
     stats: &mut PlanStats,
+    trace: &mut PlanTrace,
 ) -> Vec<Segment> {
     let chunk = (gop * config.shard_gops.max(1)).max(1);
     let mut out = Vec::with_capacity(segments.len());
@@ -456,6 +550,17 @@ fn shard(
                     out.push(seg);
                     continue;
                 }
+                trace.record(
+                    "shard",
+                    seg.out_start,
+                    format!(
+                        "{}-frame render split into {} shard(s)",
+                        seg.count,
+                        cuts.len() + 1
+                    ),
+                    1,
+                    cuts.len() as u64 + 1,
+                );
                 let mut prev = 0u64;
                 for cut in cuts.iter().copied().chain([seg.count]) {
                     out.push(Segment {

@@ -33,6 +33,15 @@ impl SegPlan {
     pub fn is_copy(&self) -> bool {
         matches!(self, SegPlan::StreamCopy { .. })
     }
+
+    /// Stable kind name (`render` or `stream_copy`) for traces and
+    /// explain output.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            SegPlan::Render { .. } => "render",
+            SegPlan::StreamCopy { .. } => "stream_copy",
+        }
+    }
 }
 
 /// One physical output segment.

@@ -1,0 +1,135 @@
+//! The optimizer's rewrite trace.
+//!
+//! [`optimize_traced`] records one [`RewriteEvent`] per rewrite
+//! *application* — not just the counters in
+//! [`PlanStats`](crate::PlanStats), but which rule fired where and how
+//! the plan shrank or split. The trace is what `EXPLAIN` prints beside
+//! the plan and what CI's metrics-snapshot job pins against golden
+//! JSON, so the optimizer cannot silently stop (or start) firing a
+//! rewrite between PRs.
+//!
+//! [`optimize_traced`]: crate::optimize_traced
+
+use serde::{Deserialize, Serialize};
+
+/// One rewrite application.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RewriteEvent {
+    /// Rule name: `concat_flatten`, `merge_filters`, `elide_identity`,
+    /// `stream_copy`, `smart_cut`, or `shard`.
+    pub rule: String,
+    /// Output frame index of the segment the rule touched — the stable
+    /// operator-site id (operators are keyed by where their output
+    /// lands).
+    pub out_start: u64,
+    /// Human-readable specifics (sources, ranges, fused op names).
+    pub detail: String,
+    /// Plan nodes/segments at the site before the rewrite.
+    pub nodes_before: u64,
+    /// Plan nodes/segments at the site after the rewrite.
+    pub nodes_after: u64,
+}
+
+/// The full rewrite history of one `optimize` run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanTrace {
+    /// Operator count of the logical plan going in.
+    pub logical_nodes: u64,
+    /// Segment count of the physical plan coming out.
+    pub physical_segments: u64,
+    /// Every rewrite application, in firing order.
+    pub events: Vec<RewriteEvent>,
+}
+
+impl PlanTrace {
+    /// Records one rewrite application.
+    pub fn record(
+        &mut self,
+        rule: &str,
+        out_start: u64,
+        detail: impl Into<String>,
+        nodes_before: u64,
+        nodes_after: u64,
+    ) {
+        self.events.push(RewriteEvent {
+            rule: rule.to_string(),
+            out_start,
+            detail: detail.into(),
+            nodes_before,
+            nodes_after,
+        });
+    }
+
+    /// How many times `rule` fired.
+    pub fn fired(&self, rule: &str) -> usize {
+        self.events.iter().filter(|e| e.rule == rule).count()
+    }
+
+    /// Distinct rule names that fired, sorted.
+    pub fn rules_fired(&self) -> Vec<String> {
+        let mut rules: Vec<String> = self.events.iter().map(|e| e.rule.clone()).collect();
+        rules.sort();
+        rules.dedup();
+        rules
+    }
+
+    /// Pretty rendering: one line per event.
+    pub fn pretty(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "rewrites: {} event(s), {} logical node(s) -> {} physical segment(s)",
+            self.events.len(),
+            self.logical_nodes,
+            self.physical_segments
+        );
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "  {:<15} @{:<6} {}  [{} -> {} node(s)]",
+                e.rule, e.out_start, e.detail, e.nodes_before, e.nodes_after
+            );
+        }
+        out
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serializes")
+    }
+
+    /// Parses a trace back from JSON.
+    pub fn from_json(text: &str) -> Result<PlanTrace, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut t = PlanTrace::default();
+        t.record("stream_copy", 0, "a #30..#90", 1, 1);
+        t.record("smart_cut", 60, "a #15..#75 head 15", 1, 2);
+        t.record("stream_copy", 120, "a #0..#30", 1, 1);
+        assert_eq!(t.fired("stream_copy"), 2);
+        assert_eq!(t.fired("shard"), 0);
+        assert_eq!(t.rules_fired(), vec!["smart_cut", "stream_copy"]);
+        assert!(t.pretty().contains("smart_cut"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = PlanTrace {
+            logical_nodes: 5,
+            physical_segments: 3,
+            events: vec![],
+        };
+        t.record("merge_filters", 0, "Blur∘Zoom", 2, 1);
+        let back = PlanTrace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -268,7 +268,7 @@ impl Iterator for TimeSetIter<'_> {
         let mut best: Option<(usize, Rational)> = None;
         for (i, (r, k)) in self.cursors.iter().enumerate() {
             if let Some(t) = r.at(*k) {
-                if best.is_none_or(|(_, bt)| t < bt) {
+                if best.map_or(true, |(_, bt)| t < bt) {
                     best = Some((i, t));
                 }
             }

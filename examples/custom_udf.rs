@@ -89,8 +89,11 @@ fn main() {
     );
 
     let mut engine = V2vEngine::new(catalog);
-    let (_, opt_plan) = engine.explain(&spec).expect("plans");
-    println!("--- optimized plan (UDF fused like a built-in) ---\n{opt_plan}");
+    let explain = engine.explain(&spec).expect("plans");
+    println!(
+        "--- optimized plan (UDF fused like a built-in) ---\n{}",
+        explain.physical
+    );
     let report = engine.run(&spec).expect("synthesis");
     print_report("vignette", &report);
 

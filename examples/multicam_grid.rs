@@ -63,9 +63,15 @@ fn main() {
         .build();
 
     let mut engine = V2vEngine::new(catalog);
-    let (unopt, opt) = engine.explain(&spec).expect("plans");
-    println!("--- unoptimized (12 operators feed the grid) ---\n{unopt}");
-    println!("--- optimized (one fused render per shard) ---\n{opt}");
+    let explain = engine.explain(&spec).expect("plans");
+    println!(
+        "--- unoptimized (12 operators feed the grid) ---\n{}",
+        explain.logical
+    );
+    println!(
+        "--- optimized (one fused render per shard) ---\n{}",
+        explain.physical
+    );
 
     let report = engine.run(&spec).expect("synthesis");
     print_report("multicam grid", &report);

@@ -43,9 +43,9 @@ fn main() {
     let mut catalog = Catalog::new();
     catalog.add_video("drone", video);
     let mut engine = V2vEngine::new(catalog);
-    let (unopt_plan, opt_plan) = engine.explain(&spec).expect("plans");
-    println!("--- unoptimized plan ---\n{unopt_plan}");
-    println!("--- optimized plan ---\n{opt_plan}");
+    let explain = engine.explain(&spec).expect("plans");
+    println!("--- unoptimized plan ---\n{}", explain.logical);
+    println!("--- optimized plan ---\n{}", explain.physical);
 
     // 4. Execute both arms.
     let report = engine.run(&spec).expect("optimized run");

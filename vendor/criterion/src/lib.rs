@@ -5,8 +5,44 @@
 //! `sample_size` samples; median per-iteration time (and throughput,
 //! when configured) is printed in a criterion-like format. No plotting,
 //! no statistical regression analysis.
+//!
+//! Command-line compatibility (the subset CI's bench-smoke step needs):
+//! positional arguments are substring filters on full benchmark names
+//! (`group/name`), as in real criterion — `cargo bench -- kernel`
+//! runs only benchmarks whose name contains `kernel`; `--quick` caps
+//! sampling at 2 samples per benchmark. Unknown `-`-prefixed flags
+//! (e.g. cargo's own `--bench`) are ignored.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Parsed process arguments: name filters and quick mode.
+struct CliArgs {
+    filters: Vec<String>,
+    quick: bool,
+}
+
+fn cli() -> &'static CliArgs {
+    static CLI: OnceLock<CliArgs> = OnceLock::new();
+    CLI.get_or_init(|| {
+        let mut filters = Vec::new();
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--quick" {
+                quick = true;
+            } else if !arg.starts_with('-') {
+                filters.push(arg);
+            }
+            // Other flags (--bench, --exact, ...) are tolerated no-ops.
+        }
+        CliArgs { filters, quick }
+    })
+}
+
+/// `true` when `name` passes the filter list (empty list passes all).
+fn name_matches(name: &str, filters: &[String]) -> bool {
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
+}
 
 /// How `iter_batched` sizes its batches. The stand-in always runs one
 /// routine call per measured batch, so variants only differ in name.
@@ -164,6 +200,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
+    let args = cli();
+    if !name_matches(name, &args.filters) {
+        return;
+    }
+    let samples = if args.quick { samples.min(2) } else { samples };
     let mut bencher = Bencher {
         samples,
         measured: None,
@@ -266,6 +307,16 @@ mod tests {
             );
         });
         g.finish();
+    }
+
+    #[test]
+    fn filter_matching() {
+        let none: Vec<String> = vec![];
+        assert!(name_matches("kernel/blur", &none));
+        let f = vec!["kernel".to_string(), "gop_cache".to_string()];
+        assert!(name_matches("kernel/blur", &f));
+        assert!(name_matches("gop_cache/hit", &f));
+        assert!(!name_matches("sweep/q3", &f));
     }
 
     #[test]
