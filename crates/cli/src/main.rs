@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! v2v run <spec.json> -o <out.svc> [--no-optimize] [--no-dde] [--serial]
+//!         [--threads N] [--no-pipeline] [--no-split]
 //!         [--no-cache] [--trace trace.json]
 //! v2v explain <spec.json> [--analyze] [--json]   plans + rewrite trace;
 //!                                     --analyze also runs the query and
@@ -18,6 +19,13 @@
 //! trace, per-segment execution metrics, pipeline-stage spans, and a
 //! metrics snapshot — as one JSON document (the input to CI's
 //! metrics-snapshot job).
+//!
+//! Scheduler knobs: `--threads N` caps the executor's worker pool (0 =
+//! auto, also settable via `V2V_NUM_THREADS`); `--no-pipeline` disables
+//! the decode-ahead pipeline inside render segments; `--no-split`
+//! disables runtime splitting of long renders across idle workers;
+//! `--serial` turns all three off and runs segments one at a time. Every
+//! combination produces byte-identical output.
 //!
 //! Video locators in the spec are `.svc` paths; data-array locators are
 //! JSON annotation paths or `sql:` queries against a database loaded
@@ -40,7 +48,7 @@ use v2v_spec::Spec;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--no-cache] [--trace trace.json]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]"
+        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--threads N] [--no-pipeline] [--no-split] [--no-cache] [--trace trace.json]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]"
     );
     ExitCode::from(2)
 }
@@ -164,6 +172,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--no-optimize" => optimize = false,
             "--no-dde" => config.data_rewrites = false,
             "--serial" => config.exec.parallel = false,
+            "--threads" => {
+                i += 1;
+                config.exec.num_threads = args
+                    .get(i)
+                    .ok_or("missing value after --threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads value: {e}"))?;
+            }
+            "--no-pipeline" => config.exec.pipeline_depth = 0,
+            "--no-split" => config.exec.runtime_split = false,
             "--no-cache" => config.exec.gop_cache_frames = 0,
             other if spec_path.is_none() => spec_path = Some(other.to_string()),
             other => return Err(format!("unexpected argument '{other}'")),

@@ -17,7 +17,7 @@ pub enum PacketKind {
 /// `data` is cheaply cloneable ([`Bytes`]): stream copy *is* a refcount
 /// bump plus an index entry, which is what makes it the "fastest class of
 /// video edits operating near the speed of a memory copy" (paper §IV-C).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Packet {
     /// Presentation timestamp.
     pub pts: Rational,

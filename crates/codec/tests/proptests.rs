@@ -106,7 +106,8 @@ proptest! {
         for i in 0..n_frames {
             let f = build_frame(ty, i as u64, &noise);
             let p = enc.encode(&f, Rational::new(i as i64, 30)).unwrap();
-            prop_assert_eq!(p.keyframe, (i as u64).is_multiple_of(u64::from(gop)));
+            // `% == 0` rather than `is_multiple_of`: the workspace MSRV is 1.75.
+            prop_assert_eq!(p.keyframe, (i as u64) % u64::from(gop) == 0);
         }
     }
 

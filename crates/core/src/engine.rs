@@ -7,9 +7,9 @@ use v2v_container::VideoStream;
 use v2v_data::{Database, Query};
 use v2v_exec::{
     execute_naive, execute_streaming_with, execute_traced, Catalog, ExecOptions, ExecStats,
-    StreamingStats,
+    StageTimes, StreamingStats,
 };
-use v2v_obs::SpanSink;
+use v2v_obs::{SpanRecord, SpanSink};
 use v2v_plan::{
     explain_logical, explain_physical, lower_spec, optimize_traced, OptimizerConfig, PhysicalPlan,
     PlanStats, PlanTrace,
@@ -21,8 +21,9 @@ use v2v_spec::{check_spec_with_udfs, CheckReport, Spec};
 pub struct EngineConfig {
     /// Plan-level rewrites (stream copy, smart cut, sharding).
     pub optimizer: OptimizerConfig,
-    /// Runtime options (parallel segment execution, shared decoded-GOP
-    /// cache size via `gop_cache_frames`).
+    /// Runtime options (parallel segment execution, worker count,
+    /// pipeline depth, runtime work splitting, shared decoded-GOP cache
+    /// size via `gop_cache_frames`).
     pub exec: ExecOptions,
     /// Apply data-dependent rewrites before planning (§IV-C).
     pub data_rewrites: bool,
@@ -211,9 +212,34 @@ impl V2vEngine {
             .attr("rewrites", plan_trace.events.len())
             .finish();
         let timer = spans.start("execute");
+        let exec_start_ns = spans.now_ns();
         let (output, exec_trace, wall) =
             execute_traced(&physical, &self.catalog, &self.config.exec)?;
-        timer.attr("frames", output.len()).finish();
+        timer
+            .attr("frames", output.len())
+            .attr("splits", exec_trace.totals.splits)
+            .attr("steals", exec_trace.totals.steals)
+            .finish();
+        // Synthetic per-stage spans: the scheduler's pipeline stages run
+        // overlapped across worker threads, so these carry summed *busy*
+        // time (anchored at the execute span's start), not exclusive wall
+        // intervals.
+        let stage = exec_trace
+            .segments
+            .iter()
+            .fold(StageTimes::default(), |acc, s| acc.merge(s.stage));
+        for (name, dur_ns) in [
+            ("exec.stage.decode", stage.decode_ns),
+            ("exec.stage.compose", stage.compose_ns),
+            ("exec.stage.encode", stage.encode_ns),
+        ] {
+            spans.record(SpanRecord {
+                name: name.into(),
+                start_ns: exec_start_ns,
+                dur_ns,
+                attrs: vec![("busy".into(), "true".into())],
+            });
+        }
         let report = RunReport {
             output,
             check,
@@ -564,7 +590,15 @@ mod tests {
             report.stats.packets_copied
         );
         let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
-        for stage in ["bind", "specialize", "plan", "execute"] {
+        for stage in [
+            "bind",
+            "specialize",
+            "plan",
+            "execute",
+            "exec.stage.decode",
+            "exec.stage.compose",
+            "exec.stage.encode",
+        ] {
             assert!(names.contains(&stage), "missing span {stage}: {names:?}");
         }
         // The artifact survives a JSON round trip unchanged.

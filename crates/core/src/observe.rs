@@ -145,6 +145,8 @@ impl RunTrace {
         registry
             .counter("exec.gop_cache_misses")
             .add(t.gop_cache_misses);
+        registry.counter("exec.splits").add(t.splits);
+        registry.counter("exec.steals").add(t.steals);
         registry
             .counter("plan.rewrite_events")
             .add(rewrites.events.len() as u64);

@@ -38,6 +38,13 @@ pub struct SourceCursor<'a> {
     /// Keyframe entries: every decoder reset (initial positioning,
     /// backward jumps, forward jumps across a keyframe, GOP decodes).
     pub seeks: u64,
+    /// GOP requests this cursor served from the shared cache (including
+    /// waits on a decode another cursor was already running).
+    pub gop_cache_hits: u64,
+    /// GOP requests this cursor had to decode itself. Hits and misses
+    /// are attributed to exactly one cursor per request, so per-segment
+    /// roll-ups are deterministic regardless of worker interleaving.
+    pub gop_cache_misses: u64,
 }
 
 impl<'a> SourceCursor<'a> {
@@ -55,6 +62,8 @@ impl<'a> SourceCursor<'a> {
             frames_decoded: 0,
             bytes_decoded: 0,
             seeks: 0,
+            gop_cache_hits: 0,
+            gop_cache_misses: 0,
         }
     }
 
@@ -127,21 +136,22 @@ impl<'a> SourceCursor<'a> {
     }
 
     /// Serves `idx` through the shared GOP cache: the containing GOP is
-    /// decoded in full on a miss and memoized for other cursors.
+    /// decoded in full on a miss and memoized for other cursors. The
+    /// cache's in-flight gating guarantees each GOP is decoded at most
+    /// once process-wide, and the hit/miss is booked on this cursor.
     fn frame_from_cache(&mut self, cache: &GopCache, idx: u64) -> Result<Arc<Frame>, ExecError> {
         let kf = self
             .stream
             .keyframe_at_or_before(idx as usize)
             .expect("streams start with a keyframe") as u64;
         if self.gop.as_ref().map(|(k, _)| *k) != Some(kf) {
-            let frames = match cache.get(&self.video, kf) {
-                Some(frames) => frames,
-                None => {
-                    let frames = self.decode_gop(kf)?;
-                    cache.insert(&self.video, kf, frames.clone());
-                    frames
-                }
-            };
+            let video = self.video.clone();
+            let (frames, was_hit) = cache.get_or_insert_with(&video, kf, || self.decode_gop(kf))?;
+            if was_hit {
+                self.gop_cache_hits += 1;
+            } else {
+                self.gop_cache_misses += 1;
+            }
             self.gop = Some((kf, frames));
         }
         let (_, frames) = self.gop.as_ref().expect("gop just installed");
@@ -268,6 +278,9 @@ mod tests {
         assert_eq!(b.frames_decoded, 0, "second cursor must hit the cache");
         assert_eq!(cache.hits(), 3);
         assert_eq!(cache.misses(), 3);
+        // Per-cursor attribution: `a` paid for every decode, `b` only hit.
+        assert_eq!((a.gop_cache_hits, a.gop_cache_misses), (0, 3));
+        assert_eq!((b.gop_cache_hits, b.gop_cache_misses), (3, 0));
     }
 
     #[test]

@@ -2,32 +2,31 @@
 //!
 //! Segments have no dependencies on each other (each render segment
 //! starts its own GOP; copies are self-contained), so the engine
-//! evaluates them in parallel with rayon and splices the resulting packet
-//! runs in output order — "we use the dependency graph to execute
-//! operators in parallel as an additional optimization at runtime"
-//! (§IV-A).
+//! evaluates them in parallel and splices the resulting packet runs in
+//! output order — "we use the dependency graph to execute operators in
+//! parallel as an additional optimization at runtime" (§IV-A). The
+//! parallelism itself lives in [`crate::scheduler`]: work is dispatched
+//! longest-first by estimated cost, long renders are split at output-GOP
+//! boundaries when workers idle, and each render part internally
+//! pipelines decode-ahead, parallel compose, and per-GOP encoding.
 
-use crate::apply::apply_program;
 use crate::catalog::Catalog;
-use crate::cursor::SourceCursor;
 use crate::gop_cache::GopCache;
+use crate::scheduler::{execute_scheduled, PartOutput};
 use crate::trace::{ExecTrace, SegmentTrace};
 use crate::ExecError;
-use rayon::prelude::*;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
-use v2v_codec::{Encoder, Packet};
 use v2v_container::{StreamWriter, VideoStream};
-use v2v_frame::ops::{conform, conform_shared};
-use v2v_frame::Frame;
-use v2v_plan::{PhysicalPlan, SegPlan, Segment};
+use v2v_plan::PhysicalPlan;
 use v2v_time::Rational;
 
 /// Execution options.
 #[derive(Clone, Copy, Debug)]
 pub struct ExecOptions {
     /// Evaluate segments in parallel (the runtime half of the paper's
-    /// optimization story). Disable for the ablation benches.
+    /// optimization story). Disable for the ablation benches; when
+    /// `false` the engine runs strictly sequentially, ignoring
+    /// `num_threads`, `pipeline_depth`, and `runtime_split`.
     pub parallel: bool,
     /// Capacity of the shared decoded-GOP cache, in frames. Segments
     /// reading the same source ranges (grid cells, splice neighbours)
@@ -39,6 +38,22 @@ pub struct ExecOptions {
     /// incoming, so anything under ~1700 thrashes on such sources (the default leaves
     /// headroom above that working set).
     pub gop_cache_frames: usize,
+    /// Worker threads for the scheduler. `0` means auto: the
+    /// `V2V_NUM_THREADS` environment variable if set, else the machine's
+    /// available parallelism. Each engine gets its own scoped pool, so
+    /// two engines in one process never fight over a global pool.
+    pub num_threads: usize,
+    /// Decode-ahead depth of the intra-segment pipeline, in output GOPs:
+    /// the prefetch stage may run this many GOPs ahead of the encoder,
+    /// and up to this many output GOPs are composed/encoded per parallel
+    /// batch. `0` disables pipelining (render parts run the classic
+    /// sequential decode → compose → encode loop).
+    pub pipeline_depth: usize,
+    /// Allow running renders to split at output-GOP boundaries when
+    /// workers go idle. Splits are lossless (output GOPs are
+    /// codec-independent) and replace the planner's static shard-size
+    /// guess with load-driven balancing.
+    pub runtime_split: bool,
 }
 
 impl Default for ExecOptions {
@@ -46,7 +61,34 @@ impl Default for ExecOptions {
         ExecOptions {
             parallel: true,
             gop_cache_frames: 4096,
+            num_threads: 0,
+            pipeline_depth: 2,
+            runtime_split: true,
         }
+    }
+}
+
+impl ExecOptions {
+    /// The worker count the scheduler will actually use: 1 when
+    /// `parallel` is off, else `num_threads`, else `V2V_NUM_THREADS`,
+    /// else the machine's available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if !self.parallel {
+            return 1;
+        }
+        if self.num_threads > 0 {
+            return self.num_threads;
+        }
+        if let Ok(v) = std::env::var("V2V_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
     }
 }
 
@@ -69,17 +111,24 @@ pub struct ExecStats {
     pub seeks: u64,
     /// Segments executed.
     pub segments: u64,
-    /// GOP lookups served from the shared decoded-GOP cache.
+    /// GOP lookups served from the shared decoded-GOP cache. Attributed
+    /// per cursor (exactly one cursor books each lookup), so per-segment
+    /// values are deterministic under parallel execution.
     pub gop_cache_hits: u64,
     /// GOP lookups that had to decode.
     pub gop_cache_misses: u64,
+    /// Times the scheduler split a running render to feed idle workers
+    /// (run-level; load-dependent, zero under serial execution).
+    #[serde(default)]
+    pub splits: u64,
+    /// Split-off tasks picked up by another worker (run-level).
+    #[serde(default)]
+    pub steals: u64,
 }
 
 impl ExecStats {
     /// Field-wise accumulation: counters add. Used by both the batch and
-    /// streaming executors so the two cannot drift (cache hit/miss totals
-    /// are overwritten from the shared cache once per run — per-segment
-    /// stats carry zeros there).
+    /// streaming executors so the two cannot drift.
     pub fn merge(mut self, other: ExecStats) -> ExecStats {
         self.frames_decoded += other.frames_decoded;
         self.frames_encoded += other.frames_encoded;
@@ -91,6 +140,8 @@ impl ExecStats {
         self.segments += other.segments;
         self.gop_cache_hits += other.gop_cache_hits;
         self.gop_cache_misses += other.gop_cache_misses;
+        self.splits += other.splits;
+        self.steals += other.steals;
         self
     }
 }
@@ -120,126 +171,46 @@ pub fn execute_traced(
 ) -> Result<(VideoStream, ExecTrace, Duration), ExecError> {
     let started = Instant::now();
     let cache = GopCache::new(opts.gop_cache_frames);
-    let run = |seg: &Segment| -> Result<(Vec<Packet>, SegmentTrace), ExecError> {
-        let seg_started = Instant::now();
-        let (packets, stats) = execute_segment_packets(plan, seg, catalog, Some(&cache))?;
-        Ok((
-            packets,
-            SegmentTrace {
-                index: 0, // assigned in output order below
-                kind: seg.plan.kind_name().to_string(),
-                out_start: seg.out_start,
-                frames: seg.count,
-                stats,
-                wall_ns: seg_started.elapsed().as_nanos() as u64,
-            },
-        ))
-    };
-    let results: Vec<Result<(Vec<Packet>, SegmentTrace), ExecError>> = if opts.parallel {
-        plan.segments.par_iter().map(run).collect()
-    } else {
-        plan.segments.iter().map(run).collect()
-    };
-
     let mut writer = StreamWriter::new(plan.out_params, Rational::ZERO, plan.frame_dur);
     let mut trace = ExecTrace::default();
-    for (i, r) in results.into_iter().enumerate() {
-        let (packets, mut seg_trace) = r?;
-        writer.push_copied(&packets)?;
-        seg_trace.index = i as u64;
-        trace.totals = trace.totals.merge(seg_trace.stats);
-        trace.segments.push(seg_trace);
+    let mut deliver = |part: PartOutput| -> Result<(), ExecError> {
+        writer.push_copied(&part.packets)?;
+        match trace.segments.last_mut() {
+            // Continuation part of the segment we're already tracing
+            // (parts of one segment arrive contiguously, in order).
+            Some(last) if last.index == part.seg_index as u64 && part.stats.segments == 0 => {
+                last.frames += part.count;
+                last.stats = last.stats.merge(part.stats);
+                last.stage = last.stage.merge(part.stage);
+                last.wall_ns += part.wall_ns;
+                last.parts += 1;
+            }
+            _ => {
+                let seg = &plan.segments[part.seg_index];
+                trace.segments.push(SegmentTrace {
+                    index: part.seg_index as u64,
+                    kind: seg.plan.kind_name().to_string(),
+                    out_start: seg.out_start,
+                    frames: part.count,
+                    stats: part.stats,
+                    wall_ns: part.wall_ns,
+                    parts: 1,
+                    stage: part.stage,
+                });
+            }
+        }
+        Ok(())
+    };
+    let report = execute_scheduled(plan, catalog, opts, Some(&cache), &mut deliver)?;
+    for seg in &trace.segments {
+        trace.totals = trace.totals.merge(seg.stats);
     }
-    // Cache traffic is accounted once per run (the cache is shared, not
-    // per-segment).
-    trace.totals.gop_cache_hits = cache.hits();
-    trace.totals.gop_cache_misses = cache.misses();
+    trace.totals.splits = report.splits;
+    trace.totals.steals = report.steals;
     let out = writer.finish()?;
     let wall = started.elapsed();
     trace.wall_ns = wall.as_nanos() as u64;
     Ok((out, trace, wall))
-}
-
-/// Produces one segment's packets (shared by the batch and streaming
-/// executors).
-pub(crate) fn execute_segment_packets(
-    plan: &PhysicalPlan,
-    seg: &Segment,
-    catalog: &Catalog,
-    cache: Option<&GopCache>,
-) -> Result<(Vec<Packet>, ExecStats), ExecError> {
-    let mut stats = ExecStats {
-        segments: 1,
-        ..Default::default()
-    };
-    match &seg.plan {
-        SegPlan::StreamCopy {
-            video,
-            src_from,
-            src_to,
-        } => {
-            let stream = catalog
-                .video(video)
-                .ok_or_else(|| ExecError::UnknownVideo(video.clone()))?;
-            let packets =
-                stream.copy_packet_range(*src_from as usize, *src_to as usize, Rational::ZERO)?;
-            stats.packets_copied = packets.len() as u64;
-            stats.bytes_copied = packets.iter().map(|p| p.size() as u64).sum();
-            Ok((packets, stats))
-        }
-        SegPlan::Render { program, inputs } => {
-            // One forward cursor per input slot, each carrying its
-            // stream's catalog identity and (optionally) the shared GOP
-            // cache.
-            let mut cursors: Vec<(SourceCursor<'_>, &v2v_plan::InputClip)> = inputs
-                .iter()
-                .map(|clip| {
-                    catalog
-                        .video(&clip.video)
-                        .map(|s| {
-                            let mut cursor = SourceCursor::new(s, clip.video.clone());
-                            if let Some(cache) = cache {
-                                cursor = cursor.with_cache(cache);
-                            }
-                            (cursor, clip)
-                        })
-                        .ok_or_else(|| ExecError::UnknownVideo(clip.video.clone()))
-                })
-                .collect::<Result<_, _>>()?;
-            let mut encoder = Encoder::new(plan.out_params);
-            let out_ty = plan.out_params.frame_ty;
-            let mut packets = Vec::with_capacity(seg.count as usize);
-            let mut frames: Vec<Arc<Frame>> = Vec::with_capacity(inputs.len());
-            for i in 0..seg.count {
-                let t = plan.instant_of(seg.out_start + i);
-                frames.clear();
-                for (cursor, clip) in &mut cursors {
-                    let src_t = clip.time.apply(t);
-                    let idx =
-                        cursor
-                            .stream()
-                            .index_of(src_t)
-                            .ok_or_else(|| ExecError::MissingFrame {
-                                video: clip.video.clone(),
-                                at: src_t,
-                            })?;
-                    let frame = cursor.frame_at(idx as u64)?;
-                    frames.push(conform_shared(&frame, out_ty));
-                }
-                let out = apply_program(program, t, &frames, catalog.arrays(), catalog)?;
-                let out = conform(&out, out_ty);
-                let pts = plan.frame_dur * Rational::from_int(i as i64);
-                let pkt = encoder.encode(&out, pts)?;
-                stats.frames_encoded += 1;
-                stats.bytes_encoded += pkt.size() as u64;
-                packets.push(pkt);
-            }
-            stats.frames_decoded = cursors.iter().map(|(c, _)| c.frames_decoded).sum();
-            stats.bytes_decoded = cursors.iter().map(|(c, _)| c.bytes_decoded).sum();
-            stats.seeks = cursors.iter().map(|(c, _)| c.seeks).sum();
-            Ok((packets, stats))
-        }
-    }
 }
 
 #[cfg(test)]
@@ -247,7 +218,7 @@ mod tests {
     use super::*;
     use v2v_codec::CodecParams;
     use v2v_frame::{marker, Frame, FrameType};
-    use v2v_plan::{lower_spec, optimize, OptimizerConfig};
+    use v2v_plan::{lower_spec, optimize, OptimizerConfig, SegPlan, Segment};
     use v2v_spec::builder::blur;
     use v2v_spec::{OutputSettings, SpecBuilder};
     use v2v_time::r;

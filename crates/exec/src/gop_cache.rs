@@ -9,9 +9,9 @@
 //!
 //! [`SourceCursor`]: crate::SourceCursor
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use v2v_frame::Frame;
 
 /// One decoded GOP: frames in presentation order starting at the
@@ -26,6 +26,10 @@ struct Entry {
 
 struct Inner {
     map: HashMap<(String, u64), Entry>,
+    /// Keys currently being decoded by some cursor; other requesters of
+    /// the same GOP block on [`GopCache::decoded`] instead of decoding a
+    /// duplicate.
+    in_flight: HashSet<(String, u64)>,
     total_frames: usize,
     next_stamp: u64,
 }
@@ -34,8 +38,16 @@ struct Inner {
 ///
 /// A capacity of `0` disables the cache (cursors fall back to private
 /// sequential decoding).
+///
+/// [`get_or_insert_with`](GopCache::get_or_insert_with) gives exactly-once
+/// decode semantics under concurrency: the first requester of a GOP
+/// decodes it (a miss), every concurrent or later requester waits for /
+/// reuses that result (a hit). This is what makes per-cursor hit/miss
+/// accounting deterministic.
 pub struct GopCache {
     inner: Mutex<Inner>,
+    /// Signalled whenever an in-flight decode completes (or fails).
+    decoded: Condvar,
     capacity_frames: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -57,9 +69,11 @@ impl GopCache {
         GopCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
+                in_flight: HashSet::new(),
                 total_frames: 0,
                 next_stamp: 0,
             }),
+            decoded: Condvar::new(),
             capacity_frames,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -95,9 +109,12 @@ impl GopCache {
     /// never evicted by its own insertion).
     pub fn insert(&self, video: &str, gop: u64, frames: GopFrames) {
         let mut inner = self.inner.lock().expect("gop cache poisoned");
+        self.insert_locked(&mut inner, (video.to_owned(), gop), frames);
+    }
+
+    fn insert_locked(&self, inner: &mut Inner, key: (String, u64), frames: GopFrames) {
         inner.next_stamp += 1;
         let stamp = inner.next_stamp;
-        let key = (video.to_owned(), gop);
         let added = frames.len();
         if let Some(old) = inner.map.insert(key.clone(), Entry { frames, stamp }) {
             inner.total_frames -= old.frames.len();
@@ -113,6 +130,57 @@ impl GopCache {
                 .expect("more than one entry");
             let evicted = inner.map.remove(&victim).expect("victim present");
             inner.total_frames -= evicted.frames.len();
+        }
+    }
+
+    /// Serves the GOP at keyframe `gop` of `video`, decoding it at most
+    /// once process-wide: the first requester runs `decode` (counted as a
+    /// miss), concurrent requesters of the same key block until that
+    /// decode lands and then share it (counted as hits).
+    ///
+    /// Returns the frames plus `was_hit` so callers can attribute the
+    /// hit/miss to themselves deterministically — the caller that paid
+    /// for the decode sees `false`, everyone else `true`. A failed
+    /// decode releases the key so a later requester can retry.
+    pub fn get_or_insert_with<E>(
+        &self,
+        video: &str,
+        gop: u64,
+        decode: impl FnOnce() -> Result<GopFrames, E>,
+    ) -> Result<(GopFrames, bool), E> {
+        let key = (video.to_owned(), gop);
+        let mut inner = self.inner.lock().expect("gop cache poisoned");
+        loop {
+            inner.next_stamp += 1;
+            let stamp = inner.next_stamp;
+            if let Some(e) = inner.map.get_mut(&key) {
+                e.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((e.frames.clone(), true));
+            }
+            if !inner.in_flight.contains(&key) {
+                break;
+            }
+            inner = self.decoded.wait(inner).expect("gop cache poisoned");
+        }
+        inner.in_flight.insert(key.clone());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        let result = decode();
+        let mut inner = self.inner.lock().expect("gop cache poisoned");
+        inner.in_flight.remove(&key);
+        match result {
+            Ok(frames) => {
+                self.insert_locked(&mut inner, key, frames.clone());
+                drop(inner);
+                self.decoded.notify_all();
+                Ok((frames, false))
+            }
+            Err(e) => {
+                drop(inner);
+                self.decoded.notify_all();
+                Err(e)
+            }
         }
     }
 
@@ -188,6 +256,61 @@ mod tests {
         assert!(c.get("v", 0).is_some());
         c.insert("v", 5, gop(5));
         assert!(c.get("v", 0).is_none());
+    }
+
+    #[test]
+    fn get_or_insert_decodes_exactly_once_under_contention() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let c = GopCache::new(1000);
+        let decodes = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let (frames, _) = c
+                        .get_or_insert_with("v", 0, || {
+                            decodes.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so waiters really queue.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok::<_, ()>(gop(4))
+                        })
+                        .unwrap();
+                    assert_eq!(frames.len(), 4);
+                });
+            }
+        });
+        assert_eq!(
+            decodes.load(Ordering::SeqCst),
+            1,
+            "one decode for 8 readers"
+        );
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 7);
+    }
+
+    #[test]
+    fn failed_decode_releases_the_key() {
+        let c = GopCache::new(100);
+        let err: Result<_, &str> = c.get_or_insert_with("v", 0, || Err("decoder broke"));
+        assert!(err.is_err());
+        // The key must not stay marked in-flight: a retry decodes anew.
+        let (frames, was_hit) = c
+            .get_or_insert_with("v", 0, || Ok::<_, &str>(gop(2)))
+            .unwrap();
+        assert_eq!(frames.len(), 2);
+        assert!(!was_hit);
+    }
+
+    #[test]
+    fn was_hit_attributes_the_decode() {
+        let c = GopCache::new(100);
+        let (_, first) = c
+            .get_or_insert_with("v", 0, || Ok::<_, ()>(gop(3)))
+            .unwrap();
+        let (_, second) = c
+            .get_or_insert_with("v", 0, || -> Result<_, ()> { panic!("must not re-decode") })
+            .unwrap();
+        assert!(!first, "first requester pays for the decode");
+        assert!(second, "second requester hits");
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! Two executors over the same sources:
 //!
 //! * [`execute`] — the optimized engine: runs a [`v2v_plan::PhysicalPlan`]
-//!   segment-parallel (rayon over the dependency-free segment list),
-//!   fusing decode → transform → encode per render segment and splicing
-//!   stream-copied packet runs without touching raster data;
+//!   through the cost-based [`scheduler`] (longest-processing-time
+//!   dispatch, decode-ahead pipelining, runtime splitting of long render
+//!   segments at GOP boundaries), fusing decode → transform → encode per
+//!   render segment and splicing stream-copied packet runs without
+//!   touching raster data;
 //! * [`execute_naive`] — the unoptimized reference: interprets the
 //!   logical plan operator-at-a-time, materializing an encoded
 //!   intermediate stream at every `Clip`, `Filter`, and the final
@@ -24,6 +26,7 @@ pub mod cursor;
 pub mod executor;
 pub mod gop_cache;
 pub mod naive;
+pub mod scheduler;
 pub mod streaming;
 pub mod trace;
 
@@ -33,8 +36,9 @@ pub use cursor::SourceCursor;
 pub use executor::{execute, execute_traced, ExecOptions, ExecStats};
 pub use gop_cache::{GopCache, GopFrames};
 pub use naive::execute_naive;
+pub use scheduler::{segment_cost, PartOutput, SchedReport};
 pub use streaming::{execute_streaming, execute_streaming_with, StreamingStats};
-pub use trace::{ExecTrace, SegmentTrace};
+pub use trace::{ExecTrace, SegmentTrace, StageTimes};
 
 /// Errors raised during execution.
 #[derive(Debug, thiserror::Error)]

@@ -8,18 +8,19 @@
 //! presentation order as soon as they are ready*, while later segments
 //! are still being rendered in parallel.
 //!
-//! Segments are independent (each starts its own GOP), so workers render
-//! them concurrently and a reorder stage releases each segment's packets
-//! once all earlier segments have been delivered. A plan whose first
-//! segment is a stream copy starts playback after a refcount bump — the
-//! measured `time_to_first_packet` in [`StreamingStats`] is how the
-//! interactive claim is quantified in the benches.
+//! Segments are independent (each starts its own GOP), so the scheduler
+//! renders them concurrently — splitting long renders at GOP boundaries
+//! when workers idle — and its ordered-delivery stage releases each
+//! part's packets once all earlier output has been delivered. A plan
+//! whose first segment is a stream copy starts playback after a refcount
+//! bump — the measured `time_to_first_packet` in [`StreamingStats`] is
+//! how the interactive claim is quantified in the benches.
 
 use crate::catalog::Catalog;
-use crate::executor::{execute_segment_packets, ExecOptions, ExecStats};
+use crate::executor::{ExecOptions, ExecStats};
 use crate::gop_cache::GopCache;
+use crate::scheduler::{execute_scheduled, PartOutput};
 use crate::ExecError;
-use crossbeam::channel;
 use std::time::{Duration, Instant};
 use v2v_codec::Packet;
 use v2v_container::{StreamWriter, VideoStream};
@@ -29,20 +30,27 @@ use v2v_time::Rational;
 /// Latency profile of a streaming run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StreamingStats {
-    /// Wall time until the first packet reached the sink.
+    /// Plan-independent preparation time (cache and writer construction)
+    /// spent before the executor started dispatching work. Kept separate
+    /// so `time_to_first_packet` isolates the paper's interactivity
+    /// claim.
+    pub setup: Duration,
+    /// Wall time from executor start until the first packet reached the
+    /// sink (excludes `setup`).
     pub time_to_first_packet: Duration,
-    /// Wall time until the last packet reached the sink.
+    /// Wall time from executor start until the last packet reached the
+    /// sink (excludes `setup`).
     pub total: Duration,
     /// Aggregated execution costs.
     pub exec: ExecStats,
 }
 
 /// Executes a plan, delivering packets to `sink` in presentation order
-/// as segments complete. Returns the assembled stream (identical to the
+/// as parts complete. Returns the assembled stream (identical to the
 /// batch executor's output) plus latency stats.
 ///
-/// Worker parallelism uses the rayon pool; ordered delivery runs on the
-/// calling thread, so `sink` needs no synchronization.
+/// Worker parallelism uses the scheduler's scoped pool; ordered delivery
+/// runs on the calling thread, so `sink` needs no synchronization.
 pub fn execute_streaming(
     plan: &PhysicalPlan,
     catalog: &Catalog,
@@ -53,12 +61,13 @@ pub fn execute_streaming(
 
 /// [`execute_streaming`] with explicit [`ExecOptions`].
 ///
-/// Streaming runs honor the same options as batch runs — in particular
-/// `gop_cache_frames`, so a streaming execution reports the same cache
-/// hit/miss counts as a batch execution of the same plan (the two used
-/// to diverge when the engine was configured with a non-default cache
-/// size). `parallel` is ignored: streaming always overlaps segment
-/// rendering with ordered delivery.
+/// Streaming runs honor the same options as batch runs — `parallel`,
+/// `num_threads`, `pipeline_depth`, `runtime_split`, and
+/// `gop_cache_frames` — so a streaming execution reports the same cache
+/// hit/miss counts as a batch execution of the same plan. Packets reach
+/// `sink` already re-stamped onto the output presentation grid, so the
+/// sink-visible bytes are identical however the scheduler split the
+/// work.
 pub fn execute_streaming_with(
     plan: &PhysicalPlan,
     catalog: &Catalog,
@@ -66,60 +75,33 @@ pub fn execute_streaming_with(
     mut sink: impl FnMut(&Packet),
 ) -> Result<(VideoStream, StreamingStats), ExecError> {
     let started = Instant::now();
-    let n = plan.segments.len();
     let cache = GopCache::new(opts.gop_cache_frames);
-    let (tx, rx) = channel::unbounded::<(usize, Result<(Vec<Packet>, ExecStats), ExecError>)>();
-
-    // Fan the segments out to the rayon pool; the driver closure runs in
-    // place on this thread (so the non-Send sink is fine) and delivers
-    // results in order as they arrive.
-    rayon::in_place_scope(
-        |scope| -> Result<(VideoStream, StreamingStats), ExecError> {
-            for (i, seg) in plan.segments.iter().enumerate() {
-                let tx = tx.clone();
-                let cache = &cache;
-                scope.spawn(move |_| {
-                    let result = execute_segment_packets(plan, seg, catalog, Some(cache));
-                    // Receiver outlives the scope; a send failure only means
-                    // the driver already bailed on an earlier error.
-                    let _ = tx.send((i, result));
-                });
+    let mut writer = StreamWriter::new(plan.out_params, Rational::ZERO, plan.frame_dur);
+    let mut stats = StreamingStats {
+        setup: started.elapsed(),
+        ..Default::default()
+    };
+    let exec_started = Instant::now();
+    let mut first_sent = false;
+    let mut deliver = |part: PartOutput| -> Result<(), ExecError> {
+        let base = writer.len() as i64;
+        for (k, p) in part.packets.iter().enumerate() {
+            if !first_sent {
+                stats.time_to_first_packet = exec_started.elapsed();
+                first_sent = true;
             }
-            drop(tx);
-
-            let mut pending: Vec<Option<(Vec<Packet>, ExecStats)>> = (0..n).map(|_| None).collect();
-            let mut next = 0usize;
-            let mut writer = StreamWriter::new(plan.out_params, Rational::ZERO, plan.frame_dur);
-            let mut stats = StreamingStats::default();
-            let mut first_sent = false;
-            while next < n {
-                let (i, result) = rx.recv().expect("workers outlive the channel");
-                pending[i] = Some(result?);
-                while next < n {
-                    let Some((packets, seg_stats)) = pending[next].take() else {
-                        break;
-                    };
-                    for p in &packets {
-                        if !first_sent {
-                            stats.time_to_first_packet = started.elapsed();
-                            first_sent = true;
-                        }
-                        sink(p);
-                    }
-                    writer.push_copied(&packets)?;
-                    stats.exec = stats.exec.merge(seg_stats);
-                    next += 1;
-                }
-            }
-            let out = writer.finish()?;
-            // Cache traffic is accounted once per run (the cache is shared,
-            // not per-segment).
-            stats.exec.gop_cache_hits = cache.hits();
-            stats.exec.gop_cache_misses = cache.misses();
-            stats.total = started.elapsed();
-            Ok((out, stats))
-        },
-    )
+            sink(&p.retimed(plan.frame_dur * Rational::from_int(base + k as i64)));
+        }
+        writer.push_copied(&part.packets)?;
+        stats.exec = stats.exec.merge(part.stats);
+        Ok(())
+    };
+    let report = execute_scheduled(plan, catalog, opts, Some(&cache), &mut deliver)?;
+    stats.exec.splits = report.splits;
+    stats.exec.steals = report.steals;
+    let out = writer.finish()?;
+    stats.total = exec_started.elapsed();
+    Ok((out, stats))
 }
 
 #[cfg(test)]
@@ -274,6 +256,7 @@ mod tests {
             let opts = ExecOptions {
                 gop_cache_frames: cache_frames,
                 parallel: false,
+                ..Default::default()
             };
             let (_, batch_stats, _) = execute(&plan, &catalog, &opts).unwrap();
             let (_, streaming_stats) =

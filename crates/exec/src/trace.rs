@@ -16,6 +16,31 @@
 use crate::executor::ExecStats;
 use serde::{Deserialize, Serialize};
 
+/// Busy time per pipeline stage of a render segment, in nanoseconds.
+///
+/// These are *busy* times, not span times: under the pipelined executor
+/// the decode stage runs concurrently with compose/encode, so the sum of
+/// the three can exceed the segment's `wall_ns`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimes {
+    /// Source decoding and input-frame gathering (the prefetch stage).
+    pub decode_ns: u64,
+    /// Frame composition (`apply_program` + conform to the output type).
+    pub compose_ns: u64,
+    /// Encoding composed frames into output packets.
+    pub encode_ns: u64,
+}
+
+impl StageTimes {
+    /// Field-wise accumulation.
+    pub fn merge(mut self, other: StageTimes) -> StageTimes {
+        self.decode_ns += other.decode_ns;
+        self.compose_ns += other.compose_ns;
+        self.encode_ns += other.encode_ns;
+        self
+    }
+}
+
 /// Measured profile of one executed physical segment.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SegmentTrace {
@@ -27,12 +52,22 @@ pub struct SegmentTrace {
     pub out_start: u64,
     /// Output frames the segment produces.
     pub frames: u64,
-    /// The segment's own cost counters (cache hit/miss fields are zero
-    /// here — the cache is shared and accounted once per run).
+    /// The segment's own cost counters, including the GOP-cache lookups
+    /// its cursors performed (hits/misses are attributed to exactly one
+    /// cursor per request, so the roll-up is deterministic).
     pub stats: ExecStats,
-    /// Segment wall time in nanoseconds. Unstable; excluded from golden
+    /// Segment wall time in nanoseconds (summed busy time of its parts
+    /// when the scheduler split it). Unstable; excluded from golden
     /// comparisons.
     pub wall_ns: u64,
+    /// Runtime parts the segment executed as: 1 unless the scheduler
+    /// split it to feed idle workers. Load-dependent; excluded from
+    /// golden comparisons.
+    #[serde(default)]
+    pub parts: u64,
+    /// Per-stage busy times. Unstable; excluded from golden comparisons.
+    #[serde(default)]
+    pub stage: StageTimes,
 }
 
 /// Measured profile of one execution.
@@ -124,6 +159,8 @@ mod tests {
                     ..Default::default()
                 },
                 wall_ns: 1_000,
+                parts: 1,
+                stage: StageTimes::default(),
             }],
             totals: ExecStats {
                 packets_copied: 60,

@@ -33,4 +33,9 @@ pub use span::{SpanRecord, SpanSink, SpanTimer};
 
 /// Schema version stamped into serialized trace artifacts. Bump on any
 /// backward-incompatible change to the JSON layout.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — initial layout (rewrites + exec trace + spans + metrics).
+/// * 2 — pipelined scheduler: per-segment `parts`/`stage` fields,
+///   `splits`/`steals` counters, and synthetic `exec.stage.*` spans.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;

@@ -1,15 +1,25 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! Only the `channel` module is provided, backed by `std::sync::mpsc`.
-//! The workspace uses single-consumer unbounded channels only, which the
-//! std implementation covers directly.
+//! The workspace uses single-consumer channels only — unbounded for
+//! fan-in of results, bounded for backpressured pipeline stages — which
+//! the std implementation covers directly.
 
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, SendError, Sender, SyncSender, TryRecvError, TrySendError,
+    };
 
     /// Creates an unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+
+    /// Creates a bounded MPSC channel: `send` blocks while `cap`
+    /// messages are in flight (the backpressure a decode-ahead pipeline
+    /// stage needs so prefetch cannot run arbitrarily far ahead).
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
     }
 }
 
@@ -23,5 +33,19 @@ mod tests {
         tx2.send(2).unwrap();
         assert_eq!(rx.recv().unwrap(), 1);
         assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(tx.try_send(3).is_err(), "third send must block");
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+        assert!(rx.recv().is_err(), "senders gone");
     }
 }

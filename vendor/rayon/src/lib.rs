@@ -2,16 +2,125 @@
 //!
 //! Provides real parallelism (scoped OS threads, one chunk per core)
 //! behind the tiny slice of the rayon API this workspace uses:
-//! `slice.par_iter().map(f).collect()` and `in_place_scope` + `spawn`.
-//! Order is preserved: chunk results are concatenated in input order.
+//! `slice.par_iter().map(f).collect()`, `in_place_scope` + `spawn`, and
+//! scoped [`ThreadPool`]s built by [`ThreadPoolBuilder`] whose
+//! [`install`](ThreadPool::install) bounds the fan-out width of parallel
+//! iterators run inside it. Order is preserved: chunk results are
+//! concatenated in input order.
+//!
+//! Unlike real rayon there is no persistent worker pool: a `ThreadPool`
+//! is a concurrency *budget* applied through a thread-local override, and
+//! OS threads are spawned per `collect`. Two pools in one process never
+//! share or fight over global state, which is the property the workspace
+//! relies on.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 
-/// Number of worker threads to fan work out over.
-fn threads() -> usize {
+thread_local! {
+    /// Fan-out width installed by [`ThreadPool::install`]; 0 = default.
+    static POOL_WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(4)
+}
+
+/// Number of worker threads parallel iterators fan out over in the
+/// current context (the installed pool's width, or the CPU count).
+pub fn current_num_threads() -> usize {
+    let w = POOL_WIDTH.with(Cell::get);
+    if w > 0 {
+        w
+    } else {
+        default_threads()
+    }
+}
+
+/// Number of worker threads to fan work out over.
+fn threads() -> usize {
+    current_num_threads()
+}
+
+/// Error building a [`ThreadPool`] (this stand-in never fails; the type
+/// exists so call sites match the real rayon API).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (width = CPU count).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool width; `0` means the CPU count.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+/// A scoped concurrency budget: parallel iterators run under
+/// [`install`](ThreadPool::install) fan out over at most this pool's
+/// width, independent of any other pool in the process.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+/// Restores the previous thread-local width on drop (unwind-safe).
+struct WidthGuard {
+    prev: usize,
+}
+
+impl Drop for WidthGuard {
+    fn drop(&mut self) {
+        POOL_WIDTH.with(|c| c.set(self.prev));
+    }
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `op` with this pool's width governing parallel iterators on
+    /// the calling thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let _guard = POOL_WIDTH.with(|c| {
+            let prev = c.get();
+            c.set(self.width);
+            WidthGuard { prev }
+        });
+        op()
+    }
 }
 
 pub mod prelude {
@@ -182,6 +291,37 @@ mod tests {
             .map(|x| if *x == 5 { Err("boom".to_string()) } else { Ok(*x) })
             .collect();
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn pool_install_scopes_width() {
+        assert!(super::current_num_threads() >= 1);
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| {
+            assert_eq!(super::current_num_threads(), 3);
+            let inner = super::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+            inner.install(|| assert_eq!(super::current_num_threads(), 1));
+            assert_eq!(super::current_num_threads(), 3, "inner install restores");
+            let v: Vec<u64> = (0..100).collect();
+            let out: Vec<u64> = v.par_iter().map(|x| x + 1).collect();
+            assert_eq!(out, (1..=100).collect::<Vec<_>>());
+        });
+        assert_ne!(super::POOL_WIDTH.with(std::cell::Cell::get), 3, "width restored");
+    }
+
+    #[test]
+    fn pools_do_not_leak_across_threads() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    // A fresh thread sees the default width, not the
+                    // installing thread's override.
+                    assert_eq!(super::POOL_WIDTH.with(std::cell::Cell::get), 0);
+                });
+            });
+        });
     }
 
     #[test]
