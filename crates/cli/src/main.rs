@@ -7,6 +7,8 @@
 //! v2v run <spec.json> -o <out.svc> [--no-optimize] [--no-dde] [--serial]
 //!         [--threads N] [--no-pipeline] [--no-split]
 //!         [--no-cache] [--trace trace.json]
+//!         [--on-error abort|skip|black] [--max-retries N]
+//!         [--error-report errors.json]
 //! v2v explain <spec.json> [--analyze] [--json]   plans + rewrite trace;
 //!                                     --analyze also runs the query and
 //!                                     annotates measured per-operator metrics
@@ -26,6 +28,14 @@
 //! disables runtime splitting of long renders across idle workers;
 //! `--serial` turns all three off and runs segments one at a time. Every
 //! combination produces byte-identical output.
+//!
+//! Fault tolerance: `--on-error` picks the degraded-mode policy when a
+//! segment keeps failing after `--max-retries` attempts (default 1):
+//! `abort` (default) fails the run, `skip` drops the segment from the
+//! output, `black` substitutes black frames of the same duration.
+//! `--error-report <path>` writes the structured per-segment fault
+//! report (action taken, retries, error kind) as JSON; degraded runs
+//! also print a one-line summary per fault.
 //!
 //! Video locators in the spec are `.svc` paths; data-array locators are
 //! JSON annotation paths or `sql:` queries against a database loaded
@@ -48,7 +58,7 @@ use v2v_spec::Spec;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--threads N] [--no-pipeline] [--no-split] [--no-cache] [--trace trace.json]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]"
+        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--threads N] [--no-pipeline] [--no-split] [--no-cache] [--trace trace.json] [--on-error abort|skip|black] [--max-retries N] [--error-report errors.json]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]"
     );
     ExitCode::from(2)
 }
@@ -152,6 +162,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut out_path = "out.svc".to_string();
     let mut db_path = None;
     let mut trace_path: Option<String> = None;
+    let mut error_report_path: Option<String> = None;
     let mut config = EngineConfig::default();
     let mut optimize = true;
     let mut i = 0;
@@ -183,6 +194,30 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--no-pipeline" => config.exec.pipeline_depth = 0,
             "--no-split" => config.exec.runtime_split = false,
             "--no-cache" => config.exec.gop_cache_frames = 0,
+            "--on-error" => {
+                i += 1;
+                config.exec.on_error = args
+                    .get(i)
+                    .ok_or("missing value after --on-error")?
+                    .parse()
+                    .map_err(|e| format!("bad --on-error value: {e}"))?;
+            }
+            "--max-retries" => {
+                i += 1;
+                config.exec.max_retries = args
+                    .get(i)
+                    .ok_or("missing value after --max-retries")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-retries value: {e}"))?;
+            }
+            "--error-report" => {
+                i += 1;
+                error_report_path = Some(
+                    args.get(i)
+                        .ok_or("missing value after --error-report")?
+                        .clone(),
+                );
+            }
             other if spec_path.is_none() => spec_path = Some(other.to_string()),
             other => return Err(format!("unexpected argument '{other}'")),
         }
@@ -235,6 +270,28 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     );
     for w in &report.check.warnings {
         println!("warning: {w}");
+    }
+    for fault in &report.errors {
+        println!(
+            "fault: segment {} (frames {}..{}) {} after {} retr{}: [{}] {}",
+            fault.seg_index,
+            fault.abs_start,
+            fault.abs_start + fault.frames,
+            fault.action.name(),
+            fault.retries,
+            if fault.retries == 1 { "y" } else { "ies" },
+            fault.kind,
+            fault.error
+        );
+    }
+    if let Some(path) = error_report_path {
+        let json = serde_json::to_string_pretty(&report.errors)
+            .map_err(|e| format!("serializing error report: {e}"))?;
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "error report: wrote {path} ({} fault(s))",
+            report.errors.len()
+        );
     }
     if let Some(path) = trace_path {
         let trace = trace.expect("traced run when --trace is set");

@@ -57,12 +57,22 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads `n` bytes.
+    ///
+    /// `n` comes straight from the bitstream (a varint length), so the
+    /// end position is computed with checked arithmetic and the slice is
+    /// taken through `get`: a hostile length yields `Corrupt`, never a
+    /// wrap-around or an out-of-bounds slice.
     pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.remaining() < n {
-            return Err(CodecError::Corrupt("truncated byte run".into()));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|end| *end <= self.buf.len())
+            .ok_or_else(|| CodecError::Corrupt("truncated byte run".into()))?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| CodecError::Corrupt("truncated byte run".into()))?;
+        self.pos = end;
         Ok(s)
     }
 
@@ -161,6 +171,14 @@ impl<'a, 'b> RunDecoder<'a, 'b> {
         }
         let run = self.reader.varint()?;
         let value = unzigzag(self.reader.varint()?);
+        // The pair covers `run` zeroes plus one value; one residual was
+        // already consumed above, so a run longer than what is left means
+        // the stream lies about its own length.
+        if run > self.remaining {
+            return Err(CodecError::Corrupt(
+                "run length exceeds residual count".into(),
+            ));
+        }
         if run > 0 {
             self.pending_zeroes = run - 1;
             self.pending_value = Some(value);
@@ -176,6 +194,7 @@ impl<'a, 'b> RunDecoder<'a, 'b> {
     /// but zero runs land as bulk `fill(0)` over sub-slices instead of
     /// one branchy call per sample — the fast path for the run-coded
     /// streams this codec produces.
+    #[allow(clippy::indexing_slicing)] // every index is bounded by the `i < out.len()` loop condition and `n` is min'd against `out.len() - i`
     pub fn next_residuals(&mut self, out: &mut [i32]) -> Result<(), CodecError> {
         let mut i = 0usize;
         while i < out.len() {
@@ -206,6 +225,14 @@ impl<'a, 'b> RunDecoder<'a, 'b> {
             }
             let run = self.reader.varint()?;
             let value = unzigzag(self.reader.varint()?);
+            // The pair covers `run + 1` residuals; nothing of it has been
+            // consumed yet, so reject runs that overrun the declared
+            // residual count instead of silently clamping the zero fill.
+            if run >= self.remaining {
+                return Err(CodecError::Corrupt(
+                    "run length exceeds residual count".into(),
+                ));
+            }
             if run > 0 {
                 self.pending_zeroes = run;
                 self.pending_value = Some(value);
@@ -286,5 +313,52 @@ mod tests {
         let buf = [0x80u8, 0x80];
         let mut r = Reader::new(&buf);
         assert!(r.varint().is_err());
+    }
+
+    #[test]
+    fn huge_byte_run_request_is_corrupt() {
+        // A length near usize::MAX must fail cleanly (no add overflow,
+        // no out-of-bounds slice), and a failed read must not move the
+        // cursor.
+        let buf = [1u8, 2, 3];
+        let mut r = Reader::new(&buf);
+        assert!(r.bytes(usize::MAX).is_err());
+        assert!(r.bytes(4).is_err());
+        assert_eq!(r.bytes(3).unwrap(), &buf);
+    }
+
+    #[test]
+    fn lying_run_length_is_corrupt() {
+        // A run claiming more zeroes than residuals remain must be
+        // rejected, not silently clamped into a truncated fill.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1000);
+        put_varint(&mut buf, zigzag(5));
+
+        let mut r = Reader::new(&buf);
+        let mut dec = RunDecoder::new(&mut r, 4);
+        let mut out = [0i32; 4];
+        assert!(matches!(
+            dec.next_residuals(&mut out),
+            Err(CodecError::Corrupt(_))
+        ));
+
+        let mut r = Reader::new(&buf);
+        let mut dec = RunDecoder::new(&mut r, 4);
+        assert!(matches!(dec.next_residual(), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn exact_run_length_still_decodes() {
+        // A run that exactly fills the residual count is legal: 3 zeroes
+        // then a value, count 4.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 3);
+        put_varint(&mut buf, zigzag(-7));
+        let mut r = Reader::new(&buf);
+        let mut dec = RunDecoder::new(&mut r, 4);
+        let mut out = [99i32; 4];
+        dec.next_residuals(&mut out).unwrap();
+        assert_eq!(out, [0, 0, 0, -7]);
     }
 }

@@ -108,7 +108,7 @@ impl Decoder {
         }
         let ty = self.params.frame_ty;
         let qstep = self.params.qstep();
-        let mut reader = Reader::new(&packet.data[1..]);
+        let mut reader = Reader::new(packet.data.get(1..).unwrap_or_default());
         for pi in 0..ty.format.plane_count() {
             let len = reader.varint()? as usize;
             let payload = reader.bytes(len)?;

@@ -1,5 +1,10 @@
 //! The SVC encoder: GOP scheduling, packet assembly, closed-loop state.
 
+// Panic-audit exemption: the encoder consumes trusted in-process frames,
+// not untrusted bytes; its one `expect` states the is-inter ⇒
+// has-reference invariant established a few lines above it.
+#![allow(clippy::expect_used)]
+
 use crate::bitstream::put_varint;
 use crate::packet::{Packet, PacketKind};
 use crate::params::CodecParams;

@@ -68,7 +68,41 @@ impl CodecParams {
 
     /// `true` if frame `index` (0-based) is a keyframe position.
     pub fn is_keyframe_index(&self, index: u64) -> bool {
-        index % u64::from(self.gop_size) == 0
+        // `max(1)` guards against params deserialized from hostile
+        // headers, which bypass the `new` assertion: a zero GOP size must
+        // not turn into a divide-by-zero panic mid-decode.
+        index % u64::from(self.gop_size.max(1)) == 0
+    }
+
+    /// Validates parameters arriving from untrusted sources.
+    ///
+    /// Serde deserialization (container headers) bypasses the
+    /// [`CodecParams::new`] assertion, so hostile files can carry any
+    /// field values; callers parsing untrusted bytes run this before
+    /// trusting the params. Returns a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        /// Per-axis pixel bound for untrusted headers: caps the largest
+        /// frame allocation a hostile file can demand (~768 MiB of
+        /// raster for 16384×16384 yuv420p) without constraining any
+        /// realistic stream.
+        const MAX_DIM: u32 = 1 << 14;
+        if self.gop_size == 0 {
+            return Err("gop_size must be at least 1".into());
+        }
+        let ty = self.frame_ty;
+        if ty.width == 0 || ty.height == 0 {
+            return Err(format!(
+                "frame dimensions {}x{} must be nonzero",
+                ty.width, ty.height
+            ));
+        }
+        if ty.width > MAX_DIM || ty.height > MAX_DIM {
+            return Err(format!(
+                "frame dimensions {}x{} exceed the {MAX_DIM}x{MAX_DIM} limit",
+                ty.width, ty.height
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -110,5 +144,27 @@ mod tests {
     #[should_panic]
     fn zero_gop_rejected() {
         CodecParams::new(FrameType::yuv420p(64, 64), 0, 0);
+    }
+
+    #[test]
+    fn validate_rejects_hostile_params() {
+        let good = CodecParams::new(FrameType::yuv420p(64, 64), 30, 0);
+        assert!(good.validate().is_ok());
+
+        // Serde bypasses the constructor assertion, so a hostile header
+        // can carry gop_size = 0; validate must catch it and the cadence
+        // check must not divide by zero regardless.
+        let mut zero_gop = good;
+        zero_gop.gop_size = 0;
+        assert!(zero_gop.validate().is_err());
+        assert!(zero_gop.is_keyframe_index(0), "must not panic");
+
+        let mut flat = good;
+        flat.frame_ty.height = 0;
+        assert!(flat.validate().is_err());
+
+        let mut giant = good;
+        giant.frame_ty.width = u32::MAX;
+        assert!(giant.validate().is_err(), "hostile dims must be capped");
     }
 }

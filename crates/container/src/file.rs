@@ -54,32 +54,82 @@ pub fn write_svc(stream: &VideoStream, path: impl AsRef<Path>) -> Result<(), Con
     Ok(())
 }
 
+/// Reads exactly `buf.len()` bytes, reporting a short read as
+/// [`ContainerError::BadFile`] naming `what`: truncation is a property
+/// of the file, not of the disk, so it must not surface as a bare I/O
+/// error.
+fn read_exact_or_bad(f: &mut impl Read, buf: &mut [u8], what: &str) -> Result<(), ContainerError> {
+    f.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ContainerError::BadFile(format!("truncated {what}"))
+        } else {
+            ContainerError::Io(e)
+        }
+    })
+}
+
 /// Reads a stream from an `.svc` file.
+///
+/// Every size in the file (header length, packet count, packet lengths)
+/// is untrusted: each is validated against the file's actual size before
+/// any allocation, so a hostile header can neither OOM the process nor
+/// panic the parser — it gets [`ContainerError::BadFile`].
 pub fn read_svc(path: impl AsRef<Path>) -> Result<VideoStream, ContainerError> {
-    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let file = std::fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut f = std::io::BufReader::new(file);
     let mut magic = [0u8; 4];
-    f.read_exact(&mut magic)?;
+    read_exact_or_bad(&mut f, &mut magic, "magic")?;
     if &magic != MAGIC {
         return Err(ContainerError::BadFile("bad magic".into()));
     }
     let mut len4 = [0u8; 4];
-    f.read_exact(&mut len4)?;
-    let hdr_len = u32::from_le_bytes(len4) as usize;
-    if hdr_len > 1 << 20 {
+    read_exact_or_bad(&mut f, &mut len4, "header length")?;
+    let hdr_len = u64::from(u32::from_le_bytes(len4));
+    if hdr_len > 1 << 20 || 8 + hdr_len > file_len {
         return Err(ContainerError::BadFile("oversized header".into()));
     }
-    let mut hdr = vec![0u8; hdr_len];
-    f.read_exact(&mut hdr)?;
+    let mut hdr = vec![0u8; hdr_len as usize];
+    read_exact_or_bad(&mut f, &mut hdr, "header")?;
     let header: Header = serde_json::from_slice(&hdr)
         .map_err(|e| ContainerError::BadFile(format!("header decode: {e}")))?;
+    header
+        .params
+        .validate()
+        .map_err(|e| ContainerError::BadFile(format!("bad codec params: {e}")))?;
+    if !header.frame_dur.is_positive() {
+        return Err(ContainerError::BadFile(
+            "frame duration must be positive".into(),
+        ));
+    }
+    // Every packet costs at least its 4-byte tag, so a truthful count is
+    // bounded by the bytes left after the header; a hostile count cannot
+    // force a giant up-front allocation.
+    let body = file_len - 8 - hdr_len;
+    if header.count > body / 4 {
+        return Err(ContainerError::BadFile(format!(
+            "packet count {} exceeds what a {file_len}-byte file can hold",
+            header.count
+        )));
+    }
     let mut packets = Vec::with_capacity(header.count as usize);
+    let mut remaining = body;
     for k in 0..header.count {
-        f.read_exact(&mut len4)?;
+        remaining = remaining.checked_sub(4).ok_or_else(|| {
+            ContainerError::BadFile(format!("truncated packet table at packet {k}"))
+        })?;
+        read_exact_or_bad(&mut f, &mut len4, "packet tag")?;
         let tag = u32::from_le_bytes(len4);
         let keyframe = tag & 1 == 1;
-        let len = (tag >> 1) as usize;
-        let mut data = vec![0u8; len];
-        f.read_exact(&mut data)?;
+        let len = u64::from(tag >> 1);
+        if len > remaining {
+            return Err(ContainerError::BadFile(format!(
+                "packet {k} length {len} exceeds remaining file bytes"
+            )));
+        }
+        let mut data = vec![0u8; len as usize];
+        read_exact_or_bad(&mut f, &mut data, "packet payload")?;
+        remaining -= len;
         let pts = header.start + header.frame_dur * Rational::from_int(k as i64);
         packets.push(Packet::new(pts, keyframe, Bytes::from(data)));
     }
@@ -151,6 +201,94 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
         assert!(read_svc(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Writes a hand-built `.svc` with the given header and raw packet
+    /// body, returning its path.
+    fn hostile_file(header: &Header, body: &[u8], name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("v2v_container_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let hdr = serde_json::to_vec(header).unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&(hdr.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&hdr);
+        bytes.extend_from_slice(body);
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    fn gray_header(count: u64) -> Header {
+        Header {
+            params: CodecParams::new(FrameType::gray8(16, 16), 4, 0),
+            start: Rational::ZERO,
+            frame_dur: r(1, 30),
+            count,
+        }
+    }
+
+    #[test]
+    fn hostile_count_rejected_without_allocation() {
+        // Regression: `read_svc` used to `Vec::with_capacity(header.count)`
+        // straight from the untrusted header.
+        let path = hostile_file(&gray_header(u64::MAX), &[], "hostile_count.svc");
+        assert!(matches!(read_svc(&path), Err(ContainerError::BadFile(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hostile_packet_length_rejected() {
+        // One packet whose tag claims a ~1 GiB payload backed by 3 bytes.
+        let tag: u32 = (1 << 30) << 1;
+        let mut body = tag.to_le_bytes().to_vec();
+        body.extend_from_slice(&[1, 2, 3]);
+        let path = hostile_file(&gray_header(1), &body, "hostile_len.svc");
+        assert!(matches!(read_svc(&path), Err(ContainerError::BadFile(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hostile_params_rejected() {
+        // gop_size 0 (divide-by-zero vector), absurd dimensions (OOM
+        // vector), and non-positive frame duration all arrive through
+        // serde, bypassing the CodecParams constructor assertion.
+        let mut zero_gop = gray_header(0);
+        zero_gop.params.gop_size = 0;
+        let mut giant = gray_header(0);
+        giant.params.frame_ty.width = u32::MAX;
+        let mut frozen = gray_header(0);
+        frozen.frame_dur = Rational::ZERO;
+        let mut backwards = gray_header(0);
+        backwards.frame_dur = r(-1, 30);
+        for (i, h) in [zero_gop, giant, frozen, backwards].iter().enumerate() {
+            let path = hostile_file(h, &[], &format!("hostile_params_{i}.svc"));
+            assert!(
+                matches!(read_svc(&path), Err(ContainerError::BadFile(_))),
+                "hostile header {i} must be rejected"
+            );
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn truncation_is_bad_file_not_io() {
+        // Short reads inside the packet table are a file-format problem:
+        // they must classify as BadFile, not surface as a raw I/O error.
+        let s = sample_stream();
+        let dir = std::env::temp_dir().join("v2v_container_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc_classified.svc");
+        write_svc(&s, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in [bytes.len() - 1, bytes.len() - 5, bytes.len() / 2] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                matches!(read_svc(&path), Err(ContainerError::BadFile(_))),
+                "cut at {cut} must be BadFile"
+            );
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

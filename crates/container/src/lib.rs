@@ -47,6 +47,9 @@ pub enum ContainerError {
     /// Packets must be appended in presentation order.
     #[error("packet timestamps must be strictly increasing on the grid")]
     OutOfOrder,
+    /// A decode needed a keyframe to enter the stream and found none.
+    #[error("no keyframe available to start decoding from")]
+    NoKeyframe,
     /// Malformed or unsupported file contents.
     #[error("invalid container file: {0}")]
     BadFile(String),

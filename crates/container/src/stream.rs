@@ -28,7 +28,14 @@ impl VideoStream {
         frame_dur: Rational,
         packets: Vec<Packet>,
     ) -> Result<VideoStream, ContainerError> {
-        assert!(frame_dur.is_positive(), "frame duration must be positive");
+        // An error, not an assert: the grid can arrive from an untrusted
+        // container header, and a non-positive duration would corrupt
+        // every downstream pts computation.
+        if !frame_dur.is_positive() {
+            return Err(ContainerError::BadFile(format!(
+                "frame duration {frame_dur} must be positive"
+            )));
+        }
         if let Some(first) = packets.first() {
             if !first.keyframe {
                 return Err(ContainerError::SpliceNotKeyframe);
@@ -110,13 +117,21 @@ impl VideoStream {
 
     /// Index of the last keyframe at or before frame `k`.
     pub fn keyframe_at_or_before(&self, k: usize) -> Option<usize> {
-        let k = k.min(self.packets.len().saturating_sub(1));
-        (0..=k).rev().find(|&i| self.packets[i].keyframe)
+        self.packets
+            .iter()
+            .enumerate()
+            .take(k.saturating_add(1))
+            .rev()
+            .find_map(|(i, p)| p.keyframe.then_some(i))
     }
 
     /// Index of the first keyframe at or after frame `k`.
     pub fn next_keyframe_at_or_after(&self, k: usize) -> Option<usize> {
-        (k..self.packets.len()).find(|&i| self.packets[i].keyframe)
+        self.packets
+            .iter()
+            .enumerate()
+            .skip(k)
+            .find_map(|(i, p)| p.keyframe.then_some(i))
     }
 
     /// All keyframe indices.
@@ -143,10 +158,14 @@ impl VideoStream {
         if from >= to {
             return Ok(Vec::new());
         }
-        if !self.packets[from].keyframe {
-            return Err(ContainerError::SpliceNotKeyframe);
+        match self.packets.get(from) {
+            Some(head) if head.keyframe => {}
+            _ => return Err(ContainerError::SpliceNotKeyframe),
         }
-        Ok(self.packets[from..to]
+        Ok(self
+            .packets
+            .get(from..to)
+            .unwrap_or_default()
             .iter()
             .enumerate()
             .map(|(i, p)| p.retimed(new_start + self.frame_dur * Rational::from_int(i as i64)))
@@ -158,15 +177,20 @@ impl VideoStream {
     /// packets that had to be decoded to produce it.
     pub fn decode_frame_at(&self, t: Rational) -> Result<(Frame, usize), ContainerError> {
         let k = self.index_of(t).ok_or(ContainerError::NotOnGrid(t))?;
+        // Streams assembled through `new` always start with a keyframe,
+        // but hostile files can reach here with the invariant broken —
+        // report, don't panic.
         let kf = self
             .keyframe_at_or_before(k)
-            .expect("stream starts with a keyframe");
+            .ok_or(ContainerError::NoKeyframe)?;
         let mut dec = Decoder::new(self.params);
         let mut frame = None;
-        for p in &self.packets[kf..=k] {
+        for p in self.packets.get(kf..=k).unwrap_or_default() {
             frame = Some(dec.decode(p)?);
         }
-        Ok((frame.expect("at least one packet decoded"), k - kf + 1))
+        frame
+            .map(|f| (f, k - kf + 1))
+            .ok_or(ContainerError::NoKeyframe)
     }
 
     /// Decodes frames `[from, to)` sequentially (one keyframe seek, then a
@@ -182,11 +206,17 @@ impl VideoStream {
         }
         let kf = self
             .keyframe_at_or_before(from)
-            .expect("stream starts with a keyframe");
+            .ok_or(ContainerError::NoKeyframe)?;
         let mut dec = Decoder::new(self.params);
         let mut out = Vec::with_capacity(to - from);
         let mut decoded = 0usize;
-        for (i, p) in self.packets[kf..to].iter().enumerate() {
+        for (i, p) in self
+            .packets
+            .get(kf..to)
+            .unwrap_or_default()
+            .iter()
+            .enumerate()
+        {
             let f = dec.decode(p)?;
             decoded += 1;
             if kf + i >= from {
@@ -373,5 +403,62 @@ mod tests {
             s.decode_frame_at(r(1, 7)),
             Err(ContainerError::NotOnGrid(_))
         ));
+    }
+
+    /// Builds a stream whose keyframe invariant is broken, as a hostile
+    /// `.svc` file can (packet flags live in the untrusted packet table).
+    fn keyframeless_stream() -> VideoStream {
+        let s = test_stream(6, 3);
+        let packets: Vec<Packet> = s
+            .packets()
+            .iter()
+            .map(|p| Packet::new(p.pts, false, p.data.clone()))
+            .collect();
+        VideoStream {
+            params: *s.params(),
+            start: s.start(),
+            frame_dur: s.frame_dur(),
+            packets,
+        }
+    }
+
+    #[test]
+    fn decode_without_keyframe_errors_instead_of_panicking() {
+        // Regression: `decode_frame_at` / `decode_range` used to
+        // `expect("stream starts with a keyframe")`.
+        let s = keyframeless_stream();
+        assert!(matches!(
+            s.decode_frame_at(r(2, 30)),
+            Err(ContainerError::NoKeyframe)
+        ));
+        assert!(matches!(
+            s.decode_range(1, 4),
+            Err(ContainerError::NoKeyframe)
+        ));
+    }
+
+    #[test]
+    fn copy_packet_range_round_trip_with_broken_keyframes() {
+        // The copy → decode round trip must also degrade to errors: the
+        // copy itself is rejected (no keyframe head), and decoding any
+        // hand-spliced keyframeless run reports NoKeyframe.
+        let s = keyframeless_stream();
+        assert!(matches!(
+            s.copy_packet_range(0, 3, Rational::ZERO),
+            Err(ContainerError::SpliceNotKeyframe)
+        ));
+    }
+
+    #[test]
+    fn non_positive_frame_duration_rejected() {
+        // Regression: `VideoStream::new` used to assert on this, which a
+        // hostile header could trigger through `read_svc`.
+        let s = test_stream(3, 3);
+        for bad in [Rational::ZERO, r(-1, 30)] {
+            assert!(matches!(
+                VideoStream::new(*s.params(), Rational::ZERO, bad, s.packets().to_vec()),
+                Err(ContainerError::BadFile(_))
+            ));
+        }
     }
 }

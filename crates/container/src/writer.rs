@@ -57,10 +57,10 @@ impl StreamWriter {
     /// copy_packet_range` on a compatible stream). The run must start
     /// with a keyframe.
     pub fn push_copied(&mut self, packets: &[Packet]) -> Result<(), ContainerError> {
-        if packets.is_empty() {
+        let Some(first) = packets.first() else {
             return Ok(());
-        }
-        if !packets[0].keyframe {
+        };
+        if !first.keyframe {
             return Err(ContainerError::SpliceNotKeyframe);
         }
         for p in packets {

@@ -17,7 +17,7 @@ use v2v_plan::{
 use v2v_spec::{check_spec_with_udfs, CheckReport, Spec};
 
 /// Engine configuration: which parts of the V2V optimization story run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Plan-level rewrites (stream copy, smart cut, sharding).
     pub optimizer: OptimizerConfig,
@@ -54,6 +54,12 @@ pub struct RunReport {
     pub dde_rewrites: usize,
     /// Wall-clock execution time (excludes planning).
     pub wall: Duration,
+    /// Structured error report: one entry per segment part that failed
+    /// and was recovered, skipped, or substituted under the configured
+    /// [`ErrorPolicy`](v2v_exec::ErrorPolicy). Empty on clean runs (and
+    /// always empty under `Abort`, where the first failure aborts the
+    /// run instead of landing here).
+    pub errors: Vec<v2v_exec::SegmentFault>,
 }
 
 /// The V2V engine: binds data, rewrites, checks, plans, and executes
@@ -219,6 +225,10 @@ impl V2vEngine {
             .attr("frames", output.len())
             .attr("splits", exec_trace.totals.splits)
             .attr("steals", exec_trace.totals.steals)
+            .attr("faults", exec_trace.totals.faults_injected)
+            .attr("fault_retries", exec_trace.totals.retries)
+            .attr("parts_skipped", exec_trace.totals.parts_skipped)
+            .attr("parts_substituted", exec_trace.totals.parts_substituted)
             .finish();
         // Synthetic per-stage spans: the scheduler's pipeline stages run
         // overlapped across worker threads, so these carry summed *busy*
@@ -247,6 +257,7 @@ impl V2vEngine {
             plan_stats: physical.stats,
             dde_rewrites,
             wall,
+            errors: exec_trace.errors.clone(),
         };
         let trace = RunTrace::assemble(
             dde_rewrites as u64,
@@ -283,6 +294,7 @@ impl V2vEngine {
                 plan_stats: physical.stats,
                 dde_rewrites,
                 wall: streaming.total,
+                errors: streaming.errors.clone(),
             },
             streaming,
         ))
@@ -322,6 +334,7 @@ impl V2vEngine {
             plan_stats: PlanStats::default(),
             dde_rewrites: 0,
             wall,
+            errors: Vec::new(),
         })
     }
 

@@ -148,6 +148,19 @@ impl RunTrace {
         registry.counter("exec.splits").add(t.splits);
         registry.counter("exec.steals").add(t.steals);
         registry
+            .counter("exec.faults.injected")
+            .add(t.faults_injected);
+        registry.counter("exec.faults.retries").add(t.retries);
+        registry
+            .counter("exec.faults.parts_skipped")
+            .add(t.parts_skipped);
+        registry
+            .counter("exec.faults.parts_substituted")
+            .add(t.parts_substituted);
+        registry
+            .counter("exec.faults.frames_substituted")
+            .add(t.frames_substituted);
+        registry
             .counter("plan.rewrite_events")
             .add(rewrites.events.len() as u64);
         let seg_wall = registry.histogram("exec.segment_wall_ns");

@@ -11,11 +11,12 @@
 //! once. Frames come out behind [`Arc`] either way: the decoder's
 //! zero-copy path means a served frame is never deep-copied.
 
+use crate::fault::{FaultInjector, FaultKind};
 use crate::gop_cache::{GopCache, GopFrames};
 use crate::ExecError;
 use std::sync::Arc;
-use v2v_codec::Decoder;
-use v2v_container::VideoStream;
+use v2v_codec::{Decoder, Packet};
+use v2v_container::{ContainerError, VideoStream};
 use v2v_frame::Frame;
 
 /// A stateful forward reader over one stream.
@@ -25,6 +26,8 @@ pub struct SourceCursor<'a> {
     video: String,
     decoder: Decoder,
     cache: Option<&'a GopCache>,
+    /// Fault-injection hook consulted before every packet decode.
+    fault: Option<&'a FaultInjector>,
     /// The GOP currently borrowed from the cache: (keyframe index, frames).
     gop: Option<(u64, GopFrames)>,
     /// Index the decoder state corresponds to (last decoded), if any.
@@ -56,6 +59,7 @@ impl<'a> SourceCursor<'a> {
             video: video.into(),
             decoder: Decoder::new(*stream.params()),
             cache: None,
+            fault: None,
             gop: None,
             at: None,
             current: None,
@@ -71,6 +75,14 @@ impl<'a> SourceCursor<'a> {
     pub fn with_cache(mut self, cache: &'a GopCache) -> SourceCursor<'a> {
         if cache.enabled() {
             self.cache = Some(cache);
+        }
+        self
+    }
+
+    /// Attaches a fault injector (ignored when it has no rules).
+    pub fn with_fault(mut self, fault: &'a FaultInjector) -> SourceCursor<'a> {
+        if !fault.is_empty() {
+            self.fault = Some(fault);
         }
         self
     }
@@ -108,7 +120,7 @@ impl<'a> SourceCursor<'a> {
                 self.seeks += 1;
                 self.stream
                     .keyframe_at_or_before(idx as usize)
-                    .expect("streams start with a keyframe") as u64
+                    .ok_or(ContainerError::NoKeyframe)? as u64
             }
         };
         // If continuing forward would cross a keyframe anyway, entering at
@@ -124,15 +136,69 @@ impl<'a> SourceCursor<'a> {
         };
         let mut frame = None;
         for i in from..=idx {
-            let pkt = &self.stream.packets()[i as usize];
-            frame = Some(self.decoder.decode_shared(pkt)?);
-            self.frames_decoded += 1;
-            self.bytes_decoded += pkt.size() as u64;
+            frame = Some(self.decode_packet(i)?);
         }
-        let frame = frame.expect("at least one packet decoded");
+        // `from <= idx` always holds (a keyframe at or before `idx` was
+        // found above), so the loop ran at least once.
+        let frame = frame.ok_or(ContainerError::NoKeyframe)?;
         self.at = Some(idx);
         self.current = Some(frame.clone());
         Ok(frame)
+    }
+
+    /// Decodes source packet `i`, consulting the fault injector first.
+    /// On an injected corruption/truncation the mangled bytes really go
+    /// through the decoder (exercising the hardened parse path), and the
+    /// result is a deterministic error either way.
+    fn decode_packet(&mut self, i: u64) -> Result<Arc<Frame>, ExecError> {
+        let pkt = self
+            .stream
+            .packets()
+            .get(i as usize)
+            .ok_or(ContainerError::NoKeyframe)?;
+        if let Some(kind) = self.fault.and_then(|f| f.check(&self.video, i)) {
+            return Err(self.injected_failure(pkt, i, kind));
+        }
+        let frame = self.decoder.decode_shared(pkt)?;
+        self.frames_decoded += 1;
+        self.bytes_decoded += pkt.size() as u64;
+        Ok(frame)
+    }
+
+    /// Materializes one injected fault as the error a real failure of
+    /// that kind would produce.
+    fn injected_failure(&mut self, pkt: &Packet, i: u64, kind: FaultKind) -> ExecError {
+        let mangled = match kind {
+            FaultKind::Io => {
+                return ExecError::SourceIo {
+                    video: self.video.clone(),
+                    frame: i,
+                    message: "injected i/o failure".into(),
+                };
+            }
+            FaultKind::CorruptPacket => {
+                // Clobber the packet-kind byte: the decoder must reject
+                // it without touching decoder state.
+                let mut data = pkt.data.to_vec();
+                if let Some(b) = data.first_mut() {
+                    *b = 0xFF;
+                }
+                Packet::new(pkt.pts, pkt.keyframe, data.into())
+            }
+            FaultKind::TruncatedRead => {
+                let cut = pkt.data.len() / 2;
+                let half: &[u8] = pkt.data.get(..cut).unwrap_or_default();
+                Packet::new(pkt.pts, pkt.keyframe, half.into())
+            }
+        };
+        match self.decoder.decode_shared(&mangled) {
+            Err(e) => ExecError::Codec(e),
+            // The hardened decoder rejects every mangling above; keep the
+            // fault deterministic even if a future codec tolerates one.
+            Ok(_) => ExecError::Codec(v2v_codec::CodecError::Corrupt(
+                "injected corrupt packet".into(),
+            )),
+        }
     }
 
     /// Serves `idx` through the shared GOP cache: the containing GOP is
@@ -143,7 +209,7 @@ impl<'a> SourceCursor<'a> {
         let kf = self
             .stream
             .keyframe_at_or_before(idx as usize)
-            .expect("streams start with a keyframe") as u64;
+            .ok_or(ContainerError::NoKeyframe)? as u64;
         if self.gop.as_ref().map(|(k, _)| *k) != Some(kf) {
             let video = self.video.clone();
             let (frames, was_hit) = cache.get_or_insert_with(&video, kf, || self.decode_gop(kf))?;
@@ -154,8 +220,15 @@ impl<'a> SourceCursor<'a> {
             }
             self.gop = Some((kf, frames));
         }
-        let (_, frames) = self.gop.as_ref().expect("gop just installed");
-        Ok(frames[(idx - kf) as usize].clone())
+        // `kf <= idx < next keyframe`, so the decoded GOP covers `idx`;
+        // stay defensive anyway rather than indexing.
+        self.gop
+            .as_ref()
+            .and_then(|(_, frames)| frames.get((idx - kf) as usize).cloned())
+            .ok_or_else(|| ExecError::MissingFrame {
+                video: self.video.clone(),
+                at: self.stream.pts_of(idx as usize).unwrap_or_default(),
+            })
     }
 
     /// Decodes the whole GOP whose keyframe is at `kf`.
@@ -168,10 +241,7 @@ impl<'a> SourceCursor<'a> {
         self.decoder.reset();
         self.seeks += 1;
         for i in kf..end {
-            let pkt = &self.stream.packets()[i as usize];
-            frames.push(self.decoder.decode_shared(pkt)?);
-            self.frames_decoded += 1;
-            self.bytes_decoded += pkt.size() as u64;
+            frames.push(self.decode_packet(i)?);
         }
         Ok(Arc::new(frames))
     }

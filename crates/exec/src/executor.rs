@@ -11,17 +11,19 @@
 //! pipelines decode-ahead, parallel compose, and per-GOP encoding.
 
 use crate::catalog::Catalog;
+use crate::fault::{ErrorPolicy, FaultInjector};
 use crate::gop_cache::GopCache;
 use crate::scheduler::{execute_scheduled, PartOutput};
 use crate::trace::{ExecTrace, SegmentTrace};
 use crate::ExecError;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use v2v_container::{StreamWriter, VideoStream};
 use v2v_plan::PhysicalPlan;
 use v2v_time::Rational;
 
 /// Execution options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExecOptions {
     /// Evaluate segments in parallel (the runtime half of the paper's
     /// optimization story). Disable for the ablation benches; when
@@ -54,6 +56,19 @@ pub struct ExecOptions {
     /// codec-independent) and replace the planner's static shard-size
     /// guess with load-driven balancing.
     pub runtime_split: bool,
+    /// Deterministic fault injection hook: every cursor consults the
+    /// injector before decoding a source packet. `None` (the default)
+    /// costs one branch per decode; runs without an injector are
+    /// byte-identical to builds without the hook.
+    pub fault: Option<Arc<FaultInjector>>,
+    /// Degraded-mode policy: what the scheduler does with a part that
+    /// still fails after `max_retries` retries. The default aborts the
+    /// run, which is the historical behavior.
+    pub on_error: ErrorPolicy,
+    /// Bounded per-part retries before `on_error` applies. A retry
+    /// re-runs the failed range from its GOP-aligned start, so a
+    /// transient fault recovers byte-identically.
+    pub max_retries: u32,
 }
 
 impl Default for ExecOptions {
@@ -64,6 +79,9 @@ impl Default for ExecOptions {
             num_threads: 0,
             pipeline_depth: 2,
             runtime_split: true,
+            fault: None,
+            on_error: ErrorPolicy::default(),
+            max_retries: 1,
         }
     }
 }
@@ -124,6 +142,24 @@ pub struct ExecStats {
     /// Split-off tasks picked up by another worker (run-level).
     #[serde(default)]
     pub steals: u64,
+    /// Faults the injector fired during the run (run-level; zero
+    /// without an injector).
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// Part retries the scheduler spent recovering from failures.
+    #[serde(default)]
+    pub retries: u64,
+    /// Failed parts dropped from the output under
+    /// [`ErrorPolicy::SkipSegment`].
+    #[serde(default)]
+    pub parts_skipped: u64,
+    /// Failed parts replaced by encoded black under
+    /// [`ErrorPolicy::SubstituteBlack`].
+    #[serde(default)]
+    pub parts_substituted: u64,
+    /// Output frames filled with encoded black.
+    #[serde(default)]
+    pub frames_substituted: u64,
 }
 
 impl ExecStats {
@@ -142,6 +178,11 @@ impl ExecStats {
         self.gop_cache_misses += other.gop_cache_misses;
         self.splits += other.splits;
         self.steals += other.steals;
+        self.faults_injected += other.faults_injected;
+        self.retries += other.retries;
+        self.parts_skipped += other.parts_skipped;
+        self.parts_substituted += other.parts_substituted;
+        self.frames_substituted += other.frames_substituted;
         self
     }
 }
@@ -175,6 +216,9 @@ pub fn execute_traced(
     let mut trace = ExecTrace::default();
     let mut deliver = |part: PartOutput| -> Result<(), ExecError> {
         writer.push_copied(&part.packets)?;
+        if let Some(fault) = &part.fault {
+            trace.errors.push(fault.clone());
+        }
         match trace.segments.last_mut() {
             // Continuation part of the segment we're already tracing
             // (parts of one segment arrive contiguously, in order).
@@ -207,6 +251,11 @@ pub fn execute_traced(
     }
     trace.totals.splits = report.splits;
     trace.totals.steals = report.steals;
+    if let Some(injector) = &opts.fault {
+        // Run-level, from the injector itself: a fault that killed its
+        // part never reaches the per-part stats roll-up.
+        trace.totals.faults_injected = injector.injections();
+    }
     let out = writer.finish()?;
     let wall = started.elapsed();
     trace.wall_ns = wall.as_nanos() as u64;

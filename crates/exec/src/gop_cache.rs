@@ -11,7 +11,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use v2v_frame::Frame;
 
 /// One decoded GOP: frames in presentation order starting at the
@@ -64,6 +64,13 @@ impl std::fmt::Debug for GopCache {
 }
 
 impl GopCache {
+    /// Locks the cache state, recovering from poisoning: the cache holds
+    /// only memoized data (no invariants span an unwind), so a panic in
+    /// some other holder must not cascade into every later lookup.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// A cache holding at most `capacity_frames` decoded frames.
     pub fn new(capacity_frames: usize) -> GopCache {
         GopCache {
@@ -88,7 +95,7 @@ impl GopCache {
     /// Looks up the GOP starting at keyframe index `gop` of `video`,
     /// refreshing its LRU stamp. Counts a hit or miss.
     pub fn get(&self, video: &str, gop: u64) -> Option<GopFrames> {
-        let mut inner = self.inner.lock().expect("gop cache poisoned");
+        let mut inner = self.lock();
         inner.next_stamp += 1;
         let stamp = inner.next_stamp;
         match inner.map.get_mut(&(video.to_owned(), gop)) {
@@ -108,7 +115,7 @@ impl GopCache {
     /// the total frame count exceeds capacity (the new entry itself is
     /// never evicted by its own insertion).
     pub fn insert(&self, video: &str, gop: u64, frames: GopFrames) {
-        let mut inner = self.inner.lock().expect("gop cache poisoned");
+        let mut inner = self.lock();
         self.insert_locked(&mut inner, (video.to_owned(), gop), frames);
     }
 
@@ -149,7 +156,7 @@ impl GopCache {
         decode: impl FnOnce() -> Result<GopFrames, E>,
     ) -> Result<(GopFrames, bool), E> {
         let key = (video.to_owned(), gop);
-        let mut inner = self.inner.lock().expect("gop cache poisoned");
+        let mut inner = self.lock();
         loop {
             inner.next_stamp += 1;
             let stamp = inner.next_stamp;
@@ -161,13 +168,16 @@ impl GopCache {
             if !inner.in_flight.contains(&key) {
                 break;
             }
-            inner = self.decoded.wait(inner).expect("gop cache poisoned");
+            inner = self
+                .decoded
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         inner.in_flight.insert(key.clone());
         self.misses.fetch_add(1, Ordering::Relaxed);
         drop(inner);
         let result = decode();
-        let mut inner = self.inner.lock().expect("gop cache poisoned");
+        let mut inner = self.lock();
         inner.in_flight.remove(&key);
         match result {
             Ok(frames) => {
@@ -196,7 +206,7 @@ impl GopCache {
 
     /// Decoded frames currently held.
     pub fn frames_held(&self) -> usize {
-        self.inner.lock().expect("gop cache poisoned").total_frames
+        self.lock().total_frames
     }
 }
 

@@ -24,6 +24,7 @@ pub mod apply;
 pub mod catalog;
 pub mod cursor;
 pub mod executor;
+pub mod fault;
 pub mod gop_cache;
 pub mod naive;
 pub mod scheduler;
@@ -34,6 +35,7 @@ pub use apply::{apply_program, UdfKernel};
 pub use catalog::Catalog;
 pub use cursor::SourceCursor;
 pub use executor::{execute, execute_traced, ExecOptions, ExecStats};
+pub use fault::{error_kind, ErrorPolicy, FaultAction, FaultInjector, FaultKind, SegmentFault};
 pub use gop_cache::{GopCache, GopFrames};
 pub use naive::execute_naive;
 pub use scheduler::{segment_cost, PartOutput, SchedReport};
@@ -80,6 +82,16 @@ pub enum ExecError {
         want: &'static str,
         /// Runtime value type.
         got: &'static str,
+    },
+    /// A source read failed at the I/O level (real or injected).
+    #[error("i/o failure reading '{video}' at frame {frame}: {message}")]
+    SourceIo {
+        /// The video being read.
+        video: String,
+        /// Source frame index of the failed read.
+        frame: u64,
+        /// The underlying failure.
+        message: String,
     },
     /// Container-level failure.
     #[error(transparent)]

@@ -38,6 +38,7 @@ use crate::apply::apply_program;
 use crate::catalog::Catalog;
 use crate::cursor::SourceCursor;
 use crate::executor::{ExecOptions, ExecStats};
+use crate::fault::{error_kind, ErrorPolicy, FaultAction, FaultInjector, SegmentFault};
 use crate::gop_cache::GopCache;
 use crate::trace::StageTimes;
 use crate::ExecError;
@@ -82,6 +83,9 @@ pub struct PartOutput {
     pub stage: StageTimes,
     /// Part wall time in nanoseconds.
     pub wall_ns: u64,
+    /// Set when this part failed and was recovered, skipped, or
+    /// substituted under the run's [`ErrorPolicy`].
+    pub fault: Option<SegmentFault>,
 }
 
 /// A schedulable unit: a segment-relative frame range of one segment.
@@ -162,6 +166,7 @@ struct PartCtx<'a> {
     seg_index: usize,
     catalog: &'a Catalog,
     cache: Option<&'a GopCache>,
+    fault: Option<&'a FaultInjector>,
 }
 
 /// A split probe carried into a render loop: checked at output-GOP
@@ -172,9 +177,18 @@ struct SplitProbe<'a> {
     seg_index: usize,
     /// Estimated cost per output frame, for pricing the split-off task.
     per_frame_cost: f64,
+    /// The end this part still owns: lowered on every split. Error
+    /// recovery retries only `[from, committed_end)` — the far halves a
+    /// part gave away before failing belong to other workers.
+    committed_end: AtomicU64,
 }
 
 impl SplitProbe<'_> {
+    /// The highest frame index this part is still responsible for.
+    fn owned_end(&self) -> u64 {
+        self.committed_end.load(Ordering::Acquire)
+    }
+
     /// Possibly splits the range `[j, end)` at a GOP boundary. Returns
     /// the (possibly lowered) end. `j` must be GOP-aligned relative to
     /// the segment start.
@@ -206,6 +220,7 @@ impl SplitProbe<'_> {
         let pos = st.queue.partition_point(|t| t.cost <= task.cost);
         st.queue.insert(pos, task);
         st.splits += 1;
+        self.committed_end.store(split_at, Ordering::Release);
         self.shared
             .queued_hint
             .store(st.queue.len(), Ordering::Relaxed);
@@ -249,6 +264,7 @@ pub(crate) fn execute_scheduled(
     deliver: &mut dyn FnMut(PartOutput) -> Result<(), ExecError>,
 ) -> Result<SchedReport, ExecError> {
     let workers = opts.effective_threads();
+    let fault = opts.fault.as_deref().filter(|f| !f.is_empty());
     if workers <= 1 {
         for (i, seg) in plan.segments.iter().enumerate() {
             let ctx = PartCtx {
@@ -257,8 +273,13 @@ pub(crate) fn execute_scheduled(
                 seg_index: i,
                 catalog,
                 cache,
+                fault,
             };
-            deliver(run_part(&ctx, 0, seg.count, None, 0, 1)?)?;
+            let part = match run_part(&ctx, 0, seg.count, None, 0, 1) {
+                Ok(part) => part,
+                Err(err) => recover_part(&ctx, opts, 0, seg.count, 0, 1, err)?,
+            };
+            deliver(part)?;
         }
         return Ok(SchedReport::default());
     }
@@ -394,6 +415,7 @@ fn worker_loop(
             seg_index: task.seg_index,
             catalog,
             cache,
+            fault: opts.fault.as_deref().filter(|f| !f.is_empty()),
         };
         // A lone running part composes with the whole pool's width; with
         // many parts in flight each keeps roughly its fair share.
@@ -406,6 +428,7 @@ fn worker_loop(
             } else {
                 0.0
             },
+            committed_end: AtomicU64::new(task.to),
         });
         let res = run_part(
             &ctx,
@@ -415,6 +438,19 @@ fn worker_loop(
             pipeline_frames,
             fanout,
         );
+        let res = match res {
+            Ok(part) => Ok(part),
+            Err(err) => {
+                // Retry only the range this part still owns: far halves
+                // given away by earlier splits run on other workers.
+                let end = probe
+                    .as_ref()
+                    .map(|p| p.owned_end())
+                    .unwrap_or(task.to)
+                    .min(task.to);
+                recover_part(&ctx, opts, task.from, end, pipeline_frames, fanout, err)
+            }
+        };
         let failed = res.is_err();
         {
             let mut st = shared.lock();
@@ -471,6 +507,7 @@ fn run_part(
                 stats,
                 stage: StageTimes::default(),
                 wall_ns: 0,
+                fault: None,
             }
         }
         SegPlan::Render { program, inputs } => {
@@ -494,6 +531,114 @@ fn run_part(
     Ok(part)
 }
 
+/// Applies the run's [`ErrorPolicy`] to a failed part: bounded retries
+/// first (a transient fault recovers byte-identically, since the retry
+/// re-runs the same GOP-aligned range), then skip or substitute.
+/// `[from, to)` is the range the failed part still owned — far halves
+/// already given away by splits belong to other workers. Under
+/// [`ErrorPolicy::Abort`] (or when even the black-frame fallback fails)
+/// the last error propagates.
+fn recover_part(
+    ctx: &PartCtx<'_>,
+    opts: &ExecOptions,
+    from: u64,
+    to: u64,
+    pipeline_frames: usize,
+    fanout: usize,
+    err: ExecError,
+) -> Result<PartOutput, ExecError> {
+    let mut retries = 0u64;
+    let mut last_err = err;
+    while retries < u64::from(opts.max_retries) {
+        retries += 1;
+        // Retry without a split probe: determinism over load balancing
+        // on the recovery path.
+        match run_part(ctx, from, to, None, pipeline_frames, fanout) {
+            Ok(mut part) => {
+                part.stats.retries = retries;
+                part.fault = Some(SegmentFault {
+                    seg_index: ctx.seg_index as u64,
+                    abs_start: ctx.seg.out_start + from,
+                    frames: to - from,
+                    action: FaultAction::Recovered,
+                    retries,
+                    error: last_err.to_string(),
+                    kind: error_kind(&last_err).to_string(),
+                });
+                return Ok(part);
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    let error_text = last_err.to_string();
+    let kind_text = error_kind(&last_err).to_string();
+    let fault = |action: FaultAction| SegmentFault {
+        seg_index: ctx.seg_index as u64,
+        abs_start: ctx.seg.out_start + from,
+        frames: to - from,
+        action,
+        retries,
+        error: error_text.clone(),
+        kind: kind_text.clone(),
+    };
+    let mut stats = ExecStats {
+        segments: u64::from(from == 0),
+        retries,
+        ..Default::default()
+    };
+    match opts.on_error {
+        ErrorPolicy::Abort => Err(last_err),
+        ErrorPolicy::SkipSegment => {
+            stats.parts_skipped = 1;
+            Ok(PartOutput {
+                seg_index: ctx.seg_index,
+                abs_start: ctx.seg.out_start + from,
+                count: to - from,
+                packets: Vec::new(),
+                stats,
+                stage: StageTimes::default(),
+                wall_ns: 0,
+                fault: Some(fault(FaultAction::Skipped)),
+            })
+        }
+        ErrorPolicy::SubstituteBlack => {
+            let packets = encode_black(ctx, from, to)?;
+            stats.parts_substituted = 1;
+            stats.frames_substituted = to - from;
+            stats.frames_encoded = to - from;
+            stats.bytes_encoded = packets.iter().map(|p| p.size() as u64).sum();
+            Ok(PartOutput {
+                seg_index: ctx.seg_index,
+                abs_start: ctx.seg.out_start + from,
+                count: to - from,
+                packets,
+                stats,
+                stage: StageTimes::default(),
+                wall_ns: 0,
+                fault: Some(fault(FaultAction::SubstitutedBlack)),
+            })
+        }
+    }
+}
+
+/// Encodes black frames over `[from, to)` on the output grid, one fresh
+/// encoder per output GOP so the keyframe cadence matches a clean run
+/// (`from` is GOP-aligned: parts start on GOP boundaries).
+fn encode_black(ctx: &PartCtx<'_>, from: u64, to: u64) -> Result<Vec<Packet>, ExecError> {
+    let gop = u64::from(ctx.plan.out_params.gop_size.max(1));
+    let black = Frame::black(ctx.plan.out_params.frame_ty);
+    let mut packets = Vec::with_capacity((to - from) as usize);
+    let mut wj = from;
+    while wj < to {
+        let n = gop.min(to - wj) as usize;
+        let frames: Vec<Frame> = (0..n).map(|_| black.clone()).collect();
+        let (run, _) = encode_window(ctx, wj, &frames)?;
+        packets.extend(run);
+        wj += n as u64;
+    }
+    Ok(packets)
+}
+
 /// One forward cursor per input slot, each carrying its stream's
 /// catalog identity and (optionally) the shared GOP cache.
 fn build_cursors<'a>(
@@ -509,6 +654,9 @@ fn build_cursors<'a>(
                     let mut cursor = SourceCursor::new(s, clip.video.clone());
                     if let Some(cache) = ctx.cache {
                         cursor = cursor.with_cache(cache);
+                    }
+                    if let Some(fault) = ctx.fault {
+                        cursor = cursor.with_fault(fault);
                     }
                     (cursor, clip)
                 })
@@ -609,6 +757,7 @@ fn run_render_sequential(
         stats,
         stage,
         wall_ns: 0,
+        fault: None,
     })
 }
 
@@ -747,6 +896,7 @@ fn run_render_pipelined(
                     stats,
                     stage,
                     wall_ns: 0,
+                    fault: None,
                 })
             }
             (_, Err(e)) => Err(e),

@@ -18,6 +18,7 @@
 
 use crate::catalog::Catalog;
 use crate::executor::{ExecOptions, ExecStats};
+use crate::fault::SegmentFault;
 use crate::gop_cache::GopCache;
 use crate::scheduler::{execute_scheduled, PartOutput};
 use crate::ExecError;
@@ -28,7 +29,7 @@ use v2v_plan::PhysicalPlan;
 use v2v_time::Rational;
 
 /// Latency profile of a streaming run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct StreamingStats {
     /// Plan-independent preparation time (cache and writer construction)
     /// spent before the executor started dispatching work. Kept separate
@@ -43,6 +44,9 @@ pub struct StreamingStats {
     pub total: Duration,
     /// Aggregated execution costs.
     pub exec: ExecStats,
+    /// Structured error report: one entry per part that failed and was
+    /// recovered, skipped, or substituted under the run's error policy.
+    pub errors: Vec<SegmentFault>,
 }
 
 /// Executes a plan, delivering packets to `sink` in presentation order
@@ -94,11 +98,17 @@ pub fn execute_streaming_with(
         }
         writer.push_copied(&part.packets)?;
         stats.exec = stats.exec.merge(part.stats);
+        if let Some(fault) = part.fault {
+            stats.errors.push(fault);
+        }
         Ok(())
     };
     let report = execute_scheduled(plan, catalog, opts, Some(&cache), &mut deliver)?;
     stats.exec.splits = report.splits;
     stats.exec.steals = report.steals;
+    if let Some(injector) = &opts.fault {
+        stats.exec.faults_injected = injector.injections();
+    }
     let out = writer.finish()?;
     stats.total = exec_started.elapsed();
     Ok((out, stats))

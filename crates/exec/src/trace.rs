@@ -14,6 +14,7 @@
 //! [`execute_traced`]: crate::execute_traced
 
 use crate::executor::ExecStats;
+use crate::fault::SegmentFault;
 use serde::{Deserialize, Serialize};
 
 /// Busy time per pipeline stage of a render segment, in nanoseconds.
@@ -80,6 +81,11 @@ pub struct ExecTrace {
     /// End-to-end wall time in nanoseconds. Unstable; excluded from
     /// golden comparisons.
     pub wall_ns: u64,
+    /// Structured error report: one entry per part that failed and was
+    /// recovered, skipped, or substituted under the run's error policy.
+    /// Empty on clean runs (and absent from their JSON).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub errors: Vec<SegmentFault>,
 }
 
 impl ExecTrace {
@@ -169,6 +175,7 @@ mod tests {
                 ..Default::default()
             },
             wall_ns: 2_000,
+            errors: Vec::new(),
         };
         let back = ExecTrace::from_json(&trace.to_json()).unwrap();
         assert_eq!(back, trace);

@@ -38,4 +38,7 @@ pub use span::{SpanRecord, SpanSink, SpanTimer};
 /// * 1 — initial layout (rewrites + exec trace + spans + metrics).
 /// * 2 — pipelined scheduler: per-segment `parts`/`stage` fields,
 ///   `splits`/`steals` counters, and synthetic `exec.stage.*` spans.
-pub const TRACE_SCHEMA_VERSION: u32 = 2;
+/// * 3 — fault tolerance: `exec.faults.*` counters, fault-related
+///   `ExecStats` fields, the `errors` segment-fault report on the exec
+///   trace, and fault attrs on the `execute` span.
+pub const TRACE_SCHEMA_VERSION: u32 = 3;

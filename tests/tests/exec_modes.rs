@@ -137,7 +137,7 @@ fn all_modes_are_byte_identical() {
             for threads in [1usize, 2, 8] {
                 let opts = ExecOptions {
                     num_threads: threads,
-                    ..base_opts
+                    ..base_opts.clone()
                 };
                 let label = format!("{plan_name}/{arm_name}/threads={threads}");
                 let (batch, _, _) = execute(&plan, &catalog, &opts).unwrap();
