@@ -1,0 +1,283 @@
+//! Serving bench: closed-loop latency and throughput of the `v2v-serve`
+//! daemon at 1 / 4 / 8 concurrent clients, cold cache vs warm cache.
+//!
+//! The in-process server (real sockets, real HTTP, real admission
+//! control — only the process boundary is elided) is driven by
+//! closed-loop clients: each issues its next request the moment the
+//! previous response lands, so measured latency includes queueing
+//! behind `max_concurrent` admission.
+//!
+//! * **cold** — every request is a distinct query (unique source range)
+//!   against an initially empty render cache: each one pays the full
+//!   render. The per-client latency growth from 1 → 8 clients is the
+//!   admission-control queueing the paper's serving section predicts.
+//! * **warm** — every request repeats one pre-rendered query: each is a
+//!   whole-result cache hit (zero decode, zero encode), so the ratio
+//!   cold/warm mean latency is the cache's synthesis-skipping payoff.
+//!
+//! Every warm response is asserted byte-identical to the warm-up
+//! render. `--quick` (CI smoke) shrinks the workload and skips
+//! rewriting the committed `BENCH_serve.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use v2v_bench::{print_header, secs};
+use v2v_exec::{Catalog, RenderCache};
+use v2v_serve::http::client;
+use v2v_serve::{ServeConfig, V2vServer};
+use v2v_spec::builder::blur;
+use v2v_spec::{OutputSettings, Spec, SpecBuilder};
+use v2v_time::{r, Rational};
+
+const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn marked_output() -> OutputSettings {
+    OutputSettings {
+        frame_ty: v2v_frame::FrameType::gray8(64, 32),
+        frame_dur: r(1, 30),
+        gop_size: 30,
+        quantizer: 0,
+    }
+}
+
+fn source_stream(frames: usize) -> v2v_container::VideoStream {
+    let ty = v2v_frame::FrameType::gray8(64, 32);
+    let params = v2v_codec::CodecParams::new(ty, 30, 0);
+    let mut w = v2v_container::StreamWriter::new(params, v2v_time::Rational::ZERO, r(1, 30));
+    for i in 0..frames {
+        let mut f = v2v_frame::Frame::black(ty);
+        v2v_frame::marker::embed(&mut f, i as u32);
+        w.push_frame(&f).expect("push frame");
+    }
+    w.finish().expect("finish stream")
+}
+
+/// A distinct render-heavy query per `seq`: a blur over a unique
+/// source window, so no two cold requests share a cache entry.
+fn distinct_spec(seq: usize, dur_frames: i64) -> Spec {
+    SpecBuilder::new(marked_output())
+        .video("src", "src.svc")
+        .append_filtered(
+            "src",
+            r(seq as i64, 30),
+            Rational::new(dur_frames, 30),
+            |e| blur(e, 1.0),
+        )
+        .build()
+}
+
+struct PhaseResult {
+    wall: Duration,
+    latencies: Vec<Duration>,
+}
+
+/// Closed loop: `clients` threads, `per_client` requests each, next
+/// request issued as soon as the previous response arrives.
+fn drive(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    per_client: usize,
+    spec_for: impl Fn(usize, usize) -> Arc<Vec<u8>> + Send + Sync + Clone + 'static,
+    expect_body: Option<&Arc<Vec<u8>>>,
+) -> PhaseResult {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let expect = expect_body.map(Arc::clone);
+            let spec_for = spec_for.clone();
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let body = spec_for(c, i);
+                    let t = Instant::now();
+                    let resp = client::post_query(addr, &body).expect("request");
+                    lat.push(t.elapsed());
+                    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+                    if let Some(expect) = &expect {
+                        assert_eq!(&resp.body, expect.as_ref(), "warm bytes diverged");
+                    }
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    PhaseResult {
+        wall: started.elapsed(),
+        latencies,
+    }
+}
+
+fn mean(lat: &[Duration]) -> Duration {
+    lat.iter().sum::<Duration>() / lat.len().max(1) as u32
+}
+
+fn max(lat: &[Duration]) -> Duration {
+    lat.iter().max().copied().unwrap_or(Duration::ZERO)
+}
+
+struct Row {
+    phase: &'static str,
+    clients: usize,
+    requests: usize,
+    mean: Duration,
+    max: Duration,
+    wall: Duration,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("V2V_BENCH_SCALE").is_ok_and(|s| s == "test");
+    let per_client = if quick { 2 } else { 8 };
+    let dur_frames: i64 = if quick { 30 } else { 60 };
+    let source_frames = 1200;
+
+    print_header(
+        "Serving",
+        "closed-loop latency/throughput, cold vs warm render cache",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!();
+    println!("detected cores: {cores}; {per_client} request(s) per client per phase");
+
+    let mut catalog = Catalog::new();
+    catalog.add_video("src", source_stream(source_frames));
+
+    let cache_dir = std::env::temp_dir().join(format!("v2v_bench_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let mut config = ServeConfig {
+        max_concurrent: 4,
+        queue_depth: 64,
+        ..Default::default()
+    };
+    config.engine.render_cache = Some(Arc::new(
+        RenderCache::open(&cache_dir, 1 << 30).expect("cache dir"),
+    ));
+    let mut handle = V2vServer::new(catalog)
+        .with_config(config)
+        .start("127.0.0.1:0")
+        .expect("bind");
+    let addr = handle.addr();
+
+    // Warm exactly one query; its bytes are the warm phase's expected
+    // response.
+    let warm_spec = Arc::new(distinct_spec(900, dur_frames).to_json().into_bytes());
+    let warm_resp = client::post_query(addr, &warm_spec).expect("warm-up");
+    assert_eq!(warm_resp.status, 200);
+    let warm_body = Arc::new(warm_resp.body);
+
+    println!();
+    println!(
+        "{:<6} {:>8} {:>9} {:>12} {:>12} {:>12}",
+        "phase", "clients", "requests", "mean lat", "max lat", "req/s"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    // Distinct cold queries across all arms: client c of arm a gets the
+    // window starting at frame (arm_base + c*per_client + i).
+    let mut arm_base = 0usize;
+    for clients in CLIENT_COUNTS {
+        let base = arm_base;
+        arm_base += clients * per_client;
+        assert!(
+            arm_base + dur_frames as usize <= 900,
+            "cold windows must stay distinct from the warm query"
+        );
+        for (phase, result) in [
+            (
+                "cold",
+                drive(
+                    addr,
+                    clients,
+                    per_client,
+                    move |c, i| {
+                        Arc::new(
+                            distinct_spec(base + c * per_client + i, dur_frames)
+                                .to_json()
+                                .into_bytes(),
+                        )
+                    },
+                    None,
+                ),
+            ),
+            ("warm", {
+                let warm_spec = Arc::clone(&warm_spec);
+                drive(
+                    addr,
+                    clients,
+                    per_client,
+                    move |_, _| Arc::clone(&warm_spec),
+                    Some(&warm_body),
+                )
+            }),
+        ] {
+            let requests = clients * per_client;
+            let rps = requests as f64 / result.wall.as_secs_f64().max(1e-9);
+            println!(
+                "{:<6} {:>8} {:>9} {:>12} {:>12} {:>12.1}",
+                phase,
+                clients,
+                requests,
+                secs(mean(&result.latencies)),
+                secs(max(&result.latencies)),
+                rps
+            );
+            rows.push(Row {
+                phase,
+                clients,
+                requests,
+                mean: mean(&result.latencies),
+                max: max(&result.latencies),
+                wall: result.wall,
+            });
+        }
+    }
+
+    let mean_of = |phase: &str, clients: usize| {
+        rows.iter()
+            .find(|r| r.phase == phase && r.clients == clients)
+            .expect("row measured")
+            .mean
+            .as_secs_f64()
+    };
+    let hit_speedup = mean_of("cold", 1) / mean_of("warm", 1).max(1e-9);
+    println!();
+    println!("single-client cache-hit speedup (cold mean / warm mean): {hit_speedup:.1}x");
+
+    let (done, failed, rejected) = handle.job_counts();
+    println!("daemon counters: {done} done, {failed} failed, {rejected} rejected");
+    assert_eq!(failed, 0, "no request may fail");
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    if quick {
+        println!("(--quick: skipping BENCH_serve.json rewrite)");
+        return;
+    }
+    let json = serde_json::json!({
+        "bench": "serve",
+        "cores_detected": cores,
+        "max_concurrent": 4,
+        "per_client_requests": per_client,
+        "rows": rows.iter().map(|r| serde_json::json!({
+            "phase": r.phase,
+            "clients": r.clients,
+            "requests": r.requests,
+            "mean_latency_s": r.mean.as_secs_f64(),
+            "max_latency_s": r.max.as_secs_f64(),
+            "throughput_rps": r.requests as f64 / r.wall.as_secs_f64().max(1e-9),
+        })).collect::<Vec<_>>(),
+        "single_client_hit_speedup": hit_speedup,
+        "warm_byte_identical": true,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(
+        path,
+        format!("{}\n", serde_json::to_string_pretty(&json).unwrap()),
+    )
+    .expect("write baseline");
+    println!("wrote {path}");
+}

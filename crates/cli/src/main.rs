@@ -9,6 +9,9 @@
 //!         [--no-cache] [--trace trace.json]
 //!         [--on-error abort|skip|black] [--max-retries N]
 //!         [--error-report errors.json]
+//! v2v serve [--addr HOST:PORT] [--cache-dir DIR] [--cache-budget BYTES]
+//!           [--max-concurrent N] [--queue-depth N]
+//!                                     HTTP query service (see v2v-serve)
 //! v2v explain <spec.json> [--analyze] [--json]   plans + rewrite trace;
 //!                                     --analyze also runs the query and
 //!                                     annotates measured per-operator metrics
@@ -50,17 +53,77 @@
 //! Cell values use the annotation conventions: numbers, strings, `[num,
 //! den]` pairs are *not* auto-promoted to rationals except in columns
 //! named `timestamp`, and arrays of `{x, y, w, h}` objects become boxes.
+//!
+//! Failures carry the unified error taxonomy: the exit code encodes the
+//! [`ErrorKind`] (3 corrupt_data, 4 io, 5 not_found, 6 invalid_request,
+//! 7 plan, 8 udf, 9 internal; 1 unclassified, 2 usage), and `--json`
+//! switches stderr to one structured
+//! `{"error": {kind, message, exit_code}}` object.
+//!
+//! `--cache-dir DIR` (on both `run` and `serve`) enables the persistent
+//! render cache: whole results and per-segment fragments are stored
+//! content-addressed under DIR (budgeted by `--cache-budget`, default
+//! 1 GiB), so repeated queries splice cached bytes instead of decoding.
 
 use std::process::ExitCode;
-use v2v_core::{EngineConfig, V2vEngine};
+use v2v_core::{EngineConfig, ErrorKind, V2vEngine, V2vError};
 use v2v_exec::Catalog;
+use v2v_serve::{ServeConfig, V2vServer};
 use v2v_spec::Spec;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--threads N] [--no-pipeline] [--no-split] [--no-cache] [--trace trace.json] [--on-error abort|skip|black] [--max-retries N] [--error-report errors.json]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]"
+        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--threads N] [--no-pipeline] [--no-split] [--no-cache] [--cache-dir DIR] [--cache-budget BYTES] [--trace trace.json] [--on-error abort|skip|black] [--max-retries N] [--error-report errors.json] [--json]\n  v2v serve [--addr HOST:PORT] [--cache-dir DIR] [--cache-budget BYTES] [--max-concurrent N] [--queue-depth N] [--db tables.json] [--threads N]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]"
     );
     ExitCode::from(2)
+}
+
+/// A classified CLI failure: the message plus (when the failing layer
+/// spoke the unified taxonomy) the [`ErrorKind`] that picks the exit
+/// code and the machine-readable `--json` report.
+struct CliError {
+    message: String,
+    kind: Option<ErrorKind>,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError {
+            message,
+            kind: None,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError {
+            message: message.to_string(),
+            kind: None,
+        }
+    }
+}
+
+impl From<V2vError> for CliError {
+    fn from(e: V2vError) -> CliError {
+        CliError {
+            message: e.to_string(),
+            kind: Some(e.kind()),
+        }
+    }
+}
+
+/// Stable per-kind exit codes (1 = unclassified failure, 2 = usage).
+fn exit_code_for(kind: ErrorKind) -> u8 {
+    match kind {
+        ErrorKind::CorruptData => 3,
+        ErrorKind::Io => 4,
+        ErrorKind::NotFound => 5,
+        ErrorKind::InvalidRequest => 6,
+        ErrorKind::Plan => 7,
+        ErrorKind::Udf => 8,
+        ErrorKind::Internal => 9,
+    }
 }
 
 /// Loads a relational database from a JSON fixture (see module docs).
@@ -130,10 +193,32 @@ fn load_database(path: &str) -> Result<v2v_data::Database, String> {
     Ok(db)
 }
 
-fn load_spec(path: &str) -> Result<Spec, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    Spec::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+fn load_spec(path: &str) -> Result<Spec, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError {
+        message: format!("reading {path}: {e}"),
+        kind: Some(ErrorKind::Io),
+    })?;
+    Spec::from_json(&text).map_err(|e| CliError {
+        message: format!("parsing {path}: {e}"),
+        kind: Some(ErrorKind::InvalidRequest),
+    })
 }
+
+/// Opens the persistent render cache for `--cache-dir`.
+fn open_render_cache(
+    dir: &str,
+    budget: u64,
+) -> Result<std::sync::Arc<v2v_exec::RenderCache>, CliError> {
+    v2v_exec::RenderCache::open(dir, budget)
+        .map(std::sync::Arc::new)
+        .map_err(|e| CliError {
+            message: format!("opening cache dir {dir}: {e}"),
+            kind: Some(ErrorKind::Io),
+        })
+}
+
+/// Default persistent-cache byte budget (1 GiB).
+const DEFAULT_CACHE_BUDGET: u64 = 1 << 30;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -142,27 +227,46 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "run" => cmd_run(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "explain" => cmd_explain(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "info" => cmd_info(&args[1..]),
         "frame" => cmd_frame(&args[1..]),
         _ => return usage(),
     };
+    // `--json` anywhere switches stderr error reporting to one
+    // machine-readable object (stdout stays whatever the command
+    // prints).
+    let json_errors = args.iter().any(|a| a == "--json");
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("v2v: {e}");
-            ExitCode::FAILURE
+            let code = e.kind.map(exit_code_for).unwrap_or(1);
+            if json_errors {
+                let obj = serde_json::json!({
+                    "error": {
+                        "kind": e.kind.map(ErrorKind::name).unwrap_or("error"),
+                        "message": e.message,
+                        "exit_code": code,
+                    }
+                });
+                eprintln!("{obj}");
+            } else {
+                eprintln!("v2v: {}", e.message);
+            }
+            ExitCode::from(code)
         }
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let mut spec_path = None;
     let mut out_path = "out.svc".to_string();
     let mut db_path = None;
     let mut trace_path: Option<String> = None;
     let mut error_report_path: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut cache_budget = DEFAULT_CACHE_BUDGET;
     let mut config = EngineConfig::default();
     let mut optimize = true;
     let mut i = 0;
@@ -194,6 +298,23 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--no-pipeline" => config.exec.pipeline_depth = 0,
             "--no-split" => config.exec.runtime_split = false,
             "--no-cache" => config.exec.gop_cache_frames = 0,
+            "--cache-dir" => {
+                i += 1;
+                cache_dir = Some(
+                    args.get(i)
+                        .ok_or("missing value after --cache-dir")?
+                        .clone(),
+                );
+            }
+            "--cache-budget" => {
+                i += 1;
+                cache_budget = args
+                    .get(i)
+                    .ok_or("missing value after --cache-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-budget value: {e}"))?;
+            }
+            "--json" => {}
             "--on-error" => {
                 i += 1;
                 config.exec.on_error = args
@@ -219,7 +340,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 );
             }
             other if spec_path.is_none() => spec_path = Some(other.to_string()),
-            other => return Err(format!("unexpected argument '{other}'")),
+            other => return Err(format!("unexpected argument '{other}'").into()),
         }
         i += 1;
     }
@@ -229,20 +350,29 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let spec = load_spec(&spec_path)?;
     let cache_enabled = config.exec.gop_cache_frames > 0;
+    let render_cache_enabled = cache_dir.is_some();
+    if let Some(dir) = cache_dir {
+        config.render_cache = Some(open_render_cache(&dir, cache_budget)?);
+    }
     let mut engine = V2vEngine::new(Catalog::new()).with_config(config);
     if let Some(db_path) = db_path {
         engine = engine.with_database(load_database(&db_path)?);
     }
     let (report, trace) = if optimize {
-        let (report, trace) = engine.run_traced(&spec).map_err(|e| e.to_string())?;
+        let (report, trace) = engine
+            .run_traced(&spec)
+            .map_err(|e| CliError::from(V2vError::from(e)))?;
         (report, Some(trace))
     } else {
         (
-            engine.run_unoptimized(&spec).map_err(|e| e.to_string())?,
+            engine
+                .run_unoptimized(&spec)
+                .map_err(|e| CliError::from(V2vError::from(e)))?,
             None,
         )
     };
-    v2v_container::write_svc(&report.output, &out_path).map_err(|e| e.to_string())?;
+    v2v_container::write_svc(&report.output, &out_path)
+        .map_err(|e| CliError::from(V2vError::from(e)))?;
     println!(
         "wrote {out_path}: {} frames, {} bytes in {:.3}s",
         report.output.len(),
@@ -268,6 +398,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         report.stats.bytes_copied,
         report.dde_rewrites
     );
+    if render_cache_enabled {
+        let c = report.stats.cache;
+        println!(
+            "render cache: {} result hit(s), {} segment hit(s), {} bytes reused, {} eviction(s)",
+            c.result_hits, c.segment_hits, c.bytes_reused, c.evictions
+        );
+    }
     for w in &report.check.warnings {
         println!("warning: {w}");
     }
@@ -305,7 +442,92 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explain(args: &[String]) -> Result<(), String> {
+/// `v2v serve`: bind the address, then serve queries until killed.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cache_dir: Option<String> = None;
+    let mut cache_budget = DEFAULT_CACHE_BUDGET;
+    let mut db_path: Option<String> = None;
+    let mut config = ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).ok_or("missing value after --addr")?.clone();
+            }
+            "--cache-dir" => {
+                i += 1;
+                cache_dir = Some(
+                    args.get(i)
+                        .ok_or("missing value after --cache-dir")?
+                        .clone(),
+                );
+            }
+            "--cache-budget" => {
+                i += 1;
+                cache_budget = args
+                    .get(i)
+                    .ok_or("missing value after --cache-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-budget value: {e}"))?;
+            }
+            "--max-concurrent" => {
+                i += 1;
+                config.max_concurrent = args
+                    .get(i)
+                    .ok_or("missing value after --max-concurrent")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-concurrent value: {e}"))?;
+            }
+            "--queue-depth" => {
+                i += 1;
+                config.queue_depth = args
+                    .get(i)
+                    .ok_or("missing value after --queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-depth value: {e}"))?;
+            }
+            "--threads" => {
+                i += 1;
+                config.engine.exec.num_threads = args
+                    .get(i)
+                    .ok_or("missing value after --threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads value: {e}"))?;
+            }
+            "--db" => {
+                i += 1;
+                db_path = Some(args.get(i).ok_or("missing value after --db")?.clone());
+            }
+            "--json" => {}
+            other => return Err(format!("unexpected argument '{other}'").into()),
+        }
+        i += 1;
+    }
+    if let Some(dir) = &cache_dir {
+        config.engine.render_cache = Some(open_render_cache(dir, cache_budget)?);
+    }
+    let mut server = V2vServer::new(Catalog::new()).with_config(config);
+    if let Some(db_path) = db_path {
+        server = server.with_database(load_database(&db_path)?);
+    }
+    let handle = server
+        .start(&addr)
+        .map_err(|e| CliError::from(V2vError::from(e)))?;
+    // The smoke tests parse this line for the resolved ephemeral port.
+    println!("listening on {}", handle.addr());
+    match &cache_dir {
+        Some(dir) => println!("render cache: {dir} (budget {cache_budget} bytes)"),
+        None => println!("render cache: disabled (pass --cache-dir to enable)"),
+    }
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), CliError> {
     let mut spec_path = None;
     let mut db_path = None;
     let mut analyze = false;
@@ -320,7 +542,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
             "--analyze" => analyze = true,
             "--json" => json = true,
             other if spec_path.is_none() => spec_path = Some(other.to_string()),
-            other => return Err(format!("unexpected argument '{other}'")),
+            other => return Err(format!("unexpected argument '{other}'").into()),
         }
         i += 1;
     }
@@ -331,14 +553,18 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         engine = engine.with_database(load_database(&db_path)?);
     }
     if analyze {
-        let report = engine.explain_analyze(&spec).map_err(|e| e.to_string())?;
+        let report = engine
+            .explain_analyze(&spec)
+            .map_err(|e| CliError::from(V2vError::from(e)))?;
         if json {
             println!("{}", report.to_json());
         } else {
             print!("{}", report.pretty());
         }
     } else {
-        let report = engine.explain(&spec).map_err(|e| e.to_string())?;
+        let report = engine
+            .explain(&spec)
+            .map_err(|e| CliError::from(V2vError::from(e)))?;
         if json {
             println!("{}", report.to_json());
         } else {
@@ -348,11 +574,13 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_check(args: &[String]) -> Result<(), String> {
+fn cmd_check(args: &[String]) -> Result<(), CliError> {
     let spec_path = args.first().ok_or("missing spec path")?;
     let spec = load_spec(spec_path)?;
     let mut engine = V2vEngine::new(Catalog::new());
-    engine.bind(&spec).map_err(|e| e.to_string())?;
+    engine
+        .bind(&spec)
+        .map_err(|e| CliError::from(V2vError::from(e)))?;
     println!("--- spec (paper notation) ---");
     print!("{}", v2v_spec::to_dsl_string(&spec));
     println!();
@@ -371,14 +599,17 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
             for e in &errors {
                 eprintln!("  error: {e}");
             }
-            Err(format!("{} check error(s)", errors.len()))
+            Err(CliError {
+                message: format!("{} check error(s)", errors.len()),
+                kind: Some(ErrorKind::Plan),
+            })
         }
     }
 }
 
-fn cmd_info(args: &[String]) -> Result<(), String> {
+fn cmd_info(args: &[String]) -> Result<(), CliError> {
     let path = args.first().ok_or("missing video path")?;
-    let s = v2v_container::read_svc(path).map_err(|e| e.to_string())?;
+    let s = v2v_container::read_svc(path).map_err(|e| CliError::from(V2vError::from(e)))?;
     let p = s.params();
     println!("{path}:");
     println!("  frames     : {}", s.len());
@@ -398,7 +629,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_frame(args: &[String]) -> Result<(), String> {
+fn cmd_frame(args: &[String]) -> Result<(), CliError> {
     let path = args.first().ok_or("missing video path")?;
     let t: v2v_time::Rational = args
         .get(1)
@@ -408,10 +639,12 @@ fn cmd_frame(args: &[String]) -> Result<(), String> {
     let out_path = match (args.get(2).map(String::as_str), args.get(3)) {
         (Some("-o"), Some(p)) => p.clone(),
         (None, _) => "frame.ppm".to_string(),
-        other => return Err(format!("unexpected arguments {other:?}")),
+        other => return Err(format!("unexpected arguments {other:?}").into()),
     };
-    let stream = v2v_container::read_svc(path).map_err(|e| e.to_string())?;
-    let (frame, decoded) = stream.decode_frame_at(t).map_err(|e| e.to_string())?;
+    let stream = v2v_container::read_svc(path).map_err(|e| CliError::from(V2vError::from(e)))?;
+    let (frame, decoded) = stream
+        .decode_frame_at(t)
+        .map_err(|e| CliError::from(V2vError::from(e)))?;
     v2v_frame::ppm::write_ppm(&frame, &out_path).map_err(|e| e.to_string())?;
     println!(
         "wrote {out_path}: frame at {t} ({}x{}, {decoded} packets decoded)",

@@ -34,6 +34,20 @@ struct Header {
 /// Writes a stream to `path` in `.svc` format.
 pub fn write_svc(stream: &VideoStream, path: impl AsRef<Path>) -> Result<(), ContainerError> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_svc_to(stream, &mut f)?;
+    f.flush()?;
+    Ok(())
+}
+
+/// Serializes a stream to `.svc` bytes in memory — the serving daemon's
+/// response body is exactly an `.svc` file.
+pub fn svc_to_bytes(stream: &VideoStream) -> Result<Vec<u8>, ContainerError> {
+    let mut out = Vec::with_capacity(stream.byte_size() as usize + stream.len() * 4 + 256);
+    write_svc_to(stream, &mut out)?;
+    Ok(out)
+}
+
+fn write_svc_to(stream: &VideoStream, f: &mut impl Write) -> Result<(), ContainerError> {
     let header = Header {
         params: *stream.params(),
         start: stream.start(),
@@ -50,7 +64,6 @@ pub fn write_svc(stream: &VideoStream, path: impl AsRef<Path>) -> Result<(), Con
         f.write_all(&tag.to_le_bytes())?;
         f.write_all(&p.data)?;
     }
-    f.flush()?;
     Ok(())
 }
 
@@ -78,19 +91,31 @@ pub fn read_svc(path: impl AsRef<Path>) -> Result<VideoStream, ContainerError> {
     let file = std::fs::File::open(path)?;
     let file_len = file.metadata()?.len();
     let mut f = std::io::BufReader::new(file);
+    read_svc_from(&mut f, file_len)
+}
+
+/// Parses `.svc` bytes from memory with the same hostile-input
+/// validation as [`read_svc`] — how a serving client interprets a
+/// response body.
+pub fn svc_from_bytes(bytes: &[u8]) -> Result<VideoStream, ContainerError> {
+    let mut cursor = std::io::Cursor::new(bytes);
+    read_svc_from(&mut cursor, bytes.len() as u64)
+}
+
+fn read_svc_from(f: &mut impl Read, file_len: u64) -> Result<VideoStream, ContainerError> {
     let mut magic = [0u8; 4];
-    read_exact_or_bad(&mut f, &mut magic, "magic")?;
+    read_exact_or_bad(&mut *f, &mut magic, "magic")?;
     if &magic != MAGIC {
         return Err(ContainerError::BadFile("bad magic".into()));
     }
     let mut len4 = [0u8; 4];
-    read_exact_or_bad(&mut f, &mut len4, "header length")?;
+    read_exact_or_bad(&mut *f, &mut len4, "header length")?;
     let hdr_len = u64::from(u32::from_le_bytes(len4));
     if hdr_len > 1 << 20 || 8 + hdr_len > file_len {
         return Err(ContainerError::BadFile("oversized header".into()));
     }
     let mut hdr = vec![0u8; hdr_len as usize];
-    read_exact_or_bad(&mut f, &mut hdr, "header")?;
+    read_exact_or_bad(&mut *f, &mut hdr, "header")?;
     let header: Header = serde_json::from_slice(&hdr)
         .map_err(|e| ContainerError::BadFile(format!("header decode: {e}")))?;
     header
@@ -118,7 +143,7 @@ pub fn read_svc(path: impl AsRef<Path>) -> Result<VideoStream, ContainerError> {
         remaining = remaining.checked_sub(4).ok_or_else(|| {
             ContainerError::BadFile(format!("truncated packet table at packet {k}"))
         })?;
-        read_exact_or_bad(&mut f, &mut len4, "packet tag")?;
+        read_exact_or_bad(&mut *f, &mut len4, "packet tag")?;
         let tag = u32::from_le_bytes(len4);
         let keyframe = tag & 1 == 1;
         let len = u64::from(tag >> 1);
@@ -128,7 +153,7 @@ pub fn read_svc(path: impl AsRef<Path>) -> Result<VideoStream, ContainerError> {
             )));
         }
         let mut data = vec![0u8; len as usize];
-        read_exact_or_bad(&mut f, &mut data, "packet payload")?;
+        read_exact_or_bad(&mut *f, &mut data, "packet payload")?;
         remaining -= len;
         let pts = header.start + header.frame_dur * Rational::from_int(k as i64);
         packets.push(Packet::new(pts, keyframe, Bytes::from(data)));

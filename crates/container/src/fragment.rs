@@ -1,0 +1,391 @@
+//! The `.svf` cached-fragment format.
+//!
+//! A fragment is a self-contained run of compressed packets produced by
+//! rendering one plan segment (or a whole query result), persisted by
+//! the render cache and spliced back into later outputs by stream copy.
+//! Unlike a `.svc` file it carries no absolute start instant — packets
+//! are stored on a zero-based grid (`k · frame_dur`) and re-stamped by
+//! whoever splices them — and it *does* carry a payload checksum,
+//! because cache entries live across process lifetimes on disk where
+//! bit rot and partial writes are survivable events, not bugs: a
+//! corrupt entry must read back as [`ContainerError::BadFile`] so the
+//! cache can evict it and re-render, never as a panic or silent garbage
+//! in an output.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic   4 bytes   "SVF1"
+//! hdr_len u32 LE    JSON header byte length
+//! header  JSON      {params, frame_dur, count, payload_fnv}
+//! packets count ×   (u32 LE: len << 1 | keyframe, payload bytes)
+//! ```
+//!
+//! `payload_fnv` is the FNV-1a digest of the entire packet table
+//! (tags and payloads). It is verified before any packet is parsed.
+
+use crate::digest::Fnv64;
+use crate::stream::VideoStream;
+use crate::ContainerError;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use v2v_codec::{CodecParams, Packet};
+use v2v_time::Rational;
+
+const MAGIC: &[u8; 4] = b"SVF1";
+
+/// Maximum accepted header length — far above any real header, far
+/// below anything that could hurt.
+const MAX_HEADER: usize = 1 << 20;
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    params: CodecParams,
+    frame_dur: Rational,
+    count: u64,
+    payload_fnv: u64,
+}
+
+/// A relocatable run of compressed packets: the unit the render cache
+/// stores and splices.
+///
+/// Packets sit on the zero-based grid `k · frame_dur` and begin with a
+/// keyframe, so the run can be spliced at any keyframe boundary of an
+/// output stream via [`StreamWriter::push_copied`], which re-stamps the
+/// timestamps onto the output grid.
+///
+/// [`StreamWriter::push_copied`]: crate::StreamWriter::push_copied
+#[derive(Clone, Debug)]
+pub struct Fragment {
+    params: CodecParams,
+    frame_dur: Rational,
+    packets: Vec<Packet>,
+}
+
+impl Fragment {
+    /// Assembles a fragment, validating the splice invariants: positive
+    /// frame duration, keyframe-first, and zero-based grid timestamps.
+    pub fn new(
+        params: CodecParams,
+        frame_dur: Rational,
+        packets: Vec<Packet>,
+    ) -> Result<Fragment, ContainerError> {
+        if !frame_dur.is_positive() {
+            return Err(ContainerError::BadFile(format!(
+                "frame duration {frame_dur} must be positive"
+            )));
+        }
+        if let Some(first) = packets.first() {
+            if !first.keyframe {
+                return Err(ContainerError::SpliceNotKeyframe);
+            }
+        }
+        for (k, p) in packets.iter().enumerate() {
+            if p.pts != frame_dur * Rational::from_int(k as i64) {
+                return Err(ContainerError::OutOfOrder);
+            }
+        }
+        Ok(Fragment {
+            params,
+            frame_dur,
+            packets,
+        })
+    }
+
+    /// Captures a stream's packets as a fragment, re-stamped onto the
+    /// zero-based grid. Cost: O(packets) refcount bumps.
+    pub fn from_stream(stream: &VideoStream) -> Fragment {
+        let frame_dur = stream.frame_dur();
+        let packets = stream
+            .packets()
+            .iter()
+            .enumerate()
+            .map(|(k, p)| p.retimed(frame_dur * Rational::from_int(k as i64)))
+            .collect();
+        Fragment {
+            params: *stream.params(),
+            frame_dur,
+            packets,
+        }
+    }
+
+    /// Rebuilds a stream starting at instant zero from this fragment.
+    pub fn into_stream(self) -> Result<VideoStream, ContainerError> {
+        VideoStream::new(self.params, Rational::ZERO, self.frame_dur, self.packets)
+    }
+
+    /// Codec parameters of the fragment's packets.
+    pub fn params(&self) -> &CodecParams {
+        &self.params
+    }
+
+    /// Frame duration of the fragment's grid.
+    pub fn frame_dur(&self) -> Rational {
+        self.frame_dur
+    }
+
+    /// The packets, keyframe-first on the zero-based grid.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// `true` when the fragment holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total compressed payload size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.packets.iter().map(|p| p.size() as u64).sum()
+    }
+}
+
+/// Serializes a fragment to `.svf` bytes.
+pub fn fragment_to_bytes(frag: &Fragment) -> Result<Vec<u8>, ContainerError> {
+    let mut table = Vec::with_capacity(frag.byte_size() as usize + frag.len() * 4);
+    for p in frag.packets() {
+        let tag = (p.size() as u32) << 1 | u32::from(p.keyframe);
+        table.extend_from_slice(&tag.to_le_bytes());
+        table.extend_from_slice(&p.data);
+    }
+    let mut fnv = Fnv64::new();
+    fnv.write(&table);
+    let header = Header {
+        params: *frag.params(),
+        frame_dur: frag.frame_dur(),
+        count: frag.len() as u64,
+        payload_fnv: fnv.finish(),
+    };
+    let hdr = serde_json::to_vec(&header)
+        .map_err(|e| ContainerError::BadFile(format!("header encode: {e}")))?;
+    let mut out = Vec::with_capacity(8 + hdr.len() + table.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(hdr.len() as u32).to_le_bytes());
+    out.extend_from_slice(&hdr);
+    out.extend_from_slice(&table);
+    Ok(out)
+}
+
+/// Splits `n` bytes off the front of `rest`, or reports a truncation
+/// naming `what`.
+fn take<'a>(rest: &'a [u8], n: usize, what: &str) -> Result<(&'a [u8], &'a [u8]), ContainerError> {
+    if rest.len() < n {
+        return Err(ContainerError::BadFile(format!("truncated {what}")));
+    }
+    Ok(rest.split_at(n))
+}
+
+/// Parses `.svf` bytes back into a fragment.
+///
+/// Every size is untrusted and validated against the actual byte count
+/// before allocation, and the packet-table checksum is verified before
+/// any packet is parsed: a flipped bit anywhere in the table yields
+/// [`ContainerError::BadFile`], which the render cache treats as
+/// "evict and re-render".
+pub fn fragment_from_bytes(bytes: &[u8]) -> Result<Fragment, ContainerError> {
+    let (magic, rest) = take(bytes, 4, "magic")?;
+    if magic != MAGIC {
+        return Err(ContainerError::BadFile("bad fragment magic".into()));
+    }
+    let (len4, rest) = take(rest, 4, "header length")?;
+    let mut len_buf = [0u8; 4];
+    len_buf.copy_from_slice(len4);
+    let hdr_len = u32::from_le_bytes(len_buf) as usize;
+    if hdr_len > MAX_HEADER {
+        return Err(ContainerError::BadFile("oversized header".into()));
+    }
+    let (hdr, table) = take(rest, hdr_len, "header")?;
+    let header: Header = serde_json::from_slice(hdr)
+        .map_err(|e| ContainerError::BadFile(format!("header decode: {e}")))?;
+    header
+        .params
+        .validate()
+        .map_err(|e| ContainerError::BadFile(format!("bad codec params: {e}")))?;
+    if !header.frame_dur.is_positive() {
+        return Err(ContainerError::BadFile(
+            "frame duration must be positive".into(),
+        ));
+    }
+    let mut fnv = Fnv64::new();
+    fnv.write(table);
+    if fnv.finish() != header.payload_fnv {
+        return Err(ContainerError::BadFile(
+            "fragment payload checksum mismatch".into(),
+        ));
+    }
+    // Every packet costs at least its 4-byte tag, so a truthful count
+    // is bounded by the table size.
+    if header.count > table.len() as u64 / 4 {
+        return Err(ContainerError::BadFile(format!(
+            "packet count {} exceeds what a {}-byte table can hold",
+            header.count,
+            table.len()
+        )));
+    }
+    let mut packets = Vec::with_capacity(header.count as usize);
+    let mut rest = table;
+    for k in 0..header.count {
+        let (len4, after_tag) = take(rest, 4, "packet tag")?;
+        let mut tag_buf = [0u8; 4];
+        tag_buf.copy_from_slice(len4);
+        let tag = u32::from_le_bytes(tag_buf);
+        let keyframe = tag & 1 == 1;
+        let len = (tag >> 1) as usize;
+        let (data, after) = take(after_tag, len, "packet payload")?;
+        rest = after;
+        let pts = header.frame_dur * Rational::from_int(k as i64);
+        packets.push(Packet::new(pts, keyframe, Bytes::from(data.to_vec())));
+    }
+    if !rest.is_empty() {
+        return Err(ContainerError::BadFile(format!(
+            "{} trailing bytes after packet table",
+            rest.len()
+        )));
+    }
+    Fragment::new(header.params, header.frame_dur, packets)
+}
+
+/// Writes a fragment to `path` in `.svf` format.
+pub fn write_fragment(
+    frag: &Fragment,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), ContainerError> {
+    let bytes = fragment_to_bytes(frag)?;
+    std::fs::write(path, bytes)?;
+    Ok(())
+}
+
+/// Reads a fragment from an `.svf` file.
+pub fn read_fragment(path: impl AsRef<std::path::Path>) -> Result<Fragment, ContainerError> {
+    let bytes = std::fs::read(path)?;
+    fragment_from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::StreamWriter;
+    use v2v_frame::{Frame, FrameType};
+    use v2v_time::r;
+
+    fn sample_stream(n: usize) -> VideoStream {
+        let ty = FrameType::gray8(32, 32);
+        let params = CodecParams::new(ty, 4, 0);
+        let mut w = StreamWriter::new(params, r(7, 2), r(1, 30));
+        for i in 0..n {
+            let mut f = Frame::black(ty);
+            f.plane_mut(0).put(i % 32, 0, 200);
+            w.push_frame(&f).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let s = sample_stream(9);
+        let frag = Fragment::from_stream(&s);
+        let bytes = fragment_to_bytes(&frag).unwrap();
+        let back = fragment_from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 9);
+        assert_eq!(back.params(), s.params());
+        assert_eq!(back.frame_dur(), s.frame_dur());
+        for (a, b) in frag.packets().iter().zip(back.packets()) {
+            assert_eq!(a.pts, b.pts);
+            assert_eq!(a.keyframe, b.keyframe);
+            assert_eq!(a.data, b.data);
+        }
+        // Fragment grid is zero-based even though the source started at 7/2.
+        assert_eq!(back.packets()[0].pts, Rational::ZERO);
+        assert_eq!(back.packets()[1].pts, r(1, 30));
+    }
+
+    #[test]
+    fn stream_round_trip_decodes_identically() {
+        let s = sample_stream(8);
+        let frag = Fragment::from_stream(&s);
+        let bytes = fragment_to_bytes(&frag).unwrap();
+        let back = fragment_from_bytes(&bytes).unwrap().into_stream().unwrap();
+        let (fa, _) = s.decode_range(0, s.len()).unwrap();
+        let (fb, _) = back.decode_range(0, back.len()).unwrap();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn every_flipped_bit_in_the_table_is_caught() {
+        let s = sample_stream(5);
+        let bytes = fragment_to_bytes(&Fragment::from_stream(&s)).unwrap();
+        // Locate the packet table: it starts after magic+len+header.
+        let hdr_len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let table_start = 8 + hdr_len;
+        for pos in table_start..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x41;
+            assert!(
+                matches!(fragment_from_bytes(&bad), Err(ContainerError::BadFile(_))),
+                "flip at byte {pos} must fail the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_junk_rejected() {
+        let s = sample_stream(4);
+        let bytes = fragment_to_bytes(&Fragment::from_stream(&s)).unwrap();
+        for cut in [3, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                fragment_from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must be rejected"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(fragment_from_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn non_keyframe_head_rejected() {
+        let s = sample_stream(6);
+        let frag = Fragment::from_stream(&s);
+        // Rebuild with the keyframe flag stripped from packet 0 (a lying
+        // tag bit in a hostile file).
+        let packets: Vec<Packet> = frag
+            .packets()
+            .iter()
+            .map(|p| Packet::new(p.pts, false, p.data.clone()))
+            .collect();
+        assert!(matches!(
+            Fragment::new(*frag.params(), frag.frame_dur(), packets),
+            Err(ContainerError::SpliceNotKeyframe)
+        ));
+    }
+
+    #[test]
+    fn empty_fragment_round_trips() {
+        let frag = Fragment::new(
+            CodecParams::new(FrameType::gray8(16, 16), 4, 0),
+            r(1, 30),
+            Vec::new(),
+        )
+        .unwrap();
+        let bytes = fragment_to_bytes(&frag).unwrap();
+        let back = fragment_from_bytes(&bytes).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("v2v_fragment_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frag.svf");
+        let frag = Fragment::from_stream(&sample_stream(6));
+        write_fragment(&frag, &path).unwrap();
+        let back = read_fragment(&path).unwrap();
+        assert_eq!(back.len(), frag.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

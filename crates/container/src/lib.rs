@@ -19,11 +19,17 @@
 //! * [`mod@file`] — a versioned on-disk format (`.svc`) with a JSON header
 //!   and length-prefixed packet table.
 
+pub mod digest;
 pub mod file;
+pub mod fragment;
 pub mod stream;
 pub mod writer;
 
-pub use file::{read_svc, write_svc};
+pub use digest::Fnv64;
+pub use file::{read_svc, svc_from_bytes, svc_to_bytes, write_svc};
+pub use fragment::{
+    fragment_from_bytes, fragment_to_bytes, read_fragment, write_fragment, Fragment,
+};
 pub use stream::VideoStream;
 pub use writer::StreamWriter;
 

@@ -90,6 +90,29 @@ impl VideoStream {
         self.packets.iter().map(|p| p.size() as u64).sum()
     }
 
+    /// A stable content digest of the stream: codec parameters, grid,
+    /// keyframe index, and every compressed payload byte.
+    ///
+    /// This is the per-source fingerprint the render cache folds into
+    /// its keys — re-encoding, trimming, or overwriting a source in
+    /// place changes the digest and thereby invalidates every cached
+    /// result derived from it, even when the file path is unchanged.
+    /// Deterministic across platforms and process runs (FNV-1a, not
+    /// `std`'s randomized hasher).
+    pub fn content_digest(&self) -> u64 {
+        let mut h = crate::digest::Fnv64::new();
+        h.write_str(&serde_json::to_string(&self.params).unwrap_or_default());
+        h.write_str(&self.start.to_string());
+        h.write_str(&self.frame_dur.to_string());
+        h.write_u64(self.packets.len() as u64);
+        for p in &self.packets {
+            h.write_u64(u64::from(p.keyframe));
+            h.write_u64(p.size() as u64);
+            h.write(&p.data);
+        }
+        h.finish()
+    }
+
     /// The set of instants this stream can serve — what the V2V checker
     /// compares spec requirements against.
     pub fn available(&self) -> TimeSet {

@@ -2,17 +2,19 @@
 
 use crate::observe::{AnalyzeReport, ExplainReport, RunTrace};
 use crate::EngineError;
-use std::time::Duration;
-use v2v_container::VideoStream;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use v2v_container::{Fnv64, VideoStream};
 use v2v_data::{Database, Query};
 use v2v_exec::{
     execute_naive, execute_streaming_with, execute_traced, Catalog, ExecOptions, ExecStats,
-    StageTimes, StreamingStats,
+    ExecTrace, RenderCache, SegmentCacheCtx, StageTimes, StreamingStats,
 };
 use v2v_obs::{SpanRecord, SpanSink};
 use v2v_plan::{
     explain_logical, explain_physical, lower_spec, optimize_traced, OptimizerConfig, PhysicalPlan,
-    PlanStats, PlanTrace,
+    PlanStats, PlanTrace, SegPlan, SourceDigests,
 };
 use v2v_spec::{check_spec_with_udfs, CheckReport, Spec};
 
@@ -27,6 +29,11 @@ pub struct EngineConfig {
     pub exec: ExecOptions,
     /// Apply data-dependent rewrites before planning (§IV-C).
     pub data_rewrites: bool,
+    /// Persistent render cache shared across runs (and across engines —
+    /// the serving layer hands every worker the same `Arc`). `None`
+    /// disables result and segment reuse. Ignored while a fault
+    /// injector is configured: degraded output must never be persisted.
+    pub render_cache: Option<Arc<RenderCache>>,
 }
 
 impl Default for EngineConfig {
@@ -35,6 +42,7 @@ impl Default for EngineConfig {
             optimizer: OptimizerConfig::default(),
             exec: ExecOptions::default(),
             data_rewrites: true,
+            render_cache: None,
         }
     }
 }
@@ -193,6 +201,71 @@ impl V2vEngine {
         Ok((physical, check, trace))
     }
 
+    /// Prepares the persistent-cache context for one run of `plan`:
+    /// the shared cache, the whole-plan fingerprint, and the source
+    /// digests the per-segment keys derive from. `None` when caching is
+    /// off, a fault injector is active, or the plan is not cacheable
+    /// (UDF programs have no content-addressable identity).
+    fn cache_context(&self, plan: &PhysicalPlan) -> Option<(Arc<RenderCache>, u64, SourceDigests)> {
+        let cache = self.config.render_cache.as_ref()?;
+        let fault_active = self
+            .config
+            .exec
+            .fault
+            .as_deref()
+            .is_some_and(|f| !f.is_empty());
+        if fault_active {
+            return None;
+        }
+        let digests = self.source_digests(plan);
+        if !v2v_plan::cacheable(plan, &digests) {
+            return None;
+        }
+        let fingerprint = v2v_plan::plan_fingerprint(plan, &digests);
+        Some((Arc::clone(cache), fingerprint, digests))
+    }
+
+    /// Content digests of every source the plan reads: per-video stream
+    /// digests plus one digest over all bound data arrays. (Hashing all
+    /// arrays is deliberately coarse — per-program array attribution
+    /// would buy finer invalidation at the cost of re-deriving the
+    /// expression walk here; the fingerprint only folds the array
+    /// digest into data-sensitive programs anyway.)
+    fn source_digests(&self, plan: &PhysicalPlan) -> SourceDigests {
+        let mut referenced: BTreeSet<&str> = BTreeSet::new();
+        for seg in &plan.segments {
+            match &seg.plan {
+                SegPlan::StreamCopy { video, .. } => {
+                    referenced.insert(video);
+                }
+                SegPlan::Render { inputs, .. } => {
+                    for clip in inputs {
+                        referenced.insert(&clip.video);
+                    }
+                }
+            }
+        }
+        let mut digests = SourceDigests::default();
+        for name in referenced {
+            if let Some(stream) = self.catalog.video(name) {
+                digests
+                    .videos
+                    .insert(name.to_string(), stream.content_digest());
+            }
+        }
+        let mut h = Fnv64::new();
+        for (name, array) in self.catalog.arrays() {
+            h.write_str(name);
+            h.write_u64(array.len() as u64);
+            for (t, v) in array.iter() {
+                h.write_str(&t.to_string());
+                h.write_str(&serde_json::to_string(v).unwrap_or_default());
+            }
+        }
+        digests.arrays = h.finish();
+        digests
+    }
+
     /// Full pipeline: bind → specialize → check → plan → execute.
     pub fn run(&mut self, spec: &Spec) -> Result<RunReport, EngineError> {
         let (report, _) = self.run_traced(spec)?;
@@ -217,10 +290,48 @@ impl V2vEngine {
             .attr("segments", physical.segments.len())
             .attr("rewrites", plan_trace.events.len())
             .finish();
+        let cache_ctx = self.cache_context(&physical);
         let timer = spans.start("execute");
         let exec_start_ns = spans.now_ns();
-        let (output, exec_trace, wall) =
-            execute_traced(&physical, &self.catalog, &self.config.exec)?;
+        let hit_start = Instant::now();
+        let result_hit = cache_ctx
+            .as_ref()
+            .and_then(|(cache, fingerprint, _)| cache.load_result(*fingerprint));
+        let (output, exec_trace, wall) = match result_hit {
+            Some(output) => {
+                // Whole-result hit: splice the cached container bytes
+                // straight through — no planning cost was wasted (the
+                // fingerprint needs the optimized plan), but no decode,
+                // render, or encode happens at all.
+                let mut trace = ExecTrace::default();
+                trace.totals.cache.result_hits = 1;
+                trace.totals.cache.bytes_reused = output.byte_size();
+                let wall = hit_start.elapsed();
+                trace.wall_ns = wall.as_nanos() as u64;
+                (output, trace, wall)
+            }
+            _ => {
+                let (output, exec_trace, wall) = match &cache_ctx {
+                    Some((cache, _, digests)) => {
+                        let mut exec_opts = self.config.exec.clone();
+                        exec_opts.segment_cache = Some(Arc::new(SegmentCacheCtx {
+                            cache: Arc::clone(cache),
+                            keys: v2v_plan::segment_keys(&physical, digests),
+                        }));
+                        execute_traced(&physical, &self.catalog, &exec_opts)?
+                    }
+                    None => execute_traced(&physical, &self.catalog, &self.config.exec)?,
+                };
+                if let Some((cache, fingerprint, _)) = &cache_ctx {
+                    if exec_trace.errors.is_empty() {
+                        // Failed stores only cost the next run a
+                        // re-render; never fail the query for one.
+                        let _ = cache.store_result(*fingerprint, &output);
+                    }
+                }
+                (output, exec_trace, wall)
+            }
+        };
         timer
             .attr("frames", output.len())
             .attr("splits", exec_trace.totals.splits)

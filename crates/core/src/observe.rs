@@ -161,6 +161,18 @@ impl RunTrace {
             .counter("exec.faults.frames_substituted")
             .add(t.frames_substituted);
         registry
+            .counter("exec.cache.result_hits")
+            .add(t.cache.result_hits);
+        registry
+            .counter("exec.cache.segment_hits")
+            .add(t.cache.segment_hits);
+        registry
+            .counter("exec.cache.evictions")
+            .add(t.cache.evictions);
+        registry
+            .counter("exec.cache.bytes_reused")
+            .add(t.cache.bytes_reused);
+        registry
             .counter("plan.rewrite_events")
             .add(rewrites.events.len() as u64);
         let seg_wall = registry.histogram("exec.segment_wall_ns");

@@ -69,6 +69,13 @@ pub struct ExecOptions {
     /// re-runs the failed range from its GOP-aligned start, so a
     /// transient fault recovers byte-identically.
     pub max_retries: u32,
+    /// Persistent segment-cache context for this run: the shared
+    /// [`RenderCache`](crate::RenderCache) plus the plan's per-segment
+    /// keys. `None` (the default) disables fragment reuse; runs without
+    /// it are byte-identical to builds without the hook. Ignored while
+    /// a fault injector is active — injected faults must never leak
+    /// into (or be masked by) persistent state.
+    pub segment_cache: Option<Arc<crate::render_cache::SegmentCacheCtx>>,
 }
 
 impl Default for ExecOptions {
@@ -82,6 +89,7 @@ impl Default for ExecOptions {
             fault: None,
             on_error: ErrorPolicy::default(),
             max_retries: 1,
+            segment_cache: None,
         }
     }
 }
@@ -160,6 +168,9 @@ pub struct ExecStats {
     /// Output frames filled with encoded black.
     #[serde(default)]
     pub frames_substituted: u64,
+    /// Persistent render-cache activity (zero when no cache is wired).
+    #[serde(default)]
+    pub cache: crate::render_cache::CacheStats,
 }
 
 impl ExecStats {
@@ -183,6 +194,7 @@ impl ExecStats {
         self.parts_skipped += other.parts_skipped;
         self.parts_substituted += other.parts_substituted;
         self.frames_substituted += other.frames_substituted;
+        self.cache = self.cache.merge(other.cache);
         self
     }
 }
@@ -245,12 +257,18 @@ pub fn execute_traced(
         }
         Ok(())
     };
+    let evictions_before = opts.segment_cache.as_deref().map(|sc| sc.cache.evictions());
     let report = execute_scheduled(plan, catalog, opts, Some(&cache), &mut deliver)?;
     for seg in &trace.segments {
         trace.totals = trace.totals.merge(seg.stats);
     }
     trace.totals.splits = report.splits;
     trace.totals.steals = report.steals;
+    if let (Some(sc), Some(before)) = (opts.segment_cache.as_deref(), evictions_before) {
+        // Evictions are a property of the shared cache, not any one
+        // part; attribute the delta this run caused to the run totals.
+        trace.totals.cache.evictions += sc.cache.evictions().saturating_sub(before);
+    }
     if let Some(injector) = &opts.fault {
         // Run-level, from the injector itself: a fault that killed its
         // part never reaches the per-part stats roll-up.

@@ -27,6 +27,7 @@ pub mod executor;
 pub mod fault;
 pub mod gop_cache;
 pub mod naive;
+pub mod render_cache;
 pub mod scheduler;
 pub mod streaming;
 pub mod trace;
@@ -38,6 +39,7 @@ pub use executor::{execute, execute_traced, ExecOptions, ExecStats};
 pub use fault::{error_kind, ErrorPolicy, FaultAction, FaultInjector, FaultKind, SegmentFault};
 pub use gop_cache::{GopCache, GopFrames};
 pub use naive::execute_naive;
+pub use render_cache::{CacheStats, RenderCache, SegmentCacheCtx};
 pub use scheduler::{segment_cost, PartOutput, SchedReport};
 pub use streaming::{execute_streaming, execute_streaming_with, StreamingStats};
 pub use trace::{ExecTrace, SegmentTrace, StageTimes};

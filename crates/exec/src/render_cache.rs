@@ -1,0 +1,473 @@
+//! The persistent, content-addressed render cache.
+//!
+//! VSS-style cross-query reuse: rendered bytes are the expensive thing
+//! V2V produces, and most production query streams repeat themselves —
+//! the same highlight reel requested twice, two dashboards asking for
+//! overlapping windows of one camera. The cache persists two kinds of
+//! entries under one directory, both in the checksummed [`Fragment`]
+//! format:
+//!
+//! * **whole results** (`res-<fingerprint>.svf`) — keyed by the
+//!   canonical plan fingerprint
+//!   ([`v2v_plan::fingerprint::plan_fingerprint`]); a repeat query is
+//!   answered by reading packets back, zero decode, zero encode;
+//! * **per-segment fragments** (`seg-<key>.svf`) — keyed by
+//!   [`v2v_plan::fingerprint::segment_keys`]; an *overlapping* query
+//!   whose plan shares segments with an earlier one splices the shared
+//!   fragments by stream copy and renders only the novel remainder.
+//!
+//! Three properties the serving layer depends on:
+//!
+//! * **Crash safety.** Writes go to a temp file in the same directory
+//!   and are published by `rename` — a reader never observes a torn
+//!   entry, and leftover temp files from a crash are swept at open.
+//! * **Corruption tolerance.** Every read verifies the fragment
+//!   checksum; a bad entry (bit rot, truncation, a meddling process) is
+//!   evicted and the caller re-renders. Classified as
+//!   [`ErrorKind::CorruptData`] internally, never a panic.
+//! * **Bounded footprint.** A byte budget with LRU eviction; the
+//!   just-inserted entry is never evicted by its own insertion.
+//!
+//! [`ErrorKind::CorruptData`]: v2v_container::ContainerError::BadFile
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use v2v_container::{fragment_to_bytes, read_fragment, Fragment, VideoStream};
+
+/// Render-cache activity for one run, embedded in
+/// [`ExecStats`](crate::ExecStats) and the trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Whole results served straight from the cache.
+    #[serde(default)]
+    pub result_hits: u64,
+    /// Segments spliced from cached fragments instead of rendered.
+    #[serde(default)]
+    pub segment_hits: u64,
+    /// Entries evicted during the run (budget pressure or corruption).
+    #[serde(default)]
+    pub evictions: u64,
+    /// Compressed bytes reused from the cache instead of re-produced.
+    #[serde(default)]
+    pub bytes_reused: u64,
+}
+
+impl CacheStats {
+    /// Component-wise sum.
+    pub fn merge(mut self, other: CacheStats) -> CacheStats {
+        self.result_hits += other.result_hits;
+        self.segment_hits += other.segment_hits;
+        self.evictions += other.evictions;
+        self.bytes_reused += other.bytes_reused;
+        self
+    }
+}
+
+struct EntryMeta {
+    bytes: u64,
+    /// Last-touch stamp for LRU eviction.
+    stamp: u64,
+}
+
+struct Index {
+    entries: HashMap<String, EntryMeta>,
+    total_bytes: u64,
+    next_stamp: u64,
+}
+
+/// A persistent, byte-budgeted, content-addressed cache of rendered
+/// fragments and whole results. Thread-safe: the serving daemon shares
+/// one instance across concurrent jobs.
+pub struct RenderCache {
+    dir: PathBuf,
+    budget_bytes: u64,
+    index: Mutex<Index>,
+    evictions: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for RenderCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RenderCache")
+            .field("dir", &self.dir)
+            .field("budget_bytes", &self.budget_bytes)
+            .field("bytes_held", &self.bytes_held())
+            .field("evictions", &self.evictions())
+            .finish()
+    }
+}
+
+fn result_name(fingerprint: u64) -> String {
+    format!("res-{fingerprint:016x}.svf")
+}
+
+fn segment_name(key: u64) -> String {
+    format!("seg-{key:016x}.svf")
+}
+
+impl RenderCache {
+    /// Opens (or creates) a cache rooted at `dir` with the given byte
+    /// budget, seeding the LRU order from entry modification times and
+    /// sweeping temp files left by a crashed writer.
+    pub fn open(dir: impl AsRef<Path>, budget_bytes: u64) -> std::io::Result<RenderCache> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut found: Vec<(String, u64, std::time::SystemTime)> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                let _ = std::fs::remove_file(entry.path());
+                continue;
+            }
+            if !name.ends_with(".svf") {
+                continue;
+            }
+            let meta = entry.metadata()?;
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            found.push((name, meta.len(), mtime));
+        }
+        found.sort_by_key(|(_, _, mtime)| *mtime);
+        let mut index = Index {
+            entries: HashMap::with_capacity(found.len()),
+            total_bytes: 0,
+            next_stamp: 0,
+        };
+        for (name, bytes, _) in found {
+            index.next_stamp += 1;
+            index.total_bytes += bytes;
+            index.entries.insert(
+                name,
+                EntryMeta {
+                    bytes,
+                    stamp: index.next_stamp,
+                },
+            );
+        }
+        let cache = RenderCache {
+            dir,
+            budget_bytes,
+            index: Mutex::new(index),
+            evictions: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        };
+        // A crash can leave the directory over budget; restore the
+        // invariant before serving (these do not count as run-visible
+        // evictions — no run is in flight yet).
+        let mut guard = cache.lock();
+        cache.evict_to_budget(&mut guard, None);
+        drop(guard);
+        cache.evictions.store(0, Ordering::Relaxed);
+        Ok(cache)
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Entries evicted since open (budget pressure or corruption).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes currently indexed.
+    pub fn bytes_held(&self) -> u64 {
+        self.lock().total_bytes
+    }
+
+    /// Number of entries currently indexed.
+    pub fn entries(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// The index holds only redundant metadata (the files are the
+    /// truth), so recover from poisoning rather than cascading a panic
+    /// into every later request.
+    fn lock(&self) -> MutexGuard<'_, Index> {
+        self.index.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up a cached whole result by plan fingerprint.
+    pub fn load_result(&self, fingerprint: u64) -> Option<VideoStream> {
+        let frag = self.load(&result_name(fingerprint))?;
+        match frag.into_stream() {
+            Ok(stream) => Some(stream),
+            Err(_) => {
+                self.evict_corrupt(&result_name(fingerprint));
+                None
+            }
+        }
+    }
+
+    /// Looks up a cached segment fragment by key.
+    pub fn load_segment(&self, key: u64) -> Option<Fragment> {
+        self.load(&segment_name(key))
+    }
+
+    /// Stores a whole result under the plan fingerprint. Best-effort:
+    /// an I/O failure leaves the cache without the entry, nothing more.
+    pub fn store_result(&self, fingerprint: u64, stream: &VideoStream) -> std::io::Result<()> {
+        let frag = Fragment::from_stream(stream);
+        self.store(&result_name(fingerprint), &frag)
+    }
+
+    /// Stores a rendered segment fragment under its key.
+    pub fn store_segment(&self, key: u64, frag: &Fragment) -> std::io::Result<()> {
+        self.store(&segment_name(key), frag)
+    }
+
+    fn load(&self, name: &str) -> Option<Fragment> {
+        {
+            let mut idx = self.lock();
+            idx.next_stamp += 1;
+            let stamp = idx.next_stamp;
+            match idx.entries.get_mut(name) {
+                Some(e) => e.stamp = stamp,
+                None => return None,
+            }
+        }
+        match read_fragment(self.dir.join(name)) {
+            Ok(frag) => Some(frag),
+            Err(_) => {
+                // Corrupt (checksum, truncation) or vanished: evict so
+                // the slot is re-rendered, never surfaced.
+                self.evict_corrupt(name);
+                None
+            }
+        }
+    }
+
+    fn store(&self, name: &str, frag: &Fragment) -> std::io::Result<()> {
+        let bytes = fragment_to_bytes(frag)
+            .map_err(|e| std::io::Error::other(format!("fragment encode: {e}")))?;
+        if self.budget_bytes > 0 && bytes.len() as u64 > self.budget_bytes {
+            // Larger than the whole budget: storing it would only evict
+            // everything else and then itself on the next insert.
+            return Ok(());
+        }
+        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!("{name}.{}.{seq}.tmp", std::process::id()));
+        std::fs::write(&tmp, &bytes)?;
+        // Publish atomically; a concurrent writer of the same key simply
+        // wins the rename race with identical content.
+        std::fs::rename(&tmp, self.dir.join(name))?;
+        let mut idx = self.lock();
+        idx.next_stamp += 1;
+        let stamp = idx.next_stamp;
+        let added = bytes.len() as u64;
+        if let Some(old) = idx.entries.insert(
+            name.to_string(),
+            EntryMeta {
+                bytes: added,
+                stamp,
+            },
+        ) {
+            idx.total_bytes -= old.bytes;
+        }
+        idx.total_bytes += added;
+        self.evict_to_budget(&mut idx, Some(name));
+        Ok(())
+    }
+
+    /// Evicts least-recently-used entries until the total fits the
+    /// budget, never evicting `keep` (the just-inserted entry).
+    fn evict_to_budget(&self, idx: &mut Index, keep: Option<&str>) {
+        if self.budget_bytes == 0 {
+            return;
+        }
+        while idx.total_bytes > self.budget_bytes {
+            let victim = idx
+                .entries
+                .iter()
+                .filter(|(name, _)| Some(name.as_str()) != keep)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(name, _)| name.clone());
+            let Some(victim) = victim else { break };
+            if let Some(old) = idx.entries.remove(&victim) {
+                idx.total_bytes -= old.bytes;
+            }
+            let _ = std::fs::remove_file(self.dir.join(&victim));
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops a corrupt entry: file and index row, counted as an
+    /// eviction exactly once even under concurrent detection.
+    fn evict_corrupt(&self, name: &str) {
+        let mut idx = self.lock();
+        if let Some(old) = idx.entries.remove(name) {
+            idx.total_bytes -= old.bytes;
+            let _ = std::fs::remove_file(self.dir.join(name));
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-run segment-cache context threaded through
+/// [`ExecOptions`](crate::ExecOptions): the shared cache plus this
+/// plan's per-segment keys (aligned with `plan.segments`; `None` marks
+/// an uncacheable segment).
+#[derive(Debug)]
+pub struct SegmentCacheCtx {
+    /// The shared persistent cache.
+    pub cache: std::sync::Arc<RenderCache>,
+    /// Per-segment keys from [`v2v_plan::fingerprint::segment_keys`].
+    pub keys: Vec<Option<u64>>,
+}
+
+impl SegmentCacheCtx {
+    /// The cache key for segment `seg_index`, if it is cacheable.
+    pub fn key(&self, seg_index: usize) -> Option<u64> {
+        self.keys.get(seg_index).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_codec::CodecParams;
+    use v2v_container::StreamWriter;
+    use v2v_frame::{Frame, FrameType};
+    use v2v_time::{r, Rational};
+
+    fn sample_fragment(n: usize, fill: u8) -> Fragment {
+        let ty = FrameType::gray8(32, 32);
+        let params = CodecParams::new(ty, 4, 0);
+        let mut w = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        for i in 0..n {
+            let mut f = Frame::black(ty);
+            for v in f.plane_mut(0).data_mut() {
+                *v = fill.wrapping_add(i as u8);
+            }
+            w.push_frame(&f).unwrap();
+        }
+        Fragment::from_stream(&w.finish().unwrap())
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("v2v_render_cache_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_load_round_trip_and_persistence() {
+        let dir = temp_dir("round_trip");
+        let frag = sample_fragment(6, 10);
+        {
+            let cache = RenderCache::open(&dir, 1 << 20).unwrap();
+            cache.store_segment(42, &frag).unwrap();
+            let back = cache.load_segment(42).unwrap();
+            assert_eq!(back.len(), 6);
+            assert!(cache.load_segment(43).is_none());
+        }
+        // A fresh open over the same directory sees the entry.
+        let cache = RenderCache::open(&dir, 1 << 20).unwrap();
+        assert_eq!(cache.entries(), 1);
+        assert!(cache.load_segment(42).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_evicted_not_surfaced() {
+        let dir = temp_dir("corrupt");
+        let cache = RenderCache::open(&dir, 1 << 20).unwrap();
+        cache.store_segment(7, &sample_fragment(5, 3)).unwrap();
+        // Flip a byte in the packet table on disk.
+        let path = dir.join(segment_name(7));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.load_segment(7).is_none(), "corrupt entry must miss");
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.entries(), 0);
+        assert!(!path.exists(), "corrupt file must be deleted");
+        // The slot is reusable.
+        cache.store_segment(7, &sample_fragment(5, 3)).unwrap();
+        assert!(cache.load_segment(7).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget() {
+        let dir = temp_dir("budget");
+        let frag = sample_fragment(8, 1);
+        let one = fragment_to_bytes(&frag).unwrap().len() as u64;
+        // Room for two entries, not three.
+        let cache = RenderCache::open(&dir, one * 2 + one / 2).unwrap();
+        cache.store_segment(1, &frag).unwrap();
+        cache.store_segment(2, &frag).unwrap();
+        assert_eq!(cache.evictions(), 0);
+        // Touch 1 so 2 is the LRU victim.
+        assert!(cache.load_segment(1).is_some());
+        cache.store_segment(3, &frag).unwrap();
+        assert!(cache.evictions() >= 1);
+        assert!(cache.bytes_held() <= cache.budget_bytes());
+        assert!(cache.load_segment(2).is_none(), "LRU victim gone");
+        assert!(cache.load_segment(1).is_some());
+        assert!(cache.load_segment(3).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_temp_files_and_over_budget_dirs() {
+        let dir = temp_dir("sweep");
+        {
+            let cache = RenderCache::open(&dir, 1 << 20).unwrap();
+            for k in 0..4 {
+                cache
+                    .store_segment(k, &sample_fragment(8, k as u8))
+                    .unwrap();
+            }
+        }
+        std::fs::write(dir.join("seg-dead.svf.123.tmp"), b"torn write").unwrap();
+        // Reopen with a budget that fits only ~2 entries.
+        let one = fragment_to_bytes(&sample_fragment(8, 0)).unwrap().len() as u64;
+        let cache = RenderCache::open(&dir, one * 2 + one / 2).unwrap();
+        assert!(cache.bytes_held() <= cache.budget_bytes());
+        assert!(!dir.join("seg-dead.svf.123.tmp").exists());
+        // Open-time pruning is not charged to any run.
+        assert_eq!(cache.evictions(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn result_entries_rebuild_streams() {
+        let dir = temp_dir("result");
+        let cache = RenderCache::open(&dir, 1 << 20).unwrap();
+        let frag = sample_fragment(6, 9);
+        let stream = frag.clone().into_stream().unwrap();
+        cache.store_result(0xabcd, &stream).unwrap();
+        let back = cache.load_result(0xabcd).unwrap();
+        assert_eq!(back.len(), stream.len());
+        assert_eq!(back.content_digest(), stream.content_digest());
+        assert!(cache.load_result(0xabce).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_entry_is_not_stored() {
+        let dir = temp_dir("oversized");
+        let cache = RenderCache::open(&dir, 64).unwrap();
+        cache.store_segment(5, &sample_fragment(8, 2)).unwrap();
+        assert_eq!(
+            cache.entries(),
+            0,
+            "entry larger than the budget is skipped"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

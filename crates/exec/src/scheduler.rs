@@ -40,6 +40,7 @@ use crate::cursor::SourceCursor;
 use crate::executor::{ExecOptions, ExecStats};
 use crate::fault::{error_kind, ErrorPolicy, FaultAction, FaultInjector, SegmentFault};
 use crate::gop_cache::GopCache;
+use crate::render_cache::{CacheStats, SegmentCacheCtx};
 use crate::trace::StageTimes;
 use crate::ExecError;
 use crossbeam::channel;
@@ -167,6 +168,9 @@ struct PartCtx<'a> {
     catalog: &'a Catalog,
     cache: Option<&'a GopCache>,
     fault: Option<&'a FaultInjector>,
+    /// Persistent segment cache for this run (`None` disables reuse;
+    /// always `None` while a fault injector is active).
+    seg_cache: Option<&'a SegmentCacheCtx>,
 }
 
 /// A split probe carried into a render loop: checked at output-GOP
@@ -265,6 +269,21 @@ pub(crate) fn execute_scheduled(
 ) -> Result<SchedReport, ExecError> {
     let workers = opts.effective_threads();
     let fault = opts.fault.as_deref().filter(|f| !f.is_empty());
+    // Segment reuse is disabled while faults are being injected: a
+    // degraded (skipped/substituted) part must never be persisted, and a
+    // cache hit would mask the injection the test asked for.
+    let seg_cache = if fault.is_none() {
+        opts.segment_cache.as_deref()
+    } else {
+        None
+    };
+    let mut store_accum: Option<StoreAccum> = None;
+    let mut deliver = |part: PartOutput| -> Result<(), ExecError> {
+        if let Some(sc) = seg_cache {
+            accumulate_for_store(sc, plan, &mut store_accum, &part);
+        }
+        deliver(part)
+    };
     if workers <= 1 {
         for (i, seg) in plan.segments.iter().enumerate() {
             let ctx = PartCtx {
@@ -274,6 +293,7 @@ pub(crate) fn execute_scheduled(
                 catalog,
                 cache,
                 fault,
+                seg_cache,
             };
             let part = match run_part(&ctx, 0, seg.count, None, 0, 1) {
                 Ok(part) => part,
@@ -328,7 +348,7 @@ pub(crate) fn execute_scheduled(
             });
         }
         drop(tx);
-        drive(&rx, deliver, total, &shared)
+        drive(&rx, &mut deliver, total, &shared)
     })
 }
 
@@ -409,13 +429,19 @@ fn worker_loop(
             }
         };
         let seg = &plan.segments[task.seg_index];
+        let fault = opts.fault.as_deref().filter(|f| !f.is_empty());
         let ctx = PartCtx {
             plan,
             seg,
             seg_index: task.seg_index,
             catalog,
             cache,
-            fault: opts.fault.as_deref().filter(|f| !f.is_empty()),
+            fault,
+            seg_cache: if fault.is_none() {
+                opts.segment_cache.as_deref()
+            } else {
+                None
+            },
         };
         // A lone running part composes with the whole pool's width; with
         // many parts in flight each keeps roughly its fair share.
@@ -468,6 +494,113 @@ fn worker_loop(
     }
 }
 
+/// Serves a whole render segment from the persistent segment cache, if
+/// one is attached and holds a matching fragment. Only whole segments
+/// are served (a split range would interleave cached and freshly
+/// encoded packets inside one encoder session), and a stale or
+/// mismatched fragment is simply ignored — the segment renders as
+/// usual.
+fn try_cached_segment(ctx: &PartCtx<'_>, from: u64, to: u64) -> Option<PartOutput> {
+    let sc = ctx.seg_cache?;
+    if ctx.fault.is_some() || from != 0 || to != ctx.seg.count || ctx.seg.count == 0 {
+        return None;
+    }
+    let key = sc.key(ctx.seg_index)?;
+    let frag = sc.cache.load_segment(key)?;
+    if frag.len() as u64 != ctx.seg.count
+        || frag.frame_dur() != ctx.plan.frame_dur
+        || !frag.params().compatible_with(&ctx.plan.out_params)
+    {
+        return None;
+    }
+    let stats = ExecStats {
+        segments: 1,
+        cache: CacheStats {
+            segment_hits: 1,
+            bytes_reused: frag.byte_size(),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Some(PartOutput {
+        seg_index: ctx.seg_index,
+        abs_start: ctx.seg.out_start,
+        count: ctx.seg.count,
+        packets: frag.packets().to_vec(),
+        stats,
+        stage: StageTimes::default(),
+        wall_ns: 0,
+        fault: None,
+    })
+}
+
+/// In-flight state for persisting one segment's rendered packets: parts
+/// of a segment reach the deliver callback contiguously and in order,
+/// so a single accumulator suffices.
+struct StoreAccum {
+    seg_index: usize,
+    key: u64,
+    packets: Vec<Packet>,
+    delivered: u64,
+    clean: bool,
+}
+
+/// Feeds one delivered part into the segment-store accumulator and
+/// flushes a finished segment to the persistent cache. Parts that were
+/// themselves cache hits, segments without a key (stream copies, UDF
+/// programs), and segments touched by fault recovery are never stored.
+fn accumulate_for_store(
+    sc: &SegmentCacheCtx,
+    plan: &PhysicalPlan,
+    accum: &mut Option<StoreAccum>,
+    part: &PartOutput,
+) {
+    if part.stats.cache.segment_hits > 0 {
+        return;
+    }
+    let Some(seg) = plan.segments.get(part.seg_index) else {
+        return;
+    };
+    if seg.count == 0 {
+        return;
+    }
+    let Some(key) = sc.key(part.seg_index) else {
+        return;
+    };
+    if part.abs_start == seg.out_start {
+        *accum = Some(StoreAccum {
+            seg_index: part.seg_index,
+            key,
+            packets: Vec::with_capacity(seg.count as usize),
+            delivered: 0,
+            clean: true,
+        });
+    }
+    let Some(acc) = accum.as_mut() else { return };
+    if acc.seg_index != part.seg_index {
+        return;
+    }
+    acc.clean &= part.fault.is_none();
+    acc.delivered += part.count;
+    if acc.clean {
+        acc.packets.extend(part.packets.iter().cloned());
+    }
+    if acc.delivered >= seg.count {
+        if acc.clean && acc.delivered == seg.count {
+            if let Ok(frag) = v2v_container::Fragment::new(
+                plan.out_params,
+                plan.frame_dur,
+                std::mem::take(&mut acc.packets),
+            ) {
+                // A failed store (disk full, permissions) only costs the
+                // next run a re-render; never fail the query for it.
+                let _ = sc.cache.store_segment(acc.key, &frag);
+            }
+        }
+        *accum = None;
+    }
+}
+
 /// Executes the segment-relative range `[from, to)` of one segment.
 /// Renders may end early (at a GOP boundary) if the probe split the
 /// range; the returned part covers exactly what was produced.
@@ -511,7 +644,9 @@ fn run_part(
             }
         }
         SegPlan::Render { program, inputs } => {
-            if pipeline_frames > 0 {
+            if let Some(part) = try_cached_segment(ctx, from, to) {
+                part
+            } else if pipeline_frames > 0 {
                 run_render_pipelined(
                     ctx,
                     program,

@@ -41,4 +41,7 @@ pub use span::{SpanRecord, SpanSink, SpanTimer};
 /// * 3 — fault tolerance: `exec.faults.*` counters, fault-related
 ///   `ExecStats` fields, the `errors` segment-fault report on the exec
 ///   trace, and fault attrs on the `execute` span.
-pub const TRACE_SCHEMA_VERSION: u32 = 3;
+/// * 4 — persistent render cache: the `cache` stats block on
+///   `ExecStats` (`result_hits` / `segment_hits` / `evictions` /
+///   `bytes_reused`) and `exec.cache.*` counters.
+pub const TRACE_SCHEMA_VERSION: u32 = 4;

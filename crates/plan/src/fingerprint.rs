@@ -1,0 +1,479 @@
+//! Content-addressed plan fingerprints for the render cache.
+//!
+//! The cache must answer "is this exactly the work I rendered before?"
+//! across process lifetimes, so keys cannot come from pointer
+//! identities, hash-map iteration order, or anything the optimizer's
+//! *trajectory* influences. Two requirements shape the scheme:
+//!
+//! 1. **Canonical over the plan, not the rewrite history.** Temporal
+//!    sharding splits one render segment into several that carry
+//!    *identical* [`SegPlan`]s, and the sharding factor is a tuning
+//!    knob — the same query planned with `shard_gops = 1` or `= 8`
+//!    must fingerprint identically, because the output bytes are
+//!    identical (shards split at output-GOP boundaries, so the encoder
+//!    emits the same keyframe cadence either way). The fingerprint
+//!    therefore hashes a *canonical* segment list in which GOP-aligned
+//!    runs of equal render plans (and contiguous stream copies of one
+//!    source) are merged back together.
+//!
+//! 2. **Content-addressed over the sources.** A plan names videos, but
+//!    a name does not pin bytes: re-encoding a source in place must
+//!    change every key derived from it. Callers supply
+//!    [`SourceDigests`] — per-video content digests (from
+//!    [`VideoStream::content_digest`]) plus one digest over the data
+//!    arrays — and both the whole-plan fingerprint and the per-segment
+//!    keys fold them in.
+//!
+//! Rewrites that change the *output bytes* (stream copy vs. render,
+//! smart cuts, conservative tails) legitimately change the
+//! fingerprint: cached bytes are only reusable when they are the very
+//! bytes the plan would produce.
+//!
+//! Programs containing UDFs are never keyed ([`segment_keys`] yields
+//! `None`, [`plan_fingerprint`] is still defined but callers should
+//! skip caching): the kernel behind a UDF id lives in the process's
+//! catalog, outside what any on-disk digest can witness.
+//!
+//! [`VideoStream::content_digest`]: v2v_container::VideoStream::content_digest
+
+use crate::physical::{PhysicalPlan, SegPlan, Segment};
+use crate::program::{FrameProgram, ProgArg};
+use std::collections::BTreeMap;
+use v2v_container::Fnv64;
+use v2v_spec::TransformOp;
+
+/// Content digests of everything a plan reads, keyed by catalog name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SourceDigests {
+    /// Per-video content digest
+    /// ([`VideoStream::content_digest`](v2v_container::VideoStream::content_digest)).
+    pub videos: BTreeMap<String, u64>,
+    /// One digest over all data arrays (names, instants, values).
+    pub arrays: u64,
+}
+
+/// Is the expression's value a function of the evaluation instant or
+/// the data arrays? Constant expressions (however nested) are not —
+/// they are already pinned by the program's serialization.
+fn expr_time_sensitive(e: &v2v_spec::DataExpr) -> bool {
+    use v2v_spec::DataExpr;
+    match e {
+        DataExpr::Const(_) => false,
+        DataExpr::T | DataExpr::ArrayRef { .. } => true,
+        DataExpr::Cmp { lhs, rhs, .. } | DataExpr::Arith { lhs, rhs, .. } => {
+            expr_time_sensitive(lhs) || expr_time_sensitive(rhs)
+        }
+        DataExpr::And(a, b) | DataExpr::Or(a, b) => {
+            expr_time_sensitive(a) || expr_time_sensitive(b)
+        }
+        DataExpr::Not(a) | DataExpr::Len(a) => expr_time_sensitive(a),
+    }
+}
+
+/// Does the program consume anything beyond its input frames — data
+/// expressions genuinely evaluated at *absolute* domain instants
+/// (`t` or array lookups; constants don't count) or UDFs?
+fn program_data_sensitivity(p: &FrameProgram) -> (bool, bool) {
+    match p {
+        FrameProgram::Input(_) => (false, false),
+        FrameProgram::Op { op, args } => {
+            let mut data = false;
+            let mut udf = matches!(op, TransformOp::Udf(_));
+            for a in args {
+                match a {
+                    ProgArg::Frame(f) => {
+                        let (d, u) = program_data_sensitivity(f);
+                        data |= d;
+                        udf |= u;
+                    }
+                    ProgArg::Data(e) => data |= expr_time_sensitive(e),
+                }
+            }
+            (data, udf)
+        }
+    }
+}
+
+/// Hashes the plan-wide framing every key shares: output parameters and
+/// the grid.
+fn hash_framing(h: &mut Fnv64, plan: &PhysicalPlan) {
+    h.write_str(&serde_json::to_string(&plan.out_params).unwrap_or_default());
+    h.write_str(&plan.frame_dur.to_string());
+}
+
+/// Hashes one render plan's semantic content for the segment starting
+/// at output frame `out_start` with `count` frames. Returns `false`
+/// (key unusable) when the program contains a UDF or references a
+/// video absent from `sources`.
+fn hash_render(
+    h: &mut Fnv64,
+    plan: &PhysicalPlan,
+    program: &FrameProgram,
+    inputs: &[crate::program::InputClip],
+    out_start: u64,
+    count: u64,
+    sources: &SourceDigests,
+) -> bool {
+    let (has_data, has_udf) = program_data_sensitivity(program);
+    if has_udf {
+        return false;
+    }
+    h.write_str("render");
+    h.write_u64(count);
+    h.write_str(&serde_json::to_string(program).unwrap_or_default());
+    let seg_start = plan.instant_of(out_start);
+    for clip in inputs {
+        match sources.videos.get(&clip.video) {
+            Some(d) => h.write_u64(*d),
+            None => return false,
+        }
+        // The binding's semantic content relative to this segment: the
+        // source instant its frames start at and the rate mapping. The
+        // absolute offset is deliberately *not* hashed — two segments
+        // rendering the same source span with the same program are the
+        // same work wherever they land in the output.
+        h.write_str(&clip.time.scale().to_string());
+        h.write_str(&clip.time.apply(seg_start).to_string());
+    }
+    if has_data {
+        // Data expressions evaluate at absolute domain instants, so the
+        // segment's alignment and the array contents become inputs.
+        h.write_str(&seg_start.to_string());
+        h.write_u64(sources.arrays);
+    }
+    true
+}
+
+/// Hashes one stream-copy plan's semantic content.
+fn hash_copy(
+    h: &mut Fnv64,
+    video: &str,
+    src_from: u64,
+    src_to: u64,
+    sources: &SourceDigests,
+) -> bool {
+    h.write_str("copy");
+    match sources.videos.get(video) {
+        Some(d) => h.write_u64(*d),
+        None => return false,
+    }
+    h.write_u64(src_from);
+    h.write_u64(src_to);
+    true
+}
+
+/// Merges the plan's segments into canonical runs: GOP-aligned adjacent
+/// render segments with equal plans (what sharding splits) and
+/// contiguous stream copies of one video (what GOP-chunked copies
+/// split) collapse into single segments. The result depends only on
+/// what the plan *produces*, not on how the optimizer arrived at it.
+fn canonical_segments(plan: &PhysicalPlan) -> Vec<Segment> {
+    let gop = u64::from(plan.out_params.gop_size.max(1));
+    let mut out: Vec<Segment> = Vec::with_capacity(plan.segments.len());
+    for seg in &plan.segments {
+        if let Some(run) = out.last_mut() {
+            let adjacent = seg.out_start == run.out_start + run.count;
+            match (&mut run.plan, &seg.plan) {
+                (
+                    SegPlan::Render {
+                        program: rp,
+                        inputs: ri,
+                    },
+                    SegPlan::Render { program, inputs },
+                ) if adjacent
+                    && rp == program
+                    && ri == inputs
+                    // Merging is byte-preserving only at output-GOP
+                    // boundaries: each render segment restarts the
+                    // encoder, so an unaligned merge would move
+                    // keyframes.
+                    && (seg.out_start - run.out_start) % gop == 0 =>
+                {
+                    run.count += seg.count;
+                    continue;
+                }
+                (
+                    SegPlan::StreamCopy {
+                        video: rv,
+                        src_to: rt,
+                        ..
+                    },
+                    SegPlan::StreamCopy {
+                        video,
+                        src_from,
+                        src_to,
+                    },
+                ) if adjacent && rv == video && *rt == *src_from => {
+                    *rt = *src_to;
+                    run.count += seg.count;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(seg.clone());
+    }
+    out
+}
+
+/// The canonical, content-addressed fingerprint of a whole plan: the
+/// render cache's key for complete results.
+///
+/// Invariant under the optimizer's sharding factor and rule application
+/// order (for a fixed rule *outcome*); changes whenever the output
+/// bytes would — different programs, clip ranges, output parameters, or
+/// source contents.
+pub fn plan_fingerprint(plan: &PhysicalPlan, sources: &SourceDigests) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("v2v.plan.v1");
+    hash_framing(&mut h, plan);
+    h.write_str(&plan.domain_start.to_string());
+    h.write_u64(plan.n_frames);
+    let canon = canonical_segments(plan);
+    h.write_u64(canon.len() as u64);
+    for seg in &canon {
+        h.write_u64(seg.out_start);
+        match &seg.plan {
+            SegPlan::Render { program, inputs } => {
+                if !hash_render(
+                    &mut h,
+                    plan,
+                    program,
+                    inputs,
+                    seg.out_start,
+                    seg.count,
+                    sources,
+                ) {
+                    // Unkeyable content (UDF, unknown video): poison the
+                    // fingerprint with the segment's identity so it
+                    // still distinguishes plans, while callers gate
+                    // caching on `cacheable`.
+                    h.write_str("unkeyable");
+                    h.write_str(&serde_json::to_string(program).unwrap_or_default());
+                }
+            }
+            SegPlan::StreamCopy {
+                video,
+                src_from,
+                src_to,
+            } => {
+                if !hash_copy(&mut h, video, *src_from, *src_to, sources) {
+                    h.write_str("unkeyable");
+                    h.write_str(video);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// `true` when every segment of the plan can be keyed — no UDFs, every
+/// referenced video digested. The engine only caches such plans.
+pub fn cacheable(plan: &PhysicalPlan, sources: &SourceDigests) -> bool {
+    plan.segments.iter().all(|seg| match &seg.plan {
+        SegPlan::Render { program, inputs } => {
+            let (_, has_udf) = program_data_sensitivity(program);
+            !has_udf && inputs.iter().all(|c| sources.videos.contains_key(&c.video))
+        }
+        SegPlan::StreamCopy { video, .. } => sources.videos.contains_key(video),
+    })
+}
+
+/// Per-segment cache keys, aligned with `plan.segments` by index.
+///
+/// `None` for segments that must not be cached: stream copies (already
+/// zero-decode — caching them would only duplicate source bytes) and
+/// render programs containing UDFs or videos without digests.
+///
+/// The key hashes everything that determines the segment's output
+/// bytes — program, input contents and alignment, output parameters,
+/// frame count — but *not* the segment's position in the output, so an
+/// overlapping query whose plan produces the same span of work reuses
+/// the fragment even at a different output offset.
+pub fn segment_keys(plan: &PhysicalPlan, sources: &SourceDigests) -> Vec<Option<u64>> {
+    plan.segments
+        .iter()
+        .map(|seg| match &seg.plan {
+            SegPlan::StreamCopy { .. } => None,
+            SegPlan::Render { program, inputs } => {
+                let mut h = Fnv64::new();
+                h.write_str("v2v.segkey.v1");
+                hash_framing(&mut h, plan);
+                hash_render(
+                    &mut h,
+                    plan,
+                    program,
+                    inputs,
+                    seg.out_start,
+                    seg.count,
+                    sources,
+                )
+                .then(|| h.finish())
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::InputClip;
+    use v2v_codec::CodecParams;
+    use v2v_frame::FrameType;
+    use v2v_time::{r, AffineTimeMap, Rational};
+
+    fn digests(names: &[&str]) -> SourceDigests {
+        SourceDigests {
+            videos: names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.to_string(), 0x1000 + i as u64))
+                .collect(),
+            arrays: 7,
+        }
+    }
+
+    fn render_seg(out_start: u64, count: u64) -> Segment {
+        Segment {
+            out_start,
+            count,
+            plan: SegPlan::Render {
+                program: FrameProgram::Op {
+                    op: TransformOp::Blur,
+                    args: vec![
+                        ProgArg::Frame(FrameProgram::Input(0)),
+                        ProgArg::Data(v2v_spec::DataExpr::constant(1.0f64)),
+                    ],
+                },
+                inputs: vec![InputClip {
+                    video: "a".into(),
+                    time: AffineTimeMap::IDENTITY,
+                }],
+            },
+        }
+    }
+
+    fn base_plan(segments: Vec<Segment>, n_frames: u64) -> PhysicalPlan {
+        PhysicalPlan {
+            segments,
+            out_params: CodecParams::new(FrameType::gray8(32, 32), 4, 0),
+            frame_dur: r(1, 30),
+            domain_start: Rational::ZERO,
+            n_frames,
+            stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn sharding_is_invisible() {
+        // One 16-frame render vs. the same render split at GOP-aligned
+        // boundaries (gop 4): identical fingerprints.
+        let whole = base_plan(vec![render_seg(0, 16)], 16);
+        let sharded = base_plan(
+            vec![render_seg(0, 8), render_seg(8, 4), render_seg(12, 4)],
+            16,
+        );
+        let d = digests(&["a"]);
+        assert_eq!(plan_fingerprint(&whole, &d), plan_fingerprint(&sharded, &d));
+    }
+
+    #[test]
+    fn unaligned_split_is_not_merged() {
+        // A split at a non-GOP boundary changes keyframe placement and
+        // therefore the output bytes: must NOT collapse.
+        let whole = base_plan(vec![render_seg(0, 16)], 16);
+        let odd = base_plan(vec![render_seg(0, 6), render_seg(6, 10)], 16);
+        let d = digests(&["a"]);
+        assert_ne!(plan_fingerprint(&whole, &d), plan_fingerprint(&odd, &d));
+    }
+
+    #[test]
+    fn source_bytes_are_load_bearing() {
+        let plan = base_plan(vec![render_seg(0, 16)], 16);
+        let d1 = digests(&["a"]);
+        let mut d2 = d1.clone();
+        d2.videos.insert("a".into(), 0xdead);
+        assert_ne!(plan_fingerprint(&plan, &d1), plan_fingerprint(&plan, &d2));
+        assert_ne!(segment_keys(&plan, &d1)[0], segment_keys(&plan, &d2)[0],);
+    }
+
+    #[test]
+    fn copy_runs_merge() {
+        let seg = |out_start, count, src_from, src_to| Segment {
+            out_start,
+            count,
+            plan: SegPlan::StreamCopy {
+                video: "a".into(),
+                src_from,
+                src_to,
+            },
+        };
+        let whole = base_plan(vec![seg(0, 12, 3, 15)], 12);
+        let split = base_plan(vec![seg(0, 4, 3, 7), seg(4, 8, 7, 15)], 12);
+        let gapped = base_plan(vec![seg(0, 4, 3, 7), seg(4, 8, 8, 16)], 12);
+        let d = digests(&["a"]);
+        assert_eq!(plan_fingerprint(&whole, &d), plan_fingerprint(&split, &d));
+        assert_ne!(plan_fingerprint(&whole, &d), plan_fingerprint(&gapped, &d));
+    }
+
+    #[test]
+    fn segment_key_ignores_output_position_without_data() {
+        // Pure-frame programs over the same source span key identically
+        // wherever they land in the output.
+        let a = base_plan(vec![render_seg(0, 8)], 8);
+        let mut moved = render_seg(4, 8);
+        // Compensate the clip so the *source* span matches: identity
+        // time map reads t, so shift the clip back by 4 frames.
+        if let SegPlan::Render { inputs, .. } = &mut moved.plan {
+            inputs[0].time = AffineTimeMap::new(Rational::ONE, r(-4, 30));
+        }
+        let b = base_plan(vec![render_seg(0, 4), moved], 12);
+        let d = digests(&["a"]);
+        let ka = segment_keys(&a, &d);
+        let kb = segment_keys(&b, &d);
+        assert_eq!(ka[0], kb[1], "same work, different offset: same key");
+    }
+
+    #[test]
+    fn udf_segments_are_unkeyed() {
+        let mut seg = render_seg(0, 8);
+        if let SegPlan::Render { program, .. } = &mut seg.plan {
+            *program = FrameProgram::Op {
+                op: TransformOp::Udf(3),
+                args: vec![ProgArg::Frame(FrameProgram::Input(0))],
+            };
+        }
+        let plan = base_plan(vec![seg], 8);
+        let d = digests(&["a"]);
+        assert_eq!(segment_keys(&plan, &d), vec![None]);
+        assert!(!cacheable(&plan, &d));
+        assert!(cacheable(&base_plan(vec![render_seg(0, 8)], 8), &d));
+    }
+
+    #[test]
+    fn data_programs_key_on_alignment_and_arrays() {
+        let data_seg = |out_start| {
+            let mut s = render_seg(out_start, 8);
+            if let SegPlan::Render { program, .. } = &mut s.plan {
+                *program = FrameProgram::Op {
+                    op: TransformOp::Blur,
+                    args: vec![
+                        ProgArg::Frame(FrameProgram::Input(0)),
+                        ProgArg::Data(v2v_spec::DataExpr::T),
+                    ],
+                };
+            }
+            s
+        };
+        let a = base_plan(vec![data_seg(0)], 8);
+        let b = base_plan(vec![data_seg(0), data_seg(8)], 16);
+        let d = digests(&["a"]);
+        // Same alignment → same key; different alignment → different.
+        assert_eq!(segment_keys(&a, &d)[0], segment_keys(&b, &d)[0]);
+        assert_ne!(segment_keys(&b, &d)[0], segment_keys(&b, &d)[1]);
+        // Array contents are inputs.
+        let mut d2 = d.clone();
+        d2.arrays = 99;
+        assert_ne!(segment_keys(&a, &d)[0], segment_keys(&a, &d2)[0]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Minimal HTTP/1.1 framing over `std::net::TcpStream`.
+//!
+//! The sandbox has no HTTP dependency, and the service needs only the
+//! subset a closed-loop client exercises: one request per connection
+//! (`Connection: close`), `Content-Length` bodies, no chunked encoding,
+//! no continuation lines. Both the server and the bundled [`client`]
+//! speak exactly this subset, so they are tested against each other.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Largest accepted header block (request line + headers).
+const MAX_HEAD: usize = 64 * 1024;
+/// Largest accepted request body (a serialized spec).
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path only; queries are not split off).
+    pub path: String,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One HTTP response, as built by handlers or parsed by the client.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased on parse.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with a body and content type.
+    pub fn new(status: u16, content_type: &str, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            headers: vec![("content-type".into(), content_type.into())],
+            body,
+        }
+    }
+
+    /// A JSON response from a serializable value.
+    pub fn json(status: u16, value: &impl serde::Serialize) -> Response {
+        let body = serde_json::to_vec(value).unwrap_or_default();
+        Response::new(status, "application/json", body)
+    }
+
+    /// Adds a header (chained).
+    #[must_use]
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_ascii_lowercase(), value.into()));
+        self
+    }
+
+    /// First value of a header, by lowercase name.
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Standard reason phrase for the status codes the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads the header block (through the blank line), bounded by
+/// [`MAX_HEAD`].
+fn read_head(reader: &mut impl BufRead) -> io::Result<Vec<String>> {
+    let mut lines = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-header",
+            ));
+        }
+        total += n;
+        if total > MAX_HEAD {
+            return Err(bad("header block too large"));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            return Ok(lines);
+        }
+        lines.push(line.to_string());
+    }
+}
+
+/// Splits header lines (after the first) into lowercase-name pairs.
+fn parse_headers(lines: &[String]) -> io::Result<Vec<(String, String)>> {
+    lines
+        .iter()
+        .map(|line| {
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad("malformed header"))?;
+            Ok((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect()
+}
+
+/// Reads the body per `Content-Length` (absent means empty), bounded by
+/// [`MAX_BODY`].
+fn read_body(reader: &mut impl BufRead, headers: &[(String, String)]) -> io::Result<Vec<u8>> {
+    let len = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>().map_err(|_| bad("bad content-length")))
+        .transpose()?
+        .unwrap_or(0);
+    if len > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Reads one request from the stream.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Request> {
+    let lines = read_head(reader)?;
+    let first = lines.first().ok_or_else(|| bad("empty request"))?;
+    let mut parts = first.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("missing method"))?;
+    let path = parts.next().ok_or_else(|| bad("missing path"))?;
+    let headers = parse_headers(&lines[1..])?;
+    let body = read_body(reader, &headers)?;
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// Writes a response, adding `Content-Length` and `Connection: close`.
+pub fn write_response(stream: &mut impl Write, resp: &Response) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\n",
+        resp.status,
+        reason(resp.status)
+    )?;
+    for (name, value) in &resp.headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    write!(stream, "content-length: {}\r\n", resp.body.len())?;
+    write!(stream, "connection: close\r\n\r\n")?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// A blocking one-request client for the same HTTP subset the server
+/// speaks. Used by the integration tests, the serving benchmark, and
+/// anyone driving a `v2v serve` daemon from Rust.
+pub mod client {
+    use super::*;
+
+    /// Sends one request and reads the full response.
+    pub fn request(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> io::Result<Response> {
+        let mut stream = TcpStream::connect(addr)?;
+        write!(stream, "{method} {path} HTTP/1.1\r\n")?;
+        write!(stream, "host: {addr}\r\n")?;
+        write!(stream, "content-length: {}\r\n", body.len())?;
+        write!(stream, "connection: close\r\n\r\n")?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let lines = read_head(&mut reader)?;
+        let first = lines.first().ok_or_else(|| bad("empty response"))?;
+        let status = first
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let headers = parse_headers(&lines[1..])?;
+        let body = match headers.iter().find(|(n, _)| n == "content-length") {
+            Some(_) => read_body(&mut reader, &headers)?,
+            None => {
+                let mut buf = Vec::new();
+                reader.read_to_end(&mut buf)?;
+                buf
+            }
+        };
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// `POST /query` with a serialized spec; returns the raw response.
+    pub fn post_query(addr: SocketAddr, spec_json: &[u8]) -> io::Result<Response> {
+        request(addr, "POST", "/query", spec_json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_request_with_body() {
+        let raw = b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(read_request(&mut Cursor::new(raw.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn response_round_trips_headers() {
+        let resp = Response::new(200, "application/json", b"{}".to_vec())
+            .header("x-v2v-stats", "{\"a\":1}");
+        let mut out = Vec::new();
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("x-v2v-stats: {\"a\":1}\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn truncated_header_is_an_error() {
+        let raw = b"GET / HTTP/1.1\r\nHost: x";
+        assert!(read_request(&mut Cursor::new(&raw[..])).is_err());
+    }
+}

@@ -1,0 +1,607 @@
+#![warn(missing_docs)]
+
+//! `v2v-serve` — a concurrent query service over the V2V engine.
+//!
+//! The paper frames V2V as an interactive system: analysts issue video
+//! queries and expect playable results in seconds. This crate provides
+//! the serving layer that makes repeated and overlapping queries cheap:
+//! a std-only HTTP/1.1 daemon (the sandbox has no HTTP dependency; see
+//! [`http`] for the subset spoken) that runs each `POST /query` through
+//! the traced engine, with
+//!
+//! * **admission control** — at most `max_concurrent` renders run at
+//!   once; excess requests wait in a bounded FIFO and are rejected with
+//!   `429 Too Many Requests` + `retry-after` when the queue is full;
+//! * **a shared persistent render cache** — all workers share one
+//!   [`RenderCache`], so a repeated query is answered by splicing
+//!   cached container bytes (zero decode) and an overlapping query
+//!   reuses every segment it shares with earlier ones (see
+//!   `v2v_plan::fingerprint` for key derivation);
+//! * **observability** — `GET /metrics` serves a
+//!   [`MetricsSnapshot`](v2v_obs::MetricsSnapshot) aggregated across
+//!   requests, `GET /status` the live admission picture.
+//!
+//! Routes:
+//!
+//! | route | body | response |
+//! |---|---|---|
+//! | `POST /query` | spec JSON | `.svc` container bytes; `x-v2v-stats` header carries the run's [`ExecStats`] JSON |
+//! | `GET /status` | — | admission + cache state JSON |
+//! | `GET /metrics` | — | metrics snapshot JSON |
+//!
+//! Query errors map the [`ErrorKind`] taxonomy onto status codes:
+//! `invalid_request`/`plan` → 400, `not_found` → 404, `corrupt_data` →
+//! 422, everything else → 500; the body is a structured
+//! `{"error": {kind, message}}` object.
+
+pub mod http;
+
+use http::{read_request, write_response, Request, Response};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use v2v_core::{EngineConfig, ErrorKind, V2vEngine, V2vError};
+use v2v_data::Database;
+use v2v_exec::{Catalog, ExecStats, RenderCache};
+use v2v_obs::Registry;
+use v2v_spec::Spec;
+
+/// Serving configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Renders admitted simultaneously (minimum 1).
+    pub max_concurrent: usize,
+    /// Requests allowed to wait for admission beyond the running ones;
+    /// requests past the queue are rejected with 429.
+    pub queue_depth: usize,
+    /// `retry-after` seconds advertised on 429 responses.
+    pub retry_after_secs: u64,
+    /// Engine configuration every job runs under. Set
+    /// `engine.render_cache` to share a persistent cache across jobs.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_concurrent: 2,
+            queue_depth: 16,
+            retry_after_secs: 1,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Admission gate: a counting semaphore with a bounded wait queue.
+struct JobGate {
+    max: usize,
+    depth: usize,
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    active: usize,
+    queued: usize,
+}
+
+impl JobGate {
+    fn new(max: usize, depth: usize) -> JobGate {
+        JobGate {
+            max: max.max(1),
+            depth,
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GateState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Blocks until admitted; `false` means the queue was full and the
+    /// request must be rejected.
+    fn enter(&self) -> bool {
+        let mut st = self.lock();
+        if st.active < self.max {
+            st.active += 1;
+            return true;
+        }
+        if st.queued >= self.depth {
+            return false;
+        }
+        st.queued += 1;
+        while st.active >= self.max {
+            st = self
+                .freed
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        st.queued -= 1;
+        st.active += 1;
+        true
+    }
+
+    fn leave(&self) {
+        let mut st = self.lock();
+        st.active = st.active.saturating_sub(1);
+        drop(st);
+        self.freed.notify_one();
+    }
+
+    fn snapshot(&self) -> (usize, usize) {
+        let st = self.lock();
+        (st.active, st.queued)
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    catalog: Catalog,
+    database: Database,
+    config: ServeConfig,
+    gate: JobGate,
+    registry: Registry,
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_rejected: AtomicU64,
+}
+
+/// The query service: holds the sources and configuration, then
+/// [`start`](V2vServer::start)s the daemon.
+pub struct V2vServer {
+    catalog: Catalog,
+    database: Database,
+    config: ServeConfig,
+}
+
+impl V2vServer {
+    /// A server over a catalog with default configuration.
+    pub fn new(catalog: Catalog) -> V2vServer {
+        V2vServer {
+            catalog,
+            database: Database::new(),
+            config: ServeConfig::default(),
+        }
+    }
+
+    /// Attaches a relational database for `sql:` locators.
+    #[must_use]
+    pub fn with_database(mut self, database: Database) -> V2vServer {
+        self.database = database;
+        self
+    }
+
+    /// Overrides the configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: ServeConfig) -> V2vServer {
+        self.config = config;
+        self
+    }
+
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop on a background thread.
+    pub fn start(self, addr: &str) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let gate = JobGate::new(self.config.max_concurrent, self.config.queue_depth);
+        let shared = Arc::new(Shared {
+            catalog: self.catalog,
+            database: self.database,
+            config: self.config,
+            gate,
+            registry: Registry::new(),
+            jobs_done: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_shared = Arc::clone(&shared);
+        let accept_stop = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            accept_loop(&listener, &accept_shared, &accept_stop);
+        });
+        Ok(ServerHandle {
+            addr: local,
+            stop,
+            join: Some(join),
+            shared,
+        })
+    }
+}
+
+/// A running daemon. Dropping (or [`stop`](ServerHandle::stop)ping) the
+/// handle shuts the accept loop down; in-flight connections finish on
+/// their own threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Completed / failed / rejected job counts so far.
+    pub fn job_counts(&self) -> (u64, u64, u64) {
+        (
+            self.shared.jobs_done.load(Ordering::Relaxed),
+            self.shared.jobs_failed.load(Ordering::Relaxed),
+            self.shared.jobs_rejected.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, stop: &Arc<AtomicBool>) {
+    loop {
+        let conn = listener.accept();
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _)) = conn else { continue };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            handle_connection(stream, &shared);
+        });
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let resp = match read_request(&mut reader) {
+        Ok(req) => route(&req, shared),
+        Err(e) => error_response(400, "invalid_request", &format!("bad request: {e}")),
+    };
+    let _ = write_response(&mut writer, &resp);
+}
+
+fn route(req: &Request, shared: &Shared) -> Response {
+    shared.registry.counter("serve.requests").inc();
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => handle_query(req, shared),
+        ("GET", "/status") => handle_status(shared),
+        ("GET", "/metrics") => Response::json(200, &shared.registry.snapshot()),
+        ("GET", _) | ("POST", _) => {
+            error_response(404, "not_found", &format!("no route {}", req.path))
+        }
+        (m, _) => error_response(405, "invalid_request", &format!("method {m} not allowed")),
+    }
+}
+
+fn handle_status(shared: &Shared) -> Response {
+    let (active, queued) = shared.gate.snapshot();
+    let cache = shared.config.engine.render_cache.as_ref().map(|c| {
+        serde_json::json!({
+            "entries": c.entries(),
+            "bytes_held": c.bytes_held(),
+            "budget_bytes": c.budget_bytes(),
+            "evictions": c.evictions(),
+        })
+    });
+    Response::json(
+        200,
+        &serde_json::json!({
+            "active": active,
+            "queued": queued,
+            "max_concurrent": shared.config.max_concurrent,
+            "queue_depth": shared.config.queue_depth,
+            "jobs_done": shared.jobs_done.load(Ordering::Relaxed),
+            "jobs_failed": shared.jobs_failed.load(Ordering::Relaxed),
+            "jobs_rejected": shared.jobs_rejected.load(Ordering::Relaxed),
+            "cache": cache,
+        }),
+    )
+}
+
+fn handle_query(req: &Request, shared: &Shared) -> Response {
+    if !shared.gate.enter() {
+        shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        shared.registry.counter("serve.jobs_rejected").inc();
+        return error_response(429, "overloaded", "admission queue full")
+            .header("retry-after", shared.config.retry_after_secs.to_string());
+    }
+    let (active, _) = shared.gate.snapshot();
+    shared
+        .registry
+        .gauge("serve.active_jobs")
+        .set(active as u64);
+    let started = Instant::now();
+    let result = run_query(&req.body, shared);
+    shared.gate.leave();
+    shared
+        .registry
+        .histogram("serve.job_wall_ns")
+        .record(started.elapsed().as_nanos() as u64);
+    match result {
+        Ok((bytes, stats)) => {
+            shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+            shared.registry.counter("serve.jobs_done").inc();
+            record_exec_metrics(&shared.registry, &stats);
+            let stats_json = serde_json::to_string(&stats).unwrap_or_default();
+            Response::new(200, "application/octet-stream", bytes).header("x-v2v-stats", stats_json)
+        }
+        Err(e) => {
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            shared.registry.counter("serve.jobs_failed").inc();
+            error_response(status_for(e.kind()), e.kind().name(), &e.to_string())
+        }
+    }
+}
+
+/// Runs one spec through a fresh engine over the shared sources (the
+/// catalog clone is cheap: streams are `Arc`-backed) and serializes the
+/// result container.
+fn run_query(body: &[u8], shared: &Shared) -> Result<(Vec<u8>, ExecStats), V2vError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|e| V2vError::new(ErrorKind::InvalidRequest, format!("spec not UTF-8: {e}")))?;
+    let spec = Spec::from_json(text)
+        .map_err(|e| V2vError::new(ErrorKind::InvalidRequest, format!("bad spec: {e}")))?;
+    let mut engine = V2vEngine::new(shared.catalog.clone())
+        .with_database(shared.database.clone())
+        .with_config(shared.config.engine.clone());
+    let (report, _trace) = engine.run_traced(&spec)?;
+    let bytes = v2v_container::svc_to_bytes(&report.output)?;
+    Ok((bytes, report.stats))
+}
+
+/// Mirrors one run's [`ExecStats`] into the server-lifetime registry.
+fn record_exec_metrics(registry: &Registry, stats: &ExecStats) {
+    registry
+        .counter("exec.frames_decoded")
+        .add(stats.frames_decoded);
+    registry
+        .counter("exec.frames_encoded")
+        .add(stats.frames_encoded);
+    registry
+        .counter("exec.bytes_decoded")
+        .add(stats.bytes_decoded);
+    registry
+        .counter("exec.packets_copied")
+        .add(stats.packets_copied);
+    registry
+        .counter("exec.cache.result_hits")
+        .add(stats.cache.result_hits);
+    registry
+        .counter("exec.cache.segment_hits")
+        .add(stats.cache.segment_hits);
+    registry
+        .counter("exec.cache.evictions")
+        .add(stats.cache.evictions);
+    registry
+        .counter("exec.cache.bytes_reused")
+        .add(stats.cache.bytes_reused);
+}
+
+/// Maps the error taxonomy onto HTTP status codes.
+fn status_for(kind: ErrorKind) -> u16 {
+    match kind {
+        ErrorKind::InvalidRequest | ErrorKind::Plan => 400,
+        ErrorKind::NotFound => 404,
+        ErrorKind::CorruptData => 422,
+        ErrorKind::Io | ErrorKind::Udf | ErrorKind::Internal => 500,
+    }
+}
+
+fn error_response(status: u16, kind: &str, message: &str) -> Response {
+    Response::json(
+        status,
+        &serde_json::json!({"error": {"kind": kind, "message": message}}),
+    )
+}
+
+/// Convenience: open (or create) a persistent render cache for a
+/// serving config.
+pub fn open_cache(
+    dir: impl AsRef<std::path::Path>,
+    budget_bytes: u64,
+) -> std::io::Result<Arc<RenderCache>> {
+    RenderCache::open(dir, budget_bytes).map(Arc::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use http::client;
+    use v2v_codec::CodecParams;
+    use v2v_container::{StreamWriter, VideoStream};
+    use v2v_frame::{marker, Frame, FrameType};
+    use v2v_spec::{builder::blur, OutputSettings, SpecBuilder};
+    use v2v_time::{r, Rational};
+
+    fn marked_stream(n: usize, gop: u32) -> VideoStream {
+        let ty = FrameType::gray8(64, 32);
+        let params = CodecParams::new(ty, gop, 0);
+        let mut w = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        for i in 0..n {
+            let mut f = Frame::black(ty);
+            marker::embed(&mut f, i as u32);
+            w.push_frame(&f).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_video("a", marked_stream(120, 30));
+        c
+    }
+
+    fn spec_json() -> String {
+        let output = OutputSettings {
+            frame_ty: FrameType::gray8(64, 32),
+            frame_dur: r(1, 30),
+            gop_size: 30,
+            quantizer: 0,
+        };
+        let spec = SpecBuilder::new(output)
+            .video("a", "a.svc")
+            .append_filtered("a", r(0, 1), r(1, 1), |e| blur(e, 1.0))
+            .build();
+        spec.to_json()
+    }
+
+    #[test]
+    fn serves_query_status_and_metrics() {
+        let mut handle = V2vServer::new(catalog()).start("127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+
+        let resp = client::post_query(addr, spec_json().as_bytes()).unwrap();
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let stream = v2v_container::svc_from_bytes(&resp.body).unwrap();
+        assert_eq!(stream.len(), 30);
+        let stats: ExecStats =
+            serde_json::from_str(resp.header_value("x-v2v-stats").unwrap()).unwrap();
+        assert_eq!(stats.frames_encoded, 30);
+
+        let status = client::request(addr, "GET", "/status", b"").unwrap();
+        assert_eq!(status.status, 200);
+        let v: serde_json::Value = serde_json::from_slice(&status.body).unwrap();
+        assert_eq!(v.get("jobs_done").and_then(|x| x.as_u64()), Some(1));
+
+        let metrics = client::request(addr, "GET", "/metrics", b"").unwrap();
+        let snap: v2v_obs::MetricsSnapshot = serde_json::from_slice(&metrics.body).unwrap();
+        assert_eq!(snap.counter("serve.jobs_done"), 1);
+        assert_eq!(snap.counter("exec.frames_encoded"), 30);
+
+        handle.stop();
+    }
+
+    #[test]
+    fn bad_spec_maps_to_400_and_unknown_route_to_404() {
+        let handle = V2vServer::new(catalog()).start("127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+        let resp = client::post_query(addr, b"{ not json").unwrap();
+        assert_eq!(resp.status, 400);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        let kind = v
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|k| k.as_str());
+        assert_eq!(kind, Some("invalid_request"));
+        let resp = client::request(addr, "GET", "/nope", b"").unwrap();
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn missing_video_maps_to_404() {
+        let handle = V2vServer::new(Catalog::new()).start("127.0.0.1:0").unwrap();
+        let resp = client::post_query(handle.addr(), spec_json().as_bytes()).unwrap();
+        // The spec names "a.svc", which does not exist on disk.
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_retry_after() {
+        // max_concurrent 1 and queue 0: while one render holds the
+        // slot, a second is rejected outright. The first request is a
+        // long render; the probe races it, so retry until we observe
+        // the 429 (or the first finishes and both succeed — then force
+        // the gate directly).
+        let gate = JobGate::new(1, 0);
+        assert!(gate.enter());
+        assert!(!gate.enter(), "queue of 0 must reject while busy");
+        gate.leave();
+        assert!(gate.enter());
+        gate.leave();
+
+        // And over HTTP: hold the gate by saturating it with a real
+        // request from another thread is racy, so instead check the
+        // response shape with queue_depth 0 and max_concurrent forced
+        // through config on a contrived busy server.
+        let config = ServeConfig {
+            max_concurrent: 1,
+            queue_depth: 0,
+            ..Default::default()
+        };
+        let handle = V2vServer::new(catalog())
+            .with_config(config)
+            .start("127.0.0.1:0")
+            .unwrap();
+        let addr = handle.addr();
+        // Saturate from background threads; at least one response of
+        // the burst should be a 429 unless renders finish instantly —
+        // accept either, but verify 429s carry retry-after when seen.
+        let mut saw_429 = false;
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let spec = spec_json();
+                std::thread::spawn(move || client::post_query(addr, spec.as_bytes()).unwrap())
+            })
+            .collect();
+        for h in handles {
+            let resp = h.join().unwrap();
+            if resp.status == 429 {
+                saw_429 = true;
+                assert_eq!(resp.header_value("retry-after"), Some("1"));
+            } else {
+                assert_eq!(resp.status, 200);
+            }
+        }
+        // Not asserting saw_429: timing-dependent. But the counter and
+        // the responses must agree.
+        let (_done, _failed, rejected) = handle.job_counts();
+        assert_eq!(saw_429, rejected > 0);
+    }
+
+    #[test]
+    fn queued_requests_complete_in_fifo_order_eventually() {
+        let config = ServeConfig {
+            max_concurrent: 1,
+            queue_depth: 16,
+            ..Default::default()
+        };
+        let handle = V2vServer::new(catalog())
+            .with_config(config)
+            .start("127.0.0.1:0")
+            .unwrap();
+        let addr = handle.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let spec = spec_json();
+                std::thread::spawn(move || client::post_query(addr, spec.as_bytes()).unwrap())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().status, 200);
+        }
+        let (done, failed, rejected) = handle.job_counts();
+        assert_eq!((done, failed, rejected), (4, 0, 0));
+    }
+}
