@@ -1,5 +1,6 @@
 //! Serving bench: closed-loop latency and throughput of the `v2v-serve`
-//! daemon at 1 / 4 / 8 concurrent clients, cold cache vs warm cache.
+//! daemon at 1 / 4 / 8 concurrent clients, cold cache vs warm cache,
+//! plus the multi-query work-sharing arms.
 //!
 //! The in-process server (real sockets, real HTTP, real admission
 //! control — only the process boundary is elided) is driven by
@@ -14,12 +15,22 @@
 //! * **warm** — every request repeats one pre-rendered query: each is a
 //!   whole-result cache hit (zero decode, zero encode), so the ratio
 //!   cold/warm mean latency is the cache's synthesis-skipping payoff.
+//! * **dup** — duplicate-heavy: every round, all N clients post the
+//!   *same* fresh query simultaneously (barrier-released), so nothing
+//!   is cached yet when the burst lands. With sharing (`share` arm)
+//!   one render serves the round; the `noshare` arm renders N times.
+//! * **overlap** — overlap-heavy: every round, client c posts a
+//!   two-clip query shifted one clip from client c−1, so adjacent
+//!   clients share 50% of their segments. The `share` arm renders each
+//!   common clip once via the daemon-wide fragment flight.
 //!
 //! Every warm response is asserted byte-identical to the warm-up
-//! render. `--quick` (CI smoke) shrinks the workload and skips
-//! rewriting the committed `BENCH_serve.json`.
+//! render, and every `share`-arm response byte-identical to its
+//! `noshare` counterpart — sharing must be invisible in the bytes.
+//! `--quick` (CI smoke) shrinks the workload and skips rewriting the
+//! committed `BENCH_serve.json`.
 
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 use v2v_bench::{print_header, secs};
 use v2v_exec::{Catalog, RenderCache};
@@ -30,6 +41,7 @@ use v2v_spec::{OutputSettings, Spec, SpecBuilder};
 use v2v_time::{r, Rational};
 
 const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
+const SHARE_CLIENT_COUNTS: [usize; 2] = [4, 8];
 
 fn marked_output() -> OutputSettings {
     OutputSettings {
@@ -64,6 +76,47 @@ fn distinct_spec(seq: usize, dur_frames: i64) -> Spec {
             |e| blur(e, 1.0),
         )
         .build()
+}
+
+/// How many one-second clips each shared-workload query concatenates.
+const SHARE_CLIPS: i64 = 2;
+
+/// The shared workloads render a larger frame (16× the pixels of the
+/// cold/warm source), so per-request planning and HTTP overhead —
+/// which sharing cannot remove — stays small next to the render work
+/// it does remove.
+fn big_output() -> OutputSettings {
+    OutputSettings {
+        frame_ty: v2v_frame::FrameType::gray8(128, 128),
+        frame_dur: r(1, 30),
+        gop_size: 30,
+        quantizer: 0,
+    }
+}
+
+fn big_source_stream(frames: usize) -> v2v_container::VideoStream {
+    let ty = v2v_frame::FrameType::gray8(128, 128);
+    let params = v2v_codec::CodecParams::new(ty, 30, 0);
+    let mut w = v2v_container::StreamWriter::new(params, v2v_time::Rational::ZERO, r(1, 30));
+    for i in 0..frames {
+        let mut f = v2v_frame::Frame::black(ty);
+        v2v_frame::marker::embed(&mut f, i as u32);
+        w.push_frame(&f).expect("push frame");
+    }
+    w.finish().expect("finish stream")
+}
+
+/// A query on a global one-second clip grid over the big source:
+/// `SHARE_CLIPS` consecutive clips starting at `first_clip`, each
+/// blurred. Two queries whose `first_clip` values differ by
+/// `SHARE_CLIPS / 2` share half their clips — the 50% segment overlap
+/// the `overlap` workload measures.
+fn overlap_spec(first_clip: i64) -> Spec {
+    let mut b = SpecBuilder::new(big_output()).video("big", "big.svc");
+    for clip in first_clip..first_clip + SHARE_CLIPS {
+        b = b.append_filtered("big", r(clip, 1), r(1, 1), |e| blur(e, 1.0));
+    }
+    b.build()
 }
 
 struct PhaseResult {
@@ -111,6 +164,54 @@ fn drive(
     }
 }
 
+/// Barrier-released closed loop: every round, all `clients` threads
+/// post simultaneously so a fresh (uncached) query actually arrives as
+/// a concurrent burst. Returns the latencies plus every response body
+/// as `[client][round]` for cross-arm byte-identity checks.
+fn drive_rounds(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    rounds: usize,
+    spec_for: impl Fn(usize, usize) -> Arc<Vec<u8>> + Send + Sync + Clone + 'static,
+) -> (PhaseResult, Vec<Vec<Vec<u8>>>) {
+    let barrier = Arc::new(Barrier::new(clients));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let spec_for = spec_for.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(rounds);
+                let mut bodies = Vec::with_capacity(rounds);
+                for round in 0..rounds {
+                    let body = spec_for(c, round);
+                    barrier.wait();
+                    let t = Instant::now();
+                    let resp = client::post_query(addr, &body).expect("request");
+                    lat.push(t.elapsed());
+                    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+                    bodies.push(resp.body);
+                }
+                (lat, bodies)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut all_bodies = Vec::new();
+    for h in handles {
+        let (lat, bodies) = h.join().expect("client thread");
+        latencies.extend(lat);
+        all_bodies.push(bodies);
+    }
+    (
+        PhaseResult {
+            wall: started.elapsed(),
+            latencies,
+        },
+        all_bodies,
+    )
+}
+
 fn mean(lat: &[Duration]) -> Duration {
     lat.iter().sum::<Duration>() / lat.len().max(1) as u32
 }
@@ -121,11 +222,62 @@ fn max(lat: &[Duration]) -> Duration {
 
 struct Row {
     phase: &'static str,
+    arm: &'static str,
     clients: usize,
     requests: usize,
     mean: Duration,
     max: Duration,
     wall: Duration,
+}
+
+fn print_row(row: &Row) {
+    let rps = row.requests as f64 / row.wall.as_secs_f64().max(1e-9);
+    println!(
+        "{:<8} {:<8} {:>8} {:>9} {:>12} {:>12} {:>12.1}",
+        row.phase,
+        row.arm,
+        row.clients,
+        row.requests,
+        secs(row.mean),
+        secs(row.max),
+        rps
+    );
+}
+
+/// One sharing-arm server: fresh cache dir, fresh daemon.
+fn start_arm(
+    catalog: &Catalog,
+    work_sharing: bool,
+    tag: &str,
+) -> (v2v_serve::ServerHandle, std::path::PathBuf) {
+    let cache_dir =
+        std::env::temp_dir().join(format!("v2v_bench_serve_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let mut config = ServeConfig {
+        max_concurrent: 4,
+        queue_depth: 64,
+        work_sharing,
+        ..Default::default()
+    };
+    config.engine.render_cache = Some(Arc::new(
+        RenderCache::open(&cache_dir, 1 << 30)
+            .expect("cache dir")
+            .with_mem_tier(64 << 20),
+    ));
+    let handle = V2vServer::new(catalog.clone())
+        .with_config(config)
+        .start("127.0.0.1:0")
+        .expect("bind");
+    (handle, cache_dir)
+}
+
+fn status_counter(addr: std::net::SocketAddr, path: &[&str]) -> u64 {
+    let resp = client::request(addr, "GET", "/status", b"").expect("status");
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).expect("status json");
+    path.iter()
+        .try_fold(&v, |node, key| node.get(key))
+        .and_then(|x| x.as_u64())
+        .unwrap_or(0)
 }
 
 fn main() {
@@ -134,10 +286,11 @@ fn main() {
     let per_client = if quick { 2 } else { 8 };
     let dur_frames: i64 = if quick { 30 } else { 60 };
     let source_frames = 1200;
+    let big_source_frames = 3600;
 
     print_header(
         "Serving",
-        "closed-loop latency/throughput, cold vs warm render cache",
+        "closed-loop latency/throughput: cold vs warm cache, shared vs unshared work",
     );
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!();
@@ -145,6 +298,7 @@ fn main() {
 
     let mut catalog = Catalog::new();
     catalog.add_video("src", source_stream(source_frames));
+    catalog.add_video("big", big_source_stream(big_source_frames));
 
     let cache_dir = std::env::temp_dir().join(format!("v2v_bench_serve_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cache_dir);
@@ -154,9 +308,11 @@ fn main() {
         ..Default::default()
     };
     config.engine.render_cache = Some(Arc::new(
-        RenderCache::open(&cache_dir, 1 << 30).expect("cache dir"),
+        RenderCache::open(&cache_dir, 1 << 30)
+            .expect("cache dir")
+            .with_mem_tier(64 << 20),
     ));
-    let mut handle = V2vServer::new(catalog)
+    let mut handle = V2vServer::new(catalog.clone())
         .with_config(config)
         .start("127.0.0.1:0")
         .expect("bind");
@@ -171,8 +327,8 @@ fn main() {
 
     println!();
     println!(
-        "{:<6} {:>8} {:>9} {:>12} {:>12} {:>12}",
-        "phase", "clients", "requests", "mean lat", "max lat", "req/s"
+        "{:<8} {:<8} {:>8} {:>9} {:>12} {:>12} {:>12}",
+        "phase", "arm", "clients", "requests", "mean lat", "max lat", "req/s"
     );
     let mut rows: Vec<Row> = Vec::new();
     // Distinct cold queries across all arms: client c of arm a gets the
@@ -213,45 +369,115 @@ fn main() {
                 )
             }),
         ] {
-            let requests = clients * per_client;
-            let rps = requests as f64 / result.wall.as_secs_f64().max(1e-9);
-            println!(
-                "{:<6} {:>8} {:>9} {:>12} {:>12} {:>12.1}",
+            let row = Row {
                 phase,
+                arm: "share",
                 clients,
-                requests,
-                secs(mean(&result.latencies)),
-                secs(max(&result.latencies)),
-                rps
-            );
-            rows.push(Row {
-                phase,
-                clients,
-                requests,
+                requests: clients * per_client,
                 mean: mean(&result.latencies),
                 max: max(&result.latencies),
                 wall: result.wall,
-            });
+            };
+            print_row(&row);
+            rows.push(row);
         }
     }
 
-    let mean_of = |phase: &str, clients: usize| {
+    let mean_of = |rows: &[Row], phase: &str, arm: &str, clients: usize| {
         rows.iter()
-            .find(|r| r.phase == phase && r.clients == clients)
+            .find(|r| r.phase == phase && r.arm == arm && r.clients == clients)
             .expect("row measured")
             .mean
             .as_secs_f64()
     };
-    let hit_speedup = mean_of("cold", 1) / mean_of("warm", 1).max(1e-9);
-    println!();
-    println!("single-client cache-hit speedup (cold mean / warm mean): {hit_speedup:.1}x");
+    let rps_of = |rows: &[Row], phase: &str, arm: &str, clients: usize| {
+        let row = rows
+            .iter()
+            .find(|r| r.phase == phase && r.arm == arm && r.clients == clients)
+            .expect("row measured");
+        row.requests as f64 / row.wall.as_secs_f64().max(1e-9)
+    };
 
     let (done, failed, rejected) = handle.job_counts();
     println!("daemon counters: {done} done, {failed} failed, {rejected} rejected");
     assert_eq!(failed, 0, "no request may fail");
-
     handle.stop();
     let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // --- work-sharing arms -------------------------------------------
+    // Each (workload × arm × client count) runs against its own fresh
+    // daemon and cache dir, so every burst is genuinely cold. The
+    // noshare arm runs first and its bodies are ground truth for the
+    // share arm's byte-identity.
+    let rounds = per_client;
+    let mut share_counters = serde_json::json!(null);
+    let half = SHARE_CLIPS as usize / 2;
+    for (workload, clip_stride) in [("dup", 0usize), ("overlap", half)] {
+        for clients in SHARE_CLIENT_COUNTS {
+            let mut baseline_bodies: Option<Vec<Vec<Vec<u8>>>> = None;
+            for (arm, sharing) in [("noshare", false), ("share", true)] {
+                let tag = format!("{workload}_{arm}_{clients}");
+                let (mut handle, dir) = start_arm(&catalog, sharing, &tag);
+                let addr = handle.addr();
+                // Each round uses fresh clips: stride past every clip
+                // any client of this round touches.
+                let round_stride = clients * clip_stride.max(1) + SHARE_CLIPS as usize + 1;
+                let spec_for = move |c: usize, round: usize| {
+                    let first = (round * round_stride + c * clip_stride) as i64;
+                    Arc::new(overlap_spec(first).to_json().into_bytes())
+                };
+                let (result, bodies) = drive_rounds(addr, clients, rounds, spec_for);
+                if workload == "dup" {
+                    // Every client of a round posted the same spec:
+                    // the responses must agree.
+                    for c in 1..clients {
+                        assert_eq!(bodies[0], bodies[c], "duplicate responses diverged");
+                    }
+                }
+                match &baseline_bodies {
+                    None => baseline_bodies = Some(bodies),
+                    Some(expect) => assert_eq!(
+                        expect, &bodies,
+                        "shared responses must be byte-identical to unshared runs"
+                    ),
+                }
+                let (_, failed, _) = handle.job_counts();
+                assert_eq!(failed, 0, "no request may fail");
+                if sharing && workload == "dup" && clients == 8 {
+                    share_counters = serde_json::json!({
+                        "inflight_hits": status_counter(addr, &["sharing", "inflight_hits"]),
+                        "segments_published": status_counter(addr, &["sharing", "segments_published"]),
+                        "segment_hits": status_counter(addr, &["sharing", "segment_hits"]),
+                        "mem_hits": status_counter(addr, &["cache", "mem", "hits"]),
+                    });
+                }
+                handle.stop();
+                let _ = std::fs::remove_dir_all(&dir);
+                let row = Row {
+                    phase: workload,
+                    arm,
+                    clients,
+                    requests: clients * rounds,
+                    mean: mean(&result.latencies),
+                    max: max(&result.latencies),
+                    wall: result.wall,
+                };
+                print_row(&row);
+                rows.push(row);
+            }
+        }
+    }
+
+    let hit_speedup =
+        mean_of(&rows, "cold", "share", 1) / mean_of(&rows, "warm", "share", 1).max(1e-9);
+    let dup_speedup =
+        rps_of(&rows, "dup", "share", 8) / rps_of(&rows, "dup", "noshare", 8).max(1e-9);
+    let overlap_speedup =
+        rps_of(&rows, "overlap", "share", 8) / rps_of(&rows, "overlap", "noshare", 8).max(1e-9);
+    println!();
+    println!("single-client cache-hit speedup (cold mean / warm mean): {hit_speedup:.1}x");
+    println!("duplicate-heavy sharing speedup at 8 clients (req/s): {dup_speedup:.1}x");
+    println!("overlap-heavy sharing speedup at 8 clients (req/s): {overlap_speedup:.1}x");
 
     if quick {
         println!("(--quick: skipping BENCH_serve.json rewrite)");
@@ -264,6 +490,7 @@ fn main() {
         "per_client_requests": per_client,
         "rows": rows.iter().map(|r| serde_json::json!({
             "phase": r.phase,
+            "arm": r.arm,
             "clients": r.clients,
             "requests": r.requests,
             "mean_latency_s": r.mean.as_secs_f64(),
@@ -271,7 +498,11 @@ fn main() {
             "throughput_rps": r.requests as f64 / r.wall.as_secs_f64().max(1e-9),
         })).collect::<Vec<_>>(),
         "single_client_hit_speedup": hit_speedup,
+        "dup_speedup_8_clients": dup_speedup,
+        "overlap_speedup_8_clients": overlap_speedup,
+        "share_counters_dup_8_clients": share_counters,
         "warm_byte_identical": true,
+        "share_byte_identical": true,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(

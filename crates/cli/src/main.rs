@@ -10,6 +10,7 @@
 //!         [--on-error abort|skip|black] [--max-retries N]
 //!         [--error-report errors.json]
 //! v2v serve [--addr HOST:PORT] [--cache-dir DIR] [--cache-budget BYTES]
+//!           [--mem-cache-budget BYTES] [--no-share]
 //!           [--max-concurrent N] [--queue-depth N]
 //!                                     HTTP query service (see v2v-serve)
 //! v2v explain <spec.json> [--analyze] [--json]   plans + rewrite trace;
@@ -64,6 +65,12 @@
 //! render cache: whole results and per-segment fragments are stored
 //! content-addressed under DIR (budgeted by `--cache-budget`, default
 //! 1 GiB), so repeated queries splice cached bytes instead of decoding.
+//! `--mem-cache-budget BYTES` (requires `--cache-dir`) adds a
+//! byte-budgeted in-memory hot tier above the disk cache: fragments
+//! accessed repeatedly are promoted and served without touching disk.
+//! The daemon also coalesces identical in-flight queries and shares
+//! overlapping segments between concurrent renders; `--no-share` turns
+//! that off (every request then executes independently).
 
 use std::process::ExitCode;
 use v2v_core::{EngineConfig, ErrorKind, V2vEngine, V2vError};
@@ -73,7 +80,7 @@ use v2v_spec::Spec;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--threads N] [--no-pipeline] [--no-split] [--no-cache] [--cache-dir DIR] [--cache-budget BYTES] [--trace trace.json] [--on-error abort|skip|black] [--max-retries N] [--error-report errors.json] [--json]\n  v2v serve [--addr HOST:PORT] [--cache-dir DIR] [--cache-budget BYTES] [--max-concurrent N] [--queue-depth N] [--db tables.json] [--threads N]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]"
+        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--threads N] [--no-pipeline] [--no-split] [--no-cache] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--trace trace.json] [--on-error abort|skip|black] [--max-retries N] [--error-report errors.json] [--json]\n  v2v serve [--addr HOST:PORT] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--no-share] [--max-concurrent N] [--queue-depth N] [--db tables.json] [--threads N]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]"
     );
     ExitCode::from(2)
 }
@@ -204,13 +211,15 @@ fn load_spec(path: &str) -> Result<Spec, CliError> {
     })
 }
 
-/// Opens the persistent render cache for `--cache-dir`.
+/// Opens the persistent render cache for `--cache-dir`, with an
+/// optional in-memory hot tier (`--mem-cache-budget`).
 fn open_render_cache(
     dir: &str,
     budget: u64,
+    mem_budget: u64,
 ) -> Result<std::sync::Arc<v2v_exec::RenderCache>, CliError> {
     v2v_exec::RenderCache::open(dir, budget)
-        .map(std::sync::Arc::new)
+        .map(|c| std::sync::Arc::new(c.with_mem_tier(mem_budget)))
         .map_err(|e| CliError {
             message: format!("opening cache dir {dir}: {e}"),
             kind: Some(ErrorKind::Io),
@@ -267,6 +276,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let mut error_report_path: Option<String> = None;
     let mut cache_dir: Option<String> = None;
     let mut cache_budget = DEFAULT_CACHE_BUDGET;
+    let mut mem_cache_budget = 0u64;
     let mut config = EngineConfig::default();
     let mut optimize = true;
     let mut i = 0;
@@ -314,6 +324,14 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
                     .parse()
                     .map_err(|e| format!("bad --cache-budget value: {e}"))?;
             }
+            "--mem-cache-budget" => {
+                i += 1;
+                mem_cache_budget = args
+                    .get(i)
+                    .ok_or("missing value after --mem-cache-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --mem-cache-budget value: {e}"))?;
+            }
             "--json" => {}
             "--on-error" => {
                 i += 1;
@@ -351,8 +369,11 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let spec = load_spec(&spec_path)?;
     let cache_enabled = config.exec.gop_cache_frames > 0;
     let render_cache_enabled = cache_dir.is_some();
+    if mem_cache_budget > 0 && !render_cache_enabled {
+        return Err("--mem-cache-budget requires --cache-dir".into());
+    }
     if let Some(dir) = cache_dir {
-        config.render_cache = Some(open_render_cache(&dir, cache_budget)?);
+        config.render_cache = Some(open_render_cache(&dir, cache_budget, mem_cache_budget)?);
     }
     let mut engine = V2vEngine::new(Catalog::new()).with_config(config);
     if let Some(db_path) = db_path {
@@ -447,6 +468,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut cache_dir: Option<String> = None;
     let mut cache_budget = DEFAULT_CACHE_BUDGET;
+    let mut mem_cache_budget = 0u64;
     let mut db_path: Option<String> = None;
     let mut config = ServeConfig::default();
     let mut i = 0;
@@ -472,6 +494,15 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                     .parse()
                     .map_err(|e| format!("bad --cache-budget value: {e}"))?;
             }
+            "--mem-cache-budget" => {
+                i += 1;
+                mem_cache_budget = args
+                    .get(i)
+                    .ok_or("missing value after --mem-cache-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --mem-cache-budget value: {e}"))?;
+            }
+            "--no-share" => config.work_sharing = false,
             "--max-concurrent" => {
                 i += 1;
                 config.max_concurrent = args
@@ -505,9 +536,13 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         }
         i += 1;
     }
-    if let Some(dir) = &cache_dir {
-        config.engine.render_cache = Some(open_render_cache(dir, cache_budget)?);
+    if mem_cache_budget > 0 && cache_dir.is_none() {
+        return Err("--mem-cache-budget requires --cache-dir".into());
     }
+    if let Some(dir) = &cache_dir {
+        config.engine.render_cache = Some(open_render_cache(dir, cache_budget, mem_cache_budget)?);
+    }
+    let work_sharing = config.work_sharing;
     let mut server = V2vServer::new(Catalog::new()).with_config(config);
     if let Some(db_path) = db_path {
         server = server.with_database(load_database(&db_path)?);
@@ -518,8 +553,14 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     // The smoke tests parse this line for the resolved ephemeral port.
     println!("listening on {}", handle.addr());
     match &cache_dir {
+        Some(dir) if mem_cache_budget > 0 => println!(
+            "render cache: {dir} (budget {cache_budget} bytes, mem tier {mem_cache_budget} bytes)"
+        ),
         Some(dir) => println!("render cache: {dir} (budget {cache_budget} bytes)"),
         None => println!("render cache: disabled (pass --cache-dir to enable)"),
+    }
+    if !work_sharing {
+        println!("work sharing: disabled (--no-share)");
     }
     // Serve until the process is killed.
     loop {

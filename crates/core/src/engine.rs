@@ -8,8 +8,8 @@ use std::time::{Duration, Instant};
 use v2v_container::{Fnv64, VideoStream};
 use v2v_data::{Database, Query};
 use v2v_exec::{
-    execute_naive, execute_streaming_with, execute_traced, Catalog, ExecOptions, ExecStats,
-    ExecTrace, RenderCache, SegmentCacheCtx, StageTimes, StreamingStats,
+    execute_naive, execute_streaming_with, execute_traced, CacheTier, Catalog, ExecOptions,
+    ExecStats, ExecTrace, FragmentFlight, RenderCache, SegmentCacheCtx, StageTimes, StreamingStats,
 };
 use v2v_obs::{SpanRecord, SpanSink};
 use v2v_plan::{
@@ -34,6 +34,14 @@ pub struct EngineConfig {
     /// disables result and segment reuse. Ignored while a fault
     /// injector is configured: degraded output must never be persisted.
     pub render_cache: Option<Arc<RenderCache>>,
+    /// In-flight work-sharing registry shared across *concurrent*
+    /// engines (one per daemon): segments with the same fragment key
+    /// render exactly once across every run attached to the same
+    /// registry, whether or not a disk cache is configured. `None`
+    /// (the default, and the right choice for one-shot runs) disables
+    /// concurrent sharing. Ignored while a fault injector is
+    /// configured, like the render cache.
+    pub work_share: Option<Arc<FragmentFlight>>,
 }
 
 impl Default for EngineConfig {
@@ -43,6 +51,7 @@ impl Default for EngineConfig {
             exec: ExecOptions::default(),
             data_rewrites: true,
             render_cache: None,
+            work_share: None,
         }
     }
 }
@@ -68,6 +77,50 @@ pub struct RunReport {
     /// always empty under `Abort`, where the first failure aborts the
     /// run instead of landing here).
     pub errors: Vec<v2v_exec::SegmentFault>,
+}
+
+/// A spec carried through bind → specialize → check → plan, ready to
+/// execute. Produced by [`V2vEngine::prepare`]; holds the canonical
+/// cache identity (plan fingerprint, per-segment keys) so callers like
+/// the serving daemon can coalesce identical in-flight requests
+/// *before* paying for execution.
+pub struct PreparedRun {
+    physical: PhysicalPlan,
+    check: CheckReport,
+    plan_trace: PlanTrace,
+    dde_rewrites: usize,
+    /// Canonical plan fingerprint; `None` when the plan is not
+    /// content-addressable (UDF programs) or a fault injector is active.
+    fingerprint: Option<u64>,
+    /// Per-segment fragment keys, aligned with `physical.segments`
+    /// (empty when `fingerprint` is `None`).
+    keys: Vec<Option<u64>>,
+    spans: SpanSink,
+}
+
+impl PreparedRun {
+    /// The canonical plan fingerprint, when the plan is cacheable.
+    /// Two prepared runs with equal fingerprints produce byte-identical
+    /// output from identical sources.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+
+    /// Per-segment fragment keys (aligned with the physical plan's
+    /// segments; `None` marks an unkeyable segment).
+    pub fn segment_keys(&self) -> &[Option<u64>] {
+        &self.keys
+    }
+
+    /// Segments in the physical plan.
+    pub fn segment_count(&self) -> usize {
+        self.physical.segments.len()
+    }
+
+    /// The static-check report for the prepared spec.
+    pub fn check(&self) -> &CheckReport {
+        &self.check
+    }
 }
 
 /// The V2V engine: binds data, rewrites, checks, plans, and executes
@@ -201,13 +254,14 @@ impl V2vEngine {
         Ok((physical, check, trace))
     }
 
-    /// Prepares the persistent-cache context for one run of `plan`:
-    /// the shared cache, the whole-plan fingerprint, and the source
-    /// digests the per-segment keys derive from. `None` when caching is
-    /// off, a fault injector is active, or the plan is not cacheable
-    /// (UDF programs have no content-addressable identity).
-    fn cache_context(&self, plan: &PhysicalPlan) -> Option<(Arc<RenderCache>, u64, SourceDigests)> {
-        let cache = self.config.render_cache.as_ref()?;
+    /// Computes the plan's canonical cache identity: the whole-plan
+    /// fingerprint and per-segment fragment keys. `None` when a fault
+    /// injector is active (degraded output must never be shared or
+    /// persisted) or the plan is not cacheable (UDF programs have no
+    /// content-addressable identity). Independent of whether a disk
+    /// cache is configured — the in-flight sharing tiers need the
+    /// identity even without one.
+    fn plan_identity(&self, plan: &PhysicalPlan) -> Option<(u64, Vec<Option<u64>>)> {
         let fault_active = self
             .config
             .exec
@@ -222,7 +276,8 @@ impl V2vEngine {
             return None;
         }
         let fingerprint = v2v_plan::plan_fingerprint(plan, &digests);
-        Some((Arc::clone(cache), fingerprint, digests))
+        let keys = v2v_plan::segment_keys(plan, &digests);
+        Some((fingerprint, keys))
     }
 
     /// Content digests of every source the plan reads: per-video stream
@@ -277,6 +332,16 @@ impl V2vEngine {
     /// pipeline-stage spans, and a metrics snapshot, serializable as one
     /// JSON document (the CLI's `--trace` flag).
     pub fn run_traced(&mut self, spec: &Spec) -> Result<(RunReport, RunTrace), EngineError> {
+        let prepared = self.prepare(spec)?;
+        self.run_prepared(prepared)
+    }
+
+    /// The front half of [`run_traced`](V2vEngine::run_traced): bind →
+    /// specialize → check → plan, plus the plan's canonical cache
+    /// identity. The daemon prepares a request *before* admission so an
+    /// identical in-flight render can be joined without executing at
+    /// all; [`run_prepared`](V2vEngine::run_prepared) finishes the job.
+    pub fn prepare(&mut self, spec: &Spec) -> Result<PreparedRun, EngineError> {
         let spans = SpanSink::new();
         let timer = spans.start("bind");
         self.bind(spec)?;
@@ -290,15 +355,49 @@ impl V2vEngine {
             .attr("segments", physical.segments.len())
             .attr("rewrites", plan_trace.events.len())
             .finish();
-        let cache_ctx = self.cache_context(&physical);
+        let identity = self.plan_identity(&physical);
+        let (fingerprint, keys) = match identity {
+            Some((fp, keys)) => (Some(fp), keys),
+            None => (None, Vec::new()),
+        };
+        Ok(PreparedRun {
+            physical,
+            check,
+            plan_trace,
+            dde_rewrites,
+            fingerprint,
+            keys,
+            spans,
+        })
+    }
+
+    /// Executes a [`PreparedRun`]: whole-result cache lookup (memory
+    /// tier first), shared-segment execution, result store, span and
+    /// trace assembly.
+    pub fn run_prepared(
+        &mut self,
+        prepared: PreparedRun,
+    ) -> Result<(RunReport, RunTrace), EngineError> {
+        let PreparedRun {
+            physical,
+            check,
+            plan_trace,
+            dde_rewrites,
+            fingerprint,
+            keys,
+            spans,
+        } = prepared;
+        let cache = fingerprint.and_then(|_| self.config.render_cache.clone());
+        let flight = fingerprint.and_then(|_| self.config.work_share.clone());
         let timer = spans.start("execute");
         let exec_start_ns = spans.now_ns();
         let hit_start = Instant::now();
-        let result_hit = cache_ctx
-            .as_ref()
-            .and_then(|(cache, fingerprint, _)| cache.load_result(*fingerprint));
+        let result_hit = match (&cache, fingerprint) {
+            (Some(cache), Some(fp)) => cache.load_result_tiered(fp),
+            _ => None,
+        };
         let (output, exec_trace, wall) = match result_hit {
-            Some(output) => {
+            Some((output, tier)) => {
                 // Whole-result hit: splice the cached container bytes
                 // straight through — no planning cost was wasted (the
                 // fingerprint needs the optimized plan), but no decode,
@@ -306,27 +405,29 @@ impl V2vEngine {
                 let mut trace = ExecTrace::default();
                 trace.totals.cache.result_hits = 1;
                 trace.totals.cache.bytes_reused = output.byte_size();
+                trace.totals.cache.mem_hits = u64::from(tier == CacheTier::Memory);
                 let wall = hit_start.elapsed();
                 trace.wall_ns = wall.as_nanos() as u64;
                 (output, trace, wall)
             }
             _ => {
-                let (output, exec_trace, wall) = match &cache_ctx {
-                    Some((cache, _, digests)) => {
-                        let mut exec_opts = self.config.exec.clone();
-                        exec_opts.segment_cache = Some(Arc::new(SegmentCacheCtx {
-                            cache: Arc::clone(cache),
-                            keys: v2v_plan::segment_keys(&physical, digests),
-                        }));
-                        execute_traced(&physical, &self.catalog, &exec_opts)?
-                    }
-                    None => execute_traced(&physical, &self.catalog, &self.config.exec)?,
+                let share_exec = fingerprint.is_some() && (cache.is_some() || flight.is_some());
+                let (output, exec_trace, wall) = if share_exec {
+                    let mut exec_opts = self.config.exec.clone();
+                    exec_opts.segment_cache = Some(Arc::new(SegmentCacheCtx {
+                        cache: cache.clone(),
+                        flight: flight.clone(),
+                        keys,
+                    }));
+                    execute_traced(&physical, &self.catalog, &exec_opts)?
+                } else {
+                    execute_traced(&physical, &self.catalog, &self.config.exec)?
                 };
-                if let Some((cache, fingerprint, _)) = &cache_ctx {
+                if let (Some(cache), Some(fp)) = (&cache, fingerprint) {
                     if exec_trace.errors.is_empty() {
                         // Failed stores only cost the next run a
                         // re-render; never fail the query for one.
-                        let _ = cache.store_result(*fingerprint, &output);
+                        let _ = cache.store_result(fp, &output);
                     }
                 }
                 (output, exec_trace, wall)

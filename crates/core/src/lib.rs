@@ -31,7 +31,7 @@ pub mod facade;
 pub mod observe;
 
 pub use dde::rewrite_spec;
-pub use engine::{EngineConfig, RunReport, V2vEngine};
+pub use engine::{EngineConfig, PreparedRun, RunReport, V2vEngine};
 pub use error::{ErrorKind, V2vError};
 pub use facade::{montage_spec, MontageOptions, MontageSegment};
 pub use observe::{AnalyzeReport, ExplainReport, RunTrace};

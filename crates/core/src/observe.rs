@@ -173,6 +173,15 @@ impl RunTrace {
             .counter("exec.cache.bytes_reused")
             .add(t.cache.bytes_reused);
         registry
+            .counter("exec.cache.inflight_hits")
+            .add(t.cache.inflight_hits);
+        registry
+            .counter("exec.cache.shared_segment_hits")
+            .add(t.cache.shared_segment_hits);
+        registry
+            .counter("exec.cache.mem_hits")
+            .add(t.cache.mem_hits);
+        registry
             .counter("plan.rewrite_events")
             .add(rewrites.events.len() as u64);
         let seg_wall = registry.histogram("exec.segment_wall_ns");

@@ -257,17 +257,26 @@ pub fn execute_traced(
         }
         Ok(())
     };
-    let evictions_before = opts.segment_cache.as_deref().map(|sc| sc.cache.evictions());
+    let evictions_before = opts
+        .segment_cache
+        .as_deref()
+        .and_then(|sc| sc.cache.as_deref())
+        .map(|c| c.evictions());
     let report = execute_scheduled(plan, catalog, opts, Some(&cache), &mut deliver)?;
     for seg in &trace.segments {
         trace.totals = trace.totals.merge(seg.stats);
     }
     trace.totals.splits = report.splits;
     trace.totals.steals = report.steals;
-    if let (Some(sc), Some(before)) = (opts.segment_cache.as_deref(), evictions_before) {
+    if let (Some(c), Some(before)) = (
+        opts.segment_cache
+            .as_deref()
+            .and_then(|sc| sc.cache.as_deref()),
+        evictions_before,
+    ) {
         // Evictions are a property of the shared cache, not any one
         // part; attribute the delta this run caused to the run totals.
-        trace.totals.cache.evictions += sc.cache.evictions().saturating_sub(before);
+        trace.totals.cache.evictions += c.evictions().saturating_sub(before);
     }
     if let Some(injector) = &opts.fault {
         // Run-level, from the injector itself: a fault that killed its

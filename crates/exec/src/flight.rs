@@ -1,0 +1,329 @@
+//! In-flight single-flight registry for fragment keys.
+//!
+//! When two concurrent plans contain the same cacheable segment, the
+//! disk cache only helps if one finishes before the other starts; two
+//! renders *in flight at once* each miss and both pay the full decode.
+//! `FragmentFlight` closes that window with the same in-flight-set
+//! pattern as [`GopCache`](crate::GopCache): the first worker to reach
+//! a key claims it and becomes the **owner**; everyone else arriving
+//! while the render is in flight blocks and receives the owner's
+//! published [`Fragment`] — each shared segment is rendered exactly
+//! once across every concurrent consumer.
+//!
+//! Ordering invariant (the reason duplicates are *provably* impossible
+//! rather than merely unlikely): callers claim the flight **before**
+//! consulting the memory/disk tiers, and an owner stores to disk
+//! **before** publishing. A latecomer therefore either joins the flight
+//! (shared) or, if the flight already drained, finds the entry on disk.
+//!
+//! Failure is not sticky: an owner that errors (or panics — the guard
+//! publishes on drop) releases the key with no fragment, and every
+//! waiter falls back to rendering locally.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use v2v_container::Fragment;
+
+enum SlotState {
+    /// The owner is rendering; waiters block on the condvar.
+    Rendering,
+    /// The owner finished. `None` means it failed and waiters must
+    /// render locally.
+    Done(Option<Arc<Fragment>>),
+}
+
+struct Slot {
+    state: SlotState,
+    /// Blocked claimants still to drain; the last one out removes the
+    /// slot so a later sequential repeat goes to the disk tier instead
+    /// of pinning bytes here forever.
+    waiters: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    slots: HashMap<u64, Slot>,
+}
+
+/// Exactly-once publish/subscribe on fragment keys, shared across every
+/// engine run that participates in work sharing (one instance per
+/// daemon).
+#[derive(Default)]
+pub struct FragmentFlight {
+    inner: Mutex<Inner>,
+    done: Condvar,
+    published: AtomicU64,
+    shared: AtomicU64,
+}
+
+impl std::fmt::Debug for FragmentFlight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FragmentFlight")
+            .field("inflight", &self.inflight())
+            .field("published", &self.published())
+            .field("shared", &self.shared())
+            .finish()
+    }
+}
+
+/// Result of [`FragmentFlight::claim`].
+pub enum Claim<'a> {
+    /// This caller owns the render. It must [`publish`](FlightGuard::publish)
+    /// (or drop the guard, which publishes "failed").
+    Owner(FlightGuard<'a>),
+    /// Another worker rendered the key; `None` means that render failed
+    /// and the caller should render locally (without re-claiming).
+    Shared(Option<Arc<Fragment>>),
+}
+
+/// Ownership of one in-flight key. Publishing (or dropping) releases
+/// every waiter.
+pub struct FlightGuard<'a> {
+    flight: &'a FragmentFlight,
+    key: u64,
+    released: bool,
+}
+
+impl FlightGuard<'_> {
+    /// The claimed key.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Hands the rendered fragment to every waiter and releases the
+    /// key. Call only after the fragment is durably stored (disk tier),
+    /// so post-flight latecomers hit the cache.
+    pub fn publish(mut self, frag: Arc<Fragment>) {
+        self.released = true;
+        self.flight.release(self.key, Some(frag));
+        self.flight.published.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.released {
+            // Owner failed (error or panic): wake waiters empty-handed
+            // so they render locally instead of blocking forever.
+            self.flight.release(self.key, None);
+        }
+    }
+}
+
+impl FragmentFlight {
+    /// An empty registry.
+    pub fn new() -> FragmentFlight {
+        FragmentFlight::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Fragments published by owners so far.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Claims served from another worker's in-flight render.
+    pub fn shared(&self) -> u64 {
+        self.shared.load(Ordering::Relaxed)
+    }
+
+    /// Keys currently being rendered by an owner.
+    pub fn inflight(&self) -> usize {
+        self.lock()
+            .slots
+            .values()
+            .filter(|s| matches!(s.state, SlotState::Rendering))
+            .count()
+    }
+
+    /// True while another worker owns `key` — used by the scheduler to
+    /// defer a task that would only block, and by tests to synchronize.
+    pub fn is_inflight(&self, key: u64) -> bool {
+        matches!(
+            self.lock().slots.get(&key).map(|s| &s.state),
+            Some(SlotState::Rendering)
+        )
+    }
+
+    /// Claims `key`: the first caller becomes the owner; concurrent
+    /// callers block until the owner publishes and receive the shared
+    /// fragment.
+    pub fn claim(&self, key: u64) -> Claim<'_> {
+        let mut inner = self.lock();
+        loop {
+            match inner.slots.get_mut(&key) {
+                None => {
+                    inner.slots.insert(
+                        key,
+                        Slot {
+                            state: SlotState::Rendering,
+                            waiters: 0,
+                        },
+                    );
+                    return Claim::Owner(FlightGuard {
+                        flight: self,
+                        key,
+                        released: false,
+                    });
+                }
+                Some(slot) => match &slot.state {
+                    SlotState::Done(frag) => {
+                        let frag = frag.clone();
+                        if frag.is_some() {
+                            self.shared.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Claim::Shared(frag);
+                    }
+                    SlotState::Rendering => {
+                        slot.waiters += 1;
+                        inner = self
+                            .done
+                            .wait(inner)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        // Re-inspect under the refreshed guard; the slot
+                        // may have become Done, or (spurious wake) still
+                        // be Rendering — the loop handles both.
+                        let slot = inner
+                            .slots
+                            .get_mut(&key)
+                            .expect("slot removed while waiters were registered");
+                        if let SlotState::Done(frag) = &slot.state {
+                            let frag = frag.clone();
+                            slot.waiters -= 1;
+                            if slot.waiters == 0 {
+                                inner.slots.remove(&key);
+                            }
+                            if frag.is_some() {
+                                self.shared.fetch_add(1, Ordering::Relaxed);
+                            }
+                            return Claim::Shared(frag);
+                        }
+                        slot.waiters -= 1;
+                        // Spurious wakeup: loop and re-wait.
+                    }
+                },
+            }
+        }
+    }
+
+    /// Marks `key` done and wakes every waiter. With no waiters the
+    /// slot is removed immediately (latecomers go to the disk tier).
+    fn release(&self, key: u64, frag: Option<Arc<Fragment>>) {
+        let mut inner = self.lock();
+        if let Some(slot) = inner.slots.get_mut(&key) {
+            if slot.waiters == 0 {
+                inner.slots.remove(&key);
+            } else {
+                slot.state = SlotState::Done(frag);
+            }
+        }
+        drop(inner);
+        self.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use v2v_codec::CodecParams;
+    use v2v_container::StreamWriter;
+    use v2v_frame::{Frame, FrameType};
+    use v2v_time::{r, Rational};
+
+    fn sample_fragment(fill: u8) -> Arc<Fragment> {
+        let ty = FrameType::gray8(16, 16);
+        let params = CodecParams::new(ty, 4, 0);
+        let mut w = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        let mut f = Frame::black(ty);
+        for v in f.plane_mut(0).data_mut() {
+            *v = fill;
+        }
+        w.push_frame(&f).unwrap();
+        Arc::new(Fragment::from_stream(&w.finish().unwrap()))
+    }
+
+    #[test]
+    fn exactly_one_owner_under_contention() {
+        let flight = FragmentFlight::new();
+        let renders = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| match flight.claim(99) {
+                    Claim::Owner(guard) => {
+                        renders.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window so waiters really queue.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        guard.publish(sample_fragment(7));
+                    }
+                    Claim::Shared(frag) => {
+                        let frag = frag.expect("owner published");
+                        assert_eq!(frag.len(), 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(renders.load(Ordering::SeqCst), 1, "exactly one render");
+        assert_eq!(flight.published(), 1);
+        assert_eq!(flight.shared(), 7);
+        assert_eq!(flight.inflight(), 0);
+        // The drained slot is gone: a later claim owns afresh.
+        assert!(matches!(flight.claim(99), Claim::Owner(_)));
+    }
+
+    #[test]
+    fn dropped_guard_releases_waiters_empty_handed() {
+        let flight = FragmentFlight::new();
+        std::thread::scope(|scope| {
+            let Claim::Owner(guard) = flight.claim(5) else {
+                panic!("first claim must own");
+            };
+            let waiter = scope.spawn(|| match flight.claim(5) {
+                Claim::Shared(frag) => assert!(frag.is_none(), "failed owner shares nothing"),
+                Claim::Owner(_) => panic!("waiter must not own while key is claimed"),
+            });
+            while !flight.is_inflight(5) {
+                std::thread::yield_now();
+            }
+            // Give the waiter time to block, then fail the render.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            drop(guard);
+            waiter.join().unwrap();
+        });
+        assert_eq!(flight.published(), 0);
+        assert_eq!(flight.shared(), 0);
+        // The key is claimable again after the failure.
+        assert!(matches!(flight.claim(5), Claim::Owner(_)));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_contend() {
+        let flight = FragmentFlight::new();
+        let Claim::Owner(a) = flight.claim(1) else {
+            panic!("own 1");
+        };
+        let Claim::Owner(b) = flight.claim(2) else {
+            panic!("own 2");
+        };
+        assert_eq!(flight.inflight(), 2);
+        a.publish(sample_fragment(1));
+        b.publish(sample_fragment(2));
+        assert_eq!(flight.inflight(), 0);
+    }
+
+    #[test]
+    fn is_inflight_tracks_ownership_window() {
+        let flight = FragmentFlight::new();
+        assert!(!flight.is_inflight(3));
+        let Claim::Owner(guard) = flight.claim(3) else {
+            panic!("own");
+        };
+        assert!(flight.is_inflight(3));
+        guard.publish(sample_fragment(3));
+        assert!(!flight.is_inflight(3));
+    }
+}

@@ -25,7 +25,9 @@ pub mod catalog;
 pub mod cursor;
 pub mod executor;
 pub mod fault;
+pub mod flight;
 pub mod gop_cache;
+pub mod mem_tier;
 pub mod naive;
 pub mod render_cache;
 pub mod scheduler;
@@ -37,9 +39,11 @@ pub use catalog::Catalog;
 pub use cursor::SourceCursor;
 pub use executor::{execute, execute_traced, ExecOptions, ExecStats};
 pub use fault::{error_kind, ErrorPolicy, FaultAction, FaultInjector, FaultKind, SegmentFault};
+pub use flight::{Claim, FlightGuard, FragmentFlight};
 pub use gop_cache::{GopCache, GopFrames};
+pub use mem_tier::MemTier;
 pub use naive::execute_naive;
-pub use render_cache::{CacheStats, RenderCache, SegmentCacheCtx};
+pub use render_cache::{CacheStats, CacheTier, RenderCache, SegmentCacheCtx};
 pub use scheduler::{segment_cost, PartOutput, SchedReport};
 pub use streaming::{execute_streaming, execute_streaming_with, StreamingStats};
 pub use trace::{ExecTrace, SegmentTrace, StageTimes};

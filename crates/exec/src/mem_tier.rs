@@ -1,0 +1,318 @@
+//! The hot in-memory fragment tier above the persistent render cache.
+//!
+//! Under heavy serving traffic the same few fragments are read over and
+//! over; a disk round-trip (plus checksum verification) per hit is pure
+//! overhead once an entry is hot. This tier keeps *frequently accessed*
+//! fragments resident as parsed [`Fragment`]s behind `Arc`, so a hot
+//! hit is a hash lookup and a refcount bump.
+//!
+//! Policy:
+//!
+//! * **Byte-budgeted LRU.** Entries are charged their serialized byte
+//!   size; the least-recently-touched entry is evicted when the total
+//!   exceeds the budget. An entry larger than the whole budget is never
+//!   admitted.
+//! * **Frequency-gated promotion.** An entry becomes resident only
+//!   after [`promote_after`](MemTier::promote_after) accesses (ghost
+//!   counters track non-resident keys), so a one-off scan cannot flush
+//!   the hot set — the clock-like "second chance" half of LRU/clock.
+//! * **No authority.** The tier holds copies of data whose truth lives
+//!   on disk (or is re-renderable); it can be dropped at any time
+//!   without correctness impact, and a poisoned lock is recovered, not
+//!   propagated.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use v2v_container::Fragment;
+
+/// Ghost (non-resident) frequency counters are bounded so an endless
+/// stream of distinct keys cannot grow the map without limit; when the
+/// cap is hit the counters reset, which only delays promotions.
+const MAX_GHOSTS: usize = 65_536;
+
+struct MemEntry {
+    frag: Arc<Fragment>,
+    bytes: u64,
+    /// Last-touch stamp for LRU eviction.
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    resident: HashMap<String, MemEntry>,
+    /// Access counts for keys not (yet) resident.
+    ghosts: HashMap<String, u32>,
+    total_bytes: u64,
+    next_stamp: u64,
+}
+
+/// A byte-budgeted, frequency-promoted, in-memory fragment cache.
+///
+/// Shared by reference from a [`RenderCache`](crate::RenderCache); keys
+/// are the cache's entry names so the two tiers address the same
+/// namespace.
+pub struct MemTier {
+    budget_bytes: u64,
+    promote_after: u32,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+    promotions: AtomicU64,
+}
+
+impl std::fmt::Debug for MemTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemTier")
+            .field("budget_bytes", &self.budget_bytes)
+            .field("bytes_held", &self.bytes_held())
+            .field("hits", &self.hits())
+            .field("promotions", &self.promotions())
+            .finish()
+    }
+}
+
+impl MemTier {
+    /// A tier with the given byte budget; entries are promoted on their
+    /// second access (`promote_after` = 2).
+    pub fn new(budget_bytes: u64) -> MemTier {
+        MemTier::with_promote_after(budget_bytes, 2)
+    }
+
+    /// A tier that promotes an entry once it has been accessed
+    /// `promote_after` times (minimum 1: promote on first access).
+    pub fn with_promote_after(budget_bytes: u64, promote_after: u32) -> MemTier {
+        MemTier {
+            budget_bytes,
+            promote_after: promote_after.max(1),
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Accesses promoted past the gate so far.
+    pub fn promotions(&self) -> u64 {
+        self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// Lookups served from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Resident entries evicted under budget pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently resident.
+    pub fn bytes_held(&self) -> u64 {
+        self.lock().total_bytes
+    }
+
+    /// Resident entry count.
+    pub fn entries(&self) -> usize {
+        self.lock().resident.len()
+    }
+
+    /// Accesses required before a key becomes resident.
+    pub fn promote_after(&self) -> u32 {
+        self.promote_after
+    }
+
+    /// Looks up `name`, refreshing its LRU stamp on a hit. A miss also
+    /// counts one ghost access so a later [`admit`](MemTier::admit) can
+    /// decide on promotion.
+    pub fn get(&self, name: &str) -> Option<Arc<Fragment>> {
+        let mut inner = self.lock();
+        inner.next_stamp += 1;
+        let stamp = inner.next_stamp;
+        if let Some(e) = inner.resident.get_mut(name) {
+            e.stamp = stamp;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(&e.frag));
+        }
+        Self::bump_ghost(&mut inner, name);
+        None
+    }
+
+    /// Offers a fragment just read from the slower tier. It becomes
+    /// resident if its access count (including the [`get`](MemTier::get)
+    /// miss that preceded this call) has reached the promotion gate and
+    /// it fits the budget.
+    pub fn admit(&self, name: &str, frag: &Arc<Fragment>, bytes: u64) {
+        if self.budget_bytes == 0 || bytes > self.budget_bytes {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.resident.contains_key(name) {
+            return;
+        }
+        let freq = inner.ghosts.get(name).copied().unwrap_or(0);
+        if freq < self.promote_after {
+            return;
+        }
+        inner.ghosts.remove(name);
+        inner.next_stamp += 1;
+        let stamp = inner.next_stamp;
+        inner.resident.insert(
+            name.to_string(),
+            MemEntry {
+                frag: Arc::clone(frag),
+                bytes,
+                stamp,
+            },
+        );
+        inner.total_bytes += bytes;
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+        self.evict_to_budget(&mut inner, name);
+    }
+
+    /// Drops `name` if resident — called when the disk tier evicts or
+    /// replaces the entry so the tiers cannot serve diverging bytes.
+    pub fn invalidate(&self, name: &str) {
+        let mut inner = self.lock();
+        if let Some(old) = inner.resident.remove(name) {
+            inner.total_bytes -= old.bytes;
+        }
+        inner.ghosts.remove(name);
+    }
+
+    fn bump_ghost(inner: &mut Inner, name: &str) {
+        if inner.ghosts.len() >= MAX_GHOSTS && !inner.ghosts.contains_key(name) {
+            inner.ghosts.clear();
+        }
+        *inner.ghosts.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    fn evict_to_budget(&self, inner: &mut Inner, keep: &str) {
+        while inner.total_bytes > self.budget_bytes {
+            let victim = inner
+                .resident
+                .iter()
+                .filter(|(name, _)| name.as_str() != keep)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(name, _)| name.clone());
+            let Some(victim) = victim else { break };
+            if let Some(old) = inner.resident.remove(&victim) {
+                inner.total_bytes -= old.bytes;
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_codec::CodecParams;
+    use v2v_container::{fragment_to_bytes, StreamWriter};
+    use v2v_frame::{Frame, FrameType};
+    use v2v_time::{r, Rational};
+
+    fn frag(n: usize, fill: u8) -> (Arc<Fragment>, u64) {
+        let ty = FrameType::gray8(32, 32);
+        let params = CodecParams::new(ty, 4, 0);
+        let mut w = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        for i in 0..n {
+            let mut f = Frame::black(ty);
+            for v in f.plane_mut(0).data_mut() {
+                *v = fill.wrapping_add(i as u8);
+            }
+            w.push_frame(&f).unwrap();
+        }
+        let frag = Fragment::from_stream(&w.finish().unwrap());
+        let bytes = fragment_to_bytes(&frag).unwrap().len() as u64;
+        (Arc::new(frag), bytes)
+    }
+
+    #[test]
+    fn promotion_requires_repeat_access() {
+        let tier = MemTier::new(1 << 20);
+        let (f, b) = frag(4, 1);
+        // First access: miss, admitted but below the gate → not resident.
+        assert!(tier.get("seg-a").is_none());
+        tier.admit("seg-a", &f, b);
+        assert_eq!(tier.entries(), 0, "one access must not promote");
+        // Second access: miss again, now past the gate → resident.
+        assert!(tier.get("seg-a").is_none());
+        tier.admit("seg-a", &f, b);
+        assert_eq!(tier.entries(), 1);
+        assert_eq!(tier.promotions(), 1);
+        // Third access is a memory hit.
+        assert!(tier.get("seg-a").is_some());
+        assert_eq!(tier.hits(), 1);
+    }
+
+    #[test]
+    fn promote_after_one_admits_immediately() {
+        let tier = MemTier::with_promote_after(1 << 20, 1);
+        let (f, b) = frag(4, 2);
+        assert!(tier.get("seg-a").is_none());
+        tier.admit("seg-a", &f, b);
+        assert!(tier.get("seg-a").is_some());
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        let (f, one) = frag(8, 3);
+        // Room for two entries, not three; promote on first access.
+        let tier = MemTier::with_promote_after(one * 2 + one / 2, 1);
+        for name in ["seg-1", "seg-2"] {
+            assert!(tier.get(name).is_none());
+            tier.admit(name, &f, one);
+        }
+        assert_eq!(tier.entries(), 2);
+        assert_eq!(tier.evictions(), 0);
+        // Touch seg-1 so seg-2 is the LRU victim.
+        assert!(tier.get("seg-1").is_some());
+        assert!(tier.get("seg-3").is_none());
+        tier.admit("seg-3", &f, one);
+        assert_eq!(tier.evictions(), 1);
+        assert!(tier.bytes_held() <= tier.budget_bytes());
+        assert!(tier.get("seg-2").is_none(), "LRU victim gone");
+        assert!(tier.get("seg-1").is_some());
+        assert!(tier.get("seg-3").is_some());
+    }
+
+    #[test]
+    fn oversized_entry_is_never_admitted() {
+        let (f, b) = frag(8, 4);
+        let tier = MemTier::with_promote_after(b / 2, 1);
+        assert!(tier.get("seg-big").is_none());
+        tier.admit("seg-big", &f, b);
+        assert_eq!(tier.entries(), 0);
+    }
+
+    #[test]
+    fn invalidate_drops_resident_entry() {
+        let tier = MemTier::with_promote_after(1 << 20, 1);
+        let (f, b) = frag(4, 5);
+        assert!(tier.get("seg-a").is_none());
+        tier.admit("seg-a", &f, b);
+        assert!(tier.get("seg-a").is_some());
+        tier.invalidate("seg-a");
+        assert_eq!(tier.entries(), 0);
+        assert!(tier.get("seg-a").is_none());
+    }
+
+    #[test]
+    fn zero_budget_disables_the_tier() {
+        let tier = MemTier::with_promote_after(0, 1);
+        let (f, b) = frag(4, 6);
+        assert!(tier.get("seg-a").is_none());
+        tier.admit("seg-a", &f, b);
+        assert_eq!(tier.entries(), 0);
+    }
+}

@@ -30,11 +30,13 @@
 //!
 //! [`ErrorKind::CorruptData`]: v2v_container::ContainerError::BadFile
 
+use crate::flight::FragmentFlight;
+use crate::mem_tier::MemTier;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use v2v_container::{fragment_to_bytes, read_fragment, Fragment, VideoStream};
 
 /// Render-cache activity for one run, embedded in
@@ -53,6 +55,19 @@ pub struct CacheStats {
     /// Compressed bytes reused from the cache instead of re-produced.
     #[serde(default)]
     pub bytes_reused: u64,
+    /// Whole responses coalesced into an identical in-flight render
+    /// (daemon single-flight by plan fingerprint).
+    #[serde(default)]
+    pub inflight_hits: u64,
+    /// Segments received from another run's concurrent render instead
+    /// of rendered here ([`FragmentFlight`] subscription).
+    #[serde(default)]
+    pub shared_segment_hits: u64,
+    /// Cache hits (result or segment) served by the in-memory tier
+    /// without touching disk. Also counted in `result_hits` /
+    /// `segment_hits`; this field attributes the tier.
+    #[serde(default)]
+    pub mem_hits: u64,
 }
 
 impl CacheStats {
@@ -62,8 +77,20 @@ impl CacheStats {
         self.segment_hits += other.segment_hits;
         self.evictions += other.evictions;
         self.bytes_reused += other.bytes_reused;
+        self.inflight_hits += other.inflight_hits;
+        self.shared_segment_hits += other.shared_segment_hits;
+        self.mem_hits += other.mem_hits;
         self
     }
+}
+
+/// Which tier served a cache hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Served from the in-memory hot tier, no disk I/O.
+    Memory,
+    /// Read (and checksum-verified) from the persistent directory.
+    Disk,
 }
 
 struct EntryMeta {
@@ -87,6 +114,9 @@ pub struct RenderCache {
     index: Mutex<Index>,
     evictions: AtomicU64,
     tmp_seq: AtomicU64,
+    /// Optional hot tier above the directory; entries are promoted on
+    /// access frequency and consulted before any disk read.
+    mem: Option<MemTier>,
 }
 
 impl std::fmt::Debug for RenderCache {
@@ -153,6 +183,7 @@ impl RenderCache {
             index: Mutex::new(index),
             evictions: AtomicU64::new(0),
             tmp_seq: AtomicU64::new(0),
+            mem: None,
         };
         // A crash can leave the directory over budget; restore the
         // invariant before serving (these do not count as run-visible
@@ -162,6 +193,19 @@ impl RenderCache {
         drop(guard);
         cache.evictions.store(0, Ordering::Relaxed);
         Ok(cache)
+    }
+
+    /// Attaches a hot in-memory tier with the given byte budget (0
+    /// disables it). Builder-style; call before sharing the cache.
+    #[must_use]
+    pub fn with_mem_tier(mut self, budget_bytes: u64) -> RenderCache {
+        self.mem = (budget_bytes > 0).then(|| MemTier::new(budget_bytes));
+        self
+    }
+
+    /// The in-memory tier, if one is attached.
+    pub fn mem_tier(&self) -> Option<&MemTier> {
+        self.mem.as_ref()
     }
 
     /// The cache's root directory.
@@ -198,11 +242,33 @@ impl RenderCache {
 
     /// Looks up a cached whole result by plan fingerprint.
     pub fn load_result(&self, fingerprint: u64) -> Option<VideoStream> {
-        let frag = self.load(&result_name(fingerprint))?;
-        match frag.into_stream() {
-            Ok(stream) => Some(stream),
+        self.load_result_tiered(fingerprint).map(|(s, _)| s)
+    }
+
+    /// Looks up a cached whole result, reporting which tier served it.
+    pub fn load_result_tiered(&self, fingerprint: u64) -> Option<(VideoStream, CacheTier)> {
+        let name = result_name(fingerprint);
+        if let Some(mem) = &self.mem {
+            if let Some(frag) = mem.get(&name) {
+                // A resident fragment was validated when it was read
+                // from disk; a conversion failure here means memory
+                // corruption — drop it and fall through to disk.
+                match (*frag).clone().into_stream() {
+                    Ok(stream) => return Some((stream, CacheTier::Memory)),
+                    Err(_) => mem.invalidate(&name),
+                }
+            }
+        }
+        let frag = Arc::new(self.load(&name)?);
+        match (*frag).clone().into_stream() {
+            Ok(stream) => {
+                if let Some(mem) = &self.mem {
+                    mem.admit(&name, &frag, frag.byte_size());
+                }
+                Some((stream, CacheTier::Disk))
+            }
             Err(_) => {
-                self.evict_corrupt(&result_name(fingerprint));
+                self.evict_corrupt(&name);
                 None
             }
         }
@@ -210,7 +276,24 @@ impl RenderCache {
 
     /// Looks up a cached segment fragment by key.
     pub fn load_segment(&self, key: u64) -> Option<Fragment> {
-        self.load(&segment_name(key))
+        self.load_segment_tiered(key).map(|(f, _)| (*f).clone())
+    }
+
+    /// Looks up a cached segment fragment, reporting which tier served
+    /// it. The fragment is shared (`Arc`) so a memory hit copies
+    /// nothing.
+    pub fn load_segment_tiered(&self, key: u64) -> Option<(Arc<Fragment>, CacheTier)> {
+        let name = segment_name(key);
+        if let Some(mem) = &self.mem {
+            if let Some(frag) = mem.get(&name) {
+                return Some((frag, CacheTier::Memory));
+            }
+        }
+        let frag = Arc::new(self.load(&name)?);
+        if let Some(mem) = &self.mem {
+            mem.admit(&name, &frag, frag.byte_size());
+        }
+        Some((frag, CacheTier::Disk))
     }
 
     /// Stores a whole result under the plan fingerprint. Best-effort:
@@ -315,13 +398,17 @@ impl RenderCache {
 }
 
 /// Per-run segment-cache context threaded through
-/// [`ExecOptions`](crate::ExecOptions): the shared cache plus this
+/// [`ExecOptions`](crate::ExecOptions): the shared tiers plus this
 /// plan's per-segment keys (aligned with `plan.segments`; `None` marks
-/// an uncacheable segment).
-#[derive(Debug)]
+/// an uncacheable segment). Either tier may be absent — a daemon with
+/// no `--cache-dir` still shares in-flight renders, and a one-shot
+/// `v2v run` uses the disk cache without a flight.
+#[derive(Debug, Default)]
 pub struct SegmentCacheCtx {
-    /// The shared persistent cache.
-    pub cache: std::sync::Arc<RenderCache>,
+    /// The shared persistent cache (with optional memory tier).
+    pub cache: Option<Arc<RenderCache>>,
+    /// The in-flight single-flight registry for concurrent sharing.
+    pub flight: Option<Arc<FragmentFlight>>,
     /// Per-segment keys from [`v2v_plan::fingerprint::segment_keys`].
     pub keys: Vec<Option<u64>>,
 }
@@ -455,6 +542,44 @@ mod tests {
         assert_eq!(back.len(), stream.len());
         assert_eq!(back.content_digest(), stream.content_digest());
         assert!(cache.load_result(0xabce).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_tier_serves_repeats_without_disk() {
+        let dir = temp_dir("mem_tier");
+        let cache = RenderCache::open(&dir, 1 << 20)
+            .unwrap()
+            .with_mem_tier(1 << 20);
+        cache.store_segment(11, &sample_fragment(6, 4)).unwrap();
+        // First load: disk (counts one mem-tier access).
+        let (_, tier) = cache.load_segment_tiered(11).unwrap();
+        assert_eq!(tier, CacheTier::Disk);
+        // Second load: disk again, but now past the promotion gate.
+        let (_, tier) = cache.load_segment_tiered(11).unwrap();
+        assert_eq!(tier, CacheTier::Disk);
+        // Third load: memory — survives deleting the backing file.
+        std::fs::remove_file(dir.join(segment_name(11))).unwrap();
+        let (frag, tier) = cache.load_segment_tiered(11).unwrap();
+        assert_eq!(tier, CacheTier::Memory);
+        assert_eq!(frag.len(), 6);
+        assert_eq!(cache.mem_tier().unwrap().hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn result_entries_promote_to_mem_tier() {
+        let dir = temp_dir("mem_result");
+        let cache = RenderCache::open(&dir, 1 << 20)
+            .unwrap()
+            .with_mem_tier(1 << 20);
+        let stream = sample_fragment(5, 8).into_stream().unwrap();
+        cache.store_result(0x77, &stream).unwrap();
+        assert_eq!(cache.load_result_tiered(0x77).unwrap().1, CacheTier::Disk);
+        assert_eq!(cache.load_result_tiered(0x77).unwrap().1, CacheTier::Disk);
+        let (back, tier) = cache.load_result_tiered(0x77).unwrap();
+        assert_eq!(tier, CacheTier::Memory);
+        assert_eq!(back.content_digest(), stream.content_digest());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -39,8 +39,9 @@ use crate::catalog::Catalog;
 use crate::cursor::SourceCursor;
 use crate::executor::{ExecOptions, ExecStats};
 use crate::fault::{error_kind, ErrorPolicy, FaultAction, FaultInjector, SegmentFault};
+use crate::flight::Claim;
 use crate::gop_cache::GopCache;
-use crate::render_cache::{CacheStats, SegmentCacheCtx};
+use crate::render_cache::{CacheStats, CacheTier, SegmentCacheCtx};
 use crate::trace::StageTimes;
 use crate::ExecError;
 use crossbeam::channel;
@@ -87,6 +88,10 @@ pub struct PartOutput {
     /// Set when this part failed and was recovered, skipped, or
     /// substituted under the run's [`ErrorPolicy`].
     pub fault: Option<SegmentFault>,
+    /// Set when the worker already persisted this part's segment to the
+    /// render cache (a single-flight owner stores before publishing),
+    /// so the delivery-side store accumulator must not store it again.
+    pub cache_stored: bool,
 }
 
 /// A schedulable unit: a segment-relative frame range of one segment.
@@ -100,6 +105,10 @@ struct Task {
     cost: f64,
     /// `true` if this task was split off a running part.
     stolen: bool,
+    /// `true` once the task has been pushed back because its fragment
+    /// key was in flight on another run — deferred at most once so the
+    /// queue always drains.
+    deferred: bool,
 }
 
 struct SchedState {
@@ -220,6 +229,7 @@ impl SplitProbe<'_> {
             to: end,
             cost: self.per_frame_cost * (end - split_at) as f64,
             stolen: true,
+            deferred: false,
         };
         let pos = st.queue.partition_point(|t| t.cost <= task.cost);
         st.queue.insert(pos, task);
@@ -316,6 +326,7 @@ pub(crate) fn execute_scheduled(
             to: seg.count,
             cost: segment_cost(plan, seg),
             stolen: false,
+            deferred: false,
         })
         .collect();
     // Ascending cost, ties broken so the back of the queue (popped
@@ -400,6 +411,14 @@ fn worker_loop(
     pipeline_frames: usize,
     tx: &channel::Sender<Result<PartOutput, ExecError>>,
 ) {
+    let fault_active = opts.fault.as_deref().is_some_and(|f| !f.is_empty());
+    let flight = if fault_active {
+        None
+    } else {
+        opts.segment_cache
+            .as_deref()
+            .and_then(|sc| sc.flight.as_deref().map(|f| (sc, f)))
+    };
     loop {
         let (task, running_now) = {
             let mut st = shared.lock();
@@ -408,6 +427,28 @@ fn worker_loop(
                     return;
                 }
                 if let Some(t) = st.queue.pop() {
+                    // Overlap-aware dispatch: a whole segment whose key
+                    // is being rendered by another run right now would
+                    // only block on its flight — push it behind the
+                    // other pending work (once) and take something that
+                    // makes progress. By the time it is re-popped the
+                    // other run has usually published.
+                    if let Some((sc, flight)) = flight {
+                        if !t.deferred
+                            && !st.queue.is_empty()
+                            && t.from == 0
+                            && t.to == plan.segments[t.seg_index].count
+                        {
+                            if let Some(key) = sc.key(t.seg_index) {
+                                if flight.is_inflight(key) {
+                                    let mut t = t;
+                                    t.deferred = true;
+                                    st.queue.insert(0, t);
+                                    continue;
+                                }
+                            }
+                        }
+                    }
                     if t.stolen {
                         st.steals += 1;
                     }
@@ -494,44 +535,210 @@ fn worker_loop(
     }
 }
 
-/// Serves a whole render segment from the persistent segment cache, if
-/// one is attached and holds a matching fragment. Only whole segments
-/// are served (a split range would interleave cached and freshly
-/// encoded packets inside one encoder session), and a stale or
-/// mismatched fragment is simply ignored — the segment renders as
-/// usual.
-fn try_cached_segment(ctx: &PartCtx<'_>, from: u64, to: u64) -> Option<PartOutput> {
-    let sc = ctx.seg_cache?;
-    if ctx.fault.is_some() || from != 0 || to != ctx.seg.count || ctx.seg.count == 0 {
-        return None;
-    }
-    let key = sc.key(ctx.seg_index)?;
-    let frag = sc.cache.load_segment(key)?;
-    if frag.len() as u64 != ctx.seg.count
-        || frag.frame_dur() != ctx.plan.frame_dur
-        || !frag.params().compatible_with(&ctx.plan.out_params)
-    {
-        return None;
-    }
-    let stats = ExecStats {
-        segments: 1,
-        cache: CacheStats {
-            segment_hits: 1,
-            bytes_reused: frag.byte_size(),
-            ..Default::default()
-        },
-        ..Default::default()
-    };
-    Some(PartOutput {
+/// True when a fragment can stand in for this whole segment: identical
+/// frame count, grid, and codec parameters. Content-addressed keys make
+/// a mismatch nearly impossible; the check keeps a hash collision or a
+/// foreign cache directory from corrupting output.
+fn fragment_matches(ctx: &PartCtx<'_>, frag: &v2v_container::Fragment) -> bool {
+    frag.len() as u64 == ctx.seg.count
+        && frag.frame_dur() == ctx.plan.frame_dur
+        && frag.params().compatible_with(&ctx.plan.out_params)
+}
+
+/// A whole-segment part whose packets come from a reused fragment, with
+/// the given cache attribution.
+fn part_from_fragment(
+    ctx: &PartCtx<'_>,
+    frag: &v2v_container::Fragment,
+    cache: CacheStats,
+) -> PartOutput {
+    PartOutput {
         seg_index: ctx.seg_index,
         abs_start: ctx.seg.out_start,
         count: ctx.seg.count,
         packets: frag.packets().to_vec(),
-        stats,
+        stats: ExecStats {
+            segments: 1,
+            cache,
+            ..Default::default()
+        },
         stage: StageTimes::default(),
         wall_ns: 0,
         fault: None,
-    })
+        cache_stored: false,
+    }
+}
+
+/// Loads this segment's fragment from the memory/disk tiers, if
+/// present and valid, returning the attributed part plus the fragment
+/// (so a single-flight owner can publish it to waiters).
+fn load_cached_part(
+    ctx: &PartCtx<'_>,
+    sc: &SegmentCacheCtx,
+    key: u64,
+) -> Option<(PartOutput, Arc<v2v_container::Fragment>)> {
+    let cache = sc.cache.as_deref()?;
+    let (frag, tier) = cache.load_segment_tiered(key)?;
+    if !fragment_matches(ctx, &frag) {
+        return None;
+    }
+    let stats = CacheStats {
+        segment_hits: 1,
+        bytes_reused: frag.byte_size(),
+        mem_hits: u64::from(tier == CacheTier::Memory),
+        ..Default::default()
+    };
+    Some((part_from_fragment(ctx, &frag, stats), frag))
+}
+
+/// Renders one segment range, sharing work through the segment-cache
+/// context when the range is a whole keyed segment.
+///
+/// Ordering invariant: the flight is claimed **before** the cache tiers
+/// are consulted, and an owner stores to disk **before** publishing.
+/// Any concurrent duplicate therefore either joins the flight or finds
+/// the entry on disk — a segment is never rendered twice, under any
+/// interleaving.
+#[allow(clippy::too_many_arguments)]
+fn render_segment(
+    ctx: &PartCtx<'_>,
+    program: &FrameProgram,
+    inputs: &[InputClip],
+    from: u64,
+    to: u64,
+    probe: Option<&SplitProbe<'_>>,
+    pipeline_frames: usize,
+    fanout: usize,
+) -> Result<PartOutput, ExecError> {
+    // Only whole segments are shared or cached: a split range would
+    // interleave reused and freshly encoded packets inside one encoder
+    // session.
+    let whole = from == 0 && to == ctx.seg.count && ctx.seg.count > 0 && ctx.fault.is_none();
+    let keyed = whole.then(|| {
+        ctx.seg_cache
+            .and_then(|sc| sc.key(ctx.seg_index).map(|k| (sc, k)))
+    });
+    let Some(Some((sc, key))) = keyed else {
+        return render_fresh(
+            ctx,
+            program,
+            inputs,
+            from,
+            to,
+            probe,
+            pipeline_frames,
+            fanout,
+        );
+    };
+    let Some(flight) = sc.flight.as_deref() else {
+        // No concurrent sharing (one-shot `v2v run`): memory/disk tiers,
+        // then a fresh render that may split under the probe.
+        if let Some((part, _)) = load_cached_part(ctx, sc, key) {
+            return Ok(part);
+        }
+        return render_fresh(
+            ctx,
+            program,
+            inputs,
+            from,
+            to,
+            probe,
+            pipeline_frames,
+            fanout,
+        );
+    };
+    match flight.claim(key) {
+        Claim::Owner(guard) => {
+            if let Some((part, frag)) = load_cached_part(ctx, sc, key) {
+                guard.publish(frag);
+                return Ok(part);
+            }
+            // Render the whole segment without a split probe: waiters
+            // need one coherent fragment, and giving half away would
+            // leave them with nothing to subscribe to. The daemon's
+            // concurrent jobs keep the other workers busy instead.
+            let mut part = render_fresh(
+                ctx,
+                program,
+                inputs,
+                from,
+                to,
+                None,
+                pipeline_frames,
+                fanout,
+            )?;
+            match v2v_container::Fragment::new(
+                ctx.plan.out_params,
+                ctx.plan.frame_dur,
+                part.packets.clone(),
+            ) {
+                Ok(frag) => {
+                    let frag = Arc::new(frag);
+                    // Disk before publish: a latecomer that misses the
+                    // drained flight must find the entry on disk.
+                    if let Some(cache) = sc.cache.as_deref() {
+                        if cache.store_segment(key, &frag).is_ok() {
+                            part.cache_stored = true;
+                        }
+                    }
+                    guard.publish(frag);
+                }
+                // An unfragmentable part (shouldn't happen for a clean
+                // whole render): drop the guard so waiters fall back.
+                Err(_) => drop(guard),
+            }
+            Ok(part)
+        }
+        Claim::Shared(Some(frag)) if fragment_matches(ctx, &frag) => {
+            let stats = CacheStats {
+                shared_segment_hits: 1,
+                bytes_reused: frag.byte_size(),
+                ..Default::default()
+            };
+            Ok(part_from_fragment(ctx, &frag, stats))
+        }
+        // Owner failed, or (vanishingly unlikely) published a fragment
+        // that does not fit this plan: render locally, probe allowed.
+        Claim::Shared(_) => render_fresh(
+            ctx,
+            program,
+            inputs,
+            from,
+            to,
+            probe,
+            pipeline_frames,
+            fanout,
+        ),
+    }
+}
+
+/// Dispatches a fresh render of `[from, to)` to the pipelined or
+/// sequential loop.
+#[allow(clippy::too_many_arguments)]
+fn render_fresh(
+    ctx: &PartCtx<'_>,
+    program: &FrameProgram,
+    inputs: &[InputClip],
+    from: u64,
+    to: u64,
+    probe: Option<&SplitProbe<'_>>,
+    pipeline_frames: usize,
+    fanout: usize,
+) -> Result<PartOutput, ExecError> {
+    if pipeline_frames > 0 {
+        run_render_pipelined(
+            ctx,
+            program,
+            inputs,
+            from,
+            to,
+            probe,
+            pipeline_frames,
+            fanout,
+        )
+    } else {
+        run_render_sequential(ctx, program, inputs, from, to, probe)
+    }
 }
 
 /// In-flight state for persisting one segment's rendered packets: parts
@@ -547,7 +754,8 @@ struct StoreAccum {
 
 /// Feeds one delivered part into the segment-store accumulator and
 /// flushes a finished segment to the persistent cache. Parts that were
-/// themselves cache hits, segments without a key (stream copies, UDF
+/// themselves cache hits (local, shared, or already stored by a
+/// single-flight owner), segments without a key (stream copies, UDF
 /// programs), and segments touched by fault recovery are never stored.
 fn accumulate_for_store(
     sc: &SegmentCacheCtx,
@@ -555,9 +763,15 @@ fn accumulate_for_store(
     accum: &mut Option<StoreAccum>,
     part: &PartOutput,
 ) {
-    if part.stats.cache.segment_hits > 0 {
+    if part.cache_stored
+        || part.stats.cache.segment_hits > 0
+        || part.stats.cache.shared_segment_hits > 0
+    {
         return;
     }
+    let Some(cache) = sc.cache.as_deref() else {
+        return;
+    };
     let Some(seg) = plan.segments.get(part.seg_index) else {
         return;
     };
@@ -594,7 +808,7 @@ fn accumulate_for_store(
             ) {
                 // A failed store (disk full, permissions) only costs the
                 // next run a re-render; never fail the query for it.
-                let _ = sc.cache.store_segment(acc.key, &frag);
+                let _ = cache.store_segment(acc.key, &frag);
             }
         }
         *accum = None;
@@ -641,26 +855,19 @@ fn run_part(
                 stage: StageTimes::default(),
                 wall_ns: 0,
                 fault: None,
+                cache_stored: false,
             }
         }
-        SegPlan::Render { program, inputs } => {
-            if let Some(part) = try_cached_segment(ctx, from, to) {
-                part
-            } else if pipeline_frames > 0 {
-                run_render_pipelined(
-                    ctx,
-                    program,
-                    inputs,
-                    from,
-                    to,
-                    probe,
-                    pipeline_frames,
-                    fanout,
-                )?
-            } else {
-                run_render_sequential(ctx, program, inputs, from, to, probe)?
-            }
-        }
+        SegPlan::Render { program, inputs } => render_segment(
+            ctx,
+            program,
+            inputs,
+            from,
+            to,
+            probe,
+            pipeline_frames,
+            fanout,
+        )?,
     };
     part.wall_ns = started.elapsed().as_nanos() as u64;
     Ok(part)
@@ -734,6 +941,7 @@ fn recover_part(
                 stage: StageTimes::default(),
                 wall_ns: 0,
                 fault: Some(fault(FaultAction::Skipped)),
+                cache_stored: false,
             })
         }
         ErrorPolicy::SubstituteBlack => {
@@ -751,6 +959,7 @@ fn recover_part(
                 stage: StageTimes::default(),
                 wall_ns: 0,
                 fault: Some(fault(FaultAction::SubstitutedBlack)),
+                cache_stored: false,
             })
         }
     }
@@ -893,6 +1102,7 @@ fn run_render_sequential(
         stage,
         wall_ns: 0,
         fault: None,
+        cache_stored: false,
     })
 }
 
@@ -1032,6 +1242,7 @@ fn run_render_pipelined(
                     stage,
                     wall_ns: 0,
                     fault: None,
+                    cache_stored: false,
                 })
             }
             (_, Err(e)) => Err(e),

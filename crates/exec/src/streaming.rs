@@ -103,12 +103,21 @@ pub fn execute_streaming_with(
         }
         Ok(())
     };
-    let evictions_before = opts.segment_cache.as_deref().map(|sc| sc.cache.evictions());
+    let evictions_before = opts
+        .segment_cache
+        .as_deref()
+        .and_then(|sc| sc.cache.as_deref())
+        .map(|c| c.evictions());
     let report = execute_scheduled(plan, catalog, opts, Some(&cache), &mut deliver)?;
     stats.exec.splits = report.splits;
     stats.exec.steals = report.steals;
-    if let (Some(sc), Some(before)) = (opts.segment_cache.as_deref(), evictions_before) {
-        stats.exec.cache.evictions += sc.cache.evictions().saturating_sub(before);
+    if let (Some(c), Some(before)) = (
+        opts.segment_cache
+            .as_deref()
+            .and_then(|sc| sc.cache.as_deref()),
+        evictions_before,
+    ) {
+        stats.exec.cache.evictions += c.evictions().saturating_sub(before);
     }
     if let Some(injector) = &opts.fault {
         stats.exec.faults_injected = injector.injections();

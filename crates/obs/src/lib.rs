@@ -44,4 +44,7 @@ pub use span::{SpanRecord, SpanSink, SpanTimer};
 /// * 4 — persistent render cache: the `cache` stats block on
 ///   `ExecStats` (`result_hits` / `segment_hits` / `evictions` /
 ///   `bytes_reused`) and `exec.cache.*` counters.
-pub const TRACE_SCHEMA_VERSION: u32 = 4;
+/// * 5 — multi-query work sharing: `inflight_hits` /
+///   `shared_segment_hits` / `mem_hits` on the `cache` stats block and
+///   the matching `exec.cache.*` counters.
+pub const TRACE_SCHEMA_VERSION: u32 = 5;

@@ -12,6 +12,20 @@
 //! * **admission control** — at most `max_concurrent` renders run at
 //!   once; excess requests wait in a bounded FIFO and are rejected with
 //!   `429 Too Many Requests` + `retry-after` when the queue is full;
+//!   the time a request spends waiting for admission is reported as
+//!   `queue_wait_ns` in its `x-v2v-stats` header, separate from render
+//!   time;
+//! * **multi-query work sharing** — three tiers above per-request
+//!   execution (see [`share`]): a request whose canonical plan
+//!   fingerprint matches a render already in flight coalesces into it
+//!   via the [`InflightRegistry`] and receives
+//!   the same bytes (`inflight_hits` in its stats); concurrent
+//!   *overlapping* queries share a daemon-wide
+//!   [`FragmentFlight`], so each common
+//!   segment renders exactly once (`shared_segment_hits`); and a
+//!   byte-budgeted in-memory fragment tier
+//!   ([`MemTier`](v2v_exec::MemTier)) on the render cache answers hot
+//!   repeats without touching disk (`mem_hits`);
 //! * **a shared persistent render cache** — all workers share one
 //!   [`RenderCache`], so a repeated query is answered by splicing
 //!   cached container bytes (zero decode) and an overlapping query
@@ -19,7 +33,8 @@
 //!   `v2v_plan::fingerprint` for key derivation);
 //! * **observability** — `GET /metrics` serves a
 //!   [`MetricsSnapshot`](v2v_obs::MetricsSnapshot) aggregated across
-//!   requests, `GET /status` the live admission picture.
+//!   requests, `GET /status` the live admission, sharing, and cache
+//!   picture.
 //!
 //! Routes:
 //!
@@ -32,20 +47,24 @@
 //! Query errors map the [`ErrorKind`] taxonomy onto status codes:
 //! `invalid_request`/`plan` → 400, `not_found` → 404, `corrupt_data` →
 //! 422, everything else → 500; the body is a structured
-//! `{"error": {kind, message}}` object.
+//! `{"error": {kind, message}}` object. 429 rejections additionally
+//! carry the live queue picture (`queue_depth`, `queue_limit`,
+//! `retry_after_secs`) in the error body.
 
 pub mod http;
+pub mod share;
 
 use http::{read_request, write_response, Request, Response};
+use share::{InflightRegistry, Join, LeaderGuard, QueryOutcome, SharedError};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
-use v2v_core::{EngineConfig, ErrorKind, V2vEngine, V2vError};
+use v2v_core::{EngineConfig, ErrorKind, PreparedRun, V2vEngine, V2vError};
 use v2v_data::Database;
-use v2v_exec::{Catalog, ExecStats, RenderCache};
+use v2v_exec::{Catalog, ExecStats, FragmentFlight, RenderCache};
 use v2v_obs::Registry;
 use v2v_spec::Spec;
 
@@ -59,6 +78,11 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// `retry-after` seconds advertised on 429 responses.
     pub retry_after_secs: u64,
+    /// Coalesce identical in-flight requests and share overlapping
+    /// segments between concurrent renders (on by default). Turning
+    /// this off makes every request execute independently — the
+    /// baseline arm benchmarks compare against.
+    pub work_sharing: bool,
     /// Engine configuration every job runs under. Set
     /// `engine.render_cache` to share a persistent cache across jobs.
     pub engine: EngineConfig,
@@ -70,6 +94,7 @@ impl Default for ServeConfig {
             max_concurrent: 2,
             queue_depth: 16,
             retry_after_secs: 1,
+            work_sharing: true,
             engine: EngineConfig::default(),
         }
     }
@@ -148,9 +173,18 @@ struct Shared {
     config: ServeConfig,
     gate: JobGate,
     registry: Registry,
+    /// Whole-response single-flight by plan fingerprint.
+    inflight: InflightRegistry,
+    /// Segment-level publish/subscribe shared by every engine this
+    /// daemon builds, so overlapping renders produce each common
+    /// segment exactly once.
+    flight: Arc<FragmentFlight>,
     jobs_done: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_rejected: AtomicU64,
+    queue_waits: AtomicU64,
+    queue_wait_total_ns: AtomicU64,
+    queue_wait_max_ns: AtomicU64,
 }
 
 /// The query service: holds the sources and configuration, then
@@ -197,9 +231,14 @@ impl V2vServer {
             config: self.config,
             gate,
             registry: Registry::new(),
+            inflight: InflightRegistry::new(),
+            flight: Arc::new(FragmentFlight::new()),
             jobs_done: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
+            queue_waits: AtomicU64::new(0),
+            queue_wait_total_ns: AtomicU64::new(0),
+            queue_wait_max_ns: AtomicU64::new(0),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let accept_shared = Arc::clone(&shared);
@@ -303,11 +342,22 @@ fn route(req: &Request, shared: &Shared) -> Response {
 fn handle_status(shared: &Shared) -> Response {
     let (active, queued) = shared.gate.snapshot();
     let cache = shared.config.engine.render_cache.as_ref().map(|c| {
+        let mem = c.mem_tier().map(|m| {
+            serde_json::json!({
+                "entries": m.entries(),
+                "bytes_held": m.bytes_held(),
+                "budget_bytes": m.budget_bytes(),
+                "hits": m.hits(),
+                "promotions": m.promotions(),
+                "evictions": m.evictions(),
+            })
+        });
         serde_json::json!({
             "entries": c.entries(),
             "bytes_held": c.bytes_held(),
             "budget_bytes": c.budget_bytes(),
             "evictions": c.evictions(),
+            "mem": mem,
         })
     });
     Response::json(
@@ -320,25 +370,85 @@ fn handle_status(shared: &Shared) -> Response {
             "jobs_done": shared.jobs_done.load(Ordering::Relaxed),
             "jobs_failed": shared.jobs_failed.load(Ordering::Relaxed),
             "jobs_rejected": shared.jobs_rejected.load(Ordering::Relaxed),
+            "queue_wait": {
+                "count": shared.queue_waits.load(Ordering::Relaxed),
+                "total_ns": shared.queue_wait_total_ns.load(Ordering::Relaxed),
+                "max_ns": shared.queue_wait_max_ns.load(Ordering::Relaxed),
+            },
+            "sharing": {
+                "enabled": shared.config.work_sharing,
+                "inflight": shared.inflight.inflight(),
+                "waiting": shared.inflight.waiting(),
+                "inflight_hits": shared.inflight.hits(),
+                "segments_published": shared.flight.published(),
+                "segment_hits": shared.flight.shared(),
+            },
             "cache": cache,
         }),
     )
 }
 
+/// A parsed, planned query waiting to execute: the engine it was
+/// prepared on (carrying the daemon's shared cache and fragment
+/// flight) plus the prepared plan.
+struct PreparedQuery {
+    engine: V2vEngine,
+    run: PreparedRun,
+}
+
 fn handle_query(req: &Request, shared: &Shared) -> Response {
+    // Parse and plan before admission: planning is cheap next to
+    // rendering, and the plan fingerprint is what lets an identical
+    // in-flight render absorb this request without a slot.
+    let prepared = match prepare_query(&req.body, shared) {
+        Ok(p) => p,
+        Err(e) => {
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            shared.registry.counter("serve.jobs_failed").inc();
+            return error_response(status_for(e.kind()), e.kind().name(), &e.to_string());
+        }
+    };
+    if shared.config.work_sharing {
+        if let Some(fp) = prepared.run.fingerprint() {
+            return match shared.inflight.join(fp) {
+                Join::Leader(guard) => run_admitted(shared, prepared, Some(guard)),
+                Join::Follower(outcome) => respond_follower(shared, &outcome),
+            };
+        }
+    }
+    run_admitted(shared, prepared, None)
+}
+
+/// Takes an admission slot, executes, and (when leading a flight)
+/// publishes the outcome — success, failure, or the 429 itself — to
+/// every coalesced follower.
+fn run_admitted(
+    shared: &Shared,
+    prepared: PreparedQuery,
+    guard: Option<LeaderGuard<'_>>,
+) -> Response {
+    let waiting = Instant::now();
     if !shared.gate.enter() {
         shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
         shared.registry.counter("serve.jobs_rejected").inc();
-        return error_response(429, "overloaded", "admission queue full")
-            .header("retry-after", shared.config.retry_after_secs.to_string());
+        if let Some(guard) = guard {
+            guard.publish(Err(SharedError {
+                status: 429,
+                kind: "overloaded".into(),
+                message: "admission queue full".into(),
+            }));
+        }
+        return overload_response(shared);
     }
+    let queue_wait_ns = waiting.elapsed().as_nanos() as u64;
+    record_queue_wait(shared, queue_wait_ns);
     let (active, _) = shared.gate.snapshot();
     shared
         .registry
         .gauge("serve.active_jobs")
         .set(active as u64);
     let started = Instant::now();
-    let result = run_query(&req.body, shared);
+    let result = execute_prepared(prepared);
     shared.gate.leave();
     shared
         .registry
@@ -349,31 +459,104 @@ fn handle_query(req: &Request, shared: &Shared) -> Response {
             shared.jobs_done.fetch_add(1, Ordering::Relaxed);
             shared.registry.counter("serve.jobs_done").inc();
             record_exec_metrics(&shared.registry, &stats);
-            let stats_json = serde_json::to_string(&stats).unwrap_or_default();
-            Response::new(200, "application/octet-stream", bytes).header("x-v2v-stats", stats_json)
+            let bytes = Arc::new(bytes);
+            if let Some(guard) = guard {
+                guard.publish(Ok((Arc::clone(&bytes), stats)));
+            }
+            Response::new(200, "application/octet-stream", bytes.as_ref().clone())
+                .header("x-v2v-stats", stats_header(&stats, queue_wait_ns))
         }
         Err(e) => {
             shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
             shared.registry.counter("serve.jobs_failed").inc();
-            error_response(status_for(e.kind()), e.kind().name(), &e.to_string())
+            let status = status_for(e.kind());
+            let kind = e.kind().name();
+            let message = e.to_string();
+            if let Some(guard) = guard {
+                guard.publish(Err(SharedError {
+                    status,
+                    kind: kind.into(),
+                    message: message.clone(),
+                }));
+            }
+            error_response(status, kind, &message)
         }
     }
 }
 
-/// Runs one spec through a fresh engine over the shared sources (the
-/// catalog clone is cheap: streams are `Arc`-backed) and serializes the
-/// result container.
-fn run_query(body: &[u8], shared: &Shared) -> Result<(Vec<u8>, ExecStats), V2vError> {
+/// Answers a request from the outcome of the identical in-flight
+/// render it coalesced into. The body is byte-for-byte the leader's;
+/// the stats carry only the sharing markers (this request did no
+/// work).
+fn respond_follower(shared: &Shared, outcome: &QueryOutcome) -> Response {
+    shared.registry.counter("serve.inflight_hits").inc();
+    match outcome {
+        Ok((bytes, _)) => {
+            shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+            shared.registry.counter("serve.jobs_done").inc();
+            let mut stats = ExecStats::default();
+            stats.cache.inflight_hits = 1;
+            stats.cache.bytes_reused = bytes.len() as u64;
+            record_exec_metrics(&shared.registry, &stats);
+            Response::new(200, "application/octet-stream", bytes.as_ref().clone())
+                .header("x-v2v-stats", stats_header(&stats, 0))
+        }
+        Err(e) if e.status == 429 => {
+            shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            shared.registry.counter("serve.jobs_rejected").inc();
+            overload_response(shared)
+        }
+        Err(e) => {
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            shared.registry.counter("serve.jobs_failed").inc();
+            error_response(e.status, &e.kind, &e.message)
+        }
+    }
+}
+
+/// Parses and plans one spec on a fresh engine over the shared sources
+/// (the catalog clone is cheap: streams are `Arc`-backed). The engine
+/// is wired to the daemon-wide fragment flight so its segments share
+/// with every concurrent render.
+fn prepare_query(body: &[u8], shared: &Shared) -> Result<PreparedQuery, V2vError> {
     let text = std::str::from_utf8(body)
         .map_err(|e| V2vError::new(ErrorKind::InvalidRequest, format!("spec not UTF-8: {e}")))?;
     let spec = Spec::from_json(text)
         .map_err(|e| V2vError::new(ErrorKind::InvalidRequest, format!("bad spec: {e}")))?;
+    let mut config = shared.config.engine.clone();
+    if shared.config.work_sharing {
+        config.work_share = Some(Arc::clone(&shared.flight));
+    }
     let mut engine = V2vEngine::new(shared.catalog.clone())
         .with_database(shared.database.clone())
-        .with_config(shared.config.engine.clone());
-    let (report, _trace) = engine.run_traced(&spec)?;
+        .with_config(config);
+    let run = engine.prepare(&spec)?;
+    Ok(PreparedQuery { engine, run })
+}
+
+/// Executes a prepared query and serializes the result container.
+fn execute_prepared(mut prepared: PreparedQuery) -> Result<(Vec<u8>, ExecStats), V2vError> {
+    let (report, _trace) = prepared.engine.run_prepared(prepared.run)?;
     let bytes = v2v_container::svc_to_bytes(&report.output)?;
     Ok((bytes, report.stats))
+}
+
+fn record_queue_wait(shared: &Shared, ns: u64) {
+    shared.queue_waits.fetch_add(1, Ordering::Relaxed);
+    shared.queue_wait_total_ns.fetch_add(ns, Ordering::Relaxed);
+    shared.queue_wait_max_ns.fetch_max(ns, Ordering::Relaxed);
+    shared.registry.histogram("serve.queue_wait_ns").record(ns);
+}
+
+/// The `x-v2v-stats` header value: the run's [`ExecStats`] JSON with
+/// the admission wait injected alongside, so clients can split queue
+/// time from render time.
+fn stats_header(stats: &ExecStats, queue_wait_ns: u64) -> String {
+    let mut value = serde_json::to_value(stats).unwrap_or_default();
+    if let serde_json::Value::Object(map) = &mut value {
+        map.insert("queue_wait_ns".into(), queue_wait_ns.into());
+    }
+    serde_json::to_string(&value).unwrap_or_default()
 }
 
 /// Mirrors one run's [`ExecStats`] into the server-lifetime registry.
@@ -402,6 +585,15 @@ fn record_exec_metrics(registry: &Registry, stats: &ExecStats) {
     registry
         .counter("exec.cache.bytes_reused")
         .add(stats.cache.bytes_reused);
+    registry
+        .counter("exec.cache.inflight_hits")
+        .add(stats.cache.inflight_hits);
+    registry
+        .counter("exec.cache.shared_segment_hits")
+        .add(stats.cache.shared_segment_hits);
+    registry
+        .counter("exec.cache.mem_hits")
+        .add(stats.cache.mem_hits);
 }
 
 /// Maps the error taxonomy onto HTTP status codes.
@@ -419,6 +611,32 @@ fn error_response(status: u16, kind: &str, message: &str) -> Response {
         status,
         &serde_json::json!({"error": {"kind": kind, "message": message}}),
     )
+}
+
+/// The structured body of a 429: the standard error object plus the
+/// live queue picture, so a client can tell a transient spike from a
+/// saturated daemon.
+fn overload_body(queued: usize, queue_limit: usize, retry_after_secs: u64) -> serde_json::Value {
+    serde_json::json!({"error": {
+        "kind": "overloaded",
+        "message": "admission queue full",
+        "queue_depth": queued,
+        "queue_limit": queue_limit,
+        "retry_after_secs": retry_after_secs,
+    }})
+}
+
+fn overload_response(shared: &Shared) -> Response {
+    let (_, queued) = shared.gate.snapshot();
+    Response::json(
+        429,
+        &overload_body(
+            queued,
+            shared.config.queue_depth,
+            shared.config.retry_after_secs,
+        ),
+    )
+    .header("retry-after", shared.config.retry_after_secs.to_string())
 }
 
 /// Convenience: open (or create) a persistent render cache for a
@@ -490,10 +708,23 @@ mod tests {
             serde_json::from_str(resp.header_value("x-v2v-stats").unwrap()).unwrap();
         assert_eq!(stats.frames_encoded, 30);
 
+        // queue_wait is reported separately from render time.
+        let header: serde_json::Value =
+            serde_json::from_str(resp.header_value("x-v2v-stats").unwrap()).unwrap();
+        assert!(header
+            .get("queue_wait_ns")
+            .and_then(|x| x.as_u64())
+            .is_some());
+
         let status = client::request(addr, "GET", "/status", b"").unwrap();
         assert_eq!(status.status, 200);
         let v: serde_json::Value = serde_json::from_slice(&status.body).unwrap();
         assert_eq!(v.get("jobs_done").and_then(|x| x.as_u64()), Some(1));
+        let wait = v.get("queue_wait").expect("queue_wait block");
+        assert_eq!(wait.get("count").and_then(|x| x.as_u64()), Some(1));
+        let sharing = v.get("sharing").expect("sharing block");
+        assert_eq!(sharing.get("enabled").and_then(|x| x.as_bool()), Some(true));
+        assert_eq!(sharing.get("inflight").and_then(|x| x.as_u64()), Some(0));
 
         let metrics = client::request(addr, "GET", "/metrics", b"").unwrap();
         let snap: v2v_obs::MetricsSnapshot = serde_json::from_slice(&metrics.body).unwrap();
@@ -548,6 +779,9 @@ mod tests {
         let config = ServeConfig {
             max_concurrent: 1,
             queue_depth: 0,
+            // Identical specs would coalesce instead of contending;
+            // this test is about the admission gate, so share nothing.
+            work_sharing: false,
             ..Default::default()
         };
         let handle = V2vServer::new(catalog())
@@ -557,7 +791,8 @@ mod tests {
         let addr = handle.addr();
         // Saturate from background threads; at least one response of
         // the burst should be a 429 unless renders finish instantly —
-        // accept either, but verify 429s carry retry-after when seen.
+        // accept either, but verify 429s carry the full header + body
+        // contract when seen.
         let mut saw_429 = false;
         let handles: Vec<_> = (0..6)
             .map(|_| {
@@ -570,6 +805,15 @@ mod tests {
             if resp.status == 429 {
                 saw_429 = true;
                 assert_eq!(resp.header_value("retry-after"), Some("1"));
+                let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+                let err = v.get("error").expect("error object");
+                assert_eq!(err.get("kind").and_then(|k| k.as_str()), Some("overloaded"));
+                assert_eq!(err.get("queue_depth").and_then(|x| x.as_u64()), Some(0));
+                assert_eq!(err.get("queue_limit").and_then(|x| x.as_u64()), Some(0));
+                assert_eq!(
+                    err.get("retry_after_secs").and_then(|x| x.as_u64()),
+                    Some(1)
+                );
             } else {
                 assert_eq!(resp.status, 200);
             }
@@ -603,5 +847,68 @@ mod tests {
         }
         let (done, failed, rejected) = handle.job_counts();
         assert_eq!((done, failed, rejected), (4, 0, 0));
+    }
+
+    #[test]
+    fn overload_body_reports_queue_state() {
+        let body = overload_body(3, 16, 2);
+        let err = body.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(|k| k.as_str()), Some("overloaded"));
+        assert_eq!(err.get("queue_depth").and_then(|x| x.as_u64()), Some(3));
+        assert_eq!(err.get("queue_limit").and_then(|x| x.as_u64()), Some(16));
+        assert_eq!(
+            err.get("retry_after_secs").and_then(|x| x.as_u64()),
+            Some(2)
+        );
+        assert!(err.get("message").is_some());
+    }
+
+    #[test]
+    fn identical_concurrent_requests_return_identical_bytes() {
+        // Whether a request leads, coalesces, or lands after the flight
+        // drained, every response must carry the same container bytes
+        // and count as a completed job.
+        let config = ServeConfig {
+            max_concurrent: 1,
+            ..Default::default()
+        };
+        let handle = V2vServer::new(catalog())
+            .with_config(config)
+            .start("127.0.0.1:0")
+            .unwrap();
+        let addr = handle.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let spec = spec_json();
+                std::thread::spawn(move || client::post_query(addr, spec.as_bytes()).unwrap())
+            })
+            .collect();
+        let mut bodies = Vec::new();
+        let mut coalesced = 0u64;
+        for h in handles {
+            let resp = h.join().unwrap();
+            assert_eq!(resp.status, 200);
+            let header: serde_json::Value =
+                serde_json::from_str(resp.header_value("x-v2v-stats").unwrap()).unwrap();
+            coalesced += header
+                .get("cache")
+                .and_then(|c| c.get("inflight_hits"))
+                .and_then(|x| x.as_u64())
+                .unwrap_or(0);
+            bodies.push(resp.body);
+        }
+        assert!(bodies.windows(2).all(|w| w[0] == w[1]));
+        let (done, failed, rejected) = handle.job_counts();
+        assert_eq!((done, failed, rejected), (4, 0, 0));
+        // Coalesced responses (if the race produced any) are mirrored
+        // in the status sharing block.
+        let status = client::request(addr, "GET", "/status", b"").unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&status.body).unwrap();
+        assert_eq!(
+            v.get("sharing")
+                .and_then(|s| s.get("inflight_hits"))
+                .and_then(|x| x.as_u64()),
+            Some(coalesced)
+        );
     }
 }

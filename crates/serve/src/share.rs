@@ -1,0 +1,290 @@
+//! Whole-response single-flight by canonical plan fingerprint.
+//!
+//! The daemon's outermost sharing tier: when a request's prepared plan
+//! has the same fingerprint as a render already in flight, the request
+//! does not run at all — it subscribes to the running one and receives
+//! the same `.svc` bytes (or the same error). Equal fingerprints imply
+//! byte-identical output over identical sources, so coalescing is
+//! invisible to clients except in `ExecStats.cache.inflight_hits`.
+//!
+//! Leaders register **before** entering the admission gate, so
+//! duplicates of a queued request coalesce too, and a burst of K
+//! identical queries consumes one admission slot instead of K.
+//! The registry mirrors [`FragmentFlight`](v2v_exec::FragmentFlight)
+//! one layer up: leader/follower instead of owner/waiter, HTTP outcome
+//! instead of fragment.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use v2v_exec::ExecStats;
+
+/// The error half of a shared outcome: enough to rebuild the HTTP
+/// response for every follower.
+#[derive(Clone, Debug)]
+pub struct SharedError {
+    /// HTTP status the leader's run mapped to.
+    pub status: u16,
+    /// Error-taxonomy kind name (`not_found`, `overloaded`, …).
+    pub kind: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// What a leader hands its followers: the serialized `.svc` bytes plus
+/// the leader's stats, or the error the leader hit (including a 429 —
+/// a rejected leader rejects its whole cohort, which is exactly the
+/// back-pressure the gate intended).
+pub type QueryOutcome = Result<(Arc<Vec<u8>>, ExecStats), SharedError>;
+
+enum SlotState {
+    Running,
+    Done(QueryOutcome),
+}
+
+struct Slot {
+    state: SlotState,
+    waiters: usize,
+}
+
+/// Registry of in-flight `POST /query` renders, keyed by plan
+/// fingerprint.
+#[derive(Default)]
+pub struct InflightRegistry {
+    inner: Mutex<HashMap<u64, Slot>>,
+    done: Condvar,
+    hits: AtomicU64,
+}
+
+/// Result of [`InflightRegistry::join`].
+pub enum Join<'a> {
+    /// This request runs the render and must
+    /// [`publish`](LeaderGuard::publish) (or drop the guard, which
+    /// publishes an internal error).
+    Leader(LeaderGuard<'a>),
+    /// An identical render was in flight; here is its outcome.
+    Follower(QueryOutcome),
+}
+
+/// Ownership of one in-flight fingerprint.
+pub struct LeaderGuard<'a> {
+    registry: &'a InflightRegistry,
+    fingerprint: u64,
+    released: bool,
+}
+
+impl LeaderGuard<'_> {
+    /// Hands the outcome to every follower and releases the slot.
+    pub fn publish(mut self, outcome: QueryOutcome) {
+        self.released = true;
+        self.registry.release(self.fingerprint, outcome);
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.released {
+            self.registry.release(
+                self.fingerprint,
+                Err(SharedError {
+                    status: 500,
+                    kind: "internal".into(),
+                    message: "in-flight render aborted".into(),
+                }),
+            );
+        }
+    }
+}
+
+impl InflightRegistry {
+    /// An empty registry.
+    pub fn new() -> InflightRegistry {
+        InflightRegistry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<u64, Slot>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Requests coalesced into an in-flight render so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Fingerprints currently in flight.
+    pub fn inflight(&self) -> usize {
+        self.lock()
+            .values()
+            .filter(|s| matches!(s.state, SlotState::Running))
+            .count()
+    }
+
+    /// Followers currently blocked on a leader.
+    pub fn waiting(&self) -> usize {
+        self.lock().values().map(|s| s.waiters).sum()
+    }
+
+    /// Joins the flight for `fingerprint`: the first request leads,
+    /// concurrent duplicates block until the leader publishes.
+    pub fn join(&self, fingerprint: u64) -> Join<'_> {
+        let mut inner = self.lock();
+        loop {
+            match inner.get_mut(&fingerprint) {
+                None => {
+                    inner.insert(
+                        fingerprint,
+                        Slot {
+                            state: SlotState::Running,
+                            waiters: 0,
+                        },
+                    );
+                    return Join::Leader(LeaderGuard {
+                        registry: self,
+                        fingerprint,
+                        released: false,
+                    });
+                }
+                Some(slot) => match &slot.state {
+                    SlotState::Done(outcome) => {
+                        let outcome = outcome.clone();
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Join::Follower(outcome);
+                    }
+                    SlotState::Running => {
+                        slot.waiters += 1;
+                        inner = self
+                            .done
+                            .wait(inner)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        let slot = inner
+                            .get_mut(&fingerprint)
+                            .expect("slot removed while followers were registered");
+                        if let SlotState::Done(outcome) = &slot.state {
+                            let outcome = outcome.clone();
+                            slot.waiters -= 1;
+                            if slot.waiters == 0 {
+                                inner.remove(&fingerprint);
+                            }
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return Join::Follower(outcome);
+                        }
+                        slot.waiters -= 1;
+                        // Spurious wakeup: loop and re-wait.
+                    }
+                },
+            }
+        }
+    }
+
+    /// Marks the fingerprint done and wakes every follower. With no
+    /// followers the slot is removed immediately — a later identical
+    /// request is served by the render cache, not a stale slot.
+    fn release(&self, fingerprint: u64, outcome: QueryOutcome) {
+        let mut inner = self.lock();
+        if let Some(slot) = inner.get_mut(&fingerprint) {
+            if slot.waiters == 0 {
+                inner.remove(&fingerprint);
+            } else {
+                slot.state = SlotState::Done(outcome);
+            }
+        }
+        drop(inner);
+        self.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn ok_outcome(tag: u8) -> QueryOutcome {
+        Ok((Arc::new(vec![tag; 4]), ExecStats::default()))
+    }
+
+    #[test]
+    fn followers_receive_the_leaders_bytes_exactly_once() {
+        let reg = InflightRegistry::new();
+        let leads = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| match reg.join(42) {
+                    Join::Leader(guard) => {
+                        leads.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        guard.publish(ok_outcome(7));
+                    }
+                    Join::Follower(outcome) => {
+                        let (bytes, _) = outcome.expect("leader succeeded");
+                        assert_eq!(*bytes, vec![7; 4]);
+                    }
+                });
+            }
+        });
+        assert_eq!(leads.load(Ordering::SeqCst), 1);
+        assert_eq!(reg.hits(), 7);
+        assert_eq!(reg.inflight(), 0);
+        assert_eq!(reg.waiting(), 0);
+        // Drained: the next identical request leads afresh.
+        assert!(matches!(reg.join(42), Join::Leader(_)));
+    }
+
+    #[test]
+    fn errors_fan_out_to_followers() {
+        let reg = InflightRegistry::new();
+        std::thread::scope(|scope| {
+            let Join::Leader(guard) = reg.join(9) else {
+                panic!("first joiner leads");
+            };
+            let follower = scope.spawn(|| match reg.join(9) {
+                Join::Follower(Err(e)) => assert_eq!(e.status, 404),
+                _ => panic!("follower must see the leader's error"),
+            });
+            while reg.waiting() == 0 {
+                std::thread::yield_now();
+            }
+            guard.publish(Err(SharedError {
+                status: 404,
+                kind: "not_found".into(),
+                message: "missing".into(),
+            }));
+            follower.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn dropped_leader_publishes_internal_error() {
+        let reg = InflightRegistry::new();
+        std::thread::scope(|scope| {
+            let Join::Leader(guard) = reg.join(1) else {
+                panic!("first joiner leads");
+            };
+            let follower = scope.spawn(|| match reg.join(1) {
+                Join::Follower(Err(e)) => assert_eq!(e.status, 500),
+                _ => panic!("follower must see the abort"),
+            });
+            while reg.waiting() == 0 {
+                std::thread::yield_now();
+            }
+            drop(guard);
+            follower.join().unwrap();
+        });
+        assert!(matches!(reg.join(1), Join::Leader(_)));
+    }
+
+    #[test]
+    fn distinct_fingerprints_run_independently() {
+        let reg = InflightRegistry::new();
+        let Join::Leader(a) = reg.join(1) else {
+            panic!("lead 1");
+        };
+        let Join::Leader(b) = reg.join(2) else {
+            panic!("lead 2");
+        };
+        assert_eq!(reg.inflight(), 2);
+        a.publish(ok_outcome(1));
+        b.publish(ok_outcome(2));
+        assert_eq!(reg.inflight(), 0);
+        assert_eq!(reg.hits(), 0);
+    }
+}

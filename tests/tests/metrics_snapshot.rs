@@ -134,6 +134,7 @@ fn stable_subset(trace: &serde_json::Value) -> serde_json::Value {
         .map(seg_subset)
         .collect::<Vec<_>>();
     let totals = g(g(trace, "exec"), "totals");
+    let cache = g(totals, "cache");
     serde_json::json!({
         "schema_version": g(trace, "schema_version"),
         "dde_rewrites": g(trace, "dde_rewrites"),
@@ -148,6 +149,17 @@ fn stable_subset(trace: &serde_json::Value) -> serde_json::Value {
             "segments": g(totals, "segments"),
             "gop_cache_hits": g(totals, "gop_cache_hits"),
             "gop_cache_misses": g(totals, "gop_cache_misses"),
+            // The render-cache / work-sharing counter block: these
+            // runs are uncached and unshared, so the goldens pin the
+            // fields (schema) at zero rather than measured reuse.
+            "cache": {
+                "result_hits": g(cache, "result_hits"),
+                "segment_hits": g(cache, "segment_hits"),
+                "inflight_hits": g(cache, "inflight_hits"),
+                "shared_segment_hits": g(cache, "shared_segment_hits"),
+                "mem_hits": g(cache, "mem_hits"),
+                "evictions": g(cache, "evictions"),
+            },
         },
     })
 }
