@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 use v2v_bench::{print_header, secs};
 use v2v_exec::{Catalog, RenderCache};
 use v2v_serve::http::client;
-use v2v_serve::{ServeConfig, V2vServer};
+use v2v_serve::{ServeConfig, ServeRole, V2vServer};
 use v2v_spec::builder::blur;
 use v2v_spec::{OutputSettings, Spec, SpecBuilder};
 use v2v_time::{r, Rational};
@@ -468,6 +468,80 @@ fn main() {
         }
     }
 
+    // --- scale-out arms ----------------------------------------------
+    // Cold overlap-heavy bursts against a coordinator with 0/1/2/4
+    // workers. Every request is distinct (nothing cached anywhere), so
+    // each keyed segment is dispatched over the ring. On a single-vCPU
+    // host the workers share one core with the coordinator, so the
+    // honest scaling signal is the dispatch distribution, not
+    // wall-clock speedup — both are recorded.
+    const CLUSTER_CLIENTS: usize = 4;
+    let mut cluster_rows: Vec<(usize, u64, u64)> = Vec::new();
+    let mut cluster_baseline: Option<Vec<Vec<Vec<u8>>>> = None;
+    for (arm, n_workers) in [("w0", 0usize), ("w1", 1), ("w2", 2), ("w4", 4)] {
+        let workers: Vec<_> = (0..n_workers)
+            .map(|_| {
+                let config = ServeConfig {
+                    max_concurrent: 4,
+                    queue_depth: 64,
+                    role: ServeRole::Worker,
+                    ..Default::default()
+                };
+                V2vServer::new(catalog.clone())
+                    .with_config(config)
+                    .start("127.0.0.1:0")
+                    .expect("worker bind")
+            })
+            .collect();
+        let mut config = ServeConfig {
+            max_concurrent: 4,
+            queue_depth: 64,
+            workers: workers.iter().map(|w| w.addr().to_string()).collect(),
+            ..Default::default()
+        };
+        config.engine.exec.num_threads = 4;
+        let mut handle = V2vServer::new(catalog.clone())
+            .with_config(config)
+            .start("127.0.0.1:0")
+            .expect("coordinator bind");
+        let addr = handle.addr();
+        let spec_for = move |c: usize, round: usize| {
+            let first = ((round * CLUSTER_CLIENTS + c) * SHARE_CLIPS as usize) as i64;
+            Arc::new(overlap_spec(first).to_json().into_bytes())
+        };
+        let (result, bodies) = drive_rounds(addr, CLUSTER_CLIENTS, rounds, spec_for);
+        match &cluster_baseline {
+            None => cluster_baseline = Some(bodies),
+            Some(expect) => assert_eq!(
+                expect, &bodies,
+                "multi-worker responses must be byte-identical to the local run"
+            ),
+        }
+        let dispatched = status_counter(addr, &["pool", "dispatched"]);
+        let re_dispatched = status_counter(addr, &["pool", "re_dispatched"]);
+        let (_, failed, _) = handle.job_counts();
+        assert_eq!(failed, 0, "no request may fail");
+        handle.stop();
+        drop(workers);
+        cluster_rows.push((n_workers, dispatched, re_dispatched));
+        let row = Row {
+            phase: "cluster",
+            arm,
+            clients: CLUSTER_CLIENTS,
+            requests: CLUSTER_CLIENTS * rounds,
+            mean: mean(&result.latencies),
+            max: max(&result.latencies),
+            wall: result.wall,
+        };
+        print_row(&row);
+        rows.push(row);
+    }
+    for (n_workers, dispatched, re_dispatched) in &cluster_rows {
+        println!(
+            "cluster workers={n_workers}: {dispatched} segment dispatches, {re_dispatched} re-dispatches"
+        );
+    }
+
     let hit_speedup =
         mean_of(&rows, "cold", "share", 1) / mean_of(&rows, "warm", "share", 1).max(1e-9);
     let dup_speedup =
@@ -480,7 +554,7 @@ fn main() {
     println!("overlap-heavy sharing speedup at 8 clients (req/s): {overlap_speedup:.1}x");
 
     if quick {
-        println!("(--quick: skipping BENCH_serve.json rewrite)");
+        println!("(--quick: skipping BENCH_serve.json / BENCH_cluster.json rewrite)");
         return;
     }
     let json = serde_json::json!({
@@ -511,4 +585,37 @@ fn main() {
     )
     .expect("write baseline");
     println!("wrote {path}");
+
+    let cluster_json = serde_json::json!({
+        "bench": "cluster",
+        "cores_detected": cores,
+        "clients": CLUSTER_CLIENTS,
+        "rounds": rounds,
+        "caveat": format!(
+            "measured on a {cores}-core host where coordinator and workers share \
+             the same CPUs; wall-clock scaling is bounded by the shared core(s), \
+             so the scaling evidence is the dispatch distribution below"
+        ),
+        "rows": rows.iter().filter(|r| r.phase == "cluster").map(|r| serde_json::json!({
+            "arm": r.arm,
+            "clients": r.clients,
+            "requests": r.requests,
+            "mean_latency_s": r.mean.as_secs_f64(),
+            "max_latency_s": r.max.as_secs_f64(),
+            "throughput_rps": r.requests as f64 / r.wall.as_secs_f64().max(1e-9),
+        })).collect::<Vec<_>>(),
+        "dispatches": cluster_rows.iter().map(|(w, d, rd)| serde_json::json!({
+            "workers": w,
+            "dispatched": d,
+            "re_dispatched": rd,
+        })).collect::<Vec<_>>(),
+        "byte_identical_across_worker_counts": true,
+    });
+    let cluster_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    std::fs::write(
+        cluster_path,
+        format!("{}\n", serde_json::to_string_pretty(&cluster_json).unwrap()),
+    )
+    .expect("write cluster baseline");
+    println!("wrote {cluster_path}");
 }

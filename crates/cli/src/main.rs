@@ -9,10 +9,15 @@
 //!         [--no-cache] [--trace trace.json]
 //!         [--on-error abort|skip|black] [--max-retries N]
 //!         [--error-report errors.json]
-//! v2v serve [--addr HOST:PORT] [--cache-dir DIR] [--cache-budget BYTES]
+//! v2v serve [--addr HOST:PORT] [--workers HOST:PORT,...]
+//!           [--cache-dir DIR] [--cache-budget BYTES]
 //!           [--mem-cache-budget BYTES] [--no-share]
 //!           [--max-concurrent N] [--queue-depth N]
 //!                                     HTTP query service (see v2v-serve)
+//! v2v worker [--addr HOST:PORT] [--cache-dir DIR] ...
+//!                                     scale-out worker: renders segments
+//!                                     dispatched by a `serve --workers`
+//!                                     coordinator
 //! v2v explain <spec.json> [--analyze] [--json]   plans + rewrite trace;
 //!                                     --analyze also runs the query and
 //!                                     annotates measured per-operator metrics
@@ -75,12 +80,12 @@
 use std::process::ExitCode;
 use v2v_core::{EngineConfig, ErrorKind, V2vEngine, V2vError};
 use v2v_exec::Catalog;
-use v2v_serve::{ServeConfig, V2vServer};
+use v2v_serve::{ServeConfig, ServeRole, V2vServer};
 use v2v_spec::Spec;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--threads N] [--no-pipeline] [--no-split] [--no-cache] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--trace trace.json] [--on-error abort|skip|black] [--max-retries N] [--error-report errors.json] [--json]\n  v2v serve [--addr HOST:PORT] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--no-share] [--max-concurrent N] [--queue-depth N] [--db tables.json] [--threads N]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]"
+        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--threads N] [--no-pipeline] [--no-split] [--no-cache] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--trace trace.json] [--on-error abort|skip|black] [--max-retries N] [--error-report errors.json] [--json]\n  v2v serve [--addr HOST:PORT] [--workers HOST:PORT,...] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--no-share] [--max-concurrent N] [--queue-depth N] [--db tables.json] [--threads N]\n  v2v worker [--addr HOST:PORT] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--max-concurrent N] [--queue-depth N] [--db tables.json] [--threads N]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]"
     );
     ExitCode::from(2)
 }
@@ -236,7 +241,8 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "run" => cmd_run(&args[1..]),
-        "serve" => cmd_serve(&args[1..]),
+        "serve" => cmd_serve(&args[1..], ServeRole::Frontend),
+        "worker" => cmd_serve(&args[1..], ServeRole::Worker),
         "explain" => cmd_explain(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "info" => cmd_info(&args[1..]),
@@ -463,17 +469,39 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `v2v serve`: bind the address, then serve queries until killed.
-fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+/// `v2v serve` / `v2v worker`: bind the address, then serve until
+/// killed. The worker role is the slim daemon a `--workers`
+/// coordinator dispatches segments to.
+fn cmd_serve(args: &[String], role: ServeRole) -> Result<(), CliError> {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut cache_dir: Option<String> = None;
     let mut cache_budget = DEFAULT_CACHE_BUDGET;
     let mut mem_cache_budget = 0u64;
     let mut db_path: Option<String> = None;
-    let mut config = ServeConfig::default();
+    let mut config = ServeConfig {
+        role,
+        ..ServeConfig::default()
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                if role == ServeRole::Worker {
+                    return Err(
+                        "--workers only applies to 'v2v serve' (workers do not fan out)"
+                            .to_string()
+                            .into(),
+                    );
+                }
+                config.workers = args
+                    .get(i)
+                    .ok_or("missing value after --workers")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
             "--addr" => {
                 i += 1;
                 addr = args.get(i).ok_or("missing value after --addr")?.clone();
@@ -543,6 +571,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         config.engine.render_cache = Some(open_render_cache(dir, cache_budget, mem_cache_budget)?);
     }
     let work_sharing = config.work_sharing;
+    let workers = config.workers.clone();
     let mut server = V2vServer::new(Catalog::new()).with_config(config);
     if let Some(db_path) = db_path {
         server = server.with_database(load_database(&db_path)?);
@@ -561,6 +590,13 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     if !work_sharing {
         println!("work sharing: disabled (--no-share)");
+    }
+    match role {
+        ServeRole::Worker => println!("role: worker (renders segments for a coordinator)"),
+        ServeRole::Frontend if !workers.is_empty() => {
+            println!("workers: {}", workers.join(","));
+        }
+        ServeRole::Frontend => {}
     }
     // Serve until the process is killed.
     loop {

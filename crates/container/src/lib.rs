@@ -28,7 +28,8 @@ pub mod writer;
 pub use digest::Fnv64;
 pub use file::{read_svc, svc_from_bytes, svc_to_bytes, write_svc};
 pub use fragment::{
-    fragment_from_bytes, fragment_to_bytes, read_fragment, write_fragment, Fragment,
+    fragment_from_bytes, fragment_from_wire, fragment_to_bytes, fragment_to_wire, read_fragment,
+    write_fragment, Fragment,
 };
 pub use stream::VideoStream;
 pub use writer::StreamWriter;

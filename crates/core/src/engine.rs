@@ -5,7 +5,7 @@ use crate::EngineError;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use v2v_container::{Fnv64, VideoStream};
+use v2v_container::{Fnv64, Fragment, VideoStream};
 use v2v_data::{Database, Query};
 use v2v_exec::{
     execute_naive, execute_streaming_with, execute_traced, CacheTier, Catalog, ExecOptions,
@@ -42,6 +42,12 @@ pub struct EngineConfig {
     /// concurrent sharing. Ignored while a fault injector is
     /// configured, like the render cache.
     pub work_share: Option<Arc<FragmentFlight>>,
+    /// Remote segment dispatch hook (the serving coordinator installs
+    /// its worker pool here): keyed whole segments that miss every
+    /// local tier are offered to the hook before rendering in-process.
+    /// `None` (the default) keeps execution fully local. Like the cache
+    /// tiers, ignored while a fault injector is configured.
+    pub remote: Option<Arc<dyn v2v_exec::RemoteRenderer>>,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +58,7 @@ impl Default for EngineConfig {
             data_rewrites: true,
             render_cache: None,
             work_share: None,
+            remote: None,
         }
     }
 }
@@ -389,6 +396,7 @@ impl V2vEngine {
         } = prepared;
         let cache = fingerprint.and_then(|_| self.config.render_cache.clone());
         let flight = fingerprint.and_then(|_| self.config.work_share.clone());
+        let remote = fingerprint.and_then(|_| self.config.remote.clone());
         let timer = spans.start("execute");
         let exec_start_ns = spans.now_ns();
         let hit_start = Instant::now();
@@ -411,13 +419,15 @@ impl V2vEngine {
                 (output, trace, wall)
             }
             _ => {
-                let share_exec = fingerprint.is_some() && (cache.is_some() || flight.is_some());
+                let share_exec = fingerprint.is_some()
+                    && (cache.is_some() || flight.is_some() || remote.is_some());
                 let (output, exec_trace, wall) = if share_exec {
                     let mut exec_opts = self.config.exec.clone();
                     exec_opts.segment_cache = Some(Arc::new(SegmentCacheCtx {
                         cache: cache.clone(),
                         flight: flight.clone(),
                         keys,
+                        remote: remote.clone(),
                     }));
                     execute_traced(&physical, &self.catalog, &exec_opts)?
                 } else {
@@ -479,6 +489,52 @@ impl V2vEngine {
             spans.take(),
         );
         Ok((report, trace))
+    }
+
+    /// Renders exactly one segment of a prepared plan and returns it as
+    /// a zero-based [`Fragment`] — the worker half of the
+    /// coordinator/worker protocol.
+    ///
+    /// The carved sub-plan preserves the parent plan's domain instants
+    /// ([`PhysicalPlan::carve_segment`]), and every render evaluates
+    /// programs at absolute domain instants with a fresh encoder per
+    /// output GOP, so the fragment's packets are byte-identical to what
+    /// a full local run would encode for that segment. The engine's own
+    /// cache tiers and in-flight registry are consulted and warmed
+    /// through the normal segment-cache path, so a worker that renders
+    /// the same key twice serves the repeat from its cache.
+    pub fn render_segment_fragment(
+        &mut self,
+        prepared: &PreparedRun,
+        seg_index: usize,
+    ) -> Result<(Fragment, ExecStats), EngineError> {
+        let sub = prepared
+            .physical
+            .carve_segment(seg_index)
+            .ok_or(EngineError::SegmentIndex {
+                index: seg_index,
+                count: prepared.physical.segments.len(),
+            })?;
+        let key = prepared.keys.get(seg_index).copied().flatten();
+        let cache = key.and_then(|_| self.config.render_cache.clone());
+        let flight = key.and_then(|_| self.config.work_share.clone());
+        let mut exec_opts = self.config.exec.clone();
+        if key.is_some() && (cache.is_some() || flight.is_some()) {
+            // The carved plan has one segment at index 0; hand it the
+            // parent's key (segment keys are position-independent, so
+            // the carve preserves the content address). Never install a
+            // remote hook here — a worker must not re-dispatch.
+            exec_opts.segment_cache = Some(Arc::new(SegmentCacheCtx {
+                cache,
+                flight,
+                keys: vec![key],
+                remote: None,
+            }));
+        } else {
+            exec_opts.segment_cache = None;
+        }
+        let (output, exec_trace, _) = execute_traced(&sub, &self.catalog, &exec_opts)?;
+        Ok((Fragment::from_stream(&output), exec_trace.totals))
     }
 
     /// Full pipeline with on-demand streaming delivery: packets reach

@@ -203,6 +203,7 @@ fn engine_kind(e: &EngineError) -> ErrorKind {
         EngineError::Check(_) => ErrorKind::Plan,
         EngineError::Bind { .. } | EngineError::VideoBind { .. } => ErrorKind::NotFound,
         EngineError::Plan(_) => ErrorKind::Plan,
+        EngineError::SegmentIndex { .. } => ErrorKind::InvalidRequest,
         EngineError::Exec(x) => exec_kind(x),
     }
 }

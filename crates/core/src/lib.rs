@@ -69,6 +69,15 @@ pub enum EngineError {
         /// Why resolution failed.
         reason: String,
     },
+    /// A per-segment render request named a segment the plan does not
+    /// have (coordinator/worker plan mismatch).
+    #[error("segment index {index} out of range for a {count}-segment plan")]
+    SegmentIndex {
+        /// The requested segment index.
+        index: usize,
+        /// Segments in the prepared plan.
+        count: usize,
+    },
     /// Planning failed.
     #[error(transparent)]
     Plan(#[from] v2v_plan::PlanError),

@@ -19,14 +19,23 @@
 //! Failure is not sticky: an owner that errors (or panics — the guard
 //! publishes on drop) releases the key with no fragment, and every
 //! waiter falls back to rendering locally.
+//!
+//! Concurrency: the slot map is split into `SHARD_COUNT` lock shards
+//! (each with its own condvar) keyed by the low bits of the fragment
+//! key, so claims on distinct keys rarely touch the same lock and a
+//! publish only wakes the waiters of its own shard.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use v2v_container::Fragment;
 
+/// Number of lock shards. Fragment keys are FNV fingerprints, so the
+/// low bits are already well mixed.
+const SHARD_COUNT: usize = 8;
+
 enum SlotState {
-    /// The owner is rendering; waiters block on the condvar.
+    /// The owner is rendering; waiters block on the shard's condvar.
     Rendering,
     /// The owner finished. `None` means it failed and waiters must
     /// render locally.
@@ -46,15 +55,35 @@ struct Inner {
     slots: HashMap<u64, Slot>,
 }
 
+#[derive(Default)]
+struct Shard {
+    inner: Mutex<Inner>,
+    done: Condvar,
+}
+
+impl Shard {
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 /// Exactly-once publish/subscribe on fragment keys, shared across every
 /// engine run that participates in work sharing (one instance per
 /// daemon).
-#[derive(Default)]
 pub struct FragmentFlight {
-    inner: Mutex<Inner>,
-    done: Condvar,
+    shards: Vec<Shard>,
     published: AtomicU64,
     shared: AtomicU64,
+}
+
+impl Default for FragmentFlight {
+    fn default() -> FragmentFlight {
+        FragmentFlight {
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            published: AtomicU64::new(0),
+            shared: AtomicU64::new(0),
+        }
+    }
 }
 
 impl std::fmt::Debug for FragmentFlight {
@@ -117,8 +146,8 @@ impl FragmentFlight {
         FragmentFlight::default()
     }
 
-    fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    fn shard(&self, key: u64) -> &Shard {
+        &self.shards[(key % SHARD_COUNT as u64) as usize]
     }
 
     /// Fragments published by owners so far.
@@ -133,18 +162,24 @@ impl FragmentFlight {
 
     /// Keys currently being rendered by an owner.
     pub fn inflight(&self) -> usize {
-        self.lock()
-            .slots
-            .values()
-            .filter(|s| matches!(s.state, SlotState::Rendering))
-            .count()
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lock()
+                    .slots
+                    .values()
+                    .filter(|s| matches!(s.state, SlotState::Rendering))
+                    .count()
+            })
+            .sum()
     }
 
     /// True while another worker owns `key` — used by the scheduler to
     /// defer a task that would only block, and by tests to synchronize.
     pub fn is_inflight(&self, key: u64) -> bool {
         matches!(
-            self.lock().slots.get(&key).map(|s| &s.state),
+            self.shard(key).lock().slots.get(&key).map(|s| &s.state),
             Some(SlotState::Rendering)
         )
     }
@@ -153,7 +188,8 @@ impl FragmentFlight {
     /// callers block until the owner publishes and receive the shared
     /// fragment.
     pub fn claim(&self, key: u64) -> Claim<'_> {
-        let mut inner = self.lock();
+        let shard = self.shard(key);
+        let mut inner = shard.lock();
         loop {
             match inner.slots.get_mut(&key) {
                 None => {
@@ -180,7 +216,7 @@ impl FragmentFlight {
                     }
                     SlotState::Rendering => {
                         slot.waiters += 1;
-                        inner = self
+                        inner = shard
                             .done
                             .wait(inner)
                             .unwrap_or_else(PoisonError::into_inner);
@@ -213,7 +249,8 @@ impl FragmentFlight {
     /// Marks `key` done and wakes every waiter. With no waiters the
     /// slot is removed immediately (latecomers go to the disk tier).
     fn release(&self, key: u64, frag: Option<Arc<Fragment>>) {
-        let mut inner = self.lock();
+        let shard = self.shard(key);
+        let mut inner = shard.lock();
         if let Some(slot) = inner.slots.get_mut(&key) {
             if slot.waiters == 0 {
                 inner.slots.remove(&key);
@@ -222,7 +259,7 @@ impl FragmentFlight {
             }
         }
         drop(inner);
-        self.done.notify_all();
+        shard.done.notify_all();
     }
 }
 
@@ -311,6 +348,26 @@ mod tests {
         };
         assert_eq!(flight.inflight(), 2);
         a.publish(sample_fragment(1));
+        b.publish(sample_fragment(2));
+        assert_eq!(flight.inflight(), 0);
+    }
+
+    #[test]
+    fn same_shard_keys_share_a_lock_without_interference() {
+        // Keys 8 apart land in the same shard; claims must still be
+        // independent per key.
+        let flight = FragmentFlight::new();
+        let Claim::Owner(a) = flight.claim(16) else {
+            panic!("own 16");
+        };
+        let Claim::Owner(b) = flight.claim(24) else {
+            panic!("own 24");
+        };
+        assert!(flight.is_inflight(16));
+        assert!(flight.is_inflight(24));
+        a.publish(sample_fragment(1));
+        assert!(!flight.is_inflight(16));
+        assert!(flight.is_inflight(24));
         b.publish(sample_fragment(2));
         assert_eq!(flight.inflight(), 0);
     }

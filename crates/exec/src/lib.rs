@@ -29,6 +29,7 @@ pub mod flight;
 pub mod gop_cache;
 pub mod mem_tier;
 pub mod naive;
+pub mod remote;
 pub mod render_cache;
 pub mod scheduler;
 pub mod streaming;
@@ -43,6 +44,7 @@ pub use flight::{Claim, FlightGuard, FragmentFlight};
 pub use gop_cache::{GopCache, GopFrames};
 pub use mem_tier::MemTier;
 pub use naive::execute_naive;
+pub use remote::RemoteRenderer;
 pub use render_cache::{CacheStats, CacheTier, RenderCache, SegmentCacheCtx};
 pub use scheduler::{segment_cost, PartOutput, SchedReport};
 pub use streaming::{execute_streaming, execute_streaming_with, StreamingStats};

@@ -20,31 +20,43 @@
 //!   on disk (or is re-renderable); it can be dropped at any time
 //!   without correctness impact, and a poisoned lock is recovered, not
 //!   propagated.
+//!
+//! Concurrency: the map is split into `SHARD_COUNT` lock shards keyed
+//! by entry name, so concurrent hits on distinct entries never contend.
+//! LRU stamps and the byte total are global atomics — eviction still
+//! picks the globally least-recently-used entry (it scans the shards,
+//! which is fine because eviction is rare next to the hit path).
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use v2v_container::Fragment;
 
-/// Ghost (non-resident) frequency counters are bounded so an endless
-/// stream of distinct keys cannot grow the map without limit; when the
-/// cap is hit the counters reset, which only delays promotions.
-const MAX_GHOSTS: usize = 65_536;
+/// Number of lock shards. A small power of two: enough that a handful
+/// of serving threads hammering the hit path rarely collide, small
+/// enough that the eviction scan stays trivial.
+const SHARD_COUNT: usize = 8;
+
+/// Ghost (non-resident) frequency counters are bounded per shard so an
+/// endless stream of distinct keys cannot grow the maps without limit;
+/// when a shard's cap is hit its counters reset, which only delays
+/// promotions.
+const MAX_GHOSTS_PER_SHARD: usize = 65_536 / SHARD_COUNT;
 
 struct MemEntry {
     frag: Arc<Fragment>,
     bytes: u64,
-    /// Last-touch stamp for LRU eviction.
+    /// Last-touch stamp (from the tier-global counter) for LRU
+    /// eviction.
     stamp: u64,
 }
 
 #[derive(Default)]
-struct Inner {
+struct Shard {
     resident: HashMap<String, MemEntry>,
     /// Access counts for keys not (yet) resident.
     ghosts: HashMap<String, u32>,
-    total_bytes: u64,
-    next_stamp: u64,
 }
 
 /// A byte-budgeted, frequency-promoted, in-memory fragment cache.
@@ -55,7 +67,9 @@ struct Inner {
 pub struct MemTier {
     budget_bytes: u64,
     promote_after: u32,
-    inner: Mutex<Inner>,
+    shards: Vec<Mutex<Shard>>,
+    total_bytes: AtomicU64,
+    next_stamp: AtomicU64,
     hits: AtomicU64,
     evictions: AtomicU64,
     promotions: AtomicU64,
@@ -85,15 +99,29 @@ impl MemTier {
         MemTier {
             budget_bytes,
             promote_after: promote_after.max(1),
-            inner: Mutex::new(Inner::default()),
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            total_bytes: AtomicU64::new(0),
+            next_stamp: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             promotions: AtomicU64::new(0),
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    fn shard(&self, name: &str) -> MutexGuard<'_, Shard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut h);
+        self.shards[(h.finish() as usize) % SHARD_COUNT]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_shard(&self, index: usize) -> MutexGuard<'_, Shard> {
+        self.shards[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The configured byte budget.
@@ -118,12 +146,14 @@ impl MemTier {
 
     /// Bytes currently resident.
     pub fn bytes_held(&self) -> u64 {
-        self.lock().total_bytes
+        self.total_bytes.load(Ordering::Relaxed)
     }
 
     /// Resident entry count.
     pub fn entries(&self) -> usize {
-        self.lock().resident.len()
+        (0..SHARD_COUNT)
+            .map(|i| self.lock_shard(i).resident.len())
+            .sum()
     }
 
     /// Accesses required before a key becomes resident.
@@ -135,15 +165,14 @@ impl MemTier {
     /// counts one ghost access so a later [`admit`](MemTier::admit) can
     /// decide on promotion.
     pub fn get(&self, name: &str) -> Option<Arc<Fragment>> {
-        let mut inner = self.lock();
-        inner.next_stamp += 1;
-        let stamp = inner.next_stamp;
-        if let Some(e) = inner.resident.get_mut(name) {
+        let stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut shard = self.shard(name);
+        if let Some(e) = shard.resident.get_mut(name) {
             e.stamp = stamp;
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Some(Arc::clone(&e.frag));
         }
-        Self::bump_ghost(&mut inner, name);
+        Self::bump_ghost(&mut shard, name);
         None
     }
 
@@ -155,60 +184,80 @@ impl MemTier {
         if self.budget_bytes == 0 || bytes > self.budget_bytes {
             return;
         }
-        let mut inner = self.lock();
-        if inner.resident.contains_key(name) {
-            return;
+        {
+            let mut shard = self.shard(name);
+            if shard.resident.contains_key(name) {
+                return;
+            }
+            let freq = shard.ghosts.get(name).copied().unwrap_or(0);
+            if freq < self.promote_after {
+                return;
+            }
+            shard.ghosts.remove(name);
+            let stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed) + 1;
+            shard.resident.insert(
+                name.to_string(),
+                MemEntry {
+                    frag: Arc::clone(frag),
+                    bytes,
+                    stamp,
+                },
+            );
         }
-        let freq = inner.ghosts.get(name).copied().unwrap_or(0);
-        if freq < self.promote_after {
-            return;
-        }
-        inner.ghosts.remove(name);
-        inner.next_stamp += 1;
-        let stamp = inner.next_stamp;
-        inner.resident.insert(
-            name.to_string(),
-            MemEntry {
-                frag: Arc::clone(frag),
-                bytes,
-                stamp,
-            },
-        );
-        inner.total_bytes += bytes;
+        self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.promotions.fetch_add(1, Ordering::Relaxed);
-        self.evict_to_budget(&mut inner, name);
+        self.evict_to_budget(name);
     }
 
     /// Drops `name` if resident — called when the disk tier evicts or
     /// replaces the entry so the tiers cannot serve diverging bytes.
     pub fn invalidate(&self, name: &str) {
-        let mut inner = self.lock();
-        if let Some(old) = inner.resident.remove(name) {
-            inner.total_bytes -= old.bytes;
+        let mut shard = self.shard(name);
+        if let Some(old) = shard.resident.remove(name) {
+            self.total_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
         }
-        inner.ghosts.remove(name);
+        shard.ghosts.remove(name);
     }
 
-    fn bump_ghost(inner: &mut Inner, name: &str) {
-        if inner.ghosts.len() >= MAX_GHOSTS && !inner.ghosts.contains_key(name) {
-            inner.ghosts.clear();
+    fn bump_ghost(shard: &mut Shard, name: &str) {
+        if shard.ghosts.len() >= MAX_GHOSTS_PER_SHARD && !shard.ghosts.contains_key(name) {
+            shard.ghosts.clear();
         }
-        *inner.ghosts.entry(name.to_string()).or_insert(0) += 1;
+        *shard.ghosts.entry(name.to_string()).or_insert(0) += 1;
     }
 
-    fn evict_to_budget(&self, inner: &mut Inner, keep: &str) {
-        while inner.total_bytes > self.budget_bytes {
-            let victim = inner
-                .resident
-                .iter()
-                .filter(|(name, _)| name.as_str() != keep)
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(name, _)| name.clone());
-            let Some(victim) = victim else { break };
-            if let Some(old) = inner.resident.remove(&victim) {
-                inner.total_bytes -= old.bytes;
+    /// Evicts globally least-recently-stamped entries until the total
+    /// fits the budget, never evicting `keep` (the just-admitted
+    /// entry). Shards are locked one at a time; an entry retouched
+    /// between the scan and the removal is hot again and spared.
+    fn evict_to_budget(&self, keep: &str) {
+        while self.total_bytes.load(Ordering::Relaxed) > self.budget_bytes {
+            let mut victim: Option<(usize, String, u64)> = None;
+            for i in 0..SHARD_COUNT {
+                let shard = self.lock_shard(i);
+                for (name, e) in &shard.resident {
+                    if name.as_str() == keep {
+                        continue;
+                    }
+                    let better = victim
+                        .as_ref()
+                        .map_or(true, |(_, _, stamp)| e.stamp < *stamp);
+                    if better {
+                        victim = Some((i, name.clone(), e.stamp));
+                    }
+                }
             }
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            let Some((i, name, stamp)) = victim else {
+                break;
+            };
+            let mut shard = self.lock_shard(i);
+            let untouched = shard.resident.get(&name).is_some_and(|e| e.stamp == stamp);
+            if untouched {
+                if let Some(old) = shard.resident.remove(&name) {
+                    self.total_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 }
@@ -314,5 +363,27 @@ mod tests {
         assert!(tier.get("seg-a").is_none());
         tier.admit("seg-a", &f, b);
         assert_eq!(tier.entries(), 0);
+    }
+
+    #[test]
+    fn concurrent_hits_on_distinct_entries() {
+        let tier = MemTier::with_promote_after(1 << 24, 1);
+        let names: Vec<String> = (0..16).map(|i| format!("seg-{i}")).collect();
+        for name in &names {
+            let (f, b) = frag(4, 7);
+            assert!(tier.get(name).is_none());
+            tier.admit(name, &f, b);
+        }
+        std::thread::scope(|scope| {
+            for name in &names {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        assert!(tier.get(name).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(tier.hits(), 16 * 200);
+        assert_eq!(tier.entries(), 16);
     }
 }

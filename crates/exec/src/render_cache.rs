@@ -68,6 +68,10 @@ pub struct CacheStats {
     /// `segment_hits`; this field attributes the tier.
     #[serde(default)]
     pub mem_hits: u64,
+    /// Segments whose fragments were produced by a remote worker
+    /// (coordinator dispatch) instead of rendered in-process.
+    #[serde(default)]
+    pub remote_segments: u64,
 }
 
 impl CacheStats {
@@ -80,6 +84,7 @@ impl CacheStats {
         self.inflight_hits += other.inflight_hits;
         self.shared_segment_hits += other.shared_segment_hits;
         self.mem_hits += other.mem_hits;
+        self.remote_segments += other.remote_segments;
         self
     }
 }
@@ -411,6 +416,10 @@ pub struct SegmentCacheCtx {
     pub flight: Option<Arc<FragmentFlight>>,
     /// Per-segment keys from [`v2v_plan::fingerprint::segment_keys`].
     pub keys: Vec<Option<u64>>,
+    /// Optional remote dispatch hook (coordinator role): consulted for
+    /// keyed whole segments that miss every local tier, before the
+    /// in-process render.
+    pub remote: Option<Arc<dyn crate::remote::RemoteRenderer>>,
 }
 
 impl SegmentCacheCtx {

@@ -591,6 +591,38 @@ fn load_cached_part(
     Some((part_from_fragment(ctx, &frag, stats), frag))
 }
 
+/// Asks the remote dispatch hook for this segment's fragment. The
+/// transport is responsible for digest verification; here the fragment
+/// is additionally shape-checked against the plan, persisted to the
+/// local cache (so the coordinator's own tiers warm up for the next
+/// query), and attributed as a remote segment. `None` on any failure —
+/// the caller falls back to an in-process render.
+fn remote_part(
+    ctx: &PartCtx<'_>,
+    sc: &SegmentCacheCtx,
+    key: u64,
+) -> Option<(PartOutput, Arc<v2v_container::Fragment>)> {
+    let remote = sc.remote.as_deref()?;
+    let cost = segment_cost(ctx.plan, ctx.seg);
+    let frag = remote.render_remote(ctx.seg_index, key, cost)?;
+    if !fragment_matches(ctx, &frag) {
+        return None;
+    }
+    let frag = Arc::new(frag);
+    let stats = CacheStats {
+        remote_segments: 1,
+        bytes_reused: frag.byte_size(),
+        ..Default::default()
+    };
+    let mut part = part_from_fragment(ctx, &frag, stats);
+    if let Some(cache) = sc.cache.as_deref() {
+        if cache.store_segment(key, &frag).is_ok() {
+            part.cache_stored = true;
+        }
+    }
+    Some((part, frag))
+}
+
 /// Renders one segment range, sharing work through the segment-cache
 /// context when the range is a whole keyed segment.
 ///
@@ -632,8 +664,12 @@ fn render_segment(
     };
     let Some(flight) = sc.flight.as_deref() else {
         // No concurrent sharing (one-shot `v2v run`): memory/disk tiers,
-        // then a fresh render that may split under the probe.
+        // then remote dispatch, then a fresh render that may split under
+        // the probe.
         if let Some((part, _)) = load_cached_part(ctx, sc, key) {
+            return Ok(part);
+        }
+        if let Some((part, _)) = remote_part(ctx, sc, key) {
             return Ok(part);
         }
         return render_fresh(
@@ -650,6 +686,13 @@ fn render_segment(
     match flight.claim(key) {
         Claim::Owner(guard) => {
             if let Some((part, frag)) = load_cached_part(ctx, sc, key) {
+                guard.publish(frag);
+                return Ok(part);
+            }
+            // Remote dispatch before a local render: the received
+            // fragment is stored to disk first (inside `remote_part`),
+            // so the store-before-publish invariant holds here too.
+            if let Some((part, frag)) = remote_part(ctx, sc, key) {
                 guard.publish(frag);
                 return Ok(part);
             }

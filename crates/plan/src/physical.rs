@@ -103,6 +103,33 @@ impl PhysicalPlan {
         self.domain_start + self.frame_dur * Rational::from_int(i as i64)
     }
 
+    /// Carves segment `seg_index` out as a standalone single-segment
+    /// plan, preserving the domain instants the segment's frames are
+    /// evaluated at.
+    ///
+    /// The carved plan starts its output at frame 0 but shifts
+    /// `domain_start` to `instant_of(seg.out_start)`, so frame `k` of
+    /// the sub-plan sees exactly the domain instant frame
+    /// `seg.out_start + k` of the parent plan sees. Programs and data
+    /// expressions are pure functions of the domain instant, which is
+    /// what makes a remotely rendered carve byte-identical to the local
+    /// render of the same segment.
+    pub fn carve_segment(&self, seg_index: usize) -> Option<PhysicalPlan> {
+        let seg = self.segments.get(seg_index)?;
+        Some(PhysicalPlan {
+            segments: vec![Segment {
+                out_start: 0,
+                count: seg.count,
+                plan: seg.plan.clone(),
+            }],
+            out_params: self.out_params,
+            frame_dur: self.frame_dur,
+            domain_start: self.instant_of(seg.out_start),
+            n_frames: seg.count,
+            stats: PlanStats::default(),
+        })
+    }
+
     /// Fraction of output frames served by stream copy.
     pub fn copy_fraction(&self) -> f64 {
         if self.n_frames == 0 {
@@ -195,6 +222,48 @@ mod tests {
             stats: PlanStats::default(),
         };
         assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn carve_preserves_domain_instants() {
+        let plan = PhysicalPlan {
+            segments: vec![
+                Segment {
+                    out_start: 0,
+                    count: 5,
+                    plan: SegPlan::StreamCopy {
+                        video: "a".into(),
+                        src_from: 0,
+                        src_to: 5,
+                    },
+                },
+                Segment {
+                    out_start: 5,
+                    count: 5,
+                    plan: SegPlan::StreamCopy {
+                        video: "a".into(),
+                        src_from: 5,
+                        src_to: 10,
+                    },
+                },
+            ],
+            out_params: params(),
+            frame_dur: r(1, 30),
+            domain_start: r(7, 2),
+            n_frames: 10,
+            stats: PlanStats::default(),
+        };
+        let sub = plan.carve_segment(1).unwrap();
+        assert!(sub.validate().is_ok());
+        assert_eq!(sub.n_frames, 5);
+        assert_eq!(sub.segments.len(), 1);
+        assert_eq!(sub.segments[0].out_start, 0);
+        // Frame k of the carve sees the same domain instant as frame
+        // out_start + k of the parent.
+        for k in 0..5 {
+            assert_eq!(sub.instant_of(k), plan.instant_of(5 + k));
+        }
+        assert!(plan.carve_segment(2).is_none());
     }
 
     #[test]

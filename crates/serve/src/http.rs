@@ -195,6 +195,7 @@ pub fn write_response(stream: &mut impl Write, resp: &Response) -> io::Result<()
 /// anyone driving a `v2v serve` daemon from Rust.
 pub mod client {
     use super::*;
+    use std::time::Duration;
 
     /// Sends one request and reads the full response.
     pub fn request(
@@ -203,7 +204,33 @@ pub mod client {
         path: &str,
         body: &[u8],
     ) -> io::Result<Response> {
-        let mut stream = TcpStream::connect(addr)?;
+        exchange(TcpStream::connect(addr)?, addr, method, path, body)
+    }
+
+    /// [`request`] with a deadline: the connect, every write, and every
+    /// read each time out after `timeout`, so a dead or wedged peer
+    /// costs a bounded wait instead of hanging the caller. Used by the
+    /// coordinator to dispatch segments to workers.
+    pub fn request_timeout(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        timeout: Duration,
+    ) -> io::Result<Response> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        exchange(stream, addr, method, path, body)
+    }
+
+    fn exchange(
+        mut stream: TcpStream,
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> io::Result<Response> {
         write!(stream, "{method} {path} HTTP/1.1\r\n")?;
         write!(stream, "host: {addr}\r\n")?;
         write!(stream, "content-length: {}\r\n", body.len())?;

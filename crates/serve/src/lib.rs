@@ -51,9 +51,11 @@
 //! carry the live queue picture (`queue_depth`, `queue_limit`,
 //! `retry_after_secs`) in the error body.
 
+pub mod cluster;
 pub mod http;
 pub mod share;
 
+use cluster::{PoolRemote, WorkerPool};
 use http::{read_request, write_response, Request, Response};
 use share::{InflightRegistry, Join, LeaderGuard, QueryOutcome, SharedError};
 use std::io::BufReader;
@@ -65,8 +67,31 @@ use std::time::Instant;
 use v2v_core::{EngineConfig, ErrorKind, PreparedRun, V2vEngine, V2vError};
 use v2v_data::Database;
 use v2v_exec::{Catalog, ExecStats, FragmentFlight, RenderCache};
-use v2v_obs::Registry;
+use v2v_obs::{Counter, Gauge, Histogram, Registry};
 use v2v_spec::Spec;
+
+/// Which side of the scale-out protocol this daemon plays.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeRole {
+    /// The coordinator: accepts `POST /query`, carves admitted plans at
+    /// segment boundaries, and (when [`ServeConfig::workers`] is
+    /// non-empty) dispatches keyed segments to workers.
+    #[default]
+    Frontend,
+    /// A worker: the slim role exposing only `POST /render-segment`,
+    /// `GET /fragment/<key>`, `GET /status`, and `GET /metrics`.
+    /// Workers never dispatch further — fan-out is one level deep.
+    Worker,
+}
+
+impl ServeRole {
+    fn name(self) -> &'static str {
+        match self {
+            ServeRole::Frontend => "frontend",
+            ServeRole::Worker => "worker",
+        }
+    }
+}
 
 /// Serving configuration.
 #[derive(Clone, Debug)]
@@ -83,6 +108,12 @@ pub struct ServeConfig {
     /// this off makes every request execute independently — the
     /// baseline arm benchmarks compare against.
     pub work_sharing: bool,
+    /// Coordinator or worker (see [`ServeRole`]).
+    pub role: ServeRole,
+    /// Worker addresses (`host:port`) this coordinator dispatches
+    /// segments to. Empty means everything renders locally. Ignored in
+    /// the worker role.
+    pub workers: Vec<String>,
     /// Engine configuration every job runs under. Set
     /// `engine.render_cache` to share a persistent cache across jobs.
     pub engine: EngineConfig,
@@ -95,6 +126,8 @@ impl Default for ServeConfig {
             queue_depth: 16,
             retry_after_secs: 1,
             work_sharing: true,
+            role: ServeRole::Frontend,
+            workers: Vec::new(),
             engine: EngineConfig::default(),
         }
     }
@@ -166,6 +199,70 @@ impl JobGate {
     }
 }
 
+/// Metric handles resolved once at startup. `Registry` lookups take a
+/// map lock per call; on the warm path at high client counts those
+/// lookups (a dozen per request) serialized otherwise-independent
+/// requests, so the hot counters are resolved here and each update is
+/// a single uncontended atomic add.
+struct Metrics {
+    requests: Arc<Counter>,
+    jobs_done: Arc<Counter>,
+    jobs_failed: Arc<Counter>,
+    jobs_rejected: Arc<Counter>,
+    inflight_hits: Arc<Counter>,
+    segments_rendered: Arc<Counter>,
+    active_jobs: Arc<Gauge>,
+    job_wall_ns: Arc<Histogram>,
+    queue_wait_ns: Arc<Histogram>,
+    exec: ExecMetrics,
+}
+
+/// Pre-resolved `exec.*` counters mirrored from each run's stats.
+struct ExecMetrics {
+    frames_decoded: Arc<Counter>,
+    frames_encoded: Arc<Counter>,
+    bytes_decoded: Arc<Counter>,
+    packets_copied: Arc<Counter>,
+    result_hits: Arc<Counter>,
+    segment_hits: Arc<Counter>,
+    evictions: Arc<Counter>,
+    bytes_reused: Arc<Counter>,
+    inflight_hits: Arc<Counter>,
+    shared_segment_hits: Arc<Counter>,
+    mem_hits: Arc<Counter>,
+    remote_segments: Arc<Counter>,
+}
+
+impl Metrics {
+    fn new(registry: &Registry) -> Metrics {
+        Metrics {
+            requests: registry.counter("serve.requests"),
+            jobs_done: registry.counter("serve.jobs_done"),
+            jobs_failed: registry.counter("serve.jobs_failed"),
+            jobs_rejected: registry.counter("serve.jobs_rejected"),
+            inflight_hits: registry.counter("serve.inflight_hits"),
+            segments_rendered: registry.counter("serve.segments_rendered"),
+            active_jobs: registry.gauge("serve.active_jobs"),
+            job_wall_ns: registry.histogram("serve.job_wall_ns"),
+            queue_wait_ns: registry.histogram("serve.queue_wait_ns"),
+            exec: ExecMetrics {
+                frames_decoded: registry.counter("exec.frames_decoded"),
+                frames_encoded: registry.counter("exec.frames_encoded"),
+                bytes_decoded: registry.counter("exec.bytes_decoded"),
+                packets_copied: registry.counter("exec.packets_copied"),
+                result_hits: registry.counter("exec.cache.result_hits"),
+                segment_hits: registry.counter("exec.cache.segment_hits"),
+                evictions: registry.counter("exec.cache.evictions"),
+                bytes_reused: registry.counter("exec.cache.bytes_reused"),
+                inflight_hits: registry.counter("exec.cache.inflight_hits"),
+                shared_segment_hits: registry.counter("exec.cache.shared_segment_hits"),
+                mem_hits: registry.counter("exec.cache.mem_hits"),
+                remote_segments: registry.counter("exec.remote.segments"),
+            },
+        }
+    }
+}
+
 /// State shared by the accept loop and every connection thread.
 struct Shared {
     catalog: Catalog,
@@ -173,12 +270,15 @@ struct Shared {
     config: ServeConfig,
     gate: JobGate,
     registry: Registry,
+    metrics: Metrics,
     /// Whole-response single-flight by plan fingerprint.
     inflight: InflightRegistry,
     /// Segment-level publish/subscribe shared by every engine this
     /// daemon builds, so overlapping renders produce each common
     /// segment exactly once.
     flight: Arc<FragmentFlight>,
+    /// The worker pool, present on a frontend with configured workers.
+    pool: Option<Arc<WorkerPool>>,
     jobs_done: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_rejected: AtomicU64,
@@ -225,14 +325,22 @@ impl V2vServer {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let gate = JobGate::new(self.config.max_concurrent, self.config.queue_depth);
+        let pool = match (self.config.role, self.config.workers.is_empty()) {
+            (ServeRole::Frontend, false) => Some(Arc::new(WorkerPool::new(&self.config.workers)?)),
+            _ => None,
+        };
+        let registry = Registry::new();
+        let metrics = Metrics::new(&registry);
         let shared = Arc::new(Shared {
             catalog: self.catalog,
             database: self.database,
             config: self.config,
             gate,
-            registry: Registry::new(),
+            registry,
+            metrics,
             inflight: InflightRegistry::new(),
             flight: Arc::new(FragmentFlight::new()),
+            pool,
             jobs_done: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
@@ -327,15 +435,114 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 }
 
 fn route(req: &Request, shared: &Shared) -> Response {
-    shared.registry.counter("serve.requests").inc();
+    shared.metrics.requests.inc();
+    let worker = shared.config.role == ServeRole::Worker;
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/query") => handle_query(req, shared),
+        // The worker role is slim by contract: it renders segments for
+        // coordinators, it does not accept top-level queries.
+        ("POST", "/query") if !worker => handle_query(req, shared),
+        ("POST", "/render-segment") => handle_render_segment(req, shared),
+        ("GET", path) if path.strip_prefix("/fragment/").is_some() => handle_fragment(path, shared),
         ("GET", "/status") => handle_status(shared),
         ("GET", "/metrics") => Response::json(200, &shared.registry.snapshot()),
         ("GET", _) | ("POST", _) => {
             error_response(404, "not_found", &format!("no route {}", req.path))
         }
         (m, _) => error_response(405, "invalid_request", &format!("method {m} not allowed")),
+    }
+}
+
+/// A coordinator's request: render one keyed segment of the embedded
+/// spec and return the fragment in wire framing.
+#[derive(serde::Deserialize)]
+struct RenderSegmentRequest {
+    /// The full spec, verbatim from the coordinator's client.
+    spec: serde_json::Value,
+    /// Index of the segment to render in the prepared physical plan.
+    seg_index: usize,
+    /// Expected fragment key (hex), cross-checked against the plan the
+    /// worker derives — a mismatch means coordinator and worker do not
+    /// agree on the plan and the dispatch must not be trusted.
+    key: String,
+}
+
+fn handle_render_segment(req: &Request, shared: &Shared) -> Response {
+    let parsed: RenderSegmentRequest = match serde_json::from_slice(&req.body) {
+        Ok(p) => p,
+        Err(e) => {
+            return error_response(400, "invalid_request", &format!("bad render request: {e}"))
+        }
+    };
+    let Ok(key) = u64::from_str_radix(&parsed.key, 16) else {
+        return error_response(400, "invalid_request", "key is not a hex u64");
+    };
+    let spec_bytes = match serde_json::to_vec(&parsed.spec) {
+        Ok(b) => b,
+        Err(e) => return error_response(400, "invalid_request", &format!("bad spec: {e}")),
+    };
+    let prepared = match prepare_query(&spec_bytes, shared) {
+        Ok(p) => p,
+        Err(e) => return error_response(status_for(e.kind()), e.kind().name(), &e.to_string()),
+    };
+    // The segment key is content-derived, so equality proves both sides
+    // planned the same segment over the same sources.
+    if prepared.run.segment_keys().get(parsed.seg_index).copied() != Some(Some(key)) {
+        return error_response(
+            422,
+            "corrupt_data",
+            &format!(
+                "segment {} key mismatch: worker plan disagrees with coordinator",
+                parsed.seg_index
+            ),
+        );
+    }
+    if !shared.gate.enter() {
+        shared.metrics.jobs_rejected.inc();
+        return overload_response(shared);
+    }
+    let started = Instant::now();
+    let mut prepared = prepared;
+    let result = prepared
+        .engine
+        .render_segment_fragment(&prepared.run, parsed.seg_index);
+    shared.gate.leave();
+    shared
+        .metrics
+        .job_wall_ns
+        .record(started.elapsed().as_nanos() as u64);
+    match result {
+        Ok((frag, stats)) => {
+            shared.metrics.segments_rendered.inc();
+            record_exec_metrics(&shared.metrics.exec, &stats);
+            match v2v_container::fragment_to_wire(key, &frag) {
+                Ok(bytes) => Response::new(200, "application/octet-stream", bytes),
+                Err(e) => error_response(500, "internal", &format!("fragment encode: {e}")),
+            }
+        }
+        Err(e) => {
+            let e = v2v_core::V2vError::from(e);
+            error_response(status_for(e.kind()), e.kind().name(), &e.to_string())
+        }
+    }
+}
+
+/// Serves a cached fragment by key, in wire framing. Lets peers fetch
+/// already-rendered segments without re-rendering; a miss is a plain
+/// 404 (the caller renders or dispatches instead).
+fn handle_fragment(path: &str, shared: &Shared) -> Response {
+    let hex = path.strip_prefix("/fragment/").unwrap_or_default();
+    let Ok(key) = u64::from_str_radix(hex, 16) else {
+        return error_response(400, "invalid_request", "fragment key is not a hex u64");
+    };
+    let Some(cache) = shared.config.engine.render_cache.as_ref() else {
+        return error_response(404, "not_found", "no render cache configured");
+    };
+    match cache.load_segment_tiered(key) {
+        Some((frag, _tier)) => match v2v_container::fragment_to_wire(key, &frag) {
+            Ok(bytes) => Response::new(200, "application/octet-stream", bytes),
+            Err(e) => error_response(500, "internal", &format!("fragment encode: {e}")),
+        },
+        None => error_response(404, "not_found", &format!("no fragment {key:016x}")),
     }
 }
 
@@ -363,6 +570,7 @@ fn handle_status(shared: &Shared) -> Response {
     Response::json(
         200,
         &serde_json::json!({
+            "role": shared.config.role.name(),
             "active": active,
             "queued": queued,
             "max_concurrent": shared.config.max_concurrent,
@@ -383,6 +591,7 @@ fn handle_status(shared: &Shared) -> Response {
                 "segments_published": shared.flight.published(),
                 "segment_hits": shared.flight.shared(),
             },
+            "pool": shared.pool.as_ref().map(|p| p.status_json()),
             "cache": cache,
         }),
     )
@@ -404,7 +613,7 @@ fn handle_query(req: &Request, shared: &Shared) -> Response {
         Ok(p) => p,
         Err(e) => {
             shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            shared.registry.counter("serve.jobs_failed").inc();
+            shared.metrics.jobs_failed.inc();
             return error_response(status_for(e.kind()), e.kind().name(), &e.to_string());
         }
     };
@@ -430,7 +639,7 @@ fn run_admitted(
     let waiting = Instant::now();
     if !shared.gate.enter() {
         shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-        shared.registry.counter("serve.jobs_rejected").inc();
+        shared.metrics.jobs_rejected.inc();
         if let Some(guard) = guard {
             guard.publish(Err(SharedError {
                 status: 429,
@@ -443,22 +652,19 @@ fn run_admitted(
     let queue_wait_ns = waiting.elapsed().as_nanos() as u64;
     record_queue_wait(shared, queue_wait_ns);
     let (active, _) = shared.gate.snapshot();
-    shared
-        .registry
-        .gauge("serve.active_jobs")
-        .set(active as u64);
+    shared.metrics.active_jobs.set(active as u64);
     let started = Instant::now();
     let result = execute_prepared(prepared);
     shared.gate.leave();
     shared
-        .registry
-        .histogram("serve.job_wall_ns")
+        .metrics
+        .job_wall_ns
         .record(started.elapsed().as_nanos() as u64);
     match result {
         Ok((bytes, stats)) => {
             shared.jobs_done.fetch_add(1, Ordering::Relaxed);
-            shared.registry.counter("serve.jobs_done").inc();
-            record_exec_metrics(&shared.registry, &stats);
+            shared.metrics.jobs_done.inc();
+            record_exec_metrics(&shared.metrics.exec, &stats);
             let bytes = Arc::new(bytes);
             if let Some(guard) = guard {
                 guard.publish(Ok((Arc::clone(&bytes), stats)));
@@ -468,7 +674,7 @@ fn run_admitted(
         }
         Err(e) => {
             shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            shared.registry.counter("serve.jobs_failed").inc();
+            shared.metrics.jobs_failed.inc();
             let status = status_for(e.kind());
             let kind = e.kind().name();
             let message = e.to_string();
@@ -489,26 +695,26 @@ fn run_admitted(
 /// the stats carry only the sharing markers (this request did no
 /// work).
 fn respond_follower(shared: &Shared, outcome: &QueryOutcome) -> Response {
-    shared.registry.counter("serve.inflight_hits").inc();
+    shared.metrics.inflight_hits.inc();
     match outcome {
         Ok((bytes, _)) => {
             shared.jobs_done.fetch_add(1, Ordering::Relaxed);
-            shared.registry.counter("serve.jobs_done").inc();
+            shared.metrics.jobs_done.inc();
             let mut stats = ExecStats::default();
             stats.cache.inflight_hits = 1;
             stats.cache.bytes_reused = bytes.len() as u64;
-            record_exec_metrics(&shared.registry, &stats);
+            record_exec_metrics(&shared.metrics.exec, &stats);
             Response::new(200, "application/octet-stream", bytes.as_ref().clone())
                 .header("x-v2v-stats", stats_header(&stats, 0))
         }
         Err(e) if e.status == 429 => {
             shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-            shared.registry.counter("serve.jobs_rejected").inc();
+            shared.metrics.jobs_rejected.inc();
             overload_response(shared)
         }
         Err(e) => {
             shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            shared.registry.counter("serve.jobs_failed").inc();
+            shared.metrics.jobs_failed.inc();
             error_response(e.status, &e.kind, &e.message)
         }
     }
@@ -526,6 +732,14 @@ fn prepare_query(body: &[u8], shared: &Shared) -> Result<PreparedQuery, V2vError
     let mut config = shared.config.engine.clone();
     if shared.config.work_sharing {
         config.work_share = Some(Arc::clone(&shared.flight));
+    }
+    if let Some(pool) = &shared.pool {
+        // Coordinator: keyed segments of this query may render on
+        // workers. The spec rides along verbatim so each dispatch is
+        // self-describing.
+        if let Ok(value) = serde_json::from_str::<serde_json::Value>(text) {
+            config.remote = Some(Arc::new(PoolRemote::new(Arc::clone(pool), value)));
+        }
     }
     let mut engine = V2vEngine::new(shared.catalog.clone())
         .with_database(shared.database.clone())
@@ -545,7 +759,7 @@ fn record_queue_wait(shared: &Shared, ns: u64) {
     shared.queue_waits.fetch_add(1, Ordering::Relaxed);
     shared.queue_wait_total_ns.fetch_add(ns, Ordering::Relaxed);
     shared.queue_wait_max_ns.fetch_max(ns, Ordering::Relaxed);
-    shared.registry.histogram("serve.queue_wait_ns").record(ns);
+    shared.metrics.queue_wait_ns.record(ns);
 }
 
 /// The `x-v2v-stats` header value: the run's [`ExecStats`] JSON with
@@ -559,41 +773,22 @@ fn stats_header(stats: &ExecStats, queue_wait_ns: u64) -> String {
     serde_json::to_string(&value).unwrap_or_default()
 }
 
-/// Mirrors one run's [`ExecStats`] into the server-lifetime registry.
-fn record_exec_metrics(registry: &Registry, stats: &ExecStats) {
-    registry
-        .counter("exec.frames_decoded")
-        .add(stats.frames_decoded);
-    registry
-        .counter("exec.frames_encoded")
-        .add(stats.frames_encoded);
-    registry
-        .counter("exec.bytes_decoded")
-        .add(stats.bytes_decoded);
-    registry
-        .counter("exec.packets_copied")
-        .add(stats.packets_copied);
-    registry
-        .counter("exec.cache.result_hits")
-        .add(stats.cache.result_hits);
-    registry
-        .counter("exec.cache.segment_hits")
-        .add(stats.cache.segment_hits);
-    registry
-        .counter("exec.cache.evictions")
-        .add(stats.cache.evictions);
-    registry
-        .counter("exec.cache.bytes_reused")
-        .add(stats.cache.bytes_reused);
-    registry
-        .counter("exec.cache.inflight_hits")
-        .add(stats.cache.inflight_hits);
-    registry
-        .counter("exec.cache.shared_segment_hits")
+/// Mirrors one run's [`ExecStats`] into the server-lifetime registry
+/// through the pre-resolved handles (no per-counter map lookups).
+fn record_exec_metrics(exec: &ExecMetrics, stats: &ExecStats) {
+    exec.frames_decoded.add(stats.frames_decoded);
+    exec.frames_encoded.add(stats.frames_encoded);
+    exec.bytes_decoded.add(stats.bytes_decoded);
+    exec.packets_copied.add(stats.packets_copied);
+    exec.result_hits.add(stats.cache.result_hits);
+    exec.segment_hits.add(stats.cache.segment_hits);
+    exec.evictions.add(stats.cache.evictions);
+    exec.bytes_reused.add(stats.cache.bytes_reused);
+    exec.inflight_hits.add(stats.cache.inflight_hits);
+    exec.shared_segment_hits
         .add(stats.cache.shared_segment_hits);
-    registry
-        .counter("exec.cache.mem_hits")
-        .add(stats.cache.mem_hits);
+    exec.mem_hits.add(stats.cache.mem_hits);
+    exec.remote_segments.add(stats.cache.remote_segments);
 }
 
 /// Maps the error taxonomy onto HTTP status codes.

@@ -13,11 +13,23 @@
 //! The registry mirrors [`FragmentFlight`](v2v_exec::FragmentFlight)
 //! one layer up: leader/follower instead of owner/waiter, HTTP outcome
 //! instead of fragment.
+//!
+//! The slot map is sharded by fingerprint: every request (shared or
+//! not) takes the registry lock at least once, and at high client
+//! counts a single map mutex serialized otherwise-independent
+//! requests. Fingerprints are uniform hashes, so `fp % SHARD_COUNT`
+//! spreads them evenly; unrelated queries now contend only within
+//! their shard while duplicates of one query still meet on the same
+//! shard's lock and condvar.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use v2v_exec::ExecStats;
+
+/// Independent slot-map shards (a power of two; fingerprints are
+/// uniform, so the low bits index fairly).
+const SHARD_COUNT: usize = 8;
 
 /// The error half of a shared outcome: enough to rebuild the HTTP
 /// response for every follower.
@@ -37,6 +49,9 @@ pub struct SharedError {
 /// back-pressure the gate intended).
 pub type QueryOutcome = Result<(Arc<Vec<u8>>, ExecStats), SharedError>;
 
+// Slots are few (one per in-flight fingerprint) and short-lived, so
+// the size skew between the variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
 enum SlotState {
     Running,
     Done(QueryOutcome),
@@ -47,13 +62,33 @@ struct Slot {
     waiters: usize,
 }
 
+/// One shard: its own slot map and wake-up channel.
+#[derive(Default)]
+struct Shard {
+    slots: Mutex<HashMap<u64, Slot>>,
+    done: Condvar,
+}
+
+impl Shard {
+    fn lock(&self) -> MutexGuard<'_, HashMap<u64, Slot>> {
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 /// Registry of in-flight `POST /query` renders, keyed by plan
 /// fingerprint.
-#[derive(Default)]
 pub struct InflightRegistry {
-    inner: Mutex<HashMap<u64, Slot>>,
-    done: Condvar,
+    shards: Vec<Shard>,
     hits: AtomicU64,
+}
+
+impl Default for InflightRegistry {
+    fn default() -> Self {
+        InflightRegistry {
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            hits: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Result of [`InflightRegistry::join`].
@@ -102,8 +137,8 @@ impl InflightRegistry {
         InflightRegistry::default()
     }
 
-    fn lock(&self) -> MutexGuard<'_, HashMap<u64, Slot>> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    fn shard(&self, fingerprint: u64) -> &Shard {
+        &self.shards[(fingerprint % SHARD_COUNT as u64) as usize]
     }
 
     /// Requests coalesced into an in-flight render so far.
@@ -113,21 +148,30 @@ impl InflightRegistry {
 
     /// Fingerprints currently in flight.
     pub fn inflight(&self) -> usize {
-        self.lock()
-            .values()
-            .filter(|s| matches!(s.state, SlotState::Running))
-            .count()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .filter(|slot| matches!(slot.state, SlotState::Running))
+                    .count()
+            })
+            .sum()
     }
 
     /// Followers currently blocked on a leader.
     pub fn waiting(&self) -> usize {
-        self.lock().values().map(|s| s.waiters).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().values().map(|slot| slot.waiters).sum::<usize>())
+            .sum()
     }
 
     /// Joins the flight for `fingerprint`: the first request leads,
     /// concurrent duplicates block until the leader publishes.
     pub fn join(&self, fingerprint: u64) -> Join<'_> {
-        let mut inner = self.lock();
+        let shard = self.shard(fingerprint);
+        let mut inner = shard.lock();
         loop {
             match inner.get_mut(&fingerprint) {
                 None => {
@@ -152,7 +196,7 @@ impl InflightRegistry {
                     }
                     SlotState::Running => {
                         slot.waiters += 1;
-                        inner = self
+                        inner = shard
                             .done
                             .wait(inner)
                             .unwrap_or_else(PoisonError::into_inner);
@@ -180,7 +224,8 @@ impl InflightRegistry {
     /// followers the slot is removed immediately — a later identical
     /// request is served by the render cache, not a stale slot.
     fn release(&self, fingerprint: u64, outcome: QueryOutcome) {
-        let mut inner = self.lock();
+        let shard = self.shard(fingerprint);
+        let mut inner = shard.lock();
         if let Some(slot) = inner.get_mut(&fingerprint) {
             if slot.waiters == 0 {
                 inner.remove(&fingerprint);
@@ -189,7 +234,7 @@ impl InflightRegistry {
             }
         }
         drop(inner);
-        self.done.notify_all();
+        shard.done.notify_all();
     }
 }
 
@@ -286,5 +331,24 @@ mod tests {
         b.publish(ok_outcome(2));
         assert_eq!(reg.inflight(), 0);
         assert_eq!(reg.hits(), 0);
+    }
+
+    #[test]
+    fn same_shard_fingerprints_coalesce_independently() {
+        // 3 and 3 + SHARD_COUNT land on the same shard; each must still
+        // keep its own flight.
+        let reg = InflightRegistry::new();
+        let fp_a = 3u64;
+        let fp_b = 3u64 + SHARD_COUNT as u64;
+        let Join::Leader(a) = reg.join(fp_a) else {
+            panic!("lead a");
+        };
+        let Join::Leader(b) = reg.join(fp_b) else {
+            panic!("lead b");
+        };
+        assert_eq!(reg.inflight(), 2);
+        a.publish(ok_outcome(1));
+        b.publish(ok_outcome(2));
+        assert_eq!(reg.inflight(), 0);
     }
 }
