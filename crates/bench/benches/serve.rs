@@ -280,6 +280,185 @@ fn status_counter(addr: std::net::SocketAddr, path: &[&str]) -> u64 {
         .unwrap_or(0)
 }
 
+struct SubscribeStep {
+    frames_total: usize,
+    delta_frames: usize,
+    delta_bytes: usize,
+    full_bytes: usize,
+    delta_latency: Duration,
+    cold_latency: Duration,
+}
+
+struct SubscribeResult {
+    steps: usize,
+    initial_frames: usize,
+    rows: Vec<SubscribeStep>,
+    mean_delta_latency: Duration,
+    mean_cold_latency: Duration,
+    latency_speedup: f64,
+    delta_bytes: u64,
+    full_bytes: u64,
+    counters: serde_json::Value,
+}
+
+/// One subscription against a growing live source: delta 0 plus one
+/// delta per appended installment, each checked byte-identical to a
+/// cold one-shot run at the same source length.
+fn run_subscribe_phase(quick: bool) -> SubscribeResult {
+    use v2v_serve::sub::{read_delta, DeltaApplier, DELTA_CONTENT_TYPE};
+
+    let initial = if quick { 120 } else { 300 };
+    let step_frames = if quick { 30 } else { 60 };
+    let steps = if quick { 2 } else { 5 };
+    let total = initial + steps * step_frames;
+
+    let history = source_stream(total);
+    let prefix = |n: usize| {
+        let packets = history.copy_packet_range(0, n, history.start()).unwrap();
+        v2v_container::VideoStream::new(
+            *history.params(),
+            history.start(),
+            history.frame_dur(),
+            packets,
+        )
+        .unwrap()
+    };
+    let installment = |a: usize, b: usize| {
+        let at = history.start() + history.frame_dur() * Rational::from_int(a as i64);
+        let packets = history.copy_packet_range(a, b, at).unwrap();
+        let tail =
+            v2v_container::VideoStream::new(*history.params(), at, history.frame_dur(), packets)
+                .unwrap();
+        v2v_container::svc_to_bytes(&tail).unwrap()
+    };
+
+    // The subscribed query asks for the full eventual domain; the
+    // daemon clamps each refresh to what the source can serve yet.
+    let spec = SpecBuilder::new(marked_output())
+        .video("live", "live.svc")
+        .append_filtered("live", r(0, 1), Rational::new(total as i64, 30), |e| {
+            blur(e, 1.0)
+        })
+        .build();
+
+    // Ground truth and cold baseline: a fresh engine, no cache, full
+    // render at the given source length.
+    let cold_run = |frames: usize| -> (Vec<u8>, Duration) {
+        let mut catalog = Catalog::new();
+        catalog.add_video("live", prefix(frames));
+        let mut engine = v2v_core::V2vEngine::new(catalog);
+        engine.bind(&spec).expect("bind");
+        let mut clamped = spec.clone();
+        clamped.time_domain = v2v_spec::servable_domain(&spec, &engine.catalog().source_infos());
+        let t = Instant::now();
+        let report = engine.run(&clamped).expect("cold run");
+        let took = t.elapsed();
+        (
+            v2v_container::svc_to_bytes(&report.output).expect("seal cold run"),
+            took,
+        )
+    };
+
+    let cache_dir =
+        std::env::temp_dir().join(format!("v2v_bench_subscribe_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let mut config = ServeConfig::default();
+    config.engine.render_cache = Some(Arc::new(
+        RenderCache::open(&cache_dir, 1 << 30)
+            .expect("cache dir")
+            .with_mem_tier(64 << 20),
+    ));
+    let mut catalog = Catalog::new();
+    catalog.add_video("live", prefix(initial));
+    let mut handle = V2vServer::new(catalog)
+        .with_config(config)
+        .start("127.0.0.1:0")
+        .expect("bind");
+    let addr = handle.addr();
+
+    let mut resp = client::open_stream(addr, "POST", "/subscribe", spec.to_json().as_bytes())
+        .expect("subscribe");
+    assert_eq!(resp.status, 200, "subscribe must be accepted");
+    assert_eq!(resp.header_value("content-type"), Some(DELTA_CONTENT_TYPE));
+    resp.reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+
+    let mut applier = DeltaApplier::new();
+    let (h0, svc0) = read_delta(&mut resp.reader)
+        .expect("delta read")
+        .expect("first delta");
+    let cum = applier.apply(&h0, &svc0).expect("apply delta 0");
+    assert_eq!(cum.len(), initial);
+    let (expect, _) = cold_run(initial);
+    assert_eq!(
+        v2v_container::svc_to_bytes(cum).expect("seal"),
+        expect,
+        "delta 0 must equal a cold run at the initial length"
+    );
+
+    let mut rows = Vec::new();
+    for s in 0..steps {
+        let a = initial + s * step_frames;
+        let b = a + step_frames;
+        let body = installment(a, b);
+        let t = Instant::now();
+        let append = client::request(addr, "POST", "/append/live", &body).expect("append");
+        assert_eq!(
+            append.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&append.body)
+        );
+        let (h, svc) = read_delta(&mut resp.reader)
+            .expect("delta read")
+            .expect("growth delta");
+        let delta_latency = t.elapsed();
+        let cum = applier.apply(&h, &svc).expect("apply delta");
+        assert_eq!(cum.len(), b, "cumulative length tracks the source");
+        let cum_bytes = v2v_container::svc_to_bytes(cum).expect("seal");
+        let (cold_bytes, cold_latency) = cold_run(b);
+        assert_eq!(
+            cum_bytes, cold_bytes,
+            "cumulative after installment {s} must equal a cold run at {b} frames"
+        );
+        rows.push(SubscribeStep {
+            frames_total: b,
+            delta_frames: h.frames as usize,
+            delta_bytes: svc.len(),
+            full_bytes: cold_bytes.len(),
+            delta_latency,
+            cold_latency,
+        });
+    }
+
+    let counters = serde_json::json!({
+        "deltas": status_counter(addr, &["subscriptions", "deltas"]),
+        "renders": status_counter(addr, &["subscriptions", "renders"]),
+        "appends": status_counter(addr, &["subscriptions", "appends"]),
+        "frames_pushed": status_counter(addr, &["subscriptions", "frames_pushed"]),
+    });
+    drop(resp);
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let mean_delta_latency = mean(&rows.iter().map(|r| r.delta_latency).collect::<Vec<_>>());
+    let mean_cold_latency = mean(&rows.iter().map(|r| r.cold_latency).collect::<Vec<_>>());
+    SubscribeResult {
+        steps,
+        initial_frames: initial,
+        mean_delta_latency,
+        mean_cold_latency,
+        latency_speedup: mean_cold_latency.as_secs_f64()
+            / mean_delta_latency.as_secs_f64().max(1e-9),
+        delta_bytes: rows.iter().map(|r| r.delta_bytes as u64).sum(),
+        full_bytes: rows.iter().map(|r| r.full_bytes as u64).sum(),
+        rows,
+        counters,
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("V2V_BENCH_SCALE").is_ok_and(|s| s == "test");
@@ -542,6 +721,28 @@ fn main() {
         );
     }
 
+    // --- subscribe arm -----------------------------------------------
+    // Live growth: one subscription receives incremental deltas as the
+    // source is appended in installments; the baseline is a cold
+    // one-shot run of the same query at each intermediate length. Two
+    // signals: per-installment latency (append posted → delta fully
+    // read, which includes the watcher wake-up and the dirty-tail
+    // render) vs the cold re-render, and delta bytes on the wire vs
+    // the full result the cold run would re-ship. Every cumulative
+    // client stream is asserted byte-identical to its cold run.
+    let sub = run_subscribe_phase(quick);
+    println!(
+        "subscribe: {} installment(s), mean delta latency {}, mean cold re-run {} ({:.1}x), \
+         delta bytes {} of full {} ({:.1}% of a re-ship)",
+        sub.steps,
+        secs(sub.mean_delta_latency),
+        secs(sub.mean_cold_latency),
+        sub.latency_speedup,
+        sub.delta_bytes,
+        sub.full_bytes,
+        100.0 * sub.delta_bytes as f64 / sub.full_bytes.max(1) as f64,
+    );
+
     let hit_speedup =
         mean_of(&rows, "cold", "share", 1) / mean_of(&rows, "warm", "share", 1).max(1e-9);
     let dup_speedup =
@@ -554,7 +755,9 @@ fn main() {
     println!("overlap-heavy sharing speedup at 8 clients (req/s): {overlap_speedup:.1}x");
 
     if quick {
-        println!("(--quick: skipping BENCH_serve.json / BENCH_cluster.json rewrite)");
+        println!(
+            "(--quick: skipping BENCH_serve.json / BENCH_cluster.json / BENCH_subscribe.json rewrite)"
+        );
         return;
     }
     let json = serde_json::json!({
@@ -618,4 +821,37 @@ fn main() {
     )
     .expect("write cluster baseline");
     println!("wrote {cluster_path}");
+
+    let subscribe_json = serde_json::json!({
+        "bench": "subscribe",
+        "cores_detected": cores,
+        "initial_frames": sub.initial_frames,
+        "installments": sub.steps,
+        "rows": sub.rows.iter().map(|s| serde_json::json!({
+            "frames_total": s.frames_total,
+            "delta_frames": s.delta_frames,
+            "delta_bytes": s.delta_bytes,
+            "full_bytes": s.full_bytes,
+            "delta_latency_s": s.delta_latency.as_secs_f64(),
+            "cold_rerun_latency_s": s.cold_latency.as_secs_f64(),
+        })).collect::<Vec<_>>(),
+        "mean_delta_latency_s": sub.mean_delta_latency.as_secs_f64(),
+        "mean_cold_rerun_latency_s": sub.mean_cold_latency.as_secs_f64(),
+        "latency_speedup": sub.latency_speedup,
+        "delta_bytes_total": sub.delta_bytes,
+        "full_bytes_total": sub.full_bytes,
+        "wire_fraction_of_reship": sub.delta_bytes as f64 / sub.full_bytes.max(1) as f64,
+        "subscription_counters": sub.counters,
+        "cumulative_byte_identical": true,
+    });
+    let subscribe_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_subscribe.json");
+    std::fs::write(
+        subscribe_path,
+        format!(
+            "{}\n",
+            serde_json::to_string_pretty(&subscribe_json).unwrap()
+        ),
+    )
+    .expect("write subscribe baseline");
+    println!("wrote {subscribe_path}");
 }

@@ -24,7 +24,23 @@
 //! v2v check <spec.json>               static checks and per-video needs
 //! v2v info <video.svc>                stream facts (frames, GOPs, bytes)
 //! v2v frame <video.svc> <t> -o still.ppm    export one frame as PPM
+//! v2v append <live.svc> <more.svc>    commit GOPs onto a live container
+//! v2v append --to HOST:PORT <name> <more.svc>
+//!                                     append to a daemon's catalog video
+//! v2v subscribe <spec.json> --to HOST:PORT [-o out.svc] [--max-deltas N]
+//!                                     follow a query live: apply delta
+//!                                     records as sources grow
 //! ```
+//!
+//! `v2v append` without `--to` opens (or creates) an append-aware live
+//! container on disk via [`v2v_container::LiveWriter`]: each append is
+//! one crash-safe committed batch, and concurrent readers always see
+//! the last committed prefix. With `--to` it POSTs the sealed stream to
+//! a running daemon's `/append/<name>`, waking any `/subscribe`
+//! clients. `v2v subscribe` registers the spec with `POST /subscribe`
+//! and keeps `-o out.svc` equal to what a cold `v2v run` of the same
+//! spec would produce at the current source length, rewriting it after
+//! every delta.
 //!
 //! `--trace <path>` writes the run's observability artifact — rewrite
 //! trace, per-segment execution metrics, pipeline-stage spans, and a
@@ -85,7 +101,7 @@ use v2v_spec::Spec;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--threads N] [--no-pipeline] [--no-split] [--no-cache] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--trace trace.json] [--on-error abort|skip|black] [--max-retries N] [--error-report errors.json] [--json]\n  v2v serve [--addr HOST:PORT] [--workers HOST:PORT,...] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--no-share] [--max-concurrent N] [--queue-depth N] [--db tables.json] [--threads N]\n  v2v worker [--addr HOST:PORT] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--max-concurrent N] [--queue-depth N] [--db tables.json] [--threads N]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]"
+        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--threads N] [--no-pipeline] [--no-split] [--no-cache] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--trace trace.json] [--on-error abort|skip|black] [--max-retries N] [--error-report errors.json] [--json]\n  v2v serve [--addr HOST:PORT] [--workers HOST:PORT,...] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--no-share] [--max-concurrent N] [--queue-depth N] [--db tables.json] [--threads N]\n  v2v worker [--addr HOST:PORT] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--max-concurrent N] [--queue-depth N] [--db tables.json] [--threads N]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]\n  v2v append [--to HOST:PORT] <live.svc|name> <more.svc> [--json]\n  v2v subscribe <spec.json> [--to HOST:PORT] [-o out.svc] [--max-deltas N] [--json]"
     );
     ExitCode::from(2)
 }
@@ -247,6 +263,8 @@ fn main() -> ExitCode {
         "check" => cmd_check(&args[1..]),
         "info" => cmd_info(&args[1..]),
         "frame" => cmd_frame(&args[1..]),
+        "append" => cmd_append(&args[1..]),
+        "subscribe" => cmd_subscribe(&args[1..]),
         _ => return usage(),
     };
     // `--json` anywhere switches stderr error reporting to one
@@ -703,6 +721,221 @@ fn cmd_info(args: &[String]) -> Result<(), CliError> {
         (s.frame_dur() * v2v_time::Rational::from_int(s.len() as i64)).to_f64(),
         s.start()
     );
+    Ok(())
+}
+
+/// Resolves `HOST:PORT` for the daemon-mode subcommands.
+fn resolve_addr(s: &str) -> Result<std::net::SocketAddr, CliError> {
+    use std::net::ToSocketAddrs;
+    s.to_socket_addrs()
+        .map_err(|e| CliError {
+            message: format!("resolving {s}: {e}"),
+            kind: Some(ErrorKind::Io),
+        })?
+        .next()
+        .ok_or_else(|| CliError {
+            message: format!("{s} resolved to no address"),
+            kind: Some(ErrorKind::Io),
+        })
+}
+
+/// Maps a daemon HTTP status back onto the unified error taxonomy so
+/// remote failures exit with the same codes as local ones.
+fn kind_for_status(status: u16) -> ErrorKind {
+    match status {
+        400 | 405 | 429 => ErrorKind::InvalidRequest,
+        404 => ErrorKind::NotFound,
+        422 => ErrorKind::CorruptData,
+        _ => ErrorKind::Internal,
+    }
+}
+
+/// `v2v append`: local mode commits GOPs onto a live `.svc` container;
+/// `--to` mode POSTs them to a serving daemon's `/append/<name>`.
+fn cmd_append(args: &[String]) -> Result<(), CliError> {
+    let mut to: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--to" => {
+                i += 1;
+                to = Some(args.get(i).ok_or("missing value after --to")?.clone());
+            }
+            "--json" => {}
+            other if other.starts_with("--") => {
+                return Err(format!("unexpected argument '{other}'").into())
+            }
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [target, more_path] = positional.as_slice() else {
+        return Err(if to.is_some() {
+            "append --to needs <name> <more.svc>".into()
+        } else {
+            "append needs <live.svc> <more.svc>".into()
+        });
+    };
+    // `read_svc` accepts sealed and live containers alike (a live
+    // source yields its committed prefix), so any `.svc` can feed an
+    // append.
+    let more = v2v_container::read_svc(more_path).map_err(|e| CliError::from(V2vError::from(e)))?;
+    if more.is_empty() {
+        return Err(format!("{more_path} holds no frames").into());
+    }
+    match to {
+        Some(to) => {
+            let addr = resolve_addr(&to)?;
+            let bytes = v2v_container::svc_to_bytes(&more)
+                .map_err(|e| CliError::from(V2vError::from(e)))?;
+            let resp = v2v_serve::http::client::request(
+                addr,
+                "POST",
+                &format!("/append/{target}"),
+                &bytes,
+            )
+            .map_err(|e| CliError {
+                message: format!("POST /append/{target} to {to}: {e}"),
+                kind: Some(ErrorKind::Io),
+            })?;
+            if resp.status != 200 {
+                return Err(CliError {
+                    message: format!(
+                        "append rejected ({}): {}",
+                        resp.status,
+                        String::from_utf8_lossy(&resp.body).trim()
+                    ),
+                    kind: Some(kind_for_status(resp.status)),
+                });
+            }
+            let info: serde_json::Value = serde_json::from_slice(&resp.body)
+                .map_err(|e| format!("parsing append response: {e}"))?;
+            println!(
+                "appended {} frames to '{target}' on {to}: {} total (catalog v{})",
+                more.len(),
+                info.get("frames").and_then(|f| f.as_u64()).unwrap_or(0),
+                info.get("version").and_then(|v| v.as_u64()).unwrap_or(0),
+            );
+        }
+        None => {
+            let mut writer = if std::path::Path::new(target).exists() {
+                v2v_container::LiveWriter::open(target)
+                    .map_err(|e| CliError::from(V2vError::from(e)))?
+            } else {
+                v2v_container::LiveWriter::create(
+                    target,
+                    *more.params(),
+                    more.start(),
+                    more.frame_dur(),
+                )
+                .map_err(|e| CliError::from(V2vError::from(e)))?
+            };
+            let before = writer.committed();
+            writer
+                .append_stream(&more)
+                .map_err(|e| CliError::from(V2vError::from(e)))?;
+            println!(
+                "appended {} frames to {target}: {} committed (next instant {})",
+                writer.committed() - before,
+                writer.committed(),
+                writer.next_pts()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `v2v subscribe`: registers a spec with a daemon's `POST /subscribe`
+/// and applies delta records as they arrive, keeping `-o` byte-identical
+/// to a cold run of the spec at the current source length.
+fn cmd_subscribe(args: &[String]) -> Result<(), CliError> {
+    let mut spec_path: Option<String> = None;
+    let mut to = "127.0.0.1:7878".to_string();
+    let mut out_path: Option<String> = None;
+    let mut max_deltas: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--to" => {
+                i += 1;
+                to = args.get(i).ok_or("missing value after --to")?.clone();
+            }
+            "-o" | "--output" => {
+                i += 1;
+                out_path = Some(args.get(i).ok_or("missing value after -o")?.clone());
+            }
+            "--max-deltas" => {
+                i += 1;
+                max_deltas = Some(
+                    args.get(i)
+                        .ok_or("missing value after --max-deltas")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-deltas value: {e}"))?,
+                );
+            }
+            "--json" => {}
+            other if spec_path.is_none() => spec_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument '{other}'").into()),
+        }
+        i += 1;
+    }
+    let spec_path = spec_path.ok_or("missing spec path")?;
+    let spec = load_spec(&spec_path)?;
+    let addr = resolve_addr(&to)?;
+    let mut resp =
+        v2v_serve::http::client::open_stream(addr, "POST", "/subscribe", spec.to_json().as_bytes())
+            .map_err(|e| CliError {
+                message: format!("POST /subscribe to {to}: {e}"),
+                kind: Some(ErrorKind::Io),
+            })?;
+    if resp.status != 200 {
+        use std::io::Read;
+        let mut body = Vec::new();
+        let _ = resp.reader.read_to_end(&mut body);
+        return Err(CliError {
+            message: format!(
+                "subscribe rejected ({}): {}",
+                resp.status,
+                String::from_utf8_lossy(&body).trim()
+            ),
+            kind: Some(kind_for_status(resp.status)),
+        });
+    }
+    println!("subscribed to {to} (spec {spec_path})");
+    let mut applier = v2v_serve::sub::DeltaApplier::new();
+    let mut count = 0u64;
+    loop {
+        let record = v2v_serve::sub::read_delta(&mut resp.reader).map_err(|e| CliError {
+            message: format!("reading delta stream: {e}"),
+            kind: Some(ErrorKind::Io),
+        })?;
+        let Some((header, svc)) = record else {
+            break; // server closed the subscription cleanly
+        };
+        let cumulative = applier.apply(&header, &svc).map_err(|e| CliError {
+            message: format!("applying delta {}: {e}", header.seq),
+            kind: Some(ErrorKind::CorruptData),
+        })?;
+        if let Some(out) = &out_path {
+            v2v_container::write_svc(cumulative, out)
+                .map_err(|e| CliError::from(V2vError::from(e)))?;
+        }
+        println!(
+            "delta {}: splice at frame {}, {} frames ({} bytes) -> {} total (catalog v{})",
+            header.seq,
+            header.from_frame,
+            header.frames,
+            header.svc_len,
+            cumulative.len(),
+            header.version
+        );
+        count += 1;
+        if max_deltas.is_some_and(|m| count >= m) {
+            break;
+        }
+    }
+    println!("subscription ended after {count} delta(s)");
     Ok(())
 }
 

@@ -105,6 +105,10 @@ pub fn svc_from_bytes(bytes: &[u8]) -> Result<VideoStream, ContainerError> {
 fn read_svc_from(f: &mut impl Read, file_len: u64) -> Result<VideoStream, ContainerError> {
     let mut magic = [0u8; 4];
     read_exact_or_bad(&mut *f, &mut magic, "magic")?;
+    if &magic == crate::live::LIVE_MAGIC {
+        // Live (append-aware) variant: yields the committed prefix.
+        return crate::live::read_live_from(f, file_len - 4);
+    }
     if &magic != MAGIC {
         return Err(ContainerError::BadFile("bad magic".into()));
     }

@@ -17,11 +17,14 @@
 //! * [`StreamWriter`] — encodes frames and/or splices copied packets into
 //!   a new stream, enforcing the keyframe-first splice rule;
 //! * [`mod@file`] — a versioned on-disk format (`.svc`) with a JSON header
-//!   and length-prefixed packet table.
+//!   and length-prefixed packet table;
+//! * [`mod@live`] — the append-aware variant: checksummed GOP batches a
+//!   [`LiveWriter`] commits while readers recover the committed prefix.
 
 pub mod digest;
 pub mod file;
 pub mod fragment;
+pub mod live;
 pub mod stream;
 pub mod writer;
 
@@ -31,6 +34,7 @@ pub use fragment::{
     fragment_from_bytes, fragment_from_wire, fragment_to_bytes, fragment_to_wire, read_fragment,
     write_fragment, Fragment,
 };
+pub use live::{read_svc_live, LiveWriter};
 pub use stream::VideoStream;
 pub use writer::StreamWriter;
 

@@ -1,0 +1,496 @@
+//! The live (append-aware) `.svc` variant.
+//!
+//! A sealed `.svc` trusts its header `count`, so a file being appended
+//! to is unreadable until the writer finishes. The live format instead
+//! carries its packets in self-delimiting, checksummed batches so a
+//! reader can always recover the longest committed prefix — even while
+//! a writer is mid-append or after a crash truncated the tail.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic    4 bytes   "SVCL"
+//! hdr_len  u32 LE    JSON header byte length
+//! header   JSON      {params, start, frame_dur}
+//! batch*   :=
+//!   frames   u32 LE  packets in this batch
+//!   body_len u32 LE  byte length of the packet table
+//!   body     body_len bytes: frames × (u32 LE: len << 1 | keyframe, payload)
+//!   commit   u64 LE  FNV-1a over (frames LE ‖ body)
+//! ```
+//!
+//! The commit word doubles as the per-GOP footer: a batch is visible
+//! only once its checksum is fully on disk. [`read_svc`] and
+//! [`svc_from_bytes`](crate::svc_from_bytes) detect the magic and stop
+//! at the first missing or mismatched commit, so a mid-append file
+//! yields the last committed prefix, never a parse error. A batch that
+//! *passes* its checksum but contains a malformed packet table was
+//! corrupted (or forged) after commit, which is a [`BadFile`] like any
+//! hostile sealed container.
+//!
+//! Every batch starts at a keyframe (enforced by [`LiveWriter`]), so
+//! committed prefixes are whole GOP ranges and line up with
+//! [`VideoStream::digest_index`] boundaries — appending a batch leaves
+//! every earlier prefix digest unchanged.
+//!
+//! [`read_svc`]: crate::read_svc
+//! [`BadFile`]: ContainerError::BadFile
+
+use crate::digest::Fnv64;
+use crate::stream::VideoStream;
+use crate::ContainerError;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use v2v_codec::{CodecParams, Packet};
+use v2v_time::Rational;
+
+/// Magic of the live (append-aware) variant.
+pub(crate) const LIVE_MAGIC: &[u8; 4] = b"SVCL";
+
+#[derive(Serialize, Deserialize)]
+struct LiveHeader {
+    params: CodecParams,
+    start: Rational,
+    frame_dur: Rational,
+}
+
+fn batch_checksum(frames: u32, body: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(&frames.to_le_bytes());
+    h.write(body);
+    h.finish()
+}
+
+/// Parses the live body (everything after the 4-byte magic), returning
+/// the committed packets. `remaining` is the byte count after the magic.
+///
+/// Truncation mid-batch stops cleanly at the previous commit; structural
+/// damage *inside* a committed batch is a [`ContainerError::BadFile`].
+pub(crate) fn read_live_from(
+    f: &mut impl Read,
+    remaining: u64,
+) -> Result<VideoStream, ContainerError> {
+    let mut remaining = remaining;
+    let mut len4 = [0u8; 4];
+    if remaining < 4 {
+        return Err(ContainerError::BadFile("truncated header length".into()));
+    }
+    f.read_exact(&mut len4)?;
+    remaining -= 4;
+    let hdr_len = u64::from(u32::from_le_bytes(len4));
+    if hdr_len > 1 << 20 || hdr_len > remaining {
+        return Err(ContainerError::BadFile("oversized header".into()));
+    }
+    let mut hdr = vec![0u8; hdr_len as usize];
+    f.read_exact(&mut hdr)?;
+    remaining -= hdr_len;
+    let header: LiveHeader = serde_json::from_slice(&hdr)
+        .map_err(|e| ContainerError::BadFile(format!("header decode: {e}")))?;
+    header
+        .params
+        .validate()
+        .map_err(|e| ContainerError::BadFile(format!("bad codec params: {e}")))?;
+    if !header.frame_dur.is_positive() {
+        return Err(ContainerError::BadFile(
+            "frame duration must be positive".into(),
+        ));
+    }
+
+    let mut packets: Vec<Packet> = Vec::new();
+    loop {
+        // Batch header + commit word: anything short of a full batch is
+        // an uncommitted tail — stop at the prefix.
+        if remaining < 16 {
+            break;
+        }
+        let mut bh = [0u8; 8];
+        f.read_exact(&mut bh)?;
+        let frames = u32::from_le_bytes([bh[0], bh[1], bh[2], bh[3]]);
+        let body_len = u64::from(u32::from_le_bytes([bh[4], bh[5], bh[6], bh[7]]));
+        if body_len + 16 > remaining || u64::from(frames) > body_len / 4 {
+            break; // tail claims more than the file holds: uncommitted
+        }
+        let mut body = vec![0u8; body_len as usize];
+        f.read_exact(&mut body)?;
+        let mut commit = [0u8; 8];
+        f.read_exact(&mut commit)?;
+        if u64::from_le_bytes(commit) != batch_checksum(frames, &body) {
+            break; // partially overwritten tail: uncommitted
+        }
+        remaining -= 16 + body_len;
+        // Committed: the packet table must now parse exactly.
+        let mut off = 0usize;
+        for k in 0..frames {
+            let Some(tag_bytes) = body.get(off..off + 4) else {
+                return Err(ContainerError::BadFile(format!(
+                    "committed batch truncated at packet {k}"
+                )));
+            };
+            let Ok(tag_arr) = <[u8; 4]>::try_from(tag_bytes) else {
+                return Err(ContainerError::BadFile(format!(
+                    "committed batch truncated at packet {k}"
+                )));
+            };
+            let tag = u32::from_le_bytes(tag_arr);
+            off += 4;
+            let len = (tag >> 1) as usize;
+            let Some(data) = body.get(off..off + len) else {
+                return Err(ContainerError::BadFile(format!(
+                    "committed packet {k} length {len} exceeds its batch"
+                )));
+            };
+            off += len;
+            let idx = packets.len() as i64;
+            let pts = header.start + header.frame_dur * Rational::from_int(idx);
+            packets.push(Packet::new(pts, tag & 1 == 1, Bytes::copy_from_slice(data)));
+        }
+        if off != body.len() {
+            return Err(ContainerError::BadFile(
+                "committed batch has trailing garbage".into(),
+            ));
+        }
+    }
+    VideoStream::new(header.params, header.start, header.frame_dur, packets)
+}
+
+/// An appender for the live `.svc` format.
+///
+/// Each [`append_stream`](LiveWriter::append_stream) writes one checksummed batch and
+/// syncs it to disk; readers observe whole batches or nothing. Opening
+/// an existing file recovers the committed prefix and truncates any
+/// crashed half-written tail before new appends land.
+pub struct LiveWriter {
+    file: File,
+    params: CodecParams,
+    start: Rational,
+    frame_dur: Rational,
+    committed: u64,
+}
+
+impl LiveWriter {
+    /// Creates a new live container at `path` (truncating any existing
+    /// file) and commits the header.
+    pub fn create(
+        path: impl AsRef<Path>,
+        params: CodecParams,
+        start: Rational,
+        frame_dur: Rational,
+    ) -> Result<LiveWriter, ContainerError> {
+        if !frame_dur.is_positive() {
+            return Err(ContainerError::BadFile(
+                "frame duration must be positive".into(),
+            ));
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let hdr = serde_json::to_vec(&LiveHeader {
+            params,
+            start,
+            frame_dur,
+        })
+        .map_err(|e| ContainerError::BadFile(format!("header encode: {e}")))?;
+        file.write_all(LIVE_MAGIC)?;
+        file.write_all(&(hdr.len() as u32).to_le_bytes())?;
+        file.write_all(&hdr)?;
+        file.sync_data()?;
+        Ok(LiveWriter {
+            file,
+            params,
+            start,
+            frame_dur,
+            committed: 0,
+        })
+    }
+
+    /// Opens an existing live container for appending, recovering the
+    /// committed prefix and truncating any uncommitted tail.
+    pub fn open(path: impl AsRef<Path>) -> Result<LiveWriter, ContainerError> {
+        let path = path.as_ref();
+        let prefix = read_svc_live(path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let end = committed_end(&mut file)?;
+        file.set_len(end)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(LiveWriter {
+            file,
+            params: *prefix.params(),
+            start: prefix.start(),
+            frame_dur: prefix.frame_dur(),
+            committed: prefix.len() as u64,
+        })
+    }
+
+    /// Frames committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// The grid instant the next appended packet must land on.
+    pub fn next_pts(&self) -> Rational {
+        self.start + self.frame_dur * Rational::from_int(self.committed as i64)
+    }
+
+    /// Appends a stream's packets as one committed batch, re-stamped to
+    /// continue this container's grid.
+    ///
+    /// The stream must be codec-compatible, share the frame duration,
+    /// and (by `VideoStream` invariant) start at a keyframe; empty
+    /// streams commit nothing and succeed.
+    pub fn append_stream(&mut self, s: &VideoStream) -> Result<(), ContainerError> {
+        if !s.params().compatible_with(&self.params) || s.frame_dur() != self.frame_dur {
+            return Err(ContainerError::Incompatible);
+        }
+        if s.is_empty() {
+            return Ok(());
+        }
+        let packets = s.copy_packet_range(0, s.len(), self.next_pts())?;
+        self.append_packets(&packets)
+    }
+
+    /// Appends pre-stamped packets as one committed batch. The head must
+    /// be a keyframe and every pts must continue the grid.
+    pub fn append_packets(&mut self, packets: &[Packet]) -> Result<(), ContainerError> {
+        let Some(head) = packets.first() else {
+            return Ok(());
+        };
+        if !head.keyframe {
+            return Err(ContainerError::SpliceNotKeyframe);
+        }
+        for (i, p) in packets.iter().enumerate() {
+            let expect = self.start
+                + self.frame_dur * Rational::from_int((self.committed + i as u64) as i64);
+            if p.pts != expect {
+                return Err(ContainerError::OutOfOrder);
+            }
+        }
+        let mut body = Vec::with_capacity(packets.iter().map(|p| 4 + p.size()).sum());
+        for p in packets {
+            let tag = (p.size() as u32) << 1 | u32::from(p.keyframe);
+            body.extend_from_slice(&tag.to_le_bytes());
+            body.extend_from_slice(&p.data);
+        }
+        let frames = packets.len() as u32;
+        self.file.write_all(&frames.to_le_bytes())?;
+        self.file.write_all(&(body.len() as u32).to_le_bytes())?;
+        self.file.write_all(&body)?;
+        self.file
+            .write_all(&batch_checksum(frames, &body).to_le_bytes())?;
+        self.file.sync_data()?;
+        self.committed += packets.len() as u64;
+        Ok(())
+    }
+}
+
+/// Byte offset of the last committed batch's end (header-only files
+/// return the offset just past the header).
+fn committed_end(file: &mut File) -> Result<u64, ContainerError> {
+    let file_len = file.metadata()?.len();
+    file.seek(SeekFrom::Start(4))?;
+    let mut len4 = [0u8; 4];
+    file.read_exact(&mut len4)?;
+    let mut end = 8 + u64::from(u32::from_le_bytes(len4));
+    file.seek(SeekFrom::Start(end))?;
+    loop {
+        let remaining = file_len.saturating_sub(end);
+        if remaining < 16 {
+            break;
+        }
+        let mut bh = [0u8; 8];
+        file.read_exact(&mut bh)?;
+        let frames = u32::from_le_bytes([bh[0], bh[1], bh[2], bh[3]]);
+        let body_len = u64::from(u32::from_le_bytes([bh[4], bh[5], bh[6], bh[7]]));
+        if body_len + 16 > remaining {
+            break;
+        }
+        let mut body = vec![0u8; body_len as usize];
+        file.read_exact(&mut body)?;
+        let mut commit = [0u8; 8];
+        file.read_exact(&mut commit)?;
+        if u64::from_le_bytes(commit) != batch_checksum(frames, &body) {
+            break;
+        }
+        end += 16 + body_len;
+    }
+    Ok(end)
+}
+
+/// Reads the committed prefix of a live `.svc` file.
+///
+/// Equivalent to [`read_svc`](crate::read_svc) (which dispatches on the
+/// magic) but rejects sealed containers, for callers that require the
+/// appendable variant.
+pub fn read_svc_live(path: impl AsRef<Path>) -> Result<VideoStream, ContainerError> {
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut f = std::io::BufReader::new(file);
+    let mut magic = [0u8; 4];
+    f.read_exact(&mut magic).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ContainerError::BadFile("truncated magic".into())
+        } else {
+            ContainerError::Io(e)
+        }
+    })?;
+    if &magic != LIVE_MAGIC {
+        return Err(ContainerError::BadFile("not a live .svc".into()));
+    }
+    read_live_from(&mut f, file_len - 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read_svc;
+    use crate::writer::StreamWriter;
+    use v2v_frame::{Frame, FrameType};
+    use v2v_time::r;
+
+    fn gop_stream(n: usize, gop: u32, seed: usize) -> VideoStream {
+        let ty = FrameType::gray8(32, 32);
+        let params = CodecParams::new(ty, gop, 0);
+        let mut w = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        for i in 0..n {
+            let mut f = Frame::black(ty);
+            for v in f.plane_mut(0).data_mut() {
+                *v = ((seed + i) * 10 % 256) as u8;
+            }
+            w.push_frame(&f).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("v2v_live_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let a = gop_stream(8, 4, 0);
+        let b = gop_stream(4, 4, 8);
+        let path = tmp("round_trip.svcl");
+        let mut w =
+            LiveWriter::create(path.clone(), *a.params(), a.start(), a.frame_dur()).unwrap();
+        w.append_stream(&a).unwrap();
+        assert_eq!(w.committed(), 8);
+        w.append_stream(&b).unwrap();
+        assert_eq!(w.committed(), 12);
+        // The generic reader dispatches on the magic.
+        let back = read_svc(&path).unwrap();
+        assert_eq!(back.len(), 12);
+        let expect = VideoStream::concat(&[&a, &b]).unwrap();
+        assert_eq!(back.content_digest(), expect.content_digest());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_yields_committed_prefix() {
+        let a = gop_stream(8, 4, 0);
+        let b = gop_stream(4, 4, 8);
+        let path = tmp("trunc_tail.svcl");
+        let mut w =
+            LiveWriter::create(path.clone(), *a.params(), a.start(), a.frame_dur()).unwrap();
+        w.append_stream(&a).unwrap();
+        let committed_len = std::fs::metadata(&path).unwrap().len();
+        w.append_stream(&b).unwrap();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        // Every cut inside the second batch must yield exactly the first.
+        for cut in (committed_len as usize + 1)..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let got = read_svc(&path).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+            assert_eq!(got.len(), 8, "cut {cut} must keep the committed prefix");
+            assert_eq!(got.content_digest(), a.content_digest());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_recovers_and_truncates_crashed_tail() {
+        let a = gop_stream(8, 4, 0);
+        let b = gop_stream(4, 4, 8);
+        let path = tmp("recover.svcl");
+        let mut w =
+            LiveWriter::create(path.clone(), *a.params(), a.start(), a.frame_dur()).unwrap();
+        w.append_stream(&a).unwrap();
+        drop(w);
+        // Simulate a crash: half a batch of garbage on the tail.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[7u8; 13]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut w = LiveWriter::open(&path).unwrap();
+        assert_eq!(w.committed(), 8);
+        w.append_stream(&b).unwrap();
+        let back = read_svc(&path).unwrap();
+        assert_eq!(back.len(), 12);
+        let expect = VideoStream::concat(&[&a, &b]).unwrap();
+        assert_eq!(back.content_digest(), expect.content_digest());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn appends_preserve_prefix_digests() {
+        let a = gop_stream(8, 4, 0);
+        let b = gop_stream(4, 4, 8);
+        let path = tmp("prefix_digests.svcl");
+        let mut w =
+            LiveWriter::create(path.clone(), *a.params(), a.start(), a.frame_dur()).unwrap();
+        w.append_stream(&a).unwrap();
+        let before = read_svc(&path).unwrap().digest_index();
+        w.append_stream(&b).unwrap();
+        let after = read_svc(&path).unwrap().digest_index();
+        assert!(after.len() > before.len());
+        assert_eq!(
+            &after[..before.len()],
+            &before[..],
+            "old GOP ranges keep their digests"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn incompatible_and_misaligned_appends_rejected() {
+        let a = gop_stream(4, 4, 0);
+        let path = tmp("reject.svcl");
+        let mut w =
+            LiveWriter::create(path.clone(), *a.params(), a.start(), a.frame_dur()).unwrap();
+        w.append_stream(&a).unwrap();
+        // Different quantizer: incompatible bitstream.
+        let ty = FrameType::gray8(32, 32);
+        let params = CodecParams::new(ty, 4, 3);
+        let mut sw = StreamWriter::new(params, Rational::ZERO, r(1, 30));
+        sw.push_frame(&Frame::black(ty)).unwrap();
+        let other = sw.finish().unwrap();
+        assert!(matches!(
+            w.append_stream(&other),
+            Err(ContainerError::Incompatible)
+        ));
+        // Mid-GOP packet slice: no keyframe head.
+        let tail: Vec<Packet> = a.packets()[1..3].to_vec();
+        assert!(matches!(
+            w.append_packets(&tail),
+            Err(ContainerError::SpliceNotKeyframe)
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sealed_reader_still_rejects_unknown_magic() {
+        let path = tmp("not_live.svc");
+        std::fs::write(&path, b"SVC1....").unwrap();
+        assert!(matches!(
+            read_svc_live(&path),
+            Err(ContainerError::BadFile(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -99,17 +99,58 @@ impl VideoStream {
     /// result derived from it, even when the file path is unchanged.
     /// Deterministic across platforms and process runs (FNV-1a, not
     /// `std`'s randomized hasher).
+    ///
+    /// The digest is *prefix-composable*: `content_digest()` equals
+    /// [`prefix_digest`](Self::prefix_digest)`(len())`, and a prefix's
+    /// digest depends only on the prefix — appending packets never
+    /// changes the digest of any earlier GOP range (the invalidation
+    /// property live sources rely on).
     pub fn content_digest(&self) -> u64 {
+        self.prefix_digest(self.packets.len())
+    }
+
+    /// Digest of the first `n` packets (clamped to `len()`), equal to
+    /// `content_digest()` of a stream sealed from that prefix alone.
+    pub fn prefix_digest(&self, n: usize) -> u64 {
+        let n = n.min(self.packets.len());
+        let mut body = crate::digest::Fnv64::new();
+        for p in self.packets.iter().take(n) {
+            fold_packet(&mut body, p);
+        }
+        self.finish_digest(n as u64, &body)
+    }
+
+    /// Digests at every committed GOP boundary, ascending: one entry
+    /// `(frames, digest)` per prefix that ends just before a keyframe,
+    /// plus the full stream. Single pass over the packet bytes.
+    ///
+    /// Appending whole GOPs extends this index without changing any
+    /// existing entry, so a cache key derived from the smallest boundary
+    /// covering a segment's reads survives appends untouched.
+    pub fn digest_index(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut body = crate::digest::Fnv64::new();
+        for (k, p) in self.packets.iter().enumerate() {
+            if k > 0 && p.keyframe {
+                out.push((k as u64, self.finish_digest(k as u64, &body)));
+            }
+            fold_packet(&mut body, p);
+        }
+        let n = self.packets.len() as u64;
+        out.push((n, self.finish_digest(n, &body)));
+        out
+    }
+
+    /// Combines the streaming packet-body state with the header fields.
+    /// `Fnv64` is `Copy`, so callers snapshot the body state at GOP
+    /// boundaries and finish each prefix in O(1).
+    fn finish_digest(&self, n: u64, body: &crate::digest::Fnv64) -> u64 {
         let mut h = crate::digest::Fnv64::new();
         h.write_str(&serde_json::to_string(&self.params).unwrap_or_default());
         h.write_str(&self.start.to_string());
         h.write_str(&self.frame_dur.to_string());
-        h.write_u64(self.packets.len() as u64);
-        for p in &self.packets {
-            h.write_u64(u64::from(p.keyframe));
-            h.write_u64(p.size() as u64);
-            h.write(&p.data);
-        }
+        h.write_u64(n);
+        h.write_u64(body.finish());
         h.finish()
     }
 
@@ -271,6 +312,12 @@ impl VideoStream {
     }
 }
 
+fn fold_packet(h: &mut crate::digest::Fnv64, p: &Packet) {
+    h.write_u64(u64::from(p.keyframe));
+    h.write_u64(p.size() as u64);
+    h.write(&p.data);
+}
+
 impl std::fmt::Debug for VideoStream {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -417,6 +464,31 @@ mod tests {
             VideoStream::new(*s.params(), Rational::ZERO, r(1, 30), pkts),
             Err(ContainerError::OutOfOrder)
         ));
+    }
+
+    #[test]
+    fn prefix_digests_match_from_scratch_seals() {
+        let s = test_stream(12, 4); // keys at 0, 4, 8
+        assert_eq!(s.content_digest(), s.prefix_digest(s.len()));
+        let index = s.digest_index();
+        assert_eq!(
+            index.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
+            vec![4, 8, 12]
+        );
+        for &(n, d) in &index {
+            // A stream sealed from just those packets digests identically.
+            let prefix = VideoStream::new(
+                *s.params(),
+                s.start(),
+                s.frame_dur(),
+                s.packets()[..n as usize].to_vec(),
+            )
+            .unwrap();
+            assert_eq!(prefix.content_digest(), d);
+            assert_eq!(s.prefix_digest(n as usize), d);
+        }
+        // Distinct prefixes digest differently.
+        assert_ne!(index[0].1, index[1].1);
     }
 
     #[test]

@@ -288,11 +288,9 @@ impl V2vEngine {
     }
 
     /// Content digests of every source the plan reads: per-video stream
-    /// digests plus one digest over all bound data arrays. (Hashing all
-    /// arrays is deliberately coarse — per-program array attribution
-    /// would buy finer invalidation at the cost of re-deriving the
-    /// expression walk here; the fingerprint only folds the array
-    /// digest into data-sensitive programs anyway.)
+    /// digests with their committed-GOP prefix index, per-array entry
+    /// digests (so segment keys fold only the entries their windows can
+    /// reach), plus one coarse digest over all bound arrays.
     fn source_digests(&self, plan: &PhysicalPlan) -> SourceDigests {
         let mut referenced: BTreeSet<&str> = BTreeSet::new();
         for seg in &plan.segments {
@@ -312,17 +310,27 @@ impl V2vEngine {
             if let Some(stream) = self.catalog.video(name) {
                 digests
                     .videos
-                    .insert(name.to_string(), stream.content_digest());
+                    .insert(name.to_string(), v2v_plan::VideoDigest::of(stream));
             }
         }
         let mut h = Fnv64::new();
         for (name, array) in self.catalog.arrays() {
             h.write_str(name);
             h.write_u64(array.len() as u64);
+            let mut entries = Vec::with_capacity(array.len());
             for (t, v) in array.iter() {
                 h.write_str(&t.to_string());
-                h.write_str(&serde_json::to_string(v).unwrap_or_default());
+                let json = serde_json::to_string(v).unwrap_or_default();
+                h.write_str(&json);
+                let mut eh = Fnv64::new();
+                eh.write_str(&t.to_string());
+                eh.write_str(&json);
+                entries.push((t, eh.finish()));
             }
+            // DataArray iteration is time-ordered; keep the invariant
+            // explicit for the windowed partition point.
+            entries.sort_by_key(|e| e.0);
+            digests.array_entries.insert(name.clone(), entries);
         }
         digests.arrays = h.finish();
         digests

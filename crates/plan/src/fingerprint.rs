@@ -39,17 +39,90 @@
 use crate::physical::{PhysicalPlan, SegPlan, Segment};
 use crate::program::{FrameProgram, ProgArg};
 use std::collections::BTreeMap;
-use v2v_container::Fnv64;
+use v2v_container::{Fnv64, VideoStream};
 use v2v_spec::TransformOp;
+use v2v_time::{AffineTimeMap, Rational};
+
+/// Content digest of one video source, carrying the committed-GOP
+/// prefix structure live sources expose.
+///
+/// A segment key folds in the digest of the *smallest committed prefix*
+/// covering the segment's source reads, not the whole-stream digest —
+/// so appending GOPs to a live source changes only the keys of segments
+/// whose reads extend past the old end.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VideoDigest {
+    /// Digest of the full stream
+    /// ([`VideoStream::content_digest`](v2v_container::VideoStream::content_digest)).
+    pub full: u64,
+    /// `(frames, digest)` at committed GOP boundaries, ascending, the
+    /// last entry being the whole stream
+    /// ([`VideoStream::digest_index`](v2v_container::VideoStream::digest_index)).
+    /// Empty means the prefix structure is unknown: every key falls
+    /// back to the full digest and appends invalidate everything.
+    pub prefixes: Vec<(u64, u64)>,
+    /// Grid start (used to turn a read window into a frame count).
+    pub start: Rational,
+    /// Frame duration.
+    pub frame_dur: Rational,
+}
+
+impl VideoDigest {
+    /// A digest with no prefix structure (keys use `full` everywhere).
+    pub fn opaque(full: u64) -> VideoDigest {
+        VideoDigest {
+            full,
+            prefixes: Vec::new(),
+            start: Rational::ZERO,
+            frame_dur: Rational::ONE,
+        }
+    }
+
+    /// Digests a stream with its full committed-GOP boundary index.
+    pub fn of(stream: &VideoStream) -> VideoDigest {
+        VideoDigest {
+            full: stream.content_digest(),
+            prefixes: stream.digest_index(),
+            start: stream.start(),
+            frame_dur: stream.frame_dur(),
+        }
+    }
+
+    /// The `(frames, digest)` of the smallest committed prefix serving
+    /// every read at instants `≤ hi`; the full stream when no boundary
+    /// covers it (or no prefix structure is known).
+    fn covering(&self, hi: Rational) -> (u64, u64) {
+        if self.prefixes.is_empty() {
+            return (u64::MAX, self.full);
+        }
+        let needed = if hi < self.start {
+            0
+        } else {
+            (hi - self.start).div_floor(self.frame_dur).max(0) as u64 + 1
+        };
+        for &(n, d) in &self.prefixes {
+            if n >= needed {
+                return (n, d);
+            }
+        }
+        *self.prefixes.last().expect("non-empty prefix index")
+    }
+}
 
 /// Content digests of everything a plan reads, keyed by catalog name.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SourceDigests {
-    /// Per-video content digest
-    /// ([`VideoStream::content_digest`](v2v_container::VideoStream::content_digest)).
-    pub videos: BTreeMap<String, u64>,
-    /// One digest over all data arrays (names, instants, values).
+    /// Per-video content digests with prefix structure.
+    pub videos: BTreeMap<String, VideoDigest>,
+    /// One digest over all data arrays (names, instants, values) — the
+    /// coarse whole-catalog witness kept for diagnostics and as the
+    /// conservative key input when `array_entries` is unavailable.
     pub arrays: u64,
+    /// Per-array `(instant, entry digest)` pairs, ascending by instant.
+    /// Segment keys fold only the entries a segment's data expressions
+    /// can actually look up, so appending later detections leaves
+    /// earlier segments' keys unchanged.
+    pub array_entries: BTreeMap<String, Vec<(Rational, u64)>>,
 }
 
 /// Is the expression's value a function of the evaluation instant or
@@ -101,6 +174,36 @@ fn hash_framing(h: &mut Fnv64, plan: &PhysicalPlan) {
     h.write_str(&plan.frame_dur.to_string());
 }
 
+/// Collects every `array[map(t)]` lookup site in a data expression.
+fn expr_array_refs(e: &v2v_spec::DataExpr, out: &mut Vec<(String, AffineTimeMap)>) {
+    use v2v_spec::DataExpr;
+    match e {
+        DataExpr::Const(_) | DataExpr::T => {}
+        DataExpr::ArrayRef { array, time } => out.push((array.clone(), *time)),
+        DataExpr::Cmp { lhs, rhs, .. } | DataExpr::Arith { lhs, rhs, .. } => {
+            expr_array_refs(lhs, out);
+            expr_array_refs(rhs, out);
+        }
+        DataExpr::And(a, b) | DataExpr::Or(a, b) => {
+            expr_array_refs(a, out);
+            expr_array_refs(b, out);
+        }
+        DataExpr::Not(a) | DataExpr::Len(a) => expr_array_refs(a, out),
+    }
+}
+
+/// Collects every array lookup site across a whole program.
+fn program_array_refs(p: &FrameProgram, out: &mut Vec<(String, AffineTimeMap)>) {
+    if let FrameProgram::Op { args, .. } = p {
+        for a in args {
+            match a {
+                ProgArg::Frame(f) => program_array_refs(f, out),
+                ProgArg::Data(e) => expr_array_refs(e, out),
+            }
+        }
+    }
+}
+
 /// Hashes one render plan's semantic content for the segment starting
 /// at output frame `out_start` with `count` frames. Returns `false`
 /// (key unusable) when the program contains a UDF or references a
@@ -122,11 +225,21 @@ fn hash_render(
     h.write_u64(count);
     h.write_str(&serde_json::to_string(program).unwrap_or_default());
     let seg_start = plan.instant_of(out_start);
+    let seg_last = plan.instant_of(out_start + count.saturating_sub(1));
     for clip in inputs {
-        match sources.videos.get(&clip.video) {
-            Some(d) => h.write_u64(*d),
-            None => return false,
-        }
+        let Some(d) = sources.videos.get(&clip.video) else {
+            return false;
+        };
+        // The segment reads source instants `clip.time([seg_start,
+        // seg_last])`; the affine image's upper end bounds them, so the
+        // smallest committed prefix past it pins every byte this
+        // segment can touch. Hashing that boundary (frames + digest)
+        // instead of the full digest is what keeps keys stable when a
+        // live source grows behind the reads.
+        let hi = clip.time.apply(seg_start).max(clip.time.apply(seg_last));
+        let (frames, digest) = d.covering(hi);
+        h.write_u64(frames);
+        h.write_u64(digest);
         // The binding's semantic content relative to this segment: the
         // source instant its frames start at and the rate mapping. The
         // absolute offset is deliberately *not* hashed — two segments
@@ -137,9 +250,35 @@ fn hash_render(
     }
     if has_data {
         // Data expressions evaluate at absolute domain instants, so the
-        // segment's alignment and the array contents become inputs.
+        // segment's alignment becomes an input.
         h.write_str(&seg_start.to_string());
-        h.write_u64(sources.arrays);
+        // Fold only the array entries this segment's lookups can reach:
+        // each `array[map(t)]` site reads instants bounded by the
+        // affine image of the segment window, so entries past that
+        // bound (appended detections) don't touch the key.
+        let mut refs = Vec::new();
+        program_array_refs(program, &mut refs);
+        refs.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| a.1.to_string().cmp(&b.1.to_string()))
+        });
+        refs.dedup();
+        for (array, map) in &refs {
+            h.write_str(array);
+            let hi = map.apply(seg_start).max(map.apply(seg_last));
+            match sources.array_entries.get(array) {
+                Some(entries) => {
+                    let visible = entries.partition_point(|&(t, _)| t <= hi);
+                    h.write_u64(visible as u64);
+                    for &(_, d) in &entries[..visible] {
+                        h.write_u64(d);
+                    }
+                }
+                // No entry structure known for this array: fall back to
+                // the coarse whole-catalog digest.
+                None => h.write_u64(sources.arrays),
+            }
+        }
     }
     true
 }
@@ -153,10 +292,22 @@ fn hash_copy(
     sources: &SourceDigests,
 ) -> bool {
     h.write_str("copy");
-    match sources.videos.get(video) {
-        Some(d) => h.write_u64(*d),
-        None => return false,
-    }
+    let Some(d) = sources.videos.get(video) else {
+        return false;
+    };
+    // Copies read frames `[src_from, src_to)` directly: the smallest
+    // boundary at or past `src_to` pins them.
+    let (frames, digest) = if d.prefixes.is_empty() {
+        (u64::MAX, d.full)
+    } else {
+        d.prefixes
+            .iter()
+            .copied()
+            .find(|&(n, _)| n >= src_to)
+            .unwrap_or(*d.prefixes.last().expect("non-empty prefix index"))
+    };
+    h.write_u64(frames);
+    h.write_u64(digest);
     h.write_u64(src_from);
     h.write_u64(src_to);
     true
@@ -225,7 +376,7 @@ fn canonical_segments(plan: &PhysicalPlan) -> Vec<Segment> {
 /// source contents.
 pub fn plan_fingerprint(plan: &PhysicalPlan, sources: &SourceDigests) -> u64 {
     let mut h = Fnv64::new();
-    h.write_str("v2v.plan.v1");
+    h.write_str("v2v.plan.v2");
     hash_framing(&mut h, plan);
     h.write_str(&plan.domain_start.to_string());
     h.write_u64(plan.n_frames);
@@ -297,7 +448,7 @@ pub fn segment_keys(plan: &PhysicalPlan, sources: &SourceDigests) -> Vec<Option<
             SegPlan::StreamCopy { .. } => None,
             SegPlan::Render { program, inputs } => {
                 let mut h = Fnv64::new();
-                h.write_str("v2v.segkey.v1");
+                h.write_str("v2v.segkey.v2");
                 hash_framing(&mut h, plan);
                 hash_render(
                     &mut h,
@@ -327,9 +478,10 @@ mod tests {
             videos: names
                 .iter()
                 .enumerate()
-                .map(|(i, n)| (n.to_string(), 0x1000 + i as u64))
+                .map(|(i, n)| (n.to_string(), VideoDigest::opaque(0x1000 + i as u64)))
                 .collect(),
             arrays: 7,
+            array_entries: BTreeMap::new(),
         }
     }
 
@@ -392,7 +544,7 @@ mod tests {
         let plan = base_plan(vec![render_seg(0, 16)], 16);
         let d1 = digests(&["a"]);
         let mut d2 = d1.clone();
-        d2.videos.insert("a".into(), 0xdead);
+        d2.videos.insert("a".into(), VideoDigest::opaque(0xdead));
         assert_ne!(plan_fingerprint(&plan, &d1), plan_fingerprint(&plan, &d2));
         assert_ne!(segment_keys(&plan, &d1)[0], segment_keys(&plan, &d2)[0],);
     }
@@ -471,9 +623,84 @@ mod tests {
         // Same alignment → same key; different alignment → different.
         assert_eq!(segment_keys(&a, &d)[0], segment_keys(&b, &d)[0]);
         assert_ne!(segment_keys(&b, &d)[0], segment_keys(&b, &d)[1]);
-        // Array contents are inputs.
+        // `t`-only programs read no arrays, so array changes leave their
+        // keys alone (the windowed scheme keys only actual lookups).
         let mut d2 = d.clone();
         d2.arrays = 99;
-        assert_ne!(segment_keys(&a, &d)[0], segment_keys(&a, &d2)[0]);
+        assert_eq!(segment_keys(&a, &d)[0], segment_keys(&a, &d2)[0]);
+    }
+
+    /// A segment reading `bb[t]` keys on exactly the entries its window
+    /// can reach: appending later detections re-keys only the segments
+    /// whose window covers the new entries.
+    #[test]
+    fn array_reads_key_on_visible_entries_only() {
+        let array_seg = |out_start| {
+            let mut s = render_seg(out_start, 8);
+            if let SegPlan::Render { program, .. } = &mut s.plan {
+                *program = FrameProgram::Op {
+                    op: TransformOp::Blur,
+                    args: vec![
+                        ProgArg::Frame(FrameProgram::Input(0)),
+                        ProgArg::Data(v2v_spec::DataExpr::array("bb")),
+                    ],
+                };
+            }
+            s
+        };
+        let plan = base_plan(vec![array_seg(0), array_seg(8)], 16);
+        let entries = |n: i64| -> Vec<(Rational, u64)> {
+            (0..n).map(|i| (r(i, 30), 0x40 + i as u64)).collect()
+        };
+        let mut d = digests(&["a"]);
+        d.array_entries.insert("bb".into(), entries(8));
+        let mut grown = d.clone();
+        grown.array_entries.insert("bb".into(), entries(16));
+        let k_old = segment_keys(&plan, &d);
+        let k_new = segment_keys(&plan, &grown);
+        assert_eq!(k_old[0], k_new[0], "early segment ignores appended entries");
+        assert_ne!(k_old[1], k_new[1], "the segment whose window grew re-keys");
+        // Without entry structure the coarse digest is load-bearing.
+        let mut coarse = digests(&["a"]);
+        coarse.arrays = 99;
+        assert_ne!(
+            segment_keys(&plan, &digests(&["a"]))[0],
+            segment_keys(&plan, &coarse)[0]
+        );
+    }
+
+    /// Segment keys pin the smallest committed prefix covering their
+    /// reads: growing a source past a segment's window keeps its key;
+    /// rewriting bytes inside the window changes it.
+    #[test]
+    fn video_prefix_growth_rekeys_only_dirty_segments() {
+        let vd = |count: u64, rewrite_tail: bool| VideoDigest {
+            full: 0x9000 + count + u64::from(rewrite_tail),
+            prefixes: (1..=count / 4)
+                .map(|g| {
+                    let n = g * 4;
+                    let tweak = u64::from(rewrite_tail && n >= 16);
+                    (n, 0x9000 + n + tweak)
+                })
+                .collect(),
+            start: Rational::ZERO,
+            frame_dur: r(1, 30),
+        };
+        // seg0 reads source frames 0..8 (boundary 8); seg1 reads 8..16
+        // (boundary 16).
+        let plan = base_plan(vec![render_seg(0, 8), render_seg(8, 8)], 16);
+        let mut d = digests(&["a"]);
+        d.videos.insert("a".into(), vd(16, false));
+        let mut grown = d.clone();
+        grown.videos.insert("a".into(), vd(24, false));
+        let mut rewritten = d.clone();
+        rewritten.videos.insert("a".into(), vd(16, true));
+
+        let k = segment_keys(&plan, &d);
+        let k_grown = segment_keys(&plan, &grown);
+        let k_rewritten = segment_keys(&plan, &rewritten);
+        assert_eq!(k, k_grown, "appending past every read keeps all keys");
+        assert_eq!(k[0], k_rewritten[0], "prefix-clean segment keeps its key");
+        assert_ne!(k[1], k_rewritten[1], "segment over changed bytes re-keys");
     }
 }

@@ -38,7 +38,7 @@ pub mod trace;
 
 pub use cost::{estimate, CostEstimate, CostModel};
 pub use explain::{explain_logical, explain_physical};
-pub use fingerprint::{cacheable, plan_fingerprint, segment_keys, SourceDigests};
+pub use fingerprint::{cacheable, plan_fingerprint, segment_keys, SourceDigests, VideoDigest};
 pub use logical::{lower_spec, LogicalNode, LogicalPlan, LogicalSegment};
 pub use meta::{PlanContext, SourceMeta};
 pub use optimizer::{optimize, optimize_traced, OptimizerConfig};

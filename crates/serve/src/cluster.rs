@@ -40,7 +40,7 @@ use crate::http::client;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use v2v_container::{fragment_from_wire, Fragment};
 use v2v_exec::RemoteRenderer;
 
@@ -51,6 +51,12 @@ const VNODES: u32 = 40;
 /// Distinct workers tried per segment before falling back to a local
 /// render (the first dispatch plus one re-dispatch).
 pub const MAX_ATTEMPTS: usize = 2;
+
+/// Minimum interval between dead-worker re-probe sweeps, and the
+/// per-probe `GET /status` deadline. Cheap enough to piggyback on the
+/// dispatch path (no dedicated health-check thread), long enough that a
+/// flapping worker cannot turn every dispatch into a probe storm.
+const REPROBE_INTERVAL: Duration = Duration::from_millis(250);
 
 /// FNV-1a, the same hash family the fragment keys use.
 fn fnv64(bytes: &[u8]) -> u64 {
@@ -88,6 +94,9 @@ pub struct PoolStats {
     pub fragment_bytes_in: AtomicU64,
     /// Wire bytes sent to workers (render request bodies).
     pub fragment_bytes_out: AtomicU64,
+    /// Cheap `GET /status` probes sent to dead workers by the
+    /// dispatch-path re-probe sweep.
+    pub probes: AtomicU64,
 }
 
 /// A fixed set of workers plus the consistent-hash ring that routes
@@ -99,6 +108,13 @@ pub struct WorkerPool {
     ring: Vec<(u64, usize)>,
     /// Lifetime dispatch counters.
     pub stats: PoolStats,
+    /// Anchor for [`Self::maybe_revive`]'s monotonic clock (an
+    /// `Instant` is not atomic, so elapsed millis since this anchor
+    /// are what the CAS gate trades in).
+    probe_anchor: Instant,
+    /// Elapsed millis (since `probe_anchor`) of the last re-probe
+    /// sweep; `u64::MAX` while a sweep is running.
+    last_probe_ms: AtomicU64,
 }
 
 impl WorkerPool {
@@ -131,6 +147,8 @@ impl WorkerPool {
             workers,
             ring,
             stats: PoolStats::default(),
+            probe_anchor: Instant::now(),
+            last_probe_ms: AtomicU64::new(0),
         })
     }
 
@@ -173,6 +191,55 @@ impl WorkerPool {
         order
     }
 
+    /// Re-probes dead workers with a cheap `GET /status`, flipping them
+    /// alive on any answer. Piggybacked on the dispatch path (no
+    /// dedicated health-check thread) and rate-limited to one sweep per
+    /// `REPROBE_INTERVAL`, so a restarted worker rejoins the pool
+    /// within one interval of the next dispatch instead of waiting to
+    /// be the last-resort tail candidate of its own ring range.
+    ///
+    /// Without this, a worker that died while owning a "cold" ring
+    /// range could stay dead forever: `render_remote` only probes dead
+    /// workers after exhausting live candidates, and with
+    /// [`MAX_ATTEMPTS`] = 2 a pool of three or more live workers never
+    /// reaches the dead tail at all.
+    pub fn maybe_revive(&self) {
+        if self.workers.iter().all(|w| w.alive.load(Ordering::Relaxed)) {
+            return;
+        }
+        let now_ms = self.probe_anchor.elapsed().as_millis() as u64;
+        let last = self.last_probe_ms.load(Ordering::Relaxed);
+        if now_ms.saturating_sub(last) < REPROBE_INTERVAL.as_millis() as u64 {
+            return;
+        }
+        // One sweep at a time: the winner of the CAS probes, everyone
+        // else dispatches without blocking on the probe I/O.
+        if self
+            .last_probe_ms
+            .compare_exchange(last, u64::MAX, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        for w in &self.workers {
+            if w.alive.load(Ordering::Relaxed) {
+                continue;
+            }
+            self.stats.probes.fetch_add(1, Ordering::Relaxed);
+            if let Ok(resp) =
+                client::request_timeout(w.addr, "GET", "/status", b"", REPROBE_INTERVAL)
+            {
+                if resp.status == 200 {
+                    w.alive.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        self.last_probe_ms.store(
+            self.probe_anchor.elapsed().as_millis() as u64,
+            Ordering::Release,
+        );
+    }
+
     /// The `pool` block of the coordinator's `/status` response.
     pub fn status_json(&self) -> serde_json::Value {
         serde_json::json!({
@@ -182,6 +249,7 @@ impl WorkerPool {
             "re_dispatched": self.stats.re_dispatched.load(Ordering::Relaxed),
             "fragment_bytes_in": self.stats.fragment_bytes_in.load(Ordering::Relaxed),
             "fragment_bytes_out": self.stats.fragment_bytes_out.load(Ordering::Relaxed),
+            "probes": self.stats.probes.load(Ordering::Relaxed),
         })
     }
 }
@@ -220,6 +288,11 @@ impl RemoteRenderer for PoolRemote {
         }))
         .ok()?;
         let timeout = PoolRemote::deadline(cost);
+        // Give restarted workers a way back in before partitioning:
+        // the live/dead split below never dispatches to a dead worker
+        // while enough live candidates remain, so without this sweep a
+        // recovered worker would never see traffic again.
+        self.pool.maybe_revive();
         let stats = &self.pool.stats;
         let candidates = self.pool.candidates(key);
         // Prefer live workers but keep dead ones at the tail as probes,
@@ -343,6 +416,51 @@ mod tests {
         assert_eq!(PoolRemote::deadline(0.0), Duration::from_secs(1));
         assert_eq!(PoolRemote::deadline(5_000_000.0), Duration::from_secs(5));
         assert_eq!(PoolRemote::deadline(1e12), Duration::from_secs(30));
+    }
+
+    #[test]
+    fn reprobe_is_rate_limited_and_leaves_unreachable_workers_dead() {
+        let p = Arc::new(pool(2));
+        let remote = PoolRemote::new(Arc::clone(&p), serde_json::json!({}));
+        assert!(remote.render_remote(0, 7, 0.0).is_none());
+        assert_eq!(p.alive(), 0, "unreachable workers are marked dead");
+        // Within the rate-limit window no probes fire...
+        p.maybe_revive();
+        assert_eq!(p.stats.probes.load(Ordering::Relaxed), 0);
+        std::thread::sleep(Duration::from_millis(300));
+        // ...after it, every dead worker gets one probe; with nothing
+        // listening they all stay dead.
+        p.maybe_revive();
+        assert_eq!(p.stats.probes.load(Ordering::Relaxed), 2);
+        assert_eq!(p.alive(), 0);
+    }
+
+    #[test]
+    fn reprobe_revives_a_worker_that_answers_status() {
+        // A port no other test in this binary touches: the sibling
+        // tests rely on their 40000-range ports staying unbound.
+        let p = Arc::new(WorkerPool::new(&["127.0.0.1:41997".to_string()]).unwrap());
+        p.workers[0].alive.store(false, Ordering::Relaxed);
+        // A plain TCP listener that speaks just enough HTTP: accept one
+        // connection and answer 200 to whatever arrives.
+        let listener = std::net::TcpListener::bind(p.workers[0].addr);
+        let Ok(listener) = listener else {
+            return; // port taken on this machine: skip rather than flake
+        };
+        let server = std::thread::spawn(move || {
+            if let Ok((mut conn, _)) = listener.accept() {
+                use std::io::{Read, Write};
+                let mut buf = [0u8; 1024];
+                let _ = conn.read(&mut buf);
+                let _ = conn.write_all(
+                    b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\nconnection: close\r\n\r\n{}",
+                );
+            }
+        });
+        std::thread::sleep(Duration::from_millis(300));
+        p.maybe_revive();
+        assert_eq!(p.alive(), 1, "an answering worker rejoins the pool");
+        let _ = server.join();
     }
 
     #[test]

@@ -195,7 +195,7 @@ pub fn write_response(stream: &mut impl Write, resp: &Response) -> io::Result<()
 /// anyone driving a `v2v serve` daemon from Rust.
 pub mod client {
     use super::*;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     /// Sends one request and reads the full response.
     pub fn request(
@@ -207,10 +207,17 @@ pub mod client {
         exchange(TcpStream::connect(addr)?, addr, method, path, body)
     }
 
-    /// [`request`] with a deadline: the connect, every write, and every
-    /// read each time out after `timeout`, so a dead or wedged peer
-    /// costs a bounded wait instead of hanging the caller. Used by the
-    /// coordinator to dispatch segments to workers.
+    /// [`request`] with a **wall-clock deadline** over the whole
+    /// exchange: connect, writes, and reads together must finish within
+    /// `timeout`. Used by the coordinator to dispatch segments to
+    /// workers.
+    ///
+    /// This is deliberately not a per-read socket timeout: a socket
+    /// timeout bounds each *individual* read, so a peer trickling one
+    /// byte per interval keeps resetting the clock and a nominally
+    /// 1-second request can hang for minutes. [`DeadlineStream`]
+    /// re-arms the socket timeout with the *remaining* budget before
+    /// every operation instead, so the total wait is bounded.
     pub fn request_timeout(
         addr: SocketAddr,
         method: &str,
@@ -218,14 +225,67 @@ pub mod client {
         body: &[u8],
         timeout: Duration,
     ) -> io::Result<Response> {
+        let deadline = Instant::now() + timeout;
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
-        exchange(stream, addr, method, path, body)
+        exchange(
+            DeadlineStream {
+                inner: stream,
+                deadline,
+            },
+            addr,
+            method,
+            path,
+            body,
+        )
+    }
+
+    /// A [`TcpStream`] whose every read and write is budgeted against
+    /// one absolute deadline. Once the deadline passes, all operations
+    /// fail with [`io::ErrorKind::TimedOut`] immediately.
+    pub struct DeadlineStream {
+        inner: TcpStream,
+        deadline: Instant,
+    }
+
+    impl DeadlineStream {
+        /// Arms the socket timeout with the remaining budget, or fails
+        /// if the deadline has already passed.
+        fn arm(&self, read: bool) -> io::Result<()> {
+            let remaining = self.deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "request deadline exceeded",
+                ));
+            }
+            if read {
+                self.inner.set_read_timeout(Some(remaining))
+            } else {
+                self.inner.set_write_timeout(Some(remaining))
+            }
+        }
+    }
+
+    impl Read for DeadlineStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.arm(true)?;
+            self.inner.read(buf)
+        }
+    }
+
+    impl Write for DeadlineStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.arm(false)?;
+            self.inner.write(buf)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
     }
 
     fn exchange(
-        mut stream: TcpStream,
+        mut stream: impl Read + Write,
         addr: SocketAddr,
         method: &str,
         path: &str,
@@ -264,6 +324,61 @@ pub mod client {
     /// `POST /query` with a serialized spec; returns the raw response.
     pub fn post_query(addr: SocketAddr, spec_json: &[u8]) -> io::Result<Response> {
         request(addr, "POST", "/query", spec_json)
+    }
+
+    /// The head of a long-lived response whose body streams until the
+    /// server closes the connection (no `Content-Length`). Returned by
+    /// [`open_stream`]; the `reader` yields body bytes as they arrive.
+    pub struct StreamingResponse {
+        /// Status code.
+        pub status: u16,
+        /// Header `(name, value)` pairs, names lowercased.
+        pub headers: Vec<(String, String)>,
+        /// The open connection, positioned at the first body byte.
+        pub reader: BufReader<TcpStream>,
+    }
+
+    impl StreamingResponse {
+        /// First value of a header, by lowercase name.
+        pub fn header_value(&self, name: &str) -> Option<&str> {
+            self.headers
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.as_str())
+        }
+    }
+
+    /// Sends one request and returns after reading only the response
+    /// *head*, leaving the connection open so the caller can consume a
+    /// body of unbounded length as the server produces it. This is how
+    /// `/subscribe` clients receive delta frames.
+    pub fn open_stream(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> io::Result<StreamingResponse> {
+        let mut stream = TcpStream::connect(addr)?;
+        write!(stream, "{method} {path} HTTP/1.1\r\n")?;
+        write!(stream, "host: {addr}\r\n")?;
+        write!(stream, "content-length: {}\r\n", body.len())?;
+        write!(stream, "connection: close\r\n\r\n")?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let lines = read_head(&mut reader)?;
+        let first = lines.first().ok_or_else(|| bad("empty response"))?;
+        let status = first
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let headers = parse_headers(&lines[1..])?;
+        Ok(StreamingResponse {
+            status,
+            headers,
+            reader,
+        })
     }
 }
 
@@ -308,5 +423,47 @@ mod tests {
     fn truncated_header_is_an_error() {
         let raw = b"GET / HTTP/1.1\r\nHost: x";
         assert!(read_request(&mut Cursor::new(&raw[..])).is_err());
+    }
+
+    /// Regression: `request_timeout` must bound the *whole* exchange,
+    /// not each read. A peer trickling one byte per interval — each
+    /// read succeeding just inside a per-read socket timeout — used to
+    /// stretch a 300 ms request to `timeout × body_len`.
+    #[test]
+    fn request_timeout_is_a_wall_clock_deadline() {
+        use std::net::TcpListener;
+        use std::time::{Duration, Instant};
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let trickler = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            // Drain the request, then advertise a huge body and trickle
+            // it a byte at a time, never pausing long enough for any
+            // single read to hit a 300 ms socket timeout.
+            let mut buf = [0u8; 4096];
+            let _ = std::io::Read::read(&mut conn, &mut buf);
+            let _ = conn.write_all(
+                b"HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\ncontent-length: 100000\r\n\r\n",
+            );
+            for _ in 0..200 {
+                if conn.write_all(b"x").is_err() {
+                    return; // client gave up — the behavior under test
+                }
+                let _ = conn.flush();
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+
+        let started = Instant::now();
+        let result =
+            super::client::request_timeout(addr, "GET", "/slow", b"", Duration::from_millis(300));
+        let elapsed = started.elapsed();
+        assert!(result.is_err(), "a trickling peer must not yield Ok");
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "deadline must bound the whole exchange, took {elapsed:?}"
+        );
+        drop(trickler); // detach: it exits on its next failed write
     }
 }

@@ -41,8 +41,24 @@
 //! | route | body | response |
 //! |---|---|---|
 //! | `POST /query` | spec JSON | `.svc` container bytes; `x-v2v-stats` header carries the run's [`ExecStats`] JSON |
+//! | `POST /subscribe` | spec JSON | long-lived stream of delta records (see [`sub`]) |
+//! | `POST /append/<name>` | sealed `.svc` of new GOPs | appends to the named live catalog video |
+//! | `POST /append-data/<name>` | `[{"t": ..., "value": ...}]` | appends entries to the named data array |
 //! | `GET /status` | — | admission + cache state JSON |
 //! | `GET /metrics` | — | metrics snapshot JSON |
+//!
+//! **Live sources and subscriptions.** The catalog is mutable at
+//! runtime: `POST /append/<name>` splices freshly-encoded GOPs onto a
+//! bound video (`/append-data/` does the same for detection arrays) and
+//! bumps a catalog version every subscription watches. A `/subscribe`
+//! request registers a spec; the daemon clamps its time domain to the
+//! currently *servable* prefix ([`v2v_spec::servable_domain`]),
+//! renders it through the normal admission/sharing/cluster path, and
+//! pushes the changed output suffix as a delta record. On every
+//! append, only segments whose inputs actually changed re-render — the
+//! prefix-incremental source digests keep clean segment keys stable,
+//! so the render cache answers the rest (`sub.*` and `exec.cache.*`
+//! metrics make the dirty-only behavior observable).
 //!
 //! Query errors map the [`ErrorKind`] taxonomy onto status codes:
 //! `invalid_request`/`plan` → 400, `not_found` → 404, `corrupt_data` →
@@ -54,16 +70,17 @@
 pub mod cluster;
 pub mod http;
 pub mod share;
+pub mod sub;
 
 use cluster::{PoolRemote, WorkerPool};
 use http::{read_request, write_response, Request, Response};
 use share::{InflightRegistry, Join, LeaderGuard, QueryOutcome, SharedError};
-use std::io::BufReader;
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use v2v_core::{EngineConfig, ErrorKind, PreparedRun, V2vEngine, V2vError};
 use v2v_data::Database;
 use v2v_exec::{Catalog, ExecStats, FragmentFlight, RenderCache};
@@ -214,6 +231,11 @@ struct Metrics {
     active_jobs: Arc<Gauge>,
     job_wall_ns: Arc<Histogram>,
     queue_wait_ns: Arc<Histogram>,
+    sub_active: Arc<Gauge>,
+    sub_deltas: Arc<Counter>,
+    sub_frames_pushed: Arc<Counter>,
+    sub_renders: Arc<Counter>,
+    sub_appends: Arc<Counter>,
     exec: ExecMetrics,
 }
 
@@ -245,6 +267,11 @@ impl Metrics {
             active_jobs: registry.gauge("serve.active_jobs"),
             job_wall_ns: registry.histogram("serve.job_wall_ns"),
             queue_wait_ns: registry.histogram("serve.queue_wait_ns"),
+            sub_active: registry.gauge("sub.active"),
+            sub_deltas: registry.counter("sub.deltas"),
+            sub_frames_pushed: registry.counter("sub.frames_pushed"),
+            sub_renders: registry.counter("sub.renders"),
+            sub_appends: registry.counter("sub.appends"),
             exec: ExecMetrics {
                 frames_decoded: registry.counter("exec.frames_decoded"),
                 frames_encoded: registry.counter("exec.frames_encoded"),
@@ -265,7 +292,16 @@ impl Metrics {
 
 /// State shared by the accept loop and every connection thread.
 struct Shared {
-    catalog: Catalog,
+    /// The live source catalog. `POST /append*` routes take the write
+    /// lock for the duration of one splice; queries clone a snapshot
+    /// under the read lock (cheap: streams are `Arc`-backed).
+    catalog: RwLock<Catalog>,
+    /// Bumped on every successful append; subscriptions sleep on
+    /// [`Shared::catalog_grew`] until it moves.
+    catalog_version: Mutex<u64>,
+    catalog_grew: Condvar,
+    /// Set when the server is stopping; wakes subscription waits.
+    stopping: AtomicBool,
     database: Database,
     config: ServeConfig,
     gate: JobGate,
@@ -285,6 +321,37 @@ struct Shared {
     queue_waits: AtomicU64,
     queue_wait_total_ns: AtomicU64,
     queue_wait_max_ns: AtomicU64,
+    subs_active: AtomicU64,
+    subs_deltas: AtomicU64,
+    subs_frames_pushed: AtomicU64,
+    subs_renders: AtomicU64,
+    appends: AtomicU64,
+}
+
+impl Shared {
+    fn catalog_snapshot(&self) -> Catalog {
+        self.catalog
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    fn version(&self) -> u64 {
+        *self
+            .catalog_version
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn bump_version(&self) {
+        let mut v = self
+            .catalog_version
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *v += 1;
+        drop(v);
+        self.catalog_grew.notify_all();
+    }
 }
 
 /// The query service: holds the sources and configuration, then
@@ -332,7 +399,10 @@ impl V2vServer {
         let registry = Registry::new();
         let metrics = Metrics::new(&registry);
         let shared = Arc::new(Shared {
-            catalog: self.catalog,
+            catalog: RwLock::new(self.catalog),
+            catalog_version: Mutex::new(0),
+            catalog_grew: Condvar::new(),
+            stopping: AtomicBool::new(false),
             database: self.database,
             config: self.config,
             gate,
@@ -347,6 +417,11 @@ impl V2vServer {
             queue_waits: AtomicU64::new(0),
             queue_wait_total_ns: AtomicU64::new(0),
             queue_wait_max_ns: AtomicU64::new(0),
+            subs_active: AtomicU64::new(0),
+            subs_deltas: AtomicU64::new(0),
+            subs_frames_pushed: AtomicU64::new(0),
+            subs_renders: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let accept_shared = Arc::clone(&shared);
@@ -388,11 +463,14 @@ impl ServerHandle {
         )
     }
 
-    /// Stops the accept loop and joins it.
+    /// Stops the accept loop and joins it. Subscription threads see the
+    /// stop through `Shared::stopping` and close their streams.
     pub fn stop(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        self.shared.catalog_grew.notify_all();
         // Unblock the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(join) = self.join.take() {
@@ -428,7 +506,19 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     });
     let mut writer = stream;
     let resp = match read_request(&mut reader) {
-        Ok(req) => route(&req, shared),
+        Ok(req) => {
+            // Subscriptions own their connection: the response body is
+            // open-ended, so they bypass the one-shot write below.
+            if req.method == "POST"
+                && req.path == "/subscribe"
+                && shared.config.role != ServeRole::Worker
+            {
+                shared.metrics.requests.inc();
+                handle_subscribe(&req, reader, writer, shared);
+                return;
+            }
+            route(&req, shared)
+        }
         Err(e) => error_response(400, "invalid_request", &format!("bad request: {e}")),
     };
     let _ = write_response(&mut writer, &resp);
@@ -442,6 +532,12 @@ fn route(req: &Request, shared: &Shared) -> Response {
         // coordinators, it does not accept top-level queries.
         ("POST", "/query") if !worker => handle_query(req, shared),
         ("POST", "/render-segment") => handle_render_segment(req, shared),
+        ("POST", path) if path.strip_prefix("/append/").is_some() && !worker => {
+            handle_append(path, req, shared)
+        }
+        ("POST", path) if path.strip_prefix("/append-data/").is_some() && !worker => {
+            handle_append_data(path, req, shared)
+        }
         ("GET", path) if path.strip_prefix("/fragment/").is_some() => handle_fragment(path, shared),
         ("GET", "/status") => handle_status(shared),
         ("GET", "/metrics") => Response::json(200, &shared.registry.snapshot()),
@@ -450,6 +546,145 @@ fn route(req: &Request, shared: &Shared) -> Response {
         }
         (m, _) => error_response(405, "invalid_request", &format!("method {m} not allowed")),
     }
+}
+
+/// `POST /append/<name>`: splices a sealed `.svc` of freshly-encoded
+/// GOPs onto the named catalog video (or binds it fresh), then wakes
+/// every subscription. The appended stream must continue the existing
+/// grid — same codec parameters, first instant exactly one frame after
+/// the current last — and must start at a keyframe, the same invariants
+/// [`v2v_container::LiveWriter`] enforces on disk.
+fn handle_append(path: &str, req: &Request, shared: &Shared) -> Response {
+    let name = path.strip_prefix("/append/").unwrap_or_default();
+    if name.is_empty() {
+        return error_response(
+            400,
+            "invalid_request",
+            "missing video name in /append/<name>",
+        );
+    }
+    let new = match v2v_container::svc_from_bytes(&req.body) {
+        Ok(s) => s,
+        Err(e) => return error_response(422, "corrupt_data", &format!("append container: {e}")),
+    };
+    if new.is_empty() {
+        return error_response(400, "invalid_request", "appended container holds no frames");
+    }
+    let mut catalog = shared
+        .catalog
+        .write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let total = match catalog.video(name).cloned() {
+        Some(existing) => {
+            // `concat` restamps whatever it is given; the continuity
+            // check is ours. An append stamped anywhere but one frame
+            // past the current end is a client bug (replay, reorder),
+            // not a growth event.
+            let expected = existing.start()
+                + existing.frame_dur() * v2v_time::Rational::from_int(existing.len() as i64);
+            if new.start() != expected {
+                return error_response(
+                    422,
+                    "corrupt_data",
+                    &format!(
+                        "append starts at {} but '{name}' continues at {expected}",
+                        new.start()
+                    ),
+                );
+            }
+            let joined = match v2v_container::VideoStream::concat(&[existing.as_ref(), &new]) {
+                Ok(j) => j,
+                Err(e) => {
+                    return error_response(
+                        422,
+                        "corrupt_data",
+                        &format!("append does not continue '{name}': {e}"),
+                    )
+                }
+            };
+            let n = joined.len();
+            catalog.add_video(name, joined);
+            n
+        }
+        None => {
+            let n = new.len();
+            catalog.add_video(name, new);
+            n
+        }
+    };
+    drop(catalog);
+    shared.appends.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.sub_appends.inc();
+    shared.bump_version();
+    Response::json(
+        200,
+        &serde_json::json!({"video": name, "frames": total, "version": shared.version()}),
+    )
+}
+
+/// `POST /append-data/<name>`: appends `[{"t": <sec|[n,d]>, "value":
+/// ...}]` entries to the named detection array and wakes
+/// subscriptions. Values use the annotation conventions
+/// ([`v2v_data::Value::from_json`]).
+fn handle_append_data(path: &str, req: &Request, shared: &Shared) -> Response {
+    let name = path.strip_prefix("/append-data/").unwrap_or_default();
+    if name.is_empty() {
+        return error_response(
+            400,
+            "invalid_request",
+            "missing array name in /append-data/<name>",
+        );
+    }
+    let entries: Vec<serde_json::Value> = match serde_json::from_slice(&req.body) {
+        Ok(e) => e,
+        Err(e) => return error_response(400, "invalid_request", &format!("append-data body: {e}")),
+    };
+    let mut parsed = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let t = entry.get("t").and_then(parse_instant);
+        let Some(t) = t else {
+            return error_response(
+                400,
+                "invalid_request",
+                &format!("entry {i}: 't' must be a number or [num, den]"),
+            );
+        };
+        let Some(value) = entry.get("value") else {
+            return error_response(
+                400,
+                "invalid_request",
+                &format!("entry {i}: missing 'value'"),
+            );
+        };
+        parsed.push((t, v2v_data::Value::from_json(value)));
+    }
+    let count = parsed.len();
+    let mut catalog = shared
+        .catalog
+        .write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let array = catalog.arrays_mut().entry(name.to_string()).or_default();
+    for (t, v) in parsed {
+        array.insert(t, v);
+    }
+    let total = array.len();
+    drop(catalog);
+    shared.appends.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.sub_appends.inc();
+    shared.bump_version();
+    Response::json(
+        200,
+        &serde_json::json!({"array": name, "appended": count, "entries": total}),
+    )
+}
+
+/// Reads a JSON instant: a number of seconds or an exact `[num, den]`.
+fn parse_instant(v: &serde_json::Value) -> Option<v2v_time::Rational> {
+    if let Some(pair) = v.as_array().filter(|p| p.len() == 2) {
+        let (n, d) = (pair[0].as_i64()?, pair[1].as_i64()?);
+        return v2v_time::Rational::checked_new(n, d).ok();
+    }
+    v.as_i64().map(v2v_time::Rational::from_int)
 }
 
 /// A coordinator's request: render one keyed segment of the embedded
@@ -546,6 +781,211 @@ fn handle_fragment(path: &str, shared: &Shared) -> Response {
     }
 }
 
+/// `POST /subscribe`: registers a spec and pushes incremental results
+/// over the long-lived connection.
+///
+/// Protocol: the body is spec JSON exactly as `POST /query` takes it.
+/// On acceptance the response head carries
+/// `content-type: application/x-v2v-delta` and **no** content-length;
+/// the body is then a sequence of delta records (see [`sub`]) until
+/// the client disconnects, the server stops, or a render fails.
+///
+/// Each refresh clamps the spec's time domain to the servable prefix
+/// ([`v2v_spec::servable_domain`]) of a catalog snapshot, renders it
+/// through the normal admission/sharing/cluster path (so unchanged
+/// segments come out of the render cache), and pushes the suffix from
+/// the output keyframe at-or-before the divergence. The cumulative
+/// client-side stream after record `n` is byte-identical to a cold
+/// `POST /query` of the same spec at the same source length.
+fn handle_subscribe(
+    req: &Request,
+    mut reader: BufReader<TcpStream>,
+    mut writer: TcpStream,
+    shared: &Shared,
+) {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(e) => {
+            let resp = error_response(400, "invalid_request", &format!("spec not UTF-8: {e}"));
+            let _ = write_response(&mut writer, &resp);
+            return;
+        }
+    };
+    let spec = match Spec::from_json(text) {
+        Ok(s) => s,
+        Err(e) => {
+            let resp = error_response(400, "invalid_request", &format!("bad spec: {e}"));
+            let _ = write_response(&mut writer, &resp);
+            return;
+        }
+    };
+    // Bind once up front so an unservable spec (missing file, bad SQL)
+    // is a proper error response, not an empty stream.
+    if let Err(e) = bound_infos(&spec, shared) {
+        let resp = error_response(status_for(e.kind()), e.kind().name(), &e.to_string());
+        let _ = write_response(&mut writer, &resp);
+        return;
+    }
+    // Accepted: switch to the open-ended delta stream.
+    if write!(
+        writer,
+        "HTTP/1.1 200 OK\r\ncontent-type: {}\r\nconnection: close\r\n\r\n",
+        sub::DELTA_CONTENT_TYPE
+    )
+    .and_then(|()| writer.flush())
+    .is_err()
+    {
+        return;
+    }
+    shared.subs_active.fetch_add(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .sub_active
+        .set(shared.subs_active.load(Ordering::Relaxed));
+    subscription_loop(&spec, &mut reader, &mut writer, shared);
+    shared.subs_active.fetch_sub(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .sub_active
+        .set(shared.subs_active.load(Ordering::Relaxed));
+}
+
+/// Binds `spec`'s sources over a catalog snapshot and returns the
+/// source availability the servable-domain clamp consumes.
+fn bound_infos(
+    spec: &Spec,
+    shared: &Shared,
+) -> Result<std::collections::BTreeMap<String, v2v_spec::SourceInfo>, V2vError> {
+    let mut engine =
+        V2vEngine::new(shared.catalog_snapshot()).with_database(shared.database.clone());
+    engine.bind(spec).map_err(V2vError::from)?;
+    Ok(engine.catalog().source_infos())
+}
+
+/// The watcher/render/push cycle of one subscription.
+fn subscription_loop(
+    spec: &Spec,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    shared: &Shared,
+) {
+    let mut cumulative: Option<v2v_container::VideoStream> = None;
+    let mut last_domain: Option<v2v_time::TimeSet> = None;
+    let mut seq = 0u64;
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let seen = shared.version();
+        let infos = match bound_infos(spec, shared) {
+            Ok(i) => i,
+            Err(_) => return, // a source vanished mid-subscription
+        };
+        let clamped = v2v_spec::servable_domain(spec, &infos);
+        let dirty =
+            !clamped.is_empty() && last_domain.as_ref().map_or(true, |d| !d.set_eq(&clamped));
+        if dirty {
+            let mut clamped_spec = spec.clone();
+            clamped_spec.time_domain = clamped.clone();
+            let body = clamped_spec.to_json();
+            let prepared = match prepare_query(body.as_bytes(), shared) {
+                Ok(p) => p,
+                Err(_) => return,
+            };
+            if !shared.gate.enter() {
+                // Saturated: back off, leave last_domain unset so the
+                // next cycle retries the same refresh.
+                std::thread::sleep(Duration::from_secs(shared.config.retry_after_secs.max(1)));
+                continue;
+            }
+            let mut prepared = prepared;
+            let result = prepared.engine.run_prepared(prepared.run);
+            shared.gate.leave();
+            let (report, _trace) = match result {
+                Ok(r) => r,
+                Err(_) => return, // render failure terminates the stream
+            };
+            shared.subs_renders.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.sub_renders.inc();
+            record_exec_metrics(&shared.metrics.exec, &report.stats);
+            if let Some((from, delta)) = sub::delta_between(cumulative.as_ref(), &report.output) {
+                let svc = match v2v_container::svc_to_bytes(&delta) {
+                    Ok(b) => b,
+                    Err(_) => return,
+                };
+                let header = sub::DeltaHeader {
+                    seq,
+                    from_frame: from as u64,
+                    frames: delta.len() as u64,
+                    svc_len: svc.len() as u64,
+                    version: seen,
+                };
+                if sub::write_delta(writer, &header, &svc).is_err() {
+                    return; // client gone
+                }
+                seq += 1;
+                shared.subs_deltas.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.sub_deltas.inc();
+                shared
+                    .subs_frames_pushed
+                    .fetch_add(delta.len() as u64, Ordering::Relaxed);
+                shared.metrics.sub_frames_pushed.add(delta.len() as u64);
+            }
+            cumulative = Some(report.output);
+            last_domain = Some(clamped);
+        }
+        // Sleep until the catalog grows (or the server stops); poll the
+        // client socket each interval so an abandoned subscription does
+        // not linger forever.
+        let mut v = shared
+            .catalog_version
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        while *v == seen {
+            if shared.stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            let (guard, timed_out) = shared
+                .catalog_grew
+                .wait_timeout(v, Duration::from_millis(250))
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            v = guard;
+            if timed_out.timed_out() {
+                drop(v);
+                if client_disconnected(reader) {
+                    return;
+                }
+                v = shared
+                    .catalog_version
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+    }
+}
+
+/// `true` when the subscription's client has closed its end. Clients
+/// send nothing after the request, so any `read` returning 0 is a
+/// disconnect; a timeout means the peer is simply quiet.
+fn client_disconnected(reader: &mut BufReader<TcpStream>) -> bool {
+    let stream = reader.get_ref();
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(1)))
+        .is_err()
+    {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    match reader.get_mut().read(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false, // stray bytes: tolerate
+        Err(e) => !matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+    }
+}
+
 fn handle_status(shared: &Shared) -> Response {
     let (active, queued) = shared.gate.snapshot();
     let cache = shared.config.engine.render_cache.as_ref().map(|c| {
@@ -590,6 +1030,14 @@ fn handle_status(shared: &Shared) -> Response {
                 "inflight_hits": shared.inflight.hits(),
                 "segments_published": shared.flight.published(),
                 "segment_hits": shared.flight.shared(),
+            },
+            "subscriptions": {
+                "active": shared.subs_active.load(Ordering::Relaxed),
+                "deltas": shared.subs_deltas.load(Ordering::Relaxed),
+                "frames_pushed": shared.subs_frames_pushed.load(Ordering::Relaxed),
+                "renders": shared.subs_renders.load(Ordering::Relaxed),
+                "appends": shared.appends.load(Ordering::Relaxed),
+                "catalog_version": shared.version(),
             },
             "pool": shared.pool.as_ref().map(|p| p.status_json()),
             "cache": cache,
@@ -741,7 +1189,7 @@ fn prepare_query(body: &[u8], shared: &Shared) -> Result<PreparedQuery, V2vError
             config.remote = Some(Arc::new(PoolRemote::new(Arc::clone(pool), value)));
         }
     }
-    let mut engine = V2vEngine::new(shared.catalog.clone())
+    let mut engine = V2vEngine::new(shared.catalog_snapshot())
         .with_database(shared.database.clone())
         .with_config(config);
     let run = engine.prepare(&spec)?;

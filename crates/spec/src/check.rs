@@ -106,6 +106,67 @@ pub fn check_spec_with_udfs(
     }
 }
 
+/// The subset of the spec's time domain that is *servable* right now:
+/// the output instants whose every transitive frame dependency lands on
+/// an instant the sources can currently serve.
+///
+/// This is the live-source dual of [`check_spec`]. Where the checker
+/// demands that the full domain be coverable and errors otherwise, this
+/// walker *clamps*: a subscription over a still-growing source renders
+/// the servable prefix today and extends it as appends land. The walk
+/// mirrors the checker exactly — first-match-wins arm semantics, frame
+/// arguments of transforms all required at the enclosing domain — so
+/// `servable_domain(spec) == spec.time_domain` iff `check_spec` passes
+/// its range analysis.
+pub fn servable_domain(spec: &Spec, sources: &BTreeMap<String, SourceInfo>) -> TimeSet {
+    servable(sources, &spec.render, &spec.time_domain)
+}
+
+fn servable(
+    sources: &BTreeMap<String, SourceInfo>,
+    expr: &RenderExpr,
+    domain: &TimeSet,
+) -> TimeSet {
+    if domain.is_empty() {
+        return TimeSet::empty();
+    }
+    match expr {
+        RenderExpr::FrameRef { video, time } => {
+            let Some(info) = sources.get(video) else {
+                return TimeSet::empty();
+            };
+            // Push the domain forward through the affine map, keep what
+            // the source can serve, and pull it back to output time.
+            let good = time.apply_set(domain).intersect(&info.available);
+            time.inverse().apply_set(&good).intersect(domain)
+        }
+        RenderExpr::Match { arms } => {
+            // First match wins: each arm only answers for the instants
+            // no earlier arm claimed, exactly as the checker walks.
+            let mut remaining = domain.clone();
+            let mut ok = TimeSet::empty();
+            for arm in arms {
+                let covered = remaining.intersect(&arm.when);
+                ok = ok.union(&servable(sources, &arm.expr, &covered));
+                remaining = remaining.difference(&covered);
+            }
+            ok
+        }
+        RenderExpr::Transform { args, .. } => {
+            // Every frame argument must be servable at the instant; data
+            // arguments never constrain the domain (arrays answer any
+            // lookup, falling back to their at-or-before neighbor).
+            let mut ok = domain.clone();
+            for arg in args {
+                if let Arg::Frame(e) = arg {
+                    ok = ok.intersect(&servable(sources, e, domain));
+                }
+            }
+            ok
+        }
+    }
+}
+
 impl Checker<'_> {
     fn walk(&mut self, expr: &RenderExpr, domain: TimeSet) {
         if domain.is_empty() {
@@ -409,6 +470,57 @@ mod tests {
         let sources = [("vid1".to_string(), source(0, 10))].into();
         let errs = check_spec(&spec, &sources).unwrap_err();
         assert!(errs.contains(&SpecError::EmptyDomain));
+    }
+
+    #[test]
+    fn servable_domain_clamps_to_available_prefix() {
+        // The source covers only [0,6) of the [0,10) domain: the
+        // servable set is the prefix, and it grows with the source.
+        let spec = base_spec(RenderExpr::video("vid1"));
+        let sources: BTreeMap<_, _> = [("vid1".to_string(), source(0, 6))].into();
+        assert!(servable_domain(&spec, &sources).set_eq(&domain(0, 6)));
+        let grown: BTreeMap<_, _> = [("vid1".to_string(), source(0, 10))].into();
+        assert!(servable_domain(&spec, &grown).set_eq(&domain(0, 10)));
+        // And it agrees with the checker at full coverage.
+        assert!(check_spec(&spec, &grown).is_ok());
+    }
+
+    #[test]
+    fn servable_domain_pulls_back_through_affine_maps() {
+        // vid1[t + 100] with vid1 covering [100, 105): only [0,5) of
+        // the output domain is servable.
+        let spec = base_spec(RenderExpr::video_shifted("vid1", r(100, 1)));
+        let sources: BTreeMap<_, _> = [("vid1".to_string(), source(100, 105))].into();
+        assert!(servable_domain(&spec, &sources).set_eq(&domain(0, 5)));
+    }
+
+    #[test]
+    fn servable_domain_handles_arms_transforms_and_unknowns() {
+        // Arm 1 (vid1) over [0,5) is fully servable; arm 2 (vid2) over
+        // [5,10) only up to 8; an unknown video is never servable.
+        let spec = base_spec(RenderExpr::matching(vec![
+            (domain(0, 5), RenderExpr::video("vid1")),
+            (domain(5, 10), RenderExpr::video("vid2")),
+        ]));
+        let sources: BTreeMap<_, _> = [
+            ("vid1".to_string(), source(0, 5)),
+            ("vid2".to_string(), source(0, 8)),
+        ]
+        .into();
+        assert!(servable_domain(&spec, &sources).set_eq(&domain(0, 8)));
+
+        let spec = base_spec(RenderExpr::transform(
+            TransformOp::Blur,
+            vec![
+                Arg::Frame(RenderExpr::video("vid1")),
+                Arg::Data(DataExpr::constant(1.0)),
+            ],
+        ));
+        let sources: BTreeMap<_, _> = [("vid1".to_string(), source(0, 7))].into();
+        assert!(servable_domain(&spec, &sources).set_eq(&domain(0, 7)));
+
+        let spec = base_spec(RenderExpr::video("ghost"));
+        assert!(servable_domain(&spec, &sources).is_empty());
     }
 
     #[test]

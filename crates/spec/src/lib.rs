@@ -35,7 +35,7 @@ pub mod spec;
 pub mod udf;
 
 pub use builder::SpecBuilder;
-pub use check::{check_spec, check_spec_with_udfs, CheckReport, SourceInfo};
+pub use check::{check_spec, check_spec_with_udfs, servable_domain, CheckReport, SourceInfo};
 pub use display::to_dsl_string;
 pub use expr::{Arg, ArithOp, CmpOp, DataExpr, RenderExpr};
 pub use ops::{ArgKind, DataType, TransformOp};

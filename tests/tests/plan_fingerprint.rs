@@ -11,7 +11,9 @@
 use proptest::prelude::*;
 use v2v_exec::Catalog;
 use v2v_integration_tests::{marked_output, marked_stream};
-use v2v_plan::{lower_spec, optimize, plan_fingerprint, OptimizerConfig, SourceDigests};
+use v2v_plan::{
+    lower_spec, optimize, plan_fingerprint, OptimizerConfig, SourceDigests, VideoDigest,
+};
 use v2v_spec::builder::blur;
 use v2v_spec::{Spec, SpecBuilder};
 use v2v_time::{r, Rational};
@@ -26,7 +28,7 @@ fn digests(catalog: &Catalog) -> SourceDigests {
     let mut d = SourceDigests::default();
     d.videos.insert(
         "src".into(),
-        catalog.video("src").expect("bound").content_digest(),
+        VideoDigest::of(catalog.video("src").expect("bound")),
     );
     d
 }

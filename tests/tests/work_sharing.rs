@@ -323,3 +323,95 @@ fn identical_engine_runs_share_exactly_one_render() {
     assert_eq!(flight.inflight(), 0, "flights drained");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The single-flight *error* fan-out audit: a leader that fails after
+/// followers attach must hand every follower the taxonomy-mapped
+/// status — here a mid-render corrupt packet becomes 422
+/// `corrupt_data` for the whole cohort, never a generic 500.
+#[test]
+fn leader_render_error_fans_out_with_its_taxonomy_status() {
+    const FOLLOWERS: usize = 4;
+    let config = ServeConfig {
+        max_concurrent: 1,
+        queue_depth: 16,
+        ..Default::default()
+    };
+    // Packet 10 of "src" carries an invalid packet-kind byte: planning
+    // and fingerprinting succeed (they only hash bytes), so the cohort
+    // coalesces normally — but the leader's decode of frame 10 fails
+    // with CorruptData only after it is admitted, i.e. after the
+    // followers are already parked on its flight. (A FaultInjector
+    // cannot stage this: arming one deliberately disables plan
+    // fingerprints, and with them the single-flight tier under test.)
+    let catalog = {
+        let mut c = Catalog::new();
+        let s = marked_stream(300, 30);
+        let mut packets = s.packets().to_vec();
+        let mut data = packets[10].data.to_vec();
+        data[0] = 0xFF;
+        packets[10].data = bytes::Bytes::from(data);
+        c.add_video(
+            "src",
+            v2v_container::VideoStream::new(*s.params(), s.start(), s.frame_dur(), packets)
+                .unwrap(),
+        );
+        c.add_video("big", big_stream(600));
+        c
+    };
+    let mut handle = V2vServer::new(catalog)
+        .with_config(config)
+        .start("127.0.0.1:0")
+        .unwrap();
+    let addr = handle.addr();
+
+    // Occupy the only admission slot (the blocker reads "big", which
+    // the injector ignores), then post the doomed identical cohort.
+    let blocker = {
+        let spec = blocker_spec().to_json();
+        std::thread::spawn(move || client::post_query(addr, spec.as_bytes()).unwrap())
+    };
+    wait_for(addr, "blocker admitted", |v| {
+        status_u64(v, &["active"]) == 1
+    });
+
+    let cohort: Vec<_> = (0..=FOLLOWERS)
+        .map(|_| {
+            let spec = target_spec().to_json();
+            std::thread::spawn(move || client::post_query(addr, spec.as_bytes()).unwrap())
+        })
+        .collect();
+    wait_for(addr, "cohort coalesced", |v| {
+        status_u64(v, &["sharing", "waiting"]) == FOLLOWERS as u64
+    });
+
+    for h in cohort {
+        let resp = h.join().unwrap();
+        assert_eq!(
+            resp.status,
+            422,
+            "every cohort member gets the mapped status: {}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let body: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(
+            body.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(|k| k.as_str()),
+            Some("corrupt_data"),
+            "kind must survive the fan-out: {body}"
+        );
+    }
+    assert_eq!(blocker.join().unwrap().status, 200, "blocker unaffected");
+
+    let v = status(addr);
+    assert_eq!(
+        status_u64(&v, &["sharing", "inflight_hits"]),
+        FOLLOWERS as u64,
+        "the error was shared, not re-rendered: {v}"
+    );
+    assert_eq!(status_u64(&v, &["sharing", "inflight"]), 0, "drained: {v}");
+    let (done, failed, _) = handle.job_counts();
+    assert_eq!(done, 1, "only the blocker succeeded");
+    assert_eq!(failed, 1 + FOLLOWERS as u64, "whole cohort counted failed");
+    handle.stop();
+}
