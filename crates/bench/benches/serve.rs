@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 use v2v_bench::{print_header, secs};
 use v2v_exec::{Catalog, RenderCache};
 use v2v_serve::http::client;
-use v2v_serve::{ServeConfig, ServeRole, V2vServer};
+use v2v_serve::{ServeConfig, ServeRole, StoreServeConfig, V2vServer};
 use v2v_spec::builder::blur;
 use v2v_spec::{OutputSettings, Spec, SpecBuilder};
 use v2v_time::{r, Rational};
@@ -459,6 +459,135 @@ fn run_subscribe_phase(quick: bool) -> SubscribeResult {
     }
 }
 
+/// Total counter value from the daemon's `/metrics` snapshot.
+fn metrics_counter(addr: std::net::SocketAddr, name: &str) -> u64 {
+    let resp = client::request(addr, "GET", "/metrics", b"").expect("metrics");
+    let snap: v2v_obs::MetricsSnapshot = serde_json::from_slice(&resp.body).expect("metrics json");
+    snap.counter(name)
+}
+
+/// A long-GOP archival-shaped source: one keyframe every `gop` frames,
+/// so a mid-GOP read pays up to `gop - 1` frames of lead-in decode.
+fn long_gop_stream(frames: usize, gop: u32) -> v2v_container::VideoStream {
+    let ty = v2v_frame::FrameType::gray8(64, 32);
+    let params = v2v_codec::CodecParams::new(ty, gop, 0);
+    let mut w = v2v_container::StreamWriter::new(params, v2v_time::Rational::ZERO, r(1, 30));
+    for i in 0..frames {
+        let mut f = v2v_frame::Frame::black(ty);
+        v2v_frame::marker::embed(&mut f, i as u32);
+        w.push_frame(&f).expect("push frame");
+    }
+    w.finish().expect("finish stream")
+}
+
+/// A smart-cut-shaped query deep inside the long GOP: a one-second
+/// filtered window starting at `first_frame`, far from any original
+/// keyframe, so the decode lead-in dominates the render.
+fn store_spec(first_frame: i64) -> Spec {
+    SpecBuilder::new(marked_output())
+        .video("longgop", "longgop.svc")
+        .append_filtered("longgop", r(first_frame, 30), r(1, 1), |e| blur(e, 1.0))
+        .build()
+}
+
+struct StoreArm {
+    arm: &'static str,
+    requests: usize,
+    mean: Duration,
+    max: Duration,
+    wall: Duration,
+    frames_decoded: u64,
+    bytes_decoded: u64,
+    managed_bytes: u64,
+}
+
+/// Variant-store arms: the same smart-cut-heavy workload against the
+/// same long-GOP source, first on a storeless daemon (every mid-GOP
+/// read decodes from the GOP's original keyframe), then on a daemon
+/// whose store has a keyframe-dense variant materialized. Responses
+/// are asserted byte-identical across arms — the variant must change
+/// only the decode work, never the bytes.
+fn run_store_phase(quick: bool) -> Vec<StoreArm> {
+    const STORE_CLIENTS: usize = 4;
+    let rounds = if quick { 2 } else { 8 };
+    let frames = 900;
+    let gop = 300;
+
+    let mut catalog = Catalog::new();
+    catalog.add_video("longgop", long_gop_stream(frames, gop));
+
+    let mut arms = Vec::new();
+    let mut baseline: Option<Vec<Vec<Vec<u8>>>> = None;
+    for (arm, dense) in [("original", false), ("dense", true)] {
+        let store_root =
+            std::env::temp_dir().join(format!("v2v_bench_store_{}_{arm}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store_root);
+        let mut config = ServeConfig {
+            max_concurrent: 4,
+            queue_depth: 64,
+            ..Default::default()
+        };
+        if dense {
+            config.store = Some(StoreServeConfig::at(&store_root));
+        }
+        let mut handle = V2vServer::new(catalog.clone())
+            .with_config(config)
+            .start("127.0.0.1:0")
+            .expect("bind");
+        let addr = handle.addr();
+        if dense {
+            let resp = client::request(addr, "POST", "/store/materialize/longgop/dense", b"")
+                .expect("materialize");
+            assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        }
+        // Distinct mid-GOP windows, all inside the first GOP: starts
+        // 60.. keep every request at least 60 frames past the original
+        // keyframe while never crossing into GOP 2.
+        let spec_for = move |c: usize, round: usize| {
+            let first = 60 + (c * rounds + round) as i64 * 6;
+            Arc::new(store_spec(first).to_json().into_bytes())
+        };
+        let (result, bodies) = drive_rounds(addr, STORE_CLIENTS, rounds, spec_for);
+        match &baseline {
+            None => baseline = Some(bodies),
+            Some(expect) => assert_eq!(
+                expect, &bodies,
+                "variant-served responses must be byte-identical to the storeless run"
+            ),
+        }
+        let (_, failed, _) = handle.job_counts();
+        assert_eq!(failed, 0, "no request may fail");
+        let frames_decoded = metrics_counter(addr, "exec.frames_decoded");
+        let bytes_decoded = metrics_counter(addr, "exec.bytes_decoded");
+        let managed_bytes = status_counter(addr, &["store", "managed_bytes"]);
+        handle.stop();
+        let _ = std::fs::remove_dir_all(&store_root);
+        arms.push(StoreArm {
+            arm,
+            requests: STORE_CLIENTS * rounds,
+            mean: mean(&result.latencies),
+            max: max(&result.latencies),
+            wall: result.wall,
+            frames_decoded,
+            bytes_decoded,
+            managed_bytes,
+        });
+    }
+    assert!(
+        arms[1].bytes_decoded < arms[0].bytes_decoded,
+        "dense variant must cut bytes decoded ({} !< {})",
+        arms[1].bytes_decoded,
+        arms[0].bytes_decoded
+    );
+    assert!(
+        arms[1].frames_decoded < arms[0].frames_decoded,
+        "dense variant must cut frames decoded ({} !< {})",
+        arms[1].frames_decoded,
+        arms[0].frames_decoded
+    );
+    arms
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("V2V_BENCH_SCALE").is_ok_and(|s| s == "test");
@@ -743,6 +872,33 @@ fn main() {
         100.0 * sub.delta_bytes as f64 / sub.full_bytes.max(1) as f64,
     );
 
+    // --- variant-store arms ------------------------------------------
+    // Smart-cut-heavy mid-GOP reads on a long-GOP source, storeless vs
+    // dense-variant-backed; byte-identity asserted, decode-work delta
+    // is the signal.
+    let store_arms = run_store_phase(quick);
+    for a in &store_arms {
+        let row = Row {
+            phase: "store",
+            arm: a.arm,
+            clients: 4,
+            requests: a.requests,
+            mean: a.mean,
+            max: a.max,
+            wall: a.wall,
+        };
+        print_row(&row);
+    }
+    println!(
+        "store: dense variant decoded {} bytes / {} frames vs {} bytes / {} frames storeless \
+         ({:.1}% of the bytes)",
+        store_arms[1].bytes_decoded,
+        store_arms[1].frames_decoded,
+        store_arms[0].bytes_decoded,
+        store_arms[0].frames_decoded,
+        100.0 * store_arms[1].bytes_decoded as f64 / store_arms[0].bytes_decoded.max(1) as f64,
+    );
+
     let hit_speedup =
         mean_of(&rows, "cold", "share", 1) / mean_of(&rows, "warm", "share", 1).max(1e-9);
     let dup_speedup =
@@ -756,7 +912,7 @@ fn main() {
 
     if quick {
         println!(
-            "(--quick: skipping BENCH_serve.json / BENCH_cluster.json / BENCH_subscribe.json rewrite)"
+            "(--quick: skipping BENCH_serve.json / BENCH_cluster.json / BENCH_subscribe.json / BENCH_store.json rewrite)"
         );
         return;
     }
@@ -854,4 +1010,33 @@ fn main() {
     )
     .expect("write subscribe baseline");
     println!("wrote {subscribe_path}");
+
+    let store_json = serde_json::json!({
+        "bench": "store",
+        "cores_detected": cores,
+        "source": { "frames": 900, "gop": 300 },
+        "workload": "smart-cut-heavy: distinct one-second mid-GOP filtered windows, 4 closed-loop clients",
+        "arms": store_arms.iter().map(|a| serde_json::json!({
+            "arm": a.arm,
+            "requests": a.requests,
+            "mean_latency_s": a.mean.as_secs_f64(),
+            "max_latency_s": a.max.as_secs_f64(),
+            "throughput_rps": a.requests as f64 / a.wall.as_secs_f64().max(1e-9),
+            "frames_decoded": a.frames_decoded,
+            "bytes_decoded": a.bytes_decoded,
+            "store_managed_bytes": a.managed_bytes,
+        })).collect::<Vec<_>>(),
+        "dense_bytes_decoded_fraction": store_arms[1].bytes_decoded as f64
+            / store_arms[0].bytes_decoded.max(1) as f64,
+        "dense_frames_decoded_fraction": store_arms[1].frames_decoded as f64
+            / store_arms[0].frames_decoded.max(1) as f64,
+        "byte_identical_across_arms": true,
+    });
+    let store_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    std::fs::write(
+        store_path,
+        format!("{}\n", serde_json::to_string_pretty(&store_json).unwrap()),
+    )
+    .expect("write store baseline");
+    println!("wrote {store_path}");
 }

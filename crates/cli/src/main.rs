@@ -23,6 +23,14 @@
 //!                                     annotates measured per-operator metrics
 //! v2v check <spec.json>               static checks and per-video needs
 //! v2v info <video.svc>                stream facts (frames, GOPs, bytes)
+//! v2v inspect <video.svc>             physical layout: GOP length
+//!                                     distribution, keyframe density,
+//!                                     bytes/frame, live vs sealed
+//! v2v store ls [--store DIR]          variant manifests in a store
+//! v2v store materialize <name> <video.svc> <kind> [--store DIR]
+//!                                     transcode one variant (dense |
+//!                                     archive | proxy) into the store
+//! v2v store drop <name> <kind> [--store DIR]   remove one variant
 //! v2v frame <video.svc> <t> -o still.ppm    export one frame as PPM
 //! v2v append <live.svc> <more.svc>    commit GOPs onto a live container
 //! v2v append --to HOST:PORT <name> <more.svc>
@@ -82,6 +90,15 @@
 //! switches stderr to one structured
 //! `{"error": {kind, message, exit_code}}` object.
 //!
+//! Adaptive physical storage: `v2v store` manages per-source variant
+//! sets (see `v2v-store`) offline; `v2v run --store DIR` attaches a
+//! store's variants so the planner can serve decodes from the cheapest
+//! physical copy (`--variant auto|off|dense|archive|proxy` forces the
+//! policy — output bytes never change); `v2v serve --store-dir DIR
+//! [--store-budget BYTES] [--compact-secs SECS]` does the same in the
+//! daemon and additionally compacts variants from observed access
+//! patterns.
+//!
 //! `--cache-dir DIR` (on both `run` and `serve`) enables the persistent
 //! render cache: whole results and per-segment fragments are stored
 //! content-addressed under DIR (budgeted by `--cache-budget`, default
@@ -101,7 +118,7 @@ use v2v_spec::Spec;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--threads N] [--no-pipeline] [--no-split] [--no-cache] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--trace trace.json] [--on-error abort|skip|black] [--max-retries N] [--error-report errors.json] [--json]\n  v2v serve [--addr HOST:PORT] [--workers HOST:PORT,...] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--no-share] [--max-concurrent N] [--queue-depth N] [--db tables.json] [--threads N]\n  v2v worker [--addr HOST:PORT] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--max-concurrent N] [--queue-depth N] [--db tables.json] [--threads N]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v frame <video.svc> <t> [-o still.ppm]\n  v2v append [--to HOST:PORT] <live.svc|name> <more.svc> [--json]\n  v2v subscribe <spec.json> [--to HOST:PORT] [-o out.svc] [--max-deltas N] [--json]"
+        "usage:\n  v2v run <spec.json> [-o out.svc] [--db tables.json] [--no-optimize] [--no-dde] [--serial] [--threads N] [--no-pipeline] [--no-split] [--no-cache] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--store DIR] [--variant auto|off|dense|archive|proxy] [--trace trace.json] [--on-error abort|skip|black] [--max-retries N] [--error-report errors.json] [--json]\n  v2v serve [--addr HOST:PORT] [--workers HOST:PORT,...] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--store-dir DIR] [--store-budget BYTES] [--compact-secs SECS] [--no-share] [--max-concurrent N] [--queue-depth N] [--db tables.json] [--threads N]\n  v2v worker [--addr HOST:PORT] [--cache-dir DIR] [--cache-budget BYTES] [--mem-cache-budget BYTES] [--max-concurrent N] [--queue-depth N] [--db tables.json] [--threads N]\n  v2v explain <spec.json> [--db tables.json] [--analyze] [--json]\n  v2v check <spec.json>\n  v2v info <video.svc>\n  v2v inspect <video.svc>\n  v2v store ls [--store DIR]\n  v2v store materialize <name> <video.svc> <dense|archive|proxy> [--store DIR]\n  v2v store drop <name> <dense|archive|proxy> [--store DIR]\n  v2v frame <video.svc> <t> [-o still.ppm]\n  v2v append [--to HOST:PORT] <live.svc|name> <more.svc> [--json]\n  v2v subscribe <spec.json> [--to HOST:PORT] [-o out.svc] [--max-deltas N] [--json]"
     );
     ExitCode::from(2)
 }
@@ -262,6 +279,8 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "info" => cmd_info(&args[1..]),
+        "inspect" => cmd_inspect(&args[1..]),
+        "store" => cmd_store(&args[1..]),
         "frame" => cmd_frame(&args[1..]),
         "append" => cmd_append(&args[1..]),
         "subscribe" => cmd_subscribe(&args[1..]),
@@ -301,6 +320,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let mut cache_dir: Option<String> = None;
     let mut cache_budget = DEFAULT_CACHE_BUDGET;
     let mut mem_cache_budget = 0u64;
+    let mut store_dir: Option<String> = None;
     let mut config = EngineConfig::default();
     let mut optimize = true;
     let mut i = 0;
@@ -356,6 +376,17 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
                     .parse()
                     .map_err(|e| format!("bad --mem-cache-budget value: {e}"))?;
             }
+            "--store" => {
+                i += 1;
+                store_dir = Some(args.get(i).ok_or("missing value after --store")?.clone());
+            }
+            "--variant" => {
+                i += 1;
+                let v = args.get(i).ok_or("missing value after --variant")?;
+                config.variants = v2v_plan::VariantPolicy::parse(v).ok_or_else(|| {
+                    format!("bad --variant value '{v}' (auto|off|dense|archive|proxy)")
+                })?;
+            }
             "--json" => {}
             "--on-error" => {
                 i += 1;
@@ -402,6 +433,18 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let mut engine = V2vEngine::new(Catalog::new()).with_config(config);
     if let Some(db_path) = db_path {
         engine = engine.with_database(load_database(&db_path)?);
+    }
+    if let Some(dir) = &store_dir {
+        // Bind the spec's sources first so the variants have originals
+        // to attach to; the run below reuses the bound catalog.
+        engine
+            .bind(&spec)
+            .map_err(|e| CliError::from(V2vError::from(e)))?;
+        let store = open_store(dir)?;
+        let (attached, skipped) = store
+            .attach(engine.catalog_mut())
+            .map_err(store_cli_error)?;
+        println!("store: attached {attached} variant(s) from {dir} ({skipped} skipped)");
     }
     let (report, trace) = if optimize {
         let (report, trace) = engine
@@ -496,6 +539,9 @@ fn cmd_serve(args: &[String], role: ServeRole) -> Result<(), CliError> {
     let mut cache_budget = DEFAULT_CACHE_BUDGET;
     let mut mem_cache_budget = 0u64;
     let mut db_path: Option<String> = None;
+    let mut store_dir: Option<String> = None;
+    let mut store_budget = u64::MAX;
+    let mut compact_secs = 0u64;
     let mut config = ServeConfig {
         role,
         ..ServeConfig::default()
@@ -548,6 +594,33 @@ fn cmd_serve(args: &[String], role: ServeRole) -> Result<(), CliError> {
                     .parse()
                     .map_err(|e| format!("bad --mem-cache-budget value: {e}"))?;
             }
+            "--store-dir" => {
+                i += 1;
+                if role == ServeRole::Worker {
+                    return Err("--store-dir only applies to 'v2v serve' (workers fall back to the originals their coordinator references)".to_string().into());
+                }
+                store_dir = Some(
+                    args.get(i)
+                        .ok_or("missing value after --store-dir")?
+                        .clone(),
+                );
+            }
+            "--store-budget" => {
+                i += 1;
+                store_budget = args
+                    .get(i)
+                    .ok_or("missing value after --store-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --store-budget value: {e}"))?;
+            }
+            "--compact-secs" => {
+                i += 1;
+                compact_secs = args
+                    .get(i)
+                    .ok_or("missing value after --compact-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --compact-secs value: {e}"))?;
+            }
             "--no-share" => config.work_sharing = false,
             "--max-concurrent" => {
                 i += 1;
@@ -588,6 +661,16 @@ fn cmd_serve(args: &[String], role: ServeRole) -> Result<(), CliError> {
     if let Some(dir) = &cache_dir {
         config.engine.render_cache = Some(open_render_cache(dir, cache_budget, mem_cache_budget)?);
     }
+    if (store_budget != u64::MAX || compact_secs > 0) && store_dir.is_none() {
+        return Err("--store-budget/--compact-secs require --store-dir".into());
+    }
+    if let Some(dir) = &store_dir {
+        config.store = Some(v2v_serve::StoreServeConfig {
+            root: dir.into(),
+            budget_bytes: store_budget,
+            compact_interval: std::time::Duration::from_secs(compact_secs),
+        });
+    }
     let work_sharing = config.work_sharing;
     let workers = config.workers.clone();
     let mut server = V2vServer::new(Catalog::new()).with_config(config);
@@ -605,6 +688,19 @@ fn cmd_serve(args: &[String], role: ServeRole) -> Result<(), CliError> {
         ),
         Some(dir) => println!("render cache: {dir} (budget {cache_budget} bytes)"),
         None => println!("render cache: disabled (pass --cache-dir to enable)"),
+    }
+    if let Some(dir) = &store_dir {
+        let budget = if store_budget == u64::MAX {
+            "unbounded".to_string()
+        } else {
+            format!("{store_budget} bytes")
+        };
+        let cadence = if compact_secs > 0 {
+            format!("every {compact_secs}s")
+        } else {
+            "on demand (POST /store/compact)".to_string()
+        };
+        println!("variant store: {dir} (budget {budget}, compaction {cadence})");
     }
     if !work_sharing {
         println!("work sharing: disabled (--no-share)");
@@ -722,6 +818,167 @@ fn cmd_info(args: &[String]) -> Result<(), CliError> {
         s.start()
     );
     Ok(())
+}
+
+/// Default variant-store directory for the `store` subcommands and
+/// `run --store`.
+const DEFAULT_STORE_DIR: &str = "v2v-store";
+
+fn store_cli_error(e: v2v_store::StoreError) -> CliError {
+    CliError {
+        message: e.to_string(),
+        kind: Some(ErrorKind::Io),
+    }
+}
+
+fn open_store(dir: &str) -> Result<v2v_store::SourceStore, CliError> {
+    v2v_store::SourceStore::open(dir).map_err(store_cli_error)
+}
+
+/// `v2v inspect`: the physical layout the variant selector reasons
+/// about — GOP length distribution, keyframe density, bytes per frame,
+/// and whether the container is live (append-aware) or sealed.
+fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or("missing video path")?;
+    // Sniff the magic directly: `read_svc` accepts both formats, so
+    // live-vs-sealed is only visible in the header bytes.
+    let head = std::fs::read(path).map_err(|e| CliError {
+        message: format!("reading {path}: {e}"),
+        kind: Some(ErrorKind::Io),
+    })?;
+    let live = head.starts_with(b"SVCL");
+    let s = v2v_container::read_svc(path).map_err(|e| CliError::from(V2vError::from(e)))?;
+    if s.is_empty() {
+        return Err(format!("{path} holds no frames").into());
+    }
+    let kf = s.keyframe_indices();
+    // Each GOP runs from one keyframe to the next (the last runs to the
+    // end of the stream).
+    let mut gop_lens: Vec<usize> = kf.windows(2).map(|w| w[1] - w[0]).collect();
+    if let Some(&last) = kf.last() {
+        gop_lens.push(s.len() - last);
+    }
+    let min = gop_lens.iter().min().copied().unwrap_or(0);
+    let max = gop_lens.iter().max().copied().unwrap_or(0);
+    let mean = gop_lens.iter().sum::<usize>() as f64 / gop_lens.len().max(1) as f64;
+    println!("{path}:");
+    println!("  sealed     : {}", if live { "no (live)" } else { "yes" });
+    println!("  frames     : {}", s.len());
+    println!("  gops       : {}", gop_lens.len());
+    println!(
+        "  gop length : min {min} / mean {mean:.1} / max {max} (declared {})",
+        s.params().gop_size
+    );
+    println!(
+        "  keyframes  : {} ({:.4} per frame)",
+        kf.len(),
+        kf.len() as f64 / s.len() as f64
+    );
+    println!(
+        "  bytes/frame: {:.1} ({} bytes total)",
+        s.byte_size() as f64 / s.len() as f64,
+        s.byte_size()
+    );
+    Ok(())
+}
+
+/// `v2v store ls|materialize|drop`: offline variant-store management.
+/// The same store directory can then be handed to `run --store` or
+/// `serve --store-dir`.
+fn cmd_store(args: &[String]) -> Result<(), CliError> {
+    let Some(op) = args.first().map(String::as_str) else {
+        return Err("store needs a subcommand: ls | materialize | drop".into());
+    };
+    let mut store_dir = DEFAULT_STORE_DIR.to_string();
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--store" => {
+                i += 1;
+                store_dir = args.get(i).ok_or("missing value after --store")?.clone();
+            }
+            "--json" => {}
+            other if other.starts_with("--") => {
+                return Err(format!("unexpected argument '{other}'").into())
+            }
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let parse_kind = |s: &str| {
+        v2v_plan::VariantKind::parse(s)
+            .filter(|k| !k.is_original())
+            .ok_or_else(|| CliError::from(format!("bad variant kind '{s}' (dense|archive|proxy)")))
+    };
+    match op {
+        "ls" => {
+            let store = open_store(&store_dir)?;
+            let manifests = store.manifests().map_err(store_cli_error)?;
+            if manifests.is_empty() {
+                println!("{store_dir}: no managed sources");
+                return Ok(());
+            }
+            println!("{store_dir}:");
+            for m in &manifests {
+                println!("  {} ({} committed frames):", m.name, m.covered_frames);
+                for v in &m.variants {
+                    println!(
+                        "    {:<8} {} bytes, {} frames, gop {}{}",
+                        v.kind.name(),
+                        v.byte_size,
+                        v.covered_frames,
+                        v.params.gop_size,
+                        if v.pinned { ", pinned" } else { "" }
+                    );
+                }
+            }
+            println!(
+                "  total managed: {} bytes",
+                store.managed_bytes().map_err(store_cli_error)?
+            );
+            Ok(())
+        }
+        "materialize" => {
+            let [name, video_path, kind] = positional.as_slice() else {
+                return Err("store materialize needs <name> <video.svc> <kind>".into());
+            };
+            let kind = parse_kind(kind)?;
+            let original = v2v_container::read_svc(video_path)
+                .map_err(|e| CliError::from(V2vError::from(e)))?;
+            let store = open_store(&store_dir)?;
+            let entry = store
+                .materialize(name, &original, v2v_store::TranscodeSpec::for_kind(kind))
+                .map_err(store_cli_error)?;
+            println!(
+                "materialized {name}@{}: {} frames, {} bytes (gop {}) in {store_dir}",
+                kind.name(),
+                entry.covered_frames,
+                entry.byte_size,
+                entry.params.gop_size
+            );
+            Ok(())
+        }
+        "drop" => {
+            let [name, kind] = positional.as_slice() else {
+                return Err("store drop needs <name> <kind>".into());
+            };
+            let kind = parse_kind(kind)?;
+            let store = open_store(&store_dir)?;
+            let dropped = store
+                .drop_variant(name, kind, true)
+                .map_err(store_cli_error)?;
+            if dropped {
+                println!("dropped {name}@{} from {store_dir}", kind.name());
+            } else {
+                println!("{name}@{} was not materialized", kind.name());
+            }
+            Ok(())
+        }
+        other => {
+            Err(format!("unknown store subcommand '{other}' (ls | materialize | drop)").into())
+        }
+    }
 }
 
 /// Resolves `HOST:PORT` for the daemon-mode subcommands.

@@ -13,8 +13,8 @@ use v2v_exec::{
 };
 use v2v_obs::{SpanRecord, SpanSink};
 use v2v_plan::{
-    explain_logical, explain_physical, lower_spec, optimize_traced, OptimizerConfig, PhysicalPlan,
-    PlanStats, PlanTrace, SegPlan, SourceDigests,
+    explain_logical, explain_physical, lower_spec, optimize_traced, select_variants, CostModel,
+    OptimizerConfig, PhysicalPlan, PlanStats, PlanTrace, SegPlan, SourceDigests, VariantPolicy,
 };
 use v2v_spec::{check_spec_with_udfs, CheckReport, Spec};
 
@@ -48,6 +48,13 @@ pub struct EngineConfig {
     /// `None` (the default) keeps execution fully local. Like the cache
     /// tiers, ignored while a fault injector is configured.
     pub remote: Option<Arc<dyn v2v_exec::RemoteRenderer>>,
+    /// How render reads choose among attached storage variants
+    /// (`v2v-store`): `Auto` (default) picks the cheapest
+    /// decode-sufficient variant per segment, `Disabled` always reads
+    /// originals, `Force(kind)` pins one kind where legal. A no-op
+    /// unless variants are attached to the catalog. Never affects plan
+    /// fingerprints, cache keys, or output bytes.
+    pub variants: VariantPolicy,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +66,7 @@ impl Default for EngineConfig {
             render_cache: None,
             work_share: None,
             remote: None,
+            variants: VariantPolicy::Auto,
         }
     }
 }
@@ -127,6 +135,12 @@ impl PreparedRun {
     /// The static-check report for the prepared spec.
     pub fn check(&self) -> &CheckReport {
         &self.check
+    }
+
+    /// The optimized physical plan (the serving layer profiles source
+    /// access shapes from it for store compaction).
+    pub fn plan(&self) -> &PhysicalPlan {
+        &self.physical
     }
 }
 
@@ -253,11 +267,17 @@ impl V2vEngine {
         )
         .map_err(EngineError::Check)?;
         let logical = lower_spec(spec)?;
-        let (physical, trace) = optimize_traced(
-            &logical,
-            &self.catalog.plan_context(),
-            &self.config.optimizer,
-        )?;
+        let ctx = self.catalog.plan_context();
+        let (mut physical, trace) = optimize_traced(&logical, &ctx, &self.config.optimizer)?;
+        // Storage-variant selection runs after all plan rewrites: it
+        // only retargets render reads, so the plan's shape, fingerprint,
+        // and cache keys are already final.
+        select_variants(
+            &mut physical,
+            &ctx,
+            &CostModel::default(),
+            self.config.variants,
+        );
         Ok((physical, check, trace))
     }
 

@@ -5,8 +5,22 @@ use std::sync::Arc;
 use v2v_container::VideoStream;
 use v2v_data::DataArray;
 use v2v_frame::Frame;
-use v2v_plan::{PlanContext, SourceMeta};
+use v2v_plan::{PlanContext, SourceMeta, VariantFacts, VariantKind};
 use v2v_spec::{check::SourceInfo, ArgKind, Spec, UdfRegistry};
+
+/// One attached physical variant of a catalog source.
+///
+/// The stream shares the original's frame grid (start, frame duration)
+/// and decodes frame-for-frame identical to it over the covered prefix.
+#[derive(Clone)]
+pub struct VariantSource {
+    /// The variant bitstream.
+    pub stream: Arc<VideoStream>,
+    /// Leading original frame indices this variant can serve. A live
+    /// source may have grown past this since the transcode; reads at or
+    /// beyond it must fall back to the original.
+    pub covered_frames: u64,
+}
 
 /// Bound sources for one execution: videos, data arrays, overlay images.
 ///
@@ -17,6 +31,7 @@ use v2v_spec::{check::SourceInfo, ArgKind, Spec, UdfRegistry};
 #[derive(Clone, Default)]
 pub struct Catalog {
     videos: BTreeMap<String, Arc<VideoStream>>,
+    variants: BTreeMap<String, BTreeMap<VariantKind, VariantSource>>,
     arrays: BTreeMap<String, DataArray>,
     images: BTreeMap<String, Arc<Frame>>,
     udf_signatures: UdfRegistry,
@@ -86,6 +101,54 @@ impl Catalog {
         self.videos.get(name)
     }
 
+    /// Attaches a physical variant to an already-bound source. The
+    /// caller is responsible for the decode-identity invariant: over
+    /// `covered_frames`, the variant must decode frame-for-frame
+    /// identical to the original (or to the conformed original, for
+    /// proxies) — see `v2v-store`, which verifies content digests
+    /// before attaching.
+    pub fn add_variant(
+        &mut self,
+        name: impl Into<String>,
+        kind: VariantKind,
+        stream: Arc<VideoStream>,
+        covered_frames: u64,
+    ) -> &mut Catalog {
+        self.variants.entry(name.into()).or_default().insert(
+            kind,
+            VariantSource {
+                stream,
+                covered_frames,
+            },
+        );
+        self
+    }
+
+    /// Looks up an attached variant of a source.
+    pub fn variant(&self, name: &str, kind: VariantKind) -> Option<&VariantSource> {
+        self.variants.get(name)?.get(&kind)
+    }
+
+    /// Detaches one variant; returns `true` if it was attached.
+    pub fn remove_variant(&mut self, name: &str, kind: VariantKind) -> bool {
+        let Some(set) = self.variants.get_mut(name) else {
+            return false;
+        };
+        let removed = set.remove(&kind).is_some();
+        if set.is_empty() {
+            self.variants.remove(name);
+        }
+        removed
+    }
+
+    /// Attached variant kinds per source (status / admin views).
+    pub fn variant_kinds(&self) -> BTreeMap<String, Vec<VariantKind>> {
+        self.variants
+            .iter()
+            .map(|(name, set)| (name.clone(), set.keys().copied().collect()))
+            .collect()
+    }
+
     /// Looks up an overlay image.
     pub fn image(&self, locator: &str) -> Option<&Arc<Frame>> {
         self.images.get(locator)
@@ -120,6 +183,42 @@ impl Catalog {
                         .collect(),
                 },
             );
+        }
+        for (name, set) in &self.variants {
+            let Some(original) = self.videos.get(name) else {
+                continue;
+            };
+            let mut facts = vec![VariantFacts {
+                kind: VariantKind::Original,
+                params: *original.params(),
+                keyframes: original
+                    .keyframe_indices()
+                    .into_iter()
+                    .map(|k| k as u64)
+                    .collect(),
+                byte_size: original.byte_size(),
+                covered_frames: original.len() as u64,
+            }];
+            for (&kind, v) in set {
+                // A variant covering more frames than the original has
+                // is stale (the source was replaced): skip it.
+                if v.covered_frames > original.len() as u64 {
+                    continue;
+                }
+                facts.push(VariantFacts {
+                    kind,
+                    params: *v.stream.params(),
+                    keyframes: v
+                        .stream
+                        .keyframe_indices()
+                        .into_iter()
+                        .map(|k| k as u64)
+                        .collect(),
+                    byte_size: v.stream.byte_size(),
+                    covered_frames: v.covered_frames.min(v.stream.len() as u64),
+                });
+            }
+            ctx = ctx.with_variants(name.clone(), facts);
         }
         ctx
     }

@@ -1028,6 +1028,14 @@ fn encode_black(ctx: &PartCtx<'_>, from: u64, to: u64) -> Result<Vec<Packet>, Ex
 
 /// One forward cursor per input slot, each carrying its stream's
 /// catalog identity and (optionally) the shared GOP cache.
+///
+/// A clip retargeted at a storage variant decodes from the variant
+/// bitstream under a distinct cache identity (`name#kind`), so cached
+/// GOPs never mix bitstreams. The variant choice is advisory: when the
+/// variant is not attached here (a worker without the store, a variant
+/// dropped since planning), the cursor falls back to the original —
+/// decode-sufficient variants are pixel-identical, so output bytes do
+/// not depend on which stream actually serves the read.
 fn build_cursors<'a>(
     ctx: &PartCtx<'a>,
     inputs: &'a [InputClip],
@@ -1035,19 +1043,26 @@ fn build_cursors<'a>(
     inputs
         .iter()
         .map(|clip| {
-            ctx.catalog
-                .video(&clip.video)
-                .map(|s| {
-                    let mut cursor = SourceCursor::new(s, clip.video.clone());
-                    if let Some(cache) = ctx.cache {
-                        cursor = cursor.with_cache(cache);
-                    }
-                    if let Some(fault) = ctx.fault {
-                        cursor = cursor.with_fault(fault);
-                    }
-                    (cursor, clip)
-                })
-                .ok_or_else(|| ExecError::UnknownVideo(clip.video.clone()))
+            let resolved = if clip.variant.is_original() {
+                None
+            } else {
+                ctx.catalog.variant(&clip.video, clip.variant)
+            };
+            let (stream, ident) = match resolved {
+                Some(v) => (&*v.stream, format!("{}#{}", clip.video, clip.variant)),
+                None => match ctx.catalog.video(&clip.video) {
+                    Some(s) => (&**s, clip.video.clone()),
+                    None => return Err(ExecError::UnknownVideo(clip.video.clone())),
+                },
+            };
+            let mut cursor = SourceCursor::new(stream, ident);
+            if let Some(cache) = ctx.cache {
+                cursor = cursor.with_cache(cache);
+            }
+            if let Some(fault) = ctx.fault {
+                cursor = cursor.with_fault(fault);
+            }
+            Ok((cursor, clip))
         })
         .collect()
 }

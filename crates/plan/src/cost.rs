@@ -29,6 +29,15 @@ pub struct CostModel {
     pub op_per_pixel: f64,
     /// Cost per copied packet.
     pub copy_per_packet: f64,
+    /// Cost per compressed byte decoded (discriminates storage
+    /// variants whose pixel geometry and roll-in tie; see
+    /// [`crate::variant::select_variants`]).
+    #[serde(default = "default_decode_per_byte")]
+    pub decode_per_byte: f64,
+}
+
+fn default_decode_per_byte() -> f64 {
+    0.1
 }
 
 impl Default for CostModel {
@@ -38,6 +47,7 @@ impl Default for CostModel {
             encode_per_pixel: 1.5,
             op_per_pixel: 2.0,
             copy_per_packet: 50.0,
+            decode_per_byte: default_decode_per_byte(),
         }
     }
 }

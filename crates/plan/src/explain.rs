@@ -83,7 +83,13 @@ pub fn explain_physical(plan: &PhysicalPlan) -> String {
             SegPlan::Render { program, inputs } => {
                 let srcs: Vec<String> = inputs
                     .iter()
-                    .map(|c| format!("{}[{}]", c.video, c.time))
+                    .map(|c| {
+                        if c.variant.is_original() {
+                            format!("{}[{}]", c.video, c.time)
+                        } else {
+                            format!("{}@{}[{}]", c.video, c.variant, c.time)
+                        }
+                    })
                     .collect();
                 let _ = writeln!(
                     out,

@@ -333,7 +333,10 @@ fn canonical_segments(plan: &PhysicalPlan) -> Vec<Segment> {
                     SegPlan::Render { program, inputs },
                 ) if adjacent
                     && rp == program
-                    && ri == inputs
+                    // Variant choice is advisory and byte-invisible, so
+                    // canonicalization must not let it split a run.
+                    && ri.len() == inputs.len()
+                    && ri.iter().zip(inputs).all(|(a, b)| a.same_source(b))
                     // Merging is byte-preserving only at output-GOP
                     // boundaries: each render segment restarts the
                     // encoder, so an unaligned merge would move
@@ -497,10 +500,7 @@ mod tests {
                         ProgArg::Data(v2v_spec::DataExpr::constant(1.0f64)),
                     ],
                 },
-                inputs: vec![InputClip {
-                    video: "a".into(),
-                    time: AffineTimeMap::IDENTITY,
-                }],
+                inputs: vec![InputClip::new("a", AffineTimeMap::IDENTITY)],
             },
         }
     }

@@ -35,6 +35,7 @@ pub mod optimizer;
 pub mod physical;
 pub mod program;
 pub mod trace;
+pub mod variant;
 
 pub use cost::{estimate, CostEstimate, CostModel};
 pub use explain::{explain_logical, explain_physical};
@@ -45,6 +46,7 @@ pub use optimizer::{optimize, optimize_traced, OptimizerConfig};
 pub use physical::{PhysicalPlan, PlanStats, SegPlan, Segment};
 pub use program::{FrameProgram, InputClip, ProgArg};
 pub use trace::{PlanTrace, RewriteEvent};
+pub use variant::{select_variants, VariantFacts, VariantKind, VariantPolicy};
 
 /// Errors raised during lowering and optimization.
 #[derive(Debug, Clone, PartialEq, thiserror::Error)]

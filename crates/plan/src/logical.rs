@@ -207,10 +207,7 @@ impl LogicalNode {
     /// All clip bindings reachable from this node, as program input order.
     pub fn collect_clips(&self, out: &mut Vec<InputClip>) {
         match self {
-            LogicalNode::Clip { video, time } => out.push(InputClip {
-                video: video.clone(),
-                time: *time,
-            }),
+            LogicalNode::Clip { video, time } => out.push(InputClip::new(video.clone(), *time)),
             LogicalNode::Filter { inputs, .. } => {
                 for i in inputs {
                     i.collect_clips(out);

@@ -52,6 +52,9 @@ impl SourceMeta {
 pub struct PlanContext {
     /// Video name → metadata.
     pub sources: BTreeMap<String, SourceMeta>,
+    /// Video name → facts for each materialized physical variant
+    /// (empty unless a variant store is attached to the catalog).
+    pub variants: BTreeMap<String, Vec<crate::variant::VariantFacts>>,
 }
 
 impl PlanContext {
@@ -66,9 +69,24 @@ impl PlanContext {
         self
     }
 
+    /// Records variant facts for a source.
+    pub fn with_variants(
+        mut self,
+        name: impl Into<String>,
+        facts: Vec<crate::variant::VariantFacts>,
+    ) -> PlanContext {
+        self.variants.insert(name.into(), facts);
+        self
+    }
+
     /// Looks up a source.
     pub fn source(&self, name: &str) -> Option<&SourceMeta> {
         self.sources.get(name)
+    }
+
+    /// Variant facts recorded for a source (empty slice when none).
+    pub fn variants_of(&self, name: &str) -> &[crate::variant::VariantFacts] {
+        self.variants.get(name).map(Vec::as_slice).unwrap_or(&[])
     }
 }
 

@@ -361,10 +361,7 @@ fn physicalize(
                         if ctx.source(video).is_none() {
                             return Err(PlanError::UnknownVideo(video.clone()));
                         }
-                        clips.push(InputClip {
-                            video: video.clone(),
-                            time: *time,
-                        });
+                        clips.push(InputClip::new(video.clone(), *time));
                     }
                     other => unreachable!("merging left a non-clip input: {other:?}"),
                 }
@@ -383,10 +380,7 @@ fn physicalize(
             let meta = ctx
                 .source(video)
                 .ok_or_else(|| PlanError::UnknownVideo(video.clone()))?;
-            let clip = InputClip {
-                video: video.clone(),
-                time: *time,
-            };
+            let clip = InputClip::new(video.clone(), *time);
             let render = |from: u64, n: u64| Segment {
                 out_start: from,
                 count: n,

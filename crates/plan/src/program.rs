@@ -16,6 +16,32 @@ pub struct InputClip {
     pub video: String,
     /// Maps an output-domain instant to the source instant.
     pub time: AffineTimeMap,
+    /// Physical variant the executor should decode from. Advisory:
+    /// every decode-sufficient variant yields byte-identical output, so
+    /// fingerprints and cache keys ignore this field and executors may
+    /// fall back to the original when the variant is absent.
+    #[serde(
+        default,
+        skip_serializing_if = "crate::variant::VariantKind::is_original"
+    )]
+    pub variant: crate::variant::VariantKind,
+}
+
+impl InputClip {
+    /// A clip of `video` under `time`, reading the original bitstream.
+    pub fn new(video: impl Into<String>, time: AffineTimeMap) -> InputClip {
+        InputClip {
+            video: video.into(),
+            time,
+            variant: crate::variant::VariantKind::Original,
+        }
+    }
+
+    /// `true` if `other` binds the same source region (ignoring the
+    /// advisory variant choice).
+    pub fn same_source(&self, other: &InputClip) -> bool {
+        self.video == other.video && self.time == other.time
+    }
 }
 
 /// A per-frame program argument.

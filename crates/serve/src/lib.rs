@@ -44,8 +44,13 @@
 //! | `POST /subscribe` | spec JSON | long-lived stream of delta records (see [`sub`]) |
 //! | `POST /append/<name>` | sealed `.svc` of new GOPs | appends to the named live catalog video |
 //! | `POST /append-data/<name>` | `[{"t": ..., "value": ...}]` | appends entries to the named data array |
-//! | `GET /status` | — | admission + cache state JSON |
+//! | `GET /status` | — | admission + cache state JSON (plus a `store` block when a variant store is configured) |
 //! | `GET /metrics` | — | metrics snapshot JSON |
+//! | `GET /store` | — | variant manifests + observed access profiles (see [`store_svc`]) |
+//! | `POST /store/materialize/<name>/<kind>` | — | transcode + attach one variant now |
+//! | `POST /store/drop/<name>/<kind>` | — | drop one variant |
+//! | `POST /store/pin/<name>/<kind>` | `{"pinned": bool}` | pin/unpin against compaction |
+//! | `POST /store/compact` | — | run one compaction pass now |
 //!
 //! **Live sources and subscriptions.** The catalog is mutable at
 //! runtime: `POST /append/<name>` splices freshly-encoded GOPs onto a
@@ -70,13 +75,16 @@
 pub mod cluster;
 pub mod http;
 pub mod share;
+pub mod store_svc;
 pub mod sub;
 
 use cluster::{PoolRemote, WorkerPool};
 use http::{read_request, write_response, Request, Response};
 use share::{InflightRegistry, Join, LeaderGuard, QueryOutcome, SharedError};
+use std::collections::BTreeMap;
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -86,6 +94,7 @@ use v2v_data::Database;
 use v2v_exec::{Catalog, ExecStats, FragmentFlight, RenderCache};
 use v2v_obs::{Counter, Gauge, Histogram, Registry};
 use v2v_spec::Spec;
+use v2v_store::{profile_plan, AccessProfile, SourceStore};
 
 /// Which side of the scale-out protocol this daemon plays.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -134,6 +143,36 @@ pub struct ServeConfig {
     /// Engine configuration every job runs under. Set
     /// `engine.render_cache` to share a persistent cache across jobs.
     pub engine: EngineConfig,
+    /// Adaptive physical storage: when set, the daemon opens a
+    /// [`SourceStore`] at the given root, attaches every valid variant
+    /// to the catalog at startup, profiles each prepared query, and
+    /// compacts variants under the byte budget (see [`store_svc`]).
+    pub store: Option<StoreServeConfig>,
+}
+
+/// Variant-store settings for a serving daemon.
+#[derive(Clone, Debug)]
+pub struct StoreServeConfig {
+    /// Store root directory (`<root>/<source>/<kind>.svc` + manifests).
+    pub root: PathBuf,
+    /// Total bytes of managed variants the compactor may hold;
+    /// `u64::MAX` disables eviction.
+    pub budget_bytes: u64,
+    /// Background compaction cadence; `Duration::ZERO` disables the
+    /// background thread (passes still run via `POST /store/compact`).
+    pub compact_interval: Duration,
+}
+
+impl StoreServeConfig {
+    /// A store at `root` with an unbounded budget and no background
+    /// compaction thread.
+    pub fn at(root: impl Into<PathBuf>) -> StoreServeConfig {
+        StoreServeConfig {
+            root: root.into(),
+            budget_bytes: u64::MAX,
+            compact_interval: Duration::ZERO,
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -146,6 +185,7 @@ impl Default for ServeConfig {
             role: ServeRole::Frontend,
             workers: Vec::new(),
             engine: EngineConfig::default(),
+            store: None,
         }
     }
 }
@@ -236,6 +276,11 @@ struct Metrics {
     sub_frames_pushed: Arc<Counter>,
     sub_renders: Arc<Counter>,
     sub_appends: Arc<Counter>,
+    store_smart_cut: Arc<Counter>,
+    store_scan: Arc<Counter>,
+    store_preview: Arc<Counter>,
+    store_materializations: Arc<Counter>,
+    store_drops: Arc<Counter>,
     exec: ExecMetrics,
 }
 
@@ -272,6 +317,11 @@ impl Metrics {
             sub_frames_pushed: registry.counter("sub.frames_pushed"),
             sub_renders: registry.counter("sub.renders"),
             sub_appends: registry.counter("sub.appends"),
+            store_smart_cut: registry.counter("store.reads.smart_cut"),
+            store_scan: registry.counter("store.reads.scan"),
+            store_preview: registry.counter("store.reads.preview"),
+            store_materializations: registry.counter("store.materializations"),
+            store_drops: registry.counter("store.drops"),
             exec: ExecMetrics {
                 frames_decoded: registry.counter("exec.frames_decoded"),
                 frames_encoded: registry.counter("exec.frames_encoded"),
@@ -326,6 +376,14 @@ struct Shared {
     subs_frames_pushed: AtomicU64,
     subs_renders: AtomicU64,
     appends: AtomicU64,
+    /// The variant store, when [`ServeConfig::store`] is configured.
+    store: Option<Arc<SourceStore>>,
+    /// Accumulated access profiles since startup, by source name — the
+    /// compactor's demand signal.
+    profiles: Mutex<BTreeMap<String, AccessProfile>>,
+    store_materializations: AtomicU64,
+    store_drops: AtomicU64,
+    store_compactions: AtomicU64,
 }
 
 impl Shared {
@@ -398,8 +456,23 @@ impl V2vServer {
         };
         let registry = Registry::new();
         let metrics = Metrics::new(&registry);
+        // Open the variant store and attach every valid variant before
+        // the catalog becomes shared: startup recovery is just a
+        // re-attach, and digest-mismatched variants are skipped.
+        let mut catalog = self.catalog;
+        let store = match &self.config.store {
+            Some(cfg) => {
+                let store = SourceStore::open(&cfg.root)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                store
+                    .attach(&mut catalog)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                Some(Arc::new(store))
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
-            catalog: RwLock::new(self.catalog),
+            catalog: RwLock::new(catalog),
             catalog_version: Mutex::new(0),
             catalog_grew: Condvar::new(),
             stopping: AtomicBool::new(false),
@@ -422,6 +495,11 @@ impl V2vServer {
             subs_frames_pushed: AtomicU64::new(0),
             subs_renders: AtomicU64::new(0),
             appends: AtomicU64::new(0),
+            store,
+            profiles: Mutex::new(BTreeMap::new()),
+            store_materializations: AtomicU64::new(0),
+            store_drops: AtomicU64::new(0),
+            store_compactions: AtomicU64::new(0),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let accept_shared = Arc::clone(&shared);
@@ -429,10 +507,25 @@ impl V2vServer {
         let join = std::thread::spawn(move || {
             accept_loop(&listener, &accept_shared, &accept_stop);
         });
+        let compact_interval = shared
+            .config
+            .store
+            .as_ref()
+            .map(|c| c.compact_interval)
+            .unwrap_or(Duration::ZERO);
+        let compact_join = if shared.store.is_some() && compact_interval > Duration::ZERO {
+            let compact_shared = Arc::clone(&shared);
+            Some(std::thread::spawn(move || {
+                store_svc::compaction_loop(&compact_shared, compact_interval);
+            }))
+        } else {
+            None
+        };
         Ok(ServerHandle {
             addr: local,
             stop,
             join: Some(join),
+            compact_join,
             shared,
         })
     }
@@ -445,6 +538,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
+    compact_join: Option<JoinHandle<()>>,
     shared: Arc<Shared>,
 }
 
@@ -474,6 +568,9 @@ impl ServerHandle {
         // Unblock the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+        if let Some(join) = self.compact_join.take() {
             let _ = join.join();
         }
     }
@@ -539,6 +636,11 @@ fn route(req: &Request, shared: &Shared) -> Response {
             handle_append_data(path, req, shared)
         }
         ("GET", path) if path.strip_prefix("/fragment/").is_some() => handle_fragment(path, shared),
+        ("GET", "/store") if !worker => store_svc::handle_store_ls(shared),
+        ("POST", "/store/compact") if !worker => store_svc::handle_store_compact(shared),
+        ("POST", path) if path.strip_prefix("/store/").is_some() && !worker => {
+            store_svc::handle_store_admin(path, req, shared)
+        }
         ("GET", "/status") => handle_status(shared),
         ("GET", "/metrics") => Response::json(200, &shared.registry.snapshot()),
         ("GET", _) | ("POST", _) => {
@@ -1041,6 +1143,7 @@ fn handle_status(shared: &Shared) -> Response {
             },
             "pool": shared.pool.as_ref().map(|p| p.status_json()),
             "cache": cache,
+            "store": store_svc::status_block(shared),
         }),
     )
 }
@@ -1192,7 +1295,22 @@ fn prepare_query(body: &[u8], shared: &Shared) -> Result<PreparedQuery, V2vError
     let mut engine = V2vEngine::new(shared.catalog_snapshot())
         .with_database(shared.database.clone())
         .with_config(config);
+    if let Some(store) = &shared.store {
+        // Sources named by locator bind lazily into this query's
+        // engine catalog, not the shared one — bind now (prepare's own
+        // bind is an idempotent no-op after this) and attach whatever
+        // variants the store holds for them. Attach failures degrade
+        // to the original: variants are advisory, never load-bearing.
+        engine.bind(&spec)?;
+        let _ = store.attach(engine.catalog_mut());
+    }
     let run = engine.prepare(&spec)?;
+    if shared.store.is_some() {
+        // Feed the compactor: classify this plan's source reads by
+        // access shape (smart-cut / scan / preview).
+        let profiles = profile_plan(run.plan(), &engine.catalog().plan_context());
+        store_svc::record_profiles(shared, &profiles);
+    }
     Ok(PreparedQuery { engine, run })
 }
 
@@ -1399,6 +1517,175 @@ mod tests {
         let resp = client::post_query(handle.addr(), spec_json().as_bytes()).unwrap();
         // The spec names "a.svc", which does not exist on disk.
         assert_eq!(resp.status, 404);
+    }
+
+    fn store_tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "v2v_serve_store_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store_config(root: &std::path::Path) -> ServeConfig {
+        ServeConfig {
+            store: Some(StoreServeConfig::at(root)),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn store_routes_materialize_list_drop_and_leave_bytes_identical() {
+        // Ground truth: the same query on a storeless daemon.
+        let plain = V2vServer::new(catalog()).start("127.0.0.1:0").unwrap();
+        let baseline = client::post_query(plain.addr(), spec_json().as_bytes()).unwrap();
+        assert_eq!(baseline.status, 200);
+
+        let dir = store_tempdir("routes");
+        let handle = V2vServer::new(catalog())
+            .with_config(store_config(&dir))
+            .start("127.0.0.1:0")
+            .unwrap();
+        let addr = handle.addr();
+
+        let resp = client::request(addr, "POST", "/store/materialize/a/dense", b"").unwrap();
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v.get("covered_frames").and_then(|x| x.as_u64()), Some(120));
+
+        // The attached dense variant must not change a single output
+        // byte — variant choice is physical, not logical.
+        let with_variant = client::post_query(addr, spec_json().as_bytes()).unwrap();
+        assert_eq!(with_variant.status, 200);
+        assert_eq!(with_variant.body, baseline.body);
+
+        let ls = client::request(addr, "GET", "/store", b"").unwrap();
+        assert_eq!(ls.status, 200);
+        let v: serde_json::Value = serde_json::from_slice(&ls.body).unwrap();
+        let attached = v.get("attached").expect("attached block");
+        assert!(
+            attached.get("a").is_some(),
+            "dense variant should be attached: {v}"
+        );
+        assert!(v.get("managed_bytes").and_then(|x| x.as_u64()).unwrap_or(0) > 0);
+
+        // The status page carries the same block.
+        let status = client::request(addr, "GET", "/status", b"").unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&status.body).unwrap();
+        let store = v.get("store").expect("store block");
+        assert_eq!(
+            store.get("materializations").and_then(|x| x.as_u64()),
+            Some(1)
+        );
+
+        // Pin, then drop (admin drop is forced and removes even pinned).
+        let pin =
+            client::request(addr, "POST", "/store/pin/a/dense", b"{\"pinned\":true}").unwrap();
+        assert_eq!(pin.status, 200);
+        let drop = client::request(addr, "POST", "/store/drop/a/dense", b"").unwrap();
+        assert_eq!(drop.status, 200);
+        let v: serde_json::Value = serde_json::from_slice(&drop.body).unwrap();
+        assert_eq!(v.get("dropped").and_then(|x| x.as_bool()), Some(true));
+
+        // Unknown source and bad kind map to 404.
+        let resp = client::request(addr, "POST", "/store/materialize/nope/dense", b"").unwrap();
+        assert_eq!(resp.status, 404);
+        let resp = client::request(addr, "POST", "/store/materialize/a/bogus", b"").unwrap();
+        assert_eq!(resp.status, 404);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn storeless_daemon_404s_store_routes() {
+        let handle = V2vServer::new(catalog()).start("127.0.0.1:0").unwrap();
+        let resp = client::request(handle.addr(), "GET", "/store", b"").unwrap();
+        assert_eq!(resp.status, 404);
+        let resp = client::request(handle.addr(), "POST", "/store/compact", b"").unwrap();
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn compaction_drops_unwanted_variants_and_restart_reattaches_held_ones() {
+        let dir = store_tempdir("compact");
+        {
+            let handle = V2vServer::new(catalog())
+                .with_config(store_config(&dir))
+                .start("127.0.0.1:0")
+                .unwrap();
+            let addr = handle.addr();
+            let resp = client::request(addr, "POST", "/store/materialize/a/dense", b"").unwrap();
+            assert_eq!(resp.status, 200);
+            let resp = client::request(addr, "POST", "/store/materialize/a/archive", b"").unwrap();
+            assert_eq!(resp.status, 200);
+            // Pin archive so it survives the pass; dense has no demand
+            // behind it (no queries ran) and must be dropped.
+            let resp = client::request(addr, "POST", "/store/pin/a/archive", b"").unwrap();
+            assert_eq!(resp.status, 200);
+            let resp = client::request(addr, "POST", "/store/compact", b"").unwrap();
+            assert_eq!(resp.status, 200);
+            let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+            let actions = v.get("actions").and_then(|a| a.as_array()).unwrap();
+            assert!(
+                actions.iter().any(|a| {
+                    a.get("kind").and_then(|k| k.as_str()) == Some("dense")
+                        && a.get("op").and_then(|o| o.as_str()) == Some("drop")
+                }),
+                "idle dense variant should be compacted away: {v}"
+            );
+            assert!(
+                !actions
+                    .iter()
+                    .any(|a| a.get("kind").and_then(|k| k.as_str()) == Some("archive")),
+                "pinned archive must survive: {v}"
+            );
+        }
+        // A fresh daemon over the same root recovers the surviving
+        // variant at startup.
+        let handle = V2vServer::new(catalog())
+            .with_config(store_config(&dir))
+            .start("127.0.0.1:0")
+            .unwrap();
+        let ls = client::request(handle.addr(), "GET", "/store", b"").unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&ls.body).unwrap();
+        let kinds = v
+            .get("attached")
+            .and_then(|a| a.get("a"))
+            .and_then(|k| k.as_array())
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(kinds.len(), 1, "{v}");
+        assert_eq!(kinds[0].as_str(), Some("archive"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queries_feed_access_profiles() {
+        let dir = store_tempdir("profiles");
+        let handle = V2vServer::new(catalog())
+            .with_config(store_config(&dir))
+            .start("127.0.0.1:0")
+            .unwrap();
+        let addr = handle.addr();
+        let resp = client::post_query(addr, spec_json().as_bytes()).unwrap();
+        assert_eq!(resp.status, 200);
+        let ls = client::request(addr, "GET", "/store", b"").unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&ls.body).unwrap();
+        let profile = v
+            .get("profiles")
+            .and_then(|p| p.get("a"))
+            .cloned()
+            .unwrap_or_default();
+        let total = profile
+            .get("smart_cut")
+            .and_then(|x| x.as_u64())
+            .unwrap_or(0)
+            + profile.get("scan").and_then(|x| x.as_u64()).unwrap_or(0)
+            + profile.get("preview").and_then(|x| x.as_u64()).unwrap_or(0);
+        assert!(total > 0, "query should classify reads: {v}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! The `manifest.json` sidecar: per-source variant bookkeeping.
+
+use serde::{Deserialize, Serialize};
+use v2v_codec::CodecParams;
+use v2v_plan::VariantKind;
+
+/// One materialized variant recorded in a manifest.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VariantEntry {
+    /// Which variant this is.
+    pub kind: VariantKind,
+    /// The variant bitstream's codec parameters.
+    pub params: CodecParams,
+    /// Sorted keyframe frame-indices within the variant bitstream.
+    pub keyframes: Vec<u64>,
+    /// Compressed byte size of the variant bitstream.
+    pub byte_size: u64,
+    /// Original frames covered (the committed prefix at transcode
+    /// time; a live source may have grown since).
+    pub covered_frames: u64,
+    /// FNV-64 digest of the variant bitstream (verified on load).
+    pub content_digest: u64,
+    /// Pinned variants survive compaction.
+    #[serde(default)]
+    pub pinned: bool,
+}
+
+/// Sidecar describing every managed variant of one source, keyed back
+/// to the original bitstream by prefix digest.
+///
+/// `prefix_digest` is the original's digest over `covered_frames`
+/// packets. Appending to a live source never changes committed prefix
+/// digests, so a manifest stays valid across appends; replacing the
+/// source with different content breaks the digest and every variant
+/// is ignored rather than served stale.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VariantManifest {
+    /// Catalog source name.
+    pub name: String,
+    /// The original's full content digest at last materialization
+    /// (informational; attachment checks `prefix_digest`).
+    pub original_digest: u64,
+    /// Frames of the original covered by `prefix_digest`.
+    pub covered_frames: u64,
+    /// The original's digest over its first `covered_frames` packets.
+    pub prefix_digest: u64,
+    /// Managed variants, sorted by kind.
+    pub variants: Vec<VariantEntry>,
+}
+
+impl VariantManifest {
+    /// The entry for `kind`, if materialized.
+    pub fn entry(&self, kind: VariantKind) -> Option<&VariantEntry> {
+        self.variants.iter().find(|v| v.kind == kind)
+    }
+
+    /// Total managed bytes for this source.
+    pub fn managed_bytes(&self) -> u64 {
+        self.variants.iter().map(|v| v.byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_frame::FrameType;
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let m = VariantManifest {
+            name: "src".into(),
+            original_digest: 7,
+            covered_frames: 100,
+            prefix_digest: 9,
+            variants: vec![VariantEntry {
+                kind: VariantKind::Dense,
+                params: CodecParams::new(FrameType::yuv420p(64, 64), 4, 0),
+                keyframes: vec![0, 4, 8],
+                byte_size: 1234,
+                covered_frames: 100,
+                content_digest: 42,
+                pinned: true,
+            }],
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: VariantManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(back.entry(VariantKind::Dense).unwrap().byte_size, 1234);
+        assert_eq!(back.managed_bytes(), 1234);
+    }
+}

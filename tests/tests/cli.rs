@@ -199,6 +199,141 @@ fn cli_run_with_sql_database() {
 }
 
 #[test]
+fn cli_inspect_reports_gop_layout() {
+    let Some(bin) = v2v_binary() else {
+        eprintln!("skipping: v2v binary not built");
+        return;
+    };
+    let dir = workdir();
+    let video_path = dir.join("inspect_src.svc");
+    v2v_container::write_svc(&marked_stream(120, 30), &video_path).unwrap();
+    let output = Command::new(&bin)
+        .args(["inspect", video_path.to_str().unwrap()])
+        .output()
+        .expect("spawn v2v inspect");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("frames     : 120"), "{text}");
+    assert!(text.contains("gops       : 4"), "{text}");
+    assert!(text.contains("min 30 / mean 30.0 / max 30"), "{text}");
+    assert!(text.contains("sealed     : yes"), "{text}");
+}
+
+/// Offline store lifecycle through the binary: materialize, ls, then a
+/// `run --store --variant dense` that is byte-identical to a storeless
+/// run of the same spec.
+#[test]
+fn cli_store_materialize_ls_drop_and_run_with_variants() {
+    let Some(bin) = v2v_binary() else {
+        eprintln!("skipping: v2v binary not built");
+        return;
+    };
+    let dir = workdir();
+    let store_dir = dir.join("cli_store");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let video_path = dir.join("store_src.svc");
+    // Long-GOP source: the shape dense variants exist for.
+    v2v_container::write_svc(&marked_stream(300, 300), &video_path).unwrap();
+
+    let mat = Command::new(&bin)
+        .args([
+            "store",
+            "materialize",
+            "src",
+            video_path.to_str().unwrap(),
+            "dense",
+            "--store",
+            store_dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn v2v store materialize");
+    assert!(
+        mat.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&mat.stderr)
+    );
+    assert!(String::from_utf8_lossy(&mat.stdout).contains("materialized src@dense"));
+
+    let ls = Command::new(&bin)
+        .args(["store", "ls", "--store", store_dir.to_str().unwrap()])
+        .output()
+        .expect("spawn v2v store ls");
+    assert!(ls.status.success());
+    let text = String::from_utf8_lossy(&ls.stdout);
+    assert!(text.contains("dense"), "{text}");
+    assert!(text.contains("300 frames"), "{text}");
+
+    // A mid-GOP filtered spec over the source.
+    let spec = SpecBuilder::new(marked_output())
+        .video("src", video_path.to_string_lossy())
+        .append_filtered("src", r(3, 1), r(1, 1), |e| v2v_spec::builder::blur(e, 1.0))
+        .build();
+    let spec_path = dir.join("store_spec.json");
+    std::fs::write(&spec_path, spec.to_json()).unwrap();
+
+    let plain_out = dir.join("store_plain.svc");
+    let plain = Command::new(&bin)
+        .args([
+            "run",
+            spec_path.to_str().unwrap(),
+            "-o",
+            plain_out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn v2v run");
+    assert!(plain.status.success());
+
+    let variant_out = dir.join("store_variant.svc");
+    let with_store = Command::new(&bin)
+        .args([
+            "run",
+            spec_path.to_str().unwrap(),
+            "-o",
+            variant_out.to_str().unwrap(),
+            "--store",
+            store_dir.to_str().unwrap(),
+            "--variant",
+            "dense",
+        ])
+        .output()
+        .expect("spawn v2v run --store");
+    assert!(
+        with_store.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&with_store.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&with_store.stdout).contains("attached 1 variant(s)"),
+        "{}",
+        String::from_utf8_lossy(&with_store.stdout)
+    );
+    assert_eq!(
+        std::fs::read(&plain_out).unwrap(),
+        std::fs::read(&variant_out).unwrap(),
+        "variant-served run must be byte-identical"
+    );
+
+    let drop = Command::new(&bin)
+        .args([
+            "store",
+            "drop",
+            "src",
+            "dense",
+            "--store",
+            store_dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn v2v store drop");
+    assert!(drop.status.success());
+    assert!(String::from_utf8_lossy(&drop.stdout).contains("dropped src@dense"));
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
 fn cli_frame_export() {
     let Some(bin) = v2v_binary() else {
         eprintln!("skipping: v2v binary not built");
